@@ -1,0 +1,52 @@
+//! Criterion bench for Experiment 1 (Fig. 9): evaluation time vs. number of
+//! fragments/machines, constant cumulative data size.
+//!
+//! * Fig. 9(a): query Q1 (no qualifiers), PaX3 with and without annotations.
+//! * Fig. 9(b): query Q4 (qualifiers + `//`), PaX3-NA vs PaX2-NA.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paxml_bench::{paper_query, run, Series};
+use paxml_xmark::ft1;
+use std::time::Duration;
+
+const TOTAL_VMB: f64 = 2.0;
+const SEED: u64 = 42;
+
+fn fig9a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9a_q1_vs_fragmentation");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    for fragments in [1usize, 2, 4, 6, 8, 10] {
+        let (_, fragmented) = ft1(fragments, TOTAL_VMB, SEED);
+        for series in [Series::Pax3Na, Series::Pax3Xa] {
+            group.bench_with_input(
+                BenchmarkId::new(series.label(), fragments),
+                &fragments,
+                |b, &k| {
+                    b.iter(|| run(series, &fragmented, k, paper_query("Q1")));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn fig9b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9b_q4_vs_fragmentation");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    for fragments in [1usize, 2, 4, 6, 8, 10] {
+        let (_, fragmented) = ft1(fragments, TOTAL_VMB, SEED);
+        for series in [Series::Pax3Na, Series::Pax2Na] {
+            group.bench_with_input(
+                BenchmarkId::new(series.label(), fragments),
+                &fragments,
+                |b, &k| {
+                    b.iter(|| run(series, &fragmented, k, paper_query("Q4")));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig9a, fig9b);
+criterion_main!(benches);

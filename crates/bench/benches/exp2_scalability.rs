@@ -1,0 +1,55 @@
+//! Criterion bench for Experiment 2 (Fig. 10): parallel evaluation time vs.
+//! cumulative data size over the FT2 topology (10 fragments, 10 sites).
+//!
+//! * Fig. 10(a): Q1, PaX3-NA vs PaX3-XA.
+//! * Fig. 10(b): Q2, PaX3-NA vs PaX3-XA.
+//! * Fig. 10(c): Q3, PaX3-NA vs PaX2-NA vs PaX2-XA.
+//! * Fig. 10(d): Q4, PaX3-NA vs PaX2-NA.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paxml_bench::{paper_query, run, Series};
+use paxml_xmark::ft2;
+use std::time::Duration;
+
+const SEED: u64 = 42;
+const SITES: usize = 10;
+const SIZES: [f64; 3] = [2.0, 3.0, 4.0];
+
+fn bench_figure(
+    c: &mut Criterion,
+    name: &str,
+    query_name: &str,
+    series_list: &[Series],
+) {
+    let mut group = c.benchmark_group(name);
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    for &vmb in &SIZES {
+        let (_, fragmented) = ft2(vmb, SEED);
+        for &series in series_list {
+            group.bench_with_input(
+                BenchmarkId::new(series.label(), format!("{vmb}vMB")),
+                &vmb,
+                |b, _| {
+                    b.iter(|| run(series, &fragmented, SITES, paper_query(query_name)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn fig10a(c: &mut Criterion) {
+    bench_figure(c, "fig10a_q1_vs_size", "Q1", &[Series::Pax3Na, Series::Pax3Xa]);
+}
+fn fig10b(c: &mut Criterion) {
+    bench_figure(c, "fig10b_q2_vs_size", "Q2", &[Series::Pax3Na, Series::Pax3Xa]);
+}
+fn fig10c(c: &mut Criterion) {
+    bench_figure(c, "fig10c_q3_vs_size", "Q3", &[Series::Pax3Na, Series::Pax2Na, Series::Pax2Xa]);
+}
+fn fig10d(c: &mut Criterion) {
+    bench_figure(c, "fig10d_q4_vs_size", "Q4", &[Series::Pax3Na, Series::Pax2Na]);
+}
+
+criterion_group!(benches, fig10a, fig10b, fig10c, fig10d);
+criterion_main!(benches);

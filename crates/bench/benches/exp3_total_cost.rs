@@ -1,0 +1,56 @@
+//! Criterion bench for Experiment 3 (Fig. 11): **total** computation time
+//! (sum of per-site busy time) vs. cumulative data size.
+//!
+//! Criterion normally measures wall-clock of the benchmarked closure; here
+//! `iter_custom` feeds it the summed per-site busy time reported by the
+//! simulator, which is the quantity Fig. 11 plots.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paxml_bench::{paper_query, run, Series};
+use paxml_xmark::ft2;
+use std::time::Duration;
+
+const SEED: u64 = 42;
+const SITES: usize = 10;
+const SIZES: [f64; 2] = [2.0, 4.0];
+
+fn bench_total(c: &mut Criterion, name: &str, query_name: &str, series_list: &[Series]) {
+    let mut group = c.benchmark_group(name);
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    for &vmb in &SIZES {
+        let (_, fragmented) = ft2(vmb, SEED);
+        for &series in series_list {
+            group.bench_with_input(
+                BenchmarkId::new(series.label(), format!("{vmb}vMB")),
+                &vmb,
+                |b, _| {
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for _ in 0..iters {
+                            let report = run(series, &fragmented, SITES, paper_query(query_name));
+                            total += report.total_computation_time();
+                        }
+                        total.max(Duration::from_nanos(1))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn fig11a(c: &mut Criterion) {
+    bench_total(c, "fig11a_q1_total_cost", "Q1", &[Series::Pax3Na, Series::Pax3Xa]);
+}
+fn fig11b(c: &mut Criterion) {
+    bench_total(c, "fig11b_q2_total_cost", "Q2", &[Series::Pax3Na, Series::Pax3Xa]);
+}
+fn fig11c(c: &mut Criterion) {
+    bench_total(c, "fig11c_q3_total_cost", "Q3", &[Series::Pax3Na, Series::Pax2Na, Series::Pax2Xa]);
+}
+fn fig11d(c: &mut Criterion) {
+    bench_total(c, "fig11d_q4_total_cost", "Q4", &[Series::Pax3Na, Series::Pax2Na]);
+}
+
+criterion_group!(benches, fig11a, fig11b, fig11c, fig11d);
+criterion_main!(benches);

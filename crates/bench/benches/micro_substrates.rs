@@ -1,0 +1,61 @@
+//! Micro-benchmarks of the substrates: XML parsing, query compilation,
+//! centralized evaluation, the bottom-up qualifier pass and the naive
+//! baseline. Useful for tracking regressions that the figure-level benches
+//! would only show indirectly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paxml_bench::{paper_query, run, Series};
+use paxml_xmark::{clientele_document, ft1, XmarkConfig, XmarkGenerator};
+use paxml_xpath::{centralized, compile_text};
+use std::time::Duration;
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group.sample_size(20).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+}
+
+fn xml_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_xml");
+    configure(&mut group);
+    let tree = XmarkGenerator::new(XmarkConfig { vmb_per_site: 1.0, ..Default::default() }).generate();
+    let text = paxml_xml::to_string(&tree);
+    group.bench_function("serialize_1vmb", |b| b.iter(|| paxml_xml::to_string(&tree)));
+    group.bench_function("parse_1vmb", |b| b.iter(|| paxml_xml::parse(&text).unwrap()));
+    group.finish();
+}
+
+fn query_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_xpath");
+    configure(&mut group);
+    group.bench_function("compile_q3", |b| b.iter(|| compile_text(paper_query("Q3")).unwrap()));
+    let clientele = clientele_document();
+    group.bench_function("centralized_clientele_q", |b| {
+        b.iter(|| {
+            centralized::evaluate(
+                &clientele,
+                "client[country/text()='US']/broker[market/name/text()='NASDAQ']/name",
+            )
+            .unwrap()
+        })
+    });
+    let tree = XmarkGenerator::new(XmarkConfig { vmb_per_site: 1.0, ..Default::default() }).generate();
+    group.bench_function("centralized_q3_1vmb", |b| {
+        b.iter(|| centralized::evaluate(&tree, paper_query("Q3")).unwrap())
+    });
+    group.finish();
+}
+
+fn distributed_single_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_distributed");
+    configure(&mut group);
+    let (_, fragmented) = ft1(4, 1.0, 7);
+    group.bench_function("pax2_q3_4_fragments", |b| {
+        b.iter(|| run(Series::Pax2Na, &fragmented, 4, paper_query("Q3")))
+    });
+    group.bench_function("naive_q3_4_fragments", |b| {
+        b.iter(|| run(Series::Naive, &fragmented, 4, paper_query("Q3")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, xml_parse, query_compile, distributed_single_query);
+criterion_main!(benches);

@@ -1,0 +1,221 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p paxml-bench --release --bin experiments -- all
+//! cargo run -p paxml-bench --release --bin experiments -- exp1 [--scale S]
+//! cargo run -p paxml-bench --release --bin experiments -- exp2 [--scale S]
+//! cargo run -p paxml-bench --release --bin experiments -- exp3 [--scale S]
+//! cargo run -p paxml-bench --release --bin experiments -- queries
+//! cargo run -p paxml-bench --release --bin experiments -- topologies
+//! ```
+//!
+//! `--scale S` multiplies every data size (default 1.0; the default maps the
+//! paper's 100 MB to 5 virtual MB ≈ 12,500 nodes). Output is an aligned
+//! table followed by a CSV block per figure.
+
+use paxml_bench::{experiment1, experiment2, format_csv, format_table, Point, Series};
+use paxml_fragment::FragmentId;
+use paxml_xmark::{clientele_fragmentation, ft1, ft2, PAPER_QUERIES};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("all");
+    let scale = parse_flag(&args, "--scale").unwrap_or(1.0);
+    let seed = parse_flag(&args, "--seed").map(|s| s as u64).unwrap_or(42);
+
+    match command {
+        "queries" => queries(),
+        "topologies" => topologies(scale, seed),
+        "exp1" => exp1(scale, seed),
+        "exp2" => exp2(scale, seed),
+        "exp3" => exp3(scale, seed),
+        "traffic" => traffic(scale, seed),
+        "all" => {
+            queries();
+            topologies(scale, seed);
+            exp1(scale, seed);
+            exp2(scale, seed);
+            exp3(scale, seed);
+            traffic(scale, seed);
+        }
+        other => {
+            eprintln!(
+                "unknown command {other:?}; expected queries|topologies|exp1|exp2|exp3|traffic|all"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_flag(args: &[String], name: &str) -> Option<f64> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+}
+
+/// Fig. 7: the experiment queries.
+fn queries() {
+    println!("# Figure 7 — experiment queries");
+    for (name, text) in PAPER_QUERIES {
+        let compiled = paxml_xpath::compile_text(text).unwrap();
+        println!(
+            "{name}: {text}\n      selection path: {}   |SVect|={} |QVect|={} qualifiers={} descendant-axis={}",
+            compiled.selection_path,
+            compiled.svect_len(),
+            compiled.qvect_len(),
+            compiled.has_qualifiers(),
+            compiled.selection_has_descendant(),
+        );
+    }
+    println!();
+}
+
+/// Fig. 8 (plus the running example): the fragment-tree topologies.
+fn topologies(scale: f64, seed: u64) {
+    println!("# Figure 8 — fragment trees");
+
+    let (_, clientele) = clientele_fragmentation();
+    println!("Running example (Fig. 2/6): {} fragments", clientele.fragment_count());
+    print_ft(&clientele);
+
+    let (_, ft1_frag) = ft1(5, 5.0 * scale, seed);
+    println!("FT1 with 5 fragments ({} vMB total):", 5.0 * scale);
+    print_ft(&ft1_frag);
+
+    let (_, ft2_frag) = ft2(5.0 * scale, seed);
+    println!("FT2 ({} vMB total):", 5.0 * scale);
+    print_ft(&ft2_frag);
+    println!();
+}
+
+fn print_ft(fragmented: &paxml_fragment::FragmentedTree) {
+    let ft = &fragmented.fragment_tree;
+    for &id in ft.ids() {
+        let fragment = fragmented.fragment(id).unwrap();
+        let parent = ft
+            .parent(id)
+            .map(|p| p.to_string())
+            .unwrap_or_else(|| "-".to_string());
+        let annotation = ft
+            .annotation(id)
+            .map(|a| a.to_string())
+            .unwrap_or_else(|| "(root)".to_string());
+        println!(
+            "  {id}: parent={parent:<3} root=<{}> nodes={:<6} annotation={annotation}",
+            fragment.root_label,
+            fragment.size(),
+        );
+    }
+    let _ = FragmentId::ROOT;
+}
+
+/// Experiment 1 / Fig. 9.
+fn exp1(scale: f64, seed: u64) {
+    let total_vmb = 5.0 * scale; // the paper's constant 100 MB
+    let points = experiment1(total_vmb, 10, seed);
+    let fig9a: Vec<Point> = points.iter().filter(|p| p.query == "Q1").cloned().collect();
+    let fig9b: Vec<Point> = points.iter().filter(|p| p.query == "Q4").cloned().collect();
+    println!(
+        "{}",
+        format_table(
+            &format!("Figure 9(a) — Q1 evaluation time vs fragmentation ({total_vmb} vMB total)"),
+            &fig9a,
+            "fragments"
+        )
+    );
+    println!("{}", format_csv(&fig9a, "fragments"));
+    println!(
+        "{}",
+        format_table(
+            &format!("Figure 9(b) — Q4 evaluation time vs fragmentation ({total_vmb} vMB total)"),
+            &fig9b,
+            "fragments"
+        )
+    );
+    println!("{}", format_csv(&fig9b, "fragments"));
+}
+
+/// Experiment 2 / Fig. 10.
+fn exp2(scale: f64, seed: u64) {
+    let points = experiment2(5.0 * scale, 14.0 * scale, 10, seed);
+    for (figure, query, series) in [
+        ("Figure 10(a)", "Q1", vec![Series::Pax3Na, Series::Pax3Xa]),
+        ("Figure 10(b)", "Q2", vec![Series::Pax3Na, Series::Pax3Xa]),
+        ("Figure 10(c)", "Q3", vec![Series::Pax3Na, Series::Pax2Na, Series::Pax2Xa]),
+        ("Figure 10(d)", "Q4", vec![Series::Pax3Na, Series::Pax2Na]),
+    ] {
+        let subset: Vec<Point> = points
+            .iter()
+            .filter(|p| p.query == query && series.contains(&p.series))
+            .cloned()
+            .collect();
+        println!(
+            "{}",
+            format_table(
+                &format!("{figure} — {query} parallel evaluation time vs data size"),
+                &subset,
+                "vMB"
+            )
+        );
+        println!("{}", format_csv(&subset, "vMB"));
+    }
+}
+
+/// The §3.4 communication-cost analysis as a table: network bytes of the
+/// partial-evaluation algorithms vs. the ship-everything baseline as the
+/// data grows. The partial-evaluation rows must stay essentially flat (they
+/// grow only with the answer set), the naive row must grow linearly with the
+/// document.
+fn traffic(scale: f64, seed: u64) {
+    use paxml_bench::run;
+    use paxml_xmark::ft1;
+
+    println!("# Section 3.4 — network traffic vs data size (FT1, 8 fragments, query Q1)");
+    println!(
+        "{:<8} {:>10} {:>14} {:>14} {:>14} {:>10}",
+        "vMB", "nodes", "PaX2 bytes", "PaX3 bytes", "Naive bytes", "answers"
+    );
+    for step in 1..=5 {
+        let vmb = scale * step as f64;
+        let (tree, fragmented) = ft1(8, vmb, seed);
+        let q1 = paxml_bench::paper_query("Q1");
+        let pax2 = run(Series::Pax2Na, &fragmented, 8, q1);
+        let pax3 = run(Series::Pax3Na, &fragmented, 8, q1);
+        let naive = run(Series::Naive, &fragmented, 8, q1);
+        println!(
+            "{:<8.2} {:>10} {:>14} {:>14} {:>14} {:>10}",
+            vmb,
+            tree.node_count(),
+            pax2.network_bytes(),
+            pax3.network_bytes(),
+            naive.network_bytes(),
+            pax2.answers.len(),
+        );
+    }
+    println!();
+}
+
+/// Experiment 3 / Fig. 11 — same sweep, total computation time is the metric
+/// of interest (the `total(ms)` column).
+fn exp3(scale: f64, seed: u64) {
+    let points = experiment2(5.0 * scale, 14.0 * scale, 10, seed);
+    for (figure, query, series) in [
+        ("Figure 11(a)", "Q1", vec![Series::Pax3Na, Series::Pax3Xa]),
+        ("Figure 11(b)", "Q2", vec![Series::Pax3Na, Series::Pax3Xa]),
+        ("Figure 11(c)", "Q3", vec![Series::Pax3Na, Series::Pax2Na, Series::Pax2Xa]),
+        ("Figure 11(d)", "Q4", vec![Series::Pax3Na, Series::Pax2Na]),
+    ] {
+        let subset: Vec<Point> = points
+            .iter()
+            .filter(|p| p.query == query && series.contains(&p.series))
+            .cloned()
+            .collect();
+        println!(
+            "{}",
+            format_table(
+                &format!("{figure} — {query} total computation time vs data size"),
+                &subset,
+                "vMB"
+            )
+        );
+        println!("{}", format_csv(&subset, "vMB"));
+    }
+}

@@ -1,0 +1,333 @@
+//! # paxml-bench — regenerating the paper's experimental study
+//!
+//! Three experiment drivers mirror §6 of the paper:
+//!
+//! * [`experiment1`] — evaluation time vs. number of fragments/machines
+//!   (Fig. 9), FT1 topology, constant cumulative data size;
+//! * [`experiment2`] — evaluation (parallel) time vs. cumulative data size
+//!   (Fig. 10), FT2 topology, queries Q1–Q4;
+//! * [`experiment3`] — *total* computation time vs. cumulative data size
+//!   (Fig. 11), same runs as Experiment 2 but summing per-site busy time.
+//!
+//! Sizes are expressed in virtual megabytes (see `paxml-xmark`); by default
+//! the experiments use `1 vMB ≙ 20 paper-MB` so the paper's 100–280 MB
+//! x-axis becomes 5–14 vMB and a full sweep runs in seconds. The *shape* of
+//! every curve is what is being reproduced, not 2007 wall-clock numbers.
+//!
+//! The `experiments` binary prints each figure as an aligned table and a CSV
+//! block; the Criterion benches in `benches/` cover the same grid for
+//! statistically robust timing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use paxml_core::{naive, pax2, pax3, Deployment, EvalOptions, EvaluationReport};
+use paxml_distsim::Placement;
+use paxml_fragment::FragmentedTree;
+use paxml_xmark::{ft1, ft2, PAPER_QUERIES};
+use std::time::Duration;
+
+/// Which algorithm/optimization combination a series describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Series {
+    /// PaX3 without annotations.
+    Pax3Na,
+    /// PaX3 with XPath annotations.
+    Pax3Xa,
+    /// PaX2 without annotations.
+    Pax2Na,
+    /// PaX2 with XPath annotations.
+    Pax2Xa,
+    /// The ship-everything baseline.
+    Naive,
+}
+
+impl Series {
+    /// Label used in tables/CSV (matches the paper's legend).
+    pub fn label(self) -> &'static str {
+        match self {
+            Series::Pax3Na => "PaX3-NA",
+            Series::Pax3Xa => "PaX3-XA",
+            Series::Pax2Na => "PaX2-NA",
+            Series::Pax2Xa => "PaX2-XA",
+            Series::Naive => "Naive",
+        }
+    }
+
+    /// All partial-evaluation series.
+    pub fn pax_series() -> [Series; 4] {
+        [Series::Pax3Na, Series::Pax3Xa, Series::Pax2Na, Series::Pax2Xa]
+    }
+}
+
+/// Run one algorithm/optimization combination over a fresh deployment of the
+/// given fragmented document.
+pub fn run(
+    series: Series,
+    fragmented: &FragmentedTree,
+    sites: usize,
+    query: &str,
+) -> EvaluationReport {
+    let mut deployment = Deployment::new(fragmented, sites, Placement::RoundRobin);
+    match series {
+        Series::Pax3Na => {
+            pax3::evaluate(&mut deployment, query, &EvalOptions::without_annotations()).unwrap()
+        }
+        Series::Pax3Xa => {
+            pax3::evaluate(&mut deployment, query, &EvalOptions::with_annotations()).unwrap()
+        }
+        Series::Pax2Na => {
+            pax2::evaluate(&mut deployment, query, &EvalOptions::without_annotations()).unwrap()
+        }
+        Series::Pax2Xa => {
+            pax2::evaluate(&mut deployment, query, &EvalOptions::with_annotations()).unwrap()
+        }
+        Series::Naive => naive::evaluate(&mut deployment, query).unwrap(),
+    }
+}
+
+/// One measured point of an experiment.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Query name (Q1–Q4).
+    pub query: &'static str,
+    /// Series (algorithm + optimization).
+    pub series: Series,
+    /// X coordinate: fragment count (Experiment 1) or cumulative vMB
+    /// (Experiments 2/3).
+    pub x: f64,
+    /// Parallel (perceived) evaluation time.
+    pub parallel: Duration,
+    /// Total computation time summed over the sites.
+    pub total: Duration,
+    /// Total network traffic in bytes.
+    pub bytes: u64,
+    /// Deterministic parallel cost model (max per-site ops, summed over rounds).
+    pub parallel_ops: u64,
+    /// Deterministic total cost model (ops summed over all sites and rounds).
+    pub total_ops: u64,
+    /// Maximum visits any site received.
+    pub max_visits: u32,
+    /// Number of answers (sanity/selectivity check).
+    pub answers: usize,
+    /// Fragments that actually participated.
+    pub fragments_evaluated: usize,
+}
+
+fn measure(
+    query_name: &'static str,
+    series: Series,
+    fragmented: &FragmentedTree,
+    sites: usize,
+    query: &str,
+    x: f64,
+) -> Point {
+    let report = run(series, fragmented, sites, query);
+    Point {
+        query: query_name,
+        series,
+        x,
+        parallel: report.parallel_time(),
+        total: report.total_computation_time(),
+        bytes: report.network_bytes(),
+        parallel_ops: report.parallel_ops(),
+        total_ops: report.total_ops(),
+        max_visits: report.max_visits_per_site(),
+        answers: report.answers.len(),
+        fragments_evaluated: report.fragments_evaluated,
+    }
+}
+
+/// Look up one of the paper's queries (Fig. 7) by name (`"Q1"`…`"Q4"`).
+pub fn paper_query(name: &str) -> &'static str {
+    PAPER_QUERIES
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, q)| *q)
+        .unwrap_or_else(|| panic!("unknown paper query {name}"))
+}
+
+/// Experiment 1 (Fig. 9): fix the cumulative data size, vary the number of
+/// fragments/machines from 1 to `max_fragments`, and measure Q1 (no
+/// qualifiers) for PaX3-NA/PaX3-XA and Q4 (qualifiers + `//`) for
+/// PaX3-NA/PaX2-NA.
+pub fn experiment1(total_vmb: f64, max_fragments: usize, seed: u64) -> Vec<Point> {
+    let mut points = Vec::new();
+    for k in 1..=max_fragments.max(1) {
+        let (_, fragmented) = ft1(k, total_vmb, seed);
+        let sites = k;
+        for series in [Series::Pax3Na, Series::Pax3Xa] {
+            points.push(measure("Q1", series, &fragmented, sites, paper_query("Q1"), k as f64));
+        }
+        for series in [Series::Pax3Na, Series::Pax2Na] {
+            points.push(measure("Q4", series, &fragmented, sites, paper_query("Q4"), k as f64));
+        }
+    }
+    points
+}
+
+/// Experiment 2 (Fig. 10): FT2 topology on 10 sites, cumulative size swept
+/// from `start_vmb` to `end_vmb` in `steps` steps; every query of Fig. 7 is
+/// measured for the series the corresponding sub-figure plots.
+pub fn experiment2(start_vmb: f64, end_vmb: f64, steps: usize, seed: u64) -> Vec<Point> {
+    let mut points = Vec::new();
+    let steps = steps.max(2);
+    for i in 0..steps {
+        let vmb = start_vmb + (end_vmb - start_vmb) * i as f64 / (steps - 1) as f64;
+        let (_, fragmented) = ft2(vmb, seed);
+        let sites = 10;
+        // Fig. 10(a)/(b): Q1 and Q2, PaX3-NA vs PaX3-XA.
+        for (query_name, series) in [
+            ("Q1", Series::Pax3Na),
+            ("Q1", Series::Pax3Xa),
+            ("Q2", Series::Pax3Na),
+            ("Q2", Series::Pax3Xa),
+            // Fig. 10(c): Q3, PaX3-NA vs PaX2-NA vs PaX2-XA.
+            ("Q3", Series::Pax3Na),
+            ("Q3", Series::Pax2Na),
+            ("Q3", Series::Pax2Xa),
+            // Fig. 10(d): Q4, PaX3-NA vs PaX2-NA.
+            ("Q4", Series::Pax3Na),
+            ("Q4", Series::Pax2Na),
+        ] {
+            points.push(measure(query_name, series, &fragmented, sites, paper_query(query_name), vmb));
+        }
+    }
+    points
+}
+
+/// Experiment 3 (Fig. 11) uses exactly the same runs as Experiment 2 but
+/// reports the *total* computation time; callers can therefore reuse the
+/// points of [`experiment2`] — this function simply re-runs the sweep for
+/// callers that want an independent measurement.
+pub fn experiment3(start_vmb: f64, end_vmb: f64, steps: usize, seed: u64) -> Vec<Point> {
+    experiment2(start_vmb, end_vmb, steps, seed)
+}
+
+/// Format a set of points as an aligned table, one row per (query, series, x).
+pub fn format_table(title: &str, points: &[Point], x_label: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {title}\n"));
+    out.push_str(&format!(
+        "{:<4} {:<9} {:>10} {:>14} {:>14} {:>13} {:>13} {:>10} {:>7} {:>8} {:>10}\n",
+        "qry", "series", x_label, "parallel(ms)", "total(ms)", "parallel(ops)", "total(ops)", "bytes", "visits", "answers", "fragments"
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "{:<4} {:<9} {:>10.2} {:>14.3} {:>14.3} {:>13} {:>13} {:>10} {:>7} {:>8} {:>10}\n",
+            p.query,
+            p.series.label(),
+            p.x,
+            p.parallel.as_secs_f64() * 1e3,
+            p.total.as_secs_f64() * 1e3,
+            p.parallel_ops,
+            p.total_ops,
+            p.bytes,
+            p.max_visits,
+            p.answers,
+            p.fragments_evaluated,
+        ));
+    }
+    out
+}
+
+/// Format a set of points as CSV (for plotting).
+pub fn format_csv(points: &[Point], x_label: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "query,series,{x_label},parallel_ms,total_ms,parallel_ops,total_ops,bytes,max_visits,answers,fragments_evaluated\n"
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{}\n",
+            p.query,
+            p.series.label(),
+            p.x,
+            p.parallel.as_secs_f64() * 1e3,
+            p.total.as_secs_f64() * 1e3,
+            p.parallel_ops,
+            p.total_ops,
+            p.bytes,
+            p.max_visits,
+            p.answers,
+            p.fragments_evaluated,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_query_lookup() {
+        assert!(paper_query("Q1").contains("people/person"));
+        assert!(paper_query("Q2").contains("annotation"));
+        assert!(paper_query("Q3").contains("creditcard"));
+        assert!(paper_query("Q4").contains("//people"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown paper query")]
+    fn unknown_query_panics() {
+        paper_query("Q9");
+    }
+
+    #[test]
+    fn experiment1_produces_the_expected_grid() {
+        let points = experiment1(0.4, 3, 7);
+        // 3 fragment counts × (2 series for Q1 + 2 series for Q4).
+        assert_eq!(points.len(), 12);
+        for p in &points {
+            assert!(p.max_visits <= 3);
+            if p.query == "Q1" {
+                assert!(p.answers > 0, "Q1 must select persons");
+            }
+        }
+        // All series agree on the answer count for a given query and x.
+        for k in 1..=3 {
+            let q1: Vec<&Point> =
+                points.iter().filter(|p| p.query == "Q1" && p.x == k as f64).collect();
+            assert!(q1.windows(2).all(|w| w[0].answers == w[1].answers));
+        }
+        let table = format_table("experiment 1", &points, "fragments");
+        assert!(table.contains("PaX3-XA"));
+        let csv = format_csv(&points, "fragments");
+        assert_eq!(csv.lines().count(), 13);
+    }
+
+    #[test]
+    fn experiment2_covers_all_four_queries() {
+        let points = experiment2(0.4, 0.8, 2, 7);
+        assert_eq!(points.len(), 18);
+        for q in ["Q1", "Q2", "Q3", "Q4"] {
+            assert!(points.iter().any(|p| p.query == q));
+        }
+        // Same-query points at the same size agree on answers across series.
+        for q in ["Q1", "Q2", "Q3", "Q4"] {
+            let xs: Vec<f64> = points.iter().filter(|p| p.query == q).map(|p| p.x).collect();
+            for &x in &xs {
+                let answers: Vec<usize> = points
+                    .iter()
+                    .filter(|p| p.query == q && p.x == x)
+                    .map(|p| p.answers)
+                    .collect();
+                assert!(answers.windows(2).all(|w| w[0] == w[1]), "answer mismatch for {q} at {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn annotations_reduce_work_for_q1_on_ft2() {
+        let points = experiment2(0.6, 0.6, 2, 3);
+        let na: Vec<&Point> =
+            points.iter().filter(|p| p.query == "Q1" && p.series == Series::Pax3Na).collect();
+        let xa: Vec<&Point> =
+            points.iter().filter(|p| p.query == "Q1" && p.series == Series::Pax3Xa).collect();
+        assert!(!na.is_empty() && !xa.is_empty());
+        // The XA run touches fewer fragments (the regions / auctions
+        // sub-fragments are pruned), hence less total work.
+        assert!(xa[0].fragments_evaluated < na[0].fragments_evaluated);
+    }
+}

@@ -1,0 +1,45 @@
+//! # paxml-boolex — residual Boolean formulas for partial evaluation
+//!
+//! Partial evaluation of an XPath query over a single fragment of a
+//! distributed XML tree cannot always decide a truth value: the parts of the
+//! tree held by other sites are missing and are represented by *virtual
+//! nodes*. The paper (§3.1) handles this by introducing **Boolean variables**
+//! for every unknown vector entry at every virtual node, and letting the
+//! value of a qualifier or selection-path entry be a **Boolean formula** over
+//! those variables — the *residual function* of partial evaluation.
+//!
+//! This crate provides that formula language:
+//!
+//! * [`BoolExpr<V>`] — formulas with constants, variables of a user-chosen
+//!   type `V`, negation, conjunction and disjunction, built through
+//!   simplifying smart constructors so that fully-known sub-results collapse
+//!   to constants immediately (this is what keeps the vectors shipped between
+//!   sites of size `O(|Q|)`).
+//! * [`Assignment`] / [`Substitution`] — environments mapping variables to
+//!   truth values or to other formulas, used by `evalFT` when unifying the
+//!   variables of a parent fragment with the vectors received from its
+//!   sub-fragments.
+//! * [`FormulaVector`] — a fixed-length vector of formulas: the `QV`/`QCV`/
+//!   `QDV`/`SV` vectors of the paper.
+//!
+//! ```
+//! use paxml_boolex::{BoolExpr, Assignment};
+//!
+//! // (x8 ∧ true) ∨ ¬x8  — variables here are just strings.
+//! let x8: BoolExpr<String> = BoolExpr::var("x8".to_string());
+//! let f = BoolExpr::or(BoolExpr::and(x8.clone(), BoolExpr::constant(true)), BoolExpr::not(x8));
+//! let mut env = Assignment::new();
+//! env.set("x8".to_string(), false);
+//! assert_eq!(f.eval(&env), Some(true));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod env;
+mod expr;
+mod vector;
+
+pub use env::{Assignment, Substitution};
+pub use expr::BoolExpr;
+pub use vector::FormulaVector;

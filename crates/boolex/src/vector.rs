@@ -1,0 +1,209 @@
+//! Fixed-length vectors of formulas — the `QV`, `QCV`, `QDV` and `SV`
+//! vectors that the paper attaches to tree nodes and ships between sites.
+
+use crate::env::{Assignment, Substitution};
+use crate::expr::BoolExpr;
+use serde::{Deserialize, Serialize};
+use std::hash::Hash;
+use std::ops::Index;
+
+/// A vector of Boolean formulas with one entry per (sub-)query of `QVect(Q)`
+/// or `SVect(Q)`.
+///
+/// The length is fixed at construction time — it is always `O(|Q|)`, which is
+/// what makes per-fragment messages independent of the data size.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FormulaVector<V: Ord> {
+    entries: Vec<BoolExpr<V>>,
+}
+
+impl<V: Clone + Eq + Ord + Hash> FormulaVector<V> {
+    /// A vector of `len` entries, all `false` (the paper's initial value for
+    /// every vector entry).
+    pub fn all_false(len: usize) -> Self {
+        FormulaVector { entries: vec![BoolExpr::Const(false); len] }
+    }
+
+    /// A vector of `len` entries, all `true`.
+    pub fn all_true(len: usize) -> Self {
+        FormulaVector { entries: vec![BoolExpr::Const(true); len] }
+    }
+
+    /// A vector of fresh variables produced by `fresh(i)` for entry `i` —
+    /// exactly what the paper does for each virtual node ("we introduce
+    /// fresh variables since we do not know the value for any of the entries
+    /// in the vector", Example 3.1).
+    pub fn fresh_variables(len: usize, fresh: impl Fn(usize) -> V) -> Self {
+        FormulaVector { entries: (0..len).map(|i| BoolExpr::Var(fresh(i))).collect() }
+    }
+
+    /// Build from explicit entries.
+    pub fn from_entries(entries: Vec<BoolExpr<V>>) -> Self {
+        FormulaVector { entries }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the vector empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Borrow an entry.
+    pub fn get(&self, index: usize) -> &BoolExpr<V> {
+        &self.entries[index]
+    }
+
+    /// The last entry — the paper repeatedly consults
+    /// `SVv(|SVect(Q)|)` to decide whether a node is an answer.
+    pub fn last(&self) -> &BoolExpr<V> {
+        self.entries.last().expect("formula vectors are never empty when consulted")
+    }
+
+    /// Overwrite an entry.
+    pub fn set(&mut self, index: usize, value: BoolExpr<V>) {
+        self.entries[index] = value;
+    }
+
+    /// Iterate over the entries.
+    pub fn iter(&self) -> impl Iterator<Item = &BoolExpr<V>> {
+        self.entries.iter()
+    }
+
+    /// Are all entries constants (no residual variables)?
+    pub fn is_fully_resolved(&self) -> bool {
+        self.entries.iter().all(|e| e.as_const().is_some())
+    }
+
+    /// If fully resolved, the vector of plain booleans.
+    pub fn as_bools(&self) -> Option<Vec<bool>> {
+        self.entries.iter().map(BoolExpr::as_const).collect()
+    }
+
+    /// Apply a truth-value assignment to every entry.
+    pub fn assign(&self, env: &Assignment<V>) -> Self {
+        FormulaVector { entries: self.entries.iter().map(|e| e.assign(env)).collect() }
+    }
+
+    /// Apply a formula substitution to every entry.
+    pub fn substitute(&self, env: &Substitution<V>) -> Self {
+        FormulaVector { entries: self.entries.iter().map(|e| e.substitute(env)).collect() }
+    }
+
+    /// Total syntactic size of all entries (used to check the communication
+    /// bound: vectors shipped to the coordinator stay `O(|Q|)`).
+    pub fn total_size(&self) -> usize {
+        self.entries.iter().map(BoolExpr::size).sum()
+    }
+
+    /// All variables mentioned anywhere in the vector.
+    pub fn variables(&self) -> std::collections::BTreeSet<V> {
+        let mut out = std::collections::BTreeSet::new();
+        for e in &self.entries {
+            out.extend(e.variables());
+        }
+        out
+    }
+
+    /// Build the substitution `{ fresh(i) ↦ entries[i] }` that unifies the
+    /// fresh variables introduced for a virtual node with the actual vector
+    /// computed at the root of the corresponding sub-fragment — the heart of
+    /// the paper's `evalFT` procedure.
+    pub fn unifier(&self, fresh: impl Fn(usize) -> V) -> Substitution<V> {
+        let mut sub = Substitution::new();
+        for (i, entry) in self.entries.iter().enumerate() {
+            sub.set(fresh(i), entry.clone());
+        }
+        sub
+    }
+}
+
+impl<V: Clone + Eq + Ord + Hash> Index<usize> for FormulaVector<V> {
+    type Output = BoolExpr<V>;
+    fn index(&self, index: usize) -> &BoolExpr<V> {
+        &self.entries[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type E = BoolExpr<String>;
+
+    fn var(name: &str) -> E {
+        BoolExpr::var(name.to_string())
+    }
+
+    #[test]
+    fn constructors_and_accessors() {
+        let v: FormulaVector<String> = FormulaVector::all_false(3);
+        assert_eq!(v.len(), 3);
+        assert!(!v.is_empty());
+        assert!(v.is_fully_resolved());
+        assert_eq!(v.as_bools(), Some(vec![false, false, false]));
+        assert!(v.last().is_false());
+
+        let t: FormulaVector<String> = FormulaVector::all_true(2);
+        assert_eq!(t.as_bools(), Some(vec![true, true]));
+    }
+
+    #[test]
+    fn fresh_variables_mirror_the_papers_virtual_node_vectors() {
+        let v = FormulaVector::fresh_variables(4, |i| format!("x{}", i + 1));
+        assert_eq!(v.len(), 4);
+        assert!(!v.is_fully_resolved());
+        assert_eq!(v[0], var("x1"));
+        assert_eq!(v[3], var("x4"));
+        assert_eq!(v.variables().len(), 4);
+    }
+
+    #[test]
+    fn set_get_and_index() {
+        let mut v: FormulaVector<String> = FormulaVector::all_false(2);
+        v.set(1, var("a"));
+        assert_eq!(*v.get(1), var("a"));
+        assert_eq!(v[0], E::constant(false));
+        let collected: Vec<_> = v.iter().cloned().collect();
+        assert_eq!(collected, vec![E::constant(false), var("a")]);
+    }
+
+    #[test]
+    fn assign_resolves_variables() {
+        let mut v: FormulaVector<String> = FormulaVector::all_false(3);
+        v.set(0, var("x1"));
+        v.set(2, BoolExpr::and(var("x1"), var("x2")));
+        let mut env = Assignment::new();
+        env.set("x1".to_string(), true);
+        let w = v.assign(&env);
+        assert_eq!(w[0], E::constant(true));
+        assert_eq!(w[2], var("x2"));
+        env.set("x2".to_string(), false);
+        let z = v.assign(&env);
+        assert!(z.is_fully_resolved());
+        assert_eq!(z.as_bools(), Some(vec![true, false, false]));
+    }
+
+    #[test]
+    fn unifier_matches_example_3_2() {
+        // Fragment F2's root vector QV_market has entry q8 = true; fragment
+        // F1 introduced variables y1..y9 for virtual node F2. The unifier
+        // must map y8 ↦ true so that q9 in QV_broker becomes true.
+        let mut qv_market: FormulaVector<String> = FormulaVector::all_false(9);
+        qv_market.set(7, E::constant(true)); // q8 is true
+        let sub = qv_market.unifier(|i| format!("y{}", i + 1));
+        let qv_broker_entry_q9 = var("y8");
+        assert_eq!(qv_broker_entry_q9.substitute(&sub), E::constant(true));
+        // And an entry depending on a still-false value stays false.
+        assert_eq!(var("y1").substitute(&sub), E::constant(false));
+    }
+
+    #[test]
+    fn total_size_is_linear_in_entries_for_constant_vectors() {
+        let v: FormulaVector<String> = FormulaVector::all_false(10);
+        assert_eq!(v.total_size(), 10);
+    }
+}

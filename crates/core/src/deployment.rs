@@ -1,0 +1,130 @@
+//! A deployment: the simulated cluster plus the coordinator-side metadata
+//! (the fragment tree and its annotations).
+//!
+//! The coordinator (query site `S_Q`) knows the fragment tree `FT` — which
+//! fragment is a sub-fragment of which, where each fragment lives, and the
+//! optional XPath annotations — but never the fragment *data*; all data
+//! access goes through the messaging layer so that traffic and visits are
+//! accounted faithfully.
+
+use paxml_distsim::{Cluster, Placement, SiteId};
+use paxml_fragment::{FragmentId, FragmentTree, FragmentedTree};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// A simulated deployment of one fragmented document over a set of sites.
+pub struct Deployment {
+    /// The simulated sites and their statistics.
+    pub cluster: Cluster,
+    /// The fragment tree (coordinator metadata).
+    pub fragment_tree: FragmentTree,
+    /// Label of the original tree's root element (stored in the root
+    /// fragment; needed by the annotation analysis).
+    pub root_label: String,
+    /// Cumulative number of real nodes across all fragments.
+    pub total_nodes: usize,
+}
+
+impl Deployment {
+    /// Deploy a fragmented tree over `site_count` sites.
+    pub fn new(fragmented: &FragmentedTree, site_count: usize, placement: Placement) -> Self {
+        Deployment {
+            cluster: Cluster::new(fragmented, site_count, placement),
+            fragment_tree: fragmented.fragment_tree.clone(),
+            root_label: fragmented.root_fragment().root_label.clone(),
+            total_nodes: fragmented.total_real_nodes(),
+        }
+    }
+
+    /// Deploy with an explicit fragment→site assignment.
+    pub fn with_assignment(
+        fragmented: &FragmentedTree,
+        site_count: usize,
+        assignment: BTreeMap<FragmentId, SiteId>,
+    ) -> Self {
+        Deployment {
+            cluster: Cluster::with_assignment(fragmented, site_count, assignment),
+            fragment_tree: fragmented.fragment_tree.clone(),
+            root_label: fragmented.root_fragment().root_label.clone(),
+            total_nodes: fragmented.total_real_nodes(),
+        }
+    }
+
+    /// Deploy every fragment onto one site (degenerate baseline).
+    pub fn single_site(fragmented: &FragmentedTree) -> Self {
+        Self::new(fragmented, 1, Placement::SingleSite)
+    }
+
+    /// Charge a fixed latency per coordinator round (simulated network RTT).
+    pub fn with_round_latency(mut self, latency: Duration) -> Self {
+        self.cluster.round_latency = latency;
+        self
+    }
+
+    /// Run rounds sequentially (deterministic) instead of thread-per-site.
+    pub fn sequential(mut self) -> Self {
+        self.cluster.sequential = true;
+        self
+    }
+
+    /// Number of fragments in the deployment.
+    pub fn fragment_count(&self) -> usize {
+        self.fragment_tree.len()
+    }
+
+    /// Group a set of fragments by the site that stores them.
+    pub fn group_by_site(
+        &self,
+        fragments: impl IntoIterator<Item = FragmentId>,
+    ) -> BTreeMap<SiteId, Vec<FragmentId>> {
+        let mut out: BTreeMap<SiteId, Vec<FragmentId>> = BTreeMap::new();
+        for f in fragments {
+            out.entry(self.cluster.site_of(f)).or_default().push(f);
+        }
+        out
+    }
+
+    /// Reset statistics and per-site scratch state between query runs.
+    pub fn reset(&mut self) {
+        self.cluster.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paxml_fragment::strategy::cut_children_of_root;
+    use paxml_xml::TreeBuilder;
+
+    fn fragmented() -> FragmentedTree {
+        let tree = TreeBuilder::new("sites")
+            .open("site").leaf("a", "1").close()
+            .open("site").leaf("a", "2").close()
+            .open("site").leaf("a", "3").close()
+            .build();
+        cut_children_of_root(&tree).unwrap()
+    }
+
+    #[test]
+    fn deployment_exposes_metadata() {
+        let f = fragmented();
+        let d = Deployment::new(&f, 2, Placement::RoundRobin);
+        assert_eq!(d.fragment_count(), 4);
+        assert_eq!(d.root_label, "sites");
+        assert_eq!(d.total_nodes, f.total_real_nodes());
+        let groups = d.group_by_site(vec![FragmentId(0), FragmentId(1), FragmentId(2)]);
+        assert_eq!(groups[&SiteId(0)], vec![FragmentId(0), FragmentId(2)]);
+        assert_eq!(groups[&SiteId(1)], vec![FragmentId(1)]);
+    }
+
+    #[test]
+    fn builder_style_options() {
+        let f = fragmented();
+        let d = Deployment::single_site(&f)
+            .with_round_latency(Duration::from_millis(1))
+            .sequential();
+        assert_eq!(d.cluster.site_count(), 1);
+        assert!(d.cluster.sequential);
+        assert_eq!(d.cluster.round_latency, Duration::from_millis(1));
+    }
+}

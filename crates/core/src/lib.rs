@@ -1,0 +1,423 @@
+//! # paxml-core — the algorithms of "Distributed Query Evaluation with Performance Guarantees"
+//!
+//! This crate implements the paper's contribution on top of the workspace
+//! substrates:
+//!
+//! | Module | Paper section | What it does |
+//! |--------|---------------|--------------|
+//! | [`pax3`] | §3 | The three-stage partial-evaluation algorithm (≤ 3 visits/site). |
+//! | [`pax2`] | §4 | The two-stage algorithm (≤ 2 visits/site). |
+//! | [`prune`] | §5 | The XPath-annotation optimization (fragment pruning + exact stack initialization). |
+//! | [`naive`] | §3 | The NaiveCentralized ship-everything baseline. |
+//! | [`protocol`] / [`unify`] | §3.1–3.3 | The coordinator↔site messages, the per-site tasks, and the `evalFT` unification procedures. |
+//!
+//! ```
+//! use paxml_core::{pax2, Deployment, EvalOptions};
+//! use paxml_distsim::Placement;
+//! use paxml_fragment::strategy::cut_at_labels;
+//! use paxml_xml::TreeBuilder;
+//!
+//! // A tiny clientele document, fragmented at every broker, spread over 3 sites.
+//! let tree = TreeBuilder::new("clientele")
+//!     .open("client").leaf("country", "US")
+//!         .open("broker").leaf("name", "E*trade").close()
+//!     .close()
+//!     .open("client").leaf("country", "Canada")
+//!         .open("broker").leaf("name", "CIBC").close()
+//!     .close()
+//!     .build();
+//! let fragmented = cut_at_labels(&tree, &["broker"]).unwrap();
+//! let mut deployment = Deployment::new(&fragmented, 3, Placement::RoundRobin);
+//!
+//! let report = pax2::evaluate(
+//!     &mut deployment,
+//!     "client[country/text()='US']/broker/name",
+//!     &EvalOptions::default(),
+//! ).unwrap();
+//! assert_eq!(report.answer_texts(), vec!["E*trade".to_string()]);
+//! assert!(report.max_visits_per_site() <= 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod deployment;
+pub mod naive;
+pub mod pax2;
+pub mod pax3;
+pub mod prune;
+pub mod protocol;
+mod report;
+pub mod unify;
+mod vars;
+
+pub use deployment::Deployment;
+pub use report::{answer_item, Algorithm, AnswerItem, EvaluationReport};
+pub use vars::{PaxVar, QualVecKind};
+
+/// Options shared by the distributed algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvalOptions {
+    /// Use the XPath-annotation optimization of §5 (the "XA" curves of the
+    /// experimental study). Off by default ("NA").
+    pub use_annotations: bool,
+}
+
+impl EvalOptions {
+    /// The "NA" configuration (no annotations).
+    pub fn without_annotations() -> Self {
+        EvalOptions { use_annotations: false }
+    }
+
+    /// The "XA" configuration (annotations enabled).
+    pub fn with_annotations() -> Self {
+        EvalOptions { use_annotations: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paxml_distsim::Placement;
+    use paxml_fragment::{fragment_at, strategy, FragmentedTree};
+    use paxml_xml::{NodeId, TreeBuilder, XmlTree};
+    use paxml_xpath::centralized;
+
+    /// The Fig. 1 clientele document.
+    fn clientele() -> XmlTree {
+        TreeBuilder::new("clientele")
+            .open("client")
+            .leaf("name", "Anna")
+            .leaf("country", "US")
+            .open("broker")
+            .leaf("name", "E*trade")
+            .open("market")
+            .leaf("name", "NYSE")
+            .open("stock").leaf("code", "IBM").leaf("buy", "$80").leaf("qt", "50").close()
+            .close()
+            .open("market")
+            .leaf("name", "NASDAQ")
+            .open("stock").leaf("code", "YHOO").leaf("buy", "$33").leaf("qt", "40").close()
+            .open("stock").leaf("code", "GOOG").leaf("buy", "$374").leaf("qt", "75").close()
+            .close()
+            .close()
+            .close()
+            .open("client")
+            .leaf("name", "Kim")
+            .leaf("country", "US")
+            .open("broker")
+            .leaf("name", "Bache")
+            .open("market")
+            .leaf("name", "NASDAQ")
+            .open("stock").leaf("code", "GOOG").leaf("buy", "$370").leaf("qt", "40").close()
+            .close()
+            .close()
+            .close()
+            .open("client")
+            .leaf("name", "Lisa")
+            .leaf("country", "Canada")
+            .open("broker")
+            .leaf("name", "CIBC")
+            .open("market")
+            .leaf("name", "TSE")
+            .open("stock").leaf("code", "GOOG").leaf("buy", "$382").leaf("qt", "90").close()
+            .close()
+            .close()
+            .close()
+            .build()
+    }
+
+    /// The Fig. 1 fragmentation (five fragments).
+    fn fig1_fragmentation(tree: &XmlTree) -> FragmentedTree {
+        let brokers = tree.find_all("broker");
+        let markets = tree.find_all("market");
+        let clients = tree.find_all("client");
+        fragment_at(tree, &[brokers[0], markets[1], clients[2], markets[2]]).unwrap()
+    }
+
+    /// Queries exercising every feature of the class X.
+    fn query_battery() -> Vec<&'static str> {
+        vec![
+            "client/name",
+            "client/broker/name",
+            "/clientele/client/country",
+            "//name",
+            "//market/name",
+            "//stock/code",
+            "client//code",
+            "client[country/text()='US']/broker[market/name/text()='NASDAQ']/name",
+            "client[not(country/text()='US')]/name",
+            "//stock[buy/val() > 380]/code",
+            "//stock[qt >= 50]/code",
+            "//broker[//stock/code/text()='GOOG']/name",
+            "//broker[//stock/code/text()='GOOG' and not(//stock/code/text()='YHOO')]/name",
+            "client[broker[market/name/text()='TSE']]/name",
+            "*/*/name",
+            ".[//code/text()='GOOG']",
+            "client[country/text()='US' or country/text()='Canada']/name",
+            "//*[code/text()='GOOG']/buy",
+            "nonexistent/path",
+            "/wrongroot/client/name",
+            "//clientele/client/name",
+        ]
+    }
+
+    /// Reference answers from the centralized evaluator on the original tree.
+    fn reference(tree: &XmlTree, query: &str) -> Vec<NodeId> {
+        let mut a = centralized::evaluate(tree, query).unwrap().answers;
+        a.sort();
+        a
+    }
+
+    fn check_all_algorithms(tree: &XmlTree, fragmented: &FragmentedTree, sites: usize) {
+        for query in query_battery() {
+            let expected = reference(tree, query);
+            for use_annotations in [false, true] {
+                let options = EvalOptions { use_annotations };
+                let mut d = Deployment::new(fragmented, sites, Placement::RoundRobin);
+                let p3 = pax3::evaluate(&mut d, query, &options).unwrap();
+                assert_eq!(
+                    p3.answer_origins(),
+                    expected,
+                    "PaX3 (XA={use_annotations}) disagrees on {query}"
+                );
+                assert!(
+                    p3.max_visits_per_site() <= 3,
+                    "PaX3 visited a site more than 3 times on {query}"
+                );
+
+                let mut d = Deployment::new(fragmented, sites, Placement::RoundRobin);
+                let p2 = pax2::evaluate(&mut d, query, &options).unwrap();
+                assert_eq!(
+                    p2.answer_origins(),
+                    expected,
+                    "PaX2 (XA={use_annotations}) disagrees on {query}"
+                );
+                assert!(
+                    p2.max_visits_per_site() <= 2,
+                    "PaX2 visited a site more than 2 times on {query}"
+                );
+            }
+            let mut d = Deployment::new(fragmented, sites, Placement::RoundRobin);
+            let naive = naive::evaluate(&mut d, query).unwrap();
+            assert_eq!(naive.answer_origins(), expected, "Naive disagrees on {query}");
+            assert_eq!(naive.max_visits_per_site(), 1);
+        }
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_the_fig1_fragmentation() {
+        let tree = clientele();
+        let fragmented = fig1_fragmentation(&tree);
+        check_all_algorithms(&tree, &fragmented, 4);
+    }
+
+    #[test]
+    fn all_algorithms_agree_when_every_client_is_a_fragment() {
+        let tree = clientele();
+        let fragmented = strategy::cut_at_labels(&tree, &["client"]).unwrap();
+        check_all_algorithms(&tree, &fragmented, 3);
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_a_deep_fragmentation() {
+        let tree = clientele();
+        let fragmented = strategy::cut_at_labels(&tree, &["broker", "market", "stock"]).unwrap();
+        check_all_algorithms(&tree, &fragmented, 5);
+    }
+
+    #[test]
+    fn all_algorithms_agree_without_fragmentation() {
+        let tree = clientele();
+        let fragmented = fragment_at(&tree, &[]).unwrap();
+        check_all_algorithms(&tree, &fragmented, 1);
+    }
+
+    #[test]
+    fn all_algorithms_agree_when_all_fragments_share_one_site() {
+        let tree = clientele();
+        let fragmented = fig1_fragmentation(&tree);
+        for query in ["client/name", "//broker[//stock/code/text()='GOOG']/name"] {
+            let expected = reference(&tree, query);
+            let mut d = Deployment::new(&fragmented, 1, Placement::SingleSite);
+            let p3 = pax3::evaluate(&mut d, query, &EvalOptions::default()).unwrap();
+            assert_eq!(p3.answer_origins(), expected);
+            assert!(p3.max_visits_per_site() <= 3);
+            let mut d = Deployment::new(&fragmented, 1, Placement::SingleSite);
+            let p2 = pax2::evaluate(&mut d, query, &EvalOptions::default()).unwrap();
+            assert_eq!(p2.answer_origins(), expected);
+            assert!(p2.max_visits_per_site() <= 2);
+        }
+    }
+
+    #[test]
+    fn qualifier_free_queries_need_fewer_visits() {
+        let tree = clientele();
+        let fragmented = fig1_fragmentation(&tree);
+
+        // PaX3 without annotations: Stage 1 skipped => 2 visits.
+        let mut d = Deployment::new(&fragmented, 4, Placement::RoundRobin);
+        let report = pax3::evaluate(&mut d, "client/broker/name", &EvalOptions::default()).unwrap();
+        assert_eq!(report.max_visits_per_site(), 2);
+
+        // PaX3 with annotations: exact init vectors => Stage 3 skipped => 1 visit.
+        let mut d = Deployment::new(&fragmented, 4, Placement::RoundRobin);
+        let report =
+            pax3::evaluate(&mut d, "client/broker/name", &EvalOptions::with_annotations()).unwrap();
+        assert_eq!(report.max_visits_per_site(), 1);
+
+        // PaX2 with annotations on a qualifier-free query: a single visit.
+        let mut d = Deployment::new(&fragmented, 4, Placement::RoundRobin);
+        let report =
+            pax2::evaluate(&mut d, "client/broker/name", &EvalOptions::with_annotations()).unwrap();
+        assert_eq!(report.max_visits_per_site(), 1);
+
+        // With qualifiers PaX3 needs all three stages.
+        let mut d = Deployment::new(&fragmented, 4, Placement::RoundRobin);
+        let report = pax3::evaluate(
+            &mut d,
+            "client[country/text()='US']/broker/name",
+            &EvalOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(report.max_visits_per_site(), 3);
+
+        // ... while PaX2 stays at two.
+        let mut d = Deployment::new(&fragmented, 4, Placement::RoundRobin);
+        let report = pax2::evaluate(
+            &mut d,
+            "client[country/text()='US']/broker/name",
+            &EvalOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(report.max_visits_per_site(), 2);
+    }
+
+    #[test]
+    fn annotations_prune_irrelevant_fragments() {
+        let tree = clientele();
+        let fragmented = fig1_fragmentation(&tree);
+        // Example 5.1: client/name only needs the root fragment and the
+        // client fragment.
+        let mut d = Deployment::new(&fragmented, 4, Placement::RoundRobin);
+        let without = pax2::evaluate(&mut d, "client/name", &EvalOptions::default()).unwrap();
+        let mut d = Deployment::new(&fragmented, 4, Placement::RoundRobin);
+        let with = pax2::evaluate(&mut d, "client/name", &EvalOptions::with_annotations()).unwrap();
+        assert_eq!(without.answer_origins(), with.answer_origins());
+        assert_eq!(without.fragments_evaluated, 5);
+        assert_eq!(with.fragments_evaluated, 2);
+        assert!(with.total_ops() < without.total_ops());
+        assert!(with.network_bytes() < without.network_bytes());
+    }
+
+    #[test]
+    fn partial_evaluation_ships_far_less_than_the_naive_baseline() {
+        // On a document whose size dwarfs the query, the naive baseline must
+        // ship ~everything while PaX2's traffic stays O(|Q|·|FT| + |ans|).
+        // Eight large "clientele" fragments of ~660 nodes each.
+        let base = clientele();
+        let clients = base.find_all("client");
+        let mut unit = XmlTree::with_root_element("clientele");
+        let unit_root = unit.root();
+        for _ in 0..10 {
+            for &c in &clients {
+                unit.graft_tree(unit_root, &base, c).unwrap();
+            }
+        }
+        let mut builder = TreeBuilder::new("portfolio");
+        for _ in 0..8 {
+            builder = builder.subtree(&unit);
+        }
+        let tree = builder.build();
+        let fragmented = strategy::cut_at_labels(&tree, &["clientele"]).unwrap();
+        let query = "clientele/client[country/text()='US']/broker[market/name/text()='NASDAQ']/name";
+
+        let mut d = Deployment::new(&fragmented, 8, Placement::RoundRobin);
+        let naive = naive::evaluate(&mut d, query).unwrap();
+        let mut d = Deployment::new(&fragmented, 8, Placement::RoundRobin);
+        let pax = pax2::evaluate(&mut d, query, &EvalOptions::default()).unwrap();
+
+        assert_eq!(naive.answer_origins(), pax.answer_origins());
+        assert_eq!(pax.answers.len(), 8 * 10 * 2); // NASDAQ brokers of US clients
+        assert!(
+            naive.network_bytes() > 3 * pax.network_bytes(),
+            "naive={} pax2={}",
+            naive.network_bytes(),
+            pax.network_bytes()
+        );
+    }
+
+    #[test]
+    fn network_traffic_is_independent_of_irrelevant_data_size() {
+        // Growing the document with data that does not change the answer
+        // must not change PaX2's traffic by more than a constant factor
+        // (the O(|Q|·|FT| + |ans|) bound).
+        let base = clientele();
+        let mut grown_builder = TreeBuilder::new("clientele");
+        for _ in 0..1 {
+            grown_builder = grown_builder.subtree(&base);
+        }
+        // Add many clients in a country that never matches.
+        grown_builder = grown_builder.with(|t, root| {
+            for i in 0..200 {
+                let c = t.append_element(root, "client");
+                t.append_leaf(c, "name", format!("Bot{i}"));
+                t.append_leaf(c, "country", "Nowhere");
+            }
+        });
+        let grown = grown_builder.build();
+
+        let query = "client[country/text()='US']/name";
+        let small_frag = strategy::cut_at_labels(&base, &["client"]).unwrap();
+        let grown_frag = strategy::cut_at_labels(&grown, &["client"]).unwrap();
+
+        let mut d_small = Deployment::new(&small_frag, 4, Placement::RoundRobin);
+        let small_report = pax2::evaluate(&mut d_small, query, &EvalOptions::default()).unwrap();
+        let mut d_grown = Deployment::new(&grown_frag, 4, Placement::RoundRobin);
+        let grown_report = pax2::evaluate(&mut d_grown, query, &EvalOptions::default()).unwrap();
+
+        // Same answers (the US clients of the original subtree), roughly
+        // |FT|-proportional traffic: the grown tree has ~200 more fragments,
+        // so allow that factor but nothing proportional to the ~2000 extra
+        // nodes of data.
+        let per_fragment_small =
+            small_report.network_bytes() as f64 / small_frag.fragment_count() as f64;
+        let per_fragment_grown =
+            grown_report.network_bytes() as f64 / grown_frag.fragment_count() as f64;
+        assert!(
+            per_fragment_grown < per_fragment_small * 3.0,
+            "per-fragment traffic grew with data size: {per_fragment_small:.0} -> {per_fragment_grown:.0}"
+        );
+    }
+
+    #[test]
+    fn reports_expose_cost_meters() {
+        let tree = clientele();
+        let fragmented = fig1_fragmentation(&tree);
+        let mut d = Deployment::new(&fragmented, 4, Placement::RoundRobin);
+        let report = pax3::evaluate(
+            &mut d,
+            "client[country/text()='US']/broker/name",
+            &EvalOptions::default(),
+        )
+        .unwrap();
+        assert!(report.total_ops() > 0);
+        assert!(report.network_bytes() > 0);
+        assert!(report.parallel_time() <= report.total_computation_time().max(report.parallel_time()));
+        assert!(report.summary().contains("PaX3"));
+        assert_eq!(report.fragments_total, 5);
+    }
+
+    #[test]
+    fn sequential_and_parallel_deployments_agree() {
+        let tree = clientele();
+        let fragmented = fig1_fragmentation(&tree);
+        let query = "//broker[//stock/code/text()='GOOG']/name";
+        let mut par = Deployment::new(&fragmented, 4, Placement::RoundRobin);
+        let mut seq = Deployment::new(&fragmented, 4, Placement::RoundRobin).sequential();
+        let a = pax2::evaluate(&mut par, query, &EvalOptions::default()).unwrap();
+        let b = pax2::evaluate(&mut seq, query, &EvalOptions::default()).unwrap();
+        assert_eq!(a.answer_origins(), b.answer_origins());
+        assert_eq!(a.stats.messages, b.stats.messages);
+    }
+}

@@ -1,0 +1,75 @@
+//! The **NaiveCentralized** baseline (§3): ship every fragment to the query
+//! site, reassemble the document, and evaluate the query with the
+//! centralized two-pass algorithm.
+//!
+//! Each site is visited only once, but the network carries the *entire*
+//! document — the behaviour the partial-evaluation algorithms are designed
+//! to avoid. The baseline exists so the benchmarks can show the traffic and
+//! latency gap.
+
+use crate::deployment::Deployment;
+use crate::report::{Algorithm, AnswerItem, EvaluationReport};
+use paxml_fragment::{Fragment, FragmentedTree};
+use paxml_xml::NodeId;
+use paxml_xpath::{centralized, compile_text, CompiledQuery, XPathResult};
+use std::time::Instant;
+
+/// Evaluate `query_text` with the naive ship-everything baseline.
+pub fn evaluate(deployment: &mut Deployment, query_text: &str) -> XPathResult<EvaluationReport> {
+    let query = compile_text(query_text)?;
+    Ok(evaluate_compiled(deployment, &query, query_text))
+}
+
+/// Evaluate an already-compiled query with the naive baseline.
+pub fn evaluate_compiled(
+    deployment: &mut Deployment,
+    query: &CompiledQuery,
+    query_text: &str,
+) -> EvaluationReport {
+    let start = Instant::now();
+
+    // One visit per site: "send me everything you store".
+    let responses = deployment.cluster.broadcast((), |site, _req: ()| -> Vec<Fragment> {
+        // Shipping is charged by the serialized size of the response; the
+        // site does no real computation beyond reading its fragments.
+        site.charge_ops(site.cumulative_size() as u64);
+        site.fragments.values().cloned().collect()
+    });
+
+    // Reassemble the document at the coordinator.
+    let mut fragments: Vec<Fragment> = responses.into_values().flatten().collect();
+    fragments.sort_by_key(|f| f.id);
+    let fragmented = FragmentedTree {
+        fragments,
+        fragment_tree: deployment.fragment_tree.clone(),
+    };
+    let (tree, origin) = paxml_fragment::reassemble_with_origin(&fragmented)
+        .expect("shipping every fragment always yields a consistent document");
+
+    // Evaluate centrally at the coordinator.
+    let result = centralized::evaluate_compiled(&tree, query);
+    let answers: Vec<AnswerItem> = result
+        .answers
+        .iter()
+        .map(|&node| AnswerItem {
+            fragment: paxml_fragment::FragmentId::ROOT,
+            origin: NodeId::from_index(origin[node.index()] as usize),
+            label: tree.label(node).unwrap_or_default().to_string(),
+            text: tree.text_of(node),
+        })
+        .collect();
+    let mut answers = answers;
+    answers.sort();
+
+    EvaluationReport {
+        algorithm: Algorithm::NaiveCentralized,
+        annotations_used: false,
+        query: query_text.to_string(),
+        answers,
+        fragments_evaluated: deployment.fragment_tree.len(),
+        fragments_total: deployment.fragment_tree.len(),
+        stats: deployment.cluster.stats.clone(),
+        coordinator_ops: result.ops,
+        elapsed: start.elapsed(),
+    }
+}

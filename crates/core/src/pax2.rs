@@ -1,0 +1,145 @@
+//! Algorithm **PaX2** (§4): two stages, at most two visits per site.
+//!
+//! PaX2 folds the first two stages of PaX3 into one traversal per fragment:
+//! a pre-order computation of the selection vectors (with placeholder
+//! variables for the still-unknown qualifier values) and a post-order
+//! computation of the qualifier vectors, unified locally once a node's
+//! subtree has been fully visited (Examples 4.1–4.3). One coordinator round
+//! later, the sites learn the truth values of their residual variables and
+//! ship exactly the answer nodes.
+//!
+//! With the XPath-annotation optimization PaX2 additionally restricts the
+//! combined pass to the relevant fragments — unlike PaX3, whose Stage 1 must
+//! still touch every fragment — which is why `PaX2-XA` wins on Q3 in the
+//! paper's Figure 10(c).
+
+use crate::deployment::Deployment;
+use crate::prune::{analyze, AnnotationAnalysis};
+use crate::protocol::{
+    collect_task, combined_task, CollectRequest, CombinedFragmentInput, CombinedRequest,
+    InitVector,
+};
+use crate::report::{Algorithm, AnswerItem, EvaluationReport};
+use crate::unify::{restrict_for_fragment, unify_qualifiers, unify_selection};
+use crate::vars::PaxVar;
+use crate::EvalOptions;
+use paxml_boolex::FormulaVector;
+use paxml_fragment::FragmentId;
+use paxml_xpath::eval::{root_context_vector, QualVectors};
+use paxml_xpath::{compile_text, CompiledQuery, XPathResult};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Evaluate `query_text` over the deployment with PaX2.
+pub fn evaluate(
+    deployment: &mut Deployment,
+    query_text: &str,
+    options: &EvalOptions,
+) -> XPathResult<EvaluationReport> {
+    let query = compile_text(query_text)?;
+    Ok(evaluate_compiled(deployment, &query, query_text, options))
+}
+
+/// Evaluate an already-compiled query with PaX2.
+pub fn evaluate_compiled(
+    deployment: &mut Deployment,
+    query: &CompiledQuery,
+    query_text: &str,
+    options: &EvalOptions,
+) -> EvaluationReport {
+    let start = Instant::now();
+    let ft = deployment.fragment_tree.clone();
+    let analysis = if options.use_annotations {
+        analyze(query, &ft, &deployment.root_label)
+    } else {
+        AnnotationAnalysis::keep_all(&ft)
+    };
+    let mut coordinator_ops: u64 = 0;
+    let mut answers: Vec<AnswerItem> = Vec::new();
+
+    // ------------------------------------------------------- Stage 1 (combined)
+    let root_init: Vec<bool> = root_context_vector::<PaxVar>(query)
+        .as_bools()
+        .expect("the document vector is always constant");
+    let mut requests: BTreeMap<paxml_distsim::SiteId, CombinedRequest> = BTreeMap::new();
+    let mut finals_pending: Vec<FragmentId> = Vec::new();
+    for (&site, fragments) in &deployment.group_by_site(analysis.relevant.iter().copied()) {
+        let mut inputs = BTreeMap::new();
+        for &fragment in fragments {
+            let init = if fragment == FragmentId::ROOT {
+                InitVector::Exact(root_init.clone())
+            } else if let Some(exact) = analysis.exact_init.get(&fragment) {
+                InitVector::Exact(exact.clone())
+            } else {
+                InitVector::Unknown
+            };
+            // Answers are certain after the combined pass only when both the
+            // ancestor summary is exact *and* no qualifier can depend on a
+            // missing sub-fragment — i.e. the query has no qualifiers at all.
+            let collect_now = matches!(init, InitVector::Exact(_)) && !query.has_qualifiers();
+            if !collect_now {
+                finals_pending.push(fragment);
+            }
+            inputs.insert(
+                fragment,
+                CombinedFragmentInput {
+                    init,
+                    root_is_context: fragment == FragmentId::ROOT && !query.absolute,
+                    collect_answers_now: collect_now,
+                },
+            );
+        }
+        requests.insert(site, CombinedRequest { query: query.clone(), fragments: inputs });
+    }
+    let responses = deployment.cluster.round(requests, combined_task);
+    let mut roots: BTreeMap<FragmentId, QualVectors<PaxVar>> = BTreeMap::new();
+    let mut virtuals: BTreeMap<FragmentId, FormulaVector<PaxVar>> = BTreeMap::new();
+    for response in responses.into_values() {
+        roots.extend(response.roots);
+        virtuals.extend(response.virtuals);
+        answers.extend(response.answers);
+    }
+
+    // ------------------------------------------------------------ Coordinator
+    let qual_assignment = if query.has_qualifiers() {
+        coordinator_ops += (ft.len() * query.qvect_len()) as u64;
+        unify_qualifiers(&ft, &roots, query.qvect_len())
+    } else {
+        paxml_boolex::Assignment::new()
+    };
+
+    // ----------------------------------------------------- Stage 2 (collection)
+    if !finals_pending.is_empty() {
+        coordinator_ops += (ft.len() * query.svect_len()) as u64;
+        let sel_assignment = unify_selection(&ft, &virtuals, &root_init, &qual_assignment);
+        let mut requests: BTreeMap<paxml_distsim::SiteId, CollectRequest> = BTreeMap::new();
+        for (&site, fragments) in &deployment.group_by_site(finals_pending.iter().copied()) {
+            let mut per_fragment = BTreeMap::new();
+            for &fragment in fragments {
+                per_fragment.insert(
+                    fragment,
+                    restrict_for_fragment(&sel_assignment, fragment, ft.children(fragment)),
+                );
+            }
+            requests.insert(site, CollectRequest { fragments: per_fragment });
+        }
+        let responses = deployment.cluster.round(requests, collect_task);
+        for response in responses.into_values() {
+            answers.extend(response.answers);
+        }
+    }
+
+    answers.sort();
+    answers.dedup();
+    EvaluationReport {
+        algorithm: Algorithm::PaX2,
+        annotations_used: options.use_annotations,
+        query: query_text.to_string(),
+        answers,
+        fragments_evaluated: analysis.relevant.len(),
+        fragments_total: ft.len(),
+        stats: deployment.cluster.stats.clone(),
+        coordinator_ops,
+        elapsed: start.elapsed(),
+    }
+}

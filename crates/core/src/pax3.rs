@@ -1,0 +1,169 @@
+//! Algorithm **PaX3** (§3): three stages, at most three visits per site.
+//!
+//! * **Stage 1** — every site partially evaluates the qualifiers of the
+//!   query over each of its fragments, bottom-up (the extended ParBoX of
+//!   §3.1), and ships the root `QV`/`QDV` vectors to the coordinator, which
+//!   unifies them over the fragment tree (`evalFT`).
+//! * **Stage 2** — every (relevant) site evaluates the selection path
+//!   top-down over each fragment, with qualifiers now fully known, starting
+//!   from an unknown ancestor summary (fresh variables) unless the fragment
+//!   is the root fragment or the XPath-annotation optimization provides an
+//!   exact summary. Sites ship one vector per virtual node; the coordinator
+//!   unifies them top-down.
+//! * **Stage 3** — sites resolve their candidate answers with the now-known
+//!   ancestor summaries and ship exactly the answer nodes.
+//!
+//! When the query has no qualifiers Stage 1 is skipped; when the
+//! XPath-annotation optimization provides exact ancestor summaries Stage 3
+//! is skipped as well — matching the visit counts measured in Experiment 1.
+
+use crate::deployment::Deployment;
+use crate::prune::{analyze, AnnotationAnalysis};
+use crate::protocol::{
+    collect_task, qualifier_task, selection_task, CollectRequest, InitVector, QualRequest,
+    SelFragmentInput, SelRequest,
+};
+use crate::report::{Algorithm, AnswerItem, EvaluationReport};
+use crate::unify::{restrict_for_fragment, unify_qualifiers, unify_selection};
+use crate::vars::PaxVar;
+use crate::EvalOptions;
+use paxml_boolex::FormulaVector;
+use paxml_fragment::FragmentId;
+use paxml_xpath::eval::{root_context_vector, QualVectors};
+use paxml_xpath::{compile_text, CompiledQuery, XPathResult};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Evaluate `query_text` over the deployment with PaX3.
+pub fn evaluate(
+    deployment: &mut Deployment,
+    query_text: &str,
+    options: &EvalOptions,
+) -> XPathResult<EvaluationReport> {
+    let query = compile_text(query_text)?;
+    Ok(evaluate_compiled(deployment, &query, query_text, options))
+}
+
+/// Evaluate an already-compiled query with PaX3.
+pub fn evaluate_compiled(
+    deployment: &mut Deployment,
+    query: &CompiledQuery,
+    query_text: &str,
+    options: &EvalOptions,
+) -> EvaluationReport {
+    let start = Instant::now();
+    let ft = deployment.fragment_tree.clone();
+    let analysis = if options.use_annotations {
+        analyze(query, &ft, &deployment.root_label)
+    } else {
+        AnnotationAnalysis::keep_all(&ft)
+    };
+    let mut coordinator_ops: u64 = 0;
+    let mut answers: Vec<AnswerItem> = Vec::new();
+
+    // ----------------------------------------------------------------- Stage 1
+    let qual_assignment = if query.has_qualifiers() {
+        let requests = stage1_requests(deployment, query);
+        let responses = deployment.cluster.round(requests, qualifier_task);
+        let mut roots: BTreeMap<FragmentId, QualVectors<PaxVar>> = BTreeMap::new();
+        for response in responses.into_values() {
+            roots.extend(response.roots);
+        }
+        coordinator_ops += (ft.len() * query.qvect_len()) as u64;
+        unify_qualifiers(&ft, &roots, query.qvect_len())
+    } else {
+        paxml_boolex::Assignment::new()
+    };
+
+    // ----------------------------------------------------------------- Stage 2
+    let root_init: Vec<bool> = root_context_vector::<PaxVar>(query)
+        .as_bools()
+        .expect("the document vector is always constant");
+    let mut requests: BTreeMap<paxml_distsim::SiteId, SelRequest> = BTreeMap::new();
+    let mut finals_pending: Vec<FragmentId> = Vec::new();
+    for (&site, fragments) in &deployment.group_by_site(analysis.relevant.iter().copied()) {
+        let mut inputs = BTreeMap::new();
+        for &fragment in fragments {
+            let init = if fragment == FragmentId::ROOT {
+                InitVector::Exact(root_init.clone())
+            } else if let Some(exact) = analysis.exact_init.get(&fragment) {
+                InitVector::Exact(exact.clone())
+            } else {
+                InitVector::Unknown
+            };
+            let exact = matches!(init, InitVector::Exact(_));
+            if !exact {
+                finals_pending.push(fragment);
+            }
+            let qual_values = if query.has_qualifiers() {
+                restrict_for_fragment(&qual_assignment, fragment, ft.children(fragment))
+            } else {
+                Vec::new()
+            };
+            inputs.insert(
+                fragment,
+                SelFragmentInput {
+                    qual_values,
+                    init,
+                    root_is_context: fragment == FragmentId::ROOT && !query.absolute,
+                    collect_answers_now: exact,
+                },
+            );
+        }
+        requests.insert(site, SelRequest { query: query.clone(), fragments: inputs });
+    }
+    let responses = deployment.cluster.round(requests, selection_task);
+    let mut virtuals: BTreeMap<FragmentId, FormulaVector<PaxVar>> = BTreeMap::new();
+    for response in responses.into_values() {
+        virtuals.extend(response.virtuals);
+        answers.extend(response.answers);
+    }
+
+    // ----------------------------------------------------------------- Stage 3
+    if !finals_pending.is_empty() {
+        coordinator_ops += (ft.len() * query.svect_len()) as u64;
+        let sel_assignment = unify_selection(&ft, &virtuals, &root_init, &qual_assignment);
+        let mut requests: BTreeMap<paxml_distsim::SiteId, CollectRequest> = BTreeMap::new();
+        for (&site, fragments) in &deployment.group_by_site(finals_pending.iter().copied()) {
+            let mut per_fragment = BTreeMap::new();
+            for &fragment in fragments {
+                per_fragment
+                    .insert(fragment, restrict_for_fragment(&sel_assignment, fragment, &[]));
+            }
+            requests.insert(site, CollectRequest { fragments: per_fragment });
+        }
+        let responses = deployment.cluster.round(requests, collect_task);
+        for response in responses.into_values() {
+            answers.extend(response.answers);
+        }
+    }
+
+    answers.sort();
+    answers.dedup();
+    EvaluationReport {
+        algorithm: Algorithm::PaX3,
+        annotations_used: options.use_annotations,
+        query: query_text.to_string(),
+        answers,
+        fragments_evaluated: analysis.relevant.len(),
+        fragments_total: ft.len(),
+        stats: deployment.cluster.stats.clone(),
+        coordinator_ops,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Build the Stage-1 requests: every site is asked to evaluate the
+/// qualifiers over *all* of its fragments (the annotation optimization only
+/// kicks in from Stage 2 onward, exactly as in the paper).
+fn stage1_requests(
+    deployment: &Deployment,
+    query: &CompiledQuery,
+) -> BTreeMap<paxml_distsim::SiteId, QualRequest> {
+    let all: Vec<FragmentId> = deployment.fragment_tree.ids().to_vec();
+    deployment
+        .group_by_site(all)
+        .into_iter()
+        .map(|(site, fragments)| (site, QualRequest { query: query.clone(), fragments }))
+        .collect()
+}

@@ -1,0 +1,490 @@
+//! The coordinator ↔ site protocol: message types and the site-side tasks.
+//!
+//! Every request/response type here derives `Serialize` so the simulator can
+//! charge its exact byte size to the network. The site-side task functions
+//! operate on a [`SiteLocal`]'s fragments and scratch state; they are shared
+//! between PaX3 and PaX2.
+
+use crate::report::{answer_item, AnswerItem};
+use crate::unify::{
+    assignment_from_pairs, fresh_qual_vectors, fresh_selection_vector,
+};
+use crate::vars::PaxVar;
+use paxml_boolex::{BoolExpr, FormulaVector};
+use paxml_distsim::SiteLocal;
+use paxml_fragment::FragmentId;
+use paxml_xml::NodeId;
+use paxml_xpath::eval::{
+    combined_pass, qualifier_pass, selection_pass, QualVectors,
+};
+use paxml_xpath::{CompiledQuery, QEntryId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Scratch keys used to keep per-fragment state between visits.
+fn qv_key(f: FragmentId) -> String {
+    format!("qv:{}", f.0)
+}
+fn ans_key(f: FragmentId) -> String {
+    format!("ans:{}", f.0)
+}
+fn cans_key(f: FragmentId) -> String {
+    format!("cans:{}", f.0)
+}
+
+/// How a fragment's top-down pass should initialise its ancestor summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InitVector {
+    /// Concrete truth values (the root fragment, or any fragment when the
+    /// XPath-annotation optimization applies and the query has no
+    /// qualifiers).
+    Exact(Vec<bool>),
+    /// Unknown ancestors: start from fresh `Sel` variables.
+    Unknown,
+}
+
+// ---------------------------------------------------------------------------
+// Stage 1 of PaX3: qualifier evaluation (extended ParBoX).
+// ---------------------------------------------------------------------------
+
+/// Request of the qualifier stage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QualRequest {
+    /// The compiled query (sent to every site — the `O(|Q|·|FT|)` part of
+    /// the communication bound).
+    pub query: CompiledQuery,
+    /// The fragments (stored at the target site) to evaluate.
+    pub fragments: Vec<FragmentId>,
+}
+
+/// Response of the qualifier stage: the root `QV`/`QDV` vectors of every
+/// evaluated fragment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QualResponse {
+    /// Root vectors, possibly containing the variables of the fragment's
+    /// sub-fragments.
+    pub roots: BTreeMap<FragmentId, QualVectors<PaxVar>>,
+}
+
+/// Site-side task of the qualifier stage: one bottom-up pass per fragment,
+/// storing the per-node `QV` vectors locally for the next visit.
+pub fn qualifier_task(site: &mut SiteLocal, request: QualRequest) -> QualResponse {
+    let mut roots = BTreeMap::new();
+    for fragment_id in &request.fragments {
+        // Take the fragment out of the map for the duration of the pass so
+        // the site's scratch state can be updated without aliasing issues
+        // (a move, not a copy — fragment data is never duplicated).
+        let Some(fragment) = site.fragments.remove(fragment_id) else { continue };
+        let qlen = request.query.qvect_len();
+        let out = qualifier_pass::<PaxVar>(&fragment.tree, fragment.tree.root(), &request.query, |vnode| {
+            let child = fragment
+                .tree
+                .kind(vnode)
+                .virtual_fragment()
+                .map(FragmentId)
+                .expect("virtual nodes always carry their fragment id");
+            fresh_qual_vectors(child, qlen)
+        });
+        site.charge_ops(out.ops);
+        roots.insert(*fragment_id, out.root.clone());
+        site.put_scratch(qv_key(*fragment_id), out.node_qv);
+        site.add_fragment(fragment);
+    }
+    QualResponse { roots }
+}
+
+// ---------------------------------------------------------------------------
+// Stage 2 of PaX3: selection-path evaluation.
+// ---------------------------------------------------------------------------
+
+/// Per-fragment input of the selection stage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SelFragmentInput {
+    /// Resolved truth values of the qualifier variables of this fragment's
+    /// sub-fragments (empty when the query has no qualifiers).
+    pub qual_values: Vec<(PaxVar, bool)>,
+    /// How to initialise the ancestor summary.
+    pub init: InitVector,
+    /// Is this fragment's root the evaluation context (the global root
+    /// element of a relative query)?
+    pub root_is_context: bool,
+    /// When true the coordinator already knows that no candidate answers can
+    /// arise (exact init), so certain answers are returned immediately and
+    /// the final stage is skipped for this fragment.
+    pub collect_answers_now: bool,
+}
+
+/// Request of the selection stage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SelRequest {
+    /// The compiled query.
+    pub query: CompiledQuery,
+    /// Inputs per fragment stored at the target site.
+    pub fragments: BTreeMap<FragmentId, SelFragmentInput>,
+}
+
+/// Response of the selection stage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SelResponse {
+    /// For every sub-fragment of every evaluated fragment: the ancestor
+    /// summary recorded at its virtual node.
+    pub virtuals: BTreeMap<FragmentId, FormulaVector<PaxVar>>,
+    /// Answers returned early (only when `collect_answers_now` was set).
+    pub answers: Vec<AnswerItem>,
+}
+
+/// Build the initial vector for a fragment's top-down pass.
+fn build_init(
+    fragment: FragmentId,
+    init: &InitVector,
+    svect_len: usize,
+) -> FormulaVector<PaxVar> {
+    match init {
+        InitVector::Exact(values) => {
+            let mut v = FormulaVector::all_false(svect_len);
+            for (i, &b) in values.iter().enumerate().take(svect_len) {
+                v.set(i, BoolExpr::constant(b));
+            }
+            v
+        }
+        InitVector::Unknown => fresh_selection_vector(fragment, svect_len),
+    }
+}
+
+/// Site-side task of the selection stage (PaX3 Stage 2).
+pub fn selection_task(site: &mut SiteLocal, request: SelRequest) -> SelResponse {
+    let query = &request.query;
+    let mut virtuals = BTreeMap::new();
+    let mut answers = Vec::new();
+    for (fragment_id, input) in &request.fragments {
+        let Some(fragment) = site.fragments.remove(fragment_id) else { continue };
+        let init = build_init(*fragment_id, &input.init, query.svect_len());
+        let context = if input.root_is_context { Some(fragment.tree.root()) } else { None };
+        let qual_assignment = assignment_from_pairs(&input.qual_values);
+        let stored_qv = site
+            .take_scratch::<Vec<Option<FormulaVector<PaxVar>>>>(&qv_key(*fragment_id));
+        let mut qual_value = |v: NodeId, e: QEntryId| -> BoolExpr<PaxVar> {
+            match &stored_qv {
+                Some(qv) => qv[v.index()]
+                    .as_ref()
+                    .map(|vec| vec[e].assign(&qual_assignment))
+                    .unwrap_or_else(|| BoolExpr::constant(false)),
+                None => BoolExpr::constant(false),
+            }
+        };
+        let out = selection_pass::<PaxVar>(
+            &fragment.tree,
+            fragment.tree.root(),
+            query,
+            init,
+            context,
+            &mut qual_value,
+        );
+        site.charge_ops(out.ops);
+
+        for (vnode, vector) in out.virtual_vectors {
+            let child = fragment
+                .tree
+                .kind(vnode)
+                .virtual_fragment()
+                .map(FragmentId)
+                .expect("virtual nodes carry their fragment id");
+            virtuals.insert(child, vector);
+        }
+
+        if input.collect_answers_now {
+            debug_assert!(out.candidates.is_empty(), "exact init vectors never produce candidates");
+            for node in &out.answers {
+                answers.push(answer_item(
+                    *fragment_id,
+                    &fragment.tree,
+                    *node,
+                    fragment.origin_of(*node),
+                ));
+            }
+        } else {
+            site.put_scratch(ans_key(*fragment_id), out.answers);
+            site.put_scratch(cans_key(*fragment_id), out.candidates);
+        }
+        site.add_fragment(fragment);
+    }
+    SelResponse { virtuals, answers }
+}
+
+// ---------------------------------------------------------------------------
+// PaX2: the combined qualifier + selection stage.
+// ---------------------------------------------------------------------------
+
+/// Request of PaX2's combined stage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CombinedRequest {
+    /// The compiled query.
+    pub query: CompiledQuery,
+    /// Inputs per fragment stored at the target site.
+    pub fragments: BTreeMap<FragmentId, CombinedFragmentInput>,
+}
+
+/// Per-fragment input of PaX2's combined stage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CombinedFragmentInput {
+    /// How to initialise the ancestor summary.
+    pub init: InitVector,
+    /// Is this fragment's root the evaluation context?
+    pub root_is_context: bool,
+    /// Return certain answers immediately (exact init, no qualifiers).
+    pub collect_answers_now: bool,
+}
+
+/// Response of PaX2's combined stage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CombinedResponse {
+    /// Root `QV`/`QDV` vectors per evaluated fragment.
+    pub roots: BTreeMap<FragmentId, QualVectors<PaxVar>>,
+    /// Ancestor summaries recorded at the virtual nodes.
+    pub virtuals: BTreeMap<FragmentId, FormulaVector<PaxVar>>,
+    /// Answers returned early.
+    pub answers: Vec<AnswerItem>,
+}
+
+/// Site-side task of PaX2's combined stage: one pre/post-order traversal per
+/// fragment.
+pub fn combined_task(site: &mut SiteLocal, request: CombinedRequest) -> CombinedResponse {
+    let query = &request.query;
+    let mut roots = BTreeMap::new();
+    let mut virtuals = BTreeMap::new();
+    let mut answers = Vec::new();
+    for (fragment_id, input) in &request.fragments {
+        let Some(fragment) = site.fragments.remove(fragment_id) else { continue };
+        let qlen = query.qvect_len();
+        let init = build_init(*fragment_id, &input.init, query.svect_len());
+        let context = if input.root_is_context { Some(fragment.tree.root()) } else { None };
+        let fid = *fragment_id;
+        let out = combined_pass::<PaxVar>(
+            &fragment.tree,
+            fragment.tree.root(),
+            query,
+            init,
+            context,
+            |vnode| {
+                let child = fragment
+                    .tree
+                    .kind(vnode)
+                    .virtual_fragment()
+                    .map(FragmentId)
+                    .expect("virtual nodes carry their fragment id");
+                fresh_qual_vectors(child, qlen)
+            },
+            |node, entry| PaxVar::Local { fragment: fid, node: node.index() as u32, entry: entry as u32 },
+        );
+        site.charge_ops(out.ops);
+
+        roots.insert(fid, out.root.clone());
+        for (vnode, vector) in out.virtual_vectors {
+            let child = fragment
+                .tree
+                .kind(vnode)
+                .virtual_fragment()
+                .map(FragmentId)
+                .expect("virtual nodes carry their fragment id");
+            virtuals.insert(child, vector);
+        }
+
+        if input.collect_answers_now {
+            debug_assert!(out.candidates.is_empty());
+            for node in &out.answers {
+                answers.push(answer_item(fid, &fragment.tree, *node, fragment.origin_of(*node)));
+            }
+        } else {
+            site.put_scratch(ans_key(fid), out.answers);
+            site.put_scratch(cans_key(fid), out.candidates);
+        }
+        site.add_fragment(fragment);
+    }
+    CombinedResponse { roots, virtuals, answers }
+}
+
+// ---------------------------------------------------------------------------
+// Final stage (Stage 3 of PaX3 / Stage 2 of PaX2): answer collection.
+// ---------------------------------------------------------------------------
+
+/// Request of the answer-collection stage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CollectRequest {
+    /// For every fragment at the target site: the resolved truth values of
+    /// the variables its candidate formulas may mention.
+    pub fragments: BTreeMap<FragmentId, Vec<(PaxVar, bool)>>,
+}
+
+/// Response of the answer-collection stage: the answers, exactly those nodes
+/// that belong to the query result (the only tree data ever shipped).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CollectResponse {
+    /// The answer nodes.
+    pub answers: Vec<AnswerItem>,
+}
+
+/// Site-side task of the answer-collection stage (Procedure `collectAns`).
+pub fn collect_task(site: &mut SiteLocal, request: CollectRequest) -> CollectResponse {
+    let mut answers = Vec::new();
+    for (fragment_id, values) in &request.fragments {
+        let Some(fragment) = site.fragments.remove(fragment_id) else { continue };
+        let assignment = assignment_from_pairs(values);
+        let sure: Vec<NodeId> =
+            site.take_scratch::<Vec<NodeId>>(&ans_key(*fragment_id)).unwrap_or_default();
+        let candidates: Vec<(NodeId, BoolExpr<PaxVar>)> = site
+            .take_scratch::<Vec<(NodeId, BoolExpr<PaxVar>)>>(&cans_key(*fragment_id))
+            .unwrap_or_default();
+        site.charge_ops(candidates.len() as u64 + sure.len() as u64);
+        for node in sure {
+            answers.push(answer_item(*fragment_id, &fragment.tree, node, fragment.origin_of(node)));
+        }
+        for (node, formula) in candidates {
+            if formula.assign(&assignment).is_true() {
+                answers.push(answer_item(
+                    *fragment_id,
+                    &fragment.tree,
+                    node,
+                    fragment.origin_of(node),
+                ));
+            }
+        }
+        site.add_fragment(fragment);
+    }
+    CollectResponse { answers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paxml_distsim::SiteId;
+    use paxml_fragment::{fragment_at, Fragment};
+    use paxml_xml::TreeBuilder;
+    use paxml_xpath::compile_text;
+
+    fn one_site_with(fragments: Vec<Fragment>) -> SiteLocal {
+        let mut site = SiteLocal::new(SiteId(0));
+        for f in fragments {
+            site.add_fragment(f);
+        }
+        site
+    }
+
+    fn small_fragmented() -> (paxml_xml::XmlTree, paxml_fragment::FragmentedTree) {
+        let tree = TreeBuilder::new("clientele")
+            .open("client")
+            .leaf("country", "US")
+            .open("broker")
+            .leaf("name", "E*trade")
+            .close()
+            .close()
+            .build();
+        let broker = tree.find_first("broker").unwrap();
+        let fragmented = fragment_at(&tree, &[broker]).unwrap();
+        (tree, fragmented)
+    }
+
+    #[test]
+    fn qualifier_task_stores_scratch_and_returns_roots() {
+        let (_, fragmented) = small_fragmented();
+        let mut site = one_site_with(fragmented.fragments.clone());
+        let query = compile_text("client[country/text()='US']/broker/name").unwrap();
+        let response = qualifier_task(
+            &mut site,
+            QualRequest { query, fragments: vec![FragmentId(0), FragmentId(1)] },
+        );
+        assert_eq!(response.roots.len(), 2);
+        assert!(site.scratch::<Vec<Option<FormulaVector<PaxVar>>>>("qv:0").is_some());
+        assert!(site.scratch::<Vec<Option<FormulaVector<PaxVar>>>>("qv:1").is_some());
+        assert!(site.ops() > 0);
+        // The leaf fragment F1 has no virtual nodes, so its root vectors are
+        // already fully resolved.
+        assert!(response.roots[&FragmentId(1)].qv.is_fully_resolved());
+        assert!(response.roots[&FragmentId(1)].qdv.is_fully_resolved());
+    }
+
+    #[test]
+    fn selection_task_with_exact_init_returns_answers_immediately() {
+        let (_, fragmented) = small_fragmented();
+        let mut site = one_site_with(fragmented.fragments.clone());
+        let query = compile_text("client/broker/name").unwrap();
+        let mut fragments = BTreeMap::new();
+        fragments.insert(
+            FragmentId(1),
+            SelFragmentInput {
+                qual_values: vec![],
+                // The broker fragment's parent (a client under the root) is
+                // matched by prefix 1.
+                init: InitVector::Exact(vec![false, true, false, false]),
+                root_is_context: false,
+                collect_answers_now: true,
+            },
+        );
+        let response = selection_task(&mut site, SelRequest { query, fragments });
+        assert_eq!(response.answers.len(), 1);
+        assert_eq!(response.answers[0].text, Some("E*trade".to_string()));
+        assert!(response.virtuals.is_empty());
+    }
+
+    #[test]
+    fn selection_then_collect_resolves_candidates() {
+        let (_, fragmented) = small_fragmented();
+        let mut site = one_site_with(fragmented.fragments.clone());
+        let query = compile_text("client/broker/name").unwrap();
+        let mut fragments = BTreeMap::new();
+        fragments.insert(
+            FragmentId(1),
+            SelFragmentInput {
+                qual_values: vec![],
+                init: InitVector::Unknown,
+                root_is_context: false,
+                collect_answers_now: false,
+            },
+        );
+        let response = selection_task(&mut site, SelRequest { query, fragments });
+        assert!(response.answers.is_empty());
+        // The name node became a candidate; resolve its z-variable to true.
+        let mut values = BTreeMap::new();
+        values.insert(
+            FragmentId(1),
+            vec![(PaxVar::Sel { fragment: FragmentId(1), entry: 1 }, true)],
+        );
+        let collected = collect_task(&mut site, CollectRequest { fragments: values });
+        assert_eq!(collected.answers.len(), 1);
+        assert_eq!(collected.answers[0].label, "name");
+    }
+
+    #[test]
+    fn combined_task_returns_roots_virtuals_and_stores_candidates() {
+        let (_, fragmented) = small_fragmented();
+        let mut site = one_site_with(fragmented.fragments.clone());
+        let query = compile_text("client[country/text()='US']/broker/name").unwrap();
+        let mut fragments = BTreeMap::new();
+        fragments.insert(
+            FragmentId(0),
+            CombinedFragmentInput {
+                init: InitVector::Exact(vec![false; query.svect_len()]),
+                root_is_context: true,
+                collect_answers_now: false,
+            },
+        );
+        fragments.insert(
+            FragmentId(1),
+            CombinedFragmentInput {
+                init: InitVector::Unknown,
+                root_is_context: false,
+                collect_answers_now: false,
+            },
+        );
+        let response = combined_task(&mut site, CombinedRequest { query, fragments });
+        assert_eq!(response.roots.len(), 2);
+        // The root fragment records an ancestor summary for its virtual node F1.
+        assert!(response.virtuals.contains_key(&FragmentId(1)));
+        // No local placeholder variables may leak into the wire format.
+        for vectors in response.roots.values() {
+            assert!(vectors.qv.variables().iter().all(|v| !v.is_local()));
+        }
+        for vector in response.virtuals.values() {
+            assert!(vector.variables().iter().all(|v| !v.is_local()));
+        }
+    }
+}

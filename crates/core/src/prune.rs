@@ -1,0 +1,310 @@
+//! The XPath-annotation optimization of §5.
+//!
+//! The fragment tree `FT` carries, on every edge, the label path connecting
+//! the two fragment roots in the original tree. Before evaluating the
+//! selection path (Stage 2 of PaX3, Stage 1 of PaX2), the coordinator walks
+//! those annotations to decide
+//!
+//! 1. **which fragments are relevant** — a fragment that can neither contain
+//!    answer nodes nor contribute to the qualifier of a potentially-matching
+//!    node is skipped entirely (Example 5.1: for `client/name`, fragments
+//!    `F1`, `F2`, `F3` of the running example are ruled out);
+//! 2. **the exact initial stack vector** of every relevant fragment when the
+//!    query has *no qualifiers*: the annotation describes the ancestors of
+//!    the fragment root precisely, so the top-down pass can start from
+//!    concrete truth values instead of variables, every answer is certain,
+//!    and the final answer-collection visit can be merged into the same
+//!    round (this is why `PaX3-XA` needs one visit fewer for Q1 in Fig. 9).
+
+use paxml_fragment::{FragmentId, FragmentTree};
+use paxml_xpath::{CompiledQuery, SelItem};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Outcome of analysing the annotated fragment tree for one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnotationAnalysis {
+    /// Fragments that must participate in the selection evaluation.
+    pub relevant: BTreeSet<FragmentId>,
+    /// When the query has no qualifiers: the exact initial `SV` vector
+    /// (ancestor summary) of every fragment, derived purely from the
+    /// annotations. Empty when the query has qualifiers, in which case the
+    /// fragments start from variables as usual.
+    pub exact_init: BTreeMap<FragmentId, Vec<bool>>,
+    /// True when candidate answers cannot arise (exact init vectors are
+    /// available), so the dedicated answer-collection stage can be skipped.
+    pub can_skip_final_stage: bool,
+}
+
+impl AnnotationAnalysis {
+    /// The trivial analysis that keeps every fragment and knows nothing —
+    /// what the algorithms use when annotations are disabled ("NA" curves).
+    pub fn keep_all(ft: &FragmentTree) -> Self {
+        AnnotationAnalysis {
+            relevant: ft.ids().iter().copied().collect(),
+            exact_init: BTreeMap::new(),
+            can_skip_final_stage: false,
+        }
+    }
+}
+
+/// Analyse the annotated fragment tree for `query`. `root_label` is the
+/// label of the original tree's root element (stored in the root fragment).
+pub fn analyze(query: &CompiledQuery, ft: &FragmentTree, root_label: &str) -> AnnotationAnalysis {
+    let mut relevant: BTreeSet<FragmentId> = BTreeSet::new();
+    let mut exact_init: BTreeMap<FragmentId, Vec<bool>> = BTreeMap::new();
+    let no_qualifiers = !query.has_qualifiers();
+
+    // Selection items that carry qualifiers: position j means the qualifier
+    // applies to nodes matched by prefix j (SVect entry j).
+    let qualifier_positions: Vec<usize> = query
+        .sel_items
+        .iter()
+        .enumerate()
+        .filter_map(|(idx, item)| match item {
+            SelItem::SelfQualifier(_) => Some(idx), // applies to prefix `idx` (entry idx)
+            _ => None,
+        })
+        .collect();
+
+    relevant.insert(FragmentId::ROOT);
+    if no_qualifiers {
+        exact_init.insert(FragmentId::ROOT, document_vector(query));
+    }
+
+    for &fragment in ft.ids() {
+        if fragment == FragmentId::ROOT {
+            continue;
+        }
+        // The chain of labels from the root element down to this fragment's
+        // root (both inclusive).
+        let mut chain: Vec<String> = vec![root_label.to_string()];
+        chain.extend(ft.annotation_from_root(fragment).steps().iter().cloned());
+
+        let vectors = chain_vectors(query, &chain);
+        let at_root_of_fragment = vectors.last().expect("chain is never empty");
+
+        // (a) The fragment may contain answer nodes: some prefix of the
+        //     selection path is (optimistically) matched at its root, so a
+        //     completion inside the fragment is possible.
+        let may_contain_answers = at_root_of_fragment.iter().any(|&b| b);
+
+        // (b) The fragment may contribute to a qualifier of a node above it:
+        //     some ancestor on the chain (any chain position) optimistically
+        //     matches a qualifier-bearing prefix; the qualifier looks
+        //     downward, i.e. possibly into this fragment.
+        let may_feed_a_qualifier = qualifier_positions.iter().any(|&pos| {
+            vectors.iter().any(|sv| sv[pos])
+        });
+
+        if may_contain_answers || may_feed_a_qualifier {
+            relevant.insert(fragment);
+            if no_qualifiers {
+                // The exact ancestor summary of the fragment root is the SV
+                // vector of its parent: the second-to-last chain vector.
+                let parent_vector = if vectors.len() >= 2 {
+                    vectors[vectors.len() - 2].clone()
+                } else {
+                    document_vector(query)
+                };
+                exact_init.insert(fragment, parent_vector);
+            }
+        }
+    }
+
+    AnnotationAnalysis { relevant, exact_init, can_skip_final_stage: no_qualifiers }
+}
+
+/// The `SV` vector of the implicit document node, as plain booleans.
+fn document_vector(query: &CompiledQuery) -> Vec<bool> {
+    let mut sv = vec![false; query.svect_len()];
+    if query.absolute {
+        sv[0] = true;
+        for (idx, item) in query.sel_items.iter().enumerate() {
+            match item {
+                SelItem::DescendantOrSelf => sv[idx + 1] = sv[idx],
+                _ => break,
+            }
+        }
+    }
+    sv
+}
+
+/// Optimistic `SV` vectors along a label chain starting at the root element.
+/// Qualifier items are assumed true (we cannot evaluate them from labels
+/// alone), which is exactly what keeps the pruning sound; when the query has
+/// no qualifiers the vectors are exact.
+fn chain_vectors(query: &CompiledQuery, chain: &[String]) -> Vec<Vec<bool>> {
+    let slen = query.svect_len();
+    let mut vectors: Vec<Vec<bool>> = Vec::with_capacity(chain.len());
+    let mut parent = document_vector(query);
+    for (depth, label) in chain.iter().enumerate() {
+        let mut sv = vec![false; slen];
+        // Entry 0: the context marker — true at the root element for
+        // relative queries.
+        sv[0] = !query.absolute && depth == 0;
+        for (idx, item) in query.sel_items.iter().enumerate() {
+            let i = idx + 1;
+            sv[i] = match item {
+                SelItem::Label(l) => parent[i - 1] && l == label,
+                SelItem::Wildcard => parent[i - 1],
+                SelItem::DescendantOrSelf => parent[i] || sv[i - 1],
+                SelItem::SelfQualifier(_) => sv[i - 1], // optimistic
+            };
+        }
+        vectors.push(sv.clone());
+        parent = sv;
+    }
+    vectors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paxml_xml::LabelPath;
+    use paxml_xpath::compile_text;
+
+    /// The annotated fragment tree of Fig. 6 (running example).
+    fn fig6() -> FragmentTree {
+        let mut ft = FragmentTree::new();
+        ft.add_child(FragmentId(0), FragmentId(1), LabelPath::parse("client/broker"));
+        ft.add_child(FragmentId(1), FragmentId(2), LabelPath::parse("market"));
+        ft.add_child(FragmentId(0), FragmentId(3), LabelPath::parse("client"));
+        ft.add_child(FragmentId(0), FragmentId(4), LabelPath::parse("client/broker/market"));
+        ft
+    }
+
+    #[test]
+    fn example_5_1_prunes_the_expected_fragments() {
+        // Query client/name over Fig. 6: F0 and the client fragment are
+        // relevant; the broker and market fragments are ruled out.
+        let q = compile_text("client/name").unwrap();
+        let a = analyze(&q, &fig6(), "clientele");
+        assert!(a.relevant.contains(&FragmentId(0)));
+        assert!(a.relevant.contains(&FragmentId(3)));
+        assert!(!a.relevant.contains(&FragmentId(1)));
+        assert!(!a.relevant.contains(&FragmentId(2)));
+        assert!(!a.relevant.contains(&FragmentId(4)));
+        assert!(a.can_skip_final_stage);
+        // The client fragment's exact init vector marks "the parent is the
+        // context" (its parent is the clientele root), so its own `client`
+        // step can match.
+        let init = &a.exact_init[&FragmentId(3)];
+        assert!(init[0]);
+        assert!(!init[1]);
+    }
+
+    #[test]
+    fn broker_query_keeps_broker_chain_only() {
+        let q = compile_text("client/broker/name").unwrap();
+        let a = analyze(&q, &fig6(), "clientele");
+        assert!(a.relevant.contains(&FragmentId(1))); // broker fragment: may hold name answers
+        assert!(!a.relevant.contains(&FragmentId(2))); // market fragment cannot
+        assert!(!a.relevant.contains(&FragmentId(4)));
+        assert!(a.relevant.contains(&FragmentId(3))); // client fragment may contain broker/name inside
+        let init_f1 = &a.exact_init[&FragmentId(1)];
+        // Parent of F1's root is a client node matched by prefix 1.
+        assert!(init_f1[1]);
+        assert!(!init_f1[2]);
+    }
+
+    #[test]
+    fn descendant_query_keeps_everything() {
+        let q = compile_text("//name").unwrap();
+        let a = analyze(&q, &fig6(), "clientele");
+        for f in 0..5 {
+            assert!(a.relevant.contains(&FragmentId(f)), "F{f} must stay relevant under //");
+        }
+    }
+
+    #[test]
+    fn qualifier_queries_keep_fragments_that_feed_the_qualifier() {
+        // The qualifier sits on client; the market fragment (below a broker
+        // below a client) can influence it even though it cannot contain
+        // answers, so it must stay.
+        let q = compile_text("client[broker/market/name/text()='NASDAQ']/name").unwrap();
+        let a = analyze(&q, &fig6(), "clientele");
+        assert!(a.relevant.contains(&FragmentId(1)));
+        assert!(a.relevant.contains(&FragmentId(2)));
+        assert!(a.relevant.contains(&FragmentId(3)));
+        assert!(a.relevant.contains(&FragmentId(4)));
+        assert!(!a.can_skip_final_stage);
+        assert!(a.exact_init.is_empty());
+    }
+
+    #[test]
+    fn wrong_root_label_prunes_everything_but_the_root_fragment() {
+        let q = compile_text("/portfolio/client/name").unwrap();
+        let a = analyze(&q, &fig6(), "clientele");
+        assert_eq!(a.relevant.len(), 1);
+        assert!(a.relevant.contains(&FragmentId(0)));
+    }
+
+    #[test]
+    fn xmark_q1_over_ft2_like_tree_prunes_deep_fragments() {
+        // FT2 of Fig. 8: sub-fragments rooted at regions / open_auctions /
+        // closed_auctions cannot contain /sites/site/people/person answers.
+        let mut ft = FragmentTree::new();
+        ft.add_child(FragmentId(0), FragmentId(1), LabelPath::parse("site"));
+        ft.add_child(FragmentId(0), FragmentId(2), LabelPath::parse("site"));
+        ft.add_child(FragmentId(0), FragmentId(3), LabelPath::parse("site"));
+        ft.add_child(FragmentId(1), FragmentId(4), LabelPath::parse("regions"));
+        ft.add_child(FragmentId(1), FragmentId(5), LabelPath::parse("open_auctions"));
+        ft.add_child(FragmentId(2), FragmentId(6), LabelPath::parse("regions"));
+        ft.add_child(FragmentId(2), FragmentId(7), LabelPath::parse("closed_auctions"));
+
+        let q1 = compile_text("/sites/site/people/person").unwrap();
+        let a = analyze(&q1, &ft, "sites");
+        assert!(a.relevant.contains(&FragmentId(1)));
+        assert!(a.relevant.contains(&FragmentId(2)));
+        assert!(a.relevant.contains(&FragmentId(3)));
+        assert!(!a.relevant.contains(&FragmentId(4)));
+        assert!(!a.relevant.contains(&FragmentId(5)));
+        assert!(!a.relevant.contains(&FragmentId(6)));
+        assert!(!a.relevant.contains(&FragmentId(7)));
+
+        // Q2 = /sites/site/open_auctions//annotation keeps the open_auctions
+        // fragments but still prunes regions/closed_auctions (the paper's
+        // point that `//` after a matching prefix does not kill pruning).
+        let q2 = compile_text("/sites/site/open_auctions//annotation").unwrap();
+        let a = analyze(&q2, &ft, "sites");
+        assert!(a.relevant.contains(&FragmentId(5)));
+        assert!(!a.relevant.contains(&FragmentId(4)));
+        assert!(!a.relevant.contains(&FragmentId(6)));
+        assert!(!a.relevant.contains(&FragmentId(7)));
+
+        // Q4 = /sites//people/person[...]/creditcard has a leading-ish `//`:
+        // every site fragment stays, and because the `//` can match at any
+        // depth the regions fragments stay as well.
+        let q4 = compile_text(
+            "/sites//people/person[profile/age > 20 and address/country=\"US\"]/creditcard",
+        )
+        .unwrap();
+        let a = analyze(&q4, &ft, "sites");
+        for f in 1..8 {
+            assert!(a.relevant.contains(&FragmentId(f)), "F{f} must stay for Q4");
+        }
+    }
+
+    #[test]
+    fn keep_all_is_the_na_baseline() {
+        let ft = fig6();
+        let a = AnnotationAnalysis::keep_all(&ft);
+        assert_eq!(a.relevant.len(), 5);
+        assert!(!a.can_skip_final_stage);
+    }
+
+    #[test]
+    fn exact_init_matches_absolute_queries() {
+        let mut ft = FragmentTree::new();
+        ft.add_child(FragmentId(0), FragmentId(1), LabelPath::parse("site/people"));
+        let q = compile_text("/sites/site/people/person").unwrap();
+        let a = analyze(&q, &ft, "sites");
+        let init = &a.exact_init[&FragmentId(1)];
+        // Parent of the people-fragment root is a site node: prefix
+        // sites/site (entry 2) is matched there.
+        assert!(!init[0]);
+        assert!(!init[1]);
+        assert!(init[2]);
+        assert!(!init[3]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Evaluation reports: answers plus the measured costs that back the paper's
+//! performance guarantees.
+
+use paxml_distsim::ClusterStats;
+use paxml_fragment::FragmentId;
+use paxml_xml::{NodeId, XmlTree};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Duration;
+
+/// One answer node shipped back to the query site.
+///
+/// Field order matters: `Ord` is derived, so answers sort by their position
+/// in the *original* document first — the order the paper's examples (and
+/// this crate's reports) present answers in.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AnswerItem {
+    /// The node's id *in the original, unfragmented tree* (via the
+    /// fragment's origin map) — the canonical identity used to compare
+    /// distributed and centralized results.
+    pub origin: NodeId,
+    /// The fragment the node was found in.
+    pub fragment: FragmentId,
+    /// The element's label.
+    pub label: String,
+    /// The element's direct text content, when any (e.g. the broker *name*
+    /// answers of the running example).
+    pub text: Option<String>,
+}
+
+/// Which algorithm produced a report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Ship every fragment to the query site and evaluate centrally.
+    NaiveCentralized,
+    /// The three-stage partial-evaluation algorithm (§3).
+    PaX3,
+    /// The two-stage partial-evaluation algorithm (§4).
+    PaX2,
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Algorithm::NaiveCentralized => write!(f, "NaiveCentralized"),
+            Algorithm::PaX3 => write!(f, "PaX3"),
+            Algorithm::PaX2 => write!(f, "PaX2"),
+        }
+    }
+}
+
+/// The outcome of one distributed query evaluation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvaluationReport {
+    /// The algorithm that ran.
+    pub algorithm: Algorithm,
+    /// Was the XPath-annotation optimization (§5) enabled?
+    pub annotations_used: bool,
+    /// The query as given.
+    pub query: String,
+    /// The answers, sorted by their position in the original document.
+    pub answers: Vec<AnswerItem>,
+    /// Number of fragments that actually participated (after pruning).
+    pub fragments_evaluated: usize,
+    /// Total number of fragments in the fragment tree.
+    pub fragments_total: usize,
+    /// Network / visit / computation counters recorded by the simulator.
+    pub stats: ClusterStats,
+    /// Work done at the coordinator itself (only meaningful for the
+    /// `NaiveCentralized` baseline, which evaluates the whole tree there).
+    pub coordinator_ops: u64,
+    /// Wall-clock time of the whole evaluation as seen by the coordinator.
+    pub elapsed: Duration,
+}
+
+impl EvaluationReport {
+    /// The answers' origin node ids, sorted — the canonical comparison key.
+    pub fn answer_origins(&self) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self.answers.iter().map(|a| a.origin).collect();
+        out.sort();
+        out
+    }
+
+    /// The answers' text contents (useful in examples and tests).
+    pub fn answer_texts(&self) -> Vec<String> {
+        self.answers.iter().filter_map(|a| a.text.clone()).collect()
+    }
+
+    /// Maximum number of visits any site received — the paper's headline
+    /// guarantee (≤ 3 for PaX3, ≤ 2 for PaX2).
+    pub fn max_visits_per_site(&self) -> u32 {
+        self.stats.max_visits_per_site()
+    }
+
+    /// Total bytes moved over the (simulated) network.
+    pub fn network_bytes(&self) -> u64 {
+        self.stats.total_bytes()
+    }
+
+    /// Total computation (sum over sites, in elementary operations), plus
+    /// the coordinator's own work.
+    pub fn total_ops(&self) -> u64 {
+        self.stats.total_ops + self.coordinator_ops
+    }
+
+    /// The parallel (perceived) computation time.
+    pub fn parallel_time(&self) -> Duration {
+        self.stats.parallel_time()
+    }
+
+    /// Deterministic model of the parallel computation cost: the sum over
+    /// rounds of the maximum per-site operation count — the quantity bounded
+    /// by `O(|Q| · max_Si |F_Si|)` in §3.4. Unlike wall-clock times it does
+    /// not depend on how many cores the simulating host has.
+    pub fn parallel_ops(&self) -> u64 {
+        self.stats.parallel_ops
+    }
+
+    /// Sum of per-site busy time — the paper's Experiment-3 metric.
+    pub fn total_computation_time(&self) -> Duration {
+        self.stats.total_busy()
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}{}: {} answers, {} fragments of {} evaluated, {} visits max/site, {} bytes, {} ops, parallel {:?}",
+            self.algorithm,
+            if self.annotations_used { "-XA" } else { "-NA" },
+            self.answers.len(),
+            self.fragments_evaluated,
+            self.fragments_total,
+            self.max_visits_per_site(),
+            self.network_bytes(),
+            self.total_ops(),
+            self.parallel_time(),
+        )
+    }
+}
+
+/// Build an [`AnswerItem`] from a node of a fragment.
+pub fn answer_item(
+    fragment: FragmentId,
+    tree: &XmlTree,
+    node: NodeId,
+    origin: NodeId,
+) -> AnswerItem {
+    AnswerItem {
+        origin,
+        fragment,
+        label: tree.label(node).unwrap_or_default().to_string(),
+        text: tree.text_of(node),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paxml_xml::TreeBuilder;
+
+    #[test]
+    fn answer_item_captures_label_and_text() {
+        let t = TreeBuilder::new("broker").leaf("name", "Bache").build();
+        let name = t.find_first("name").unwrap();
+        let item = answer_item(FragmentId(1), &t, name, NodeId::from_index(42));
+        assert_eq!(item.label, "name");
+        assert_eq!(item.text, Some("Bache".to_string()));
+        assert_eq!(item.origin.index(), 42);
+    }
+
+    #[test]
+    fn report_accessors() {
+        let t = TreeBuilder::new("broker").leaf("name", "Bache").build();
+        let name = t.find_first("name").unwrap();
+        let report = EvaluationReport {
+            algorithm: Algorithm::PaX2,
+            annotations_used: true,
+            query: "//broker/name".into(),
+            answers: vec![
+                answer_item(FragmentId(1), &t, name, NodeId::from_index(9)),
+                answer_item(FragmentId(0), &t, name, NodeId::from_index(3)),
+            ],
+            fragments_evaluated: 2,
+            fragments_total: 5,
+            stats: ClusterStats::default(),
+            coordinator_ops: 7,
+            elapsed: Duration::from_millis(1),
+        };
+        assert_eq!(
+            report.answer_origins(),
+            vec![NodeId::from_index(3), NodeId::from_index(9)]
+        );
+        assert_eq!(report.answer_texts(), vec!["Bache".to_string(), "Bache".to_string()]);
+        assert_eq!(report.total_ops(), 7);
+        let s = report.summary();
+        assert!(s.contains("PaX2-XA"));
+        assert!(s.contains("2 answers"));
+        assert_eq!(Algorithm::PaX3.to_string(), "PaX3");
+        assert_eq!(Algorithm::NaiveCentralized.to_string(), "NaiveCentralized");
+    }
+}

@@ -1,0 +1,297 @@
+//! The coordinator-side `evalFT` procedures: unifying the residual variables
+//! of the per-fragment partial answers over the fragment tree.
+
+use crate::vars::{PaxVar, QualVecKind};
+use paxml_boolex::{Assignment, FormulaVector};
+use paxml_fragment::{FragmentId, FragmentTree};
+use paxml_xpath::eval::QualVectors;
+use std::collections::BTreeMap;
+
+/// Bottom-up unification of Stage-1 (qualifier) vectors.
+///
+/// `roots[f]` is the `QV`/`QDV` pair computed at the root of fragment `f`;
+/// its entries may mention the variables `Qual{c, …}` of `f`'s
+/// sub-fragments. Leaf fragments are variable-free, so walking the fragment
+/// tree bottom-up resolves every vector to constants (Example 3.2: `y₈`
+/// unifies with entry `q₈` of `QV_market`).
+///
+/// Fragments missing from `roots` (pruned by the annotation optimization)
+/// resolve to all-false vectors; the pruning criterion guarantees their
+/// values are never consulted by an answer-determining formula.
+///
+/// Returns the assignment giving a truth value to every `Qual` variable.
+pub fn unify_qualifiers(
+    ft: &FragmentTree,
+    roots: &BTreeMap<FragmentId, QualVectors<PaxVar>>,
+    qvect_len: usize,
+) -> Assignment<PaxVar> {
+    let mut assignment: Assignment<PaxVar> = Assignment::new();
+    for fragment in ft.bottom_up_order() {
+        let resolved = match roots.get(&fragment) {
+            Some(vectors) => vectors.assign(&assignment),
+            None => QualVectors::all_false(qvect_len),
+        };
+        for i in 0..qvect_len {
+            assignment.set(
+                PaxVar::Qual { fragment, vector: QualVecKind::Qv, entry: i },
+                resolved.qv[i].as_const().unwrap_or(false),
+            );
+            assignment.set(
+                PaxVar::Qual { fragment, vector: QualVecKind::Qdv, entry: i },
+                resolved.qdv[i].as_const().unwrap_or(false),
+            );
+        }
+    }
+    assignment
+}
+
+/// Top-down unification of the selection (Stage-2) vectors.
+///
+/// `virtuals[c]` is the ancestor-summary `SV` vector recorded at the virtual
+/// node standing for fragment `c` inside its parent fragment; it may mention
+/// the parent's own `Sel` variables (its unknown ancestors) and, for PaX2,
+/// `Qual` variables. `root_init` is the known initial vector of the root
+/// fragment (the implicit document node). `qual_assignment` resolves any
+/// `Qual` variables (pass an empty assignment for PaX3, where Stage 1
+/// already resolved the qualifiers).
+///
+/// Returns the assignment giving a truth value to every `Sel` variable of
+/// every fragment (Example 3.4: `z₁` unifies to true via `SV_client`).
+pub fn unify_selection(
+    ft: &FragmentTree,
+    virtuals: &BTreeMap<FragmentId, FormulaVector<PaxVar>>,
+    root_init: &[bool],
+    qual_assignment: &Assignment<PaxVar>,
+) -> Assignment<PaxVar> {
+    let slen = root_init.len();
+    let mut assignment: Assignment<PaxVar> = Assignment::new();
+    assignment.extend(qual_assignment);
+    // The root fragment's ancestor summary is known exactly.
+    for (i, &b) in root_init.iter().enumerate() {
+        assignment.set(PaxVar::Sel { fragment: FragmentId::ROOT, entry: i }, b);
+    }
+    for fragment in ft.top_down_order() {
+        if fragment == FragmentId::ROOT {
+            continue;
+        }
+        match virtuals.get(&fragment) {
+            Some(vector) => {
+                let resolved = vector.assign(&assignment);
+                for i in 0..slen.min(resolved.len()) {
+                    assignment.set(
+                        PaxVar::Sel { fragment, entry: i },
+                        resolved[i].as_const().unwrap_or(false),
+                    );
+                }
+            }
+            None => {
+                // The parent fragment was pruned or did not record a vector:
+                // nothing above this fragment can match, so the summary is
+                // all-false.
+                for i in 0..slen {
+                    assignment.set(PaxVar::Sel { fragment, entry: i }, false);
+                }
+            }
+        }
+    }
+    assignment
+}
+
+/// Restrict an assignment to the variables a particular fragment's site
+/// needs: the `Qual` variables of the fragment's sub-fragments and the
+/// fragment's own `Sel` variables. Keeps the per-message payload `O(|Q|)`
+/// per fragment, as required by the communication bound.
+pub fn restrict_for_fragment(
+    assignment: &Assignment<PaxVar>,
+    fragment: FragmentId,
+    sub_fragments: &[FragmentId],
+) -> Vec<(PaxVar, bool)> {
+    assignment
+        .iter()
+        .filter(|(var, _)| match var {
+            PaxVar::Qual { fragment: f, .. } => sub_fragments.contains(f),
+            PaxVar::Sel { fragment: f, .. } => *f == fragment,
+            PaxVar::Local { .. } => false,
+        })
+        .map(|(var, value)| (var.clone(), value))
+        .collect()
+}
+
+/// Turn a wire-format variable/value list back into an assignment.
+pub fn assignment_from_pairs(pairs: &[(PaxVar, bool)]) -> Assignment<PaxVar> {
+    Assignment::from_iter(pairs.iter().cloned())
+}
+
+/// Helper: fresh qualifier vectors (all entries variables) for a virtual
+/// node standing for `fragment` — what the per-fragment Stage-1/combined
+/// pass plugs in for each missing sub-fragment.
+pub fn fresh_qual_vectors(fragment: FragmentId, qvect_len: usize) -> QualVectors<PaxVar> {
+    QualVectors {
+        qv: FormulaVector::fresh_variables(qvect_len, |entry| PaxVar::Qual {
+            fragment,
+            vector: QualVecKind::Qv,
+            entry,
+        }),
+        qdv: FormulaVector::fresh_variables(qvect_len, |entry| PaxVar::Qual {
+            fragment,
+            vector: QualVecKind::Qdv,
+            entry,
+        }),
+    }
+}
+
+/// Helper: the fresh ancestor-summary vector for a non-root fragment.
+pub fn fresh_selection_vector(fragment: FragmentId, svect_len: usize) -> FormulaVector<PaxVar> {
+    FormulaVector::fresh_variables(svect_len, |entry| PaxVar::Sel { fragment, entry })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paxml_boolex::BoolExpr;
+    use paxml_xml::LabelPath;
+
+    fn two_level_ft() -> FragmentTree {
+        // F0 -> F1 -> F2
+        let mut ft = FragmentTree::new();
+        ft.add_child(FragmentId(0), FragmentId(1), LabelPath::parse("client/broker"));
+        ft.add_child(FragmentId(1), FragmentId(2), LabelPath::parse("market"));
+        ft
+    }
+
+    #[test]
+    fn qualifier_unification_resolves_through_two_levels() {
+        // Mirrors Example 3.2: F2's root has q8 true; F1's root entry q9 is
+        // the variable x[F2.q8]; after unification q9 at F1 must be true.
+        let ft = two_level_ft();
+        let qlen = 9;
+        let mut roots: BTreeMap<FragmentId, QualVectors<PaxVar>> = BTreeMap::new();
+
+        let mut f2 = QualVectors::all_false(qlen);
+        f2.qv.set(7, BoolExpr::constant(true));
+        f2.qdv.set(7, BoolExpr::constant(true));
+        roots.insert(FragmentId(2), f2);
+
+        let mut f1 = QualVectors::all_false(qlen);
+        f1.qv.set(
+            8,
+            BoolExpr::var(PaxVar::Qual {
+                fragment: FragmentId(2),
+                vector: QualVecKind::Qv,
+                entry: 7,
+            }),
+        );
+        roots.insert(FragmentId(1), f1);
+        roots.insert(FragmentId(0), QualVectors::all_false(qlen));
+
+        let assignment = unify_qualifiers(&ft, &roots, qlen);
+        assert_eq!(
+            assignment.get(&PaxVar::Qual {
+                fragment: FragmentId(2),
+                vector: QualVecKind::Qv,
+                entry: 7
+            }),
+            Some(true)
+        );
+        assert_eq!(
+            assignment.get(&PaxVar::Qual {
+                fragment: FragmentId(1),
+                vector: QualVecKind::Qv,
+                entry: 8
+            }),
+            Some(true)
+        );
+        assert_eq!(
+            assignment.get(&PaxVar::Qual {
+                fragment: FragmentId(1),
+                vector: QualVecKind::Qv,
+                entry: 0
+            }),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn missing_fragments_default_to_false() {
+        let ft = two_level_ft();
+        let roots = BTreeMap::new();
+        let assignment = unify_qualifiers(&ft, &roots, 3);
+        for f in 0..3 {
+            for e in 0..3 {
+                assert_eq!(
+                    assignment.get(&PaxVar::Qual {
+                        fragment: FragmentId(f),
+                        vector: QualVecKind::Qv,
+                        entry: e
+                    }),
+                    Some(false)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn selection_unification_mirrors_example_3_4() {
+        // F1's init vector depends on z-variables; the root fragment records
+        // SV_client = <0, 1, 0, 0> at the virtual node for F1 (entry 1 =
+        // "the parent matched prefix client"), so F1's Sel variables resolve
+        // to exactly that.
+        let ft = two_level_ft();
+        let slen = 4;
+        let mut virtuals: BTreeMap<FragmentId, FormulaVector<PaxVar>> = BTreeMap::new();
+        let mut sv_client: FormulaVector<PaxVar> = FormulaVector::all_false(slen);
+        sv_client.set(1, BoolExpr::constant(true));
+        virtuals.insert(FragmentId(1), sv_client);
+        // F1 records, at its own virtual node for F2, a vector depending on
+        // its z variables: entry 2 = z[F1.1] (its broker matched iff the
+        // parent's client prefix was matched).
+        let mut sv_broker: FormulaVector<PaxVar> = FormulaVector::all_false(slen);
+        sv_broker.set(2, BoolExpr::var(PaxVar::Sel { fragment: FragmentId(1), entry: 1 }));
+        virtuals.insert(FragmentId(2), sv_broker);
+
+        let root_init = vec![false, false, false, false];
+        let assignment =
+            unify_selection(&ft, &virtuals, &root_init, &Assignment::new());
+        assert_eq!(assignment.get(&PaxVar::Sel { fragment: FragmentId(1), entry: 1 }), Some(true));
+        assert_eq!(assignment.get(&PaxVar::Sel { fragment: FragmentId(2), entry: 2 }), Some(true));
+        assert_eq!(assignment.get(&PaxVar::Sel { fragment: FragmentId(2), entry: 1 }), Some(false));
+    }
+
+    #[test]
+    fn restriction_keeps_only_the_relevant_variables() {
+        let mut assignment: Assignment<PaxVar> = Assignment::new();
+        assignment.set(PaxVar::Sel { fragment: FragmentId(1), entry: 0 }, true);
+        assignment.set(PaxVar::Sel { fragment: FragmentId(2), entry: 0 }, true);
+        assignment.set(
+            PaxVar::Qual { fragment: FragmentId(2), vector: QualVecKind::Qv, entry: 3 },
+            true,
+        );
+        assignment.set(
+            PaxVar::Qual { fragment: FragmentId(3), vector: QualVecKind::Qv, entry: 3 },
+            false,
+        );
+        let restricted = restrict_for_fragment(&assignment, FragmentId(1), &[FragmentId(2)]);
+        assert_eq!(restricted.len(), 2);
+        let back = assignment_from_pairs(&restricted);
+        assert_eq!(back.get(&PaxVar::Sel { fragment: FragmentId(1), entry: 0 }), Some(true));
+        assert_eq!(
+            back.get(&PaxVar::Qual {
+                fragment: FragmentId(2),
+                vector: QualVecKind::Qv,
+                entry: 3
+            }),
+            Some(true)
+        );
+        assert_eq!(back.get(&PaxVar::Sel { fragment: FragmentId(2), entry: 0 }), None);
+    }
+
+    #[test]
+    fn fresh_vector_helpers_produce_distinct_variables() {
+        let q = fresh_qual_vectors(FragmentId(5), 4);
+        assert_eq!(q.qv.variables().len(), 4);
+        assert_eq!(q.qdv.variables().len(), 4);
+        assert!(q.qv.variables().is_disjoint(&q.qdv.variables()));
+        let s = fresh_selection_vector(FragmentId(5), 3);
+        assert_eq!(s.variables().len(), 3);
+    }
+}

@@ -1,0 +1,328 @@
+//! A serde serializer that measures the encoded size of a message without
+//! producing any output.
+//!
+//! The paper's communication bounds are stated in terms of data volume; the
+//! simulator therefore charges every coordinator↔site message with the
+//! number of bytes a compact binary encoding would use. Implementing the
+//! counter as a [`serde::Serializer`] means any `Serialize` message type is
+//! measured with zero extra code, and no serialization-format dependency is
+//! needed.
+
+use serde::ser::{self, Serialize};
+use std::fmt::Display;
+
+/// Compute the approximate encoded size, in bytes, of any serializable value.
+pub fn encoded_size<T: Serialize + ?Sized>(value: &T) -> u64 {
+    let mut counter = ByteCounter { bytes: 0 };
+    value
+        .serialize(&mut counter)
+        .expect("byte counting never fails for well-formed values");
+    counter.bytes
+}
+
+/// Error type for the counting serializer (it never actually errors in
+/// practice, but the trait requires one).
+#[derive(Debug)]
+pub struct CountError(String);
+
+impl Display for CountError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "byte counting error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CountError {}
+
+impl ser::Error for CountError {
+    fn custom<T: Display>(msg: T) -> Self {
+        CountError(msg.to_string())
+    }
+}
+
+struct ByteCounter {
+    bytes: u64,
+}
+
+impl ByteCounter {
+    fn add(&mut self, n: u64) {
+        self.bytes += n;
+    }
+}
+
+impl<'a> ser::Serializer for &'a mut ByteCounter {
+    type Ok = ();
+    type Error = CountError;
+    type SerializeSeq = Self;
+    type SerializeTuple = Self;
+    type SerializeTupleStruct = Self;
+    type SerializeTupleVariant = Self;
+    type SerializeMap = Self;
+    type SerializeStruct = Self;
+    type SerializeStructVariant = Self;
+
+    fn serialize_bool(self, _v: bool) -> Result<(), CountError> {
+        self.add(1);
+        Ok(())
+    }
+    fn serialize_i8(self, _v: i8) -> Result<(), CountError> {
+        self.add(1);
+        Ok(())
+    }
+    fn serialize_i16(self, _v: i16) -> Result<(), CountError> {
+        self.add(2);
+        Ok(())
+    }
+    fn serialize_i32(self, _v: i32) -> Result<(), CountError> {
+        self.add(4);
+        Ok(())
+    }
+    fn serialize_i64(self, _v: i64) -> Result<(), CountError> {
+        self.add(8);
+        Ok(())
+    }
+    fn serialize_u8(self, _v: u8) -> Result<(), CountError> {
+        self.add(1);
+        Ok(())
+    }
+    fn serialize_u16(self, _v: u16) -> Result<(), CountError> {
+        self.add(2);
+        Ok(())
+    }
+    fn serialize_u32(self, _v: u32) -> Result<(), CountError> {
+        self.add(4);
+        Ok(())
+    }
+    fn serialize_u64(self, _v: u64) -> Result<(), CountError> {
+        self.add(8);
+        Ok(())
+    }
+    fn serialize_f32(self, _v: f32) -> Result<(), CountError> {
+        self.add(4);
+        Ok(())
+    }
+    fn serialize_f64(self, _v: f64) -> Result<(), CountError> {
+        self.add(8);
+        Ok(())
+    }
+    fn serialize_char(self, _v: char) -> Result<(), CountError> {
+        self.add(4);
+        Ok(())
+    }
+    fn serialize_str(self, v: &str) -> Result<(), CountError> {
+        // length prefix + payload
+        self.add(4 + v.len() as u64);
+        Ok(())
+    }
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), CountError> {
+        self.add(4 + v.len() as u64);
+        Ok(())
+    }
+    fn serialize_none(self) -> Result<(), CountError> {
+        self.add(1);
+        Ok(())
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), CountError> {
+        self.add(1);
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<(), CountError> {
+        Ok(())
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), CountError> {
+        Ok(())
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<(), CountError> {
+        self.add(1);
+        Ok(())
+    }
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), CountError> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<(), CountError> {
+        self.add(1);
+        value.serialize(self)
+    }
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Self, CountError> {
+        self.add(4);
+        Ok(self)
+    }
+    fn serialize_tuple(self, _len: usize) -> Result<Self, CountError> {
+        Ok(self)
+    }
+    fn serialize_tuple_struct(self, _name: &'static str, _len: usize) -> Result<Self, CountError> {
+        Ok(self)
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, CountError> {
+        self.add(1);
+        Ok(self)
+    }
+    fn serialize_map(self, _len: Option<usize>) -> Result<Self, CountError> {
+        self.add(4);
+        Ok(self)
+    }
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self, CountError> {
+        Ok(self)
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, CountError> {
+        self.add(1);
+        Ok(self)
+    }
+}
+
+macro_rules! impl_compound {
+    ($trait:path, $method:ident) => {
+        impl<'a> $trait for &'a mut ByteCounter {
+            type Ok = ();
+            type Error = CountError;
+            fn $method<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CountError> {
+                value.serialize(&mut **self)
+            }
+            fn end(self) -> Result<(), CountError> {
+                Ok(())
+            }
+        }
+    };
+}
+
+impl_compound!(ser::SerializeSeq, serialize_element);
+impl_compound!(ser::SerializeTuple, serialize_element);
+impl_compound!(ser::SerializeTupleStruct, serialize_field);
+impl_compound!(ser::SerializeTupleVariant, serialize_field);
+
+impl<'a> ser::SerializeMap for &'a mut ByteCounter {
+    type Ok = ();
+    type Error = CountError;
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), CountError> {
+        key.serialize(&mut **self)
+    }
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CountError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CountError> {
+        Ok(())
+    }
+}
+
+impl<'a> ser::SerializeStruct for &'a mut ByteCounter {
+    type Ok = ();
+    type Error = CountError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), CountError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CountError> {
+        Ok(())
+    }
+}
+
+impl<'a> ser::SerializeStructVariant for &'a mut ByteCounter {
+    type Ok = ();
+    type Error = CountError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), CountError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CountError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Example {
+        id: u32,
+        name: String,
+        values: Vec<u64>,
+        flag: Option<bool>,
+    }
+
+    #[test]
+    fn primitives_have_fixed_sizes() {
+        assert_eq!(encoded_size(&true), 1);
+        assert_eq!(encoded_size(&7u32), 4);
+        assert_eq!(encoded_size(&7u64), 8);
+        assert_eq!(encoded_size(&1.5f64), 8);
+        assert_eq!(encoded_size(&'x'), 4);
+        assert_eq!(encoded_size("ab"), 4 + 2);
+    }
+
+    #[test]
+    fn structs_sum_their_fields() {
+        let e = Example { id: 1, name: "hello".into(), values: vec![1, 2, 3], flag: Some(true) };
+        // 4 (id) + 4+5 (name) + 4 + 3*8 (values) + 1+1 (flag)
+        assert_eq!(encoded_size(&e), 4 + 9 + 4 + 24 + 2);
+    }
+
+    #[test]
+    fn size_grows_with_content() {
+        let small = vec!["a".to_string(); 2];
+        let large = vec!["a".to_string(); 200];
+        assert!(encoded_size(&large) > encoded_size(&small) * 50);
+    }
+
+    #[test]
+    fn enums_count_their_discriminant() {
+        #[derive(Serialize)]
+        enum E {
+            A,
+            B(u32),
+            C { x: u64 },
+        }
+        assert_eq!(encoded_size(&E::A), 1);
+        assert_eq!(encoded_size(&E::B(1)), 5);
+        assert_eq!(encoded_size(&E::C { x: 1 }), 9);
+    }
+
+    #[test]
+    fn xml_trees_and_formula_vectors_are_measurable() {
+        use paxml_xml::TreeBuilder;
+        let tree = TreeBuilder::new("a").leaf("b", "text").build();
+        let size = encoded_size(&tree);
+        assert!(size > 10);
+        let bigger = TreeBuilder::new("a")
+            .with(|t, c| {
+                for i in 0..100 {
+                    t.append_leaf(c, "b", format!("text{i}"));
+                }
+            })
+            .build();
+        assert!(encoded_size(&bigger) > size * 50);
+    }
+}

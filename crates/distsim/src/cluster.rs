@@ -1,0 +1,411 @@
+//! The simulated cluster: sites, fragment placement, and the coordinator's
+//! visit primitive.
+//!
+//! The paper's setting is a coordinator site `S_Q` plus a number of sites
+//! each holding one or more fragments, communicating over a network. This
+//! module reproduces that setting on one machine:
+//!
+//! * each **round** ([`Cluster::round`]) models the coordinator visiting a
+//!   subset of the sites in parallel — every selected site runs the supplied
+//!   task on its own OS thread against its local fragments and scratch
+//!   state;
+//! * every request and response is measured with the byte-counting
+//!   serializer, so network traffic is accounted exactly;
+//! * per-round wall-clock cost is the **slowest** site's task time (plus the
+//!   configurable per-round network latency), modelling the parallel
+//!   computation cost of §3.4; per-site busy time accumulates into the total
+//!   computation cost.
+
+use crate::bytecount::encoded_size;
+use crate::site::{SiteId, SiteLocal};
+use crate::stats::ClusterStats;
+use paxml_fragment::{FragmentId, FragmentedTree};
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::{Duration, Instant};
+
+/// How fragments are placed onto sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Fragment `F_i` goes to site `S_{i mod site_count}` — the placement
+    /// used by Experiment 1 (one fragment per machine when
+    /// `site_count >= fragment_count`).
+    RoundRobin,
+    /// Every fragment on site `S0` (degenerate single-site deployment, the
+    /// first iteration of Experiment 1).
+    SingleSite,
+}
+
+/// The simulated cluster.
+pub struct Cluster {
+    sites: Vec<SiteLocal>,
+    assignment: BTreeMap<FragmentId, SiteId>,
+    /// Extra latency charged to every round, modelling one network round
+    /// trip between the coordinator and the sites.
+    pub round_latency: Duration,
+    /// Artificial per-site slow-down used by failure/skew-injection tests.
+    pub site_delay: BTreeMap<SiteId, Duration>,
+    /// Run rounds sequentially (deterministic debugging) instead of one
+    /// thread per site.
+    pub sequential: bool,
+    /// Accumulated cost counters.
+    pub stats: ClusterStats,
+}
+
+impl Cluster {
+    /// Build a cluster with `site_count` sites and distribute the fragments
+    /// of `fragmented` according to `placement`.
+    pub fn new(fragmented: &FragmentedTree, site_count: usize, placement: Placement) -> Self {
+        let site_count = site_count.max(1);
+        let mut assignment = BTreeMap::new();
+        for fragment in &fragmented.fragments {
+            let site = match placement {
+                Placement::RoundRobin => SiteId(fragment.id.index() % site_count),
+                Placement::SingleSite => SiteId(0),
+            };
+            assignment.insert(fragment.id, site);
+        }
+        Self::with_assignment(fragmented, site_count, assignment)
+    }
+
+    /// Build a cluster with an explicit fragment→site assignment (fragments
+    /// not mentioned default to `S0`).
+    pub fn with_assignment(
+        fragmented: &FragmentedTree,
+        site_count: usize,
+        assignment: BTreeMap<FragmentId, SiteId>,
+    ) -> Self {
+        let site_count = site_count.max(1);
+        let mut sites: Vec<SiteLocal> = (0..site_count).map(|i| SiteLocal::new(SiteId(i))).collect();
+        let mut final_assignment = BTreeMap::new();
+        for fragment in &fragmented.fragments {
+            let site = assignment.get(&fragment.id).copied().unwrap_or(SiteId(0));
+            let site = SiteId(site.index().min(site_count - 1));
+            final_assignment.insert(fragment.id, site);
+            sites[site.index()].add_fragment(fragment.clone());
+        }
+        Cluster {
+            sites,
+            assignment: final_assignment,
+            round_latency: Duration::ZERO,
+            site_delay: BTreeMap::new(),
+            sequential: false,
+            stats: ClusterStats::default(),
+        }
+    }
+
+    /// Number of sites.
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// The site storing a fragment.
+    pub fn site_of(&self, fragment: FragmentId) -> SiteId {
+        self.assignment
+            .get(&fragment)
+            .copied()
+            .expect("every fragment was assigned to a site at construction")
+    }
+
+    /// The full fragment→site assignment.
+    pub fn assignment(&self) -> &BTreeMap<FragmentId, SiteId> {
+        &self.assignment
+    }
+
+    /// The fragments stored at a given site.
+    pub fn fragments_at(&self, site: SiteId) -> Vec<FragmentId> {
+        self.sites[site.index()].fragment_ids()
+    }
+
+    /// The set of sites holding at least one of the given fragments.
+    pub fn sites_holding(&self, fragments: &[FragmentId]) -> BTreeSet<SiteId> {
+        fragments.iter().map(|f| self.site_of(*f)).collect()
+    }
+
+    /// All sites that hold at least one fragment.
+    pub fn occupied_sites(&self) -> BTreeSet<SiteId> {
+        self.assignment.values().copied().collect()
+    }
+
+    /// The cumulative data size of the largest site, `max_Si |F_Si|` — the
+    /// quantity the paper's parallel-computation bound is stated in.
+    pub fn max_cumulative_site_size(&self) -> usize {
+        self.sites.iter().map(SiteLocal::cumulative_size).max().unwrap_or(0)
+    }
+
+    /// Reset all scratch state and statistics (between query executions).
+    pub fn reset(&mut self) {
+        for site in &mut self.sites {
+            site.clear_scratch();
+        }
+        self.stats = ClusterStats::default();
+    }
+
+    /// Direct read-only access to a site, for assertions in tests. Algorithm
+    /// code must not use this to bypass the messaging layer.
+    pub fn inspect_site(&self, site: SiteId) -> &SiteLocal {
+        &self.sites[site.index()]
+    }
+
+    /// One coordinator round: send each request to its site, run `task`
+    /// there (in parallel across sites), and collect the responses.
+    ///
+    /// Every targeted site is *visited* exactly once per round regardless of
+    /// how many fragments it stores, which is precisely how the paper counts
+    /// visits.
+    pub fn round<Req, Resp, F>(
+        &mut self,
+        requests: BTreeMap<SiteId, Req>,
+        task: F,
+    ) -> BTreeMap<SiteId, Resp>
+    where
+        Req: Serialize + Send,
+        Resp: Serialize + Send,
+        F: Fn(&mut SiteLocal, Req) -> Resp + Sync,
+    {
+        if requests.is_empty() {
+            return BTreeMap::new();
+        }
+
+        // Measure request sizes before moving them into the site threads.
+        let request_bytes: BTreeMap<SiteId, u64> =
+            requests.iter().map(|(s, r)| (*s, encoded_size(r))).collect();
+
+        struct SiteOutcome<Resp> {
+            site: SiteId,
+            response: Resp,
+            ops: u64,
+            busy: Duration,
+        }
+
+        let mut outcomes: Vec<SiteOutcome<Resp>> = Vec::with_capacity(requests.len());
+        let delays = self.site_delay.clone();
+        let sequential = self.sequential;
+
+        // Split mutable borrows: collect the selected sites.
+        let mut selected: Vec<(&mut SiteLocal, Req)> = Vec::new();
+        {
+            let mut remaining = requests;
+            for site in self.sites.iter_mut() {
+                if let Some(req) = remaining.remove(&site.id) {
+                    selected.push((site, req));
+                }
+            }
+            assert!(
+                remaining.is_empty(),
+                "requests addressed to unknown sites: {:?}",
+                remaining.keys().collect::<Vec<_>>()
+            );
+        }
+
+        let run_one = |site: &mut SiteLocal, req: Req| -> SiteOutcome<Resp> {
+            let ops_before = site.ops();
+            let start = Instant::now();
+            let response = task(site, req);
+            let mut busy = start.elapsed();
+            if let Some(extra) = delays.get(&site.id) {
+                busy += *extra;
+            }
+            SiteOutcome { site: site.id, response, ops: site.ops() - ops_before, busy }
+        };
+
+        if sequential || selected.len() == 1 {
+            for (site, req) in selected {
+                outcomes.push(run_one(site, req));
+            }
+        } else {
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(selected.len());
+                for (site, req) in selected {
+                    handles.push(scope.spawn(|| run_one(site, req)));
+                }
+                for h in handles {
+                    outcomes.push(h.join().expect("site task panicked"));
+                }
+            });
+        }
+
+        // Account the round.
+        let mut responses = BTreeMap::new();
+        let mut slowest = Duration::ZERO;
+        let mut max_ops = 0u64;
+        for outcome in outcomes {
+            let resp_bytes = encoded_size(&outcome.response);
+            let req_bytes = request_bytes.get(&outcome.site).copied().unwrap_or(0);
+            self.stats.record_site_work(
+                outcome.site,
+                outcome.ops,
+                outcome.busy,
+                req_bytes,
+                resp_bytes,
+            );
+            if outcome.busy > slowest {
+                slowest = outcome.busy;
+            }
+            if outcome.ops > max_ops {
+                max_ops = outcome.ops;
+            }
+            responses.insert(outcome.site, outcome.response);
+        }
+        self.stats.record_round(slowest + self.round_latency, max_ops);
+        responses
+    }
+
+    /// Convenience wrapper: visit *every occupied site* with the same
+    /// (cloneable) request.
+    pub fn broadcast<Req, Resp, F>(&mut self, request: Req, task: F) -> BTreeMap<SiteId, Resp>
+    where
+        Req: Serialize + Send + Clone,
+        Resp: Serialize + Send,
+        F: Fn(&mut SiteLocal, Req) -> Resp + Sync,
+    {
+        let requests: BTreeMap<SiteId, Req> =
+            self.occupied_sites().into_iter().map(|s| (s, request.clone())).collect();
+        self.round(requests, task)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paxml_fragment::strategy::cut_children_of_root;
+    use paxml_xml::TreeBuilder;
+
+    fn fragmented() -> FragmentedTree {
+        let tree = TreeBuilder::new("sites")
+            .open("site").leaf("person", "p1").close()
+            .open("site").leaf("person", "p2").close()
+            .open("site").leaf("person", "p3").close()
+            .build();
+        cut_children_of_root(&tree).unwrap()
+    }
+
+    #[test]
+    fn round_robin_placement_spreads_fragments() {
+        let f = fragmented();
+        let cluster = Cluster::new(&f, 2, Placement::RoundRobin);
+        assert_eq!(cluster.site_count(), 2);
+        assert_eq!(cluster.site_of(FragmentId(0)), SiteId(0));
+        assert_eq!(cluster.site_of(FragmentId(1)), SiteId(1));
+        assert_eq!(cluster.site_of(FragmentId(2)), SiteId(0));
+        assert_eq!(cluster.fragments_at(SiteId(0)), vec![FragmentId(0), FragmentId(2)]);
+        assert_eq!(cluster.occupied_sites().len(), 2);
+    }
+
+    #[test]
+    fn single_site_placement_puts_everything_on_s0() {
+        let f = fragmented();
+        let cluster = Cluster::new(&f, 4, Placement::SingleSite);
+        assert_eq!(cluster.occupied_sites(), std::iter::once(SiteId(0)).collect());
+        assert_eq!(cluster.max_cumulative_site_size(), f.total_real_nodes());
+    }
+
+    #[test]
+    fn explicit_assignment_is_respected_and_clamped() {
+        let f = fragmented();
+        let mut assignment = BTreeMap::new();
+        assignment.insert(FragmentId(1), SiteId(1));
+        assignment.insert(FragmentId(2), SiteId(99)); // clamped to the last site
+        let cluster = Cluster::with_assignment(&f, 2, assignment);
+        assert_eq!(cluster.site_of(FragmentId(0)), SiteId(0)); // default
+        assert_eq!(cluster.site_of(FragmentId(1)), SiteId(1));
+        assert_eq!(cluster.site_of(FragmentId(2)), SiteId(1));
+    }
+
+    #[test]
+    fn rounds_count_visits_messages_and_bytes() {
+        let f = fragmented();
+        let mut cluster = Cluster::new(&f, 3, Placement::RoundRobin);
+        let responses = cluster.broadcast("how many nodes?".to_string(), |site, _req| {
+            site.charge_ops(10);
+            site.cumulative_size() as u64
+        });
+        assert_eq!(responses.len(), 3);
+        let total: u64 = responses.values().sum();
+        assert_eq!(total as usize, f.total_real_nodes());
+        assert_eq!(cluster.stats.rounds, 1);
+        assert_eq!(cluster.stats.max_visits_per_site(), 1);
+        assert_eq!(cluster.stats.messages, 6);
+        assert_eq!(cluster.stats.total_ops, 30);
+        assert!(cluster.stats.total_bytes() > 0);
+
+        // A second, targeted round visits only one site.
+        let mut one = BTreeMap::new();
+        one.insert(SiteId(1), 5u32);
+        let responses = cluster.round(one, |site, factor| {
+            site.charge_ops(1);
+            site.cumulative_size() as u64 * factor as u64
+        });
+        assert_eq!(responses.len(), 1);
+        assert_eq!(cluster.stats.rounds, 2);
+        assert_eq!(cluster.stats.sites[&SiteId(1)].visits, 2);
+        assert_eq!(cluster.stats.sites[&SiteId(0)].visits, 1);
+    }
+
+    #[test]
+    fn sequential_and_parallel_rounds_agree() {
+        let f = fragmented();
+        let mut parallel = Cluster::new(&f, 3, Placement::RoundRobin);
+        let mut sequential = Cluster::new(&f, 3, Placement::RoundRobin);
+        sequential.sequential = true;
+        let task = |site: &mut SiteLocal, _req: u8| site.fragment_ids().len() as u64;
+        let a = parallel.broadcast(0u8, task);
+        let b = sequential.broadcast(0u8, task);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scratch_state_persists_across_rounds() {
+        let f = fragmented();
+        let mut cluster = Cluster::new(&f, 2, Placement::RoundRobin);
+        cluster.broadcast(0u8, |site, _| {
+            site.put_scratch("marker", site.id.index() as u64 + 100);
+            0u8
+        });
+        let markers = cluster.broadcast(0u8, |site, _| *site.scratch::<u64>("marker").unwrap());
+        assert_eq!(markers[&SiteId(0)], 100);
+        assert_eq!(markers[&SiteId(1)], 101);
+        cluster.reset();
+        let cleared = cluster.broadcast(0u8, |site, _| site.scratch::<u64>("marker").is_none());
+        assert!(cleared.values().all(|&b| b));
+        assert_eq!(cluster.stats.rounds, 1); // reset cleared the earlier rounds
+    }
+
+    #[test]
+    fn site_delay_inflates_parallel_time() {
+        let f = fragmented();
+        let mut cluster = Cluster::new(&f, 3, Placement::RoundRobin);
+        cluster.site_delay.insert(SiteId(1), Duration::from_millis(5));
+        cluster.broadcast(0u8, |_, _| 0u8);
+        assert!(cluster.stats.parallel_time() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn round_latency_is_charged_per_round() {
+        let f = fragmented();
+        let mut cluster = Cluster::new(&f, 2, Placement::RoundRobin);
+        cluster.round_latency = Duration::from_millis(2);
+        cluster.broadcast(0u8, |_, _| 0u8);
+        cluster.broadcast(0u8, |_, _| 0u8);
+        assert!(cluster.stats.parallel_time() >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn empty_round_is_a_no_op() {
+        let f = fragmented();
+        let mut cluster = Cluster::new(&f, 2, Placement::RoundRobin);
+        let out: BTreeMap<SiteId, u8> = cluster.round(BTreeMap::<SiteId, u8>::new(), |_, r| r);
+        assert!(out.is_empty());
+        assert_eq!(cluster.stats.rounds, 0);
+    }
+
+    #[test]
+    fn larger_responses_cost_more_bytes() {
+        let f = fragmented();
+        let mut small = Cluster::new(&f, 1, Placement::SingleSite);
+        let mut large = Cluster::new(&f, 1, Placement::SingleSite);
+        small.broadcast(0u8, |_, _| "x".to_string());
+        large.broadcast(0u8, |_, _| "x".repeat(10_000));
+        assert!(large.stats.total_bytes() > small.stats.total_bytes() + 9_000);
+    }
+}

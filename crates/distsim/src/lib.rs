@@ -1,0 +1,32 @@
+//! # paxml-distsim — the simulated distributed substrate
+//!
+//! The paper evaluates its algorithms on ten LAN-connected machines; this
+//! crate reproduces that setting in-process so the algorithmic guarantees
+//! can be measured deterministically:
+//!
+//! * [`Cluster`] — a set of [`SiteLocal`] sites holding fragments, visited by
+//!   a coordinator in parallel **rounds** (one OS thread per site per round);
+//! * request/response **byte accounting** via a counting serde serializer
+//!   ([`encoded_size`]) — no bytes are charged that the algorithms did not
+//!   actually put into a message;
+//! * **visit counting** — the paper's "each site is visited at most
+//!   three/two times" guarantee becomes an assertable number;
+//! * **cost meters** — per-site elementary operations, per-site busy time,
+//!   per-round parallel time, modelling the paper's total and parallel
+//!   computation costs.
+//!
+//! The algorithms themselves (PaX3, PaX2, the baselines) live in
+//! `paxml-core`; this crate deliberately knows nothing about XPath.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bytecount;
+mod cluster;
+mod site;
+mod stats;
+
+pub use bytecount::encoded_size;
+pub use cluster::{Cluster, Placement};
+pub use site::{SiteId, SiteLocal};
+pub use stats::{ClusterStats, SiteStats};

@@ -1,0 +1,181 @@
+//! A simulated site: the fragments it stores plus scratch state kept between
+//! visits.
+
+use paxml_fragment::{Fragment, FragmentId};
+use serde::{Deserialize, Serialize};
+use std::any::Any;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Identifier of a site (`S0`, `S1`, … in the paper's figures).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct SiteId(pub usize);
+
+impl SiteId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// The state a site keeps locally.
+///
+/// Besides its fragments, a site may keep arbitrary *scratch state* between
+/// visits — e.g. the per-node qualifier vectors computed during Stage 1 of
+/// PaX3, which Stage 2 reads on the next visit, or the candidate-answer sets
+/// that Stage 3 resolves. The scratch store is keyed by string and typed via
+/// downcasting, so the algorithm crates can stash whatever they need without
+/// this crate knowing their types.
+pub struct SiteLocal {
+    /// This site's id.
+    pub id: SiteId,
+    /// The fragments stored at this site, keyed by fragment id. More than
+    /// one fragment may live at the same site (in Fig. 2, `S2` stores both
+    /// `F2` and `F4`).
+    pub fragments: BTreeMap<FragmentId, Fragment>,
+    scratch: HashMap<String, Box<dyn Any + Send>>,
+    ops: u64,
+}
+
+impl SiteLocal {
+    /// Create an empty site.
+    pub fn new(id: SiteId) -> Self {
+        SiteLocal { id, fragments: BTreeMap::new(), scratch: HashMap::new(), ops: 0 }
+    }
+
+    /// Store a fragment at this site.
+    pub fn add_fragment(&mut self, fragment: Fragment) {
+        self.fragments.insert(fragment.id, fragment);
+    }
+
+    /// Fragment ids stored here, in id order.
+    pub fn fragment_ids(&self) -> Vec<FragmentId> {
+        self.fragments.keys().copied().collect()
+    }
+
+    /// Cumulative number of (non-virtual) nodes stored at this site —
+    /// `|F_{S_i}|` in the paper's parallel-computation bound.
+    pub fn cumulative_size(&self) -> usize {
+        self.fragments
+            .values()
+            .map(|f| f.tree.all_nodes().filter(|&n| !f.tree.is_virtual(n)).count())
+            .sum()
+    }
+
+    /// Charge `n` elementary operations to this site for the current visit.
+    pub fn charge_ops(&mut self, n: u64) {
+        self.ops += n;
+    }
+
+    /// Total operations charged so far (monotone across visits).
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Store a typed value in the scratch state (replacing any previous
+    /// value under the same key).
+    pub fn put_scratch<T: Send + 'static>(&mut self, key: impl Into<String>, value: T) {
+        self.scratch.insert(key.into(), Box::new(value));
+    }
+
+    /// Borrow a typed value from the scratch state.
+    pub fn scratch<T: 'static>(&self, key: &str) -> Option<&T> {
+        self.scratch.get(key).and_then(|b| b.downcast_ref::<T>())
+    }
+
+    /// Mutably borrow a typed value from the scratch state.
+    pub fn scratch_mut<T: 'static>(&mut self, key: &str) -> Option<&mut T> {
+        self.scratch.get_mut(key).and_then(|b| b.downcast_mut::<T>())
+    }
+
+    /// Remove and return a typed value from the scratch state.
+    pub fn take_scratch<T: 'static>(&mut self, key: &str) -> Option<T> {
+        let boxed = self.scratch.remove(key)?;
+        match boxed.downcast::<T>() {
+            Ok(v) => Some(*v),
+            Err(original) => {
+                // Wrong type requested: put the value back untouched.
+                self.scratch.insert(key.to_string(), original);
+                None
+            }
+        }
+    }
+
+    /// Drop all scratch state (between independent query executions).
+    pub fn clear_scratch(&mut self) {
+        self.scratch.clear();
+    }
+}
+
+impl fmt::Debug for SiteLocal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SiteLocal")
+            .field("id", &self.id)
+            .field("fragments", &self.fragment_ids())
+            .field("scratch_keys", &self.scratch.keys().collect::<Vec<_>>())
+            .field("ops", &self.ops)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paxml_xml::XmlTree;
+
+    fn fragment(id: usize, label: &str) -> Fragment {
+        Fragment {
+            id: FragmentId(id),
+            tree: XmlTree::with_root_element(label),
+            root_label: label.to_string(),
+            origin: vec![0],
+        }
+    }
+
+    #[test]
+    fn site_holds_multiple_fragments() {
+        let mut s = SiteLocal::new(SiteId(2));
+        s.add_fragment(fragment(2, "market"));
+        s.add_fragment(fragment(4, "market"));
+        assert_eq!(s.fragment_ids(), vec![FragmentId(2), FragmentId(4)]);
+        assert_eq!(s.cumulative_size(), 2);
+        assert_eq!(s.id.to_string(), "S2");
+    }
+
+    #[test]
+    fn scratch_state_is_typed() {
+        let mut s = SiteLocal::new(SiteId(0));
+        s.put_scratch("answers", vec![1u32, 2, 3]);
+        s.put_scratch("count", 7usize);
+        assert_eq!(s.scratch::<Vec<u32>>("answers"), Some(&vec![1, 2, 3]));
+        assert_eq!(s.scratch::<usize>("count"), Some(&7));
+        // Wrong type yields None without destroying the value.
+        assert_eq!(s.scratch::<String>("answers"), None);
+        assert_eq!(s.take_scratch::<String>("answers"), None);
+        assert_eq!(s.take_scratch::<Vec<u32>>("answers"), Some(vec![1, 2, 3]));
+        assert_eq!(s.scratch::<Vec<u32>>("answers"), None);
+        if let Some(count) = s.scratch_mut::<usize>("count") {
+            *count += 1;
+        }
+        assert_eq!(s.scratch::<usize>("count"), Some(&8));
+        s.clear_scratch();
+        assert_eq!(s.scratch::<usize>("count"), None);
+    }
+
+    #[test]
+    fn ops_accumulate() {
+        let mut s = SiteLocal::new(SiteId(1));
+        assert_eq!(s.ops(), 0);
+        s.charge_ops(10);
+        s.charge_ops(5);
+        assert_eq!(s.ops(), 15);
+    }
+}

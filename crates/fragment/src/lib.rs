@@ -1,0 +1,41 @@
+//! # paxml-fragment — XML tree fragmentation and fragment trees
+//!
+//! Implements §2.1 and §5 of the paper:
+//!
+//! * an XML tree `T` is decomposed into a set of **disjoint fragments**
+//!   (sub-trees); the place of a missing sub-fragment inside its parent
+//!   fragment is held by a **virtual node**;
+//! * the fragmentation induces a **fragment tree** `FT` whose nodes are the
+//!   fragments and whose edges connect a fragment to its sub-fragments;
+//! * every edge of `FT` can carry an **XPath annotation**: the label path in
+//!   `T` from the parent fragment's root to the child fragment's root
+//!   (Fig. 6), used by the pruning optimization of §5.
+//!
+//! No constraint is imposed on the fragmentation: fragments may appear at
+//! any level, be arbitrarily nested, and have arbitrary sizes — the
+//! fragmentation strategies in [`strategy`] are merely convenient ways of
+//! choosing cut points.
+//!
+//! ```
+//! use paxml_xml::parse;
+//! use paxml_fragment::{fragment_at, strategy};
+//!
+//! let tree = parse("<clientele><client><broker><market/></broker></client></clientele>").unwrap();
+//! let broker = tree.find_first("broker").unwrap();
+//! let fragmented = fragment_at(&tree, &[broker]).unwrap();
+//! assert_eq!(fragmented.fragment_count(), 2);
+//! let reassembled = fragmented.reassemble().unwrap();
+//! assert_eq!(paxml_xml::to_string(&reassembled), paxml_xml::to_string(&tree));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod fragmenter;
+mod model;
+pub mod strategy;
+
+pub use error::{FragmentError, FragmentResult};
+pub use fragmenter::{fragment_at, reassemble, reassemble_with_origin};
+pub use model::{Fragment, FragmentId, FragmentTree, FragmentedTree};

@@ -1,0 +1,178 @@
+//! Fragmentation strategies: convenient ways of choosing cut points.
+//!
+//! The paper imposes no constraint on how a tree is fragmented (§2.1); these
+//! helpers produce the fragmentations its experiments use:
+//!
+//! * [`cut_at_labels`] — cut at every element with one of the given labels
+//!   (e.g. one fragment per XMark "site", the FT1 topology of Fig. 8);
+//! * [`cut_children_of_root`] — one fragment per child of the root;
+//! * [`cut_by_size`] — greedy bottom-up size balancing: cut whenever a
+//!   subtree grows beyond a node budget (used to emulate the unequal
+//!   fragment sizes of the FT2 topology);
+//! * [`cut_nth_children`] — cut a selected subset of the root's children.
+
+use crate::error::FragmentResult;
+use crate::fragmenter::fragment_at;
+use crate::model::FragmentedTree;
+use paxml_xml::{NodeId, XmlTree};
+use std::collections::BTreeSet;
+
+/// Cut at every element whose label is in `labels` (except the root).
+pub fn cut_at_labels(tree: &XmlTree, labels: &[&str]) -> FragmentResult<FragmentedTree> {
+    let set: BTreeSet<&str> = labels.iter().copied().collect();
+    let cuts: Vec<NodeId> = tree
+        .all_nodes()
+        .filter(|&n| n != tree.root())
+        .filter(|&n| tree.label(n).map(|l| set.contains(l)).unwrap_or(false))
+        .collect();
+    fragment_at(tree, &cuts)
+}
+
+/// Cut at every element child of the root: one fragment per top-level
+/// subtree plus the (small) root fragment.
+pub fn cut_children_of_root(tree: &XmlTree) -> FragmentResult<FragmentedTree> {
+    let cuts: Vec<NodeId> = tree.element_children(tree.root()).collect();
+    fragment_at(tree, &cuts)
+}
+
+/// Cut selected element children of the root, identified by their position
+/// among the root's element children.
+pub fn cut_nth_children(tree: &XmlTree, positions: &[usize]) -> FragmentResult<FragmentedTree> {
+    let children: Vec<NodeId> = tree.element_children(tree.root()).collect();
+    let cuts: Vec<NodeId> = positions
+        .iter()
+        .filter_map(|&p| children.get(p).copied())
+        .collect();
+    fragment_at(tree, &cuts)
+}
+
+/// Greedy size-balancing fragmentation: walk the tree bottom-up and cut a
+/// node whenever the number of nodes it would keep in its enclosing fragment
+/// exceeds `max_nodes`. The root is never cut. The result guarantees that
+/// every fragment except possibly the root one has at most `max_nodes` nodes
+/// *plus* the sizes of nodes that individually exceed the budget (a single
+/// huge flat element cannot be split further, matching the paper's model
+/// where fragments are whole subtrees).
+pub fn cut_by_size(tree: &XmlTree, max_nodes: usize) -> FragmentResult<FragmentedTree> {
+    let max_nodes = max_nodes.max(2);
+    // effective_size[n] = nodes of n's subtree that stay in n's own fragment
+    // (i.e. excluding the subtrees of descendants already chosen as cuts).
+    let mut effective_size: Vec<usize> = vec![0; tree.node_count()];
+    let mut cuts: Vec<NodeId> = Vec::new();
+    for n in tree.post_order(tree.root()) {
+        let mut acc = 1usize; // the node itself
+        for c in tree.children(n) {
+            let child_size = effective_size[c.index()];
+            if acc + child_size > max_nodes && tree.is_element(c) && child_size > 1 {
+                // Keeping this child would overflow the enclosing fragment:
+                // make the child a fragment root instead.
+                cuts.push(c);
+                acc += 1; // the virtual placeholder still counts as a node
+            } else {
+                acc += child_size;
+            }
+        }
+        effective_size[n.index()] = acc;
+    }
+    fragment_at(tree, &cuts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FragmentId;
+    use paxml_xml::{parse, to_string, TreeBuilder};
+
+    fn sites_tree(site_count: usize) -> XmlTree {
+        let mut b = TreeBuilder::new("sites");
+        for i in 0..site_count {
+            b = b
+                .open("site")
+                .open("people")
+                .leaf("person", format!("p{i}"))
+                .close()
+                .open("regions")
+                .leaf("item", format!("i{i}"))
+                .close()
+                .close();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn cut_at_labels_builds_ft1_like_topology() {
+        let tree = sites_tree(5);
+        let f = cut_at_labels(&tree, &["site"]).unwrap();
+        assert_eq!(f.fragment_count(), 6); // root + 5 sites
+        // Every non-root fragment hangs directly off the root fragment and
+        // is annotated with "site".
+        for id in f.fragment_tree.ids().iter().skip(1) {
+            assert_eq!(f.fragment_tree.parent(*id), Some(FragmentId::ROOT));
+            assert_eq!(f.fragment_tree.annotation(*id).unwrap().to_string(), "site");
+        }
+        let back = f.reassemble().unwrap();
+        assert_eq!(to_string(&back), to_string(&tree));
+    }
+
+    #[test]
+    fn cut_children_of_root_cuts_every_top_level_subtree() {
+        let tree = sites_tree(3);
+        let f = cut_children_of_root(&tree).unwrap();
+        assert_eq!(f.fragment_count(), 4);
+        assert_eq!(f.root_fragment().size(), 1 + 3); // root element + 3 placeholders
+    }
+
+    #[test]
+    fn cut_nth_children_selects_a_subset() {
+        let tree = sites_tree(4);
+        let f = cut_nth_children(&tree, &[0, 2]).unwrap();
+        assert_eq!(f.fragment_count(), 3);
+        // Positions beyond the child count are ignored.
+        let f = cut_nth_children(&tree, &[0, 99]).unwrap();
+        assert_eq!(f.fragment_count(), 2);
+    }
+
+    #[test]
+    fn cut_by_size_bounds_fragment_sizes() {
+        let tree = sites_tree(8);
+        let total = tree.all_nodes().count();
+        let f = cut_by_size(&tree, 10).unwrap();
+        assert!(f.fragment_count() > 1, "a {total}-node tree must split under a 10-node budget");
+        for frag in &f.fragments {
+            // Each fragment stays within the budget plus its placeholders
+            // (the root fragment may keep a placeholder per cut).
+            assert!(
+                frag.size() <= 10 + frag.virtual_children().len(),
+                "fragment {} has {} nodes",
+                frag.id,
+                frag.size()
+            );
+        }
+        let back = f.reassemble().unwrap();
+        assert_eq!(to_string(&back), to_string(&tree));
+    }
+
+    #[test]
+    fn cut_by_size_with_huge_budget_keeps_one_fragment() {
+        let tree = sites_tree(2);
+        let f = cut_by_size(&tree, 10_000).unwrap();
+        assert_eq!(f.fragment_count(), 1);
+    }
+
+    #[test]
+    fn cut_by_size_never_cuts_below_one_node() {
+        let tree = parse("<a><b/><c/><d/></a>").unwrap();
+        let f = cut_by_size(&tree, 1).unwrap();
+        f.validate().unwrap();
+        let back = f.reassemble().unwrap();
+        assert_eq!(to_string(&back), to_string(&tree));
+    }
+
+    #[test]
+    fn label_cut_with_no_matches_yields_single_fragment() {
+        let tree = sites_tree(2);
+        let f = cut_at_labels(&tree, &["nonexistent"]).unwrap();
+        assert_eq!(f.fragment_count(), 1);
+        assert!(f.fragment_tree.is_empty());
+    }
+}

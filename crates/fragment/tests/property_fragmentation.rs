@@ -1,0 +1,162 @@
+//! Property-based tests of the fragmentation layer: for random trees and
+//! random (or strategy-derived) cut sets, fragmentation must partition the
+//! node set, keep the fragment tree consistent with the virtual-node
+//! references, produce annotations that really are the root-to-root label
+//! paths, and reassemble to the original document.
+
+use paxml_fragment::{fragment_at, strategy, FragmentId, FragmentedTree};
+use paxml_xml::{label_path, to_string, NodeId, NodeKind, XmlTree};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const LABELS: &[&str] = &["site", "people", "person", "item", "name"];
+
+fn build_tree(spec: &[(usize, usize)]) -> XmlTree {
+    let mut tree = XmlTree::with_root_element("root");
+    let mut elements = vec![tree.root()];
+    for &(parent_choice, kind) in spec {
+        let parent = elements[parent_choice % elements.len()];
+        if kind % 4 == 3 {
+            tree.append_child(parent, NodeKind::text(format!("t{}", kind)));
+        } else {
+            elements.push(tree.append_element(parent, LABELS[kind % LABELS.len()]));
+        }
+    }
+    tree
+}
+
+fn tree_strategy() -> impl Strategy<Value = XmlTree> {
+    prop::collection::vec((0usize..400, 0usize..24), 2..70).prop_map(|spec| build_tree(&spec))
+}
+
+fn cuts_for(tree: &XmlTree, picks: &[usize]) -> Vec<NodeId> {
+    let candidates: Vec<NodeId> = tree
+        .all_nodes()
+        .filter(|&n| n != tree.root() && tree.is_element(n))
+        .collect();
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    let mut cuts: Vec<NodeId> =
+        picks.iter().map(|&p| candidates[p % candidates.len()]).collect();
+    cuts.sort();
+    cuts.dedup();
+    cuts
+}
+
+/// Shared checks for any fragmentation of any tree.
+fn check_fragmentation(tree: &XmlTree, fragmented: &FragmentedTree) -> Result<(), TestCaseError> {
+    fragmented.validate().expect("fragmentation must be internally consistent");
+
+    // (1) The real nodes of the fragments partition the original node set.
+    prop_assert_eq!(fragmented.total_real_nodes(), tree.all_nodes().count());
+    let mut seen_origins: BTreeSet<u32> = BTreeSet::new();
+    for fragment in &fragmented.fragments {
+        for node in fragment.tree.all_nodes() {
+            if !fragment.tree.is_virtual(node) {
+                prop_assert!(
+                    seen_origins.insert(fragment.origin[node.index()]),
+                    "origin node {} appears in two fragments",
+                    fragment.origin[node.index()]
+                );
+            }
+        }
+    }
+
+    // (2) Every edge annotation is exactly the label path between the two
+    //     fragment roots in the original tree.
+    for &id in fragmented.fragment_tree.ids() {
+        if let Some(parent) = fragmented.fragment_tree.parent(id) {
+            let parent_root = fragmented.fragment(parent).unwrap().origin_of(
+                fragmented.fragment(parent).unwrap().tree.root(),
+            );
+            let child_root =
+                fragmented.fragment(id).unwrap().origin_of(fragmented.fragment(id).unwrap().tree.root());
+            let expected = label_path(tree, parent_root, child_root)
+                .expect("a parent fragment root is always an ancestor of its children's roots");
+            prop_assert_eq!(
+                fragmented.fragment_tree.annotation(id).unwrap(),
+                &expected,
+                "annotation mismatch for {}",
+                id
+            );
+        }
+    }
+
+    // (3) Reassembly is the identity (up to serialization).
+    let reassembled = fragmented.reassemble().expect("reassembly succeeds");
+    prop_assert_eq!(to_string(&reassembled), to_string(tree));
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn random_cut_sets_fragment_cleanly(
+        tree in tree_strategy(),
+        picks in prop::collection::vec(0usize..500, 0..12),
+    ) {
+        let cuts = cuts_for(&tree, &picks);
+        let fragmented = fragment_at(&tree, &cuts).expect("valid cuts");
+        prop_assert_eq!(fragmented.fragment_count(), cuts.len() + 1);
+        check_fragmentation(&tree, &fragmented)?;
+    }
+
+    #[test]
+    fn size_balanced_fragmentation_is_sound(
+        tree in tree_strategy(),
+        budget in 4usize..40,
+    ) {
+        let fragmented = strategy::cut_by_size(&tree, budget).expect("size strategy succeeds");
+        check_fragmentation(&tree, &fragmented)?;
+        // The budget is a soft target (a fragment can exceed it only through
+        // children too small to form fragments of their own — see the
+        // strategy's documentation), but two hard facts always hold:
+        // a budget at least as large as the whole tree yields one fragment,
+        // and the number of fragments never exceeds the number of elements.
+        let elements = tree.all_nodes().filter(|&n| tree.is_element(n)).count();
+        prop_assert!(fragmented.fragment_count() <= elements);
+        let whole = strategy::cut_by_size(&tree, tree.all_nodes().count() + 1).unwrap();
+        prop_assert_eq!(whole.fragment_count(), 1);
+    }
+
+    #[test]
+    fn label_cuts_place_every_matching_element_at_a_fragment_root(
+        tree in tree_strategy(),
+        label in prop::sample::select(LABELS.to_vec()),
+    ) {
+        let fragmented = strategy::cut_at_labels(&tree, &[label]).expect("label strategy succeeds");
+        check_fragmentation(&tree, &fragmented)?;
+        let expected = tree
+            .all_nodes()
+            .filter(|&n| n != tree.root() && tree.label(n) == Some(label))
+            .count();
+        prop_assert_eq!(fragmented.fragment_count(), expected + 1);
+        for fragment in fragmented.fragments.iter().skip(1) {
+            prop_assert_eq!(fragment.root_label.as_str(), label);
+        }
+    }
+
+    #[test]
+    fn fragment_ids_follow_document_order(
+        tree in tree_strategy(),
+        picks in prop::collection::vec(0usize..500, 1..10),
+    ) {
+        let cuts = cuts_for(&tree, &picks);
+        let fragmented = fragment_at(&tree, &cuts).expect("valid cuts");
+        // Fragment roots, ordered by id, appear in document order of their
+        // origin nodes (F1 before F2 before …).
+        let mut last_position = None;
+        let order: Vec<NodeId> = tree.all_nodes().collect();
+        for fragment in fragmented.fragments.iter().skip(1) {
+            let origin = fragment.origin_of(fragment.tree.root());
+            let position = order.iter().position(|&n| n == origin).unwrap();
+            if let Some(last) = last_position {
+                prop_assert!(position > last, "fragment ids out of document order");
+            }
+            last_position = Some(position);
+        }
+        let _ = FragmentId::ROOT;
+    }
+}

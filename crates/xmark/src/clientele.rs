@@ -1,0 +1,160 @@
+//! The paper's running example: the investment-company clientele of Fig. 1
+//! and its fragmentation of Fig. 2.
+
+use paxml_fragment::{fragment_at, FragmentedTree};
+use paxml_xml::{TreeBuilder, XmlTree};
+
+/// Queries used throughout the paper's narrative over the clientele tree,
+/// with a short description of what they return.
+pub const CLIENTELE_QUERY_EXAMPLES: &[(&str, &str)] = &[
+    (".[//stock/code/text()='GOOG']", "Boolean query of the introduction: is GOOG traded?"),
+    (
+        "//broker[//stock/code/text()='GOOG']/name",
+        "data-selecting query Q' of the introduction: brokers trading GOOG",
+    ),
+    (
+        "//broker[//stock/code/text()='GOOG' and not(//stock/code/text()='YHOO')]/name",
+        "query Q1 of §2.2: brokers trading GOOG but not YHOO",
+    ),
+    (
+        "client[country/text()='US']/broker[market/name/text()='NASDAQ']/name",
+        "Example 2.1: NASDAQ brokers of US clients",
+    ),
+    ("client/name", "Example 5.1: the names of all clients"),
+];
+
+/// Build the Fig. 1 clientele document: three clients (Anna, Kim, Lisa),
+/// their brokers (E*trade, Bache, CIBC), the markets they trade in and the
+/// stocks they hold.
+pub fn clientele_document() -> XmlTree {
+    TreeBuilder::new("clientele")
+        .open("client")
+        .leaf("name", "Anna")
+        .leaf("country", "US")
+        .open("broker")
+        .leaf("name", "E*trade")
+        .open("market")
+        .leaf("name", "NYSE")
+        .open("stock")
+        .leaf("code", "IBM")
+        .leaf("buy", "$80")
+        .leaf("qt", "50")
+        .close()
+        .close()
+        .open("market")
+        .leaf("name", "NASDAQ")
+        .open("stock")
+        .leaf("code", "YHOO")
+        .leaf("buy", "$33")
+        .leaf("qt", "40")
+        .close()
+        .open("stock")
+        .leaf("code", "GOOG")
+        .leaf("buy", "$374")
+        .leaf("qt", "75")
+        .close()
+        .close()
+        .close()
+        .close()
+        .open("client")
+        .leaf("name", "Kim")
+        .leaf("country", "US")
+        .open("broker")
+        .leaf("name", "Bache")
+        .open("market")
+        .leaf("name", "NASDAQ")
+        .open("stock")
+        .leaf("code", "GOOG")
+        .leaf("buy", "$370")
+        .leaf("qt", "40")
+        .close()
+        .close()
+        .close()
+        .close()
+        .open("client")
+        .leaf("name", "Lisa")
+        .leaf("country", "Canada")
+        .open("broker")
+        .leaf("name", "CIBC")
+        .open("market")
+        .leaf("name", "TSE")
+        .open("stock")
+        .leaf("code", "GOOG")
+        .leaf("buy", "$382")
+        .leaf("qt", "90")
+        .close()
+        .close()
+        .close()
+        .close()
+        .build()
+}
+
+/// Fragment the clientele document the way Fig. 1/Fig. 2 do: Anna's broker
+/// subtree, the NASDAQ market inside it, Kim's NASDAQ market, and Lisa's
+/// whole client subtree each become separate fragments (five fragments
+/// F0–F4 in total). Returns the original document together with its
+/// fragmentation.
+pub fn clientele_fragmentation() -> (XmlTree, FragmentedTree) {
+    let tree = clientele_document();
+    let brokers = tree.find_all("broker");
+    let markets = tree.find_all("market");
+    let clients = tree.find_all("client");
+    // Anna's broker, Anna's NASDAQ market, Kim's NASDAQ market, Lisa's client.
+    let cuts = vec![brokers[0], markets[1], markets[2], clients[2]];
+    let fragmented = fragment_at(&tree, &cuts).expect("the Fig. 1 cuts are valid");
+    (tree, fragmented)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paxml_fragment::FragmentId;
+    use paxml_xpath::centralized;
+
+    #[test]
+    fn document_matches_fig1() {
+        let t = clientele_document();
+        assert_eq!(t.find_all("client").len(), 3);
+        assert_eq!(t.find_all("broker").len(), 3);
+        assert_eq!(t.find_all("market").len(), 4);
+        assert_eq!(t.find_all("stock").len(), 5);
+        let codes: Vec<String> = t
+            .find_all("code")
+            .into_iter()
+            .filter_map(|n| t.text_of(n))
+            .collect();
+        assert_eq!(codes, vec!["IBM", "YHOO", "GOOG", "GOOG", "GOOG"]);
+    }
+
+    #[test]
+    fn fragmentation_has_five_fragments_with_nested_structure() {
+        let (_, fragmented) = clientele_fragmentation();
+        assert_eq!(fragmented.fragment_count(), 5);
+        fragmented.validate().unwrap();
+        // One fragment is nested below another (the NASDAQ market inside
+        // Anna's broker fragment), as in Fig. 2.
+        let nested = fragmented
+            .fragment_tree
+            .ids()
+            .iter()
+            .filter(|&&f| {
+                fragmented
+                    .fragment_tree
+                    .parent(f)
+                    .map(|p| p != FragmentId::ROOT)
+                    .unwrap_or(false)
+            })
+            .count();
+        assert_eq!(nested, 1);
+    }
+
+    #[test]
+    fn example_queries_run_and_return_expected_counts() {
+        let t = clientele_document();
+        let expectations = [1usize, 3, 2, 2, 3];
+        for ((query, _), expected) in CLIENTELE_QUERY_EXAMPLES.iter().zip(expectations) {
+            let r = centralized::evaluate(&t, query).unwrap();
+            assert_eq!(r.answers.len(), expected, "unexpected answer count for {query}");
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! An XMark-like synthetic document generator.
+//!
+//! The generator reproduces the slice of the XMark schema exercised by the
+//! paper's experiment queries (Fig. 7):
+//!
+//! ```text
+//! sites
+//! └── site*
+//!     ├── regions
+//!     │   ├── namerica ── item* (location, quantity, name, description)
+//!     │   └── europe   ── item*
+//!     ├── people
+//!     │   └── person* (name, emailaddress, creditcard?, profile(age, interest*),
+//!     │                address(street, city, country))
+//!     ├── open_auctions
+//!     │   └── auction* (initial, current, annotation(author, description), bidder*)
+//!     └── closed_auctions
+//!         └── closed_auction* (seller, buyer, price, quantity, annotation(description))
+//! ```
+//!
+//! Sizes are expressed in *virtual megabytes*: `1 vMB` corresponds to
+//! [`NODES_PER_VMB`] tree nodes, a deliberately scaled-down unit so that the
+//! paper's 100 MB–280 MB experiments run in seconds on a laptop while
+//! preserving the relative sizes, selectivities and answer cardinalities
+//! that shape the figures (see DESIGN.md, substitution table).
+
+use paxml_xml::{NodeId, XmlTree};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How many tree nodes one "virtual megabyte" stands for.
+pub const NODES_PER_VMB: usize = 2_500;
+
+/// Configuration of the generator.
+#[derive(Debug, Clone)]
+pub struct XmarkConfig {
+    /// Number of XMark "site" subtrees under the `sites` root.
+    pub site_count: usize,
+    /// Target size of *each* site subtree, in virtual megabytes.
+    pub vmb_per_site: f64,
+    /// RNG seed — identical seeds produce identical documents.
+    pub seed: u64,
+    /// Fraction of persons living in the US (drives Q3/Q4 selectivity).
+    pub us_fraction: f64,
+    /// Fraction of persons that own a credit card.
+    pub creditcard_fraction: f64,
+}
+
+impl Default for XmarkConfig {
+    fn default() -> Self {
+        XmarkConfig {
+            site_count: 1,
+            vmb_per_site: 1.0,
+            seed: 0x5eed,
+            us_fraction: 0.4,
+            creditcard_fraction: 0.8,
+        }
+    }
+}
+
+impl XmarkConfig {
+    /// A configuration with `site_count` sites totalling `total_vmb` virtual
+    /// megabytes (sites of equal size) — the Experiment-1 shape.
+    pub fn equal_sites(site_count: usize, total_vmb: f64, seed: u64) -> Self {
+        let site_count = site_count.max(1);
+        XmarkConfig {
+            site_count,
+            vmb_per_site: total_vmb / site_count as f64,
+            seed,
+            ..XmarkConfig::default()
+        }
+    }
+}
+
+/// The generator. Wraps a seeded RNG so repeated calls are reproducible.
+pub struct XmarkGenerator {
+    config: XmarkConfig,
+    rng: StdRng,
+    person_counter: usize,
+    auction_counter: usize,
+    item_counter: usize,
+}
+
+const COUNTRIES: &[&str] = &["Canada", "Germany", "France", "Japan", "Brazil", "India"];
+const CITIES: &[&str] =
+    &["Edinburgh", "Beijing", "Toronto", "Berlin", "Lyon", "Osaka", "Recife", "Pune"];
+const FIRST_NAMES: &[&str] =
+    &["Anna", "Kim", "Lisa", "Gao", "Wenfei", "Anastasios", "Peter", "Maria", "Ravi", "Yuki"];
+const LAST_NAMES: &[&str] =
+    &["Cong", "Fan", "Smith", "Mueller", "Tanaka", "Silva", "Patel", "Brown", "Rossi", "Chen"];
+const INTERESTS: &[&str] = &["bonds", "stocks", "art", "coins", "antiques", "wine"];
+const WORDS: &[&str] = &[
+    "partial", "evaluation", "distributed", "query", "fragment", "vector", "boolean",
+    "annotation", "auction", "reserve", "bid", "catalogue", "vintage", "shipment",
+];
+
+impl XmarkGenerator {
+    /// Create a generator for the given configuration.
+    pub fn new(config: XmarkConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        XmarkGenerator { config, rng, person_counter: 0, auction_counter: 0, item_counter: 0 }
+    }
+
+    /// Generate the whole document: a `sites` root with
+    /// `config.site_count` site subtrees.
+    pub fn generate(&mut self) -> XmlTree {
+        let mut tree = XmlTree::with_root_element("sites");
+        let root = tree.root();
+        for _ in 0..self.config.site_count {
+            let budget = (self.config.vmb_per_site * NODES_PER_VMB as f64) as usize;
+            self.generate_site(&mut tree, root, budget);
+        }
+        tree
+    }
+
+    /// Generate one `site` subtree under `parent` with roughly
+    /// `node_budget` nodes, split across the four sections with XMark-like
+    /// proportions (people 30%, open_auctions 30%, regions 25%,
+    /// closed_auctions 15%).
+    pub fn generate_site(&mut self, tree: &mut XmlTree, parent: NodeId, node_budget: usize) -> NodeId {
+        let node_budget = node_budget.max(60);
+        let site = tree.append_element(parent, "site");
+
+        let regions_budget = node_budget * 25 / 100;
+        let people_budget = node_budget * 30 / 100;
+        let open_budget = node_budget * 30 / 100;
+        let closed_budget = node_budget * 15 / 100;
+
+        self.generate_regions(tree, site, regions_budget);
+        self.generate_people(tree, site, people_budget);
+        self.generate_open_auctions(tree, site, open_budget);
+        self.generate_closed_auctions(tree, site, closed_budget);
+        site
+    }
+
+    fn generate_regions(&mut self, tree: &mut XmlTree, site: NodeId, budget: usize) -> NodeId {
+        let regions = tree.append_element(site, "regions");
+        let namerica = tree.append_element(regions, "namerica");
+        let europe = tree.append_element(regions, "europe");
+        // ~12 nodes per item.
+        let items = (budget / 12).max(1);
+        for i in 0..items {
+            let region = if i % 2 == 0 { namerica } else { europe };
+            self.generate_item(tree, region);
+        }
+        regions
+    }
+
+    fn generate_item(&mut self, tree: &mut XmlTree, region: NodeId) -> NodeId {
+        self.item_counter += 1;
+        let item = tree.append_element(region, "item");
+        tree.set_attribute(item, "id", format!("item{}", self.item_counter)).unwrap();
+        tree.append_leaf(item, "location", self.pick(COUNTRIES).to_string());
+        tree.append_leaf(item, "quantity", self.rng.gen_range(1..10).to_string());
+        tree.append_leaf(item, "name", format!("item {}", self.item_counter));
+        tree.append_leaf(item, "payment", "Creditcard");
+        let description = tree.append_element(item, "description");
+        tree.append_leaf(description, "text", self.sentence(4));
+        item
+    }
+
+    fn generate_people(&mut self, tree: &mut XmlTree, site: NodeId, budget: usize) -> NodeId {
+        let people = tree.append_element(site, "people");
+        // ~16 nodes per person.
+        let persons = (budget / 16).max(1);
+        for _ in 0..persons {
+            self.generate_person(tree, people);
+        }
+        people
+    }
+
+    fn generate_person(&mut self, tree: &mut XmlTree, people: NodeId) -> NodeId {
+        self.person_counter += 1;
+        let person = tree.append_element(people, "person");
+        tree.set_attribute(person, "id", format!("person{}", self.person_counter)).unwrap();
+        let name = format!("{} {}", self.pick(FIRST_NAMES), self.pick(LAST_NAMES));
+        tree.append_leaf(person, "name", name.clone());
+        tree.append_leaf(
+            person,
+            "emailaddress",
+            format!("mailto:{}{}@example.org", name.replace(' ', "."), self.person_counter),
+        );
+        if self.rng.gen_bool(self.config.creditcard_fraction) {
+            let card: String = (0..4)
+                .map(|_| format!("{:04}", self.rng.gen_range(0..10_000)))
+                .collect::<Vec<_>>()
+                .join(" ");
+            tree.append_leaf(person, "creditcard", card);
+        }
+        let profile = tree.append_element(person, "profile");
+        tree.append_leaf(profile, "age", self.rng.gen_range(18..70).to_string());
+        tree.append_leaf(profile, "education", "Graduate School");
+        let interest = tree.append_element(profile, "interest");
+        tree.set_attribute(interest, "category", self.pick(INTERESTS).to_string()).unwrap();
+        let address = tree.append_element(person, "address");
+        tree.append_leaf(address, "street", format!("{} Main Street", self.rng.gen_range(1..100)));
+        tree.append_leaf(address, "city", self.pick(CITIES).to_string());
+        let country = if self.rng.gen_bool(self.config.us_fraction) {
+            "US".to_string()
+        } else {
+            self.pick(COUNTRIES).to_string()
+        };
+        tree.append_leaf(address, "country", country);
+        person
+    }
+
+    fn generate_open_auctions(&mut self, tree: &mut XmlTree, site: NodeId, budget: usize) -> NodeId {
+        let auctions = tree.append_element(site, "open_auctions");
+        // ~18 nodes per auction.
+        let count = (budget / 18).max(1);
+        for _ in 0..count {
+            self.generate_auction(tree, auctions);
+        }
+        auctions
+    }
+
+    fn generate_auction(&mut self, tree: &mut XmlTree, auctions: NodeId) -> NodeId {
+        self.auction_counter += 1;
+        let auction = tree.append_element(auctions, "auction");
+        tree.set_attribute(auction, "id", format!("auction{}", self.auction_counter)).unwrap();
+        tree.append_leaf(auction, "initial", format!("{:.2}", self.rng.gen_range(1.0..200.0)));
+        tree.append_leaf(auction, "current", format!("{:.2}", self.rng.gen_range(1.0..400.0)));
+        let annotation = tree.append_element(auction, "annotation");
+        tree.append_leaf(annotation, "author", format!("person{}", self.rng.gen_range(1..=self.person_counter.max(1))));
+        let description = tree.append_element(annotation, "description");
+        tree.append_leaf(description, "text", self.sentence(6));
+        for _ in 0..self.rng.gen_range(1..4) {
+            let bidder = tree.append_element(auction, "bidder");
+            tree.append_leaf(bidder, "date", format!("0{}/2007", self.rng.gen_range(1..10)));
+            tree.append_leaf(bidder, "increase", format!("{:.2}", self.rng.gen_range(1.0..20.0)));
+        }
+        auction
+    }
+
+    fn generate_closed_auctions(
+        &mut self,
+        tree: &mut XmlTree,
+        site: NodeId,
+        budget: usize,
+    ) -> NodeId {
+        let closed = tree.append_element(site, "closed_auctions");
+        // ~12 nodes per closed auction.
+        let count = (budget / 12).max(1);
+        for _ in 0..count {
+            let auction = tree.append_element(closed, "closed_auction");
+            tree.append_leaf(auction, "seller", format!("person{}", self.rng.gen_range(1..=self.person_counter.max(1))));
+            tree.append_leaf(auction, "buyer", format!("person{}", self.rng.gen_range(1..=self.person_counter.max(1))));
+            tree.append_leaf(auction, "price", format!("{:.2}", self.rng.gen_range(1.0..500.0)));
+            tree.append_leaf(auction, "quantity", self.rng.gen_range(1..5).to_string());
+            let annotation = tree.append_element(auction, "annotation");
+            let description = tree.append_element(annotation, "description");
+            tree.append_leaf(description, "text", self.sentence(3));
+        }
+        closed
+    }
+
+    fn pick<'a>(&mut self, options: &[&'a str]) -> &'a str {
+        options[self.rng.gen_range(0..options.len())]
+    }
+
+    fn sentence(&mut self, words: usize) -> String {
+        (0..words).map(|_| self.pick(WORDS)).collect::<Vec<_>>().join(" ")
+    }
+}
+
+/// Convenience: generate a document from a configuration.
+pub fn generate(config: XmarkConfig) -> XmlTree {
+    XmarkGenerator::new(config).generate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paxml_xml::TreeStats;
+    use paxml_xpath::centralized;
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let a = generate(XmarkConfig { site_count: 2, vmb_per_site: 0.2, ..Default::default() });
+        let b = generate(XmarkConfig { site_count: 2, vmb_per_site: 0.2, ..Default::default() });
+        assert_eq!(paxml_xml::to_string(&a), paxml_xml::to_string(&b));
+        let c = generate(XmarkConfig {
+            site_count: 2,
+            vmb_per_site: 0.2,
+            seed: 99,
+            ..Default::default()
+        });
+        assert_ne!(paxml_xml::to_string(&a), paxml_xml::to_string(&c));
+    }
+
+    #[test]
+    fn node_budget_is_respected_within_tolerance() {
+        for vmb in [0.5, 1.0, 2.0] {
+            let tree = generate(XmarkConfig { site_count: 1, vmb_per_site: vmb, ..Default::default() });
+            let expected = (vmb * NODES_PER_VMB as f64) as usize;
+            let actual = tree.all_nodes().count();
+            assert!(
+                actual as f64 > expected as f64 * 0.6 && (actual as f64) < expected as f64 * 1.4,
+                "vmb={vmb}: expected ~{expected} nodes, got {actual}"
+            );
+        }
+    }
+
+    #[test]
+    fn schema_contains_every_element_the_queries_touch() {
+        let tree = generate(XmarkConfig { site_count: 2, vmb_per_site: 0.5, ..Default::default() });
+        let stats = TreeStats::compute(&tree);
+        for label in [
+            "site", "people", "person", "profile", "age", "address", "country", "creditcard",
+            "open_auctions", "auction", "annotation", "closed_auctions", "regions", "item",
+        ] {
+            assert!(stats.count_of(label) > 0, "label {label} missing from generated data");
+        }
+        assert_eq!(stats.count_of("site"), 2);
+    }
+
+    #[test]
+    fn paper_queries_have_nonempty_answers_with_expected_selectivity() {
+        let tree = generate(XmarkConfig { site_count: 2, vmb_per_site: 1.0, ..Default::default() });
+        let q1 = centralized::evaluate(&tree, "/sites/site/people/person").unwrap();
+        let q2 = centralized::evaluate(&tree, "/sites/site/open_auctions//annotation").unwrap();
+        let q3 = centralized::evaluate(
+            &tree,
+            "/sites/site/people/person[profile/age > 20 and address/country=\"US\"]/creditcard",
+        )
+        .unwrap();
+        let q4 = centralized::evaluate(
+            &tree,
+            "/sites//people/person[profile/age > 20 and address/country=\"US\"]/creditcard",
+        )
+        .unwrap();
+        assert!(!q1.answers.is_empty());
+        assert!(!q2.answers.is_empty());
+        assert!(!q3.answers.is_empty());
+        // Q3 selects a strict, non-trivial subset of the persons.
+        assert!(q3.answers.len() < q1.answers.len());
+        assert!(q3.answers.len() * 10 > q1.answers.len());
+        // Q4's descendant axis reaches the same people as Q3's explicit path.
+        assert_eq!(q3.answers.len(), q4.answers.len());
+    }
+
+    #[test]
+    fn equal_sites_config_splits_the_total() {
+        let c = XmarkConfig::equal_sites(4, 2.0, 7);
+        assert_eq!(c.site_count, 4);
+        assert!((c.vmb_per_site - 0.5).abs() < 1e-9);
+        let tree = generate(c);
+        assert_eq!(TreeStats::compute(&tree).count_of("site"), 4);
+    }
+}

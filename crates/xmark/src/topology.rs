@@ -1,0 +1,218 @@
+//! The two experiment topologies of Fig. 8 and the query set of Fig. 7.
+
+use crate::generator::{XmarkConfig, XmarkGenerator, NODES_PER_VMB};
+use paxml_fragment::{fragment_at, FragmentedTree};
+use paxml_xml::{NodeId, XmlTree};
+
+/// The four experiment queries of Fig. 7.
+pub const PAPER_QUERIES: &[(&str, &str)] = &[
+    ("Q1", "/sites/site/people/person"),
+    ("Q2", "/sites/site/open_auctions//annotation"),
+    (
+        "Q3",
+        "/sites/site/people/person[profile/age > 20 and address/country=\"US\"]/creditcard",
+    ),
+    (
+        "Q4",
+        "/sites//people/person[profile/age > 20 and address/country=\"US\"]/creditcard",
+    ),
+];
+
+/// Build the **FT1** topology of Experiment 1: `fragment_count` XMark sites
+/// of equal size (totalling `total_vmb` virtual megabytes), each site cut
+/// into its own fragment, so the fragment tree is a root fragment with
+/// `fragment_count` children annotated `site`.
+///
+/// Returns the document and its fragmentation. `fragment_count = 1` yields a
+/// single un-cut fragment (the first iteration of Experiment 1).
+pub fn ft1(fragment_count: usize, total_vmb: f64, seed: u64) -> (XmlTree, FragmentedTree) {
+    let fragment_count = fragment_count.max(1);
+    let config = XmarkConfig::equal_sites(fragment_count, total_vmb, seed);
+    let tree = XmarkGenerator::new(config).generate();
+    let cuts: Vec<NodeId> = if fragment_count == 1 {
+        Vec::new()
+    } else {
+        tree.element_children(tree.root()).collect()
+    };
+    let fragmented = fragment_at(&tree, &cuts).expect("site children are valid cut points");
+    (tree, fragmented)
+}
+
+/// Relative sizes of the FT2 fragments (Experiment 2). Index = fragment id.
+/// The paper's first iteration uses 5 MB for F0–F3, 12 MB for F4, F5, F6 and
+/// F8, 28 MB for F7 and 8 MB for F9 (cumulative 100 MB).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ft2Layout {
+    /// Virtual megabytes per fragment, `[F0, …, F9]`.
+    pub vmb: [f64; 10],
+}
+
+impl Ft2Layout {
+    /// The paper's proportions scaled to a cumulative size of `total_vmb`.
+    pub fn scaled_to(total_vmb: f64) -> Self {
+        let base = [5.0, 5.0, 5.0, 5.0, 12.0, 12.0, 12.0, 28.0, 12.0, 8.0];
+        let sum: f64 = base.iter().sum(); // 104 in the paper's table; keep ratios.
+        let mut vmb = [0.0; 10];
+        for (i, b) in base.iter().enumerate() {
+            vmb[i] = b / sum * total_vmb;
+        }
+        Ft2Layout { vmb }
+    }
+}
+
+/// Build the **FT2** topology of Experiments 2 and 3 (right of Fig. 8): four
+/// XMark sites where
+///
+/// * `F0` (the root fragment) keeps the `sites` root and one whole site,
+/// * `F3` is another whole site,
+/// * the two remaining sites are fragmented further: their `regions`,
+///   `open_auctions` and `closed_auctions` subtrees become the
+///   sub-fragments `F4`–`F9`, leaving the `people` data in `F1`/`F2`.
+///
+/// Fragment sizes follow [`Ft2Layout`]; the cumulative document size is
+/// `total_vmb`.
+pub fn ft2(total_vmb: f64, seed: u64) -> (XmlTree, FragmentedTree) {
+    let layout = Ft2Layout::scaled_to(total_vmb);
+    let nodes = |vmb: f64| (vmb * NODES_PER_VMB as f64) as usize;
+
+    let mut generator = XmarkGenerator::new(XmarkConfig { seed, ..XmarkConfig::default() });
+    let mut tree = XmlTree::with_root_element("sites");
+    let root = tree.root();
+
+    // Site A stays entirely inside F0.
+    generator.generate_site(&mut tree, root, nodes(layout.vmb[0]));
+    // Site B becomes F1 with sub-fragments F4 (regions), F5 (open_auctions),
+    // F6 (closed_auctions... the paper shows open_auctions/regions/namerica;
+    // the exact labels matter only for which queries can prune them).
+    let site_b = generator.generate_site(
+        &mut tree,
+        root,
+        nodes(layout.vmb[1] + layout.vmb[4] + layout.vmb[5] + layout.vmb[6]),
+    );
+    // Site C becomes F2 with sub-fragments F7 (regions), F8 (open_auctions),
+    // F9 (closed_auctions).
+    let site_c = generator.generate_site(
+        &mut tree,
+        root,
+        nodes(layout.vmb[2] + layout.vmb[7] + layout.vmb[8] + layout.vmb[9]),
+    );
+    // Site D is the whole-site fragment F3.
+    let site_d = generator.generate_site(&mut tree, root, nodes(layout.vmb[3]));
+
+    let section = |tree: &XmlTree, site: NodeId, label: &str| -> NodeId {
+        tree.element_children(site)
+            .find(|&c| tree.label(c) == Some(label))
+            .expect("every generated site has all four sections")
+    };
+
+    let cuts = vec![
+        site_b,
+        site_c,
+        site_d,
+        section(&tree, site_b, "regions"),
+        section(&tree, site_b, "open_auctions"),
+        section(&tree, site_b, "closed_auctions"),
+        section(&tree, site_c, "regions"),
+        section(&tree, site_c, "open_auctions"),
+        section(&tree, site_c, "closed_auctions"),
+    ];
+    let fragmented = fragment_at(&tree, &cuts).expect("FT2 cut points are valid");
+    (tree, fragmented)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paxml_fragment::FragmentId;
+    use paxml_xpath::centralized;
+
+    #[test]
+    fn ft1_produces_one_fragment_per_site() {
+        for k in [1usize, 2, 5, 10] {
+            let (tree, fragmented) = ft1(k, 2.0, 1);
+            assert_eq!(fragmented.fragment_count(), if k == 1 { 1 } else { k + 1 });
+            let total = tree.all_nodes().count();
+            let expected = 2.0 * NODES_PER_VMB as f64;
+            assert!(
+                (total as f64) > expected * 0.6 && (total as f64) < expected * 1.4,
+                "k={k}: {total} nodes vs expected ~{expected}"
+            );
+            // Equal-sized fragments (within generator noise).
+            if k > 1 {
+                let sizes: Vec<usize> =
+                    fragmented.fragments.iter().skip(1).map(|f| f.size()).collect();
+                let min = *sizes.iter().min().unwrap();
+                let max = *sizes.iter().max().unwrap();
+                assert!(max < min * 2, "fragment sizes too uneven: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ft1_total_size_is_constant_as_fragmentation_increases() {
+        let (t2, _) = ft1(2, 4.0, 3);
+        let (t8, _) = ft1(8, 4.0, 3);
+        let n2 = t2.all_nodes().count() as f64;
+        let n8 = t8.all_nodes().count() as f64;
+        assert!((n2 - n8).abs() / n2 < 0.35, "sizes diverged: {n2} vs {n8}");
+    }
+
+    #[test]
+    fn ft2_has_ten_fragments_with_nesting_and_unequal_sizes() {
+        let (tree, fragmented) = ft2(4.0, 7);
+        assert_eq!(fragmented.fragment_count(), 10);
+        fragmented.validate().unwrap();
+        let ft = &fragmented.fragment_tree;
+        // The root fragment has three sub-fragments (the three cut sites);
+        // two of those are fragmented further into three sections each.
+        assert_eq!(ft.children(FragmentId(0)).len(), 3);
+        let nested_parents: Vec<FragmentId> = ft
+            .ids()
+            .iter()
+            .copied()
+            .filter(|&f| f != FragmentId(0) && !ft.children(f).is_empty())
+            .collect();
+        assert_eq!(nested_parents.len(), 2);
+        for p in &nested_parents {
+            assert_eq!(ft.children(*p).len(), 3);
+        }
+        // Sizes are unequal: the biggest non-root fragment is at least twice
+        // the smallest.
+        let sizes: Vec<usize> = fragmented.fragments.iter().skip(1).map(|f| f.size()).collect();
+        assert!(sizes.iter().max().unwrap() > &(2 * sizes.iter().min().unwrap()));
+        // The document still answers the paper's queries.
+        let q1 = centralized::evaluate(&tree, PAPER_QUERIES[0].1).unwrap();
+        assert!(!q1.answers.is_empty());
+        // The people data stays inside the site fragments: the nested
+        // sub-fragments are rooted at regions/open_auctions/closed_auctions,
+        // and the site fragments hang off the root with annotation "site".
+        let mut site_edges = 0;
+        let mut section_edges = 0;
+        for &f in ft.ids().iter().skip(1) {
+            let ann = ft.annotation(f).unwrap().to_string();
+            match ann.as_str() {
+                "site" => site_edges += 1,
+                "regions" | "open_auctions" | "closed_auctions" => section_edges += 1,
+                other => panic!("unexpected annotation {other} for {f}"),
+            }
+        }
+        assert_eq!(site_edges, 3);
+        assert_eq!(section_edges, 6);
+    }
+
+    #[test]
+    fn ft2_scales_linearly_with_total_vmb() {
+        let (small, _) = ft2(2.0, 11);
+        let (large, _) = ft2(4.0, 11);
+        let ratio = large.all_nodes().count() as f64 / small.all_nodes().count() as f64;
+        assert!(ratio > 1.6 && ratio < 2.4, "expected ~2x scaling, got {ratio}");
+    }
+
+    #[test]
+    fn paper_queries_constant_is_well_formed() {
+        assert_eq!(PAPER_QUERIES.len(), 4);
+        for (name, text) in PAPER_QUERIES {
+            assert!(paxml_xpath::compile_text(text).is_ok(), "{name} fails to compile");
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Error types for the XML substrate.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type XmlResult<T> = Result<T, XmlError>;
+
+/// Errors raised while parsing or manipulating XML trees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// The input ended before the document was complete.
+    UnexpectedEof {
+        /// Byte offset at which the end of input was reached.
+        offset: usize,
+        /// What the parser was expecting when input ran out.
+        expected: String,
+    },
+    /// An unexpected character was found in the input.
+    UnexpectedChar {
+        /// Byte offset of the offending character.
+        offset: usize,
+        /// The character that was found.
+        found: char,
+        /// What the parser was expecting instead.
+        expected: String,
+    },
+    /// A closing tag did not match the currently open element.
+    MismatchedTag {
+        /// Byte offset of the closing tag.
+        offset: usize,
+        /// Name of the element that is currently open.
+        open: String,
+        /// Name found in the closing tag.
+        close: String,
+    },
+    /// The document contained content after the root element closed,
+    /// or more than one root element.
+    TrailingContent {
+        /// Byte offset of the unexpected trailing content.
+        offset: usize,
+    },
+    /// The document contained no root element at all.
+    EmptyDocument,
+    /// A node id was used with a tree it does not belong to, or after
+    /// the node was detached.
+    InvalidNodeId {
+        /// The offending node id (raw index).
+        id: usize,
+    },
+    /// A structural operation would have produced an invalid tree
+    /// (for instance grafting a node under one of its own descendants).
+    StructureViolation {
+        /// Human-readable description of the violated invariant.
+        message: String,
+    },
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::UnexpectedEof { offset, expected } => {
+                write!(f, "unexpected end of input at offset {offset}: expected {expected}")
+            }
+            XmlError::UnexpectedChar { offset, found, expected } => write!(
+                f,
+                "unexpected character {found:?} at offset {offset}: expected {expected}"
+            ),
+            XmlError::MismatchedTag { offset, open, close } => write!(
+                f,
+                "mismatched closing tag </{close}> at offset {offset}: <{open}> is open"
+            ),
+            XmlError::TrailingContent { offset } => {
+                write!(f, "trailing content after document root at offset {offset}")
+            }
+            XmlError::EmptyDocument => write!(f, "document contains no root element"),
+            XmlError::InvalidNodeId { id } => write!(f, "invalid node id {id}"),
+            XmlError::StructureViolation { message } => {
+                write!(f, "tree structure violation: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = XmlError::UnexpectedEof { offset: 10, expected: "'>'".into() };
+        assert!(e.to_string().contains("offset 10"));
+        let e = XmlError::MismatchedTag { offset: 3, open: "a".into(), close: "b".into() };
+        assert!(e.to_string().contains("</b>"));
+        assert!(e.to_string().contains("<a>"));
+        let e = XmlError::InvalidNodeId { id: 42 };
+        assert!(e.to_string().contains("42"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(XmlError::EmptyDocument, XmlError::EmptyDocument);
+        assert_ne!(
+            XmlError::EmptyDocument,
+            XmlError::TrailingContent { offset: 0 }
+        );
+    }
+}

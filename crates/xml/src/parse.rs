@@ -1,0 +1,571 @@
+//! A small, dependency-free XML parser.
+//!
+//! Supports the subset of XML the paper's documents need:
+//!
+//! * elements with attributes (single- or double-quoted),
+//! * character data with the five predefined entities,
+//! * self-closing tags,
+//! * XML declarations (`<?xml ...?>`), processing instructions, comments and
+//!   DOCTYPE declarations (all skipped),
+//! * CDATA sections.
+//!
+//! Namespaces are treated syntactically: a tag `ns:name` is kept verbatim as
+//! the element label. Whitespace-only text between elements is dropped by
+//! default (the paper's data model has no mixed content), which can be
+//! changed with [`Parser::keep_whitespace`].
+
+use crate::error::{XmlError, XmlResult};
+use crate::node::NodeKind;
+use crate::tree::XmlTree;
+
+/// Parse a document with default options.
+pub fn parse(input: &str) -> XmlResult<XmlTree> {
+    Parser::new().parse(input)
+}
+
+/// Configurable XML parser.
+#[derive(Debug, Clone)]
+pub struct Parser {
+    keep_whitespace: bool,
+}
+
+impl Default for Parser {
+    fn default() -> Self {
+        Parser::new()
+    }
+}
+
+impl Parser {
+    /// Create a parser with default options (whitespace-only text dropped).
+    pub fn new() -> Self {
+        Parser { keep_whitespace: false }
+    }
+
+    /// Keep whitespace-only text nodes instead of dropping them.
+    pub fn keep_whitespace(mut self, keep: bool) -> Self {
+        self.keep_whitespace = keep;
+        self
+    }
+
+    /// Parse `input` into an [`XmlTree`].
+    pub fn parse(&self, input: &str) -> XmlResult<XmlTree> {
+        let mut cursor = Cursor { bytes: input.as_bytes(), pos: 0 };
+        cursor.skip_prolog()?;
+
+        // The root element.
+        let (label, attributes, self_closing) = cursor.read_open_tag()?;
+        let mut tree = XmlTree::new(NodeKind::Element { label: label.clone(), attributes });
+        if !self_closing {
+            let mut open_stack = vec![(tree.root(), label)];
+            self.parse_content(&mut cursor, &mut tree, &mut open_stack)?;
+            if !open_stack.is_empty() {
+                return Err(XmlError::UnexpectedEof {
+                    offset: cursor.pos,
+                    expected: format!("closing tag </{}>", open_stack.last().unwrap().1),
+                });
+            }
+        }
+        cursor.skip_misc();
+        if !cursor.at_end() {
+            return Err(XmlError::TrailingContent { offset: cursor.pos });
+        }
+        Ok(tree)
+    }
+
+    fn parse_content(
+        &self,
+        cursor: &mut Cursor<'_>,
+        tree: &mut XmlTree,
+        open_stack: &mut Vec<(crate::NodeId, String)>,
+    ) -> XmlResult<()> {
+        while !open_stack.is_empty() {
+            if cursor.at_end() {
+                return Ok(());
+            }
+            if cursor.peek() == Some(b'<') {
+                match cursor.peek_at(1) {
+                    Some(b'/') => {
+                        let close = cursor.read_close_tag()?;
+                        let (_, open_label) = open_stack.last().unwrap();
+                        if *open_label != close {
+                            return Err(XmlError::MismatchedTag {
+                                offset: cursor.pos,
+                                open: open_label.clone(),
+                                close,
+                            });
+                        }
+                        open_stack.pop();
+                    }
+                    Some(b'!') => {
+                        if cursor.starts_with(b"<![CDATA[") {
+                            let text = cursor.read_cdata()?;
+                            let parent = open_stack.last().unwrap().0;
+                            if self.keep_whitespace || !text.trim().is_empty() {
+                                tree.append_text(parent, text);
+                            }
+                        } else {
+                            cursor.skip_comment_or_doctype()?;
+                        }
+                    }
+                    Some(b'?') => cursor.skip_pi()?,
+                    _ => {
+                        let (label, attributes, self_closing) = cursor.read_open_tag()?;
+                        let parent = open_stack.last().unwrap().0;
+                        let id = tree
+                            .append_child(parent, NodeKind::Element { label: label.clone(), attributes });
+                        if !self_closing {
+                            open_stack.push((id, label));
+                        }
+                    }
+                }
+            } else {
+                let text = cursor.read_text()?;
+                let parent = open_stack.last().unwrap().0;
+                if self.keep_whitespace || !text.trim().is_empty() {
+                    tree.append_text(parent, text);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<u8> {
+        self.bytes.get(self.pos + offset).copied()
+    }
+
+    fn starts_with(&self, prefix: &[u8]) -> bool {
+        self.bytes[self.pos..].starts_with(prefix)
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn expect(&mut self, byte: u8) -> XmlResult<()> {
+        match self.peek() {
+            Some(b) if b == byte => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(b) => Err(XmlError::UnexpectedChar {
+                offset: self.pos,
+                found: b as char,
+                expected: format!("'{}'", byte as char),
+            }),
+            None => Err(XmlError::UnexpectedEof {
+                offset: self.pos,
+                expected: format!("'{}'", byte as char),
+            }),
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_prolog(&mut self) -> XmlResult<()> {
+        loop {
+            self.skip_whitespace();
+            if self.starts_with(b"<?") {
+                self.skip_pi()?;
+            } else if self.starts_with(b"<!--") || self.starts_with(b"<!DOCTYPE") {
+                self.skip_comment_or_doctype()?;
+            } else if self.at_end() {
+                return Err(XmlError::EmptyDocument);
+            } else if self.peek() == Some(b'<') {
+                return Ok(());
+            } else {
+                return Err(XmlError::UnexpectedChar {
+                    offset: self.pos,
+                    found: self.peek().unwrap() as char,
+                    expected: "'<' starting the root element".into(),
+                });
+            }
+        }
+    }
+
+    /// Skip comments, PIs and whitespace after the root element.
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_whitespace();
+            if self.starts_with(b"<?") {
+                if self.skip_pi().is_err() {
+                    return;
+                }
+            } else if self.starts_with(b"<!--") {
+                if self.skip_comment_or_doctype().is_err() {
+                    return;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn skip_pi(&mut self) -> XmlResult<()> {
+        // assumes starts_with "<?"
+        self.pos += 2;
+        while !self.at_end() {
+            if self.starts_with(b"?>") {
+                self.pos += 2;
+                return Ok(());
+            }
+            self.pos += 1;
+        }
+        Err(XmlError::UnexpectedEof { offset: self.pos, expected: "'?>'".into() })
+    }
+
+    fn skip_comment_or_doctype(&mut self) -> XmlResult<()> {
+        if self.starts_with(b"<!--") {
+            self.pos += 4;
+            while !self.at_end() {
+                if self.starts_with(b"-->") {
+                    self.pos += 3;
+                    return Ok(());
+                }
+                self.pos += 1;
+            }
+            Err(XmlError::UnexpectedEof { offset: self.pos, expected: "'-->'".into() })
+        } else {
+            // DOCTYPE or other <!...> construct: skip to matching '>',
+            // tolerating one level of [] internal subset.
+            self.pos += 2;
+            let mut depth = 0usize;
+            while let Some(b) = self.bump() {
+                match b {
+                    b'[' => depth += 1,
+                    b']' => depth = depth.saturating_sub(1),
+                    b'>' if depth == 0 => return Ok(()),
+                    _ => {}
+                }
+            }
+            Err(XmlError::UnexpectedEof { offset: self.pos, expected: "'>'".into() })
+        }
+    }
+
+    fn read_cdata(&mut self) -> XmlResult<String> {
+        // assumes starts_with "<![CDATA["
+        self.pos += 9;
+        let start = self.pos;
+        while !self.at_end() {
+            if self.starts_with(b"]]>") {
+                let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                self.pos += 3;
+                return Ok(text);
+            }
+            self.pos += 1;
+        }
+        Err(XmlError::UnexpectedEof { offset: self.pos, expected: "']]>'".into() })
+    }
+
+    fn read_name(&mut self) -> XmlResult<String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(XmlError::UnexpectedChar {
+                offset: self.pos,
+                found: self.peek().map(|b| b as char).unwrap_or('\0'),
+                expected: "a tag or attribute name".into(),
+            });
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn read_open_tag(&mut self) -> XmlResult<(String, Vec<(String, String)>, bool)> {
+        self.expect(b'<')?;
+        let label = self.read_name()?;
+        let mut attributes = Vec::new();
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    return Ok((label, attributes, false));
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect(b'>')?;
+                    return Ok((label, attributes, true));
+                }
+                Some(_) => {
+                    let name = self.read_name()?;
+                    self.skip_whitespace();
+                    self.expect(b'=')?;
+                    self.skip_whitespace();
+                    let quote = match self.peek() {
+                        Some(q @ (b'"' | b'\'')) => {
+                            self.pos += 1;
+                            q
+                        }
+                        Some(b) => {
+                            return Err(XmlError::UnexpectedChar {
+                                offset: self.pos,
+                                found: b as char,
+                                expected: "'\"' or '\\''".into(),
+                            })
+                        }
+                        None => {
+                            return Err(XmlError::UnexpectedEof {
+                                offset: self.pos,
+                                expected: "attribute value".into(),
+                            })
+                        }
+                    };
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == quote {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    if self.at_end() {
+                        return Err(XmlError::UnexpectedEof {
+                            offset: self.pos,
+                            expected: "closing quote".into(),
+                        });
+                    }
+                    let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                    self.pos += 1; // closing quote
+                    attributes.push((name, unescape(&raw)));
+                }
+                None => {
+                    return Err(XmlError::UnexpectedEof {
+                        offset: self.pos,
+                        expected: "'>' closing the tag".into(),
+                    })
+                }
+            }
+        }
+    }
+
+    fn read_close_tag(&mut self) -> XmlResult<String> {
+        self.expect(b'<')?;
+        self.expect(b'/')?;
+        let name = self.read_name()?;
+        self.skip_whitespace();
+        self.expect(b'>')?;
+        Ok(name)
+    }
+
+    fn read_text(&mut self) -> XmlResult<String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'<' {
+                break;
+            }
+            self.pos += 1;
+        }
+        let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        Ok(unescape(&raw))
+    }
+}
+
+/// Replace the five predefined XML entities and decimal/hex character
+/// references with their characters. Unknown entities are kept verbatim.
+fn unescape(input: &str) -> String {
+    if !input.contains('&') {
+        return input.to_string();
+    }
+    let mut out = String::with_capacity(input.len());
+    let mut chars = input.char_indices().peekable();
+    while let Some((i, c)) = chars.next() {
+        if c != '&' {
+            out.push(c);
+            continue;
+        }
+        if let Some(end) = input[i..].find(';') {
+            let entity = &input[i + 1..i + end];
+            let replacement = match entity {
+                "lt" => Some('<'),
+                "gt" => Some('>'),
+                "amp" => Some('&'),
+                "apos" => Some('\''),
+                "quot" => Some('"'),
+                _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                    u32::from_str_radix(&entity[2..], 16).ok().and_then(char::from_u32)
+                }
+                _ if entity.starts_with('#') => {
+                    entity[1..].parse::<u32>().ok().and_then(char::from_u32)
+                }
+                _ => None,
+            };
+            if let Some(r) = replacement {
+                out.push(r);
+                // Skip the rest of the entity.
+                while let Some(&(j, _)) = chars.peek() {
+                    if j <= i + end {
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                continue;
+            }
+        }
+        out.push('&');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeKind;
+
+    #[test]
+    fn parses_nested_elements_and_text() {
+        let t = parse("<clientele><client><name>Anna</name><country>US</country></client></clientele>")
+            .unwrap();
+        t.validate().unwrap();
+        assert_eq!(t.label(t.root()), Some("clientele"));
+        let name = t.find_first("name").unwrap();
+        assert_eq!(t.text_of(name), Some("Anna".into()));
+        let country = t.find_first("country").unwrap();
+        assert_eq!(t.text_of(country), Some("US".into()));
+    }
+
+    #[test]
+    fn parses_attributes_single_and_double_quotes() {
+        let t = parse(r#"<item id="i7" category='tools' empty=""/>"#).unwrap();
+        let r = t.root();
+        assert_eq!(t.attribute(r, "id"), Some("i7"));
+        assert_eq!(t.attribute(r, "category"), Some("tools"));
+        assert_eq!(t.attribute(r, "empty"), Some(""));
+    }
+
+    #[test]
+    fn self_closing_and_empty_elements_are_equivalent_in_structure() {
+        let a = parse("<a><b/></a>").unwrap();
+        let b = parse("<a><b></b></a>").unwrap();
+        assert_eq!(a.all_nodes().count(), b.all_nodes().count());
+    }
+
+    #[test]
+    fn skips_declaration_comments_doctype_and_pis() {
+        let src = r#"<?xml version="1.0" encoding="UTF-8"?>
+            <!DOCTYPE sites [ <!ELEMENT sites ANY> ]>
+            <!-- clientele snapshot -->
+            <sites><?target data?><site/></sites>
+            <!-- trailing -->"#;
+        let t = parse(src).unwrap();
+        assert_eq!(t.label(t.root()), Some("sites"));
+        assert_eq!(t.all_nodes().count(), 2);
+    }
+
+    #[test]
+    fn whitespace_only_text_is_dropped_by_default_but_can_be_kept() {
+        let src = "<a>\n  <b>x</b>\n</a>";
+        let t = parse(src).unwrap();
+        assert_eq!(t.all_nodes().count(), 3);
+        let t = Parser::new().keep_whitespace(true).parse(src).unwrap();
+        assert_eq!(t.all_nodes().count(), 5);
+    }
+
+    #[test]
+    fn entities_are_unescaped() {
+        let t = parse("<m><v>a &lt; b &amp;&amp; c &gt; d</v><q a=\"&quot;x&quot;\"/><u>&#65;&#x42;</u></m>")
+            .unwrap();
+        let v = t.find_first("v").unwrap();
+        assert_eq!(t.text_of(v), Some("a < b && c > d".into()));
+        let q = t.find_first("q").unwrap();
+        assert_eq!(t.attribute(q, "a"), Some("\"x\""));
+        let u = t.find_first("u").unwrap();
+        assert_eq!(t.text_of(u), Some("AB".into()));
+    }
+
+    #[test]
+    fn unknown_entity_is_left_verbatim() {
+        let t = parse("<a>&nbsp;x</a>").unwrap();
+        let txt: Vec<_> = t
+            .all_nodes()
+            .filter_map(|n| match t.kind(n) {
+                NodeKind::Text { value } => Some(value.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(txt, vec!["&nbsp;x".to_string()]);
+    }
+
+    #[test]
+    fn cdata_preserves_raw_text() {
+        let t = parse("<a><![CDATA[1 < 2 && 3 > 2]]></a>").unwrap();
+        assert_eq!(t.text_of(t.root()), Some("1 < 2 && 3 > 2".into()));
+    }
+
+    #[test]
+    fn mismatched_tag_is_an_error() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(matches!(err, XmlError::MismatchedTag { open, close, .. } if open == "b" && close == "a"));
+    }
+
+    #[test]
+    fn truncated_document_is_an_error() {
+        assert!(matches!(parse("<a><b>"), Err(XmlError::UnexpectedEof { .. })));
+        assert!(matches!(parse("<a attr="), Err(XmlError::UnexpectedEof { .. })));
+        assert!(matches!(parse(""), Err(XmlError::EmptyDocument)));
+        assert!(matches!(parse("   \n  "), Err(XmlError::EmptyDocument)));
+    }
+
+    #[test]
+    fn trailing_content_is_an_error() {
+        assert!(matches!(parse("<a/>garbage"), Err(XmlError::TrailingContent { .. })));
+        assert!(matches!(parse("<a/><b/>"), Err(XmlError::TrailingContent { .. })));
+    }
+
+    #[test]
+    fn namespaced_tags_are_kept_verbatim() {
+        let t = parse("<ns:a xmlns:ns='urn:x'><ns:b/></ns:a>").unwrap();
+        assert_eq!(t.label(t.root()), Some("ns:a"));
+        assert!(t.find_first("ns:b").is_some());
+    }
+
+    #[test]
+    fn deeply_nested_document_parses_iteratively() {
+        let depth = 20_000;
+        let mut src = String::new();
+        for i in 0..depth {
+            src.push_str(&format!("<n{i}>"));
+        }
+        for i in (0..depth).rev() {
+            src.push_str(&format!("</n{i}>"));
+        }
+        let t = parse(&src).unwrap();
+        assert_eq!(t.all_nodes().count(), depth);
+        assert_eq!(t.height(), depth - 1);
+    }
+
+    #[test]
+    fn unescape_handles_edge_cases() {
+        assert_eq!(unescape("plain"), "plain");
+        assert_eq!(unescape("&amp;"), "&");
+        assert_eq!(unescape("&bad"), "&bad");
+        assert_eq!(unescape("a&"), "a&");
+        // An out-of-range character reference is kept verbatim.
+        assert_eq!(unescape("&#999999999;x"), "&#999999999;x");
+    }
+}

@@ -1,0 +1,194 @@
+//! Serialization of [`XmlTree`]s back to XML text.
+
+use crate::node::{NodeId, NodeKind};
+use crate::tree::XmlTree;
+
+/// Options controlling serialization.
+#[derive(Debug, Clone)]
+pub struct SerializeOptions {
+    /// Indent child elements by this many spaces per nesting level.
+    /// `None` produces a compact single-line document.
+    pub indent: Option<usize>,
+    /// How virtual nodes are rendered. They have no XML equivalent, so the
+    /// serializer emits a self-closing marker element carrying the fragment
+    /// id; this keeps serialization total (useful for debugging fragments).
+    pub virtual_element_name: String,
+}
+
+impl Default for SerializeOptions {
+    fn default() -> Self {
+        SerializeOptions { indent: None, virtual_element_name: "paxml:fragment-ref".to_string() }
+    }
+}
+
+/// Serialize a tree compactly.
+pub fn to_string(tree: &XmlTree) -> String {
+    serialize(tree, &SerializeOptions::default())
+}
+
+/// Serialize a tree with two-space indentation.
+pub fn to_string_pretty(tree: &XmlTree) -> String {
+    serialize(tree, &SerializeOptions { indent: Some(2), ..SerializeOptions::default() })
+}
+
+/// Serialize a tree with the given options.
+pub fn serialize(tree: &XmlTree, options: &SerializeOptions) -> String {
+    let mut out = String::new();
+    write_node(tree, tree.root(), options, 0, &mut out);
+    out
+}
+
+fn write_node(
+    tree: &XmlTree,
+    id: NodeId,
+    options: &SerializeOptions,
+    depth: usize,
+    out: &mut String,
+) {
+    let pad = |out: &mut String, depth: usize| {
+        if let Some(width) = options.indent {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&" ".repeat(width * depth));
+        }
+    };
+    match tree.kind(id) {
+        NodeKind::Element { label, attributes } => {
+            pad(out, depth);
+            out.push('<');
+            out.push_str(label);
+            for (name, value) in attributes {
+                out.push(' ');
+                out.push_str(name);
+                out.push_str("=\"");
+                out.push_str(&escape_attr(value));
+                out.push('"');
+            }
+            let children: Vec<NodeId> = tree.children(id).collect();
+            if children.is_empty() {
+                out.push_str("/>");
+                return;
+            }
+            out.push('>');
+            let only_text =
+                children.iter().all(|&c| matches!(tree.kind(c), NodeKind::Text { .. }));
+            for &c in &children {
+                if only_text {
+                    // Keep `<name>Anna</name>` on one line even when pretty-printing.
+                    if let NodeKind::Text { value } = tree.kind(c) {
+                        out.push_str(&escape_text(value));
+                    }
+                } else {
+                    write_node(tree, c, options, depth + 1, out);
+                }
+            }
+            if !only_text {
+                pad(out, depth);
+            }
+            out.push_str("</");
+            out.push_str(label);
+            out.push('>');
+        }
+        NodeKind::Text { value } => {
+            pad(out, depth);
+            out.push_str(&escape_text(value));
+        }
+        NodeKind::Virtual { fragment, root_label } => {
+            pad(out, depth);
+            out.push('<');
+            out.push_str(&options.virtual_element_name);
+            out.push_str(&format!(" fragment=\"{fragment}\""));
+            if let Some(l) = root_label {
+                out.push_str(&format!(" root-label=\"{}\"", escape_attr(l)));
+            }
+            out.push_str("/>");
+        }
+    }
+}
+
+fn escape_text(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for c in input.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn escape_attr(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for c in input.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use crate::NodeKind;
+    use crate::XmlTree;
+
+    #[test]
+    fn compact_round_trip() {
+        let src = "<a x=\"1\"><b>hi</b><c/></a>";
+        let tree = parse(src).unwrap();
+        assert_eq!(to_string(&tree), src);
+    }
+
+    #[test]
+    fn pretty_print_indents_nested_elements() {
+        let tree = parse("<a><b><c>x</c></b><d/></a>").unwrap();
+        let pretty = to_string_pretty(&tree);
+        assert!(pretty.contains("\n  <b>"));
+        assert!(pretty.contains("\n    <c>x</c>"));
+        // Pretty output re-parses to the same structure.
+        let reparsed = parse(&pretty).unwrap();
+        assert_eq!(reparsed.all_nodes().count(), tree.all_nodes().count());
+    }
+
+    #[test]
+    fn special_characters_are_escaped() {
+        let mut tree = XmlTree::with_root_element("a");
+        let r = tree.root();
+        tree.set_attribute(r, "q", "say \"hi\" & <bye>").unwrap();
+        tree.append_text(r, "1 < 2 & 3 > 2");
+        let s = to_string(&tree);
+        assert!(s.contains("&quot;hi&quot;"));
+        assert!(s.contains("&amp;"));
+        assert!(s.contains("1 &lt; 2 &amp; 3 &gt; 2"));
+        let back = parse(&s).unwrap();
+        assert_eq!(back.text_of(back.root()), Some("1 < 2 & 3 > 2".into()));
+        assert_eq!(back.attribute(back.root(), "q"), Some("say \"hi\" & <bye>"));
+    }
+
+    #[test]
+    fn virtual_nodes_serialize_as_marker_elements() {
+        let mut tree = XmlTree::with_root_element("broker");
+        let r = tree.root();
+        tree.append_child(r, NodeKind::virtual_node(2, Some("market".into())));
+        let s = to_string(&tree);
+        assert!(s.contains("paxml:fragment-ref"));
+        assert!(s.contains("fragment=\"2\""));
+        assert!(s.contains("root-label=\"market\""));
+    }
+
+    #[test]
+    fn empty_elements_use_self_closing_form() {
+        let tree = parse("<a><b></b></a>").unwrap();
+        assert_eq!(to_string(&tree), "<a><b/></a>");
+    }
+}

@@ -1,0 +1,746 @@
+//! The arena-based XML tree.
+
+use crate::error::{XmlError, XmlResult};
+use crate::node::{Node, NodeId, NodeKind};
+use serde::{Deserialize, Serialize};
+
+/// An ordered, labelled XML tree stored in a flat arena.
+///
+/// The tree always has a root node (created by [`XmlTree::new`] or by the
+/// parser). Structural mutation goes through [`XmlTree::append_child`],
+/// [`XmlTree::detach`], and [`XmlTree::graft_tree`]; these maintain the
+/// sibling/child links so that traversals never observe an inconsistent
+/// structure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct XmlTree {
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+impl XmlTree {
+    /// Create a tree consisting of a single root node.
+    pub fn new(root_kind: NodeKind) -> Self {
+        XmlTree { nodes: vec![Node::new(root_kind)], root: NodeId(0) }
+    }
+
+    /// Create a tree whose root is an element with the given label.
+    pub fn with_root_element(label: impl Into<String>) -> Self {
+        XmlTree::new(NodeKind::element(label))
+    }
+
+    /// The root node of the tree.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Total number of nodes in the arena (including detached ones).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Does this id refer to a node of this tree?
+    #[inline]
+    pub fn contains(&self, id: NodeId) -> bool {
+        id.index() < self.nodes.len()
+    }
+
+    fn check(&self, id: NodeId) -> XmlResult<()> {
+        if self.contains(id) {
+            Ok(())
+        } else {
+            Err(XmlError::InvalidNodeId { id: id.index() })
+        }
+    }
+
+    /// Immutable access to a node.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of bounds; use [`XmlTree::try_node`] for a
+    /// fallible variant.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Fallible access to a node.
+    pub fn try_node(&self, id: NodeId) -> XmlResult<&Node> {
+        self.check(id)?;
+        Ok(&self.nodes[id.index()])
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.index()]
+    }
+
+    /// The kind (payload) of a node.
+    #[inline]
+    pub fn kind(&self, id: NodeId) -> &NodeKind {
+        &self.node(id).kind
+    }
+
+    /// Element label of a node, if it is an element.
+    #[inline]
+    pub fn label(&self, id: NodeId) -> Option<&str> {
+        self.node(id).kind.label()
+    }
+
+    /// Text value of a node, if it is a text node.
+    #[inline]
+    pub fn text_value(&self, id: NodeId) -> Option<&str> {
+        self.node(id).kind.text_value()
+    }
+
+    /// Is the node a virtual placeholder?
+    #[inline]
+    pub fn is_virtual(&self, id: NodeId) -> bool {
+        self.node(id).kind.is_virtual()
+    }
+
+    /// Is the node an element?
+    #[inline]
+    pub fn is_element(&self, id: NodeId) -> bool {
+        self.node(id).kind.is_element()
+    }
+
+    /// Parent of a node.
+    #[inline]
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).parent
+    }
+
+    /// First child of a node.
+    #[inline]
+    pub fn first_child(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).first_child
+    }
+
+    /// Next sibling of a node.
+    #[inline]
+    pub fn next_sibling(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).next_sibling
+    }
+
+    /// Attribute value on an element node, if present.
+    pub fn attribute(&self, id: NodeId, name: &str) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Element { attributes, .. } => attributes
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The concatenated text of the *direct* text children of `id`.
+    ///
+    /// This is what the paper's `text()` test reads: for an element like
+    /// `<code>GOOG</code>` it returns `"GOOG"`. Returns `None` when the node
+    /// has no text children at all.
+    pub fn text_of(&self, id: NodeId) -> Option<String> {
+        let mut out = String::new();
+        let mut found = false;
+        for c in self.children(id) {
+            if let Some(t) = self.text_value(c) {
+                out.push_str(t);
+                found = true;
+            }
+        }
+        if found {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// The text of a node interpreted as a number, for the paper's
+    /// `val() op num` qualifier tests. Accepts an optional leading `$`
+    /// (the running example uses prices like `$374`).
+    pub fn numeric_value(&self, id: NodeId) -> Option<f64> {
+        let text = self.text_of(id)?;
+        let trimmed = text.trim();
+        let trimmed = trimmed.strip_prefix('$').unwrap_or(trimmed);
+        trimmed.parse::<f64>().ok()
+    }
+
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    /// Allocate a new node and append it as the last child of `parent`.
+    pub fn append_child(&mut self, parent: NodeId, kind: NodeKind) -> NodeId {
+        debug_assert!(self.contains(parent), "parent id out of bounds");
+        let id = NodeId(self.nodes.len() as u32);
+        let mut node = Node::new(kind);
+        node.parent = Some(parent);
+        node.prev_sibling = self.node(parent).last_child;
+        self.nodes.push(node);
+        match self.node(parent).last_child {
+            Some(prev) => self.node_mut(prev).next_sibling = Some(id),
+            None => self.node_mut(parent).first_child = Some(id),
+        }
+        self.node_mut(parent).last_child = Some(id);
+        id
+    }
+
+    /// Append an element child and return its id.
+    pub fn append_element(&mut self, parent: NodeId, label: impl Into<String>) -> NodeId {
+        self.append_child(parent, NodeKind::element(label))
+    }
+
+    /// Append a text child and return its id.
+    pub fn append_text(&mut self, parent: NodeId, value: impl Into<String>) -> NodeId {
+        self.append_child(parent, NodeKind::text(value))
+    }
+
+    /// Append an element child that immediately wraps a text node, a very
+    /// common shape in the paper's documents (`<name>Anna</name>`).
+    pub fn append_leaf(
+        &mut self,
+        parent: NodeId,
+        label: impl Into<String>,
+        text: impl Into<String>,
+    ) -> NodeId {
+        let e = self.append_element(parent, label);
+        self.append_text(e, text);
+        e
+    }
+
+    /// Set an attribute on an element node (replacing an existing value).
+    pub fn set_attribute(
+        &mut self,
+        id: NodeId,
+        name: impl Into<String>,
+        value: impl Into<String>,
+    ) -> XmlResult<()> {
+        self.check(id)?;
+        match &mut self.node_mut(id).kind {
+            NodeKind::Element { attributes, .. } => {
+                let name = name.into();
+                let value = value.into();
+                if let Some(slot) = attributes.iter_mut().find(|(k, _)| *k == name) {
+                    slot.1 = value;
+                } else {
+                    attributes.push((name, value));
+                }
+                Ok(())
+            }
+            _ => Err(XmlError::StructureViolation {
+                message: "attributes can only be set on element nodes".into(),
+            }),
+        }
+    }
+
+    /// Detach the subtree rooted at `id` from its parent. The nodes stay in
+    /// the arena but become unreachable from the root. Detaching the root is
+    /// a structure violation.
+    pub fn detach(&mut self, id: NodeId) -> XmlResult<()> {
+        self.check(id)?;
+        if id == self.root {
+            return Err(XmlError::StructureViolation {
+                message: "cannot detach the root node".into(),
+            });
+        }
+        let (parent, prev, next) = {
+            let n = self.node(id);
+            (n.parent, n.prev_sibling, n.next_sibling)
+        };
+        if let Some(p) = parent {
+            if self.node(p).first_child == Some(id) {
+                self.node_mut(p).first_child = next;
+            }
+            if self.node(p).last_child == Some(id) {
+                self.node_mut(p).last_child = prev;
+            }
+        }
+        if let Some(prev) = prev {
+            self.node_mut(prev).next_sibling = next;
+        }
+        if let Some(next) = next {
+            self.node_mut(next).prev_sibling = prev;
+        }
+        let n = self.node_mut(id);
+        n.parent = None;
+        n.prev_sibling = None;
+        n.next_sibling = None;
+        Ok(())
+    }
+
+    /// Copy the subtree of `other` rooted at `other_root` as the last child
+    /// of `parent` in this tree, returning the id of the copied root.
+    ///
+    /// Used when reassembling a fragmented tree (the `NaiveCentralized`
+    /// baseline) and by the workload generator.
+    pub fn graft_tree(
+        &mut self,
+        parent: NodeId,
+        other: &XmlTree,
+        other_root: NodeId,
+    ) -> XmlResult<NodeId> {
+        self.check(parent)?;
+        other.check(other_root)?;
+        let new_root = self.append_child(parent, other.kind(other_root).clone());
+        // Iterative copy to avoid recursion depth issues on deep trees.
+        let mut stack: Vec<(NodeId, NodeId)> = vec![(other_root, new_root)];
+        while let Some((src, dst)) = stack.pop() {
+            // Collect children first so we can push them in reverse and keep
+            // document order while using a stack.
+            let children: Vec<NodeId> = other.children(src).collect();
+            for &c in &children {
+                let copied = self.append_child(dst, other.kind(c).clone());
+                stack.push((c, copied));
+            }
+        }
+        Ok(new_root)
+    }
+
+    /// Extract a deep copy of the subtree rooted at `id` as a standalone tree.
+    pub fn extract_subtree(&self, id: NodeId) -> XmlResult<XmlTree> {
+        self.check(id)?;
+        let mut out = XmlTree::new(self.kind(id).clone());
+        let root = out.root();
+        let children: Vec<NodeId> = self.children(id).collect();
+        for c in children {
+            out.graft_tree(root, self, c)?;
+        }
+        Ok(out)
+    }
+
+    /// Replace the payload of a node (used by the fragmenter to swap a real
+    /// subtree for a virtual placeholder).
+    pub fn replace_kind(&mut self, id: NodeId, kind: NodeKind) -> XmlResult<NodeKind> {
+        self.check(id)?;
+        Ok(std::mem::replace(&mut self.node_mut(id).kind, kind))
+    }
+
+    // ------------------------------------------------------------------
+    // Traversal
+    // ------------------------------------------------------------------
+
+    /// Iterator over the children of `id` in document order.
+    pub fn children(&self, id: NodeId) -> Siblings<'_> {
+        Siblings { tree: self, next: self.first_child(id) }
+    }
+
+    /// Iterator over the element children of `id` in document order.
+    pub fn element_children(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.children(id).filter(move |&c| self.is_element(c))
+    }
+
+    /// Iterator over the ancestors of `id`, starting at its parent and ending
+    /// at the root.
+    pub fn ancestors(&self, id: NodeId) -> Ancestors<'_> {
+        Ancestors { tree: self, next: self.parent(id) }
+    }
+
+    /// Pre-order (document order) traversal of the subtree rooted at `id`,
+    /// including `id` itself.
+    pub fn pre_order(&self, id: NodeId) -> PreOrder<'_> {
+        PreOrder { tree: self, stack: vec![id] }
+    }
+
+    /// Strict descendants of `id` (pre-order, excluding `id`).
+    pub fn descendants(&self, id: NodeId) -> Descendants<'_> {
+        let mut inner = self.pre_order(id);
+        inner.next(); // drop the root itself
+        Descendants { inner }
+    }
+
+    /// Post-order traversal of the subtree rooted at `id` (children before
+    /// parents) — the order in which the paper's Stage-1 bottom-up qualifier
+    /// evaluation visits nodes.
+    pub fn post_order(&self, id: NodeId) -> PostOrder<'_> {
+        PostOrder { tree: self, stack: vec![(id, false)] }
+    }
+
+    /// Number of nodes in the subtree rooted at `id` (including `id`).
+    pub fn subtree_size(&self, id: NodeId) -> usize {
+        self.pre_order(id).count()
+    }
+
+    /// Depth of `id` (the root has depth 0).
+    pub fn depth(&self, id: NodeId) -> usize {
+        self.ancestors(id).count()
+    }
+
+    /// Pre-order traversal that also yields each node's depth, computed
+    /// incrementally (avoids the `O(n · depth)` cost of calling
+    /// [`XmlTree::depth`] per node).
+    pub fn pre_order_with_depth(&self, id: NodeId) -> impl Iterator<Item = (NodeId, usize)> + '_ {
+        let mut stack = vec![(id, 0usize)];
+        std::iter::from_fn(move || {
+            let (current, depth) = stack.pop()?;
+            let children: Vec<NodeId> = self.children(current).collect();
+            for &c in children.iter().rev() {
+                stack.push((c, depth + 1));
+            }
+            Some((current, depth))
+        })
+    }
+
+    /// Maximum depth over all nodes reachable from the root.
+    pub fn height(&self) -> usize {
+        self.pre_order_with_depth(self.root).map(|(_, d)| d).max().unwrap_or(0)
+    }
+
+    /// All reachable nodes, in document order.
+    pub fn all_nodes(&self) -> PreOrder<'_> {
+        self.pre_order(self.root)
+    }
+
+    /// All virtual nodes reachable from the root, in document order.
+    pub fn virtual_nodes(&self) -> Vec<NodeId> {
+        self.all_nodes().filter(|&n| self.is_virtual(n)).collect()
+    }
+
+    /// Find the first element (in document order) with the given label.
+    pub fn find_first(&self, label: &str) -> Option<NodeId> {
+        self.all_nodes().find(|&n| self.label(n) == Some(label))
+    }
+
+    /// Find every element with the given label, in document order.
+    pub fn find_all(&self, label: &str) -> Vec<NodeId> {
+        self.all_nodes().filter(|&n| self.label(n) == Some(label)).collect()
+    }
+
+    /// Validate the internal structure of the tree: every child points back
+    /// to its parent, sibling links are consistent, and there are no cycles.
+    /// Intended for tests and debug assertions; cost is `O(n)`.
+    pub fn validate(&self) -> XmlResult<()> {
+        let mut seen = vec![false; self.nodes.len()];
+        for id in self.all_nodes() {
+            let idx = id.index();
+            if seen[idx] {
+                return Err(XmlError::StructureViolation {
+                    message: format!("node {id} reachable twice (cycle or shared child)"),
+                });
+            }
+            seen[idx] = true;
+            let mut prev: Option<NodeId> = None;
+            for c in self.children(id) {
+                let cn = self.node(c);
+                if cn.parent != Some(id) {
+                    return Err(XmlError::StructureViolation {
+                        message: format!("child {c} of {id} has wrong parent link"),
+                    });
+                }
+                if cn.prev_sibling != prev {
+                    return Err(XmlError::StructureViolation {
+                        message: format!("sibling chain broken at {c}"),
+                    });
+                }
+                prev = Some(c);
+            }
+            if self.node(id).last_child != prev {
+                return Err(XmlError::StructureViolation {
+                    message: format!("last_child link of {id} is stale"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Iterator over a sibling chain.
+pub struct Siblings<'a> {
+    tree: &'a XmlTree,
+    next: Option<NodeId>,
+}
+
+impl<'a> Iterator for Siblings<'a> {
+    type Item = NodeId;
+    fn next(&mut self) -> Option<NodeId> {
+        let current = self.next?;
+        self.next = self.tree.next_sibling(current);
+        Some(current)
+    }
+}
+
+/// Iterator over ancestors, closest first.
+pub struct Ancestors<'a> {
+    tree: &'a XmlTree,
+    next: Option<NodeId>,
+}
+
+impl<'a> Iterator for Ancestors<'a> {
+    type Item = NodeId;
+    fn next(&mut self) -> Option<NodeId> {
+        let current = self.next?;
+        self.next = self.tree.parent(current);
+        Some(current)
+    }
+}
+
+/// Pre-order traversal iterator.
+pub struct PreOrder<'a> {
+    tree: &'a XmlTree,
+    stack: Vec<NodeId>,
+}
+
+impl<'a> Iterator for PreOrder<'a> {
+    type Item = NodeId;
+    fn next(&mut self) -> Option<NodeId> {
+        let current = self.stack.pop()?;
+        // Push children in reverse so the first child is visited first.
+        let children: Vec<NodeId> = self.tree.children(current).collect();
+        for &c in children.iter().rev() {
+            self.stack.push(c);
+        }
+        Some(current)
+    }
+}
+
+/// Strict-descendant traversal iterator.
+pub struct Descendants<'a> {
+    inner: PreOrder<'a>,
+}
+
+impl<'a> Iterator for Descendants<'a> {
+    type Item = NodeId;
+    fn next(&mut self) -> Option<NodeId> {
+        self.inner.next()
+    }
+}
+
+/// Post-order traversal iterator.
+pub struct PostOrder<'a> {
+    tree: &'a XmlTree,
+    stack: Vec<(NodeId, bool)>,
+}
+
+impl<'a> Iterator for PostOrder<'a> {
+    type Item = NodeId;
+    fn next(&mut self) -> Option<NodeId> {
+        while let Some((id, expanded)) = self.stack.pop() {
+            if expanded {
+                return Some(id);
+            }
+            self.stack.push((id, true));
+            let children: Vec<NodeId> = self.tree.children(id).collect();
+            for &c in children.iter().rev() {
+                self.stack.push((c, false));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> XmlTree {
+        // <a><b>x</b><c><d/></c></a>
+        let mut t = XmlTree::with_root_element("a");
+        let root = t.root();
+        let b = t.append_element(root, "b");
+        t.append_text(b, "x");
+        let c = t.append_element(root, "c");
+        t.append_element(c, "d");
+        t
+    }
+
+    #[test]
+    fn construction_links_are_consistent() {
+        let t = sample();
+        t.validate().unwrap();
+        assert_eq!(t.node_count(), 5);
+        let root = t.root();
+        let kids: Vec<_> = t.children(root).collect();
+        assert_eq!(kids.len(), 2);
+        assert_eq!(t.label(kids[0]), Some("b"));
+        assert_eq!(t.label(kids[1]), Some("c"));
+        assert_eq!(t.parent(kids[0]), Some(root));
+    }
+
+    #[test]
+    fn pre_order_is_document_order() {
+        let t = sample();
+        let labels: Vec<String> = t
+            .all_nodes()
+            .map(|n| match t.kind(n) {
+                NodeKind::Element { label, .. } => label.clone(),
+                NodeKind::Text { value } => format!("#{value}"),
+                NodeKind::Virtual { fragment, .. } => format!("V{fragment}"),
+            })
+            .collect();
+        assert_eq!(labels, vec!["a", "b", "#x", "c", "d"]);
+    }
+
+    #[test]
+    fn post_order_visits_children_first() {
+        let t = sample();
+        let order: Vec<Option<String>> =
+            t.post_order(t.root()).map(|n| t.label(n).map(|s| s.to_string())).collect();
+        // text node has None label
+        assert_eq!(
+            order,
+            vec![
+                None,
+                Some("b".into()),
+                Some("d".into()),
+                Some("c".into()),
+                Some("a".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn descendants_excludes_self() {
+        let t = sample();
+        assert_eq!(t.descendants(t.root()).count(), 4);
+        assert_eq!(t.subtree_size(t.root()), 5);
+    }
+
+    #[test]
+    fn ancestors_and_depth() {
+        let t = sample();
+        let d = t.find_first("d").unwrap();
+        assert_eq!(t.depth(d), 2);
+        let labels: Vec<_> = t.ancestors(d).map(|n| t.label(n).unwrap().to_string()).collect();
+        assert_eq!(labels, vec!["c", "a"]);
+        assert_eq!(t.height(), 2);
+    }
+
+    #[test]
+    fn text_of_concatenates_direct_text_children() {
+        let t = sample();
+        let b = t.find_first("b").unwrap();
+        assert_eq!(t.text_of(b), Some("x".to_string()));
+        let c = t.find_first("c").unwrap();
+        assert_eq!(t.text_of(c), None);
+    }
+
+    #[test]
+    fn numeric_value_strips_dollar_sign() {
+        let mut t = XmlTree::with_root_element("r");
+        let root = t.root();
+        let buy = t.append_leaf(root, "buy", "$374");
+        let qt = t.append_leaf(root, "qt", "40");
+        let name = t.append_leaf(root, "name", "Anna");
+        assert_eq!(t.numeric_value(buy), Some(374.0));
+        assert_eq!(t.numeric_value(qt), Some(40.0));
+        assert_eq!(t.numeric_value(name), None);
+    }
+
+    #[test]
+    fn detach_unlinks_subtree() {
+        let mut t = sample();
+        let b = t.find_first("b").unwrap();
+        t.detach(b).unwrap();
+        t.validate().unwrap();
+        let root = t.root();
+        let kids: Vec<_> = t.children(root).collect();
+        assert_eq!(kids.len(), 1);
+        assert_eq!(t.label(kids[0]), Some("c"));
+        // Arena still holds the node but it is unreachable.
+        assert_eq!(t.node_count(), 5);
+        assert_eq!(t.all_nodes().count(), 3);
+    }
+
+    #[test]
+    fn detach_root_is_an_error() {
+        let mut t = sample();
+        let err = t.detach(t.root()).unwrap_err();
+        assert!(matches!(err, XmlError::StructureViolation { .. }));
+    }
+
+    #[test]
+    fn detach_middle_child_repairs_sibling_chain() {
+        let mut t = XmlTree::with_root_element("r");
+        let root = t.root();
+        let a = t.append_element(root, "a");
+        let b = t.append_element(root, "b");
+        let c = t.append_element(root, "c");
+        t.detach(b).unwrap();
+        t.validate().unwrap();
+        let kids: Vec<_> = t.children(root).collect();
+        assert_eq!(kids, vec![a, c]);
+        assert_eq!(t.next_sibling(a), Some(c));
+        assert_eq!(t.node(c).prev_sibling(), Some(a));
+    }
+
+    #[test]
+    fn graft_copies_deeply() {
+        let src = sample();
+        let mut dst = XmlTree::with_root_element("root");
+        let r = dst.root();
+        let copied = dst.graft_tree(r, &src, src.root()).unwrap();
+        dst.validate().unwrap();
+        assert_eq!(dst.label(copied), Some("a"));
+        assert_eq!(dst.subtree_size(copied), 5);
+        // document order preserved
+        let labels: Vec<_> =
+            dst.pre_order(copied).filter_map(|n| dst.label(n).map(String::from)).collect();
+        assert_eq!(labels, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn extract_subtree_round_trips() {
+        let t = sample();
+        let c = t.find_first("c").unwrap();
+        let sub = t.extract_subtree(c).unwrap();
+        assert_eq!(sub.label(sub.root()), Some("c"));
+        assert_eq!(sub.all_nodes().count(), 2);
+        sub.validate().unwrap();
+    }
+
+    #[test]
+    fn replace_kind_swaps_payload() {
+        let mut t = sample();
+        let c = t.find_first("c").unwrap();
+        let old = t.replace_kind(c, NodeKind::virtual_node(7, Some("c".into()))).unwrap();
+        assert_eq!(old.label(), Some("c"));
+        assert!(t.is_virtual(c));
+        assert_eq!(t.virtual_nodes(), vec![c]);
+    }
+
+    #[test]
+    fn attributes_set_and_get() {
+        let mut t = XmlTree::with_root_element("item");
+        let r = t.root();
+        t.set_attribute(r, "id", "i1").unwrap();
+        t.set_attribute(r, "id", "i2").unwrap();
+        t.set_attribute(r, "category", "tools").unwrap();
+        assert_eq!(t.attribute(r, "id"), Some("i2"));
+        assert_eq!(t.attribute(r, "category"), Some("tools"));
+        assert_eq!(t.attribute(r, "missing"), None);
+        let txt = t.append_text(r, "x");
+        assert!(t.set_attribute(txt, "a", "b").is_err());
+    }
+
+    #[test]
+    fn find_all_returns_document_order() {
+        let mut t = XmlTree::with_root_element("r");
+        let root = t.root();
+        let a1 = t.append_element(root, "x");
+        let inner = t.append_element(a1, "x");
+        let a2 = t.append_element(root, "x");
+        assert_eq!(t.find_all("x"), vec![a1, inner, a2]);
+        assert_eq!(t.find_first("x"), Some(a1));
+        assert_eq!(t.find_first("zzz"), None);
+    }
+
+    #[test]
+    fn invalid_node_id_is_reported() {
+        let t = sample();
+        let bad = NodeId::from_index(999);
+        assert!(matches!(t.try_node(bad), Err(XmlError::InvalidNodeId { id: 999 })));
+    }
+
+    #[test]
+    fn deep_tree_does_not_overflow_stack() {
+        // 50_000-deep chain exercises the iterative traversals and graft.
+        let mut t = XmlTree::with_root_element("n0");
+        let mut cur = t.root();
+        for i in 1..50_000 {
+            cur = t.append_element(cur, format!("n{i}"));
+        }
+        assert_eq!(t.all_nodes().count(), 50_000);
+        assert_eq!(t.post_order(t.root()).count(), 50_000);
+        assert_eq!(t.height(), 49_999);
+        let sub = t.extract_subtree(t.root()).unwrap();
+        assert_eq!(sub.all_nodes().count(), 50_000);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the XML substrate: the parser never panics on
+//! arbitrary input, serialization round-trips structurally, and the builder /
+//! tree invariants hold for randomly shaped trees.
+
+use paxml_xml::{parse, to_string, to_string_pretty, NodeKind, Parser, TreeStats, XmlTree};
+use proptest::prelude::*;
+
+const LABELS: &[&str] = &["a", "b", "site", "person", "name"];
+
+/// Build a random tree from (parent, kind) instructions.
+fn build_tree(spec: &[(usize, usize)], texts: &[String]) -> XmlTree {
+    let mut tree = XmlTree::with_root_element("root");
+    let mut elements = vec![tree.root()];
+    for (i, &(parent_choice, kind)) in spec.iter().enumerate() {
+        let parent = elements[parent_choice % elements.len()];
+        match kind % 3 {
+            0 | 1 => {
+                let id = tree.append_element(parent, LABELS[kind % LABELS.len()]);
+                if kind % 7 == 0 {
+                    tree.set_attribute(id, "id", format!("n{i}")).unwrap();
+                }
+                elements.push(id);
+            }
+            _ => {
+                let text = texts.get(i % texts.len().max(1)).cloned().unwrap_or_default();
+                tree.append_child(parent, NodeKind::text(text));
+            }
+        }
+    }
+    tree
+}
+
+fn tree_strategy() -> impl Strategy<Value = XmlTree> {
+    (
+        prop::collection::vec((0usize..500, 0usize..21), 0..80),
+        // Printable, non-whitespace text payloads (whitespace-only text nodes
+        // are intentionally dropped by the parser, which would break the
+        // fixed-point check below).
+        prop::collection::vec("[!-~]{1,12}", 1..6),
+    )
+        .prop_map(|(spec, texts)| build_tree(&spec, &texts))
+}
+
+proptest! {
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in "[ -~<>&\"']{0,200}") {
+        // Any outcome is fine as long as it is a clean Ok/Err, never a panic.
+        let _ = parse(&input);
+        let _ = Parser::new().keep_whitespace(true).parse(&input);
+    }
+
+    #[test]
+    fn serialize_parse_round_trip_preserves_structure(tree in tree_strategy()) {
+        prop_assert!(tree.validate().is_ok());
+        let compact = to_string(&tree);
+        let reparsed = parse(&compact).expect("serializer output must parse");
+        // Compact serialization is a fixed point after one round trip.
+        prop_assert_eq!(to_string(&reparsed), compact);
+
+        // Pretty-printing may drop whitespace-only text nodes on reparse but
+        // must preserve every element and its label histogram.
+        let pretty = to_string_pretty(&tree);
+        let pretty_reparsed = parse(&pretty).expect("pretty output must parse");
+        let a = TreeStats::compute(&tree);
+        let b = TreeStats::compute(&pretty_reparsed);
+        prop_assert_eq!(a.element_count, b.element_count);
+        prop_assert_eq!(a.label_histogram, b.label_histogram);
+    }
+
+    #[test]
+    fn stats_and_traversals_are_consistent(tree in tree_strategy()) {
+        let stats = TreeStats::compute(&tree);
+        prop_assert_eq!(stats.total_nodes(), tree.all_nodes().count());
+        prop_assert_eq!(stats.height, tree.height());
+        // Pre-order and post-order visit exactly the same node set.
+        let mut pre: Vec<_> = tree.all_nodes().collect();
+        let mut post: Vec<_> = tree.post_order(tree.root()).collect();
+        pre.sort();
+        post.sort();
+        prop_assert_eq!(pre, post);
+        // Every non-root reachable node's parent chain reaches the root.
+        for n in tree.all_nodes() {
+            prop_assert_eq!(tree.ancestors(n).last().unwrap_or(n), tree.root());
+        }
+    }
+
+    #[test]
+    fn subtree_extraction_matches_subtree_size(tree in tree_strategy()) {
+        for n in tree.all_nodes().take(10) {
+            let sub = tree.extract_subtree(n).expect("reachable nodes extract");
+            prop_assert_eq!(sub.all_nodes().count(), tree.subtree_size(n));
+            prop_assert!(sub.validate().is_ok());
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! Surface abstract syntax for the XPath fragment **X** of §2.2 of the paper:
+//!
+//! ```text
+//! Q := ε | A | * | Q//Q | Q/Q | Q[q]
+//! q := Q | q/text() = str | q/val() op num | ¬q | q ∧ q | q ∨ q
+//! ```
+//!
+//! The surface AST mirrors the grammar directly; the normal form used by the
+//! evaluation algorithms lives in [`crate::normalize`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Arithmetic comparison operators allowed in `val() op num` qualifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=` (the paper writes `≠`)
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply the comparison to two numbers.
+    pub fn apply(self, left: f64, right: f64) -> bool {
+        match self {
+            CmpOp::Eq => left == right,
+            CmpOp::Ne => left != right,
+            CmpOp::Lt => left < right,
+            CmpOp::Le => left <= right,
+            CmpOp::Gt => left > right,
+            CmpOp::Ge => left >= right,
+        }
+    }
+
+    /// The surface syntax of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// A path expression `Q` of the grammar.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PathExpr {
+    /// `ε` — the empty path (self). Written `.` in the concrete syntax.
+    Empty,
+    /// A label test `A`.
+    Label(String),
+    /// The wildcard `*`.
+    Wildcard,
+    /// `Q/Q` — child composition.
+    Child(Box<PathExpr>, Box<PathExpr>),
+    /// `Q//Q` — descendant-or-self composition.
+    Descendant(Box<PathExpr>, Box<PathExpr>),
+    /// `Q[q]` — qualification.
+    Qualified(Box<PathExpr>, Box<Qualifier>),
+}
+
+/// A qualifier `q` of the grammar.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Qualifier {
+    /// Existential path test: `[Q]` holds at `v` iff some node is reachable
+    /// from `v` via `Q`.
+    Path(PathExpr),
+    /// `[Q/text() = "str"]`.
+    TextEquals(PathExpr, String),
+    /// `[Q/val() op num]`.
+    ValCompare(PathExpr, CmpOp, f64),
+    /// `¬ q` (written `not(q)` or `!q` in the concrete syntax).
+    Not(Box<Qualifier>),
+    /// `q ∧ q` (written `and` or `&&`).
+    And(Box<Qualifier>, Box<Qualifier>),
+    /// `q ∨ q` (written `or` or `||`).
+    Or(Box<Qualifier>, Box<Qualifier>),
+}
+
+/// A complete query: a path expression plus whether it is *absolute*.
+///
+/// The paper evaluates queries "at the root `r` of `T`". Following standard
+/// XPath, a query written with a leading `/` or `//` is anchored at an
+/// implicit document node *above* the root element (so `/sites/site` selects
+/// `site` children of the `sites` root element), whereas a relative query
+/// such as `client/name` starts its first step at the children of the
+/// context node. Both forms appear in the paper (the clientele examples are
+/// relative, the XMark experiment queries are absolute).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// Did the query start with `/` or `//`?
+    pub absolute: bool,
+    /// The path expression.
+    pub path: PathExpr,
+}
+
+impl PathExpr {
+    /// `a/b` composition helper.
+    pub fn child(self, next: PathExpr) -> PathExpr {
+        PathExpr::Child(Box::new(self), Box::new(next))
+    }
+
+    /// `a//b` composition helper.
+    pub fn descendant(self, next: PathExpr) -> PathExpr {
+        PathExpr::Descendant(Box::new(self), Box::new(next))
+    }
+
+    /// `a[q]` helper.
+    pub fn qualified(self, q: Qualifier) -> PathExpr {
+        PathExpr::Qualified(Box::new(self), Box::new(q))
+    }
+
+    /// A label step.
+    pub fn label(name: impl Into<String>) -> PathExpr {
+        PathExpr::Label(name.into())
+    }
+
+    /// Number of AST nodes — `|Q|` in the paper's complexity bounds.
+    pub fn size(&self) -> usize {
+        match self {
+            PathExpr::Empty | PathExpr::Label(_) | PathExpr::Wildcard => 1,
+            PathExpr::Child(a, b) | PathExpr::Descendant(a, b) => 1 + a.size() + b.size(),
+            PathExpr::Qualified(p, q) => 1 + p.size() + q.size(),
+        }
+    }
+
+    /// Does this path (or any nested qualifier) contain a `//` axis?
+    pub fn has_descendant_axis(&self) -> bool {
+        match self {
+            PathExpr::Empty | PathExpr::Label(_) | PathExpr::Wildcard => false,
+            PathExpr::Descendant(_, _) => true,
+            PathExpr::Child(a, b) => a.has_descendant_axis() || b.has_descendant_axis(),
+            PathExpr::Qualified(p, q) => p.has_descendant_axis() || q.has_descendant_axis(),
+        }
+    }
+
+    /// Does this path carry any qualifier?
+    pub fn has_qualifier(&self) -> bool {
+        match self {
+            PathExpr::Empty | PathExpr::Label(_) | PathExpr::Wildcard => false,
+            PathExpr::Child(a, b) | PathExpr::Descendant(a, b) => {
+                a.has_qualifier() || b.has_qualifier()
+            }
+            PathExpr::Qualified(_, _) => true,
+        }
+    }
+}
+
+impl Qualifier {
+    /// Conjunction helper.
+    pub fn and(self, other: Qualifier) -> Qualifier {
+        Qualifier::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction helper.
+    pub fn or(self, other: Qualifier) -> Qualifier {
+        Qualifier::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation helper.
+    pub fn negate(self) -> Qualifier {
+        Qualifier::Not(Box::new(self))
+    }
+
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            Qualifier::Path(p) => 1 + p.size(),
+            Qualifier::TextEquals(p, _) => 2 + p.size(),
+            Qualifier::ValCompare(p, _, _) => 2 + p.size(),
+            Qualifier::Not(q) => 1 + q.size(),
+            Qualifier::And(a, b) | Qualifier::Or(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    fn has_descendant_axis(&self) -> bool {
+        match self {
+            Qualifier::Path(p) => p.has_descendant_axis(),
+            Qualifier::TextEquals(p, _) | Qualifier::ValCompare(p, _, _) => {
+                p.has_descendant_axis()
+            }
+            Qualifier::Not(q) => q.has_descendant_axis(),
+            Qualifier::And(a, b) | Qualifier::Or(a, b) => {
+                a.has_descendant_axis() || b.has_descendant_axis()
+            }
+        }
+    }
+}
+
+impl Query {
+    /// Total size `|Q|` of the query.
+    pub fn size(&self) -> usize {
+        self.path.size()
+    }
+
+    /// Does the query (selection path or any qualifier) use `//`?
+    pub fn has_descendant_axis(&self) -> bool {
+        self.absolute_leading_descendant() || self.path.has_descendant_axis()
+    }
+
+    /// Does the query carry qualifiers?
+    pub fn has_qualifier(&self) -> bool {
+        self.path.has_qualifier()
+    }
+
+    fn absolute_leading_descendant(&self) -> bool {
+        false // the leading // is already encoded inside `path` by the parser
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Display: renders a query back to concrete syntax (ASCII operators).
+// ---------------------------------------------------------------------------
+
+impl fmt::Display for PathExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathExpr::Empty => write!(f, "."),
+            PathExpr::Label(l) => write!(f, "{l}"),
+            PathExpr::Wildcard => write!(f, "*"),
+            PathExpr::Child(a, b) => write!(f, "{a}/{b}"),
+            PathExpr::Descendant(a, b) => write!(f, "{a}//{b}"),
+            PathExpr::Qualified(p, q) => write!(f, "{p}[{q}]"),
+        }
+    }
+}
+
+impl fmt::Display for Qualifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Qualifier::Path(p) => write!(f, "{p}"),
+            Qualifier::TextEquals(p, s) => match p {
+                PathExpr::Empty => write!(f, "text() = \"{s}\""),
+                _ => write!(f, "{p}/text() = \"{s}\""),
+            },
+            Qualifier::ValCompare(p, op, n) => match p {
+                PathExpr::Empty => write!(f, "val() {op} {n}"),
+                _ => write!(f, "{p}/val() {op} {n}"),
+            },
+            Qualifier::Not(q) => write!(f, "not({q})"),
+            Qualifier::And(a, b) => write!(f, "({a} and {b})"),
+            Qualifier::Or(a, b) => write!(f, "({a} or {b})"),
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rendered = self.path.to_string();
+        if self.absolute {
+            // An absolute query with a leading `//` is parsed as
+            // `Descendant(Empty, …)` which renders as `.//…`; strip the dot
+            // so the concrete syntax round-trips as `//…`. Other absolute
+            // queries get a plain `/` prefix.
+            if let Some(stripped) = rendered.strip_prefix("./") {
+                write!(f, "/{stripped}")
+            } else {
+                write!(f, "/{rendered}")
+            }
+        } else {
+            write!(f, "{rendered}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_op_apply_covers_all_operators() {
+        assert!(CmpOp::Eq.apply(2.0, 2.0));
+        assert!(!CmpOp::Eq.apply(2.0, 3.0));
+        assert!(CmpOp::Ne.apply(2.0, 3.0));
+        assert!(CmpOp::Lt.apply(2.0, 3.0));
+        assert!(CmpOp::Le.apply(3.0, 3.0));
+        assert!(CmpOp::Gt.apply(21.0, 20.0));
+        assert!(CmpOp::Ge.apply(20.0, 20.0));
+        assert_eq!(CmpOp::Ge.symbol(), ">=");
+    }
+
+    #[test]
+    fn size_counts_ast_nodes() {
+        // //broker[//stock/code/text()="goog"]/name
+        let stock_path = PathExpr::Empty
+            .descendant(PathExpr::label("stock"))
+            .child(PathExpr::label("code"));
+        let qual = Qualifier::TextEquals(stock_path, "goog".into());
+        let q = PathExpr::Empty
+            .descendant(PathExpr::label("broker"))
+            .qualified(qual)
+            .child(PathExpr::label("name"));
+        assert!(q.size() > 8);
+        assert!(q.has_descendant_axis());
+        assert!(q.has_qualifier());
+    }
+
+    #[test]
+    fn helpers_build_expected_shapes() {
+        let p = PathExpr::label("client").child(PathExpr::label("name"));
+        assert_eq!(
+            p,
+            PathExpr::Child(
+                Box::new(PathExpr::Label("client".into())),
+                Box::new(PathExpr::Label("name".into()))
+            )
+        );
+        let q = Qualifier::Path(PathExpr::label("a")).and(Qualifier::Path(PathExpr::label("b")));
+        assert!(matches!(q, Qualifier::And(_, _)));
+        let n = Qualifier::Path(PathExpr::label("a")).negate();
+        assert!(matches!(n, Qualifier::Not(_)));
+    }
+
+    #[test]
+    fn display_renders_readable_syntax() {
+        let q = Query {
+            absolute: false,
+            path: PathExpr::label("client")
+                .qualified(Qualifier::TextEquals(PathExpr::label("country"), "US".into()))
+                .child(PathExpr::label("name")),
+        };
+        let s = q.to_string();
+        assert!(s.contains("client["));
+        assert!(s.contains("country/text() = \"US\""));
+        assert!(s.ends_with("/name"));
+    }
+
+    #[test]
+    fn plain_paths_report_no_qualifier_or_descendant() {
+        let q = PathExpr::label("a").child(PathExpr::label("b"));
+        assert!(!q.has_descendant_axis());
+        assert!(!q.has_qualifier());
+    }
+}

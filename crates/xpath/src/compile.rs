@@ -1,0 +1,505 @@
+//! Compilation of a normalized query into the vector representation of §2.2:
+//!
+//! * `SVect(Q)` — one entry per prefix of the selection path (we additionally
+//!   keep an entry 0 for the *empty* prefix, which marks the evaluation
+//!   context; the paper leaves this implicit in its pseudo-code),
+//! * `QVect(Q)` — the list of all sub-queries of the qualifiers of `Q`, in a
+//!   topological order such that every sub-query precedes the queries that
+//!   contain it.
+//!
+//! Both vectors are linear in `|Q|`, which is what bounds the size of every
+//! message exchanged between sites.
+
+use crate::ast::CmpOp;
+use crate::error::{XPathError, XPathResult};
+use crate::normalize::{NormItem, NormPath, NormQual, NormQuery};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Axis used by qualifier sub-queries when stepping away from a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QAxis {
+    /// Step to a child.
+    Child,
+    /// Step to a proper descendant (the `//` of a qualifier path).
+    Descendant,
+}
+
+/// Index of an entry of `QVect(Q)`.
+pub type QEntryId = usize;
+
+/// One entry (sub-query) of `QVect(Q)`.
+///
+/// Entries are evaluated bottom-up: the value of an entry at a node `v`
+/// depends only on *earlier* entries at `v` and on the `QV`/`QDV` vectors of
+/// `v`'s children — which is exactly the paper's requirement for Stage 1 to
+/// run in a single bottom-up pass per fragment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QEntry {
+    /// True at `v` iff `v` is an element labelled with this name.
+    LabelTest(String),
+    /// True at `v` iff `v` is an element (wildcard step).
+    ElementTest,
+    /// True at `v` iff `v` is a text node with exactly this value.
+    TextTest(String),
+    /// True at `v` iff `v` is a text node whose numeric value satisfies the
+    /// comparison (a leading `$` is tolerated, as in the running example).
+    ValTest(CmpOp, f64),
+    /// A step of a qualifier path: true at `v` iff the `test` entry is true
+    /// at `v`, all `quals` entries are true at `v`, and — when `next` is
+    /// present — the continuation holds below `v` (via a child for
+    /// [`QAxis::Child`], via a proper descendant for [`QAxis::Descendant`]).
+    Step {
+        /// Node test entry (a `LabelTest`/`ElementTest`).
+        test: QEntryId,
+        /// Qualifier entries that must also hold at the node.
+        quals: Vec<QEntryId>,
+        /// Continuation of the path below this node.
+        next: Option<(QAxis, QEntryId)>,
+    },
+    /// Existential anchor of a qualifier path at its context node: true at
+    /// `v` iff some child (for [`QAxis::Child`]) or some proper descendant
+    /// (for [`QAxis::Descendant`]) of `v` satisfies `entry`.
+    Exists {
+        /// Axis of the first step of the qualifier path.
+        axis: QAxis,
+        /// Entry describing the first matched node of the path.
+        entry: QEntryId,
+    },
+    /// Negation of another entry (same node).
+    Not(QEntryId),
+    /// Conjunction of other entries (same node). Empty = `true`.
+    And(Vec<QEntryId>),
+    /// Disjunction of other entries (same node). Empty = `false`.
+    Or(Vec<QEntryId>),
+}
+
+/// One item of the compiled selection path (`SVect` granularity).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SelItem {
+    /// A label step.
+    Label(String),
+    /// A wildcard step.
+    Wildcard,
+    /// The `//` marker.
+    DescendantOrSelf,
+    /// An `ε[q]` item: the conjunction of these qualifier entries must hold
+    /// at the node reached by the preceding prefix.
+    SelfQualifier(Vec<QEntryId>),
+}
+
+/// The fully compiled query used by every evaluation algorithm in the
+/// workspace (centralized, PaX3, PaX2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledQuery {
+    /// Was the query absolute? Determines the evaluation context (implicit
+    /// document node vs. the root element itself).
+    pub absolute: bool,
+    /// The selection items; `SVect(Q)` has `sel_items.len() + 1` entries
+    /// (entry 0 is the empty prefix / context marker).
+    pub sel_items: Vec<SelItem>,
+    /// `QVect(Q)`: all qualifier sub-queries in topological order.
+    pub qvect: Vec<QEntry>,
+    /// Human-readable selection path (e.g. `//broker/name`), for reports.
+    pub selection_path: String,
+    /// The normalized query this was compiled from.
+    pub source: NormQuery,
+}
+
+impl CompiledQuery {
+    /// Number of `SVect` entries (including the implicit entry 0).
+    pub fn svect_len(&self) -> usize {
+        self.sel_items.len() + 1
+    }
+
+    /// Number of `QVect` entries.
+    pub fn qvect_len(&self) -> usize {
+        self.qvect.len()
+    }
+
+    /// Does the query have any qualifier? (Both PaX3 and PaX2 skip the
+    /// qualifier machinery entirely when it does not — Experiment 1.)
+    pub fn has_qualifiers(&self) -> bool {
+        !self.qvect.is_empty()
+    }
+
+    /// Does the *selection path* contain `//`? (Decides how effective the
+    /// XPath-annotation pruning can be — Experiments 1–3.)
+    pub fn selection_has_descendant(&self) -> bool {
+        self.sel_items.iter().any(|i| matches!(i, SelItem::DescendantOrSelf))
+    }
+
+    /// A conservative upper bound on the per-node work, used by the cost
+    /// meters: one operation per vector entry.
+    pub fn per_node_ops(&self) -> u64 {
+        (self.svect_len() + self.qvect_len()) as u64
+    }
+
+    /// The sequence of selection-step labels, with `//` rendered as `//` and
+    /// wildcards as `*` — the "selection path" of the paper.
+    pub fn selection_steps(&self) -> Vec<String> {
+        self.sel_items
+            .iter()
+            .filter_map(|i| match i {
+                SelItem::Label(l) => Some(l.clone()),
+                SelItem::Wildcard => Some("*".to_string()),
+                SelItem::DescendantOrSelf => Some("//".to_string()),
+                SelItem::SelfQualifier(_) => None,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for CompiledQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CompiledQuery(selection: {}, |SVect| = {}, |QVect| = {})",
+            self.selection_path,
+            self.svect_len(),
+            self.qvect_len()
+        )
+    }
+}
+
+/// Compile a normalized query.
+pub fn compile(query: &NormQuery) -> XPathResult<CompiledQuery> {
+    let mut compiler = Compiler { qvect: Vec::new() };
+    let mut sel_items = Vec::new();
+    for item in &query.path.items {
+        match item {
+            NormItem::Label(l) => sel_items.push(SelItem::Label(l.clone())),
+            NormItem::Wildcard => sel_items.push(SelItem::Wildcard),
+            NormItem::DescendantOrSelf => sel_items.push(SelItem::DescendantOrSelf),
+            NormItem::Qualifier(q) => {
+                let ids = compiler.compile_qual_conjuncts(q)?;
+                sel_items.push(SelItem::SelfQualifier(ids));
+            }
+        }
+    }
+    let selection_path = render_selection_path(query);
+    Ok(CompiledQuery {
+        absolute: query.absolute,
+        sel_items,
+        qvect: compiler.qvect,
+        selection_path,
+        source: query.clone(),
+    })
+}
+
+fn render_selection_path(query: &NormQuery) -> String {
+    let mut out = String::new();
+    if query.absolute {
+        out.push('/');
+    }
+    let mut need_slash = false;
+    for item in query.path.selection_items() {
+        match item {
+            NormItem::DescendantOrSelf => {
+                // A `//` subsumes the single `/` separator.
+                if out.ends_with('/') {
+                    out.pop();
+                }
+                out.push_str("//");
+                need_slash = false;
+            }
+            other => {
+                if need_slash {
+                    out.push('/');
+                }
+                out.push_str(&other.to_string());
+                need_slash = true;
+            }
+        }
+    }
+    if out.is_empty() {
+        out.push('.');
+    }
+    out
+}
+
+struct Compiler {
+    qvect: Vec<QEntry>,
+}
+
+impl Compiler {
+    fn push(&mut self, entry: QEntry) -> QEntryId {
+        // Reuse an identical existing entry when possible: keeps QVect small
+        // (e.g. the two `//stock/code/text()` sub-queries of the
+        // introduction's Q1 share everything but the compared string).
+        if let Some(pos) = self.qvect.iter().position(|e| *e == entry) {
+            return pos;
+        }
+        self.qvect.push(entry);
+        self.qvect.len() - 1
+    }
+
+    /// Compile a qualifier and return the entry ids whose conjunction is the
+    /// qualifier's value (a top-level `And` is kept flat so the selection
+    /// evaluation can AND them without an extra entry).
+    fn compile_qual_conjuncts(&mut self, q: &NormQual) -> XPathResult<Vec<QEntryId>> {
+        match q {
+            NormQual::And(parts) => {
+                let mut ids = Vec::with_capacity(parts.len());
+                for p in parts {
+                    ids.push(self.compile_qual(p)?);
+                }
+                Ok(ids)
+            }
+            other => Ok(vec![self.compile_qual(other)?]),
+        }
+    }
+
+    /// Compile a qualifier into a single entry id.
+    fn compile_qual(&mut self, q: &NormQual) -> XPathResult<QEntryId> {
+        match q {
+            NormQual::TextIs(s) => {
+                let atom = self.push(QEntry::TextTest(s.clone()));
+                Ok(self.push(QEntry::Exists { axis: QAxis::Child, entry: atom }))
+            }
+            NormQual::ValIs(op, n) => {
+                let atom = self.push(QEntry::ValTest(*op, *n));
+                Ok(self.push(QEntry::Exists { axis: QAxis::Child, entry: atom }))
+            }
+            NormQual::Not(inner) => {
+                let e = self.compile_qual(inner)?;
+                Ok(self.push(QEntry::Not(e)))
+            }
+            NormQual::And(parts) => {
+                let ids =
+                    parts.iter().map(|p| self.compile_qual(p)).collect::<XPathResult<Vec<_>>>()?;
+                Ok(self.push(QEntry::And(ids)))
+            }
+            NormQual::Or(parts) => {
+                let ids =
+                    parts.iter().map(|p| self.compile_qual(p)).collect::<XPathResult<Vec<_>>>()?;
+                Ok(self.push(QEntry::Or(ids)))
+            }
+            NormQual::Path(path) => self.compile_qual_path(path),
+        }
+    }
+
+    /// Compile a qualifier path (existential semantics at the context node).
+    fn compile_qual_path(&mut self, path: &NormPath) -> XPathResult<QEntryId> {
+        // Split the item list into: qualifiers applying to the context node
+        // itself (leading ε[q] items) and a list of steps, each consisting of
+        // (axis, node test, trailing ε[q] items).
+        struct Step {
+            axis: QAxis,
+            test: NodeTestKind,
+            quals: Vec<NormQual>,
+        }
+        enum NodeTestKind {
+            Label(String),
+            Wildcard,
+        }
+
+        let mut context_quals: Vec<NormQual> = Vec::new();
+        let mut steps: Vec<Step> = Vec::new();
+        let mut pending_axis = QAxis::Child;
+        for item in &path.items {
+            match item {
+                NormItem::DescendantOrSelf => pending_axis = QAxis::Descendant,
+                NormItem::Label(l) => {
+                    steps.push(Step {
+                        axis: pending_axis,
+                        test: NodeTestKind::Label(l.clone()),
+                        quals: Vec::new(),
+                    });
+                    pending_axis = QAxis::Child;
+                }
+                NormItem::Wildcard => {
+                    steps.push(Step {
+                        axis: pending_axis,
+                        test: NodeTestKind::Wildcard,
+                        quals: Vec::new(),
+                    });
+                    pending_axis = QAxis::Child;
+                }
+                NormItem::Qualifier(q) => match steps.last_mut() {
+                    Some(step) => step.quals.push(q.clone()),
+                    None => context_quals.push(q.clone()),
+                },
+            }
+        }
+        // A trailing `//` with no following step (e.g. the qualifier `[a//]`)
+        // would be ill-formed; the parser cannot produce it, but reject it
+        // defensively for hand-built normal forms.
+        if pending_axis == QAxis::Descendant && steps.is_empty() && path.items.len() == 1 {
+            return Err(XPathError::EmptyQuery);
+        }
+
+        // Compile the steps from the last to the first, so that every entry
+        // only references already-compiled (smaller-index) entries... the
+        // entries themselves are appended in suffix order, which *is* a
+        // topological order for the bottom-up pass.
+        let mut next: Option<(QAxis, QEntryId)> = None;
+        for step in steps.iter().rev() {
+            let test_id = match &step.test {
+                NodeTestKind::Label(l) => self.push(QEntry::LabelTest(l.clone())),
+                NodeTestKind::Wildcard => self.push(QEntry::ElementTest),
+            };
+            let mut qual_ids = Vec::with_capacity(step.quals.len());
+            for q in &step.quals {
+                qual_ids.push(self.compile_qual(q)?);
+            }
+            let step_id =
+                self.push(QEntry::Step { test: test_id, quals: qual_ids, next });
+            next = Some((step.axis, step_id));
+        }
+
+        // Anchor at the context node.
+        let path_anchor: Option<QEntryId> =
+            next.map(|(axis, entry)| self.push(QEntry::Exists { axis, entry }));
+
+        // Combine with the context qualifiers (leading ε[q] items).
+        let mut conjuncts: Vec<QEntryId> = Vec::new();
+        for q in &context_quals {
+            conjuncts.push(self.compile_qual(q)?);
+        }
+        if let Some(anchor) = path_anchor {
+            conjuncts.push(anchor);
+        }
+        match conjuncts.len() {
+            0 => Ok(self.push(QEntry::And(Vec::new()))), // `[.]` — trivially true
+            1 => Ok(conjuncts[0]),
+            _ => Ok(self.push(QEntry::And(conjuncts))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::normalize;
+    use crate::parse;
+
+    fn comp(text: &str) -> CompiledQuery {
+        compile(&normalize(&parse(text).unwrap())).unwrap()
+    }
+
+    #[test]
+    fn simple_path_has_no_qvect() {
+        let c = comp("/sites/site/people/person");
+        assert_eq!(c.qvect_len(), 0);
+        assert!(!c.has_qualifiers());
+        assert_eq!(c.svect_len(), 5); // 4 steps + the empty prefix
+        assert_eq!(c.selection_path, "/sites/site/people/person");
+        assert_eq!(c.selection_steps(), vec!["sites", "site", "people", "person"]);
+    }
+
+    #[test]
+    fn descendant_axis_is_an_svect_item() {
+        let c = comp("/sites/site/open_auctions//annotation");
+        assert!(c.selection_has_descendant());
+        assert_eq!(c.svect_len(), 6); // sites, site, open_auctions, //, annotation + empty
+    }
+
+    #[test]
+    fn example_2_1_vectors_are_linear_in_the_query() {
+        let c = comp("client[country/text() = \"US\"]/broker[market/name/text() = \"NASDAQ\"]/name");
+        // Selection path client/broker/name plus two ε[q] items plus entry 0.
+        assert_eq!(c.svect_len(), 6);
+        assert_eq!(c.selection_path, "client/broker/name");
+        // The paper's QVect has 9 entries; ours differs slightly in shape but
+        // must stay the same order of magnitude (linear in |Q|).
+        assert!(c.qvect_len() >= 6);
+        assert!(c.qvect_len() <= 12);
+        assert!(c.has_qualifiers());
+    }
+
+    #[test]
+    fn qualifier_entries_are_topologically_ordered() {
+        for text in [
+            "client[country/text() = \"US\"]/broker[market/name/text() = \"NASDAQ\"]/name",
+            "//broker[//stock/code/text()=\"goog\" and not(//stock/code/text()=\"yhoo\")]/name",
+            "/sites//people/person[profile/age > 20 and address/country=\"US\"]/creditcard",
+            "a[b[c[d]]/e]/f",
+            "x[not(a or b) and c[text()='t']]",
+        ] {
+            let c = comp(text);
+            for (i, entry) in c.qvect.iter().enumerate() {
+                let refs: Vec<usize> = match entry {
+                    QEntry::Step { test, quals, next } => {
+                        let mut r = vec![*test];
+                        r.extend(quals.iter().copied());
+                        if let Some((_, e)) = next {
+                            r.push(*e);
+                        }
+                        r
+                    }
+                    QEntry::Exists { entry, .. } => vec![*entry],
+                    QEntry::Not(e) => vec![*e],
+                    QEntry::And(es) | QEntry::Or(es) => es.clone(),
+                    _ => vec![],
+                };
+                for r in refs {
+                    assert!(r < i, "entry {i} of {text} references later entry {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn selection_qualifier_items_reference_qvect_entries() {
+        let c = comp("person[profile/age > 20 and address/country=\"US\"]/creditcard");
+        let qual_items: Vec<&SelItem> = c
+            .sel_items
+            .iter()
+            .filter(|i| matches!(i, SelItem::SelfQualifier(_)))
+            .collect();
+        assert_eq!(qual_items.len(), 1);
+        match qual_items[0] {
+            SelItem::SelfQualifier(ids) => {
+                assert_eq!(ids.len(), 2); // the two conjuncts stay flat
+                for id in ids {
+                    assert!(*id < c.qvect_len());
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn shared_subqueries_are_deduplicated() {
+        // Both conjuncts mention //stock/code — the label tests are shared.
+        let c = comp("//broker[//stock/code/text()=\"goog\" and //stock/code/text()=\"goog\"]/name");
+        let label_tests = c
+            .qvect
+            .iter()
+            .filter(|e| matches!(e, QEntry::LabelTest(l) if l == "stock" || l == "code"))
+            .count();
+        assert_eq!(label_tests, 2, "identical label tests must be shared");
+    }
+
+    #[test]
+    fn boolean_query_compiles_to_pure_qualifier() {
+        let c = comp(".[//stock/code/text()=\"goog\"]");
+        assert_eq!(c.sel_items.len(), 1);
+        assert!(matches!(c.sel_items[0], SelItem::SelfQualifier(_)));
+        assert!(c.has_qualifiers());
+        assert_eq!(c.selection_path, ".");
+    }
+
+    #[test]
+    fn per_node_ops_counts_both_vectors() {
+        let c = comp("person[profile/age > 20]/name");
+        assert_eq!(c.per_node_ops(), (c.svect_len() + c.qvect_len()) as u64);
+    }
+
+    #[test]
+    fn wildcard_selection_step() {
+        let c = comp("*/client/name");
+        assert_eq!(c.sel_items[0], SelItem::Wildcard);
+        assert_eq!(c.selection_steps(), vec!["*", "client", "name"]);
+    }
+
+    #[test]
+    fn nested_qualifiers_compile() {
+        let c = comp("client[broker[market/name/text()='TSE']]/name");
+        assert!(c.has_qualifiers());
+        // There must be at least: TextTest, Exists, name LabelTest, Step,
+        // market LabelTest, Step, Exists, broker LabelTest, Step, Exists.
+        assert!(c.qvect_len() >= 8);
+    }
+}

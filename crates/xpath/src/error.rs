@@ -1,0 +1,90 @@
+//! Error types for XPath parsing and compilation.
+
+use std::fmt;
+
+/// Result alias for the crate.
+pub type XPathResult<T> = Result<T, XPathError>;
+
+/// Errors raised while lexing, parsing or compiling a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XPathError {
+    /// A character that cannot start any token.
+    UnexpectedChar {
+        /// Byte offset of the character.
+        offset: usize,
+        /// The offending character.
+        found: char,
+    },
+    /// A string literal without a closing quote.
+    UnterminatedString {
+        /// Byte offset of the opening quote.
+        offset: usize,
+    },
+    /// A numeric literal that does not parse.
+    InvalidNumber {
+        /// Byte offset of the literal.
+        offset: usize,
+        /// The text that failed to parse.
+        text: String,
+    },
+    /// A token that does not fit the grammar at this position.
+    UnexpectedToken {
+        /// Byte offset of the token.
+        offset: usize,
+        /// Description of the token found.
+        found: String,
+        /// Description of what was expected.
+        expected: String,
+    },
+    /// The query was syntactically valid but empty (selects nothing).
+    EmptyQuery,
+    /// `text()` / `val()` used in the selection path rather than a qualifier,
+    /// which the class X of the paper does not allow.
+    TestOutsideQualifier {
+        /// Byte offset of the offending `text()`/`val()`.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for XPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XPathError::UnexpectedChar { offset, found } => {
+                write!(f, "unexpected character {found:?} at offset {offset}")
+            }
+            XPathError::UnterminatedString { offset } => {
+                write!(f, "unterminated string literal starting at offset {offset}")
+            }
+            XPathError::InvalidNumber { offset, text } => {
+                write!(f, "invalid number {text:?} at offset {offset}")
+            }
+            XPathError::UnexpectedToken { offset, found, expected } => {
+                write!(f, "unexpected {found} at offset {offset}: expected {expected}")
+            }
+            XPathError::EmptyQuery => write!(f, "empty query"),
+            XPathError::TestOutsideQualifier { offset } => write!(
+                f,
+                "text()/val() at offset {offset} is only allowed inside a qualifier in the class X"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for XPathError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_offsets() {
+        let e = XPathError::UnexpectedToken {
+            offset: 12,
+            found: "']'".into(),
+            expected: "a step".into(),
+        };
+        assert!(e.to_string().contains("offset 12"));
+        assert!(XPathError::EmptyQuery.to_string().contains("empty"));
+        assert!(XPathError::TestOutsideQualifier { offset: 3 }.to_string().contains("qualifier"));
+    }
+}

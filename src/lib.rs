@@ -1,0 +1,66 @@
+//! # paxml — Distributed XPath Query Evaluation with Performance Guarantees
+//!
+//! A faithful, from-scratch Rust reproduction of
+//!
+//! > Gao Cong, Wenfei Fan, Anastasios Kementsietsidis.
+//! > *Distributed Query Evaluation with Performance Guarantees.* SIGMOD 2007.
+//!
+//! The paper evaluates generic (data-selecting) XPath queries over an XML
+//! tree that is fragmented and distributed over many sites, using **partial
+//! evaluation**: each site evaluates the whole query over its fragments in
+//! parallel and ships *residual Boolean formulas* instead of data; a
+//! coordinator unifies them over the fragment tree. The algorithms guarantee
+//! at most three (PaX3) or two (PaX2) visits per site, network traffic in
+//! `O(|Q|·|FT| + |answer|)`, and total computation comparable to a
+//! centralized evaluation.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`xml`] | `paxml-xml` | Arena XML tree, parser, serializer, builder. |
+//! | [`boolex`] | `paxml-boolex` | Residual Boolean formulas and environments. |
+//! | [`xpath`] | `paxml-xpath` | The XPath fragment X: parser, normal form, `SVect`/`QVect`, centralized evaluator. |
+//! | [`fragment`] | `paxml-fragment` | Fragmentation, fragment trees, XPath annotations. |
+//! | [`distsim`] | `paxml-distsim` | Simulated sites, traffic/visit accounting, parallel rounds. |
+//! | [`core`] | `paxml-core` | PaX3, PaX2, the annotation optimization, the naive baseline. |
+//! | [`xmark`] | `paxml-xmark` | XMark-like workload generator and the paper's running example. |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use paxml::prelude::*;
+//!
+//! // The paper's Fig. 1 clientele, fragmented as in Fig. 2, on 4 sites.
+//! let (_tree, fragmented) = paxml::xmark::clientele_fragmentation();
+//! let mut deployment = Deployment::new(&fragmented, 4, Placement::RoundRobin);
+//!
+//! let report = pax2::evaluate(
+//!     &mut deployment,
+//!     "client[country/text()='US']/broker[market/name/text()='NASDAQ']/name",
+//!     &EvalOptions::with_annotations(),
+//! ).unwrap();
+//!
+//! assert_eq!(report.answer_texts(), vec!["E*trade".to_string(), "Bache".to_string()]);
+//! assert!(report.max_visits_per_site() <= 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use paxml_boolex as boolex;
+pub use paxml_core as core;
+pub use paxml_distsim as distsim;
+pub use paxml_fragment as fragment;
+pub use paxml_xmark as xmark;
+pub use paxml_xml as xml;
+pub use paxml_xpath as xpath;
+
+/// The most commonly used items, for `use paxml::prelude::*`.
+pub mod prelude {
+    pub use paxml_core::{naive, pax2, pax3, Deployment, EvalOptions, EvaluationReport};
+    pub use paxml_distsim::Placement;
+    pub use paxml_fragment::{fragment_at, strategy, FragmentId, FragmentedTree};
+    pub use paxml_xml::{parse as parse_xml, TreeBuilder, XmlTree};
+    pub use paxml_xpath::{centralized, compile_text, parse as parse_query};
+}

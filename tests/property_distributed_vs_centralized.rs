@@ -1,0 +1,163 @@
+//! Property-based end-to-end test: for *random* documents, *random*
+//! fragmentations and *random* queries from the class X, the distributed
+//! algorithms (PaX3 and PaX2, with and without the annotation optimization)
+//! return exactly the same answer set as the centralized evaluator and as
+//! the naive set-based oracle.
+//!
+//! This is the strongest correctness statement in the test suite: it
+//! exercises arbitrary nestings of fragments (including fragments inside
+//! fragments), arbitrary placements and every query feature at once.
+
+use paxml::prelude::*;
+use paxml::xpath::semantics::oracle_eval;
+use paxml_xml::{NodeId, NodeKind, XmlTree};
+use proptest::prelude::*;
+
+const LABELS: &[&str] = &["a", "b", "c", "d", "e"];
+const TEXTS: &[&str] = &["x", "y", "10", "42", "US"];
+
+/// Build a random tree from a list of (parent index, node choice) pairs.
+fn build_tree(spec: &[(usize, usize)]) -> XmlTree {
+    let mut tree = XmlTree::with_root_element(LABELS[0]);
+    let mut elements: Vec<NodeId> = vec![tree.root()];
+    for &(parent_choice, kind) in spec {
+        let parent = elements[parent_choice % elements.len()];
+        if kind % 4 == 3 {
+            // a text child
+            tree.append_child(parent, NodeKind::text(TEXTS[kind % TEXTS.len()]));
+        } else {
+            let label = LABELS[kind % LABELS.len()];
+            let id = tree.append_element(parent, label);
+            elements.push(id);
+        }
+    }
+    tree
+}
+
+/// Random tree strategy: 5–60 extra nodes under an `a` root.
+fn tree_strategy() -> impl Strategy<Value = XmlTree> {
+    prop::collection::vec((0usize..1000, 0usize..20), 5..60).prop_map(|spec| build_tree(&spec))
+}
+
+/// Random query strategy: 1–3 steps, optional leading `//`, optional
+/// wildcard steps, optional qualifier with a text or value comparison or a
+/// nested path, optionally negated.
+fn query_strategy() -> impl Strategy<Value = String> {
+    let step = prop_oneof![
+        prop::sample::select(LABELS.to_vec()).prop_map(|l| l.to_string()),
+        Just("*".to_string()),
+    ];
+    let qualifier = prop_oneof![
+        prop::sample::select(LABELS.to_vec()).prop_map(|l| format!("[{l}]")),
+        (prop::sample::select(LABELS.to_vec()), prop::sample::select(TEXTS.to_vec()))
+            .prop_map(|(l, t)| format!("[{l}/text()='{t}']")),
+        (prop::sample::select(LABELS.to_vec()), 0u32..50)
+            .prop_map(|(l, n)| format!("[{l} > {n}]")),
+        (prop::sample::select(LABELS.to_vec()), prop::sample::select(TEXTS.to_vec()))
+            .prop_map(|(l, t)| format!("[not({l}/text()='{t}')]")),
+        (prop::sample::select(LABELS.to_vec()), prop::sample::select(LABELS.to_vec()))
+            .prop_map(|(l, m)| format!("[{l} or {m}]")),
+        Just(String::new()),
+    ];
+    (
+        prop::bool::ANY,                         // leading //
+        prop::collection::vec((step, qualifier), 1..4), // steps
+    )
+        .prop_map(|(descendant, steps)| {
+            let mut out = String::new();
+            if descendant {
+                out.push_str("//");
+            }
+            for (i, (step, qual)) in steps.iter().enumerate() {
+                if i > 0 {
+                    out.push('/');
+                }
+                out.push_str(step);
+                out.push_str(qual);
+            }
+            out
+        })
+}
+
+/// Pick random cut points (by index among non-root elements).
+fn cuts_for(tree: &XmlTree, picks: &[usize]) -> Vec<NodeId> {
+    let candidates: Vec<NodeId> = tree
+        .all_nodes()
+        .filter(|&n| n != tree.root() && tree.is_element(n))
+        .collect();
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    let mut cuts: Vec<NodeId> = picks.iter().map(|&p| candidates[p % candidates.len()]).collect();
+    cuts.sort();
+    cuts.dedup();
+    cuts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    #[test]
+    fn distributed_answers_equal_centralized_and_oracle(
+        tree in tree_strategy(),
+        query in query_strategy(),
+        picks in prop::collection::vec(0usize..1000, 0..8),
+        sites in 1usize..5,
+    ) {
+        let cuts = cuts_for(&tree, &picks);
+        let fragmented = fragment_at(&tree, &cuts).expect("valid cuts");
+
+        // Reference semantics (two independent implementations). The oracle
+        // reports document order, the vector evaluator node-id order; compare
+        // as sets by sorting both.
+        let mut oracle: Vec<NodeId> = oracle_eval(&tree, &query).expect("query parses");
+        oracle.sort();
+        let central = centralized::evaluate(&tree, &query).expect("query parses");
+        prop_assert_eq!(&oracle, &central.answers, "oracle vs centralized on {}", query);
+
+        for use_annotations in [false, true] {
+            let options = EvalOptions { use_annotations };
+            let mut d = Deployment::new(&fragmented, sites, Placement::RoundRobin).sequential();
+            let p3 = pax3::evaluate(&mut d, &query, &options).unwrap();
+            prop_assert_eq!(
+                p3.answer_origins(), oracle.clone(),
+                "PaX3 (XA={}) differs on query {} with {} fragments",
+                use_annotations, query, fragmented.fragment_count()
+            );
+            prop_assert!(p3.max_visits_per_site() <= 3);
+
+            let mut d = Deployment::new(&fragmented, sites, Placement::RoundRobin).sequential();
+            let p2 = pax2::evaluate(&mut d, &query, &options).unwrap();
+            prop_assert_eq!(
+                p2.answer_origins(), oracle.clone(),
+                "PaX2 (XA={}) differs on query {} with {} fragments",
+                use_annotations, query, fragmented.fragment_count()
+            );
+            prop_assert!(p2.max_visits_per_site() <= 2);
+        }
+
+        let mut d = Deployment::new(&fragmented, sites, Placement::RoundRobin).sequential();
+        let nv = naive::evaluate(&mut d, &query).unwrap();
+        prop_assert_eq!(nv.answer_origins(), oracle, "Naive differs on query {}", query);
+    }
+
+    #[test]
+    fn fragmentation_round_trips_for_random_trees(
+        tree in tree_strategy(),
+        picks in prop::collection::vec(0usize..1000, 0..10),
+    ) {
+        let cuts = cuts_for(&tree, &picks);
+        let fragmented = fragment_at(&tree, &cuts).expect("valid cuts");
+        prop_assert!(fragmented.validate().is_ok());
+        let back = fragmented.reassemble().expect("reassembly");
+        prop_assert_eq!(paxml_xml::to_string(&back), paxml_xml::to_string(&tree));
+        prop_assert_eq!(fragmented.total_real_nodes(), tree.all_nodes().count());
+    }
+
+    #[test]
+    fn parse_serialize_round_trip_for_random_trees(tree in tree_strategy()) {
+        let text = paxml_xml::to_string(&tree);
+        let reparsed = paxml_xml::parse(&text).expect("serializer output parses");
+        prop_assert_eq!(paxml_xml::to_string(&reparsed), text);
+    }
+}
