@@ -14,7 +14,10 @@ const SEED: u64 = 42;
 
 fn fig9a(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9a_q1_vs_fragmentation");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
     for fragments in [1usize, 2, 4, 6, 8, 10] {
         let (_, fragmented) = ft1(fragments, TOTAL_VMB, SEED);
         for series in [Series::Pax3Na, Series::Pax3Xa] {
@@ -32,7 +35,10 @@ fn fig9a(c: &mut Criterion) {
 
 fn fig9b(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9b_q4_vs_fragmentation");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
     for fragments in [1usize, 2, 4, 6, 8, 10] {
         let (_, fragmented) = ft1(fragments, TOTAL_VMB, SEED);
         for series in [Series::Pax3Na, Series::Pax2Na] {

@@ -15,14 +15,12 @@ const SEED: u64 = 42;
 const SITES: usize = 10;
 const SIZES: [f64; 3] = [2.0, 3.0, 4.0];
 
-fn bench_figure(
-    c: &mut Criterion,
-    name: &str,
-    query_name: &str,
-    series_list: &[Series],
-) {
+fn bench_figure(c: &mut Criterion, name: &str, query_name: &str, series_list: &[Series]) {
     let mut group = c.benchmark_group(name);
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
     for &vmb in &SIZES {
         let (_, fragmented) = ft2(vmb, SEED);
         for &series in series_list {

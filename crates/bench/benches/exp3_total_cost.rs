@@ -16,7 +16,10 @@ const SIZES: [f64; 2] = [2.0, 4.0];
 
 fn bench_total(c: &mut Criterion, name: &str, query_name: &str, series_list: &[Series]) {
     let mut group = c.benchmark_group(name);
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
     for &vmb in &SIZES {
         let (_, fragmented) = ft2(vmb, SEED);
         for &series in series_list {

@@ -1,0 +1,139 @@
+//! Experiment 4 (new in this repository, beyond the paper): batch
+//! throughput — queries/second vs. batch size over one FT2 deployment.
+//!
+//! The baseline evaluates the batch one query at a time with `pax2::evaluate`
+//! (resetting the deployment between queries, as a query router without
+//! batching would); the contender hands the whole batch to
+//! `batch::evaluate`, which shares site visits so the entire batch costs at
+//! most two visits per site. Both series reuse one deployment, so the
+//! persistent per-site worker pool serves every round; what the bench
+//! isolates is the per-round coordination cost (`2N` rounds vs. `2`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use paxml_core::{batch, pax2, Deployment, EvalOptions};
+use paxml_distsim::Placement;
+use paxml_xmark::{ft2, PAPER_QUERIES};
+use std::time::Duration;
+
+const SEED: u64 = 42;
+const SITES: usize = 10;
+const VMB: f64 = 2.0;
+const BATCH_SIZES: [usize; 4] = [1, 4, 8, 16];
+
+/// A mixed workload of `n` queries cycling through the paper's query set
+/// with per-index variations, so batched queries are not all identical.
+fn workload(n: usize) -> Vec<String> {
+    let extras = [
+        "/sites/site/people/person/name",
+        "//person[address/country=\"US\"]/name",
+        "//open_auctions/auction/bidder/increase",
+        "/sites/site/regions//item[quantity > 5]/name",
+    ];
+    (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                PAPER_QUERIES[(i / 2) % PAPER_QUERIES.len()].1.to_string()
+            } else {
+                extras[(i / 2) % extras.len()].to_string()
+            }
+        })
+        .collect()
+}
+
+fn throughput_vs_batch_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp4_batch_throughput");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let (_, fragmented) = ft2(VMB, SEED);
+
+    for &size in &BATCH_SIZES {
+        let queries = workload(size);
+        group.throughput(Throughput::Elements(size as u64));
+
+        let mut deployment = Deployment::new(&fragmented, SITES, Placement::RoundRobin);
+        group.bench_with_input(BenchmarkId::new("one-at-a-time", size), &queries, |b, queries| {
+            b.iter(|| {
+                for query in queries {
+                    deployment.reset();
+                    pax2::evaluate(&mut deployment, query, &EvalOptions::default()).unwrap();
+                }
+            });
+        });
+
+        let mut deployment = Deployment::new(&fragmented, SITES, Placement::RoundRobin);
+        group.bench_with_input(BenchmarkId::new("batched", size), &queries, |b, queries| {
+            b.iter(|| batch::evaluate(&mut deployment, queries, &EvalOptions::default()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// Nanoseconds one elementary site operation stands for in the deterministic
+/// latency model below (equal for both series; only the ratio matters).
+const NANOS_PER_OP: u64 = 100;
+
+/// One simulated coordinator↔sites round trip (the 2007 LAN setting).
+const RTT: Duration = Duration::from_millis(1);
+
+/// The same comparison under the paper's *perceived latency* metric,
+/// computed from the simulator's deterministic cost model instead of host
+/// wall-clock: per round, the slowest site's operation count (× a fixed
+/// per-op cost) plus one network round trip. Wall-clock cannot measure
+/// 10-site parallelism faithfully on hosts with fewer cores than simulated
+/// sites (see `ClusterStats::parallel_ops`); the model can, and it is where
+/// visit sharing pays decisively — one-at-a-time spends `2N` round trips
+/// per batch, the batch engine exactly two.
+fn perceived_latency_vs_batch_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp4_batch_perceived_latency_1ms_rtt");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(300));
+    let (_, fragmented) = ft2(VMB, SEED);
+    let modelled = |parallel_ops: u64, rounds: u32| -> Duration {
+        Duration::from_nanos(parallel_ops * NANOS_PER_OP) + RTT * rounds
+    };
+
+    for &size in &BATCH_SIZES {
+        let queries = workload(size);
+        group.throughput(Throughput::Elements(size as u64));
+
+        group.bench_with_input(BenchmarkId::new("one-at-a-time", size), &queries, |b, queries| {
+            let mut deployment =
+                Deployment::new(&fragmented, SITES, Placement::RoundRobin).sequential();
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    for query in queries {
+                        deployment.reset();
+                        let report =
+                            pax2::evaluate(&mut deployment, query, &EvalOptions::default())
+                                .unwrap();
+                        total += modelled(report.parallel_ops(), report.stats.rounds);
+                    }
+                }
+                total.max(Duration::from_nanos(1))
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("batched", size), &queries, |b, queries| {
+            let mut deployment =
+                Deployment::new(&fragmented, SITES, Placement::RoundRobin).sequential();
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let report =
+                        batch::evaluate(&mut deployment, queries, &EvalOptions::default()).unwrap();
+                    total += modelled(report.stats.parallel_ops, report.rounds());
+                }
+                total.max(Duration::from_nanos(1))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, throughput_vs_batch_size, perceived_latency_vs_batch_size);
+criterion_main!(benches);

@@ -10,13 +10,17 @@ use paxml_xpath::{centralized, compile_text};
 use std::time::Duration;
 
 fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
-    group.sample_size(20).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
 }
 
 fn xml_parse(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate_xml");
     configure(&mut group);
-    let tree = XmarkGenerator::new(XmarkConfig { vmb_per_site: 1.0, ..Default::default() }).generate();
+    let tree =
+        XmarkGenerator::new(XmarkConfig { vmb_per_site: 1.0, ..Default::default() }).generate();
     let text = paxml_xml::to_string(&tree);
     group.bench_function("serialize_1vmb", |b| b.iter(|| paxml_xml::to_string(&tree)));
     group.bench_function("parse_1vmb", |b| b.iter(|| paxml_xml::parse(&text).unwrap()));
@@ -37,7 +41,8 @@ fn query_compile(c: &mut Criterion) {
             .unwrap()
         })
     });
-    let tree = XmarkGenerator::new(XmarkConfig { vmb_per_site: 1.0, ..Default::default() }).generate();
+    let tree =
+        XmarkGenerator::new(XmarkConfig { vmb_per_site: 1.0, ..Default::default() }).generate();
     group.bench_function("centralized_q3_1vmb", |b| {
         b.iter(|| centralized::evaluate(&tree, paper_query("Q3")).unwrap())
     });

@@ -90,14 +90,9 @@ fn print_ft(fragmented: &paxml_fragment::FragmentedTree) {
     let ft = &fragmented.fragment_tree;
     for &id in ft.ids() {
         let fragment = fragmented.fragment(id).unwrap();
-        let parent = ft
-            .parent(id)
-            .map(|p| p.to_string())
-            .unwrap_or_else(|| "-".to_string());
-        let annotation = ft
-            .annotation(id)
-            .map(|a| a.to_string())
-            .unwrap_or_else(|| "(root)".to_string());
+        let parent = ft.parent(id).map(|p| p.to_string()).unwrap_or_else(|| "-".to_string());
+        let annotation =
+            ft.annotation(id).map(|a| a.to_string()).unwrap_or_else(|| "(root)".to_string());
         println!(
             "  {id}: parent={parent:<3} root=<{}> nodes={:<6} annotation={annotation}",
             fragment.root_label,

@@ -190,7 +190,14 @@ pub fn experiment2(start_vmb: f64, end_vmb: f64, steps: usize, seed: u64) -> Vec
             ("Q4", Series::Pax3Na),
             ("Q4", Series::Pax2Na),
         ] {
-            points.push(measure(query_name, series, &fragmented, sites, paper_query(query_name), vmb));
+            points.push(measure(
+                query_name,
+                series,
+                &fragmented,
+                sites,
+                paper_query(query_name),
+                vmb,
+            ));
         }
     }
     points
@@ -210,7 +217,17 @@ pub fn format_table(title: &str, points: &[Point], x_label: &str) -> String {
     out.push_str(&format!("# {title}\n"));
     out.push_str(&format!(
         "{:<4} {:<9} {:>10} {:>14} {:>14} {:>13} {:>13} {:>10} {:>7} {:>8} {:>10}\n",
-        "qry", "series", x_label, "parallel(ms)", "total(ms)", "parallel(ops)", "total(ops)", "bytes", "visits", "answers", "fragments"
+        "qry",
+        "series",
+        x_label,
+        "parallel(ms)",
+        "total(ms)",
+        "parallel(ops)",
+        "total(ops)",
+        "bytes",
+        "visits",
+        "answers",
+        "fragments"
     ));
     for p in points {
         out.push_str(&format!(
@@ -308,11 +325,8 @@ mod tests {
         for q in ["Q1", "Q2", "Q3", "Q4"] {
             let xs: Vec<f64> = points.iter().filter(|p| p.query == q).map(|p| p.x).collect();
             for &x in &xs {
-                let answers: Vec<usize> = points
-                    .iter()
-                    .filter(|p| p.query == q && p.x == x)
-                    .map(|p| p.answers)
-                    .collect();
+                let answers: Vec<usize> =
+                    points.iter().filter(|p| p.query == q && p.x == x).map(|p| p.answers).collect();
                 assert!(answers.windows(2).all(|w| w[0] == w[1]), "answer mismatch for {q} at {x}");
             }
         }

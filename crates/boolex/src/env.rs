@@ -62,6 +62,7 @@ impl<V: Clone + Eq + Ord + Hash> Assignment<V> {
     }
 
     /// Build an assignment from an iterator of bindings.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter(bindings: impl IntoIterator<Item = (V, bool)>) -> Self {
         Assignment { values: bindings.into_iter().collect() }
     }

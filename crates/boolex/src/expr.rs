@@ -54,6 +54,7 @@ impl<V: Clone + Eq + Ord + Hash> BoolExpr<V> {
     }
 
     /// Negation with simplification (`¬¬f = f`, `¬true = false`).
+    #[allow(clippy::should_implement_trait)]
     pub fn not(operand: BoolExpr<V>) -> Self {
         match operand {
             BoolExpr::Const(b) => BoolExpr::Const(!b),
@@ -200,7 +201,9 @@ impl<V: Clone + Eq + Ord + Hash> BoolExpr<V> {
         match self {
             BoolExpr::Const(_) | BoolExpr::Var(_) => 1,
             BoolExpr::Not(f) => 1 + f.size(),
-            BoolExpr::And(fs) | BoolExpr::Or(fs) => 1 + fs.iter().map(BoolExpr::size).sum::<usize>(),
+            BoolExpr::And(fs) | BoolExpr::Or(fs) => {
+                1 + fs.iter().map(BoolExpr::size).sum::<usize>()
+            }
         }
     }
 

@@ -11,10 +11,7 @@ type Expr = BoolExpr<Var>;
 
 /// A random formula over variables 0..4, depth ≤ 4.
 fn expr_strategy() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        any::<bool>().prop_map(Expr::constant),
-        (0u8..4).prop_map(Expr::var),
-    ];
+    let leaf = prop_oneof![any::<bool>().prop_map(Expr::constant), (0u8..4).prop_map(Expr::var),];
     leaf.prop_recursive(4, 64, 4, |inner| {
         prop_oneof![
             inner.clone().prop_map(Expr::not),

@@ -1,0 +1,516 @@
+//! Batch multi-query evaluation: many queries, one deployment, shared
+//! site visits.
+//!
+//! The paper's guarantees are stated per query: PaX2 visits every site at
+//! most twice and ships `O(|Q|·|FT| + |answer|)` bytes. Under the load this
+//! repository aims at — many concurrent queries over the *same* deployment —
+//! evaluating queries one at a time multiplies the round count by the batch
+//! size: `N` queries cost up to `2N` coordinator rounds and `2N` visits per
+//! site. This module amortizes those visits across the batch:
+//!
+//! 1. **One combined visit.** The coordinator merges every query's
+//!    first-stage payload addressed to a site into a single
+//!    [`BatchCombinedRequest`]. Each
+//!    site takes every needed fragment out of its store once and runs the
+//!    per-query combined pre/post-order passes over it, emitting *per-query*
+//!    residual Boolean vectors (the queries' vector spaces never mix — each
+//!    query's candidate state is kept in a per-query scratch slot).
+//! 2. **Coordinator unification per query.** `evalFT` (qualifier and
+//!    selection unification) runs independently per query over the shared
+//!    fragment tree, exactly as in single-query PaX2.
+//! 3. **One collection visit.** The resolved variable values of every query
+//!    are merged per site into a single
+//!    [`BatchCollectRequest`]; sites
+//!    resolve all candidate sets and ship each query's answers.
+//!
+//! The *whole batch* therefore respects PaX2's bound: **no site is visited
+//! more than twice, no matter how many queries the batch carries** —
+//! asserted by [`BatchReport::max_visits_per_site`] and the crate's tests.
+//! Network traffic stays `O(Σᵢ|Qᵢ|·|FT| + Σᵢ|answerᵢ|)`, and the per-site
+//! worker pool of `paxml-distsim` does the work of a round without
+//! re-spawning threads, so batch throughput scales with batch size.
+//!
+//! # Example
+//!
+//! ```
+//! use paxml_core::{batch, Deployment, EvalOptions};
+//! use paxml_distsim::Placement;
+//! use paxml_fragment::strategy::cut_at_labels;
+//! use paxml_xml::TreeBuilder;
+//!
+//! let tree = TreeBuilder::new("clientele")
+//!     .open("client").leaf("country", "US")
+//!         .open("broker").leaf("name", "E*trade").close()
+//!     .close()
+//!     .open("client").leaf("country", "Canada")
+//!         .open("broker").leaf("name", "CIBC").close()
+//!     .close()
+//!     .build();
+//! let fragmented = cut_at_labels(&tree, &["broker"]).unwrap();
+//! let mut deployment = Deployment::new(&fragmented, 3, Placement::RoundRobin);
+//!
+//! let report = batch::evaluate(
+//!     &mut deployment,
+//!     &[
+//!         "client[country/text()='US']/broker/name",
+//!         "client/broker/name",
+//!         "//broker[name/text()='CIBC']",
+//!     ],
+//!     &EvalOptions::default(),
+//! ).unwrap();
+//!
+//! assert_eq!(report.len(), 3);
+//! assert_eq!(report.reports[0].answer_texts(), vec!["E*trade".to_string()]);
+//! assert_eq!(report.reports[1].answer_texts(), vec!["E*trade".to_string(), "CIBC".to_string()]);
+//! // The entire batch kept PaX2's visit bound.
+//! assert!(report.max_visits_per_site() <= 2);
+//! ```
+
+use crate::deployment::Deployment;
+use crate::protocol::{
+    batch_collect_task, batch_combined_task, BatchCollectEntry, BatchCollectRequest,
+    BatchCombinedEntry, BatchCombinedRequest, CombinedFragmentInput, InitVector,
+};
+use crate::prune::{analyze, AnnotationAnalysis};
+use crate::report::{Algorithm, AnswerItem, EvaluationReport};
+use crate::unify::{restrict_for_fragment, unify_qualifiers, unify_selection};
+use crate::vars::PaxVar;
+use crate::EvalOptions;
+use paxml_boolex::FormulaVector;
+use paxml_distsim::{ClusterStats, SiteId};
+use paxml_fragment::FragmentId;
+use paxml_xpath::eval::{root_context_vector, QualVectors};
+use paxml_xpath::{compile_text, CompiledQuery, XPathResult};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// The outcome of one batched evaluation: per-query reports plus the
+/// batch-level meters.
+///
+/// The cluster counters (visits, rounds, bytes, ops) are measured for the
+/// batch as a whole — visits are *shared* between queries, which is the
+/// point — so each per-query [`EvaluationReport`] carries the same
+/// [`ClusterStats`]. Per-query fields (answers, fragments evaluated,
+/// coordinator ops) are exact per query.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// One report per query, in input order.
+    pub reports: Vec<EvaluationReport>,
+    /// The batch-level cluster counters (also attached to every report).
+    pub stats: ClusterStats,
+    /// Was the XPath-annotation optimization enabled?
+    pub annotations_used: bool,
+    /// Coordinator-side unification work summed over the batch.
+    pub coordinator_ops: u64,
+    /// Wall-clock time of the whole batch as seen by the coordinator.
+    pub elapsed: Duration,
+}
+
+impl BatchReport {
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Is the batch empty?
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// Maximum number of visits any site received *for the whole batch* —
+    /// ≤ 2, PaX2's single-query bound, regardless of batch size.
+    pub fn max_visits_per_site(&self) -> u32 {
+        self.stats.max_visits_per_site()
+    }
+
+    /// Total bytes moved over the (simulated) network for the whole batch.
+    pub fn network_bytes(&self) -> u64 {
+        self.stats.total_bytes()
+    }
+
+    /// Total computation over all sites plus the coordinator's unification
+    /// work, for the whole batch.
+    pub fn total_ops(&self) -> u64 {
+        self.stats.total_ops + self.coordinator_ops
+    }
+
+    /// Coordinator rounds the batch needed (≤ 2).
+    pub fn rounds(&self) -> u32 {
+        self.stats.rounds
+    }
+
+    /// Answers summed over the batch.
+    pub fn total_answers(&self) -> usize {
+        self.reports.iter().map(|r| r.answers.len()).sum()
+    }
+
+    /// Queries per second of coordinator wall-clock time.
+    pub fn queries_per_second(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return f64::INFINITY;
+        }
+        self.reports.len() as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// One-line human-readable summary of the whole batch.
+    pub fn summary(&self) -> String {
+        format!(
+            "PaX2-batch{}: {} queries, {} answers, {} rounds, {} visits max/site, {} bytes, {} ops, {:.0} q/s",
+            if self.annotations_used { "-XA" } else { "-NA" },
+            self.len(),
+            self.total_answers(),
+            self.rounds(),
+            self.max_visits_per_site(),
+            self.network_bytes(),
+            self.total_ops(),
+            self.queries_per_second(),
+        )
+    }
+}
+
+/// Per-query planning state carried between the two batch stages.
+struct QueryPlan {
+    analysis: AnnotationAnalysis,
+    root_init: Vec<bool>,
+    /// Fragments whose answers are not certain after the combined pass and
+    /// need the collection visit.
+    finals_pending: Vec<FragmentId>,
+}
+
+/// Evaluate a batch of queries over the deployment with PaX2, sharing site
+/// visits across the batch.
+///
+/// Resets the deployment's statistics and scratch state first, so the
+/// reported visit counts are the batch's own. Queries are compiled up
+/// front; the first compile error aborts the batch.
+pub fn evaluate<S: AsRef<str>>(
+    deployment: &mut Deployment,
+    queries: &[S],
+    options: &EvalOptions,
+) -> XPathResult<BatchReport> {
+    let compiled: Vec<CompiledQuery> =
+        queries.iter().map(|q| compile_text(q.as_ref())).collect::<XPathResult<_>>()?;
+    let texts: Vec<String> = queries.iter().map(|q| q.as_ref().to_string()).collect();
+    Ok(evaluate_compiled(deployment, &compiled, &texts, options))
+}
+
+/// Evaluate a batch of already-compiled queries with PaX2. `texts` are the
+/// original query strings, used only for the per-query reports; one per
+/// compiled query.
+///
+/// # Panics
+///
+/// Panics when `compiled` and `texts` have different lengths.
+pub fn evaluate_compiled(
+    deployment: &mut Deployment,
+    compiled: &[CompiledQuery],
+    texts: &[String],
+    options: &EvalOptions,
+) -> BatchReport {
+    assert_eq!(
+        compiled.len(),
+        texts.len(),
+        "evaluate_compiled needs one query text per compiled query"
+    );
+    let start = Instant::now();
+    deployment.reset();
+    let ft = deployment.fragment_tree.clone();
+    let query_count = compiled.len();
+    let mut coordinator_ops_per_query: Vec<u64> = vec![0; query_count];
+    let mut answers: Vec<Vec<AnswerItem>> = vec![Vec::new(); query_count];
+
+    // ------------------------------------------------ Stage 1 (combined, 1 visit)
+    // Plan every query, merging the per-site payloads into one request per
+    // site for the whole batch.
+    let mut plans: Vec<QueryPlan> = Vec::with_capacity(query_count);
+    let mut site_entries: BTreeMap<SiteId, Vec<BatchCombinedEntry>> = BTreeMap::new();
+    for (query_index, query) in compiled.iter().enumerate() {
+        let analysis = if options.use_annotations {
+            analyze(query, &ft, &deployment.root_label)
+        } else {
+            AnnotationAnalysis::keep_all(&ft)
+        };
+        let root_init: Vec<bool> = root_context_vector::<PaxVar>(query)
+            .as_bools()
+            .expect("the document vector is always constant");
+        let mut finals_pending: Vec<FragmentId> = Vec::new();
+        for (&site, fragments) in &deployment.group_by_site(analysis.relevant.iter().copied()) {
+            let mut inputs = BTreeMap::new();
+            for &fragment in fragments {
+                let init = if fragment == FragmentId::ROOT {
+                    InitVector::Exact(root_init.clone())
+                } else if let Some(exact) = analysis.exact_init.get(&fragment) {
+                    InitVector::Exact(exact.clone())
+                } else {
+                    InitVector::Unknown
+                };
+                let collect_now = matches!(init, InitVector::Exact(_)) && !query.has_qualifiers();
+                if !collect_now {
+                    finals_pending.push(fragment);
+                }
+                inputs.insert(
+                    fragment,
+                    CombinedFragmentInput {
+                        init,
+                        root_is_context: fragment == FragmentId::ROOT && !query.absolute,
+                        collect_answers_now: collect_now,
+                    },
+                );
+            }
+            site_entries.entry(site).or_default().push(BatchCombinedEntry {
+                query_index,
+                query: query.clone(),
+                fragments: inputs,
+            });
+        }
+        finals_pending.sort();
+        plans.push(QueryPlan { analysis, root_init, finals_pending });
+    }
+
+    let requests: BTreeMap<SiteId, BatchCombinedRequest> = site_entries
+        .into_iter()
+        .map(|(site, entries)| (site, BatchCombinedRequest { entries }))
+        .collect();
+    let responses = deployment.cluster.round(requests, batch_combined_task);
+
+    // Scatter the merged responses back out per query.
+    let mut roots: Vec<BTreeMap<FragmentId, QualVectors<PaxVar>>> =
+        vec![BTreeMap::new(); query_count];
+    let mut virtuals: Vec<BTreeMap<FragmentId, FormulaVector<PaxVar>>> =
+        vec![BTreeMap::new(); query_count];
+    for response in responses.into_values() {
+        for slice in response.per_query {
+            roots[slice.query_index].extend(slice.roots);
+            virtuals[slice.query_index].extend(slice.virtuals);
+            answers[slice.query_index].extend(slice.answers);
+        }
+    }
+
+    // ------------------------------------------- Coordinator: unify per query
+    let mut site_collect: BTreeMap<SiteId, Vec<BatchCollectEntry>> = BTreeMap::new();
+    for (query_index, (query, plan)) in compiled.iter().zip(&plans).enumerate() {
+        let qual_assignment = if query.has_qualifiers() {
+            coordinator_ops_per_query[query_index] += (ft.len() * query.qvect_len()) as u64;
+            unify_qualifiers(&ft, &roots[query_index], query.qvect_len())
+        } else {
+            paxml_boolex::Assignment::new()
+        };
+        if plan.finals_pending.is_empty() {
+            continue;
+        }
+        coordinator_ops_per_query[query_index] += (ft.len() * query.svect_len()) as u64;
+        let sel_assignment =
+            unify_selection(&ft, &virtuals[query_index], &plan.root_init, &qual_assignment);
+        for (&site, fragments) in &deployment.group_by_site(plan.finals_pending.iter().copied()) {
+            let mut per_fragment = BTreeMap::new();
+            for &fragment in fragments {
+                per_fragment.insert(
+                    fragment,
+                    restrict_for_fragment(&sel_assignment, fragment, ft.children(fragment)),
+                );
+            }
+            site_collect
+                .entry(site)
+                .or_default()
+                .push(BatchCollectEntry { query_index, fragments: per_fragment });
+        }
+    }
+
+    // ---------------------------------------------- Stage 2 (collect, 1 visit)
+    if !site_collect.is_empty() {
+        let requests: BTreeMap<SiteId, BatchCollectRequest> = site_collect
+            .into_iter()
+            .map(|(site, entries)| (site, BatchCollectRequest { entries }))
+            .collect();
+        let responses = deployment.cluster.round(requests, batch_collect_task);
+        for response in responses.into_values() {
+            for slice in response.per_query {
+                answers[slice.query_index].extend(slice.answers);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------- Reports
+    let elapsed = start.elapsed();
+    let stats = deployment.cluster.stats.clone();
+    let mut reports = Vec::with_capacity(query_count);
+    for (query_index, mut query_answers) in answers.into_iter().enumerate() {
+        query_answers.sort();
+        query_answers.dedup();
+        reports.push(EvaluationReport {
+            algorithm: Algorithm::PaX2,
+            annotations_used: options.use_annotations,
+            query: texts[query_index].clone(),
+            answers: query_answers,
+            fragments_evaluated: plans[query_index].analysis.relevant.len(),
+            fragments_total: ft.len(),
+            stats: stats.clone(),
+            coordinator_ops: coordinator_ops_per_query[query_index],
+            elapsed,
+        });
+    }
+    BatchReport {
+        reports,
+        stats,
+        annotations_used: options.use_annotations,
+        coordinator_ops: coordinator_ops_per_query.iter().sum(),
+        elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pax2;
+    use paxml_distsim::Placement;
+    use paxml_fragment::{fragment_at, strategy};
+    use paxml_xml::{TreeBuilder, XmlTree};
+
+    fn clientele() -> XmlTree {
+        TreeBuilder::new("clientele")
+            .open("client")
+            .leaf("name", "Anna")
+            .leaf("country", "US")
+            .open("broker")
+            .leaf("name", "E*trade")
+            .open("market")
+            .leaf("name", "NASDAQ")
+            .open("stock")
+            .leaf("code", "YHOO")
+            .leaf("buy", "$33")
+            .leaf("qt", "40")
+            .close()
+            .close()
+            .close()
+            .close()
+            .open("client")
+            .leaf("name", "Lisa")
+            .leaf("country", "Canada")
+            .open("broker")
+            .leaf("name", "CIBC")
+            .open("market")
+            .leaf("name", "TSE")
+            .open("stock")
+            .leaf("code", "GOOG")
+            .leaf("buy", "$382")
+            .leaf("qt", "90")
+            .close()
+            .close()
+            .close()
+            .close()
+            .build()
+    }
+
+    fn query_battery() -> Vec<&'static str> {
+        vec![
+            "client/name",
+            "client/broker/name",
+            "//name",
+            "//stock/code",
+            "client[country/text()='US']/broker/name",
+            "client[not(country/text()='US')]/name",
+            "//broker[//stock/code/text()='GOOG']/name",
+            "//stock[qt >= 50]/code",
+            "*/*/name",
+            "nonexistent/path",
+        ]
+    }
+
+    #[test]
+    fn batch_matches_per_query_evaluation_and_keeps_the_visit_bound() {
+        let tree = clientele();
+        let fragmented = strategy::cut_at_labels(&tree, &["broker", "market"]).unwrap();
+        let queries = query_battery();
+        for use_annotations in [false, true] {
+            let options = EvalOptions { use_annotations };
+            let mut d = Deployment::new(&fragmented, 4, Placement::RoundRobin);
+            let batch = evaluate(&mut d, &queries, &options).unwrap();
+            assert_eq!(batch.len(), queries.len());
+            assert!(batch.max_visits_per_site() <= 2, "batch broke the PaX2 bound");
+            assert!(batch.rounds() <= 2);
+            for (query, report) in queries.iter().zip(&batch.reports) {
+                let mut single = Deployment::new(&fragmented, 4, Placement::RoundRobin);
+                let expected = pax2::evaluate(&mut single, query, &options).unwrap();
+                assert_eq!(
+                    report.answer_origins(),
+                    expected.answer_origins(),
+                    "batch disagrees with single-query PaX2 on {query} (XA={use_annotations})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_traffic_beats_sequential_rounds() {
+        let tree = clientele();
+        let fragmented = strategy::cut_at_labels(&tree, &["broker", "market"]).unwrap();
+        let queries = query_battery();
+
+        let mut d = Deployment::new(&fragmented, 4, Placement::RoundRobin);
+        let batch = evaluate(&mut d, &queries, &EvalOptions::default()).unwrap();
+
+        // The same queries one at a time: up to 2 rounds *per query* and a
+        // visit count that scales with the batch size.
+        let mut single = Deployment::new(&fragmented, 4, Placement::RoundRobin);
+        let mut total_rounds = 0;
+        let mut max_visits = 0;
+        for query in &queries {
+            single.reset();
+            let report = pax2::evaluate(&mut single, query, &EvalOptions::default()).unwrap();
+            total_rounds += report.stats.rounds;
+            max_visits += report.max_visits_per_site();
+        }
+        assert!(batch.rounds() <= 2);
+        assert!(total_rounds > batch.rounds() * 3);
+        assert!(max_visits > batch.max_visits_per_site() * 3);
+    }
+
+    #[test]
+    fn batch_report_exposes_batch_meters() {
+        let tree = clientele();
+        let fragmented = fragment_at(&tree, &[tree.find_first("broker").unwrap()]).unwrap();
+        let mut d = Deployment::new(&fragmented, 2, Placement::RoundRobin);
+        let batch =
+            evaluate(&mut d, &["client/name", "//stock/code"], &EvalOptions::default()).unwrap();
+        assert_eq!(batch.len(), 2);
+        assert!(!batch.is_empty());
+        assert!(batch.network_bytes() > 0);
+        assert!(batch.total_ops() > 0);
+        assert!(batch.total_answers() > 0);
+        assert!(batch.queries_per_second() > 0.0);
+        let summary = batch.summary();
+        assert!(summary.contains("PaX2-batch"));
+        assert!(summary.contains("2 queries"));
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let tree = clientele();
+        let fragmented = fragment_at(&tree, &[]).unwrap();
+        let mut d = Deployment::new(&fragmented, 1, Placement::SingleSite);
+        let batch = evaluate(&mut d, &[] as &[&str], &EvalOptions::default()).unwrap();
+        assert!(batch.is_empty());
+        assert_eq!(batch.rounds(), 0);
+        assert_eq!(batch.max_visits_per_site(), 0);
+    }
+
+    #[test]
+    fn compile_errors_abort_the_batch() {
+        let tree = clientele();
+        let fragmented = fragment_at(&tree, &[]).unwrap();
+        let mut d = Deployment::new(&fragmented, 1, Placement::SingleSite);
+        assert!(evaluate(&mut d, &["client/name", "client[", "//name"], &EvalOptions::default())
+            .is_err());
+    }
+
+    #[test]
+    fn reusing_a_deployment_resets_batch_stats() {
+        let tree = clientele();
+        let fragmented = strategy::cut_at_labels(&tree, &["broker"]).unwrap();
+        let mut d = Deployment::new(&fragmented, 3, Placement::RoundRobin);
+        let first = evaluate(&mut d, &["client/name"], &EvalOptions::default()).unwrap();
+        let second = evaluate(&mut d, &["client/name"], &EvalOptions::default()).unwrap();
+        assert_eq!(first.max_visits_per_site(), second.max_visits_per_site());
+        assert_eq!(first.network_bytes(), second.network_bytes());
+    }
+}

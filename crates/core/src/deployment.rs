@@ -98,9 +98,15 @@ mod tests {
 
     fn fragmented() -> FragmentedTree {
         let tree = TreeBuilder::new("sites")
-            .open("site").leaf("a", "1").close()
-            .open("site").leaf("a", "2").close()
-            .open("site").leaf("a", "3").close()
+            .open("site")
+            .leaf("a", "1")
+            .close()
+            .open("site")
+            .leaf("a", "2")
+            .close()
+            .open("site")
+            .leaf("a", "3")
+            .close()
             .build();
         cut_children_of_root(&tree).unwrap()
     }
@@ -120,9 +126,8 @@ mod tests {
     #[test]
     fn builder_style_options() {
         let f = fragmented();
-        let d = Deployment::single_site(&f)
-            .with_round_latency(Duration::from_millis(1))
-            .sequential();
+        let d =
+            Deployment::single_site(&f).with_round_latency(Duration::from_millis(1)).sequential();
         assert_eq!(d.cluster.site_count(), 1);
         assert!(d.cluster.sequential);
         assert_eq!(d.cluster.round_latency, Duration::from_millis(1));

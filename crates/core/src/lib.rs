@@ -7,6 +7,7 @@
 //! |--------|---------------|--------------|
 //! | [`pax3`] | §3 | The three-stage partial-evaluation algorithm (≤ 3 visits/site). |
 //! | [`pax2`] | §4 | The two-stage algorithm (≤ 2 visits/site). |
+//! | [`batch`] | §4 (extended) | Batched multi-query PaX2: N queries share site visits, ≤ 2 visits/site for the whole batch. |
 //! | [`prune`] | §5 | The XPath-annotation optimization (fragment pruning + exact stack initialization). |
 //! | [`naive`] | §3 | The NaiveCentralized ship-everything baseline. |
 //! | [`protocol`] / [`unify`] | §3.1–3.3 | The coordinator↔site messages, the per-site tasks, and the `evalFT` unification procedures. |
@@ -41,16 +42,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 mod deployment;
 pub mod naive;
 pub mod pax2;
 pub mod pax3;
-pub mod prune;
 pub mod protocol;
+pub mod prune;
 mod report;
 pub mod unify;
 mod vars;
 
+pub use batch::BatchReport;
 pub use deployment::Deployment;
 pub use report::{answer_item, Algorithm, AnswerItem, EvaluationReport};
 pub use vars::{PaxVar, QualVecKind};
@@ -93,12 +96,24 @@ mod tests {
             .leaf("name", "E*trade")
             .open("market")
             .leaf("name", "NYSE")
-            .open("stock").leaf("code", "IBM").leaf("buy", "$80").leaf("qt", "50").close()
+            .open("stock")
+            .leaf("code", "IBM")
+            .leaf("buy", "$80")
+            .leaf("qt", "50")
+            .close()
             .close()
             .open("market")
             .leaf("name", "NASDAQ")
-            .open("stock").leaf("code", "YHOO").leaf("buy", "$33").leaf("qt", "40").close()
-            .open("stock").leaf("code", "GOOG").leaf("buy", "$374").leaf("qt", "75").close()
+            .open("stock")
+            .leaf("code", "YHOO")
+            .leaf("buy", "$33")
+            .leaf("qt", "40")
+            .close()
+            .open("stock")
+            .leaf("code", "GOOG")
+            .leaf("buy", "$374")
+            .leaf("qt", "75")
+            .close()
             .close()
             .close()
             .close()
@@ -109,7 +124,11 @@ mod tests {
             .leaf("name", "Bache")
             .open("market")
             .leaf("name", "NASDAQ")
-            .open("stock").leaf("code", "GOOG").leaf("buy", "$370").leaf("qt", "40").close()
+            .open("stock")
+            .leaf("code", "GOOG")
+            .leaf("buy", "$370")
+            .leaf("qt", "40")
+            .close()
             .close()
             .close()
             .close()
@@ -120,7 +139,11 @@ mod tests {
             .leaf("name", "CIBC")
             .open("market")
             .leaf("name", "TSE")
-            .open("stock").leaf("code", "GOOG").leaf("buy", "$382").leaf("qt", "90").close()
+            .open("stock")
+            .leaf("code", "GOOG")
+            .leaf("buy", "$382")
+            .leaf("qt", "90")
+            .close()
             .close()
             .close()
             .close()
@@ -330,7 +353,8 @@ mod tests {
         }
         let tree = builder.build();
         let fragmented = strategy::cut_at_labels(&tree, &["clientele"]).unwrap();
-        let query = "clientele/client[country/text()='US']/broker[market/name/text()='NASDAQ']/name";
+        let query =
+            "clientele/client[country/text()='US']/broker[market/name/text()='NASDAQ']/name";
 
         let mut d = Deployment::new(&fragmented, 8, Placement::RoundRobin);
         let naive = naive::evaluate(&mut d, query).unwrap();
@@ -403,7 +427,9 @@ mod tests {
         .unwrap();
         assert!(report.total_ops() > 0);
         assert!(report.network_bytes() > 0);
-        assert!(report.parallel_time() <= report.total_computation_time().max(report.parallel_time()));
+        assert!(
+            report.parallel_time() <= report.total_computation_time().max(report.parallel_time())
+        );
         assert!(report.summary().contains("PaX3"));
         assert_eq!(report.fragments_total, 5);
     }

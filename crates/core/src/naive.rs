@@ -39,10 +39,7 @@ pub fn evaluate_compiled(
     // Reassemble the document at the coordinator.
     let mut fragments: Vec<Fragment> = responses.into_values().flatten().collect();
     fragments.sort_by_key(|f| f.id);
-    let fragmented = FragmentedTree {
-        fragments,
-        fragment_tree: deployment.fragment_tree.clone(),
-    };
+    let fragmented = FragmentedTree { fragments, fragment_tree: deployment.fragment_tree.clone() };
     let (tree, origin) = paxml_fragment::reassemble_with_origin(&fragmented)
         .expect("shipping every fragment always yields a consistent document");
 

@@ -14,11 +14,10 @@
 //! paper's Figure 10(c).
 
 use crate::deployment::Deployment;
-use crate::prune::{analyze, AnnotationAnalysis};
 use crate::protocol::{
-    collect_task, combined_task, CollectRequest, CombinedFragmentInput, CombinedRequest,
-    InitVector,
+    collect_task, combined_task, CollectRequest, CombinedFragmentInput, CombinedRequest, InitVector,
 };
+use crate::prune::{analyze, AnnotationAnalysis};
 use crate::report::{Algorithm, AnswerItem, EvaluationReport};
 use crate::unify::{restrict_for_fragment, unify_qualifiers, unify_selection};
 use crate::vars::PaxVar;

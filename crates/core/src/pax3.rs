@@ -18,11 +18,11 @@
 //! is skipped as well — matching the visit counts measured in Experiment 1.
 
 use crate::deployment::Deployment;
-use crate::prune::{analyze, AnnotationAnalysis};
 use crate::protocol::{
     collect_task, qualifier_task, selection_task, CollectRequest, InitVector, QualRequest,
     SelFragmentInput, SelRequest,
 };
+use crate::prune::{analyze, AnnotationAnalysis};
 use crate::report::{Algorithm, AnswerItem, EvaluationReport};
 use crate::unify::{restrict_for_fragment, unify_qualifiers, unify_selection};
 use crate::vars::PaxVar;

@@ -6,31 +6,32 @@
 //! between PaX3 and PaX2.
 
 use crate::report::{answer_item, AnswerItem};
-use crate::unify::{
-    assignment_from_pairs, fresh_qual_vectors, fresh_selection_vector,
-};
+use crate::unify::{assignment_from_pairs, fresh_qual_vectors, fresh_selection_vector};
 use crate::vars::PaxVar;
 use paxml_boolex::{BoolExpr, FormulaVector};
 use paxml_distsim::SiteLocal;
-use paxml_fragment::FragmentId;
+use paxml_fragment::{Fragment, FragmentId};
 use paxml_xml::NodeId;
-use paxml_xpath::eval::{
-    combined_pass, qualifier_pass, selection_pass, QualVectors,
-};
+use paxml_xpath::eval::{combined_pass, qualifier_pass, selection_pass, QualVectors};
 use paxml_xpath::{CompiledQuery, QEntryId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
-/// Scratch keys used to keep per-fragment state between visits.
-fn qv_key(f: FragmentId) -> String {
-    format!("qv:{}", f.0)
+/// Scratch keys used to keep per-fragment state between visits. The `slot`
+/// distinguishes the queries of a batch; single-query evaluations use slot
+/// [`SINGLE_QUERY_SLOT`].
+fn qv_key(slot: usize, f: FragmentId) -> String {
+    format!("qv:{slot}:{}", f.0)
 }
-fn ans_key(f: FragmentId) -> String {
-    format!("ans:{}", f.0)
+fn ans_key(slot: usize, f: FragmentId) -> String {
+    format!("ans:{slot}:{}", f.0)
 }
-fn cans_key(f: FragmentId) -> String {
-    format!("cans:{}", f.0)
+fn cans_key(slot: usize, f: FragmentId) -> String {
+    format!("cans:{slot}:{}", f.0)
 }
+
+/// The scratch slot used by the single-query algorithms (PaX3/PaX2).
+pub const SINGLE_QUERY_SLOT: usize = 0;
 
 /// How a fragment's top-down pass should initialise its ancestor summary.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -76,18 +77,23 @@ pub fn qualifier_task(site: &mut SiteLocal, request: QualRequest) -> QualRespons
         // (a move, not a copy — fragment data is never duplicated).
         let Some(fragment) = site.fragments.remove(fragment_id) else { continue };
         let qlen = request.query.qvect_len();
-        let out = qualifier_pass::<PaxVar>(&fragment.tree, fragment.tree.root(), &request.query, |vnode| {
-            let child = fragment
-                .tree
-                .kind(vnode)
-                .virtual_fragment()
-                .map(FragmentId)
-                .expect("virtual nodes always carry their fragment id");
-            fresh_qual_vectors(child, qlen)
-        });
+        let out = qualifier_pass::<PaxVar>(
+            &fragment.tree,
+            fragment.tree.root(),
+            &request.query,
+            |vnode| {
+                let child = fragment
+                    .tree
+                    .kind(vnode)
+                    .virtual_fragment()
+                    .map(FragmentId)
+                    .expect("virtual nodes always carry their fragment id");
+                fresh_qual_vectors(child, qlen)
+            },
+        );
         site.charge_ops(out.ops);
         roots.insert(*fragment_id, out.root.clone());
-        site.put_scratch(qv_key(*fragment_id), out.node_qv);
+        site.put_scratch(qv_key(SINGLE_QUERY_SLOT, *fragment_id), out.node_qv);
         site.add_fragment(fragment);
     }
     QualResponse { roots }
@@ -134,11 +140,7 @@ pub struct SelResponse {
 }
 
 /// Build the initial vector for a fragment's top-down pass.
-fn build_init(
-    fragment: FragmentId,
-    init: &InitVector,
-    svect_len: usize,
-) -> FormulaVector<PaxVar> {
+fn build_init(fragment: FragmentId, init: &InitVector, svect_len: usize) -> FormulaVector<PaxVar> {
     match init {
         InitVector::Exact(values) => {
             let mut v = FormulaVector::all_false(svect_len);
@@ -161,8 +163,10 @@ pub fn selection_task(site: &mut SiteLocal, request: SelRequest) -> SelResponse 
         let init = build_init(*fragment_id, &input.init, query.svect_len());
         let context = if input.root_is_context { Some(fragment.tree.root()) } else { None };
         let qual_assignment = assignment_from_pairs(&input.qual_values);
-        let stored_qv = site
-            .take_scratch::<Vec<Option<FormulaVector<PaxVar>>>>(&qv_key(*fragment_id));
+        let stored_qv = site.take_scratch::<Vec<Option<FormulaVector<PaxVar>>>>(&qv_key(
+            SINGLE_QUERY_SLOT,
+            *fragment_id,
+        ));
         let mut qual_value = |v: NodeId, e: QEntryId| -> BoolExpr<PaxVar> {
             match &stored_qv {
                 Some(qv) => qv[v.index()]
@@ -203,8 +207,8 @@ pub fn selection_task(site: &mut SiteLocal, request: SelRequest) -> SelResponse 
                 ));
             }
         } else {
-            site.put_scratch(ans_key(*fragment_id), out.answers);
-            site.put_scratch(cans_key(*fragment_id), out.candidates);
+            site.put_scratch(ans_key(SINGLE_QUERY_SLOT, *fragment_id), out.answers);
+            site.put_scratch(cans_key(SINGLE_QUERY_SLOT, *fragment_id), out.candidates);
         }
         site.add_fragment(fragment);
     }
@@ -246,6 +250,72 @@ pub struct CombinedResponse {
     pub answers: Vec<AnswerItem>,
 }
 
+/// Run PaX2's combined pre/post-order pass for one query over one fragment
+/// (already taken out of the site's map), depositing the root vectors,
+/// virtual-node summaries and answers into the caller's accumulators and the
+/// candidate sets into the site's scratch under the given query `slot`.
+/// Shared between the single-query [`combined_task`] and the batched
+/// [`batch_combined_task`].
+#[allow(clippy::too_many_arguments)]
+fn combined_pass_on_fragment(
+    site: &mut SiteLocal,
+    fragment: &Fragment,
+    slot: usize,
+    query: &CompiledQuery,
+    input: &CombinedFragmentInput,
+    roots: &mut BTreeMap<FragmentId, QualVectors<PaxVar>>,
+    virtuals: &mut BTreeMap<FragmentId, FormulaVector<PaxVar>>,
+    answers: &mut Vec<AnswerItem>,
+) {
+    let fid = fragment.id;
+    let qlen = query.qvect_len();
+    let init = build_init(fid, &input.init, query.svect_len());
+    let context = if input.root_is_context { Some(fragment.tree.root()) } else { None };
+    let out = combined_pass::<PaxVar>(
+        &fragment.tree,
+        fragment.tree.root(),
+        query,
+        init,
+        context,
+        |vnode| {
+            let child = fragment
+                .tree
+                .kind(vnode)
+                .virtual_fragment()
+                .map(FragmentId)
+                .expect("virtual nodes carry their fragment id");
+            fresh_qual_vectors(child, qlen)
+        },
+        |node, entry| PaxVar::Local {
+            fragment: fid,
+            node: node.index() as u32,
+            entry: entry as u32,
+        },
+    );
+    site.charge_ops(out.ops);
+
+    roots.insert(fid, out.root.clone());
+    for (vnode, vector) in out.virtual_vectors {
+        let child = fragment
+            .tree
+            .kind(vnode)
+            .virtual_fragment()
+            .map(FragmentId)
+            .expect("virtual nodes carry their fragment id");
+        virtuals.insert(child, vector);
+    }
+
+    if input.collect_answers_now {
+        debug_assert!(out.candidates.is_empty());
+        for node in &out.answers {
+            answers.push(answer_item(fid, &fragment.tree, *node, fragment.origin_of(*node)));
+        }
+    } else {
+        site.put_scratch(ans_key(slot, fid), out.answers);
+        site.put_scratch(cans_key(slot, fid), out.candidates);
+    }
+}
+
 /// Site-side task of PaX2's combined stage: one pre/post-order traversal per
 /// fragment.
 pub fn combined_task(site: &mut SiteLocal, request: CombinedRequest) -> CombinedResponse {
@@ -255,49 +325,16 @@ pub fn combined_task(site: &mut SiteLocal, request: CombinedRequest) -> Combined
     let mut answers = Vec::new();
     for (fragment_id, input) in &request.fragments {
         let Some(fragment) = site.fragments.remove(fragment_id) else { continue };
-        let qlen = query.qvect_len();
-        let init = build_init(*fragment_id, &input.init, query.svect_len());
-        let context = if input.root_is_context { Some(fragment.tree.root()) } else { None };
-        let fid = *fragment_id;
-        let out = combined_pass::<PaxVar>(
-            &fragment.tree,
-            fragment.tree.root(),
+        combined_pass_on_fragment(
+            site,
+            &fragment,
+            SINGLE_QUERY_SLOT,
             query,
-            init,
-            context,
-            |vnode| {
-                let child = fragment
-                    .tree
-                    .kind(vnode)
-                    .virtual_fragment()
-                    .map(FragmentId)
-                    .expect("virtual nodes carry their fragment id");
-                fresh_qual_vectors(child, qlen)
-            },
-            |node, entry| PaxVar::Local { fragment: fid, node: node.index() as u32, entry: entry as u32 },
+            input,
+            &mut roots,
+            &mut virtuals,
+            &mut answers,
         );
-        site.charge_ops(out.ops);
-
-        roots.insert(fid, out.root.clone());
-        for (vnode, vector) in out.virtual_vectors {
-            let child = fragment
-                .tree
-                .kind(vnode)
-                .virtual_fragment()
-                .map(FragmentId)
-                .expect("virtual nodes carry their fragment id");
-            virtuals.insert(child, vector);
-        }
-
-        if input.collect_answers_now {
-            debug_assert!(out.candidates.is_empty());
-            for node in &out.answers {
-                answers.push(answer_item(fid, &fragment.tree, *node, fragment.origin_of(*node)));
-            }
-        } else {
-            site.put_scratch(ans_key(fid), out.answers);
-            site.put_scratch(cans_key(fid), out.candidates);
-        }
         site.add_fragment(fragment);
     }
     CombinedResponse { roots, virtuals, answers }
@@ -323,34 +360,206 @@ pub struct CollectResponse {
     pub answers: Vec<AnswerItem>,
 }
 
+/// Resolve one fragment's stored answer candidates for one query slot
+/// against the coordinator-provided variable values. Shared between the
+/// single-query [`collect_task`] and the batched [`batch_collect_task`].
+fn collect_on_fragment(
+    site: &mut SiteLocal,
+    fragment: &Fragment,
+    slot: usize,
+    values: &[(PaxVar, bool)],
+    answers: &mut Vec<AnswerItem>,
+) {
+    let fid = fragment.id;
+    let assignment = assignment_from_pairs(values);
+    let sure: Vec<NodeId> =
+        site.take_scratch::<Vec<NodeId>>(&ans_key(slot, fid)).unwrap_or_default();
+    let candidates: Vec<(NodeId, BoolExpr<PaxVar>)> = site
+        .take_scratch::<Vec<(NodeId, BoolExpr<PaxVar>)>>(&cans_key(slot, fid))
+        .unwrap_or_default();
+    site.charge_ops(candidates.len() as u64 + sure.len() as u64);
+    for node in sure {
+        answers.push(answer_item(fid, &fragment.tree, node, fragment.origin_of(node)));
+    }
+    for (node, formula) in candidates {
+        if formula.assign(&assignment).is_true() {
+            answers.push(answer_item(fid, &fragment.tree, node, fragment.origin_of(node)));
+        }
+    }
+}
+
 /// Site-side task of the answer-collection stage (Procedure `collectAns`).
 pub fn collect_task(site: &mut SiteLocal, request: CollectRequest) -> CollectResponse {
     let mut answers = Vec::new();
     for (fragment_id, values) in &request.fragments {
         let Some(fragment) = site.fragments.remove(fragment_id) else { continue };
-        let assignment = assignment_from_pairs(values);
-        let sure: Vec<NodeId> =
-            site.take_scratch::<Vec<NodeId>>(&ans_key(*fragment_id)).unwrap_or_default();
-        let candidates: Vec<(NodeId, BoolExpr<PaxVar>)> = site
-            .take_scratch::<Vec<(NodeId, BoolExpr<PaxVar>)>>(&cans_key(*fragment_id))
-            .unwrap_or_default();
-        site.charge_ops(candidates.len() as u64 + sure.len() as u64);
-        for node in sure {
-            answers.push(answer_item(*fragment_id, &fragment.tree, node, fragment.origin_of(node)));
-        }
-        for (node, formula) in candidates {
-            if formula.assign(&assignment).is_true() {
-                answers.push(answer_item(
-                    *fragment_id,
-                    &fragment.tree,
-                    node,
-                    fragment.origin_of(node),
-                ));
-            }
-        }
+        collect_on_fragment(site, &fragment, SINGLE_QUERY_SLOT, values, &mut answers);
         site.add_fragment(fragment);
     }
     CollectResponse { answers }
+}
+
+// ---------------------------------------------------------------------------
+// Batched evaluation: one visit carries every query's payload.
+// ---------------------------------------------------------------------------
+
+/// One query's slice of a batched combined-stage request. `query_index` is
+/// the query's position in the batch; it doubles as the scratch slot keeping
+/// the queries' candidate sets apart between the two visits.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchCombinedEntry {
+    /// Position of this query in the batch.
+    pub query_index: usize,
+    /// The compiled query.
+    pub query: CompiledQuery,
+    /// Inputs for the fragments (stored at the target site) this query
+    /// evaluates — possibly a different set per query when the annotation
+    /// optimization prunes differently.
+    pub fragments: BTreeMap<FragmentId, CombinedFragmentInput>,
+}
+
+/// Request of the batched combined stage: the merged payloads of every
+/// query in the batch with work at the target site. One such message per
+/// site per batch — the whole batch costs each site a single first visit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchCombinedRequest {
+    /// Per-query payloads, in batch order.
+    pub entries: Vec<BatchCombinedEntry>,
+}
+
+/// One query's slice of a batched combined-stage response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchCombinedQueryResponse {
+    /// Position of this query in the batch.
+    pub query_index: usize,
+    /// Root `QV`/`QDV` vectors per evaluated fragment.
+    pub roots: BTreeMap<FragmentId, QualVectors<PaxVar>>,
+    /// Ancestor summaries recorded at the virtual nodes.
+    pub virtuals: BTreeMap<FragmentId, FormulaVector<PaxVar>>,
+    /// Answers returned early (exact init and no qualifiers).
+    pub answers: Vec<AnswerItem>,
+}
+
+/// Response of the batched combined stage: per-query residual vectors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchCombinedResponse {
+    /// Per-query results, in batch order.
+    pub per_query: Vec<BatchCombinedQueryResponse>,
+}
+
+/// Site-side task of the batched combined stage.
+///
+/// The loop is *fragment-major*: each stored fragment is taken out of the
+/// site map once and every query of the batch runs its combined pre/
+/// post-order pass over it before the fragment is put back — the site does
+/// its tree passes per fragment in one visit and emits per-query residual
+/// vectors, instead of being visited once per query.
+pub fn batch_combined_task(
+    site: &mut SiteLocal,
+    request: BatchCombinedRequest,
+) -> BatchCombinedResponse {
+    let mut per_query: Vec<BatchCombinedQueryResponse> = request
+        .entries
+        .iter()
+        .map(|entry| BatchCombinedQueryResponse {
+            query_index: entry.query_index,
+            roots: BTreeMap::new(),
+            virtuals: BTreeMap::new(),
+            answers: Vec::new(),
+        })
+        .collect();
+
+    // The union of fragments any query needs at this site.
+    let needed: std::collections::BTreeSet<FragmentId> =
+        request.entries.iter().flat_map(|entry| entry.fragments.keys().copied()).collect();
+
+    for fragment_id in needed {
+        let Some(fragment) = site.fragments.remove(&fragment_id) else { continue };
+        for (position, entry) in request.entries.iter().enumerate() {
+            let Some(input) = entry.fragments.get(&fragment_id) else { continue };
+            let response = &mut per_query[position];
+            combined_pass_on_fragment(
+                site,
+                &fragment,
+                entry.query_index,
+                &entry.query,
+                input,
+                &mut response.roots,
+                &mut response.virtuals,
+                &mut response.answers,
+            );
+        }
+        site.add_fragment(fragment);
+    }
+    BatchCombinedResponse { per_query }
+}
+
+/// One query's slice of a batched answer-collection request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchCollectEntry {
+    /// Position of this query in the batch (its scratch slot).
+    pub query_index: usize,
+    /// Resolved variable values per fragment at the target site.
+    pub fragments: BTreeMap<FragmentId, Vec<(PaxVar, bool)>>,
+}
+
+/// Request of the batched answer-collection stage — one message per site,
+/// carrying every query's resolved variable values: the batch's single
+/// second (and final) visit to each site.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchCollectRequest {
+    /// Per-query payloads, in batch order.
+    pub entries: Vec<BatchCollectEntry>,
+}
+
+/// One query's slice of a batched answer-collection response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchCollectQueryResponse {
+    /// Position of this query in the batch.
+    pub query_index: usize,
+    /// The query's answer nodes stored at this site.
+    pub answers: Vec<AnswerItem>,
+}
+
+/// Response of the batched answer-collection stage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchCollectResponse {
+    /// Per-query results, in batch order.
+    pub per_query: Vec<BatchCollectQueryResponse>,
+}
+
+/// Site-side task of the batched answer-collection stage.
+pub fn batch_collect_task(
+    site: &mut SiteLocal,
+    request: BatchCollectRequest,
+) -> BatchCollectResponse {
+    let mut per_query: Vec<BatchCollectQueryResponse> = request
+        .entries
+        .iter()
+        .map(|entry| BatchCollectQueryResponse {
+            query_index: entry.query_index,
+            answers: Vec::new(),
+        })
+        .collect();
+
+    let needed: std::collections::BTreeSet<FragmentId> =
+        request.entries.iter().flat_map(|entry| entry.fragments.keys().copied()).collect();
+
+    for fragment_id in needed {
+        let Some(fragment) = site.fragments.remove(&fragment_id) else { continue };
+        for (position, entry) in request.entries.iter().enumerate() {
+            let Some(values) = entry.fragments.get(&fragment_id) else { continue };
+            collect_on_fragment(
+                site,
+                &fragment,
+                entry.query_index,
+                values,
+                &mut per_query[position].answers,
+            );
+        }
+        site.add_fragment(fragment);
+    }
+    BatchCollectResponse { per_query }
 }
 
 #[cfg(test)]
@@ -393,8 +602,8 @@ mod tests {
             QualRequest { query, fragments: vec![FragmentId(0), FragmentId(1)] },
         );
         assert_eq!(response.roots.len(), 2);
-        assert!(site.scratch::<Vec<Option<FormulaVector<PaxVar>>>>("qv:0").is_some());
-        assert!(site.scratch::<Vec<Option<FormulaVector<PaxVar>>>>("qv:1").is_some());
+        assert!(site.scratch::<Vec<Option<FormulaVector<PaxVar>>>>("qv:0:0").is_some());
+        assert!(site.scratch::<Vec<Option<FormulaVector<PaxVar>>>>("qv:0:1").is_some());
         assert!(site.ops() > 0);
         // The leaf fragment F1 has no virtual nodes, so its root vectors are
         // already fully resolved.
@@ -444,10 +653,8 @@ mod tests {
         assert!(response.answers.is_empty());
         // The name node became a candidate; resolve its z-variable to true.
         let mut values = BTreeMap::new();
-        values.insert(
-            FragmentId(1),
-            vec![(PaxVar::Sel { fragment: FragmentId(1), entry: 1 }, true)],
-        );
+        values
+            .insert(FragmentId(1), vec![(PaxVar::Sel { fragment: FragmentId(1), entry: 1 }, true)]);
         let collected = collect_task(&mut site, CollectRequest { fragments: values });
         assert_eq!(collected.answers.len(), 1);
         assert_eq!(collected.answers[0].label, "name");

@@ -92,9 +92,8 @@ pub fn analyze(query: &CompiledQuery, ft: &FragmentTree, root_label: &str) -> An
         //     some ancestor on the chain (any chain position) optimistically
         //     matches a qualifier-bearing prefix; the qualifier looks
         //     downward, i.e. possibly into this fragment.
-        let may_feed_a_qualifier = qualifier_positions.iter().any(|&pos| {
-            vectors.iter().any(|sv| sv[pos])
-        });
+        let may_feed_a_qualifier =
+            qualifier_positions.iter().any(|&pos| vectors.iter().any(|sv| sv[pos]));
 
         if may_contain_answers || may_feed_a_qualifier {
             relevant.insert(fragment);

@@ -186,10 +186,7 @@ mod tests {
             coordinator_ops: 7,
             elapsed: Duration::from_millis(1),
         };
-        assert_eq!(
-            report.answer_origins(),
-            vec![NodeId::from_index(3), NodeId::from_index(9)]
-        );
+        assert_eq!(report.answer_origins(), vec![NodeId::from_index(3), NodeId::from_index(9)]);
         assert_eq!(report.answer_texts(), vec!["Bache".to_string(), "Bache".to_string()]);
         assert_eq!(report.total_ops(), 7);
         let s = report.summary();

@@ -250,8 +250,7 @@ mod tests {
         virtuals.insert(FragmentId(2), sv_broker);
 
         let root_init = vec![false, false, false, false];
-        let assignment =
-            unify_selection(&ft, &virtuals, &root_init, &Assignment::new());
+        let assignment = unify_selection(&ft, &virtuals, &root_init, &Assignment::new());
         assert_eq!(assignment.get(&PaxVar::Sel { fragment: FragmentId(1), entry: 1 }), Some(true));
         assert_eq!(assignment.get(&PaxVar::Sel { fragment: FragmentId(2), entry: 2 }), Some(true));
         assert_eq!(assignment.get(&PaxVar::Sel { fragment: FragmentId(2), entry: 1 }), Some(false));
@@ -262,10 +261,8 @@ mod tests {
         let mut assignment: Assignment<PaxVar> = Assignment::new();
         assignment.set(PaxVar::Sel { fragment: FragmentId(1), entry: 0 }, true);
         assignment.set(PaxVar::Sel { fragment: FragmentId(2), entry: 0 }, true);
-        assignment.set(
-            PaxVar::Qual { fragment: FragmentId(2), vector: QualVecKind::Qv, entry: 3 },
-            true,
-        );
+        assignment
+            .set(PaxVar::Qual { fragment: FragmentId(2), vector: QualVecKind::Qv, entry: 3 }, true);
         assignment.set(
             PaxVar::Qual { fragment: FragmentId(3), vector: QualVecKind::Qv, entry: 3 },
             false,
@@ -275,11 +272,7 @@ mod tests {
         let back = assignment_from_pairs(&restricted);
         assert_eq!(back.get(&PaxVar::Sel { fragment: FragmentId(1), entry: 0 }), Some(true));
         assert_eq!(
-            back.get(&PaxVar::Qual {
-                fragment: FragmentId(2),
-                vector: QualVecKind::Qv,
-                entry: 3
-            }),
+            back.get(&PaxVar::Qual { fragment: FragmentId(2), vector: QualVecKind::Qv, entry: 3 }),
             Some(true)
         );
         assert_eq!(back.get(&PaxVar::Sel { fragment: FragmentId(2), entry: 0 }), None);

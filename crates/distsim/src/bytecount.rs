@@ -14,9 +14,7 @@ use std::fmt::Display;
 /// Compute the approximate encoded size, in bytes, of any serializable value.
 pub fn encoded_size<T: Serialize + ?Sized>(value: &T) -> u64 {
     let mut counter = ByteCounter { bytes: 0 };
-    value
-        .serialize(&mut counter)
-        .expect("byte counting never fails for well-formed values");
+    value.serialize(&mut counter).expect("byte counting never fails for well-formed values");
     counter.bytes
 }
 
@@ -49,7 +47,7 @@ impl ByteCounter {
     }
 }
 
-impl<'a> ser::Serializer for &'a mut ByteCounter {
+impl ser::Serializer for &mut ByteCounter {
     type Ok = ();
     type Error = CountError;
     type SerializeSeq = Self;
@@ -198,7 +196,7 @@ impl<'a> ser::Serializer for &'a mut ByteCounter {
 
 macro_rules! impl_compound {
     ($trait:path, $method:ident) => {
-        impl<'a> $trait for &'a mut ByteCounter {
+        impl $trait for &mut ByteCounter {
             type Ok = ();
             type Error = CountError;
             fn $method<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CountError> {
@@ -216,7 +214,7 @@ impl_compound!(ser::SerializeTuple, serialize_element);
 impl_compound!(ser::SerializeTupleStruct, serialize_field);
 impl_compound!(ser::SerializeTupleVariant, serialize_field);
 
-impl<'a> ser::SerializeMap for &'a mut ByteCounter {
+impl ser::SerializeMap for &mut ByteCounter {
     type Ok = ();
     type Error = CountError;
     fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), CountError> {
@@ -230,7 +228,7 @@ impl<'a> ser::SerializeMap for &'a mut ByteCounter {
     }
 }
 
-impl<'a> ser::SerializeStruct for &'a mut ByteCounter {
+impl ser::SerializeStruct for &mut ByteCounter {
     type Ok = ();
     type Error = CountError;
     fn serialize_field<T: Serialize + ?Sized>(
@@ -245,7 +243,7 @@ impl<'a> ser::SerializeStruct for &'a mut ByteCounter {
     }
 }
 
-impl<'a> ser::SerializeStructVariant for &'a mut ByteCounter {
+impl ser::SerializeStructVariant for &mut ByteCounter {
     type Ok = ();
     type Error = CountError;
     fn serialize_field<T: Serialize + ?Sized>(

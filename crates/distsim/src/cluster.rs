@@ -7,8 +7,13 @@
 //!
 //! * each **round** ([`Cluster::round`]) models the coordinator visiting a
 //!   subset of the sites in parallel — every selected site runs the supplied
-//!   task on its own OS thread against its local fragments and scratch
-//!   state;
+//!   task on its own long-lived worker thread against its local fragments
+//!   and scratch state;
+//! * the worker threads form a **persistent per-site pool**: they are
+//!   spawned once per cluster (lazily, on the first parallel round) and fed
+//!   jobs over channels, so thread setup cost does not scale with
+//!   `rounds × sites` the way the earlier thread-per-site-per-round design
+//!   did — a difference that compounds under batch workloads;
 //! * every request and response is measured with the byte-counting
 //!   serializer, so network traffic is accounted exactly;
 //! * per-round wall-clock cost is the **slowest** site's task time (plus the
@@ -21,7 +26,11 @@ use crate::site::{SiteId, SiteLocal};
 use crate::stats::ClusterStats;
 use paxml_fragment::{FragmentId, FragmentedTree};
 use serde::Serialize;
+use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// How fragments are placed onto sites.
@@ -36,17 +45,86 @@ pub enum Placement {
     SingleSite,
 }
 
+/// What a worker reports back to the coordinator after running one job.
+struct RoundOutcome {
+    site: SiteId,
+    /// The type-erased response (downcast by [`Cluster::round`], which knows
+    /// the concrete type).
+    response: Box<dyn Any + Send>,
+    /// Encoded size of the response, measured site-side before erasure.
+    response_bytes: u64,
+    ops: u64,
+    busy: Duration,
+}
+
+/// A job shipped to a site's worker thread.
+type Job = Box<dyn FnOnce(&mut SiteLocal) -> RoundOutcome + Send>;
+
+/// What a worker sends back: the outcome, or the payload of a panicking
+/// task (re-raised on the coordinator thread so a faulty task crashes the
+/// round immediately instead of hanging it).
+type WorkerResult = Result<RoundOutcome, Box<dyn Any + Send>>;
+
+/// The persistent per-site worker threads plus their channels.
+struct WorkerPool {
+    job_senders: Vec<Sender<Job>>,
+    results_rx: Receiver<WorkerResult>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn spawn(sites: &[Arc<Mutex<SiteLocal>>]) -> Self {
+        let (results_tx, results_rx) = channel::<WorkerResult>();
+        let mut job_senders = Vec::with_capacity(sites.len());
+        let mut handles = Vec::with_capacity(sites.len());
+        for (index, site) in sites.iter().enumerate() {
+            let (job_tx, job_rx) = channel::<Job>();
+            let site = Arc::clone(site);
+            let results_tx = results_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("paxml-site-{index}"))
+                .spawn(move || {
+                    // The worker owns nothing but channel ends and a handle
+                    // on its site; it idles on `recv` between rounds and
+                    // exits when the cluster drops its job sender. A
+                    // panicking job is caught (before the site guard drops,
+                    // so the mutex is not poisoned) and shipped back to the
+                    // coordinator, which re-raises it.
+                    while let Ok(job) = job_rx.recv() {
+                        let mut guard =
+                            site.lock().expect("a site task panicked while holding the site");
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                job(&mut guard)
+                            }));
+                        drop(guard);
+                        if results_tx.send(outcome).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("spawning a site worker thread");
+            job_senders.push(job_tx);
+            handles.push(handle);
+        }
+        WorkerPool { job_senders, results_rx, handles }
+    }
+}
+
 /// The simulated cluster.
 pub struct Cluster {
-    sites: Vec<SiteLocal>,
+    sites: Vec<Arc<Mutex<SiteLocal>>>,
     assignment: BTreeMap<FragmentId, SiteId>,
+    /// The persistent worker pool (spawned lazily on the first round that
+    /// actually runs in parallel; `sequential` clusters never spawn it).
+    pool: Option<WorkerPool>,
     /// Extra latency charged to every round, modelling one network round
     /// trip between the coordinator and the sites.
     pub round_latency: Duration,
     /// Artificial per-site slow-down used by failure/skew-injection tests.
     pub site_delay: BTreeMap<SiteId, Duration>,
-    /// Run rounds sequentially (deterministic debugging) instead of one
-    /// thread per site.
+    /// Run rounds sequentially (deterministic debugging) instead of on the
+    /// per-site worker pool.
     pub sequential: bool,
     /// Accumulated cost counters.
     pub stats: ClusterStats,
@@ -76,7 +154,8 @@ impl Cluster {
         assignment: BTreeMap<FragmentId, SiteId>,
     ) -> Self {
         let site_count = site_count.max(1);
-        let mut sites: Vec<SiteLocal> = (0..site_count).map(|i| SiteLocal::new(SiteId(i))).collect();
+        let mut sites: Vec<SiteLocal> =
+            (0..site_count).map(|i| SiteLocal::new(SiteId(i))).collect();
         let mut final_assignment = BTreeMap::new();
         for fragment in &fragmented.fragments {
             let site = assignment.get(&fragment.id).copied().unwrap_or(SiteId(0));
@@ -85,8 +164,9 @@ impl Cluster {
             sites[site.index()].add_fragment(fragment.clone());
         }
         Cluster {
-            sites,
+            sites: sites.into_iter().map(|s| Arc::new(Mutex::new(s))).collect(),
             assignment: final_assignment,
+            pool: None,
             round_latency: Duration::ZERO,
             site_delay: BTreeMap::new(),
             sequential: false,
@@ -114,7 +194,7 @@ impl Cluster {
 
     /// The fragments stored at a given site.
     pub fn fragments_at(&self, site: SiteId) -> Vec<FragmentId> {
-        self.sites[site.index()].fragment_ids()
+        self.lock_site(site).fragment_ids()
     }
 
     /// The set of sites holding at least one of the given fragments.
@@ -130,25 +210,35 @@ impl Cluster {
     /// The cumulative data size of the largest site, `max_Si |F_Si|` — the
     /// quantity the paper's parallel-computation bound is stated in.
     pub fn max_cumulative_site_size(&self) -> usize {
-        self.sites.iter().map(SiteLocal::cumulative_size).max().unwrap_or(0)
+        self.sites.iter().map(|s| Self::lock(s).cumulative_size()).max().unwrap_or(0)
     }
 
     /// Reset all scratch state and statistics (between query executions).
     pub fn reset(&mut self) {
-        for site in &mut self.sites {
-            site.clear_scratch();
+        for site in &self.sites {
+            Self::lock(site).clear_scratch();
         }
         self.stats = ClusterStats::default();
     }
 
     /// Direct read-only access to a site, for assertions in tests. Algorithm
-    /// code must not use this to bypass the messaging layer.
-    pub fn inspect_site(&self, site: SiteId) -> &SiteLocal {
-        &self.sites[site.index()]
+    /// code must not use this to bypass the messaging layer. The guard must
+    /// be dropped before the next round starts, or the round deadlocks.
+    pub fn inspect_site(&self, site: SiteId) -> MutexGuard<'_, SiteLocal> {
+        self.lock_site(site)
+    }
+
+    fn lock_site(&self, site: SiteId) -> MutexGuard<'_, SiteLocal> {
+        Self::lock(&self.sites[site.index()])
+    }
+
+    fn lock(site: &Arc<Mutex<SiteLocal>>) -> MutexGuard<'_, SiteLocal> {
+        site.lock().expect("a site task panicked while holding the site")
     }
 
     /// One coordinator round: send each request to its site, run `task`
-    /// there (in parallel across sites), and collect the responses.
+    /// there (in parallel across the persistent site workers), and collect
+    /// the responses.
     ///
     /// Every targeted site is *visited* exactly once per round regardless of
     /// how many fragments it stores, which is precisely how the paper counts
@@ -159,70 +249,86 @@ impl Cluster {
         task: F,
     ) -> BTreeMap<SiteId, Resp>
     where
-        Req: Serialize + Send,
-        Resp: Serialize + Send,
-        F: Fn(&mut SiteLocal, Req) -> Resp + Sync,
+        Req: Serialize + Send + 'static,
+        Resp: Serialize + Send + 'static,
+        F: Fn(&mut SiteLocal, Req) -> Resp + Send + Sync + 'static,
     {
         if requests.is_empty() {
             return BTreeMap::new();
         }
 
-        // Measure request sizes before moving them into the site threads.
+        // Measure request sizes before moving them into the site jobs.
         let request_bytes: BTreeMap<SiteId, u64> =
             requests.iter().map(|(s, r)| (*s, encoded_size(r))).collect();
 
-        struct SiteOutcome<Resp> {
-            site: SiteId,
-            response: Resp,
-            ops: u64,
-            busy: Duration,
+        for site in requests.keys() {
+            assert!(site.index() < self.sites.len(), "request addressed to unknown site {site}");
         }
 
-        let mut outcomes: Vec<SiteOutcome<Resp>> = Vec::with_capacity(requests.len());
-        let delays = self.site_delay.clone();
-        let sequential = self.sequential;
-
-        // Split mutable borrows: collect the selected sites.
-        let mut selected: Vec<(&mut SiteLocal, Req)> = Vec::new();
-        {
-            let mut remaining = requests;
-            for site in self.sites.iter_mut() {
-                if let Some(req) = remaining.remove(&site.id) {
-                    selected.push((site, req));
+        let task = Arc::new(task);
+        let make_job = |site_id: SiteId, req: Req, task: Arc<F>, delay: Option<Duration>| {
+            move |site: &mut SiteLocal| -> RoundOutcome {
+                let ops_before = site.ops();
+                let start = Instant::now();
+                let response = task(site, req);
+                let mut busy = start.elapsed();
+                if let Some(extra) = delay {
+                    busy += extra;
+                }
+                RoundOutcome {
+                    site: site_id,
+                    response_bytes: encoded_size(&response),
+                    response: Box::new(response),
+                    ops: site.ops() - ops_before,
+                    busy,
                 }
             }
-            assert!(
-                remaining.is_empty(),
-                "requests addressed to unknown sites: {:?}",
-                remaining.keys().collect::<Vec<_>>()
-            );
-        }
-
-        let run_one = |site: &mut SiteLocal, req: Req| -> SiteOutcome<Resp> {
-            let ops_before = site.ops();
-            let start = Instant::now();
-            let response = task(site, req);
-            let mut busy = start.elapsed();
-            if let Some(extra) = delays.get(&site.id) {
-                busy += *extra;
-            }
-            SiteOutcome { site: site.id, response, ops: site.ops() - ops_before, busy }
         };
 
-        if sequential || selected.len() == 1 {
-            for (site, req) in selected {
-                outcomes.push(run_one(site, req));
+        let mut outcomes: Vec<RoundOutcome> = Vec::with_capacity(requests.len());
+        if self.sequential || requests.len() == 1 {
+            // Inline execution on the coordinator thread: deterministic, and
+            // avoids a pool wake-up when only one site is involved. Panics
+            // are caught and re-raised after the site guard is released, so
+            // a faulty task cannot poison the site mutex.
+            for (site_id, req) in requests {
+                let delay = self.site_delay.get(&site_id).copied();
+                let job = make_job(site_id, req, Arc::clone(&task), delay);
+                let mut guard = self.lock_site(site_id);
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(&mut guard)));
+                drop(guard);
+                match outcome {
+                    Ok(outcome) => outcomes.push(outcome),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
             }
         } else {
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(selected.len());
-                for (site, req) in selected {
-                    handles.push(scope.spawn(|| run_one(site, req)));
+            if self.pool.is_none() {
+                self.pool = Some(WorkerPool::spawn(&self.sites));
+            }
+            let pool = self.pool.as_ref().expect("pool was just spawned");
+            let expected = requests.len();
+            for (site_id, req) in requests {
+                let delay = self.site_delay.get(&site_id).copied();
+                let job: Job = Box::new(make_job(site_id, req, Arc::clone(&task), delay));
+                pool.job_senders[site_id.index()].send(job).expect("site worker thread is alive");
+            }
+            // Drain *every* targeted worker before acting on a failure, so a
+            // caught round leaves no stale outcome queued for later rounds.
+            let mut panicked: Option<Box<dyn Any + Send>> = None;
+            for _ in 0..expected {
+                match pool.results_rx.recv().expect("site worker thread is alive") {
+                    Ok(outcome) => outcomes.push(outcome),
+                    Err(payload) => panicked = Some(payload),
                 }
-                for h in handles {
-                    outcomes.push(h.join().expect("site task panicked"));
-                }
-            });
+            }
+            if let Some(payload) = panicked {
+                // Re-raise a site task's panic on the coordinator thread so a
+                // faulty task crashes the round loudly (matching the pre-pool
+                // scoped-thread behaviour) instead of hanging it.
+                std::panic::resume_unwind(payload);
+            }
         }
 
         // Account the round.
@@ -230,14 +336,13 @@ impl Cluster {
         let mut slowest = Duration::ZERO;
         let mut max_ops = 0u64;
         for outcome in outcomes {
-            let resp_bytes = encoded_size(&outcome.response);
             let req_bytes = request_bytes.get(&outcome.site).copied().unwrap_or(0);
             self.stats.record_site_work(
                 outcome.site,
                 outcome.ops,
                 outcome.busy,
                 req_bytes,
-                resp_bytes,
+                outcome.response_bytes,
             );
             if outcome.busy > slowest {
                 slowest = outcome.busy;
@@ -245,7 +350,11 @@ impl Cluster {
             if outcome.ops > max_ops {
                 max_ops = outcome.ops;
             }
-            responses.insert(outcome.site, outcome.response);
+            let response = *outcome
+                .response
+                .downcast::<Resp>()
+                .expect("a round's responses all have the task's response type");
+            responses.insert(outcome.site, response);
         }
         self.stats.record_round(slowest + self.round_latency, max_ops);
         responses
@@ -255,13 +364,26 @@ impl Cluster {
     /// (cloneable) request.
     pub fn broadcast<Req, Resp, F>(&mut self, request: Req, task: F) -> BTreeMap<SiteId, Resp>
     where
-        Req: Serialize + Send + Clone,
-        Resp: Serialize + Send,
-        F: Fn(&mut SiteLocal, Req) -> Resp + Sync,
+        Req: Serialize + Send + Clone + 'static,
+        Resp: Serialize + Send + 'static,
+        F: Fn(&mut SiteLocal, Req) -> Resp + Send + Sync + 'static,
     {
         let requests: BTreeMap<SiteId, Req> =
             self.occupied_sites().into_iter().map(|s| (s, request.clone())).collect();
         self.round(requests, task)
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            // Closing the job channels lets every worker fall out of its
+            // receive loop; join so no thread outlives its cluster.
+            drop(pool.job_senders);
+            for handle in pool.handles {
+                let _ = handle.join();
+            }
+        }
     }
 }
 
@@ -273,9 +395,15 @@ mod tests {
 
     fn fragmented() -> FragmentedTree {
         let tree = TreeBuilder::new("sites")
-            .open("site").leaf("person", "p1").close()
-            .open("site").leaf("person", "p2").close()
-            .open("site").leaf("person", "p3").close()
+            .open("site")
+            .leaf("person", "p1")
+            .close()
+            .open("site")
+            .leaf("person", "p2")
+            .close()
+            .open("site")
+            .leaf("person", "p3")
+            .close()
             .build();
         cut_children_of_root(&tree).unwrap()
     }
@@ -352,6 +480,71 @@ mod tests {
         let a = parallel.broadcast(0u8, task);
         let b = sequential.broadcast(0u8, task);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn worker_pool_threads_persist_across_rounds() {
+        let f = fragmented();
+        let mut cluster = Cluster::new(&f, 3, Placement::RoundRobin);
+        assert!(cluster.pool.is_none(), "pool is lazy");
+        for round in 0..20 {
+            let responses = cluster.broadcast(round as u32, |site, r| {
+                site.charge_ops(1);
+                r as u64 + site.id.index() as u64
+            });
+            assert_eq!(responses.len(), 3);
+        }
+        // Twenty multi-site rounds ran on the same three threads.
+        let pool = cluster.pool.as_ref().expect("pool spawned on first parallel round");
+        assert_eq!(pool.handles.len(), 3);
+        assert_eq!(cluster.stats.rounds, 20);
+        assert_eq!(cluster.stats.total_ops, 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "task blew up")]
+    fn a_panicking_site_task_crashes_the_round_not_hangs_it() {
+        let f = fragmented();
+        let mut cluster = Cluster::new(&f, 3, Placement::RoundRobin);
+        cluster.broadcast(0u8, |site, _| {
+            if site.id == SiteId(1) {
+                panic!("task blew up");
+            }
+            0u8
+        });
+    }
+
+    #[test]
+    fn a_caught_panic_leaves_no_stale_outcomes_for_later_rounds() {
+        let f = fragmented();
+        let mut cluster = Cluster::new(&f, 3, Placement::RoundRobin);
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cluster.broadcast(0u8, |site, _| {
+                if site.id == SiteId(2) {
+                    panic!("task blew up");
+                }
+                0u8
+            })
+        }));
+        assert!(boom.is_err());
+        // The surviving sites' outcomes from the aborted round must not leak
+        // into this one: a fresh round sees exactly its own responses, with
+        // its own response type.
+        let responses = cluster.broadcast(0u8, |site, _| format!("site {}", site.id.index()));
+        assert_eq!(responses.len(), 3);
+        assert_eq!(responses[&SiteId(1)], "site 1");
+    }
+
+    #[test]
+    fn sequential_clusters_never_spawn_workers() {
+        let f = fragmented();
+        let mut cluster = Cluster::new(&f, 3, Placement::RoundRobin);
+        cluster.sequential = true;
+        for _ in 0..5 {
+            cluster.broadcast(0u8, |_, _| 0u8);
+        }
+        assert!(cluster.pool.is_none());
+        assert_eq!(cluster.stats.rounds, 5);
     }
 
     #[test]

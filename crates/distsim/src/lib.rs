@@ -5,7 +5,8 @@
 //! can be measured deterministically:
 //!
 //! * [`Cluster`] — a set of [`SiteLocal`] sites holding fragments, visited by
-//!   a coordinator in parallel **rounds** (one OS thread per site per round);
+//!   a coordinator in parallel **rounds** served by a persistent pool of
+//!   per-site worker threads (spawned once per cluster, fed over channels);
 //! * request/response **byte accounting** via a counting serde serializer
 //!   ([`encoded_size`]) — no bytes are charged that the algorithms did not
 //!   actually put into a message;

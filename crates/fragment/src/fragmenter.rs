@@ -72,8 +72,7 @@ pub fn fragment_at(tree: &XmlTree, cuts: &[NodeId]) -> FragmentResult<Fragmented
                 break;
             }
         }
-        let annotation = label_path(tree, parent_root, c)
-            .unwrap_or_else(LabelPath::empty);
+        let annotation = label_path(tree, parent_root, c).unwrap_or_else(LabelPath::empty);
         fragment_tree.add_child(parent_fragment, child_id, annotation);
     }
 
@@ -130,16 +129,20 @@ pub fn reassemble(fragmented: &FragmentedTree) -> FragmentResult<XmlTree> {
 /// node in the *original* tree (via the fragments' origin maps). Needed by
 /// the `NaiveCentralized` baseline so its answers carry the same canonical
 /// identity as the distributed algorithms'.
-pub fn reassemble_with_origin(
-    fragmented: &FragmentedTree,
-) -> FragmentResult<(XmlTree, Vec<u32>)> {
+pub fn reassemble_with_origin(fragmented: &FragmentedTree) -> FragmentResult<(XmlTree, Vec<u32>)> {
     fragmented.validate()?;
     let root_fragment = fragmented.fragment(FragmentId::ROOT)?;
     let mut out = XmlTree::new(root_fragment.tree.kind(root_fragment.tree.root()).clone());
-    let mut origin: Vec<u32> =
-        vec![root_fragment.origin[root_fragment.tree.root().index()]];
+    let mut origin: Vec<u32> = vec![root_fragment.origin[root_fragment.tree.root().index()]];
     let out_root = out.root();
-    splice_children(fragmented, FragmentId::ROOT, root_fragment.tree.root(), &mut out, out_root, &mut origin)?;
+    splice_children(
+        fragmented,
+        FragmentId::ROOT,
+        root_fragment.tree.root(),
+        &mut out,
+        out_root,
+        &mut origin,
+    )?;
     Ok((out, origin))
 }
 
@@ -288,7 +291,10 @@ mod tests {
         let f = fragment_at(&tree, &[b]).unwrap();
         assert_eq!(f.fragment_count(), 2);
         let root = f.root_fragment();
-        assert_eq!(to_string(&root.tree), "<a><paxml:fragment-ref fragment=\"1\" root-label=\"b\"/><d/></a>");
+        assert_eq!(
+            to_string(&root.tree),
+            "<a><paxml:fragment-ref fragment=\"1\" root-label=\"b\"/><d/></a>"
+        );
         let f1 = f.fragment(FragmentId(1)).unwrap();
         assert_eq!(to_string(&f1.tree), "<b><c/></b>");
         assert_eq!(f.fragment_tree.annotation(FragmentId(1)).unwrap().to_string(), "b");
@@ -319,10 +325,7 @@ mod tests {
         assert_eq!(ft.annotation(FragmentId(2)).unwrap().to_string(), "market");
         assert_eq!(ft.annotation(FragmentId(3)).unwrap().to_string(), "client/broker/market");
         assert_eq!(ft.annotation(FragmentId(4)).unwrap().to_string(), "client");
-        assert_eq!(
-            ft.annotation_from_root(FragmentId(2)).to_string(),
-            "client/broker/market"
-        );
+        assert_eq!(ft.annotation_from_root(FragmentId(2)).to_string(), "client/broker/market");
 
         // The root fragment holds three virtual nodes (F1, F3's market... no:
         // F1, Kim's market F3, Lisa's client F4).
@@ -356,7 +359,12 @@ mod tests {
             f.validate().unwrap();
             assert_eq!(f.total_real_nodes(), tree.all_nodes().count());
             let back = f.reassemble().unwrap();
-            assert_eq!(to_string(&back), to_string(&tree), "round trip failed for {} cuts", f.fragment_count() - 1);
+            assert_eq!(
+                to_string(&back),
+                to_string(&tree),
+                "round trip failed for {} cuts",
+                f.fragment_count() - 1
+            );
         }
     }
 

@@ -60,9 +60,7 @@ impl Fragment {
         self.tree
             .virtual_nodes()
             .into_iter()
-            .filter_map(|n| {
-                self.tree.kind(n).virtual_fragment().map(|f| (n, FragmentId(f)))
-            })
+            .filter_map(|n| self.tree.kind(n).virtual_fragment().map(|f| (n, FragmentId(f))))
             .collect()
     }
 
@@ -307,7 +305,12 @@ mod tests {
                     root_label: "a".into(),
                     origin: vec![0, 1, 2],
                 },
-                Fragment { id: FragmentId(1), tree: t1, root_label: "c".into(), origin: vec![2, 3] },
+                Fragment {
+                    id: FragmentId(1),
+                    tree: t1,
+                    root_label: "c".into(),
+                    origin: vec![2, 3],
+                },
             ],
             fragment_tree: ft,
         }
@@ -349,10 +352,16 @@ mod tests {
         assert_eq!(ft.depth(FragmentId(2)), 2);
         let td = ft.top_down_order();
         assert_eq!(td[0], FragmentId(0));
-        assert!(td.iter().position(|&f| f == FragmentId(1)) < td.iter().position(|&f| f == FragmentId(2)));
+        assert!(
+            td.iter().position(|&f| f == FragmentId(1))
+                < td.iter().position(|&f| f == FragmentId(2))
+        );
         let bu = ft.bottom_up_order();
         assert_eq!(*bu.last().unwrap(), FragmentId(0));
-        assert!(bu.iter().position(|&f| f == FragmentId(2)) < bu.iter().position(|&f| f == FragmentId(1)));
+        assert!(
+            bu.iter().position(|&f| f == FragmentId(2))
+                < bu.iter().position(|&f| f == FragmentId(1))
+        );
     }
 
     #[test]

@@ -39,10 +39,7 @@ pub fn cut_children_of_root(tree: &XmlTree) -> FragmentResult<FragmentedTree> {
 /// among the root's element children.
 pub fn cut_nth_children(tree: &XmlTree, positions: &[usize]) -> FragmentResult<FragmentedTree> {
     let children: Vec<NodeId> = tree.element_children(tree.root()).collect();
-    let cuts: Vec<NodeId> = positions
-        .iter()
-        .filter_map(|&p| children.get(p).copied())
-        .collect();
+    let cuts: Vec<NodeId> = positions.iter().filter_map(|&p| children.get(p).copied()).collect();
     fragment_at(tree, &cuts)
 }
 
@@ -104,8 +101,8 @@ mod tests {
         let tree = sites_tree(5);
         let f = cut_at_labels(&tree, &["site"]).unwrap();
         assert_eq!(f.fragment_count(), 6); // root + 5 sites
-        // Every non-root fragment hangs directly off the root fragment and
-        // is annotated with "site".
+                                           // Every non-root fragment hangs directly off the root fragment and
+                                           // is annotated with "site".
         for id in f.fragment_tree.ids().iter().skip(1) {
             assert_eq!(f.fragment_tree.parent(*id), Some(FragmentId::ROOT));
             assert_eq!(f.fragment_tree.annotation(*id).unwrap().to_string(), "site");

@@ -30,15 +30,12 @@ fn tree_strategy() -> impl Strategy<Value = XmlTree> {
 }
 
 fn cuts_for(tree: &XmlTree, picks: &[usize]) -> Vec<NodeId> {
-    let candidates: Vec<NodeId> = tree
-        .all_nodes()
-        .filter(|&n| n != tree.root() && tree.is_element(n))
-        .collect();
+    let candidates: Vec<NodeId> =
+        tree.all_nodes().filter(|&n| n != tree.root() && tree.is_element(n)).collect();
     if candidates.is_empty() {
         return Vec::new();
     }
-    let mut cuts: Vec<NodeId> =
-        picks.iter().map(|&p| candidates[p % candidates.len()]).collect();
+    let mut cuts: Vec<NodeId> = picks.iter().map(|&p| candidates[p % candidates.len()]).collect();
     cuts.sort();
     cuts.dedup();
     cuts
@@ -67,11 +64,14 @@ fn check_fragmentation(tree: &XmlTree, fragmented: &FragmentedTree) -> Result<()
     //     fragment roots in the original tree.
     for &id in fragmented.fragment_tree.ids() {
         if let Some(parent) = fragmented.fragment_tree.parent(id) {
-            let parent_root = fragmented.fragment(parent).unwrap().origin_of(
-                fragmented.fragment(parent).unwrap().tree.root(),
-            );
-            let child_root =
-                fragmented.fragment(id).unwrap().origin_of(fragmented.fragment(id).unwrap().tree.root());
+            let parent_root = fragmented
+                .fragment(parent)
+                .unwrap()
+                .origin_of(fragmented.fragment(parent).unwrap().tree.root());
+            let child_root = fragmented
+                .fragment(id)
+                .unwrap()
+                .origin_of(fragmented.fragment(id).unwrap().tree.root());
             let expected = label_path(tree, parent_root, child_root)
                 .expect("a parent fragment root is always an ancestor of its children's roots");
             prop_assert_eq!(

@@ -118,11 +118,8 @@ mod tests {
         assert_eq!(t.find_all("broker").len(), 3);
         assert_eq!(t.find_all("market").len(), 4);
         assert_eq!(t.find_all("stock").len(), 5);
-        let codes: Vec<String> = t
-            .find_all("code")
-            .into_iter()
-            .filter_map(|n| t.text_of(n))
-            .collect();
+        let codes: Vec<String> =
+            t.find_all("code").into_iter().filter_map(|n| t.text_of(n)).collect();
         assert_eq!(codes, vec!["IBM", "YHOO", "GOOG", "GOOG", "GOOG"]);
     }
 
@@ -138,11 +135,7 @@ mod tests {
             .ids()
             .iter()
             .filter(|&&f| {
-                fragmented
-                    .fragment_tree
-                    .parent(f)
-                    .map(|p| p != FragmentId::ROOT)
-                    .unwrap_or(false)
+                fragmented.fragment_tree.parent(f).map(|p| p != FragmentId::ROOT).unwrap_or(false)
             })
             .count();
         assert_eq!(nested, 1);

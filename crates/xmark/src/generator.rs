@@ -90,8 +90,20 @@ const LAST_NAMES: &[&str] =
     &["Cong", "Fan", "Smith", "Mueller", "Tanaka", "Silva", "Patel", "Brown", "Rossi", "Chen"];
 const INTERESTS: &[&str] = &["bonds", "stocks", "art", "coins", "antiques", "wine"];
 const WORDS: &[&str] = &[
-    "partial", "evaluation", "distributed", "query", "fragment", "vector", "boolean",
-    "annotation", "auction", "reserve", "bid", "catalogue", "vintage", "shipment",
+    "partial",
+    "evaluation",
+    "distributed",
+    "query",
+    "fragment",
+    "vector",
+    "boolean",
+    "annotation",
+    "auction",
+    "reserve",
+    "bid",
+    "catalogue",
+    "vintage",
+    "shipment",
 ];
 
 impl XmarkGenerator {
@@ -117,7 +129,12 @@ impl XmarkGenerator {
     /// `node_budget` nodes, split across the four sections with XMark-like
     /// proportions (people 30%, open_auctions 30%, regions 25%,
     /// closed_auctions 15%).
-    pub fn generate_site(&mut self, tree: &mut XmlTree, parent: NodeId, node_budget: usize) -> NodeId {
+    pub fn generate_site(
+        &mut self,
+        tree: &mut XmlTree,
+        parent: NodeId,
+        node_budget: usize,
+    ) -> NodeId {
         let node_budget = node_budget.max(60);
         let site = tree.append_element(parent, "site");
 
@@ -204,7 +221,12 @@ impl XmarkGenerator {
         person
     }
 
-    fn generate_open_auctions(&mut self, tree: &mut XmlTree, site: NodeId, budget: usize) -> NodeId {
+    fn generate_open_auctions(
+        &mut self,
+        tree: &mut XmlTree,
+        site: NodeId,
+        budget: usize,
+    ) -> NodeId {
         let auctions = tree.append_element(site, "open_auctions");
         // ~18 nodes per auction.
         let count = (budget / 18).max(1);
@@ -221,7 +243,11 @@ impl XmarkGenerator {
         tree.append_leaf(auction, "initial", format!("{:.2}", self.rng.gen_range(1.0..200.0)));
         tree.append_leaf(auction, "current", format!("{:.2}", self.rng.gen_range(1.0..400.0)));
         let annotation = tree.append_element(auction, "annotation");
-        tree.append_leaf(annotation, "author", format!("person{}", self.rng.gen_range(1..=self.person_counter.max(1))));
+        tree.append_leaf(
+            annotation,
+            "author",
+            format!("person{}", self.rng.gen_range(1..=self.person_counter.max(1))),
+        );
         let description = tree.append_element(annotation, "description");
         tree.append_leaf(description, "text", self.sentence(6));
         for _ in 0..self.rng.gen_range(1..4) {
@@ -243,8 +269,16 @@ impl XmarkGenerator {
         let count = (budget / 12).max(1);
         for _ in 0..count {
             let auction = tree.append_element(closed, "closed_auction");
-            tree.append_leaf(auction, "seller", format!("person{}", self.rng.gen_range(1..=self.person_counter.max(1))));
-            tree.append_leaf(auction, "buyer", format!("person{}", self.rng.gen_range(1..=self.person_counter.max(1))));
+            tree.append_leaf(
+                auction,
+                "seller",
+                format!("person{}", self.rng.gen_range(1..=self.person_counter.max(1))),
+            );
+            tree.append_leaf(
+                auction,
+                "buyer",
+                format!("person{}", self.rng.gen_range(1..=self.person_counter.max(1))),
+            );
             tree.append_leaf(auction, "price", format!("{:.2}", self.rng.gen_range(1.0..500.0)));
             tree.append_leaf(auction, "quantity", self.rng.gen_range(1..5).to_string());
             let annotation = tree.append_element(auction, "annotation");
@@ -291,7 +325,8 @@ mod tests {
     #[test]
     fn node_budget_is_respected_within_tolerance() {
         for vmb in [0.5, 1.0, 2.0] {
-            let tree = generate(XmarkConfig { site_count: 1, vmb_per_site: vmb, ..Default::default() });
+            let tree =
+                generate(XmarkConfig { site_count: 1, vmb_per_site: vmb, ..Default::default() });
             let expected = (vmb * NODES_PER_VMB as f64) as usize;
             let actual = tree.all_nodes().count();
             assert!(
@@ -306,8 +341,20 @@ mod tests {
         let tree = generate(XmarkConfig { site_count: 2, vmb_per_site: 0.5, ..Default::default() });
         let stats = TreeStats::compute(&tree);
         for label in [
-            "site", "people", "person", "profile", "age", "address", "country", "creditcard",
-            "open_auctions", "auction", "annotation", "closed_auctions", "regions", "item",
+            "site",
+            "people",
+            "person",
+            "profile",
+            "age",
+            "address",
+            "country",
+            "creditcard",
+            "open_auctions",
+            "auction",
+            "annotation",
+            "closed_auctions",
+            "regions",
+            "item",
         ] {
             assert!(stats.count_of(label) > 0, "label {label} missing from generated data");
         }

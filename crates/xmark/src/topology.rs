@@ -8,14 +8,8 @@ use paxml_xml::{NodeId, XmlTree};
 pub const PAPER_QUERIES: &[(&str, &str)] = &[
     ("Q1", "/sites/site/people/person"),
     ("Q2", "/sites/site/open_auctions//annotation"),
-    (
-        "Q3",
-        "/sites/site/people/person[profile/age > 20 and address/country=\"US\"]/creditcard",
-    ),
-    (
-        "Q4",
-        "/sites//people/person[profile/age > 20 and address/country=\"US\"]/creditcard",
-    ),
+    ("Q3", "/sites/site/people/person[profile/age > 20 and address/country=\"US\"]/creditcard"),
+    ("Q4", "/sites//people/person[profile/age > 20 and address/country=\"US\"]/creditcard"),
 ];
 
 /// Build the **FT1** topology of Experiment 1: `fragment_count` XMark sites
@@ -29,11 +23,8 @@ pub fn ft1(fragment_count: usize, total_vmb: f64, seed: u64) -> (XmlTree, Fragme
     let fragment_count = fragment_count.max(1);
     let config = XmarkConfig::equal_sites(fragment_count, total_vmb, seed);
     let tree = XmarkGenerator::new(config).generate();
-    let cuts: Vec<NodeId> = if fragment_count == 1 {
-        Vec::new()
-    } else {
-        tree.element_children(tree.root()).collect()
-    };
+    let cuts: Vec<NodeId> =
+        if fragment_count == 1 { Vec::new() } else { tree.element_children(tree.root()).collect() };
     let fragmented = fragment_at(&tree, &cuts).expect("site children are valid cut points");
     (tree, fragmented)
 }

@@ -61,14 +61,12 @@ impl fmt::Display for XmlError {
             XmlError::UnexpectedEof { offset, expected } => {
                 write!(f, "unexpected end of input at offset {offset}: expected {expected}")
             }
-            XmlError::UnexpectedChar { offset, found, expected } => write!(
-                f,
-                "unexpected character {found:?} at offset {offset}: expected {expected}"
-            ),
-            XmlError::MismatchedTag { offset, open, close } => write!(
-                f,
-                "mismatched closing tag </{close}> at offset {offset}: <{open}> is open"
-            ),
+            XmlError::UnexpectedChar { offset, found, expected } => {
+                write!(f, "unexpected character {found:?} at offset {offset}: expected {expected}")
+            }
+            XmlError::MismatchedTag { offset, open, close } => {
+                write!(f, "mismatched closing tag </{close}> at offset {offset}: <{open}> is open")
+            }
             XmlError::TrailingContent { offset } => {
                 write!(f, "trailing content after document root at offset {offset}")
             }
@@ -101,9 +99,6 @@ mod tests {
     #[test]
     fn errors_are_comparable() {
         assert_eq!(XmlError::EmptyDocument, XmlError::EmptyDocument);
-        assert_ne!(
-            XmlError::EmptyDocument,
-            XmlError::TrailingContent { offset: 0 }
-        );
+        assert_ne!(XmlError::EmptyDocument, XmlError::TrailingContent { offset: 0 });
     }
 }

@@ -111,8 +111,10 @@ impl Parser {
                     _ => {
                         let (label, attributes, self_closing) = cursor.read_open_tag()?;
                         let parent = open_stack.last().unwrap().0;
-                        let id = tree
-                            .append_child(parent, NodeKind::Element { label: label.clone(), attributes });
+                        let id = tree.append_child(
+                            parent,
+                            NodeKind::Element { label: label.clone(), attributes },
+                        );
                         if !self_closing {
                             open_stack.push((id, label));
                         }
@@ -296,6 +298,7 @@ impl<'a> Cursor<'a> {
         Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
     }
 
+    #[allow(clippy::type_complexity)]
     fn read_open_tag(&mut self) -> XmlResult<(String, Vec<(String, String)>, bool)> {
         self.expect(b'<')?;
         let label = self.read_name()?;
@@ -439,8 +442,9 @@ mod tests {
 
     #[test]
     fn parses_nested_elements_and_text() {
-        let t = parse("<clientele><client><name>Anna</name><country>US</country></client></clientele>")
-            .unwrap();
+        let t =
+            parse("<clientele><client><name>Anna</name><country>US</country></client></clientele>")
+                .unwrap();
         t.validate().unwrap();
         assert_eq!(t.label(t.root()), Some("clientele"));
         let name = t.find_first("name").unwrap();
@@ -488,8 +492,10 @@ mod tests {
 
     #[test]
     fn entities_are_unescaped() {
-        let t = parse("<m><v>a &lt; b &amp;&amp; c &gt; d</v><q a=\"&quot;x&quot;\"/><u>&#65;&#x42;</u></m>")
-            .unwrap();
+        let t = parse(
+            "<m><v>a &lt; b &amp;&amp; c &gt; d</v><q a=\"&quot;x&quot;\"/><u>&#65;&#x42;</u></m>",
+        )
+        .unwrap();
         let v = t.find_first("v").unwrap();
         assert_eq!(t.text_of(v), Some("a < b && c > d".into()));
         let q = t.find_first("q").unwrap();
@@ -520,7 +526,9 @@ mod tests {
     #[test]
     fn mismatched_tag_is_an_error() {
         let err = parse("<a><b></a></b>").unwrap_err();
-        assert!(matches!(err, XmlError::MismatchedTag { open, close, .. } if open == "b" && close == "a"));
+        assert!(
+            matches!(err, XmlError::MismatchedTag { open, close, .. } if open == "b" && close == "a")
+        );
     }
 
     #[test]

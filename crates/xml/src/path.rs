@@ -30,9 +30,7 @@ impl LabelPath {
     /// Parse a `/`-separated path such as `client/broker/market`.
     /// Empty segments are ignored, so a leading `/` is harmless.
     pub fn parse(text: &str) -> Self {
-        LabelPath {
-            steps: text.split('/').filter(|s| !s.is_empty()).map(str::to_string).collect(),
-        }
+        LabelPath { steps: text.split('/').filter(|s| !s.is_empty()).map(str::to_string).collect() }
     }
 
     /// The label steps of this path.
@@ -103,12 +101,10 @@ pub fn label_path(tree: &XmlTree, from: NodeId, to: NodeId) -> Option<LabelPath>
     loop {
         if let Some(l) = tree.label(current) {
             labels.push(l.to_string());
-        } else if let Some(root_label) =
-            match tree.kind(current) {
-                crate::NodeKind::Virtual { root_label, .. } => root_label.clone(),
-                _ => None,
-            }
-        {
+        } else if let Some(root_label) = match tree.kind(current) {
+            crate::NodeKind::Virtual { root_label, .. } => root_label.clone(),
+            _ => None,
+        } {
             labels.push(root_label);
         }
         match tree.parent(current) {

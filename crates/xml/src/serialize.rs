@@ -71,8 +71,7 @@ fn write_node(
                 return;
             }
             out.push('>');
-            let only_text =
-                children.iter().all(|&c| matches!(tree.kind(c), NodeKind::Text { .. }));
+            let only_text = children.iter().all(|&c| matches!(tree.kind(c), NodeKind::Text { .. }));
             for &c in &children {
                 if only_text {
                     // Keep `<name>Anna</name>` on one line even when pretty-printing.

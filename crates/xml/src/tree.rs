@@ -125,10 +125,9 @@ impl XmlTree {
     /// Attribute value on an element node, if present.
     pub fn attribute(&self, id: NodeId, name: &str) -> Option<&str> {
         match &self.node(id).kind {
-            NodeKind::Element { attributes, .. } => attributes
-                .iter()
-                .find(|(k, _)| k == name)
-                .map(|(_, v)| v.as_str()),
+            NodeKind::Element { attributes, .. } => {
+                attributes.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+            }
             _ => None,
         }
     }
@@ -576,13 +575,7 @@ mod tests {
         // text node has None label
         assert_eq!(
             order,
-            vec![
-                None,
-                Some("b".into()),
-                Some("d".into()),
-                Some("c".into()),
-                Some("a".into())
-            ]
+            vec![None, Some("b".into()), Some("d".into()), Some("c".into()), Some("a".into())]
         );
     }
 

@@ -194,9 +194,7 @@ impl Qualifier {
     fn has_descendant_axis(&self) -> bool {
         match self {
             Qualifier::Path(p) => p.has_descendant_axis(),
-            Qualifier::TextEquals(p, _) | Qualifier::ValCompare(p, _, _) => {
-                p.has_descendant_axis()
-            }
+            Qualifier::TextEquals(p, _) | Qualifier::ValCompare(p, _, _) => p.has_descendant_axis(),
             Qualifier::Not(q) => q.has_descendant_axis(),
             Qualifier::And(a, b) | Qualifier::Or(a, b) => {
                 a.has_descendant_axis() || b.has_descendant_axis()
@@ -300,9 +298,8 @@ mod tests {
     #[test]
     fn size_counts_ast_nodes() {
         // //broker[//stock/code/text()="goog"]/name
-        let stock_path = PathExpr::Empty
-            .descendant(PathExpr::label("stock"))
-            .child(PathExpr::label("code"));
+        let stock_path =
+            PathExpr::Empty.descendant(PathExpr::label("stock")).child(PathExpr::label("code"));
         let qual = Qualifier::TextEquals(stock_path, "goog".into());
         let q = PathExpr::Empty
             .descendant(PathExpr::label("broker"))

@@ -1,7 +1,7 @@
 //! The centralized two-pass evaluator.
 //!
 //! This is the `O(|T|·|Q|)` algorithm the paper uses as its reference point
-//! ([11] Gottlob–Koch–Pichler style): one bottom-up pass to evaluate all
+//! (\[11\] Gottlob–Koch–Pichler style): one bottom-up pass to evaluate all
 //! qualifier sub-queries and one top-down pass to evaluate the selection
 //! path. It is used
 //!
@@ -243,11 +243,8 @@ mod tests {
     #[test]
     fn disjunction_and_negation_in_qualifiers() {
         let tree = clientele();
-        let r = evaluate(
-            &tree,
-            "client[country/text()=\"Canada\" or country/text()=\"US\"]/name",
-        )
-        .unwrap();
+        let r = evaluate(&tree, "client[country/text()=\"Canada\" or country/text()=\"US\"]/name")
+            .unwrap();
         assert_eq!(r.answers.len(), 3);
         let r = evaluate(&tree, "client[not(country/text()=\"US\")]/name").unwrap();
         assert_eq!(texts(&tree, &r.answers), vec!["Lisa"]);

@@ -343,8 +343,7 @@ impl Compiler {
             for q in &step.quals {
                 qual_ids.push(self.compile_qual(q)?);
             }
-            let step_id =
-                self.push(QEntry::Step { test: test_id, quals: qual_ids, next });
+            let step_id = self.push(QEntry::Step { test: test_id, quals: qual_ids, next });
             next = Some((step.axis, step_id));
         }
 
@@ -397,7 +396,8 @@ mod tests {
 
     #[test]
     fn example_2_1_vectors_are_linear_in_the_query() {
-        let c = comp("client[country/text() = \"US\"]/broker[market/name/text() = \"NASDAQ\"]/name");
+        let c =
+            comp("client[country/text() = \"US\"]/broker[market/name/text() = \"NASDAQ\"]/name");
         // Selection path client/broker/name plus two ε[q] items plus entry 0.
         assert_eq!(c.svect_len(), 6);
         assert_eq!(c.selection_path, "client/broker/name");
@@ -443,11 +443,8 @@ mod tests {
     #[test]
     fn selection_qualifier_items_reference_qvect_entries() {
         let c = comp("person[profile/age > 20 and address/country=\"US\"]/creditcard");
-        let qual_items: Vec<&SelItem> = c
-            .sel_items
-            .iter()
-            .filter(|i| matches!(i, SelItem::SelfQualifier(_)))
-            .collect();
+        let qual_items: Vec<&SelItem> =
+            c.sel_items.iter().filter(|i| matches!(i, SelItem::SelfQualifier(_))).collect();
         assert_eq!(qual_items.len(), 1);
         match qual_items[0] {
             SelItem::SelfQualifier(ids) => {
@@ -463,7 +460,8 @@ mod tests {
     #[test]
     fn shared_subqueries_are_deduplicated() {
         // Both conjuncts mention //stock/code — the label tests are shared.
-        let c = comp("//broker[//stock/code/text()=\"goog\" and //stock/code/text()=\"goog\"]/name");
+        let c =
+            comp("//broker[//stock/code/text()=\"goog\" and //stock/code/text()=\"goog\"]/name");
         let label_tests = c
             .qvect
             .iter()

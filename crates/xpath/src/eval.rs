@@ -141,8 +141,7 @@ pub fn qualifier_pass<V: VarLike>(
     }
 
     let root_qv = node_qv[root.index()].clone().unwrap_or_else(|| FormulaVector::all_false(qlen));
-    let root_qdv =
-        node_qdv[root.index()].clone().unwrap_or_else(|| FormulaVector::all_false(qlen));
+    let root_qdv = node_qdv[root.index()].clone().unwrap_or_else(|| FormulaVector::all_false(qlen));
     QualifierPassOutput { node_qv, root: QualVectors { qv: root_qv, qdv: root_qdv }, ops }
 }
 
@@ -157,9 +156,7 @@ fn eval_qentry<V: VarLike>(
     child_any_qdv: &FormulaVector<V>,
 ) -> BoolExpr<V> {
     match entry {
-        QEntry::LabelTest(label) => {
-            BoolExpr::constant(tree.label(v) == Some(label.as_str()))
-        }
+        QEntry::LabelTest(label) => BoolExpr::constant(tree.label(v) == Some(label.as_str())),
         QEntry::ElementTest => BoolExpr::constant(tree.is_element(v)),
         QEntry::TextTest(s) => BoolExpr::constant(tree.text_value(v) == Some(s.as_str())),
         QEntry::ValTest(op, n) => {
@@ -332,13 +329,10 @@ pub(crate) fn compute_sv<V: VarLike>(
                 parent_sv[i - 1].clone(),
                 BoolExpr::constant(tree.label(v) == Some(l.as_str())),
             ),
-            SelItem::Wildcard => BoolExpr::and(
-                parent_sv[i - 1].clone(),
-                BoolExpr::constant(tree.is_element(v)),
-            ),
-            SelItem::DescendantOrSelf => {
-                BoolExpr::or(parent_sv[i].clone(), sv[i - 1].clone())
+            SelItem::Wildcard => {
+                BoolExpr::and(parent_sv[i - 1].clone(), BoolExpr::constant(tree.is_element(v)))
             }
+            SelItem::DescendantOrSelf => BoolExpr::or(parent_sv[i].clone(), sv[i - 1].clone()),
             SelItem::SelfQualifier(quals) => {
                 let mut conjuncts = vec![sv[i - 1].clone()];
                 for q in quals {
@@ -469,8 +463,7 @@ pub fn combined_pass<V: VarLike>(
                 }
                 let mut qv: FormulaVector<V> = FormulaVector::all_false(qlen);
                 for (i, entry) in query.qvect.iter().enumerate() {
-                    let value =
-                        eval_qentry(tree, v, entry, &qv, &child_any_qv, &child_any_qdv);
+                    let value = eval_qentry(tree, v, entry, &qv, &child_any_qv, &child_any_qdv);
                     qv.set(i, value);
                     ops += 1;
                 }
@@ -515,8 +508,7 @@ pub fn combined_pass<V: VarLike>(
         .collect();
 
     let root_qv = node_qv[root.index()].clone().unwrap_or_else(|| FormulaVector::all_false(qlen));
-    let root_qdv =
-        node_qdv[root.index()].clone().unwrap_or_else(|| FormulaVector::all_false(qlen));
+    let root_qdv = node_qdv[root.index()].clone().unwrap_or_else(|| FormulaVector::all_false(qlen));
 
     CombinedPassOutput {
         answers,
@@ -581,7 +573,9 @@ mod tests {
     #[test]
     fn qualifier_pass_computes_constants_on_unfragmented_tree() {
         let tree = clientele();
-        let q = compiled("client[country/text() = \"US\"]/broker[market/name/text() = \"NASDAQ\"]/name");
+        let q = compiled(
+            "client[country/text() = \"US\"]/broker[market/name/text() = \"NASDAQ\"]/name",
+        );
         let out = qualifier_pass::<NoVar>(&tree, tree.root(), &q, |_| unreachable!());
         assert!(out.root.is_fully_resolved());
         assert!(out.ops > 0);
@@ -602,11 +596,14 @@ mod tests {
     #[test]
     fn selection_pass_finds_expected_answers() {
         let tree = clientele();
-        let q = compiled("client[country/text() = \"US\"]/broker[market/name/text() = \"NASDAQ\"]/name");
+        let q = compiled(
+            "client[country/text() = \"US\"]/broker[market/name/text() = \"NASDAQ\"]/name",
+        );
         let quals = qualifier_pass::<NoVar>(&tree, tree.root(), &q, |_| unreachable!());
         let mut init = FormulaVector::all_false(q.svect_len());
         init.set(0, BoolExpr::constant(false));
-        let mut qual_value = |v: NodeId, e: QEntryId| quals.node_qv[v.index()].as_ref().unwrap()[e].clone();
+        let mut qual_value =
+            |v: NodeId, e: QEntryId| quals.node_qv[v.index()].as_ref().unwrap()[e].clone();
         let out = selection_pass::<NoVar>(
             &tree,
             tree.root(),
@@ -672,7 +669,8 @@ mod tests {
         assert!(init[0].is_true());
         let context = evaluation_context(&q, tree.root());
         assert_eq!(context, None);
-        let mut qual_value = |v: NodeId, e: QEntryId| quals.node_qv[v.index()].as_ref().unwrap()[e].clone();
+        let mut qual_value =
+            |v: NodeId, e: QEntryId| quals.node_qv[v.index()].as_ref().unwrap()[e].clone();
         let out = selection_pass::<NoVar>(&tree, tree.root(), &q, init, context, &mut qual_value);
         assert_eq!(out.answers.len(), 2); // both clients' name elements
     }
@@ -686,7 +684,8 @@ mod tests {
         // Leading `//` inherits the context truth so the root element can
         // already be inside the closure.
         assert!(init[1].is_true());
-        let mut qual_value = |v: NodeId, e: QEntryId| quals.node_qv[v.index()].as_ref().unwrap()[e].clone();
+        let mut qual_value =
+            |v: NodeId, e: QEntryId| quals.node_qv[v.index()].as_ref().unwrap()[e].clone();
         let out = selection_pass::<NoVar>(&tree, tree.root(), &q, init, None, &mut qual_value);
         assert_eq!(out.answers.len(), 2);
         for a in &out.answers {
@@ -697,9 +696,7 @@ mod tests {
     #[test]
     fn variables_flow_through_selection_when_init_is_unknown() {
         // Simulate a non-root fragment: the init vector is all variables.
-        let tree = TreeBuilder::new("broker")
-            .leaf("name", "Bache")
-            .build();
+        let tree = TreeBuilder::new("broker").leaf("name", "Bache").build();
         let q = compiled("client/broker/name");
         let quals = qualifier_pass::<String>(&tree, tree.root(), &q, |_| unreachable!());
         let init = FormulaVector::fresh_variables(q.svect_len(), |i| format!("z{i}"));

@@ -197,9 +197,7 @@ pub fn tokenize(input: &str) -> XPathResult<Vec<Token>> {
                             value.push(ch);
                             advance(1, &mut i, &mut byte, &chars);
                         }
-                        None => {
-                            return Err(XPathError::UnterminatedString { offset: start_byte })
-                        }
+                        None => return Err(XPathError::UnterminatedString { offset: start_byte }),
                     }
                 }
                 tokens.push(Token { offset: start_byte, kind: TokenKind::Str(value) });
@@ -223,9 +221,10 @@ pub fn tokenize(input: &str) -> XPathResult<Vec<Token>> {
                         break;
                     }
                 }
-                let value: f64 = text
-                    .parse()
-                    .map_err(|_| XPathError::InvalidNumber { offset: start_byte, text: text.clone() })?;
+                let value: f64 = text.parse().map_err(|_| XPathError::InvalidNumber {
+                    offset: start_byte,
+                    text: text.clone(),
+                })?;
                 tokens.push(Token { offset: start_byte, kind: TokenKind::Number(value) });
             }
             c if c.is_alphanumeric() || c == '_' => {

@@ -287,7 +287,8 @@ impl fmt::Display for NormQual {
 
 impl fmt::Display for NormQuery {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let leading_descendant = matches!(self.path.items.first(), Some(NormItem::DescendantOrSelf));
+        let leading_descendant =
+            matches!(self.path.items.first(), Some(NormItem::DescendantOrSelf));
         if self.absolute && !leading_descendant {
             write!(f, "/")?;
         }
@@ -308,7 +309,8 @@ mod tests {
     fn example_2_1_normal_form() {
         // normalize(Q) = client/ε[country/ε[text()="us"]]/broker/
         //                ε[market/name/ε[text()="nasdaq"]]/name
-        let n = norm("client[country/text() = \"US\"]/broker[market/name/text() = \"NASDAQ\"]/name");
+        let n =
+            norm("client[country/text() = \"US\"]/broker[market/name/text() = \"NASDAQ\"]/name");
         let items = &n.path.items;
         assert_eq!(items.len(), 5);
         assert_eq!(items[0], NormItem::Label("client".into()));
@@ -376,7 +378,9 @@ mod tests {
         match &n.path.items[1] {
             NormItem::Qualifier(NormQual::Path(p)) => {
                 assert_eq!(p.items.len(), 2);
-                assert!(matches!(&p.items[1], NormItem::Qualifier(NormQual::TextIs(s)) if s == "GOOG"));
+                assert!(
+                    matches!(&p.items[1], NormItem::Qualifier(NormQual::TextIs(s)) if s == "GOOG")
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -414,7 +418,9 @@ mod tests {
 
     #[test]
     fn negation_is_preserved() {
-        let n = norm("//broker[//stock/code/text()=\"goog\" and not(//stock/code/text()=\"yhoo\")]/name");
+        let n = norm(
+            "//broker[//stock/code/text()=\"goog\" and not(//stock/code/text()=\"yhoo\")]/name",
+        );
         match &n.path.items[2] {
             NormItem::Qualifier(NormQual::And(parts)) => {
                 assert_eq!(parts.len(), 2);

@@ -98,7 +98,11 @@ impl ParserState {
 
     /// Parse a `/`-separated sequence of steps. `leading_descendant` is true
     /// when the caller already consumed a leading `//`.
-    fn parse_path(&mut self, leading_descendant: bool, in_qualifier: bool) -> XPathResult<PathExpr> {
+    fn parse_path(
+        &mut self,
+        leading_descendant: bool,
+        in_qualifier: bool,
+    ) -> XPathResult<PathExpr> {
         let first = self.parse_step(in_qualifier)?;
         let mut acc = if leading_descendant {
             PathExpr::Descendant(Box::new(PathExpr::Empty), Box::new(first))
@@ -129,7 +133,9 @@ impl ParserState {
             TokenKind::Dot => PathExpr::Empty,
             TokenKind::Star => PathExpr::Wildcard,
             TokenKind::Name(name) => {
-                if !in_qualifier && (name == "text" || name == "val") && matches!(self.peek(), TokenKind::LParen)
+                if !in_qualifier
+                    && (name == "text" || name == "val")
+                    && matches!(self.peek(), TokenKind::LParen)
                 {
                     return Err(XPathError::TestOutsideQualifier { offset });
                 }
@@ -287,12 +293,14 @@ impl ParserState {
                     let path = acc.unwrap_or(PathExpr::Empty);
                     let path = if pending_axis == Axis::Descendant && acc_is_none_marker(&path) {
                         // `[//text() = "x"]` — descend to any text node.
-                        PathExpr::Descendant(Box::new(PathExpr::Empty), Box::new(PathExpr::Wildcard))
+                        PathExpr::Descendant(
+                            Box::new(PathExpr::Empty),
+                            Box::new(PathExpr::Wildcard),
+                        )
                     } else {
                         path
                     };
-                    let test =
-                        if name == "text" { TrailingTest::Text } else { TrailingTest::Val };
+                    let test = if name == "text" { TrailingTest::Text } else { TrailingTest::Val };
                     return Ok((path, Some(test)));
                 }
             }
@@ -382,14 +390,12 @@ mod tests {
             PathExpr::Child(prefix, last) => {
                 assert_eq!(**last, PathExpr::Label("creditcard".into()));
                 match &**prefix {
-                    PathExpr::Child(_, qualified_person) => {
-                        match &**qualified_person {
-                            PathExpr::Qualified(person, _) => {
-                                assert_eq!(**person, PathExpr::Label("person".into()));
-                            }
-                            other => panic!("unexpected shape {other:?}"),
+                    PathExpr::Child(_, qualified_person) => match &**qualified_person {
+                        PathExpr::Qualified(person, _) => {
+                            assert_eq!(**person, PathExpr::Label("person".into()));
                         }
-                    }
+                        other => panic!("unexpected shape {other:?}"),
+                    },
                     other => panic!("unexpected shape {other:?}"),
                 }
             }
@@ -433,10 +439,9 @@ mod tests {
 
     #[test]
     fn example_2_1_query() {
-        let q = parse(
-            "client[country/text() = \"US\"]/broker[market/name/text() = \"NASDAQ\"]/name",
-        )
-        .unwrap();
+        let q =
+            parse("client[country/text() = \"US\"]/broker[market/name/text() = \"NASDAQ\"]/name")
+                .unwrap();
         assert!(!q.absolute);
         assert!(q.has_qualifier());
         assert_eq!(
@@ -519,7 +524,8 @@ mod tests {
 
     #[test]
     fn unicode_connectives_parse() {
-        let q = parse("//broker[//stock/code/text()=\"goog\" ∧ ¬(//stock/code/text()=\"yhoo\")]/name");
+        let q =
+            parse("//broker[//stock/code/text()=\"goog\" ∧ ¬(//stock/code/text()=\"yhoo\")]/name");
         assert!(q.is_ok());
     }
 

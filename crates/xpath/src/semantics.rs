@@ -48,9 +48,7 @@ fn ctx_children(tree: &XmlTree, ctx: Ctx) -> Vec<NodeId> {
 /// Descendant-or-self closure of a context node.
 fn ctx_descendants_or_self(tree: &XmlTree, ctx: Ctx) -> Vec<Ctx> {
     match ctx {
-        None => std::iter::once(None)
-            .chain(tree.all_nodes().map(Some))
-            .collect(),
+        None => std::iter::once(None).chain(tree.all_nodes().map(Some)).collect(),
         Some(n) => tree.pre_order(n).map(Some).collect(),
     }
 }
@@ -90,10 +88,7 @@ fn eval_items(tree: &XmlTree, items: &[NormItem], context: &BTreeSet<Ctx>) -> BT
                 current = next;
             }
             NormItem::Qualifier(q) => {
-                current = current
-                    .into_iter()
-                    .filter(|&ctx| eval_qual(tree, q, ctx))
-                    .collect();
+                current.retain(|&ctx| eval_qual(tree, q, ctx));
             }
         }
     }
@@ -112,11 +107,9 @@ fn eval_qual(tree: &XmlTree, q: &NormQual, ctx: Ctx) -> bool {
         },
         NormQual::ValIs(op, n) => match ctx {
             None => false,
-            Some(v) => tree.children(v).any(|c| {
-                tree.text_value(c)
-                    .map(|t| numeric_matches(t, *op, *n))
-                    .unwrap_or(false)
-            }),
+            Some(v) => tree
+                .children(v)
+                .any(|c| tree.text_value(c).map(|t| numeric_matches(t, *op, *n)).unwrap_or(false)),
         },
         NormQual::Not(inner) => !eval_qual(tree, inner, ctx),
         NormQual::And(parts) => parts.iter().all(|p| eval_qual(tree, p, ctx)),

@@ -39,7 +39,8 @@ fn query_strategy() -> impl Strategy<Value = String> {
         prop::sample::select(LABELS.to_vec()).prop_map(|l| format!("[{l}]")),
         (prop::sample::select(LABELS.to_vec()), prop::sample::select(TEXTS.to_vec()))
             .prop_map(|(l, t)| format!("[{l}/text()=\"{t}\"]")),
-        (prop::sample::select(LABELS.to_vec()), 0u32..50).prop_map(|(l, n)| format!("[{l} >= {n}]")),
+        (prop::sample::select(LABELS.to_vec()), 0u32..50)
+            .prop_map(|(l, n)| format!("[{l} >= {n}]")),
         prop::sample::select(LABELS.to_vec()).prop_map(|l| format!("[not({l})]")),
     ];
     (prop::bool::ANY, prop::collection::vec((step, qual), 1..4)).prop_map(|(desc, steps)| {

@@ -27,7 +27,10 @@ fn main() {
 
     for (query_name, query) in [
         ("Q1 (people/person — prunable)", "/sites/site/people/person"),
-        ("Q2 (open_auctions//annotation — partially prunable)", "/sites/site/open_auctions//annotation"),
+        (
+            "Q2 (open_auctions//annotation — partially prunable)",
+            "/sites/site/open_auctions//annotation",
+        ),
         (
             "Q3 (qualifiers on person)",
             "/sites/site/people/person[profile/age > 20 and address/country=\"US\"]/creditcard",
@@ -63,6 +66,9 @@ fn main() {
             * (1.0
                 - xa.total_computation_time().as_secs_f64()
                     / na.total_computation_time().as_secs_f64().max(1e-9));
-        println!("  -> total computation saved by annotations: {saved:.0}%  (answers identical: {})", na.answers.len());
+        println!(
+            "  -> total computation saved by annotations: {saved:.0}%  (answers identical: {})",
+            na.answers.len()
+        );
     }
 }

@@ -1,0 +1,96 @@
+//! A throughput dashboard for the batch evaluation engine: a mixed workload
+//! of XMark queries is evaluated over one FT2 deployment, first one query at
+//! a time (the paper's per-query PaX2) and then as a single batch sharing
+//! site visits, and the cost meters are printed side by side.
+//!
+//! Run with: `cargo run --release --example batch_dashboard [total_vMB]`
+
+use paxml::prelude::*;
+use paxml::xmark::{ft2, PAPER_QUERIES};
+use std::time::Instant;
+
+/// The paper's four queries plus dashboard-style variations, as one mixed
+/// multi-tenant workload.
+fn workload() -> Vec<String> {
+    let mut queries: Vec<String> = PAPER_QUERIES.iter().map(|(_, q)| q.to_string()).collect();
+    queries.extend(
+        [
+            "/sites/site/people/person/name",
+            "//person[address/country=\"US\"]/name",
+            "/sites/site/regions//item[quantity > 5]/name",
+            "//open_auctions/auction/bidder/increase",
+            "//closed_auctions/closed_auction[quantity >= 2]/price",
+            "/sites/site/people/person[creditcard]/emailaddress",
+            "//annotation/description/text",
+            "//person[not(address/country=\"US\")]/address/city",
+        ]
+        .iter()
+        .map(|q| q.to_string()),
+    );
+    queries
+}
+
+fn main() {
+    let total_vmb: f64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(3.0);
+    let sites = 10;
+    let (tree, fragmented) = ft2(total_vmb, 2026);
+    let queries = workload();
+    println!(
+        "deployment: {} nodes over {} fragments on {} sites; workload: {} queries\n",
+        tree.node_count(),
+        fragmented.fragment_count(),
+        sites,
+        queries.len()
+    );
+
+    // ------------------------------------------------ one query at a time
+    let mut deployment = Deployment::new(&fragmented, sites, Placement::RoundRobin);
+    let start = Instant::now();
+    let mut single_rounds = 0u32;
+    let mut single_visits = 0u32;
+    let mut single_bytes = 0u64;
+    let mut single_answers = 0usize;
+    for query in &queries {
+        deployment.reset();
+        let report = pax2::evaluate(&mut deployment, query, &EvalOptions::default()).unwrap();
+        single_rounds += report.stats.rounds;
+        single_visits += report.max_visits_per_site();
+        single_bytes += report.network_bytes();
+        single_answers += report.answers.len();
+    }
+    let single_elapsed = start.elapsed();
+
+    // ------------------------------------------------------- one batch
+    let batch = batch::evaluate(&mut deployment, &queries, &EvalOptions::default()).unwrap();
+
+    println!("{:<26} {:>14} {:>14}", "metric", "one-at-a-time", "batched");
+    let rows: Vec<(&str, String, String)> = vec![
+        ("coordinator rounds", single_rounds.to_string(), batch.rounds().to_string()),
+        (
+            "visits max/site (total)",
+            single_visits.to_string(),
+            batch.max_visits_per_site().to_string(),
+        ),
+        ("network bytes", single_bytes.to_string(), batch.network_bytes().to_string()),
+        ("answers", single_answers.to_string(), batch.total_answers().to_string()),
+        ("wall-clock", format!("{single_elapsed:.2?}"), format!("{:.2?}", batch.elapsed)),
+        (
+            "queries/second",
+            format!("{:.0}", queries.len() as f64 / single_elapsed.as_secs_f64()),
+            format!("{:.0}", batch.queries_per_second()),
+        ),
+    ];
+    for (metric, single, batched) in rows {
+        println!("{metric:<26} {single:>14} {batched:>14}");
+    }
+
+    println!("\nper-query answers (batch):");
+    for report in &batch.reports {
+        println!("  {:>5} answers  {}", report.answers.len(), report.query);
+    }
+    println!("\n{}", batch.summary());
+
+    // The whole point, asserted:
+    assert!(batch.max_visits_per_site() <= 2, "batch must respect the PaX2 visit bound");
+    assert_eq!(single_answers, batch.total_answers(), "batch must not change any answer");
+}

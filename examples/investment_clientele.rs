@@ -11,7 +11,11 @@ use std::collections::BTreeMap;
 
 fn main() {
     let (tree, fragmented) = clientele_fragmentation();
-    println!("Fig. 1 clientele: {} nodes, {} fragments", tree.node_count(), fragmented.fragment_count());
+    println!(
+        "Fig. 1 clientele: {} nodes, {} fragments",
+        tree.node_count(),
+        fragmented.fragment_count()
+    );
 
     // Mirror Fig. 2's placement: F0 at the company's US server (S0), F1 at
     // S1, the two NASDAQ market fragments at S2, Lisa's Canadian data at S3.

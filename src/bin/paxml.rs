@@ -130,8 +130,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 i += 2;
             }
             "--cut-size" => {
-                options.cut_size =
-                    Some(value(args, i, "--cut-size")?.parse().map_err(|_| "--cut-size expects a number")?);
+                options.cut_size = Some(
+                    value(args, i, "--cut-size")?
+                        .parse()
+                        .map_err(|_| "--cut-size expects a number")?,
+                );
                 i += 2;
             }
             "--sites" => {
@@ -268,11 +271,47 @@ fn compare_algorithms(
     );
 
     let runs: Vec<(&str, EvaluationReport)> = vec![
-        ("PaX3-NA", pax3::evaluate(&mut deployment(fragmented, options), query_text, &EvalOptions::without_annotations()).map_err(|e| e.to_string())?),
-        ("PaX3-XA", pax3::evaluate(&mut deployment(fragmented, options), query_text, &EvalOptions::with_annotations()).map_err(|e| e.to_string())?),
-        ("PaX2-NA", pax2::evaluate(&mut deployment(fragmented, options), query_text, &EvalOptions::without_annotations()).map_err(|e| e.to_string())?),
-        ("PaX2-XA", pax2::evaluate(&mut deployment(fragmented, options), query_text, &EvalOptions::with_annotations()).map_err(|e| e.to_string())?),
-        ("NaiveCentralized", naive::evaluate(&mut deployment(fragmented, options), query_text).map_err(|e| e.to_string())?),
+        (
+            "PaX3-NA",
+            pax3::evaluate(
+                &mut deployment(fragmented, options),
+                query_text,
+                &EvalOptions::without_annotations(),
+            )
+            .map_err(|e| e.to_string())?,
+        ),
+        (
+            "PaX3-XA",
+            pax3::evaluate(
+                &mut deployment(fragmented, options),
+                query_text,
+                &EvalOptions::with_annotations(),
+            )
+            .map_err(|e| e.to_string())?,
+        ),
+        (
+            "PaX2-NA",
+            pax2::evaluate(
+                &mut deployment(fragmented, options),
+                query_text,
+                &EvalOptions::without_annotations(),
+            )
+            .map_err(|e| e.to_string())?,
+        ),
+        (
+            "PaX2-XA",
+            pax2::evaluate(
+                &mut deployment(fragmented, options),
+                query_text,
+                &EvalOptions::with_annotations(),
+            )
+            .map_err(|e| e.to_string())?,
+        ),
+        (
+            "NaiveCentralized",
+            naive::evaluate(&mut deployment(fragmented, options), query_text)
+                .map_err(|e| e.to_string())?,
+        ),
     ];
 
     for (label, report) in &runs {

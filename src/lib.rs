@@ -58,7 +58,9 @@ pub use paxml_xpath as xpath;
 
 /// The most commonly used items, for `use paxml::prelude::*`.
 pub mod prelude {
-    pub use paxml_core::{naive, pax2, pax3, Deployment, EvalOptions, EvaluationReport};
+    pub use paxml_core::{
+        batch, naive, pax2, pax3, BatchReport, Deployment, EvalOptions, EvaluationReport,
+    };
     pub use paxml_distsim::Placement;
     pub use paxml_fragment::{fragment_at, strategy, FragmentId, FragmentedTree};
     pub use paxml_xml::{parse as parse_xml, TreeBuilder, XmlTree};

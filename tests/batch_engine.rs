@@ -1,0 +1,116 @@
+//! End-to-end tests of the batch evaluation engine: for random XMark
+//! workloads (random documents, fragmentations, deployments and query
+//! subsets), the batch engine must return exactly the per-query PaX2
+//! answers while holding the paper's two-visit bound for the *whole batch*.
+
+use paxml::prelude::*;
+use paxml::xmark::{generate, XmarkConfig, PAPER_QUERIES};
+use proptest::prelude::*;
+
+/// The query pool batches are drawn from: the paper's four experiment
+/// queries plus dashboard-style variations covering qualifiers, negation,
+/// descendant axes and wildcards.
+const QUERY_POOL: &[&str] = &[
+    "/sites/site/people/person",
+    "/sites/site/open_auctions//annotation",
+    "/sites/site/people/person[profile/age > 20 and address/country=\"US\"]/creditcard",
+    "/sites//people/person[profile/age > 20 and address/country=\"US\"]/creditcard",
+    "/sites/site/people/person/name",
+    "//person[address/country=\"US\"]/name",
+    "//person[not(address/country=\"US\")]/address/city",
+    "//open_auctions/auction/bidder/increase",
+    "/sites/site/regions//item[quantity > 5]/name",
+    "*/*/person/emailaddress",
+    "//annotation/description/text",
+    "/wrongroot/person",
+];
+
+fn workload_strategy() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec(prop::sample::select(QUERY_POOL.to_vec()), 1..12)
+        .prop_map(|queries| queries.into_iter().map(String::from).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn batch_answers_equal_per_query_answers_on_random_xmark_workloads(
+        seed in 0u64..1_000,
+        site_subtrees in 1usize..4,
+        sites in 1usize..8,
+        cut_depth in 0usize..3,
+        queries in workload_strategy(),
+        use_annotations in prop::bool::ANY,
+    ) {
+        let tree = generate(XmarkConfig {
+            site_count: site_subtrees,
+            vmb_per_site: 0.15,
+            seed,
+            ..XmarkConfig::default()
+        });
+        // Random fragmentation granularity: site subtrees, then sections,
+        // then entities.
+        let labels: &[&str] = match cut_depth {
+            0 => &["site"],
+            1 => &["site", "people", "open_auctions"],
+            _ => &["site", "people", "person", "auction", "item"],
+        };
+        let fragmented = strategy::cut_at_labels(&tree, labels).expect("valid label cuts");
+        let options = EvalOptions { use_annotations };
+
+        let mut deployment =
+            Deployment::new(&fragmented, sites, Placement::RoundRobin).sequential();
+        let batch = batch::evaluate(&mut deployment, &queries, &options).unwrap();
+
+        // The whole batch respects PaX2's per-site visit bound.
+        prop_assert!(
+            batch.max_visits_per_site() <= 2,
+            "batch of {} queries took {} visits on some site",
+            queries.len(),
+            batch.max_visits_per_site()
+        );
+        prop_assert!(batch.rounds() <= 2);
+
+        // Per-query answers match an independent single-query evaluation.
+        prop_assert_eq!(batch.len(), queries.len());
+        for (query, report) in queries.iter().zip(&batch.reports) {
+            let mut single =
+                Deployment::new(&fragmented, sites, Placement::RoundRobin).sequential();
+            let expected = pax2::evaluate(&mut single, query, &options).unwrap();
+            prop_assert_eq!(
+                report.answer_origins(),
+                expected.answer_origins(),
+                "batch disagrees with PaX2 on {} (XA={}, seed={})",
+                query, use_annotations, seed
+            );
+        }
+    }
+}
+
+#[test]
+fn pax2_batch_of_paper_queries_needs_at_most_two_visits_per_site() {
+    // The acceptance check, spelled out: a PaX2 batch of N queries over one
+    // deployment performs at most 2 visits per site *in total*.
+    let tree = generate(XmarkConfig { site_count: 2, vmb_per_site: 0.5, ..Default::default() });
+    let fragmented = strategy::cut_at_labels(&tree, &["site", "people", "open_auctions"]).unwrap();
+    let queries: Vec<&str> = PAPER_QUERIES.iter().map(|(_, q)| *q).collect();
+    let mut deployment = Deployment::new(&fragmented, 6, Placement::RoundRobin);
+    let batch = batch::evaluate(&mut deployment, &queries, &EvalOptions::default()).unwrap();
+    assert_eq!(batch.len(), queries.len());
+    assert!(batch.total_answers() > 0, "the paper queries select data");
+    assert!(
+        batch.max_visits_per_site() <= 2,
+        "PaX2 batch exceeded two visits per site: {}",
+        batch.max_visits_per_site()
+    );
+    // And the batch beats one-at-a-time on every amortizable meter.
+    let mut single = Deployment::new(&fragmented, 6, Placement::RoundRobin);
+    let mut rounds = 0;
+    for query in &queries {
+        single.reset();
+        let report = pax2::evaluate(&mut single, query, &EvalOptions::default()).unwrap();
+        assert!(report.max_visits_per_site() <= 2);
+        rounds += report.stats.rounds;
+    }
+    assert!(rounds >= 2 * batch.rounds(), "batching must amortize coordinator rounds");
+}

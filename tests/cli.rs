@@ -92,8 +92,7 @@ fn help_lists_the_commands() {
 #[test]
 fn fragment_command_prints_the_fragment_tree() {
     let doc = demo_document();
-    let (stdout, _, ok) =
-        run(&["fragment", doc.path().to_str().unwrap(), "--cut-label", "broker"]);
+    let (stdout, _, ok) = run(&["fragment", doc.path().to_str().unwrap(), "--cut-label", "broker"]);
     assert!(ok);
     assert!(stdout.contains("3 fragments"));
     assert!(stdout.contains("client/broker"));
@@ -123,13 +122,8 @@ fn query_command_returns_answers_and_costs() {
 #[test]
 fn centralized_algorithm_skips_the_simulation() {
     let doc = demo_document();
-    let (stdout, _, ok) = run(&[
-        "query",
-        doc.path().to_str().unwrap(),
-        "//stock/code",
-        "--algorithm",
-        "centralized",
-    ]);
+    let (stdout, _, ok) =
+        run(&["query", doc.path().to_str().unwrap(), "//stock/code", "--algorithm", "centralized"]);
     assert!(ok);
     assert!(stdout.contains("2 answers"));
     assert!(stdout.contains("GOOG"));
@@ -170,8 +164,7 @@ fn malformed_input_yields_clean_errors() {
     assert!(!ok);
     assert!(stderr.contains("cannot read"));
     // Unknown option.
-    let (_, stderr, ok) =
-        run(&["query", doc.path().to_str().unwrap(), "a", "--bogus-option", "x"]);
+    let (_, stderr, ok) = run(&["query", doc.path().to_str().unwrap(), "a", "--bogus-option", "x"]);
     assert!(!ok);
     assert!(stderr.contains("unknown option"));
 }

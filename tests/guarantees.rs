@@ -14,11 +14,8 @@ use paxml::xmark::{ft1, ft2, PAPER_QUERIES};
 
 #[test]
 fn visit_bounds_hold_for_every_paper_query_and_topology() {
-    let deployments: Vec<(&str, FragmentedTree)> = vec![
-        ("ft1x4", ft1(4, 1.0, 1).1),
-        ("ft1x10", ft1(10, 1.0, 2).1),
-        ("ft2", ft2(1.5, 3).1),
-    ];
+    let deployments: Vec<(&str, FragmentedTree)> =
+        vec![("ft1x4", ft1(4, 1.0, 1).1), ("ft1x10", ft1(10, 1.0, 2).1), ("ft2", ft2(1.5, 3).1)];
     for (topology, fragmented) in &deployments {
         for (name, query) in PAPER_QUERIES {
             for use_annotations in [false, true] {

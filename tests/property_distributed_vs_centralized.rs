@@ -51,8 +51,7 @@ fn query_strategy() -> impl Strategy<Value = String> {
         prop::sample::select(LABELS.to_vec()).prop_map(|l| format!("[{l}]")),
         (prop::sample::select(LABELS.to_vec()), prop::sample::select(TEXTS.to_vec()))
             .prop_map(|(l, t)| format!("[{l}/text()='{t}']")),
-        (prop::sample::select(LABELS.to_vec()), 0u32..50)
-            .prop_map(|(l, n)| format!("[{l} > {n}]")),
+        (prop::sample::select(LABELS.to_vec()), 0u32..50).prop_map(|(l, n)| format!("[{l} > {n}]")),
         (prop::sample::select(LABELS.to_vec()), prop::sample::select(TEXTS.to_vec()))
             .prop_map(|(l, t)| format!("[not({l}/text()='{t}')]")),
         (prop::sample::select(LABELS.to_vec()), prop::sample::select(LABELS.to_vec()))
@@ -60,7 +59,7 @@ fn query_strategy() -> impl Strategy<Value = String> {
         Just(String::new()),
     ];
     (
-        prop::bool::ANY,                         // leading //
+        prop::bool::ANY,                                // leading //
         prop::collection::vec((step, qualifier), 1..4), // steps
     )
         .prop_map(|(descendant, steps)| {
@@ -81,10 +80,8 @@ fn query_strategy() -> impl Strategy<Value = String> {
 
 /// Pick random cut points (by index among non-root elements).
 fn cuts_for(tree: &XmlTree, picks: &[usize]) -> Vec<NodeId> {
-    let candidates: Vec<NodeId> = tree
-        .all_nodes()
-        .filter(|&n| n != tree.root() && tree.is_element(n))
-        .collect();
+    let candidates: Vec<NodeId> =
+        tree.all_nodes().filter(|&n| n != tree.root() && tree.is_element(n)).collect();
     if candidates.is_empty() {
         return Vec::new();
     }

@@ -23,12 +23,9 @@ fn introduction_boolean_query_is_true() {
     // Q = [//stock/code/text() = "GOOG"]: true iff some client trades GOOG.
     let (_, fragmented) = clientele_fragmentation();
     let mut deployment = fig2_deployment(&fragmented);
-    let report = pax2::evaluate(
-        &mut deployment,
-        ".[//stock/code/text()='GOOG']",
-        &EvalOptions::default(),
-    )
-    .unwrap();
+    let report =
+        pax2::evaluate(&mut deployment, ".[//stock/code/text()='GOOG']", &EvalOptions::default())
+            .unwrap();
     // The Boolean query is encoded as "select the root iff the qualifier
     // holds"; a non-empty answer means `true`.
     assert_eq!(report.answers.len(), 1);
@@ -36,12 +33,9 @@ fn introduction_boolean_query_is_true() {
 
     // ... and a stock nobody trades yields `false` (empty answer).
     let mut deployment = fig2_deployment(&fragmented);
-    let report = pax2::evaluate(
-        &mut deployment,
-        ".[//stock/code/text()='MSFT']",
-        &EvalOptions::default(),
-    )
-    .unwrap();
+    let report =
+        pax2::evaluate(&mut deployment, ".[//stock/code/text()='MSFT']", &EvalOptions::default())
+            .unwrap();
     assert!(report.answers.is_empty());
 }
 
@@ -52,12 +46,9 @@ fn introduction_data_selecting_query() {
     let (_, fragmented) = clientele_fragmentation();
     for options in [EvalOptions::without_annotations(), EvalOptions::with_annotations()] {
         let mut deployment = fig2_deployment(&fragmented);
-        let report = pax3::evaluate(
-            &mut deployment,
-            "//broker[//stock/code/text()='GOOG']/name",
-            &options,
-        )
-        .unwrap();
+        let report =
+            pax3::evaluate(&mut deployment, "//broker[//stock/code/text()='GOOG']/name", &options)
+                .unwrap();
         let mut texts = report.answer_texts();
         texts.sort();
         assert_eq!(texts, vec!["Bache", "CIBC", "E*trade"]);
@@ -91,18 +82,15 @@ fn example_2_1_nasdaq_brokers_of_us_clients() {
 
     for use_annotations in [false, true] {
         let mut deployment = fig2_deployment(&fragmented);
-        let report = pax3::evaluate(
-            &mut deployment,
-            query,
-            &EvalOptions { use_annotations },
-        )
-        .unwrap();
+        let report =
+            pax3::evaluate(&mut deployment, query, &EvalOptions { use_annotations }).unwrap();
         let mut texts = report.answer_texts();
         texts.sort();
         assert_eq!(texts, vec!["Bache", "E*trade"]);
 
         let mut deployment = fig2_deployment(&fragmented);
-        let report = pax2::evaluate(&mut deployment, query, &EvalOptions { use_annotations }).unwrap();
+        let report =
+            pax2::evaluate(&mut deployment, query, &EvalOptions { use_annotations }).unwrap();
         let mut texts = report.answer_texts();
         texts.sort();
         assert_eq!(texts, vec!["Bache", "E*trade"]);

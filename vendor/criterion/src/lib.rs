@@ -1,0 +1,280 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the measurement surface the paxml benches use — benchmark
+//! groups, `bench_function`/`bench_with_input`, `Bencher::iter` and
+//! `Bencher::iter_custom`, `BenchmarkId`, `Throughput` — with a simple
+//! mean/min/max wall-clock reporter instead of criterion's statistical
+//! machinery. `--quick`-grade numbers, deterministic scheduling, no deps.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Measurement marker types.
+pub mod measurement {
+    /// Wall-clock time (the only measurement the stand-in supports).
+    pub struct WallTime;
+}
+
+/// Identifier of a single benchmark within a group.
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A benchmark id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: Some(parameter.to_string()) }
+    }
+
+    /// A benchmark id from a parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { function: String::new(), parameter: Some(parameter.to_string()) }
+    }
+
+    fn render(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.function.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.function, p),
+            None => self.function.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        BenchmarkId { function: function.to_string(), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> Self {
+        BenchmarkId { function, parameter: None }
+    }
+}
+
+/// Throughput annotation for a group (reported as elements or bytes / sec).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Passed to the benchmark closure; runs and times the measured code.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure `f`, called `iters` times.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Measure with a custom timing function: `f` receives the iteration
+    /// count and returns the total measured duration.
+    pub fn iter_custom(&mut self, mut f: impl FnMut(u64) -> Duration) {
+        self.elapsed = f(self.iters);
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        let name = name.into();
+        println!("\n== group {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            sample_size: None,
+            warm_up_time: None,
+            measurement_time: None,
+            throughput: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Run a benchmark outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let (sample_size, warm_up, measurement) =
+            (self.sample_size, self.warm_up_time, self.measurement_time);
+        run_benchmark(&id.into().render(), sample_size, warm_up, measurement, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks with shared configuration.
+pub struct BenchmarkGroup<'a, M> {
+    criterion: &'a mut Criterion,
+    sample_size: Option<usize>,
+    warm_up_time: Option<Duration>,
+    measurement_time: Option<Duration>,
+    throughput: Option<Throughput>,
+    _marker: std::marker::PhantomData<M>,
+}
+
+impl<'a, M> BenchmarkGroup<'a, M> {
+    /// Number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Warm-up period before measuring.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = Some(t);
+        self
+    }
+
+    /// Target measurement period per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = Some(t);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let (s, w, m, t) = self.effective();
+        run_benchmark(&id.into().render(), s, w, m, t, f);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let (s, w, m, t) = self.effective();
+        run_benchmark(&id.into().render(), s, w, m, t, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (prints nothing extra; exists for API parity).
+    pub fn finish(self) {}
+
+    fn effective(&self) -> (usize, Duration, Duration, Option<Throughput>) {
+        (
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.warm_up_time.unwrap_or(self.criterion.warm_up_time),
+            self.measurement_time.unwrap_or(self.criterion.measurement_time),
+            self.throughput,
+        )
+    }
+}
+
+fn run_benchmark(
+    name: &str,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Warm-up: run single iterations until the warm-up budget is spent, and
+    // use the observed speed to pick an iteration count per sample.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    let mut warm_elapsed = Duration::ZERO;
+    while warm_start.elapsed() < warm_up {
+        let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        warm_iters += 1;
+        warm_elapsed += bencher.elapsed.max(Duration::from_nanos(1));
+    }
+    let per_iter =
+        if warm_iters == 0 { Duration::from_millis(1) } else { warm_elapsed / warm_iters as u32 };
+    let budget_per_sample = measurement / sample_size.max(1) as u32;
+    let iters =
+        (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+    let mut samples: Vec<Duration> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size.max(1) {
+        let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        samples.push(bencher.elapsed / iters as u32);
+    }
+    samples.sort();
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    let mean: Duration = samples.iter().sum::<Duration>() / samples.len() as u32;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+            format!("  {:>12.0} elem/s", n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+            format!("  {:>12.0} B/s", n as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name:<40} [{min:>12.3?} {mean:>12.3?} {max:>12.3?}]  ({sample_size} samples x {iters} iters){rate}"
+    );
+}
+
+/// Define a group-running function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` from criterion groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

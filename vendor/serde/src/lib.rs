@@ -1,0 +1,29 @@
+//! An offline stand-in for the `serde` crate.
+//!
+//! The paxml workspace builds without network access, so this crate provides
+//! exactly the serde surface the workspace uses:
+//!
+//! * the [`ser::Serialize`] / [`ser::Serializer`] traits (plus the compound
+//!   `Serialize*` traits) — enough for `paxml-distsim`'s byte-counting
+//!   serializer to measure any message type;
+//! * a structural [`Deserialize`] marker trait (derived but never driven by
+//!   a data format in this workspace);
+//! * `#[derive(Serialize, Deserialize)]` via the sibling `serde_derive`
+//!   proc-macro crate;
+//! * `Serialize` impls for the std types the message types are built from.
+//!
+//! It is API-compatible with real serde for this subset, so swapping the
+//! workspace back to crates.io serde is a one-line change in `Cargo.toml`.
+
+pub mod ser;
+
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Structural deserialization marker.
+///
+/// The workspace derives `Deserialize` on its message types to keep them
+/// round-trip-ready, but never drives them from a data format (the simulator
+/// passes values in-process and only *measures* their serialized size), so
+/// no deserializer machinery is needed.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,400 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes the paxml workspace uses — structs (named, tuple, unit) and enums
+//! (unit, tuple and struct variants), with ordinary generic parameters —
+//! using only the compiler-provided `proc_macro` API (no syn/quote, so no
+//! network dependency). Code generation goes through strings, which keeps
+//! the parser small; the input grammar is the tiny subset of Rust items this
+//! workspace actually derives on.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    /// Verbatim generic parameter list, without the angle brackets (may be
+    /// empty), e.g. `V: Ord, const N: usize`.
+    generics_decl: String,
+    /// Parameter names only, for the `for Name<...>` position.
+    generic_args: Vec<String>,
+    /// Names of the *type* parameters (the ones that need bounds).
+    type_params: Vec<String>,
+    /// Verbatim `where` predicates, without the `where` keyword.
+    where_preds: String,
+    body: Body,
+}
+
+#[derive(Debug)]
+enum Body {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Split a token slice on top-level commas, treating `<`/`>` puncts as
+/// nesting (groups already nest via the token tree).
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for token in tokens {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(token.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Skip attributes (`#[...]`, including expanded doc comments) and a
+/// visibility qualifier at the start of a token slice; return the index of
+/// the first remaining token.
+fn skip_attrs_and_vis(tokens: &[TokenTree]) -> usize {
+    let mut i = 0;
+    loop {
+        match (tokens.get(i), tokens.get(i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            (Some(TokenTree::Ident(ident)), next) if ident.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = next {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn first_ident(tokens: &[TokenTree]) -> Option<String> {
+    tokens.iter().find_map(|t| match t {
+        TokenTree::Ident(i) => Some(i.to_string()),
+        _ => None,
+    })
+}
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    tokens.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(" ")
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    split_commas(&tokens)
+        .iter()
+        .filter(|chunk| !chunk.is_empty())
+        .filter_map(|chunk| {
+            let start = skip_attrs_and_vis(chunk);
+            first_ident(&chunk[start..])
+        })
+        .collect()
+}
+
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    split_commas(&tokens).iter().filter(|chunk| !chunk.is_empty()).count()
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    split_commas(&tokens)
+        .iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let start = skip_attrs_and_vis(chunk);
+            let name = match &chunk[start] {
+                TokenTree::Ident(i) => i.to_string(),
+                other => panic!("expected enum variant name, found {other}"),
+            };
+            let shape = match chunk.get(start + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantShape::Tuple(count_tuple_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantShape::Named(parse_named_fields(g))
+                }
+                _ => VariantShape::Unit,
+            };
+            Variant { name, shape }
+        })
+        .collect()
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens);
+
+    let is_enum = match &tokens[i] {
+        TokenTree::Ident(ident) if ident.to_string() == "struct" => false,
+        TokenTree::Ident(ident) if ident.to_string() == "enum" => true,
+        other => panic!("derive expects a struct or enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(ident) => ident.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+
+    // Generic parameter list.
+    let mut generics: Vec<TokenTree> = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            i += 1;
+            let mut depth = 1i32;
+            while depth > 0 {
+                match &tokens[i] {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                generics.push(tokens[i].clone());
+                i += 1;
+            }
+        }
+    }
+
+    let mut generic_args = Vec::new();
+    let mut type_params = Vec::new();
+    for param in split_commas(&generics) {
+        if param.is_empty() {
+            continue;
+        }
+        match &param[0] {
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                if let Some(TokenTree::Ident(ident)) = param.get(1) {
+                    generic_args.push(format!("'{ident}"));
+                }
+            }
+            TokenTree::Ident(ident) if ident.to_string() == "const" => {
+                if let Some(TokenTree::Ident(name)) = param.get(1) {
+                    generic_args.push(name.to_string());
+                }
+            }
+            TokenTree::Ident(ident) => {
+                generic_args.push(ident.to_string());
+                type_params.push(ident.to_string());
+            }
+            other => panic!("unsupported generic parameter starting with {other}"),
+        }
+    }
+
+    // Optional where clause (between generics and the body), then the body.
+    let mut where_tokens: Vec<TokenTree> = Vec::new();
+    let mut body = None;
+    let mut saw_where = false;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(ident) if ident.to_string() == "where" => {
+                saw_where = true;
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                body = Some(if is_enum {
+                    Body::Enum(parse_variants(g))
+                } else {
+                    Body::Named(parse_named_fields(g))
+                });
+                break;
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis && !saw_where => {
+                body = Some(Body::Tuple(count_tuple_fields(g)));
+                break;
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => {
+                if body.is_none() {
+                    body = Some(Body::Unit);
+                }
+                break;
+            }
+            other => {
+                if saw_where {
+                    where_tokens.push(other.clone());
+                }
+            }
+        }
+        i += 1;
+    }
+    // A tuple struct may be followed by a where clause and `;` — the loop
+    // above already stopped at the parenthesis group, which is correct for
+    // serialization purposes (the where clause is carried separately only
+    // for braced bodies; tuple structs in this workspace do not use one).
+
+    Input {
+        name,
+        generics_decl: tokens_to_string(&generics),
+        generic_args,
+        type_params,
+        where_preds: tokens_to_string(&where_tokens),
+        body: body.expect("could not find the struct/enum body"),
+    }
+}
+
+impl Input {
+    fn impl_header(
+        &self,
+        trait_for: &str,
+        bound: Option<&str>,
+        extra_param: Option<&str>,
+    ) -> String {
+        let mut decl_parts = Vec::new();
+        if let Some(extra) = extra_param {
+            decl_parts.push(extra.to_string());
+        }
+        if !self.generics_decl.is_empty() {
+            decl_parts.push(self.generics_decl.clone());
+        }
+        let decl = if decl_parts.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", decl_parts.join(", "))
+        };
+        let args = if self.generic_args.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", self.generic_args.join(", "))
+        };
+        let mut preds: Vec<String> = Vec::new();
+        if let Some(bound) = bound {
+            for param in &self.type_params {
+                preds.push(format!("{param}: {bound}"));
+            }
+        }
+        if !self.where_preds.is_empty() {
+            preds.push(self.where_preds.clone());
+        }
+        let where_clause =
+            if preds.is_empty() { String::new() } else { format!(" where {}", preds.join(", ")) };
+        format!("impl{decl} {trait_for} for {}{args}{where_clause}", self.name)
+    }
+}
+
+/// Derive `serde::Serialize` structurally.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Unit => format!("serializer.serialize_unit_struct(\"{name}\")"),
+        Body::Tuple(1) => {
+            format!("serializer.serialize_newtype_struct(\"{name}\", &self.0)")
+        }
+        Body::Tuple(n) => {
+            let mut code = format!(
+                "{{ use ::serde::ser::SerializeTupleStruct as _; \
+                 let mut st = serializer.serialize_tuple_struct(\"{name}\", {n})?; "
+            );
+            for i in 0..*n {
+                code.push_str(&format!("st.serialize_field(&self.{i})?; "));
+            }
+            code.push_str("st.end() }");
+            code
+        }
+        Body::Named(fields) => {
+            let mut code = format!(
+                "{{ use ::serde::ser::SerializeStruct as _; \
+                 let mut st = serializer.serialize_struct(\"{name}\", {})?; ",
+                fields.len()
+            );
+            for field in fields {
+                code.push_str(&format!("st.serialize_field(\"{field}\", &self.{field})?; "));
+            }
+            code.push_str("st.end() }");
+            code
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for (index, variant) in variants.iter().enumerate() {
+                let vname = &variant.name;
+                match &variant.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => serializer.serialize_unit_variant(\"{name}\", {index}u32, \"{vname}\"),\n"
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(f0) => serializer.serialize_newtype_variant(\"{name}\", {index}u32, \"{vname}\", f0),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let mut arm = format!(
+                            "{name}::{vname}({}) => {{ use ::serde::ser::SerializeTupleVariant as _; \
+                             let mut st = serializer.serialize_tuple_variant(\"{name}\", {index}u32, \"{vname}\", {n})?; ",
+                            binders.join(", ")
+                        );
+                        for b in &binders {
+                            arm.push_str(&format!("st.serialize_field({b})?; "));
+                        }
+                        arm.push_str("st.end() },\n");
+                        arms.push_str(&arm);
+                    }
+                    VariantShape::Named(fields) => {
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {} }} => {{ use ::serde::ser::SerializeStructVariant as _; \
+                             let mut st = serializer.serialize_struct_variant(\"{name}\", {index}u32, \"{vname}\", {})?; ",
+                            fields.join(", "),
+                            fields.len()
+                        );
+                        for field in fields {
+                            arm.push_str(&format!("st.serialize_field(\"{field}\", {field})?; "));
+                        }
+                        arm.push_str("st.end() },\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let header =
+        input.impl_header("::serde::ser::Serialize", Some("::serde::ser::Serialize"), None);
+    let code = format!(
+        "#[automatically_derived]\n{header} {{\n\
+         fn serialize<__S: ::serde::ser::Serializer>(&self, serializer: __S) \
+         -> ::core::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}\n"
+    );
+    code.parse().expect("derived Serialize impl parses")
+}
+
+/// Derive the structural `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let header = input.impl_header("::serde::Deserialize<'de>", None, Some("'de"));
+    format!("#[automatically_derived]\n{header} {{}}\n")
+        .parse()
+        .expect("derived Deserialize impl parses")
+}
