@@ -1,0 +1,832 @@
+//! Incremental re-evaluation under fragment updates.
+//!
+//! The paper proves its guarantees for *one-shot* evaluation; a production
+//! federated store sees its fragments change between queries. Recomputing
+//! from scratch after every edit wastes exactly the property partial
+//! evaluation buys: a fragment's residual vectors depend **only on its own
+//! data** (plus the query), never on other fragments — the unknowns are
+//! variables. So the coordinator can cache, per fragment, the outputs of
+//! the last combined pass:
+//!
+//! * the root `QV`/`QDV` vectors,
+//! * the ancestor summaries recorded at its virtual nodes,
+//! * the unconditional answers, and
+//! * the candidate answers *with their residual formulas*.
+//!
+//! When a batch of updates arrives, only the **touched fragments'** vectors
+//! are stale. [`IncrementalEngine::apply_updates`] ships the update ops to
+//! the *dirty* sites (one [`MsgUpdate`] visit each, which applies the edits
+//! and re-runs the combined pass in the same visit), re-unifies `evalFT`
+//! over the **dirty cone** of the fragment tree — the updated fragments,
+//! their ancestors whose qualifier values change, and the subtrees whose
+//! ancestor summaries change — and re-resolves candidate formulas from the
+//! coordinator-side cache. Clean sites are **never visited**: even when an
+//! update far away flips a qualifier that decides a clean fragment's
+//! candidate answers, the cached formula is re-evaluated locally at the
+//! coordinator.
+//!
+//! Compared to the from-scratch protocol this ships candidate formulas to
+//! the coordinator once (an `O(|candidates|)` add-on to the first visit) and
+//! in exchange drops the second visit entirely: a re-evaluation after
+//! updates costs **one visit per dirty site, zero per clean site**, and
+//! traffic proportional to the update batch and the dirty fragments' vector
+//! sizes — independent of the total data size.
+//!
+//! ```
+//! use paxml_core::{incremental::IncrementalEngine, Deployment, EvalOptions};
+//! use paxml_distsim::Placement;
+//! use paxml_fragment::{strategy::cut_at_labels, UpdateOp};
+//! use paxml_xml::TreeBuilder;
+//!
+//! let tree = TreeBuilder::new("clientele")
+//!     .open("client").leaf("country", "US")
+//!         .open("broker").leaf("name", "E*trade").close()
+//!     .close()
+//!     .open("client").leaf("country", "Canada")
+//!         .open("broker").leaf("name", "CIBC").close()
+//!     .close()
+//!     .build();
+//! let fragmented = cut_at_labels(&tree, &["client"]).unwrap();
+//! let deployment = Deployment::new(&fragmented, 3, Placement::RoundRobin);
+//!
+//! let mut engine = IncrementalEngine::new(
+//!     deployment,
+//!     "client[country/text()='US']/broker/name",
+//!     &EvalOptions::default(),
+//! ).unwrap();
+//! assert_eq!(engine.answer_texts(), vec!["E*trade".to_string()]);
+//!
+//! // Edit Lisa's country to US — one dirty fragment, one visit, new answer.
+//! let lisa = fragmented.fragments[2].tree.find_first("country").unwrap();
+//! let text = fragmented.fragments[2].tree.children(lisa).next().unwrap();
+//! let report = engine.apply_updates(&[(
+//!     paxml_fragment::FragmentId(2),
+//!     UpdateOp::EditText { node: text, text: "US".into() },
+//! )]).unwrap();
+//! assert_eq!(engine.answer_texts(), vec!["E*trade".to_string(), "CIBC".to_string()]);
+//! assert_eq!(report.clean_site_visits(), 0);
+//! assert!(report.max_visits_per_dirty_site() <= 2);
+//! ```
+
+use crate::deployment::Deployment;
+use crate::protocol::{update_task, CandidateAnswer, FragmentUpdate, InitVector, MsgUpdate};
+use crate::prune::{analyze, AnnotationAnalysis};
+use crate::report::AnswerItem;
+use crate::vars::{PaxVar, QualVecKind};
+use crate::EvalOptions;
+use paxml_boolex::{Assignment, FormulaVector};
+use paxml_distsim::SiteId;
+use paxml_fragment::{FragmentId, FragmentResult, FragmentTree, UpdateOp};
+use paxml_xpath::eval::{root_context_vector, QualVectors};
+use paxml_xpath::{compile_text, CompiledQuery, XPathResult};
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::{Duration, Instant};
+
+/// The per-fragment cache entry: everything the coordinator keeps from the
+/// last combined pass over that fragment.
+#[derive(Debug, Clone, Default)]
+struct FragmentCache {
+    /// Root `QV`/`QDV` vectors (symbolic in the sub-fragments' variables).
+    root: Option<QualVectors<PaxVar>>,
+    /// Unconditional answers found in the fragment.
+    sure: Vec<AnswerItem>,
+    /// Conditional answers with their residual formulas.
+    candidates: Vec<CandidateAnswer>,
+    /// The fragment's current resolved answers (under the latest variable
+    /// assignment).
+    resolved: Vec<AnswerItem>,
+}
+
+/// The outcome of one incremental re-evaluation.
+#[derive(Debug, Clone)]
+pub struct IncrementalReport {
+    /// Fragments the update batch touched.
+    pub dirty_fragments: BTreeSet<FragmentId>,
+    /// Sites holding at least one dirty fragment — the only sites visited.
+    pub dirty_sites: BTreeSet<SiteId>,
+    /// Per-site visit counts of *this* re-evaluation (not cumulative).
+    pub visits: BTreeMap<SiteId, u32>,
+    /// Update ops applied successfully.
+    pub applied_ops: usize,
+    /// Fragments whose op sequence was rejected, with the reason (their
+    /// remaining ops were skipped; their vectors were still refreshed).
+    pub rejected: BTreeMap<FragmentId, String>,
+    /// Fragments whose combined pass was re-run site-side.
+    pub recomputed_fragments: usize,
+    /// Re-unification steps `evalFT` actually performed — bottom-up
+    /// (qualifier) steps plus top-down (selection) steps, so a fragment in
+    /// both cones counts twice; every other fragment reused cached truth
+    /// values. This is the size of the dirty cone the coordinator walked.
+    pub reunified_fragments: usize,
+    /// Coordinator-side unification operations of this re-evaluation.
+    pub unify_ops: u64,
+    /// Bytes moved over the network by this re-evaluation.
+    pub network_bytes: u64,
+    /// Wall-clock time of the re-evaluation as seen by the coordinator.
+    pub elapsed: Duration,
+}
+
+impl IncrementalReport {
+    /// Visits this re-evaluation paid to sites holding *no* dirty fragment.
+    /// The incremental protocol guarantees this is zero.
+    pub fn clean_site_visits(&self) -> u32 {
+        self.visits
+            .iter()
+            .filter(|(site, _)| !self.dirty_sites.contains(site))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// The largest visit count any dirty site received (≤ 2; in fact the
+    /// update round needs exactly one visit per dirty site).
+    pub fn max_visits_per_dirty_site(&self) -> u32 {
+        self.visits
+            .iter()
+            .filter(|(site, _)| self.dirty_sites.contains(site))
+            .map(|(_, v)| *v)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "incremental: {} dirty fragments on {} sites, {} ops applied, {} recomputed, {} re-unified, {} unify ops, {} bytes, {:?}",
+            self.dirty_fragments.len(),
+            self.dirty_sites.len(),
+            self.applied_ops,
+            self.recomputed_fragments,
+            self.reunified_fragments,
+            self.unify_ops,
+            self.network_bytes,
+            self.elapsed,
+        )
+    }
+}
+
+/// A long-lived evaluation session: one query over one deployment, with the
+/// per-fragment residual vectors cached between update batches.
+pub struct IncrementalEngine {
+    deployment: Deployment,
+    query: CompiledQuery,
+    query_text: String,
+    options: EvalOptions,
+    analysis: AnnotationAnalysis,
+    root_init: Vec<bool>,
+    ft: FragmentTree,
+    cache: BTreeMap<FragmentId, FragmentCache>,
+    /// Ancestor summaries recorded at virtual nodes, keyed by the
+    /// sub-fragment they stand for (produced by the parent fragment).
+    virtuals: BTreeMap<FragmentId, FormulaVector<PaxVar>>,
+    /// The cached truth values of every `Qual`/`Sel` variable.
+    assignment: Assignment<PaxVar>,
+    answers: Vec<AnswerItem>,
+}
+
+impl IncrementalEngine {
+    /// Compile `query_text`, run the initial full evaluation (one visit per
+    /// occupied relevant site), and populate the caches.
+    pub fn new(
+        deployment: Deployment,
+        query_text: &str,
+        options: &EvalOptions,
+    ) -> XPathResult<IncrementalEngine> {
+        let query = compile_text(query_text)?;
+        let ft = deployment.fragment_tree.clone();
+        let analysis = if options.use_annotations {
+            analyze(&query, &ft, &deployment.root_label)
+        } else {
+            AnnotationAnalysis::keep_all(&ft)
+        };
+        let root_init: Vec<bool> = root_context_vector::<PaxVar>(&query)
+            .as_bools()
+            .expect("the document vector is always constant");
+        let mut engine = IncrementalEngine {
+            deployment,
+            query,
+            query_text: query_text.to_string(),
+            options: *options,
+            analysis,
+            root_init,
+            ft,
+            cache: BTreeMap::new(),
+            virtuals: BTreeMap::new(),
+            assignment: Assignment::new(),
+            answers: Vec::new(),
+        };
+        // The initial evaluation is "everything is dirty, nothing to apply":
+        // one update round with empty op lists snapshots every relevant
+        // fragment.
+        engine.run_round(&BTreeMap::new(), true);
+        Ok(engine)
+    }
+
+    /// The query this session evaluates.
+    pub fn query_text(&self) -> &str {
+        &self.query_text
+    }
+
+    /// The evaluation options the session was created with.
+    pub fn options(&self) -> &EvalOptions {
+        &self.options
+    }
+
+    /// The current answers (kept up to date by [`Self::apply_updates`]),
+    /// sorted by original-document position.
+    pub fn answers(&self) -> &[AnswerItem] {
+        &self.answers
+    }
+
+    /// The current answers' text contents.
+    pub fn answer_texts(&self) -> Vec<String> {
+        self.answers.iter().filter_map(|a| a.text.clone()).collect()
+    }
+
+    /// The underlying deployment (for cumulative statistics).
+    pub fn deployment(&self) -> &Deployment {
+        &self.deployment
+    }
+
+    /// Apply a batch of updates and bring the cached answers up to date,
+    /// visiting only the sites that hold an updated fragment.
+    ///
+    /// Ops for the same fragment apply in batch order. Returns an error if
+    /// an op names a fragment the deployment does not have; per-op
+    /// validation failures are reported per fragment in
+    /// [`IncrementalReport::rejected`] instead (the deployment stays
+    /// consistent — the fragment's vectors are refreshed either way).
+    pub fn apply_updates(
+        &mut self,
+        updates: &[(FragmentId, UpdateOp)],
+    ) -> FragmentResult<IncrementalReport> {
+        let mut ops_by_fragment: BTreeMap<FragmentId, Vec<UpdateOp>> = BTreeMap::new();
+        for (fragment, op) in updates {
+            if fragment.index() >= self.ft.len() {
+                return Err(paxml_fragment::FragmentError::UnknownFragment {
+                    fragment: fragment.index(),
+                });
+            }
+            ops_by_fragment.entry(*fragment).or_default().push(op.clone());
+        }
+        Ok(self.run_round(&ops_by_fragment, false))
+    }
+
+    /// The initial vector of a fragment's combined pass (same policy as
+    /// from-scratch PaX2).
+    fn init_for(&self, fragment: FragmentId) -> InitVector {
+        if fragment == FragmentId::ROOT {
+            InitVector::Exact(self.root_init.clone())
+        } else if let Some(exact) = self.analysis.exact_init.get(&fragment) {
+            InitVector::Exact(exact.clone())
+        } else {
+            InitVector::Unknown
+        }
+    }
+
+    /// One coordinator round: ship ops + recompute instructions to the dirty
+    /// sites, merge the deltas into the caches, re-unify the dirty cone and
+    /// re-resolve answers. With `initial` set, every relevant fragment is
+    /// treated as dirty (and `ops_by_fragment` is empty).
+    fn run_round(
+        &mut self,
+        ops_by_fragment: &BTreeMap<FragmentId, Vec<UpdateOp>>,
+        initial: bool,
+    ) -> IncrementalReport {
+        let start = Instant::now();
+        let dirty_fragments: BTreeSet<FragmentId> = if initial {
+            self.analysis.relevant.iter().copied().collect()
+        } else {
+            ops_by_fragment.keys().copied().collect()
+        };
+        let dirty_sites: BTreeSet<SiteId> =
+            dirty_fragments.iter().map(|&f| self.deployment.cluster.site_of(f)).collect();
+
+        let visits_before: BTreeMap<SiteId, u32> =
+            self.deployment.cluster.stats.sites.iter().map(|(site, s)| (*site, s.visits)).collect();
+        let bytes_before = self.deployment.cluster.stats.total_bytes();
+
+        // ----------------------------------------------- the one dirty round
+        let mut requests: BTreeMap<SiteId, MsgUpdate> = BTreeMap::new();
+        let mut recomputed = 0usize;
+        for (&site, fragments) in &self.deployment.group_by_site(dirty_fragments.iter().copied()) {
+            let mut per_fragment = BTreeMap::new();
+            for &fragment in fragments {
+                let recompute = self.analysis.relevant.contains(&fragment);
+                if recompute {
+                    recomputed += 1;
+                }
+                per_fragment.insert(
+                    fragment,
+                    FragmentUpdate {
+                        ops: ops_by_fragment.get(&fragment).cloned().unwrap_or_default(),
+                        init: self.init_for(fragment),
+                        root_is_context: fragment == FragmentId::ROOT && !self.query.absolute,
+                        recompute,
+                    },
+                );
+            }
+            requests.insert(site, MsgUpdate { query: self.query.clone(), fragments: per_fragment });
+        }
+        debug_assert!(
+            requests.keys().all(|s| dirty_sites.contains(s)),
+            "the update round must address dirty sites only"
+        );
+        let responses = self.deployment.cluster.round(requests, update_task);
+
+        let mut applied_ops = 0usize;
+        let mut rejected: BTreeMap<FragmentId, String> = BTreeMap::new();
+        for delta in responses.into_values() {
+            applied_ops += delta.applied.values().sum::<usize>();
+            rejected.extend(delta.rejected);
+            for (fragment, root) in delta.vect.roots {
+                self.cache.entry(fragment).or_default().root = Some(root);
+            }
+            self.virtuals.extend(delta.vect.virtuals);
+            for (fragment, sure) in delta.answer.sure {
+                self.cache.entry(fragment).or_default().sure = sure;
+            }
+            for (fragment, candidates) in delta.answer.candidates {
+                self.cache.entry(fragment).or_default().candidates = candidates;
+            }
+        }
+
+        // ------------------------------------- evalFT over the dirty cone
+        let mut unify_ops = 0u64;
+        let (qual_changed, qual_reunified) =
+            self.reunify_qualifiers(&dirty_fragments, initial, &mut unify_ops);
+        let (sel_changed, sel_reunified) =
+            self.reunify_selection(&dirty_fragments, &qual_changed, initial, &mut unify_ops);
+
+        // --------------------------------- re-resolve answers from the cache
+        let fragments: Vec<FragmentId> = self.cache.keys().copied().collect();
+        let mut any_resolved_changed = false;
+        for fragment in fragments {
+            let needs = initial
+                || dirty_fragments.contains(&fragment)
+                || sel_changed.contains(&fragment)
+                || self.ft.children(fragment).iter().any(|c| qual_changed.contains(c));
+            if !needs {
+                continue;
+            }
+            let assignment = &self.assignment;
+            let entry = self.cache.get_mut(&fragment).expect("iterating cached fragments");
+            let mut resolved = entry.sure.clone();
+            for candidate in &entry.candidates {
+                unify_ops += 1;
+                if candidate.formula.assign(assignment).is_true() {
+                    resolved.push(candidate.item.clone());
+                }
+            }
+            if resolved != entry.resolved {
+                entry.resolved = resolved;
+                any_resolved_changed = true;
+            }
+        }
+        // The global merge is O(total answers); skip it when no fragment's
+        // contribution changed, so untouched-answer updates stay O(|dirty|).
+        if any_resolved_changed {
+            let mut answers: Vec<AnswerItem> =
+                self.cache.values().flat_map(|entry| entry.resolved.iter().cloned()).collect();
+            answers.sort();
+            answers.dedup();
+            self.answers = answers;
+        }
+
+        // ------------------------------------------------------------ report
+        let visits: BTreeMap<SiteId, u32> = self
+            .deployment
+            .cluster
+            .stats
+            .sites
+            .iter()
+            .map(|(site, s)| (*site, s.visits - visits_before.get(site).copied().unwrap_or(0)))
+            .filter(|(_, v)| *v > 0)
+            .collect();
+        IncrementalReport {
+            dirty_fragments,
+            dirty_sites,
+            visits,
+            applied_ops,
+            rejected,
+            recomputed_fragments: recomputed,
+            reunified_fragments: qual_reunified + sel_reunified,
+            unify_ops,
+            network_bytes: self.deployment.cluster.stats.total_bytes() - bytes_before,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Bottom-up qualifier re-unification over the dirty cone: a fragment's
+    /// `Qual` values are recomputed iff the fragment itself was updated or a
+    /// descendant's values changed; everything else reuses the cached truth
+    /// values. Returns the set of fragments whose values changed and the
+    /// number of fragments actually re-unified.
+    fn reunify_qualifiers(
+        &mut self,
+        dirty: &BTreeSet<FragmentId>,
+        initial: bool,
+        unify_ops: &mut u64,
+    ) -> (BTreeSet<FragmentId>, usize) {
+        let mut changed: BTreeSet<FragmentId> = BTreeSet::new();
+        let mut reunified = 0usize;
+        if !self.query.has_qualifiers() {
+            return (changed, reunified);
+        }
+        let qlen = self.query.qvect_len();
+        for fragment in self.ft.bottom_up_order() {
+            let needs = initial
+                || dirty.contains(&fragment)
+                || self.ft.children(fragment).iter().any(|c| changed.contains(c));
+            if !needs {
+                continue;
+            }
+            reunified += 1;
+            *unify_ops += 2 * qlen as u64;
+            let resolved = match self.cache.get(&fragment).and_then(|e| e.root.as_ref()) {
+                Some(vectors) => vectors.assign(&self.assignment),
+                None => QualVectors::all_false(qlen),
+            };
+            let mut fragment_changed = false;
+            for i in 0..qlen {
+                for (kind, value) in [
+                    (QualVecKind::Qv, resolved.qv[i].as_const().unwrap_or(false)),
+                    (QualVecKind::Qdv, resolved.qdv[i].as_const().unwrap_or(false)),
+                ] {
+                    let var = PaxVar::Qual { fragment, vector: kind, entry: i };
+                    if self.assignment.get(&var) != Some(value) {
+                        fragment_changed = true;
+                    }
+                    self.assignment.set(var, value);
+                }
+            }
+            if fragment_changed {
+                changed.insert(fragment);
+            }
+        }
+        (changed, reunified)
+    }
+
+    /// Top-down selection re-unification over the dirty cone: a fragment's
+    /// `Sel` values are recomputed iff its parent was updated (the recorded
+    /// summary itself may be new), the parent's own `Sel` values changed, or
+    /// the summary mentions a `Qual` variable whose value changed.
+    fn reunify_selection(
+        &mut self,
+        dirty: &BTreeSet<FragmentId>,
+        qual_changed: &BTreeSet<FragmentId>,
+        initial: bool,
+        unify_ops: &mut u64,
+    ) -> (BTreeSet<FragmentId>, usize) {
+        let slen = self.query.svect_len();
+        let mut changed: BTreeSet<FragmentId> = BTreeSet::new();
+        let mut reunified = 0usize;
+        if initial {
+            for (i, &b) in self.root_init.iter().enumerate() {
+                self.assignment.set(PaxVar::Sel { fragment: FragmentId::ROOT, entry: i }, b);
+            }
+        }
+        for fragment in self.ft.top_down_order() {
+            if fragment == FragmentId::ROOT {
+                continue;
+            }
+            let parent = self.ft.parent(fragment).expect("non-root fragments have a parent");
+            let needs = initial
+                || dirty.contains(&parent)
+                || changed.contains(&parent)
+                || self.virtuals.get(&fragment).is_some_and(|vector| {
+                    vector.variables().iter().any(|var| match var {
+                        PaxVar::Qual { fragment: g, .. } => qual_changed.contains(g),
+                        _ => false,
+                    })
+                });
+            if !needs {
+                continue;
+            }
+            reunified += 1;
+            *unify_ops += slen as u64;
+            let values: Vec<bool> = match self.virtuals.get(&fragment) {
+                Some(vector) => {
+                    let resolved = vector.assign(&self.assignment);
+                    (0..slen)
+                        .map(|i| {
+                            if i < resolved.len() {
+                                resolved[i].as_const().unwrap_or(false)
+                            } else {
+                                false
+                            }
+                        })
+                        .collect()
+                }
+                None => vec![false; slen],
+            };
+            let mut fragment_changed = false;
+            for (i, value) in values.into_iter().enumerate() {
+                let var = PaxVar::Sel { fragment, entry: i };
+                if self.assignment.get(&var) != Some(value) {
+                    fragment_changed = true;
+                }
+                self.assignment.set(var, value);
+            }
+            if fragment_changed {
+                changed.insert(fragment);
+            }
+        }
+        (changed, reunified)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pax2;
+    use paxml_distsim::Placement;
+    use paxml_fragment::{strategy, FragmentedTree};
+    use paxml_xml::{NodeId, TreeBuilder, XmlTree};
+
+    fn clientele() -> XmlTree {
+        TreeBuilder::new("clientele")
+            .open("client")
+            .leaf("name", "Anna")
+            .leaf("country", "US")
+            .open("broker")
+            .leaf("name", "E*trade")
+            .open("market")
+            .leaf("name", "NASDAQ")
+            .open("stock")
+            .leaf("code", "GOOG")
+            .leaf("buy", "$374")
+            .leaf("qt", "40")
+            .close()
+            .close()
+            .close()
+            .close()
+            .open("client")
+            .leaf("name", "Lisa")
+            .leaf("country", "Canada")
+            .open("broker")
+            .leaf("name", "CIBC")
+            .open("market")
+            .leaf("name", "TSE")
+            .open("stock")
+            .leaf("code", "GOOG")
+            .leaf("buy", "$382")
+            .leaf("qt", "90")
+            .close()
+            .close()
+            .close()
+            .close()
+            .build()
+    }
+
+    /// From-scratch PaX2 over a *mirror* of the (updated) fragments.
+    fn from_scratch(
+        mirror: &FragmentedTree,
+        query: &str,
+        options: &EvalOptions,
+        sites: usize,
+    ) -> Vec<AnswerItem> {
+        let mut d = Deployment::new(mirror, sites, Placement::RoundRobin).sequential();
+        pax2::evaluate(&mut d, query, options).unwrap().answers
+    }
+
+    /// Apply the same ops to the test's mirror fragments.
+    fn mirror_apply(mirror: &mut FragmentedTree, updates: &[(FragmentId, UpdateOp)]) {
+        for (fragment, op) in updates {
+            paxml_fragment::apply_update(&mut mirror.fragments[fragment.index()], op).unwrap();
+        }
+    }
+
+    fn text_node_of(tree: &XmlTree, label: &str) -> NodeId {
+        let e = tree.find_first(label).unwrap();
+        tree.children(e).next().unwrap()
+    }
+
+    #[test]
+    fn initial_evaluation_matches_pax2() {
+        let tree = clientele();
+        let fragmented = strategy::cut_at_labels(&tree, &["broker", "market"]).unwrap();
+        for use_annotations in [false, true] {
+            let options = EvalOptions { use_annotations };
+            for query in [
+                "client/name",
+                "client[country/text()='US']/broker/name",
+                "//stock[qt >= 50]/code",
+                "//broker[//stock/code/text()='GOOG']/name",
+                "nonexistent/path",
+            ] {
+                let d = Deployment::new(&fragmented, 4, Placement::RoundRobin).sequential();
+                let engine = IncrementalEngine::new(d, query, &options).unwrap();
+                let expected = from_scratch(&fragmented, query, &options, 4);
+                assert_eq!(
+                    engine.answers(),
+                    &expected[..],
+                    "initial answers differ on {query} (XA={use_annotations})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn update_in_a_clean_fragment_flips_answers_elsewhere_without_visiting_them() {
+        // Query: US clients' broker names. The broker fragments hold the
+        // answers; the client data (country) lives in the root fragment.
+        // Editing Lisa's country flips the qualifier, so the *clean* broker
+        // fragment's candidate resolves differently — with zero visits to
+        // its site.
+        let tree = clientele();
+        let fragmented = strategy::cut_at_labels(&tree, &["broker"]).unwrap();
+        let mut mirror = fragmented.clone();
+        let query = "client[country/text()='US']/broker/name";
+        let d = Deployment::new(&fragmented, 3, Placement::RoundRobin).sequential();
+        let mut engine = IncrementalEngine::new(d, query, &EvalOptions::default()).unwrap();
+        assert_eq!(engine.answer_texts(), vec!["E*trade".to_string()]);
+
+        // Lisa's country text node lives in the root fragment (F0).
+        let root_tree = &mirror.fragments[0].tree;
+        let countries = root_tree.find_all("country");
+        let lisa_country = root_tree.children(countries[1]).next().unwrap();
+        let updates =
+            vec![(FragmentId(0), UpdateOp::EditText { node: lisa_country, text: "US".into() })];
+        mirror_apply(&mut mirror, &updates);
+        let report = engine.apply_updates(&updates).unwrap();
+
+        assert_eq!(engine.answers(), &from_scratch(&mirror, query, &EvalOptions::default(), 3)[..]);
+        assert_eq!(engine.answer_texts(), vec!["E*trade".to_string(), "CIBC".to_string()]);
+        assert_eq!(report.dirty_fragments.len(), 1);
+        assert_eq!(report.clean_site_visits(), 0, "clean sites must not be visited");
+        assert_eq!(report.max_visits_per_dirty_site(), 1);
+        // CIBC's fragment was *not* recomputed — its cached candidate was
+        // re-resolved at the coordinator.
+        assert_eq!(report.recomputed_fragments, 1);
+    }
+
+    #[test]
+    fn inserts_and_deletes_change_answers_incrementally() {
+        let tree = clientele();
+        let fragmented = strategy::cut_at_labels(&tree, &["broker"]).unwrap();
+        let mut mirror = fragmented.clone();
+        let query = "client/broker/name";
+        let d = Deployment::new(&fragmented, 3, Placement::RoundRobin).sequential();
+        let mut engine = IncrementalEngine::new(d, query, &EvalOptions::default()).unwrap();
+        assert_eq!(engine.answer_texts(), vec!["E*trade".to_string(), "CIBC".to_string()]);
+
+        // Insert a second name under Anna's broker (F1), delete CIBC's (F2).
+        let f1_root = mirror.fragments[1].tree.root();
+        let f2_name = mirror.fragments[2].tree.find_first("name").unwrap();
+        let subtree = TreeBuilder::new("name").with(|t, r| {
+            t.append_text(r, "E*trade Pro");
+        });
+        let updates = vec![
+            (
+                FragmentId(1),
+                UpdateOp::InsertSubtree {
+                    parent: f1_root,
+                    subtree: subtree.build(),
+                    origin_base: 1000,
+                },
+            ),
+            (FragmentId(2), UpdateOp::DeleteSubtree { node: f2_name }),
+        ];
+        mirror_apply(&mut mirror, &updates);
+        let report = engine.apply_updates(&updates).unwrap();
+
+        let expected = from_scratch(&mirror, query, &EvalOptions::default(), 3);
+        assert_eq!(engine.answers(), &expected[..]);
+        let texts = engine.answer_texts();
+        assert!(texts.contains(&"E*trade Pro".to_string()));
+        assert!(!texts.contains(&"CIBC".to_string()));
+        assert_eq!(report.clean_site_visits(), 0);
+        assert_eq!(report.applied_ops, 2);
+        assert!(report.rejected.is_empty());
+    }
+
+    #[test]
+    fn annotation_pruned_fragments_still_receive_their_updates() {
+        // With XA, `client/name` prunes the broker fragments; an update
+        // there must still be applied (the data changes) even though no
+        // vectors are recomputed — and a later engine over the same
+        // deployment sees the new data.
+        let tree = clientele();
+        let fragmented = strategy::cut_at_labels(&tree, &["broker"]).unwrap();
+        let mut mirror = fragmented.clone();
+        let query = "client/name";
+        let d = Deployment::new(&fragmented, 3, Placement::RoundRobin).sequential();
+        let mut engine =
+            IncrementalEngine::new(d, query, &EvalOptions::with_annotations()).unwrap();
+        assert_eq!(engine.answer_texts(), vec!["Anna".to_string(), "Lisa".to_string()]);
+
+        let f1_name = text_node_of(&mirror.fragments[1].tree, "name");
+        let updates =
+            vec![(FragmentId(1), UpdateOp::EditText { node: f1_name, text: "Fidelity".into() })];
+        mirror_apply(&mut mirror, &updates);
+        let report = engine.apply_updates(&updates).unwrap();
+        assert_eq!(report.recomputed_fragments, 0, "pruned fragments need no recompute");
+        assert_eq!(report.applied_ops, 1);
+        // The engine's own answers are unaffected...
+        assert_eq!(engine.answer_texts(), vec!["Anna".to_string(), "Lisa".to_string()]);
+        // ...but the deployment's data did change: a fresh broker query over
+        // the same (updated) deployment sees the edit.
+        let d2 = Deployment::new(&mirror, 3, Placement::RoundRobin).sequential();
+        let e2 = IncrementalEngine::new(d2, "client/broker/name", &EvalOptions::default()).unwrap();
+        assert!(e2.answer_texts().contains(&"Fidelity".to_string()));
+    }
+
+    #[test]
+    fn rejected_ops_are_reported_and_leave_state_consistent() {
+        let tree = clientele();
+        let fragmented = strategy::cut_at_labels(&tree, &["broker"]).unwrap();
+        let query = "client/broker/name";
+        let d = Deployment::new(&fragmented, 3, Placement::RoundRobin).sequential();
+        let mut engine = IncrementalEngine::new(d, query, &EvalOptions::default()).unwrap();
+        let before = engine.answers().to_vec();
+
+        // Deleting a fragment root is invalid; the op is rejected site-side.
+        let f1_root = fragmented.fragments[1].tree.root();
+        let report = engine
+            .apply_updates(&[(FragmentId(1), UpdateOp::DeleteSubtree { node: f1_root })])
+            .unwrap();
+        assert_eq!(report.applied_ops, 0);
+        assert!(report.rejected.contains_key(&FragmentId(1)));
+        assert_eq!(engine.answers(), &before[..], "rejected ops must not change answers");
+
+        // Unknown fragments are an error before any visit happens.
+        let visits_before: u32 =
+            engine.deployment().cluster.stats.sites.values().map(|s| s.visits).sum();
+        assert!(engine
+            .apply_updates(&[(FragmentId(99), UpdateOp::DeleteSubtree { node: f1_root })])
+            .is_err());
+        let visits_after: u32 =
+            engine.deployment().cluster.stats.sites.values().map(|s| s.visits).sum();
+        assert_eq!(visits_before, visits_after);
+    }
+
+    #[test]
+    fn empty_update_batch_is_a_visit_free_no_op() {
+        let tree = clientele();
+        let fragmented = strategy::cut_at_labels(&tree, &["broker"]).unwrap();
+        let d = Deployment::new(&fragmented, 3, Placement::RoundRobin).sequential();
+        let mut engine =
+            IncrementalEngine::new(d, "client/broker/name", &EvalOptions::default()).unwrap();
+        let before = engine.answers().to_vec();
+        let report = engine.apply_updates(&[]).unwrap();
+        assert!(report.dirty_fragments.is_empty());
+        assert!(report.visits.is_empty());
+        assert_eq!(report.network_bytes, 0);
+        assert_eq!(engine.answers(), &before[..]);
+    }
+
+    #[test]
+    fn dirty_cone_reunification_stays_local() {
+        // A long chain of fragments: an update at one end must not re-unify
+        // the whole tree for a qualifier-free query (only the dirty
+        // fragment's own subtree cone).
+        let mut builder = TreeBuilder::new("r");
+        for i in 0..8 {
+            builder = builder.open("c").leaf("v", format!("{i}"));
+        }
+        for _ in 0..8 {
+            builder = builder.close();
+        }
+        let tree = builder.build();
+        let fragmented = strategy::cut_at_labels(&tree, &["c"]).unwrap();
+        assert_eq!(fragmented.fragment_count(), 9);
+        let d = Deployment::new(&fragmented, 4, Placement::RoundRobin).sequential();
+        let mut engine = IncrementalEngine::new(d, "//v", &EvalOptions::default()).unwrap();
+        assert_eq!(engine.answers().len(), 8);
+
+        // Edit the deepest fragment's text: its subtree cone is just itself.
+        let deepest = FragmentId(8);
+        let v_text = text_node_of(&fragmented.fragments[8].tree, "v");
+        let report = engine
+            .apply_updates(&[(deepest, UpdateOp::EditText { node: v_text, text: "edited".into() })])
+            .unwrap();
+        assert_eq!(engine.answers().len(), 8);
+        assert!(engine.answer_texts().contains(&"edited".to_string()));
+        assert!(
+            report.reunified_fragments <= 2,
+            "a leaf update must re-unify only its cone, got {}",
+            report.reunified_fragments
+        );
+        assert_eq!(report.clean_site_visits(), 0);
+    }
+
+    #[test]
+    fn report_summary_mentions_the_cone() {
+        let tree = clientele();
+        let fragmented = strategy::cut_at_labels(&tree, &["broker"]).unwrap();
+        let d = Deployment::new(&fragmented, 3, Placement::RoundRobin).sequential();
+        let mut engine =
+            IncrementalEngine::new(d, "client/broker/name", &EvalOptions::default()).unwrap();
+        let f1_name = text_node_of(&fragmented.fragments[1].tree, "name");
+        let report = engine
+            .apply_updates(&[(
+                FragmentId(1),
+                UpdateOp::EditText { node: f1_name, text: "X".into() },
+            )])
+            .unwrap();
+        let s = report.summary();
+        assert!(s.contains("1 dirty fragments"));
+        assert!(s.contains("bytes"));
+        assert_eq!(engine.query_text(), "client/broker/name");
+    }
+}

@@ -8,6 +8,7 @@
 //! | [`pax3`] | §3 | The three-stage partial-evaluation algorithm (≤ 3 visits/site). |
 //! | [`pax2`] | §4 | The two-stage algorithm (≤ 2 visits/site). |
 //! | [`batch`] | §4 (extended) | Batched multi-query PaX2: N queries share site visits, ≤ 2 visits/site for the whole batch. |
+//! | [`incremental`] | beyond the paper | Re-evaluation under fragment updates: cached per-fragment vectors, dirty-cone `evalFT`, zero visits to clean sites. |
 //! | [`prune`] | §5 | The XPath-annotation optimization (fragment pruning + exact stack initialization). |
 //! | [`naive`] | §3 | The NaiveCentralized ship-everything baseline. |
 //! | [`protocol`] / [`unify`] | §3.1–3.3 | The coordinator↔site messages, the per-site tasks, and the `evalFT` unification procedures. |
@@ -40,10 +41,11 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod batch;
 mod deployment;
+pub mod incremental;
 pub mod naive;
 pub mod pax2;
 pub mod pax3;
@@ -55,6 +57,7 @@ mod vars;
 
 pub use batch::BatchReport;
 pub use deployment::Deployment;
+pub use incremental::{IncrementalEngine, IncrementalReport};
 pub use report::{answer_item, Algorithm, AnswerItem, EvaluationReport};
 pub use vars::{PaxVar, QualVecKind};
 

@@ -3,16 +3,68 @@
 //! Every request/response type here derives `Serialize` so the simulator can
 //! charge its exact byte size to the network. The site-side task functions
 //! operate on a [`SiteLocal`]'s fragments and scratch state; they are shared
-//! between PaX3 and PaX2.
+//! between PaX3 and PaX2. The algorithms in [`crate::pax2`]/[`crate::pax3`]
+//! drive them through [`paxml_distsim::Cluster::round`]; they can also be
+//! exercised directly against a hand-built site:
+//!
+//! ```
+//! use paxml_core::protocol::{combined_task, CombinedFragmentInput, CombinedRequest, InitVector};
+//! use paxml_distsim::{SiteId, SiteLocal};
+//! use paxml_fragment::{fragment_at, FragmentId};
+//! use paxml_xml::TreeBuilder;
+//! use paxml_xpath::compile_text;
+//! use std::collections::BTreeMap;
+//!
+//! // One site holding both fragments of a tiny clientele document.
+//! let tree = TreeBuilder::new("clientele")
+//!     .open("client").leaf("country", "US")
+//!         .open("broker").leaf("name", "E*trade").close()
+//!     .close()
+//!     .build();
+//! let broker = tree.find_first("broker").unwrap();
+//! let fragmented = fragment_at(&tree, &[broker]).unwrap();
+//! let mut site = SiteLocal::new(SiteId(0));
+//! for fragment in fragmented.fragments.clone() {
+//!     site.add_fragment(fragment);
+//! }
+//!
+//! // PaX2's first visit: the combined pre/post-order pass over each
+//! // fragment, starting the broker fragment from an unknown ancestor
+//! // summary (fresh `Sel` variables).
+//! let query = compile_text("client/broker/name").unwrap();
+//! let mut fragments = BTreeMap::new();
+//! for (id, init) in [
+//!     (FragmentId(0), InitVector::Exact(vec![false; query.svect_len()])),
+//!     (FragmentId(1), InitVector::Unknown),
+//! ] {
+//!     fragments.insert(id, CombinedFragmentInput {
+//!         root_is_context: id == FragmentId::ROOT,
+//!         collect_answers_now: false,
+//!         init,
+//!     });
+//! }
+//! let response = combined_task(&mut site, CombinedRequest { query, fragments });
+//!
+//! // Both fragments report root vectors; the root fragment records an
+//! // ancestor summary for its virtual node standing in for F1.
+//! assert_eq!(response.roots.len(), 2);
+//! assert!(response.virtuals.contains_key(&FragmentId(1)));
+//! // No PaX2-local placeholder may ever cross the wire.
+//! for vector in response.virtuals.values() {
+//!     assert!(vector.variables().iter().all(|v| !v.is_local()));
+//! }
+//! ```
 
 use crate::report::{answer_item, AnswerItem};
 use crate::unify::{assignment_from_pairs, fresh_qual_vectors, fresh_selection_vector};
 use crate::vars::PaxVar;
 use paxml_boolex::{BoolExpr, FormulaVector};
 use paxml_distsim::SiteLocal;
-use paxml_fragment::{Fragment, FragmentId};
+use paxml_fragment::{Fragment, FragmentId, UpdateOp};
 use paxml_xml::NodeId;
-use paxml_xpath::eval::{combined_pass, qualifier_pass, selection_pass, QualVectors};
+use paxml_xpath::eval::{
+    combined_pass, qualifier_pass, selection_pass, CombinedPassOutput, QualVectors,
+};
 use paxml_xpath::{CompiledQuery, QEntryId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -250,12 +302,63 @@ pub struct CombinedResponse {
     pub answers: Vec<AnswerItem>,
 }
 
-/// Run PaX2's combined pre/post-order pass for one query over one fragment
-/// (already taken out of the site's map), depositing the root vectors,
-/// virtual-node summaries and answers into the caller's accumulators and the
-/// candidate sets into the site's scratch under the given query `slot`.
-/// Shared between the single-query [`combined_task`] and the batched
-/// [`batch_combined_task`].
+/// The sub-fragment a virtual node of `fragment` stands for.
+fn virtual_child(fragment: &Fragment, vnode: NodeId) -> FragmentId {
+    fragment
+        .tree
+        .kind(vnode)
+        .virtual_fragment()
+        .map(FragmentId)
+        .expect("virtual nodes carry their fragment id")
+}
+
+/// Run PaX2's fused pre/post-order pass for one query over one fragment
+/// (already taken out of the site's map), charge its operations, and
+/// deposit the root vectors and virtual-node summaries into the caller's
+/// accumulators. The raw pass output (sure answers + candidate formulas) is
+/// returned for the caller to route — into site scratch for the two-visit
+/// protocol, or over the wire for the incremental one. This is the single
+/// place the pass is configured (virtual-node vectors, `PaxVar::Local`
+/// naming), shared by every combined-stage task.
+fn fused_pass_on_fragment(
+    site: &mut SiteLocal,
+    fragment: &Fragment,
+    query: &CompiledQuery,
+    init: &InitVector,
+    root_is_context: bool,
+    roots: &mut BTreeMap<FragmentId, QualVectors<PaxVar>>,
+    virtuals: &mut BTreeMap<FragmentId, FormulaVector<PaxVar>>,
+) -> CombinedPassOutput<PaxVar> {
+    let fid = fragment.id;
+    let qlen = query.qvect_len();
+    let init = build_init(fid, init, query.svect_len());
+    let context = if root_is_context { Some(fragment.tree.root()) } else { None };
+    let mut out = combined_pass::<PaxVar>(
+        &fragment.tree,
+        fragment.tree.root(),
+        query,
+        init,
+        context,
+        |vnode| fresh_qual_vectors(virtual_child(fragment, vnode), qlen),
+        |node, entry| PaxVar::Local {
+            fragment: fid,
+            node: node.index() as u32,
+            entry: entry as u32,
+        },
+    );
+    site.charge_ops(out.ops);
+    roots.insert(fid, out.root.clone());
+    for (vnode, vector) in std::mem::take(&mut out.virtual_vectors) {
+        virtuals.insert(virtual_child(fragment, vnode), vector);
+    }
+    out
+}
+
+/// [`fused_pass_on_fragment`] with the answer routing of the two-visit
+/// protocol: certain answers are either returned immediately or parked —
+/// with the candidate sets — in the site's scratch under the query `slot`
+/// for the collection visit. Shared between the single-query
+/// [`combined_task`] and the batched [`batch_combined_task`].
 #[allow(clippy::too_many_arguments)]
 fn combined_pass_on_fragment(
     site: &mut SiteLocal,
@@ -268,42 +371,15 @@ fn combined_pass_on_fragment(
     answers: &mut Vec<AnswerItem>,
 ) {
     let fid = fragment.id;
-    let qlen = query.qvect_len();
-    let init = build_init(fid, &input.init, query.svect_len());
-    let context = if input.root_is_context { Some(fragment.tree.root()) } else { None };
-    let out = combined_pass::<PaxVar>(
-        &fragment.tree,
-        fragment.tree.root(),
+    let out = fused_pass_on_fragment(
+        site,
+        fragment,
         query,
-        init,
-        context,
-        |vnode| {
-            let child = fragment
-                .tree
-                .kind(vnode)
-                .virtual_fragment()
-                .map(FragmentId)
-                .expect("virtual nodes carry their fragment id");
-            fresh_qual_vectors(child, qlen)
-        },
-        |node, entry| PaxVar::Local {
-            fragment: fid,
-            node: node.index() as u32,
-            entry: entry as u32,
-        },
+        &input.init,
+        input.root_is_context,
+        roots,
+        virtuals,
     );
-    site.charge_ops(out.ops);
-
-    roots.insert(fid, out.root.clone());
-    for (vnode, vector) in out.virtual_vectors {
-        let child = fragment
-            .tree
-            .kind(vnode)
-            .virtual_fragment()
-            .map(FragmentId)
-            .expect("virtual nodes carry their fragment id");
-        virtuals.insert(child, vector);
-    }
 
     if input.collect_answers_now {
         debug_assert!(out.candidates.is_empty());
@@ -562,6 +638,164 @@ pub fn batch_collect_task(
     BatchCollectResponse { per_query }
 }
 
+// ---------------------------------------------------------------------------
+// Incremental evaluation: the update round.
+// ---------------------------------------------------------------------------
+
+/// Per-fragment payload of an update round: the ops to apply, plus how to
+/// re-run the combined pass afterwards. `recompute` is false for fragments
+/// the annotation optimization proved irrelevant — their data still changes,
+/// but no vectors need recomputing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FragmentUpdate {
+    /// The update operations, applied in order.
+    pub ops: Vec<UpdateOp>,
+    /// How to initialise the ancestor summary of the re-evaluation pass.
+    pub init: InitVector,
+    /// Is this fragment's root the evaluation context?
+    pub root_is_context: bool,
+    /// Re-run the combined pass and return fresh vectors/answers?
+    pub recompute: bool,
+}
+
+/// Request of the incremental update round (`MsgUpdate`): the coordinator
+/// ships each *dirty* site the update ops for its fragments together with
+/// the compiled query, so applying the updates and recomputing the dirty
+/// fragments' vectors costs a **single visit** — clean sites receive
+/// nothing at all.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MsgUpdate {
+    /// The compiled query the cached vectors belong to.
+    pub query: CompiledQuery,
+    /// Updates + recompute instructions per fragment at the target site.
+    pub fragments: BTreeMap<FragmentId, FragmentUpdate>,
+}
+
+/// The recomputed residual vectors of an update round (`MsgDeltaVect`):
+/// exactly what the combined pass of PaX2 would have produced for the dirty
+/// fragments, and nothing for clean ones.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MsgDeltaVect {
+    /// Root `QV`/`QDV` vectors per recomputed fragment.
+    pub roots: BTreeMap<FragmentId, QualVectors<PaxVar>>,
+    /// Ancestor summaries recorded at the recomputed fragments' virtual
+    /// nodes, keyed by the sub-fragment they stand for.
+    pub virtuals: BTreeMap<FragmentId, FormulaVector<PaxVar>>,
+}
+
+/// A candidate answer shipped to the coordinator's incremental cache: the
+/// answer node (already resolved to an [`AnswerItem`]) plus the residual
+/// formula deciding whether it is a real answer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CandidateAnswer {
+    /// The would-be answer node.
+    pub item: AnswerItem,
+    /// Its residual selection formula (over the fragment's `Sel` variables
+    /// and the `Qual` variables of its sub-fragments).
+    pub formula: BoolExpr<PaxVar>,
+}
+
+/// The per-fragment answer state of an update round (`MsgDeltaAnswer`).
+/// Unlike the from-scratch protocol — where candidate formulas stay
+/// site-side and a second visit resolves them — the incremental protocol
+/// ships them to the coordinator's cache, so a later update to a *different*
+/// fragment can flip this fragment's answers without any visit here.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MsgDeltaAnswer {
+    /// Unconditional answers per recomputed fragment.
+    pub sure: BTreeMap<FragmentId, Vec<AnswerItem>>,
+    /// Conditional answers (with residual formulas) per recomputed fragment.
+    pub candidates: BTreeMap<FragmentId, Vec<CandidateAnswer>>,
+}
+
+/// Response of the update round: the recomputed vectors, the recomputed
+/// answer state, and any rejected updates.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MsgDelta {
+    /// Recomputed residual vectors.
+    pub vect: MsgDeltaVect,
+    /// Recomputed answer state.
+    pub answer: MsgDeltaAnswer,
+    /// Update ops applied successfully, per fragment.
+    pub applied: BTreeMap<FragmentId, usize>,
+    /// Fragments whose op sequence was rejected (with the reason); their
+    /// remaining ops were skipped but their vectors were still recomputed.
+    pub rejected: BTreeMap<FragmentId, String>,
+}
+
+/// [`fused_pass_on_fragment`] with the answer routing of the incremental
+/// protocol: *everything* the coordinator's cache needs — root vectors,
+/// virtual-node summaries, sure answers, and candidate answers with their
+/// formulas — goes into the response.
+fn snapshot_fragment(
+    site: &mut SiteLocal,
+    fragment: &Fragment,
+    query: &CompiledQuery,
+    init: &InitVector,
+    root_is_context: bool,
+    delta: &mut MsgDelta,
+) {
+    let fid = fragment.id;
+    let out = fused_pass_on_fragment(
+        site,
+        fragment,
+        query,
+        init,
+        root_is_context,
+        &mut delta.vect.roots,
+        &mut delta.vect.virtuals,
+    );
+    let sure: Vec<AnswerItem> = out
+        .answers
+        .iter()
+        .map(|&node| answer_item(fid, &fragment.tree, node, fragment.origin_of(node)))
+        .collect();
+    let candidates: Vec<CandidateAnswer> = out
+        .candidates
+        .into_iter()
+        .map(|(node, formula)| CandidateAnswer {
+            item: answer_item(fid, &fragment.tree, node, fragment.origin_of(node)),
+            formula,
+        })
+        .collect();
+    delta.answer.sure.insert(fid, sure);
+    delta.answer.candidates.insert(fid, candidates);
+}
+
+/// Site-side task of the incremental update round: apply each fragment's
+/// ops, then re-run the combined pass over the fragments marked for
+/// recomputation — one visit does both.
+pub fn update_task(site: &mut SiteLocal, request: MsgUpdate) -> MsgDelta {
+    let mut delta = MsgDelta::default();
+    for (fragment_id, fu) in &request.fragments {
+        let Some(mut fragment) = site.fragments.remove(fragment_id) else { continue };
+        let mut applied = 0;
+        for op in &fu.ops {
+            match paxml_fragment::apply_update(&mut fragment, op) {
+                Ok(_) => applied += 1,
+                Err(e) => {
+                    delta.rejected.insert(*fragment_id, e.to_string());
+                    break;
+                }
+            }
+            site.charge_ops(1);
+        }
+        delta.applied.insert(*fragment_id, applied);
+        if fu.recompute {
+            snapshot_fragment(
+                site,
+                &fragment,
+                &request.query,
+                &fu.init,
+                fu.root_is_context,
+                &mut delta,
+            );
+        }
+        site.add_fragment(fragment);
+    }
+    delta
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -658,6 +892,63 @@ mod tests {
         let collected = collect_task(&mut site, CollectRequest { fragments: values });
         assert_eq!(collected.answers.len(), 1);
         assert_eq!(collected.answers[0].label, "name");
+    }
+
+    #[test]
+    fn update_task_applies_ops_and_returns_fresh_state() {
+        let (_, fragmented) = small_fragmented();
+        let mut site = one_site_with(fragmented.fragments.clone());
+        let query = compile_text("client/broker/name").unwrap();
+        // Edit the broker's name (F1) and re-snapshot it in the same visit.
+        let f1 = &fragmented.fragments[1];
+        let name = f1.tree.find_first("name").unwrap();
+        let text = f1.tree.children(name).next().unwrap();
+        let mut fragments = BTreeMap::new();
+        fragments.insert(
+            FragmentId(1),
+            FragmentUpdate {
+                ops: vec![UpdateOp::EditText { node: text, text: "Bache".into() }],
+                init: InitVector::Unknown,
+                root_is_context: false,
+                recompute: true,
+            },
+        );
+        let delta = update_task(&mut site, MsgUpdate { query, fragments });
+        assert_eq!(delta.applied[&FragmentId(1)], 1);
+        assert!(delta.rejected.is_empty());
+        assert!(delta.vect.roots.contains_key(&FragmentId(1)));
+        // The unknown-init pass yields the name node as a candidate carrying
+        // the *edited* text and a residual formula over F1's Sel variables.
+        let candidates = &delta.answer.candidates[&FragmentId(1)];
+        assert_eq!(candidates.len(), 1);
+        assert_eq!(candidates[0].item.text, Some("Bache".to_string()));
+        assert!(candidates[0].formula.has_variables());
+        assert!(candidates[0].formula.variables().iter().all(|v| !v.is_local()));
+        // The site's stored fragment really changed.
+        assert_eq!(site.fragments[&FragmentId(1)].tree.text_of(name), Some("Bache".to_string()));
+    }
+
+    #[test]
+    fn update_task_rejects_invalid_ops_but_still_recomputes() {
+        let (_, fragmented) = small_fragmented();
+        let mut site = one_site_with(fragmented.fragments.clone());
+        let query = compile_text("client/broker/name").unwrap();
+        let root = fragmented.fragments[1].tree.root();
+        let mut fragments = BTreeMap::new();
+        fragments.insert(
+            FragmentId(1),
+            FragmentUpdate {
+                ops: vec![UpdateOp::DeleteSubtree { node: root }],
+                init: InitVector::Unknown,
+                root_is_context: false,
+                recompute: true,
+            },
+        );
+        let delta = update_task(&mut site, MsgUpdate { query, fragments });
+        assert_eq!(delta.applied[&FragmentId(1)], 0);
+        assert!(delta.rejected[&FragmentId(1)].contains("root"));
+        // Vectors are refreshed regardless, so coordinator caches stay valid.
+        assert!(delta.vect.roots.contains_key(&FragmentId(1)));
     }
 
     #[test]

@@ -285,6 +285,82 @@ mod tests {
     }
 
     #[test]
+    fn qualifier_free_queries_get_exact_init_vectors_for_every_relevant_fragment() {
+        // Without qualifiers the chain vectors are exact, so *every* relevant
+        // fragment must come with a concrete init vector and the final
+        // answer-collection stage is skippable — one visit per site.
+        let ft = fig6();
+        for query_text in ["client/name", "client/broker/name", "//name", "*/*/name"] {
+            let q = compile_text(query_text).unwrap();
+            let a = analyze(&q, &ft, "clientele");
+            assert!(a.can_skip_final_stage, "{query_text} has no qualifiers");
+            for f in &a.relevant {
+                if *f == FragmentId::ROOT {
+                    continue;
+                }
+                let init = a.exact_init.get(f).unwrap_or_else(|| {
+                    panic!("{query_text}: relevant fragment {f} lacks an exact init vector")
+                });
+                assert_eq!(init.len(), q.svect_len());
+            }
+            // Pruned fragments never get an init vector.
+            for f in ft.ids() {
+                if !a.relevant.contains(f) {
+                    assert!(!a.exact_init.contains_key(f));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn everything_pruned_yields_an_empty_deployment_answer() {
+        // A query whose first step matches nothing prunes every non-root
+        // fragment — and the end-to-end evaluation over a real deployment
+        // returns the empty answer after touching only the root fragment.
+        use crate::{pax2, pax3, Deployment, EvalOptions};
+        use paxml_distsim::Placement;
+        use paxml_fragment::fragment_at;
+        use paxml_xml::TreeBuilder;
+
+        let tree = TreeBuilder::new("clientele")
+            .open("client")
+            .leaf("country", "US")
+            .open("broker")
+            .leaf("name", "E*trade")
+            .close()
+            .close()
+            .build();
+        let broker = tree.find_first("broker").unwrap();
+        let client = tree.find_first("client").unwrap();
+        let fragmented = fragment_at(&tree, &[client, broker]).unwrap();
+
+        for query in ["/portfolio/client/name", "zzz/name"] {
+            let q = compile_text(query).unwrap();
+            let a = analyze(&q, &fragmented.fragment_tree, "clientele");
+            assert_eq!(a.relevant.len(), 1, "{query} must prune every non-root fragment");
+            assert!(a.relevant.contains(&FragmentId::ROOT));
+
+            let mut d = Deployment::new(&fragmented, 3, Placement::RoundRobin);
+            let p2 = pax2::evaluate(&mut d, query, &EvalOptions::with_annotations()).unwrap();
+            assert!(p2.answers.is_empty(), "{query} must have no answers");
+            assert_eq!(p2.fragments_evaluated, 1);
+            let mut d = Deployment::new(&fragmented, 3, Placement::RoundRobin);
+            let p3 = pax3::evaluate(&mut d, query, &EvalOptions::with_annotations()).unwrap();
+            assert!(p3.answers.is_empty());
+            // Only the root fragment's site is ever visited.
+            let visited: Vec<_> = d
+                .cluster
+                .stats
+                .sites
+                .iter()
+                .filter(|(_, s)| s.visits > 0)
+                .map(|(site, _)| *site)
+                .collect();
+            assert_eq!(visited, vec![d.cluster.site_of(FragmentId::ROOT)]);
+        }
+    }
+
+    #[test]
     fn keep_all_is_the_na_baseline() {
         let ft = fig6();
         let a = AnnotationAnalysis::keep_all(&ft);

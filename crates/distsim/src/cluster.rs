@@ -20,6 +20,30 @@
 //!   configurable per-round network latency), modelling the parallel
 //!   computation cost of §3.4; per-site busy time accumulates into the total
 //!   computation cost.
+//!
+//! ```
+//! use paxml_distsim::{Cluster, Placement};
+//! use paxml_fragment::strategy::cut_children_of_root;
+//! use paxml_xml::TreeBuilder;
+//!
+//! let tree = TreeBuilder::new("sites")
+//!     .open("site").leaf("person", "p1").close()
+//!     .open("site").leaf("person", "p2").close()
+//!     .open("site").leaf("person", "p3").close()
+//!     .build();
+//! let fragmented = cut_children_of_root(&tree).unwrap();
+//! let mut cluster = Cluster::new(&fragmented, 2, Placement::RoundRobin);
+//!
+//! // One round: ask every occupied site how many nodes it stores. Each
+//! // site runs the task on its own worker thread; the cluster accounts one
+//! // visit per site and the exact request/response bytes.
+//! let responses = cluster.broadcast((), |site, ()| site.cumulative_size() as u64);
+//! let total: u64 = responses.values().sum();
+//! assert_eq!(total as usize, fragmented.total_real_nodes());
+//! assert_eq!(cluster.stats.rounds, 1);
+//! assert_eq!(cluster.stats.max_visits_per_site(), 1);
+//! assert!(cluster.stats.total_bytes() > 0);
+//! ```
 
 use crate::bytecount::encoded_size;
 use crate::site::{SiteId, SiteLocal};
@@ -533,6 +557,47 @@ mod tests {
         let responses = cluster.broadcast(0u8, |site, _| format!("site {}", site.id.index()));
         assert_eq!(responses.len(), 3);
         assert_eq!(responses[&SiteId(1)], "site 1");
+    }
+
+    #[test]
+    fn a_batch_round_panic_is_reraised_exactly_once_and_does_not_poison_later_rounds() {
+        // Regression test for the worker-pool panic path: even when *several*
+        // sites panic in the same (batch-style) round, the coordinator
+        // re-raises exactly one panic, the site mutexes stay usable, and the
+        // pool serves subsequent rounds with no stale outcomes.
+        let f = fragmented();
+        let mut cluster = Cluster::new(&f, 3, Placement::RoundRobin);
+
+        let mut observed_panics = 0;
+        for _ in 0..2 {
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                cluster.broadcast(0u8, |site, _| {
+                    if site.id != SiteId(0) {
+                        panic!("site {} blew up", site.id);
+                    }
+                    0u8
+                })
+            }));
+            if caught.is_err() {
+                observed_panics += 1;
+            }
+        }
+        // One panic per failing round — two sites panicking in one round must
+        // not surface as two unwinds, and no unwind may leak into the second
+        // catch block's round beyond its own.
+        assert_eq!(observed_panics, 2);
+
+        // The pool is intact: a healthy batch round over every site works,
+        // sees only its own responses, and the per-site scratch state is
+        // still writable (the mutexes were never poisoned).
+        let responses = cluster.broadcast(0u8, |site, _| {
+            site.put_scratch("ok", true);
+            site.id.index() as u64
+        });
+        assert_eq!(responses.len(), 3);
+        assert_eq!(responses[&SiteId(2)], 2);
+        let ok = cluster.broadcast(0u8, |site, _| *site.scratch::<bool>("ok").unwrap());
+        assert!(ok.values().all(|&b| b));
     }
 
     #[test]

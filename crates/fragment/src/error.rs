@@ -31,6 +31,12 @@ pub enum FragmentError {
         /// The offending fragment id.
         fragment: usize,
     },
+    /// An update operation was rejected (it addressed a missing node, the
+    /// fragment root, a virtual node, or an annotation-path node).
+    InvalidUpdate {
+        /// Human-readable description.
+        message: String,
+    },
     /// The fragmented tree is internally inconsistent (e.g. a virtual node
     /// references a fragment that does not exist) — only reachable by
     /// corrupting the structure by hand.
@@ -51,6 +57,9 @@ impl fmt::Display for FragmentError {
             }
             FragmentError::UnknownFragment { fragment } => {
                 write!(f, "unknown fragment F{fragment}")
+            }
+            FragmentError::InvalidUpdate { message } => {
+                write!(f, "invalid fragment update: {message}")
             }
             FragmentError::Inconsistent { message } => {
                 write!(f, "inconsistent fragmented tree: {message}")

@@ -35,7 +35,9 @@ mod error;
 mod fragmenter;
 mod model;
 pub mod strategy;
+pub mod update;
 
 pub use error::{FragmentError, FragmentResult};
 pub use fragmenter::{fragment_at, reassemble, reassemble_with_origin};
 pub use model::{Fragment, FragmentId, FragmentTree, FragmentedTree};
+pub use update::{apply_all, apply_update, UpdateOp};

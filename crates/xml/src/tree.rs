@@ -231,6 +231,52 @@ impl XmlTree {
         }
     }
 
+    /// Replace the label of an element node (a *relabel* update).
+    pub fn relabel(&mut self, id: NodeId, new_label: impl Into<String>) -> XmlResult<()> {
+        self.check(id)?;
+        match &mut self.node_mut(id).kind {
+            NodeKind::Element { label, .. } => {
+                *label = new_label.into();
+                Ok(())
+            }
+            _ => Err(XmlError::StructureViolation {
+                message: "only element nodes can be relabelled".into(),
+            }),
+        }
+    }
+
+    /// Replace the value of a text node (a *text edit* update).
+    pub fn set_text_value(&mut self, id: NodeId, new_value: impl Into<String>) -> XmlResult<()> {
+        self.check(id)?;
+        match &mut self.node_mut(id).kind {
+            NodeKind::Text { value } => {
+                *value = new_value.into();
+                Ok(())
+            }
+            _ => Err(XmlError::StructureViolation {
+                message: "only text nodes carry an editable value".into(),
+            }),
+        }
+    }
+
+    /// Is `id` reachable from the root? Detached subtrees stay in the arena
+    /// but are no longer part of the document.
+    pub fn is_reachable(&self, id: NodeId) -> bool {
+        if !self.contains(id) {
+            return false;
+        }
+        let mut current = id;
+        loop {
+            if current == self.root {
+                return true;
+            }
+            match self.parent(current) {
+                Some(p) => current = p,
+                None => return false,
+            }
+        }
+    }
+
     /// Detach the subtree rooted at `id` from its parent. The nodes stay in
     /// the arena but become unreachable from the root. Detaching the root is
     /// a structure violation.
@@ -687,6 +733,34 @@ mod tests {
         assert_eq!(old.label(), Some("c"));
         assert!(t.is_virtual(c));
         assert_eq!(t.virtual_nodes(), vec![c]);
+    }
+
+    #[test]
+    fn relabel_and_set_text_value_mutate_in_place() {
+        let mut t = sample();
+        let b = t.find_first("b").unwrap();
+        t.relabel(b, "renamed").unwrap();
+        assert_eq!(t.label(b), Some("renamed"));
+        let text = t.children(b).next().unwrap();
+        t.set_text_value(text, "edited").unwrap();
+        assert_eq!(t.text_of(b), Some("edited".to_string()));
+        // Wrong node kinds are rejected.
+        assert!(t.relabel(text, "nope").is_err());
+        assert!(t.set_text_value(b, "nope").is_err());
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn reachability_tracks_detachment() {
+        let mut t = sample();
+        let c = t.find_first("c").unwrap();
+        let d = t.find_first("d").unwrap();
+        assert!(t.is_reachable(t.root()));
+        assert!(t.is_reachable(d));
+        t.detach(c).unwrap();
+        assert!(!t.is_reachable(c));
+        assert!(!t.is_reachable(d), "nodes inside a detached subtree are unreachable");
+        assert!(!t.is_reachable(NodeId::from_index(999)));
     }
 
     #[test]

@@ -21,10 +21,10 @@
 //! | [`xml`] | `paxml-xml` | Arena XML tree, parser, serializer, builder. |
 //! | [`boolex`] | `paxml-boolex` | Residual Boolean formulas and environments. |
 //! | [`xpath`] | `paxml-xpath` | The XPath fragment X: parser, normal form, `SVect`/`QVect`, centralized evaluator. |
-//! | [`fragment`] | `paxml-fragment` | Fragmentation, fragment trees, XPath annotations. |
+//! | [`fragment`] | `paxml-fragment` | Fragmentation, fragment trees, XPath annotations, fragment updates. |
 //! | [`distsim`] | `paxml-distsim` | Simulated sites, traffic/visit accounting, parallel rounds. |
-//! | [`core`] | `paxml-core` | PaX3, PaX2, the annotation optimization, the naive baseline. |
-//! | [`xmark`] | `paxml-xmark` | XMark-like workload generator and the paper's running example. |
+//! | [`core`] | `paxml-core` | PaX3, PaX2, the batch and incremental engines, the annotation optimization, the naive baseline. |
+//! | [`xmark`] | `paxml-xmark` | XMark-like workload generator, the paper's running example, update workloads. |
 //!
 //! ## Quickstart
 //!
@@ -59,10 +59,11 @@ pub use paxml_xpath as xpath;
 /// The most commonly used items, for `use paxml::prelude::*`.
 pub mod prelude {
     pub use paxml_core::{
-        batch, naive, pax2, pax3, BatchReport, Deployment, EvalOptions, EvaluationReport,
+        batch, incremental, naive, pax2, pax3, BatchReport, Deployment, EvalOptions,
+        EvaluationReport, IncrementalEngine, IncrementalReport,
     };
     pub use paxml_distsim::Placement;
-    pub use paxml_fragment::{fragment_at, strategy, FragmentId, FragmentedTree};
+    pub use paxml_fragment::{fragment_at, strategy, FragmentId, FragmentedTree, UpdateOp};
     pub use paxml_xml::{parse as parse_xml, TreeBuilder, XmlTree};
     pub use paxml_xpath::{centralized, compile_text, parse as parse_query};
 }
