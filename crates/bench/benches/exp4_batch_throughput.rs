@@ -1,17 +1,19 @@
 //! Experiment 4 (new in this repository, beyond the paper): batch
 //! throughput — queries/second vs. batch size over one FT2 deployment.
 //!
-//! The baseline evaluates the batch one query at a time with `pax2::evaluate`
-//! (resetting the deployment between queries, as a query router without
-//! batching would); the contender hands the whole batch to
-//! `batch::evaluate`, which shares site visits so the entire batch costs at
-//! most two visits per site. Both series reuse one deployment, so the
-//! persistent per-site worker pool serves every round; what the bench
+//! The baseline evaluates the batch one query at a time with
+//! [`PaxServer::query_once`] (the classic un-amortized per-query protocol,
+//! as a query router without batching would); the contender hands the whole
+//! batch to [`PaxServer::execute_batch_text`], which shares site visits so
+//! the entire batch costs at most two visits per site. Both series reuse
+//! one server session, so the persistent per-site worker pool serves every
+//! round and every execution reports its own meters; what the bench
 //! isolates is the per-round coordination cost (`2N` rounds vs. `2`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use paxml_core::{batch, pax2, Deployment, EvalOptions};
+use paxml_core::{server::PaxServer, Algorithm};
 use paxml_distsim::Placement;
+use paxml_fragment::FragmentedTree;
 use paxml_xmark::{ft2, PAPER_QUERIES};
 use std::time::Duration;
 
@@ -40,6 +42,16 @@ fn workload(n: usize) -> Vec<String> {
         .collect()
 }
 
+fn pax2_server(fragmented: &FragmentedTree, sequential: bool) -> PaxServer {
+    PaxServer::builder()
+        .algorithm(Algorithm::PaX2)
+        .placement(Placement::RoundRobin)
+        .sites(SITES)
+        .sequential(sequential)
+        .deploy(fragmented)
+        .expect("valid configuration")
+}
+
 fn throughput_vs_batch_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("exp4_batch_throughput");
     group
@@ -52,19 +64,18 @@ fn throughput_vs_batch_size(c: &mut Criterion) {
         let queries = workload(size);
         group.throughput(Throughput::Elements(size as u64));
 
-        let mut deployment = Deployment::new(&fragmented, SITES, Placement::RoundRobin);
+        let mut server = pax2_server(&fragmented, false);
         group.bench_with_input(BenchmarkId::new("one-at-a-time", size), &queries, |b, queries| {
             b.iter(|| {
                 for query in queries {
-                    deployment.reset();
-                    pax2::evaluate(&mut deployment, query, &EvalOptions::default()).unwrap();
+                    server.query_once(query).unwrap();
                 }
             });
         });
 
-        let mut deployment = Deployment::new(&fragmented, SITES, Placement::RoundRobin);
+        let mut server = pax2_server(&fragmented, false);
         group.bench_with_input(BenchmarkId::new("batched", size), &queries, |b, queries| {
-            b.iter(|| batch::evaluate(&mut deployment, queries, &EvalOptions::default()).unwrap());
+            b.iter(|| server.execute_batch_text(queries).unwrap());
         });
     }
     group.finish();
@@ -101,17 +112,13 @@ fn perceived_latency_vs_batch_size(c: &mut Criterion) {
         group.throughput(Throughput::Elements(size as u64));
 
         group.bench_with_input(BenchmarkId::new("one-at-a-time", size), &queries, |b, queries| {
-            let mut deployment =
-                Deployment::new(&fragmented, SITES, Placement::RoundRobin).sequential();
+            let mut server = pax2_server(&fragmented, true);
             b.iter_custom(|iters| {
                 let mut total = Duration::ZERO;
                 for _ in 0..iters {
                     for query in queries {
-                        deployment.reset();
-                        let report =
-                            pax2::evaluate(&mut deployment, query, &EvalOptions::default())
-                                .unwrap();
-                        total += modelled(report.parallel_ops(), report.stats.rounds);
+                        let report = server.query_once(query).unwrap();
+                        total += modelled(report.parallel_ops(), report.rounds());
                     }
                 }
                 total.max(Duration::from_nanos(1))
@@ -119,14 +126,12 @@ fn perceived_latency_vs_batch_size(c: &mut Criterion) {
         });
 
         group.bench_with_input(BenchmarkId::new("batched", size), &queries, |b, queries| {
-            let mut deployment =
-                Deployment::new(&fragmented, SITES, Placement::RoundRobin).sequential();
+            let mut server = pax2_server(&fragmented, true);
             b.iter_custom(|iters| {
                 let mut total = Duration::ZERO;
                 for _ in 0..iters {
-                    let report =
-                        batch::evaluate(&mut deployment, queries, &EvalOptions::default()).unwrap();
-                    total += modelled(report.stats.parallel_ops, report.rounds());
+                    let report = server.execute_batch_text(queries).unwrap();
+                    total += modelled(report.parallel_ops(), report.rounds());
                 }
                 total.max(Duration::from_nanos(1))
             });

@@ -1,26 +1,26 @@
 //! Experiment 5 (new in this repository, beyond the paper): incremental
 //! re-evaluation under fragment updates vs. from-scratch batch
-//! re-evaluation.
+//! re-evaluation, both through the [`PaxServer`] session API.
 //!
 //! Both series start from the same FT1 deployment and replay the same
-//! update stream. The **from-scratch** baseline applies each update batch
-//! (one visit to each dirty site, no recomputation) and then re-runs
-//! `pax2::evaluate` — paying the full `O(|Q|·|FT|)` traffic and a visit to
-//! *every* relevant site. The **incremental** contender is an
-//! [`IncrementalEngine`]: the update visit recomputes the dirty fragments'
-//! vectors in place, `evalFT` re-unifies only the dirty cone, and clean
-//! sites are never visited, so cost scales with |dirty fragments| instead of
-//! the data size. Before the timing runs, a traffic table prints the
-//! per-re-evaluation network bytes of both series for each dirty count.
+//! update stream. The **from-scratch** baseline keeps no prepared queries:
+//! its `apply_updates` call is a bare write round (one visit to each dirty
+//! site, nothing recomputed) followed by a full `query_once` re-evaluation
+//! — paying the `O(|Q|·|FT|)` traffic and a visit to *every* relevant
+//! site. The **incremental** contender prepares the query once: the update
+//! round then refreshes the prepared query's residual vectors in the same
+//! visit it applies the ops, `evalFT` re-unifies only the dirty cone, and
+//! clean sites are never visited, so cost scales with |dirty fragments|
+//! instead of the data size (re-reading the answers afterwards is free —
+//! served from the cache with zero visits). Before the timing runs, a
+//! traffic table prints the per-re-evaluation network bytes of both series
+//! for each dirty count.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use paxml_core::protocol::{update_task, FragmentUpdate, InitVector, MsgUpdate};
-use paxml_core::{incremental::IncrementalEngine, pax2, Deployment, EvalOptions};
-use paxml_distsim::{Placement, SiteId};
-use paxml_fragment::{FragmentId, UpdateOp};
+use paxml_core::{server::PaxServer, Algorithm};
+use paxml_distsim::Placement;
+use paxml_fragment::FragmentedTree;
 use paxml_xmark::{ft1, UpdateWorkload};
-use paxml_xpath::{compile_text, CompiledQuery};
-use std::collections::BTreeMap;
 use std::time::Duration;
 
 const SEED: u64 = 42;
@@ -30,30 +30,13 @@ const QUERY: &str =
     "/sites/site/people/person[profile/age > 20 and address/country=\"US\"]/creditcard";
 const DIRTY_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
-/// Apply an update batch to a bare deployment (no recomputation): the write
-/// path a non-incremental store pays anyway.
-fn apply_raw(deployment: &mut Deployment, query: &CompiledQuery, batch: &[(FragmentId, UpdateOp)]) {
-    let mut ops_by_fragment: BTreeMap<FragmentId, Vec<UpdateOp>> = BTreeMap::new();
-    for (fragment, op) in batch {
-        ops_by_fragment.entry(*fragment).or_default().push(op.clone());
-    }
-    let mut requests: BTreeMap<SiteId, MsgUpdate> = BTreeMap::new();
-    for (&site, fragments) in &deployment.group_by_site(ops_by_fragment.keys().copied()) {
-        let mut per_fragment = BTreeMap::new();
-        for &fragment in fragments {
-            per_fragment.insert(
-                fragment,
-                FragmentUpdate {
-                    ops: ops_by_fragment[&fragment].clone(),
-                    init: InitVector::Unknown,
-                    root_is_context: false,
-                    recompute: false,
-                },
-            );
-        }
-        requests.insert(site, MsgUpdate { query: query.clone(), fragments: per_fragment });
-    }
-    deployment.cluster.round(requests, update_task);
+fn pax2_server(fragmented: &FragmentedTree) -> PaxServer {
+    PaxServer::builder()
+        .algorithm(Algorithm::PaX2)
+        .placement(Placement::RoundRobin)
+        .sites(FRAGMENTS)
+        .deploy(fragmented)
+        .expect("valid configuration")
 }
 
 /// Print per-re-evaluation traffic for both series — the "traffic scales
@@ -64,11 +47,12 @@ fn traffic_table() {
     for &dirty in &DIRTY_COUNTS {
         let (tree, fragmented) = ft1(FRAGMENTS, VMB, SEED);
         let nodes = tree.all_nodes().count();
-        let query = compile_text(QUERY).unwrap();
 
-        let deployment = Deployment::new(&fragmented, FRAGMENTS, Placement::RoundRobin);
-        let mut engine =
-            IncrementalEngine::new(deployment, QUERY, &EvalOptions::default()).unwrap();
+        // Incremental: the prepared query's cache rides along with every
+        // update round; re-reading the answers afterwards costs no visit.
+        let mut server = pax2_server(&fragmented);
+        let q = server.prepare(QUERY).unwrap();
+        server.execute(&q).unwrap();
         let mut workload = UpdateWorkload::new(&fragmented, nodes, SEED ^ dirty as u64);
         let mut incremental = 0u64;
         let mut rounds = 0u64;
@@ -77,14 +61,18 @@ fn traffic_table() {
             if batch.is_empty() {
                 continue;
             }
-            let report = engine.apply_updates(&batch).unwrap();
+            let report = server.apply_updates(&batch).unwrap();
             assert_eq!(report.clean_site_visits(), 0);
-            incremental += report.network_bytes;
+            let reread = server.execute(&q).unwrap();
+            assert!(reread.from_cache);
+            incremental += report.network_bytes() + reread.network_bytes();
             rounds += 1;
         }
         let incremental = incremental / rounds.max(1);
 
-        let mut scratch_deployment = Deployment::new(&fragmented, FRAGMENTS, Placement::RoundRobin);
+        // From-scratch: no prepared queries — updates are a bare write
+        // round, then the full protocol re-runs.
+        let mut scratch_server = pax2_server(&fragmented);
         let mut scratch_workload = UpdateWorkload::new(&fragmented, nodes, SEED ^ dirty as u64);
         let mut scratch = 0u64;
         let mut scratch_rounds = 0u64;
@@ -93,10 +81,8 @@ fn traffic_table() {
             if batch.is_empty() {
                 continue;
             }
-            apply_raw(&mut scratch_deployment, &query, &batch);
-            let before = scratch_deployment.cluster.stats.total_bytes();
-            pax2::evaluate(&mut scratch_deployment, QUERY, &EvalOptions::default()).unwrap();
-            scratch += scratch_deployment.cluster.stats.total_bytes() - before;
+            scratch_server.apply_updates(&batch).unwrap();
+            scratch += scratch_server.query_once(QUERY).unwrap().network_bytes();
             scratch_rounds += 1;
         }
         let scratch = scratch / scratch_rounds.max(1);
@@ -124,25 +110,25 @@ fn reevaluation_latency(c: &mut Criterion) {
         let (tree, fragmented) = ft1(FRAGMENTS, VMB, SEED);
         let nodes = tree.all_nodes().count();
 
-        let deployment = Deployment::new(&fragmented, FRAGMENTS, Placement::RoundRobin);
-        let mut engine =
-            IncrementalEngine::new(deployment, QUERY, &EvalOptions::default()).unwrap();
+        let mut server = pax2_server(&fragmented);
+        let q = server.prepare(QUERY).unwrap();
+        server.execute(&q).unwrap();
         let mut workload = UpdateWorkload::new(&fragmented, nodes, SEED);
         group.bench_with_input(BenchmarkId::new("incremental", dirty), &dirty, |b, &dirty| {
             b.iter(|| {
                 let batch = workload.next_batch(dirty * 2, dirty);
-                engine.apply_updates(&batch).unwrap()
+                server.apply_updates(&batch).unwrap();
+                server.execute(&q).unwrap()
             });
         });
 
-        let query = compile_text(QUERY).unwrap();
-        let mut deployment = Deployment::new(&fragmented, FRAGMENTS, Placement::RoundRobin);
+        let mut scratch_server = pax2_server(&fragmented);
         let mut workload = UpdateWorkload::new(&fragmented, nodes, SEED);
         group.bench_with_input(BenchmarkId::new("from-scratch", dirty), &dirty, |b, &dirty| {
             b.iter(|| {
                 let batch = workload.next_batch(dirty * 2, dirty);
-                apply_raw(&mut deployment, &query, &batch);
-                pax2::evaluate(&mut deployment, QUERY, &EvalOptions::default()).unwrap()
+                scratch_server.apply_updates(&batch).unwrap();
+                scratch_server.query_once(QUERY).unwrap()
             });
         });
     }

@@ -182,7 +182,7 @@ fn traffic(scale: f64, seed: u64) {
             pax2.network_bytes(),
             pax3.network_bytes(),
             naive.network_bytes(),
-            pax2.answers.len(),
+            pax2.answers().len(),
         );
     }
     println!();

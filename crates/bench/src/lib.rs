@@ -21,7 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use paxml_core::{naive, pax2, pax3, Deployment, EvalOptions, EvaluationReport};
+use paxml_core::{server::PaxServer, Algorithm, ExecReport};
 use paxml_distsim::Placement;
 use paxml_fragment::FragmentedTree;
 use paxml_xmark::{ft1, ft2, PAPER_QUERIES};
@@ -60,30 +60,37 @@ impl Series {
     }
 }
 
-/// Run one algorithm/optimization combination over a fresh deployment of the
-/// given fragmented document.
-pub fn run(
-    series: Series,
-    fragmented: &FragmentedTree,
-    sites: usize,
-    query: &str,
-) -> EvaluationReport {
-    let mut deployment = Deployment::new(fragmented, sites, Placement::RoundRobin);
-    match series {
-        Series::Pax3Na => {
-            pax3::evaluate(&mut deployment, query, &EvalOptions::without_annotations()).unwrap()
+impl Series {
+    /// The server algorithm and annotation flag this series stands for.
+    pub fn configuration(self) -> (Algorithm, bool) {
+        match self {
+            Series::Pax3Na => (Algorithm::PaX3, false),
+            Series::Pax3Xa => (Algorithm::PaX3, true),
+            Series::Pax2Na => (Algorithm::PaX2, false),
+            Series::Pax2Xa => (Algorithm::PaX2, true),
+            Series::Naive => (Algorithm::NaiveCentralized, false),
         }
-        Series::Pax3Xa => {
-            pax3::evaluate(&mut deployment, query, &EvalOptions::with_annotations()).unwrap()
-        }
-        Series::Pax2Na => {
-            pax2::evaluate(&mut deployment, query, &EvalOptions::without_annotations()).unwrap()
-        }
-        Series::Pax2Xa => {
-            pax2::evaluate(&mut deployment, query, &EvalOptions::with_annotations()).unwrap()
-        }
-        Series::Naive => naive::evaluate(&mut deployment, query).unwrap(),
     }
+}
+
+/// A [`PaxServer`] session for one series over a fresh deployment of the
+/// given fragmented document.
+pub fn server(series: Series, fragmented: &FragmentedTree, sites: usize) -> PaxServer {
+    let (algorithm, annotations) = series.configuration();
+    PaxServer::builder()
+        .algorithm(algorithm)
+        .annotations(annotations)
+        .placement(Placement::RoundRobin)
+        .sites(sites)
+        .deploy(fragmented)
+        .expect("valid configuration")
+}
+
+/// Run one algorithm/optimization combination over a fresh deployment of the
+/// given fragmented document (one-shot, un-amortized — the classic
+/// per-query protocol the paper's experiments measure).
+pub fn run(series: Series, fragmented: &FragmentedTree, sites: usize, query: &str) -> ExecReport {
+    server(series, fragmented, sites).query_once(query).unwrap()
 }
 
 /// One measured point of an experiment.
@@ -133,8 +140,8 @@ fn measure(
         parallel_ops: report.parallel_ops(),
         total_ops: report.total_ops(),
         max_visits: report.max_visits_per_site(),
-        answers: report.answers.len(),
-        fragments_evaluated: report.fragments_evaluated,
+        answers: report.answers().len(),
+        fragments_evaluated: report.queries[0].fragments_evaluated,
     }
 }
 

@@ -33,8 +33,7 @@
 //! # Example
 //!
 //! ```
-//! use paxml_core::{batch, Deployment, EvalOptions};
-//! use paxml_distsim::Placement;
+//! use paxml_core::server::PaxServer;
 //! use paxml_fragment::strategy::cut_at_labels;
 //! use paxml_xml::TreeBuilder;
 //!
@@ -47,21 +46,20 @@
 //!     .close()
 //!     .build();
 //! let fragmented = cut_at_labels(&tree, &["broker"]).unwrap();
-//! let mut deployment = Deployment::new(&fragmented, 3, Placement::RoundRobin);
+//! let mut server = PaxServer::builder().sites(3).deploy(&fragmented).unwrap();
 //!
-//! let report = batch::evaluate(
-//!     &mut deployment,
-//!     &[
-//!         "client[country/text()='US']/broker/name",
-//!         "client/broker/name",
-//!         "//broker[name/text()='CIBC']",
-//!     ],
-//!     &EvalOptions::default(),
-//! ).unwrap();
+//! let report = server.execute_batch_text(&[
+//!     "client[country/text()='US']/broker/name",
+//!     "client/broker/name",
+//!     "//broker[name/text()='CIBC']",
+//! ]).unwrap();
 //!
 //! assert_eq!(report.len(), 3);
-//! assert_eq!(report.reports[0].answer_texts(), vec!["E*trade".to_string()]);
-//! assert_eq!(report.reports[1].answer_texts(), vec!["E*trade".to_string(), "CIBC".to_string()]);
+//! let texts = |i: usize| -> Vec<&str> {
+//!     report.queries[i].answers.iter().filter_map(|a| a.text.as_deref()).collect()
+//! };
+//! assert_eq!(texts(0), vec!["E*trade"]);
+//! assert_eq!(texts(1), vec!["E*trade", "CIBC"]);
 //! // The entire batch kept PaX2's visit bound.
 //! assert!(report.max_visits_per_site() <= 2);
 //! ```
@@ -72,7 +70,7 @@ use crate::protocol::{
     BatchCombinedEntry, BatchCombinedRequest, CombinedFragmentInput, InitVector,
 };
 use crate::prune::{analyze, AnnotationAnalysis};
-use crate::report::{Algorithm, AnswerItem, EvaluationReport};
+use crate::report::{Algorithm, AnswerItem, EvaluationReport, ExecMode, ExecReport, QueryOutcome};
 use crate::unify::{restrict_for_fragment, unify_qualifiers, unify_selection};
 use crate::vars::PaxVar;
 use crate::EvalOptions;
@@ -180,9 +178,8 @@ struct QueryPlan {
 /// Evaluate a batch of queries over the deployment with PaX2, sharing site
 /// visits across the batch.
 ///
-/// Resets the deployment's statistics and scratch state first, so the
-/// reported visit counts are the batch's own. Queries are compiled up
-/// front; the first compile error aborts the batch.
+/// Queries are compiled up front; the first compile error aborts the batch.
+#[deprecated(note = "use `PaxServer::prepare` + `execute_batch` instead")]
 pub fn evaluate<S: AsRef<str>>(
     deployment: &mut Deployment,
     queries: &[S],
@@ -190,8 +187,9 @@ pub fn evaluate<S: AsRef<str>>(
 ) -> XPathResult<BatchReport> {
     let compiled: Vec<CompiledQuery> =
         queries.iter().map(|q| compile_text(q.as_ref())).collect::<XPathResult<_>>()?;
+    let refs: Vec<&CompiledQuery> = compiled.iter().collect();
     let texts: Vec<String> = queries.iter().map(|q| q.as_ref().to_string()).collect();
-    Ok(evaluate_compiled(deployment, &compiled, &texts, options))
+    Ok(run(deployment, &refs, &texts, options).to_batch_report())
 }
 
 /// Evaluate a batch of already-compiled queries with PaX2. `texts` are the
@@ -201,19 +199,32 @@ pub fn evaluate<S: AsRef<str>>(
 /// # Panics
 ///
 /// Panics when `compiled` and `texts` have different lengths.
+#[deprecated(note = "use `PaxServer::prepare` + `execute_batch` instead")]
 pub fn evaluate_compiled(
     deployment: &mut Deployment,
     compiled: &[CompiledQuery],
     texts: &[String],
     options: &EvalOptions,
 ) -> BatchReport {
-    assert_eq!(
-        compiled.len(),
-        texts.len(),
-        "evaluate_compiled needs one query text per compiled query"
-    );
+    let refs: Vec<&CompiledQuery> = compiled.iter().collect();
+    run(deployment, &refs, texts, options).to_batch_report()
+}
+
+/// The batched PaX2 driver, reported as a unified [`ExecReport`] (mode
+/// [`ExecMode::Batch`]) whose cluster meters cover exactly this batch.
+///
+/// # Panics
+///
+/// Panics when `compiled` and `texts` have different lengths.
+pub(crate) fn run(
+    deployment: &mut Deployment,
+    compiled: &[&CompiledQuery],
+    texts: &[String],
+    options: &EvalOptions,
+) -> ExecReport {
+    assert_eq!(compiled.len(), texts.len(), "a batch run needs one query text per compiled query");
     let start = Instant::now();
-    deployment.reset();
+    let baseline = deployment.cluster.stats.clone();
     let ft = deployment.fragment_tree.clone();
     let query_count = compiled.len();
     let mut coordinator_ops_per_query: Vec<u64> = vec![0; query_count];
@@ -259,7 +270,7 @@ pub fn evaluate_compiled(
             }
             site_entries.entry(site).or_default().push(BatchCombinedEntry {
                 query_index,
-                query: query.clone(),
+                query: (*query).clone(),
                 fragments: inputs,
             });
         }
@@ -332,33 +343,63 @@ pub fn evaluate_compiled(
 
     // ------------------------------------------------------------- Reports
     let elapsed = start.elapsed();
-    let stats = deployment.cluster.stats.clone();
-    let mut reports = Vec::with_capacity(query_count);
+    let stats = deployment.cluster.stats.delta_since(&baseline);
+    let mut outcomes = Vec::with_capacity(query_count);
     for (query_index, mut query_answers) in answers.into_iter().enumerate() {
         query_answers.sort();
         query_answers.dedup();
-        reports.push(EvaluationReport {
-            algorithm: Algorithm::PaX2,
-            annotations_used: options.use_annotations,
+        outcomes.push(QueryOutcome {
             query: texts[query_index].clone(),
             answers: query_answers,
             fragments_evaluated: plans[query_index].analysis.relevant.len(),
-            fragments_total: ft.len(),
-            stats: stats.clone(),
             coordinator_ops: coordinator_ops_per_query[query_index],
-            elapsed,
         });
     }
-    BatchReport {
-        reports,
-        stats,
+    ExecReport {
+        algorithm: Algorithm::PaX2,
         annotations_used: options.use_annotations,
+        mode: ExecMode::Batch,
+        queries: outcomes,
+        update: None,
+        fragments_total: ft.len(),
+        stats,
         coordinator_ops: coordinator_ops_per_query.iter().sum(),
         elapsed,
+        from_cache: false,
+    }
+}
+
+impl ExecReport {
+    /// View this batch execution as the legacy [`BatchReport`]: one
+    /// [`EvaluationReport`] per query, each carrying the batch-level
+    /// cluster meters (visits are shared across the batch).
+    pub fn to_batch_report(&self) -> BatchReport {
+        BatchReport {
+            reports: self
+                .queries
+                .iter()
+                .map(|outcome| EvaluationReport {
+                    algorithm: self.algorithm,
+                    annotations_used: self.annotations_used,
+                    query: outcome.query.clone(),
+                    answers: outcome.answers.clone(),
+                    fragments_evaluated: outcome.fragments_evaluated,
+                    fragments_total: self.fragments_total,
+                    stats: self.stats.clone(),
+                    coordinator_ops: outcome.coordinator_ops,
+                    elapsed: self.elapsed,
+                })
+                .collect(),
+            stats: self.stats.clone(),
+            annotations_used: self.annotations_used,
+            coordinator_ops: self.coordinator_ops,
+            elapsed: self.elapsed,
+        }
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy shims stay covered until they are removed
 mod tests {
     use super::*;
     use crate::pax2;

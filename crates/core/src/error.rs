@@ -1,0 +1,109 @@
+//! The workspace-level error type.
+//!
+//! The substrate crates each have a focused error enum (`XmlError`,
+//! `XPathError`, `FragmentError`); a [`PaxServer`](crate::server::PaxServer)
+//! session can fail for any of those reasons plus a few of its own, so the
+//! public API surfaces one consolidated [`PaxError`]. `From` conversions
+//! exist for every per-crate error, and `?` works across the whole stack.
+
+use paxml_fragment::FragmentError;
+use paxml_xml::XmlError;
+use paxml_xpath::XPathError;
+use std::fmt;
+
+/// Result alias of the consolidated public API.
+pub type PaxResult<T> = Result<T, PaxError>;
+
+/// Everything that can go wrong in a [`PaxServer`](crate::server::PaxServer)
+/// session, consolidated from the per-crate error enums.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PaxError {
+    /// Parsing or manipulating an XML document failed.
+    Xml(XmlError),
+    /// Lexing, parsing or compiling an XPath query failed.
+    Query(XPathError),
+    /// Fragmenting, reassembling or updating a fragmented tree failed.
+    Fragment(FragmentError),
+    /// The server was configured inconsistently (builder misuse).
+    InvalidConfig {
+        /// Human-readable description of the misconfiguration.
+        message: String,
+    },
+    /// A [`PreparedQuery`](crate::server::PreparedQuery) was presented to a
+    /// server that did not prepare it.
+    ForeignQuery {
+        /// The query's text, for diagnostics.
+        query: String,
+    },
+}
+
+impl fmt::Display for PaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PaxError::Xml(e) => write!(f, "xml error: {e}"),
+            PaxError::Query(e) => write!(f, "query error: {e}"),
+            PaxError::Fragment(e) => write!(f, "fragment error: {e}"),
+            PaxError::InvalidConfig { message } => {
+                write!(f, "invalid server configuration: {message}")
+            }
+            PaxError::ForeignQuery { query } => {
+                write!(f, "prepared query {query:?} belongs to a different server")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PaxError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PaxError::Xml(e) => Some(e),
+            PaxError::Query(e) => Some(e),
+            PaxError::Fragment(e) => Some(e),
+            PaxError::InvalidConfig { .. } | PaxError::ForeignQuery { .. } => None,
+        }
+    }
+}
+
+impl From<XmlError> for PaxError {
+    fn from(e: XmlError) -> Self {
+        PaxError::Xml(e)
+    }
+}
+
+impl From<XPathError> for PaxError {
+    fn from(e: XPathError) -> Self {
+        PaxError::Query(e)
+    }
+}
+
+impl From<FragmentError> for PaxError {
+    fn from(e: FragmentError) -> Self {
+        PaxError::Fragment(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn conversions_and_display_cover_every_layer() {
+        let e: PaxError = XPathError::EmptyQuery.into();
+        assert!(e.to_string().contains("query error"));
+        assert!(e.source().is_some());
+
+        let e: PaxError = FragmentError::CannotCutRoot.into();
+        assert!(e.to_string().contains("fragment error"));
+
+        let e: PaxError = XmlError::EmptyDocument.into();
+        assert!(e.to_string().contains("xml error"));
+
+        let e = PaxError::InvalidConfig { message: "zero sites".into() };
+        assert!(e.to_string().contains("zero sites"));
+        assert!(e.source().is_none());
+
+        let e = PaxError::ForeignQuery { query: "a/b".into() };
+        assert!(e.to_string().contains("a/b"));
+    }
+}

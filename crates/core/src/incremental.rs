@@ -13,17 +13,23 @@
 //! * the unconditional answers, and
 //! * the candidate answers *with their residual formulas*.
 //!
+//! That cache is `QuerySession` (crate-internal): one prepared query's
+//! residual-vector state, usable against any borrowed [`Deployment`]. A
+//! [`PaxServer`](crate::server::PaxServer) keeps one session per prepared
+//! query and maintains *all* of them in the single visit an update round
+//! pays to each dirty site; the deprecated [`IncrementalEngine`] wraps one
+//! session plus an owned deployment for backward compatibility.
+//!
 //! When a batch of updates arrives, only the **touched fragments'** vectors
-//! are stale. [`IncrementalEngine::apply_updates`] ships the update ops to
-//! the *dirty* sites (one [`MsgUpdate`] visit each, which applies the edits
-//! and re-runs the combined pass in the same visit), re-unifies `evalFT`
-//! over the **dirty cone** of the fragment tree — the updated fragments,
-//! their ancestors whose qualifier values change, and the subtrees whose
-//! ancestor summaries change — and re-resolves candidate formulas from the
-//! coordinator-side cache. Clean sites are **never visited**: even when an
-//! update far away flips a qualifier that decides a clean fragment's
-//! candidate answers, the cached formula is re-evaluated locally at the
-//! coordinator.
+//! are stale. The update round ships the ops to the *dirty* sites (one
+//! visit each, which applies the edits and re-runs the combined pass in the
+//! same visit), re-unifies `evalFT` over the **dirty cone** of the fragment
+//! tree — the updated fragments, their ancestors whose qualifier values
+//! change, and the subtrees whose ancestor summaries change — and
+//! re-resolves candidate formulas from the coordinator-side cache. Clean
+//! sites are **never visited**: even when an update far away flips a
+//! qualifier that decides a clean fragment's candidate answers, the cached
+//! formula is re-evaluated locally at the coordinator.
 //!
 //! Compared to the from-scratch protocol this ships candidate formulas to
 //! the coordinator once (an `O(|candidates|)` add-on to the first visit) and
@@ -33,9 +39,10 @@
 //! sizes — independent of the total data size.
 //!
 //! ```
-//! use paxml_core::{incremental::IncrementalEngine, Deployment, EvalOptions};
+//! use paxml_core::server::PaxServer;
+//! use paxml_core::Algorithm;
 //! use paxml_distsim::Placement;
-//! use paxml_fragment::{strategy::cut_at_labels, UpdateOp};
+//! use paxml_fragment::{strategy::cut_at_labels, FragmentId, UpdateOp};
 //! use paxml_xml::TreeBuilder;
 //!
 //! let tree = TreeBuilder::new("clientele")
@@ -47,29 +54,36 @@
 //!     .close()
 //!     .build();
 //! let fragmented = cut_at_labels(&tree, &["client"]).unwrap();
-//! let deployment = Deployment::new(&fragmented, 3, Placement::RoundRobin);
 //!
-//! let mut engine = IncrementalEngine::new(
-//!     deployment,
-//!     "client[country/text()='US']/broker/name",
-//!     &EvalOptions::default(),
-//! ).unwrap();
-//! assert_eq!(engine.answer_texts(), vec!["E*trade".to_string()]);
+//! let mut server = PaxServer::builder()
+//!     .algorithm(Algorithm::PaX2)
+//!     .sites(3)
+//!     .placement(Placement::RoundRobin)
+//!     .deploy(&fragmented)
+//!     .unwrap();
+//! let q = server.prepare("client[country/text()='US']/broker/name").unwrap();
+//! assert_eq!(server.execute(&q).unwrap().answer_texts(), vec!["E*trade".to_string()]);
 //!
 //! // Edit Lisa's country to US — one dirty fragment, one visit, new answer.
 //! let lisa = fragmented.fragments[2].tree.find_first("country").unwrap();
 //! let text = fragmented.fragments[2].tree.children(lisa).next().unwrap();
-//! let report = engine.apply_updates(&[(
-//!     paxml_fragment::FragmentId(2),
+//! let update = server.apply_updates(&[(
+//!     FragmentId(2),
 //!     UpdateOp::EditText { node: text, text: "US".into() },
 //! )]).unwrap();
-//! assert_eq!(engine.answer_texts(), vec!["E*trade".to_string(), "CIBC".to_string()]);
-//! assert_eq!(report.clean_site_visits(), 0);
-//! assert!(report.max_visits_per_dirty_site() <= 2);
+//! assert_eq!(update.clean_site_visits(), 0);
+//!
+//! // Re-execution is served from the maintained cache: zero visits.
+//! let report = server.execute(&q).unwrap();
+//! assert_eq!(report.answer_texts(), vec!["E*trade".to_string(), "CIBC".to_string()]);
+//! assert_eq!(report.max_visits_per_site(), 0);
 //! ```
 
 use crate::deployment::Deployment;
-use crate::protocol::{update_task, CandidateAnswer, FragmentUpdate, InitVector, MsgUpdate};
+use crate::protocol::{
+    update_task, CandidateAnswer, FragmentUpdate, InitVector, MsgDeltaAnswer, MsgDeltaVect,
+    MsgUpdate, RecomputeInput,
+};
 use crate::prune::{analyze, AnnotationAnalysis};
 use crate::report::AnswerItem;
 use crate::vars::{PaxVar, QualVecKind};
@@ -164,11 +178,21 @@ impl IncrementalReport {
     }
 }
 
-/// A long-lived evaluation session: one query over one deployment, with the
-/// per-fragment residual vectors cached between update batches.
-pub struct IncrementalEngine {
-    deployment: Deployment,
-    query: CompiledQuery,
+/// Coordinator-side work one session did while refreshing its state.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct RefreshOutcome {
+    /// `evalFT` unification operations performed.
+    pub(crate) unify_ops: u64,
+    /// Fragments the dirty-cone walk actually re-unified.
+    pub(crate) reunified_fragments: usize,
+}
+
+/// One prepared query's residual-vector cache: the coordinator-side state
+/// that lets re-evaluation after updates visit only dirty sites (and serve
+/// clean re-executions with no visit at all). Borrows the deployment per
+/// call, so a server can hold many sessions over one deployment.
+pub(crate) struct QuerySession {
+    pub(crate) query: CompiledQuery,
     query_text: String,
     options: EvalOptions,
     analysis: AnnotationAnalysis,
@@ -181,28 +205,29 @@ pub struct IncrementalEngine {
     /// The cached truth values of every `Qual`/`Sel` variable.
     assignment: Assignment<PaxVar>,
     answers: Vec<AnswerItem>,
+    /// Has the initial snapshot round run yet?
+    pub(crate) initialized: bool,
 }
 
-impl IncrementalEngine {
-    /// Compile `query_text`, run the initial full evaluation (one visit per
-    /// occupied relevant site), and populate the caches.
-    pub fn new(
-        deployment: Deployment,
+impl QuerySession {
+    /// Build the (empty) session state for one compiled query. No site is
+    /// visited until [`QuerySession::run_round`] runs the initial snapshot.
+    pub(crate) fn new(
+        query: CompiledQuery,
         query_text: &str,
         options: &EvalOptions,
-    ) -> XPathResult<IncrementalEngine> {
-        let query = compile_text(query_text)?;
-        let ft = deployment.fragment_tree.clone();
+        ft: FragmentTree,
+        root_label: &str,
+    ) -> QuerySession {
         let analysis = if options.use_annotations {
-            analyze(&query, &ft, &deployment.root_label)
+            analyze(&query, &ft, root_label)
         } else {
             AnnotationAnalysis::keep_all(&ft)
         };
         let root_init: Vec<bool> = root_context_vector::<PaxVar>(&query)
             .as_bools()
             .expect("the document vector is always constant");
-        let mut engine = IncrementalEngine {
-            deployment,
+        QuerySession {
             query,
             query_text: query_text.to_string(),
             options: *options,
@@ -213,62 +238,28 @@ impl IncrementalEngine {
             virtuals: BTreeMap::new(),
             assignment: Assignment::new(),
             answers: Vec::new(),
-        };
-        // The initial evaluation is "everything is dirty, nothing to apply":
-        // one update round with empty op lists snapshots every relevant
-        // fragment.
-        engine.run_round(&BTreeMap::new(), true);
-        Ok(engine)
+            initialized: false,
+        }
     }
 
     /// The query this session evaluates.
-    pub fn query_text(&self) -> &str {
+    pub(crate) fn query_text(&self) -> &str {
         &self.query_text
     }
 
     /// The evaluation options the session was created with.
-    pub fn options(&self) -> &EvalOptions {
+    pub(crate) fn options(&self) -> &EvalOptions {
         &self.options
     }
 
-    /// The current answers (kept up to date by [`Self::apply_updates`]),
-    /// sorted by original-document position.
-    pub fn answers(&self) -> &[AnswerItem] {
+    /// The current answers, sorted by original-document position.
+    pub(crate) fn answers(&self) -> &[AnswerItem] {
         &self.answers
     }
 
-    /// The current answers' text contents.
-    pub fn answer_texts(&self) -> Vec<String> {
-        self.answers.iter().filter_map(|a| a.text.clone()).collect()
-    }
-
-    /// The underlying deployment (for cumulative statistics).
-    pub fn deployment(&self) -> &Deployment {
-        &self.deployment
-    }
-
-    /// Apply a batch of updates and bring the cached answers up to date,
-    /// visiting only the sites that hold an updated fragment.
-    ///
-    /// Ops for the same fragment apply in batch order. Returns an error if
-    /// an op names a fragment the deployment does not have; per-op
-    /// validation failures are reported per fragment in
-    /// [`IncrementalReport::rejected`] instead (the deployment stays
-    /// consistent — the fragment's vectors are refreshed either way).
-    pub fn apply_updates(
-        &mut self,
-        updates: &[(FragmentId, UpdateOp)],
-    ) -> FragmentResult<IncrementalReport> {
-        let mut ops_by_fragment: BTreeMap<FragmentId, Vec<UpdateOp>> = BTreeMap::new();
-        for (fragment, op) in updates {
-            if fragment.index() >= self.ft.len() {
-                return Err(paxml_fragment::FragmentError::UnknownFragment {
-                    fragment: fragment.index(),
-                });
-            }
-            ops_by_fragment.entry(*fragment).or_default().push(op.clone());
-        }
-        Ok(self.run_round(&ops_by_fragment, false))
+    /// The fragments the annotation analysis kept for this query.
+    pub(crate) fn relevant(&self) -> &BTreeSet<FragmentId> {
+        &self.analysis.relevant
     }
 
     /// The initial vector of a fragment's combined pass (same policy as
@@ -283,79 +274,55 @@ impl IncrementalEngine {
         }
     }
 
-    /// One coordinator round: ship ops + recompute instructions to the dirty
-    /// sites, merge the deltas into the caches, re-unify the dirty cone and
-    /// re-resolve answers. With `initial` set, every relevant fragment is
-    /// treated as dirty (and `ops_by_fragment` is empty).
-    fn run_round(
-        &mut self,
-        ops_by_fragment: &BTreeMap<FragmentId, Vec<UpdateOp>>,
-        initial: bool,
-    ) -> IncrementalReport {
-        let start = Instant::now();
-        let dirty_fragments: BTreeSet<FragmentId> = if initial {
-            self.analysis.relevant.iter().copied().collect()
-        } else {
-            ops_by_fragment.keys().copied().collect()
-        };
-        let dirty_sites: BTreeSet<SiteId> =
-            dirty_fragments.iter().map(|&f| self.deployment.cluster.site_of(f)).collect();
-
-        let visits_before: BTreeMap<SiteId, u32> =
-            self.deployment.cluster.stats.sites.iter().map(|(site, s)| (*site, s.visits)).collect();
-        let bytes_before = self.deployment.cluster.stats.total_bytes();
-
-        // ----------------------------------------------- the one dirty round
-        let mut requests: BTreeMap<SiteId, MsgUpdate> = BTreeMap::new();
-        let mut recomputed = 0usize;
-        for (&site, fragments) in &self.deployment.group_by_site(dirty_fragments.iter().copied()) {
-            let mut per_fragment = BTreeMap::new();
-            for &fragment in fragments {
-                let recompute = self.analysis.relevant.contains(&fragment);
-                if recompute {
-                    recomputed += 1;
-                }
-                per_fragment.insert(
+    /// The recompute instructions this session wants for a set of dirty
+    /// fragments: one entry per dirty fragment the session's analysis kept
+    /// (pruned fragments' vectors are irrelevant and stay absent).
+    pub(crate) fn recompute_inputs(
+        &self,
+        dirty: &BTreeSet<FragmentId>,
+    ) -> BTreeMap<FragmentId, RecomputeInput> {
+        dirty
+            .iter()
+            .filter(|f| self.analysis.relevant.contains(f))
+            .map(|&fragment| {
+                (
                     fragment,
-                    FragmentUpdate {
-                        ops: ops_by_fragment.get(&fragment).cloned().unwrap_or_default(),
+                    RecomputeInput {
                         init: self.init_for(fragment),
                         root_is_context: fragment == FragmentId::ROOT && !self.query.absolute,
-                        recompute,
                     },
-                );
-            }
-            requests.insert(site, MsgUpdate { query: self.query.clone(), fragments: per_fragment });
-        }
-        debug_assert!(
-            requests.keys().all(|s| dirty_sites.contains(s)),
-            "the update round must address dirty sites only"
-        );
-        let responses = self.deployment.cluster.round(requests, update_task);
+                )
+            })
+            .collect()
+    }
 
-        let mut applied_ops = 0usize;
-        let mut rejected: BTreeMap<FragmentId, String> = BTreeMap::new();
-        for delta in responses.into_values() {
-            applied_ops += delta.applied.values().sum::<usize>();
-            rejected.extend(delta.rejected);
-            for (fragment, root) in delta.vect.roots {
-                self.cache.entry(fragment).or_default().root = Some(root);
-            }
-            self.virtuals.extend(delta.vect.virtuals);
-            for (fragment, sure) in delta.answer.sure {
-                self.cache.entry(fragment).or_default().sure = sure;
-            }
-            for (fragment, candidates) in delta.answer.candidates {
-                self.cache.entry(fragment).or_default().candidates = candidates;
-            }
+    /// Merge a recomputed site delta into the coordinator-side cache.
+    pub(crate) fn absorb(&mut self, vect: MsgDeltaVect, answer: MsgDeltaAnswer) {
+        for (fragment, root) in vect.roots {
+            self.cache.entry(fragment).or_default().root = Some(root);
         }
+        self.virtuals.extend(vect.virtuals);
+        for (fragment, sure) in answer.sure {
+            self.cache.entry(fragment).or_default().sure = sure;
+        }
+        for (fragment, candidates) in answer.candidates {
+            self.cache.entry(fragment).or_default().candidates = candidates;
+        }
+    }
 
-        // ------------------------------------- evalFT over the dirty cone
+    /// Re-unify `evalFT` over the dirty cone and re-resolve the cached
+    /// answers — the coordinator-side half of a refresh, shared by the
+    /// engine's own rounds and the server's multi-session update rounds.
+    pub(crate) fn refresh_coordinator_state(
+        &mut self,
+        dirty_fragments: &BTreeSet<FragmentId>,
+        initial: bool,
+    ) -> RefreshOutcome {
         let mut unify_ops = 0u64;
         let (qual_changed, qual_reunified) =
-            self.reunify_qualifiers(&dirty_fragments, initial, &mut unify_ops);
+            self.reunify_qualifiers(dirty_fragments, initial, &mut unify_ops);
         let (sel_changed, sel_reunified) =
-            self.reunify_selection(&dirty_fragments, &qual_changed, initial, &mut unify_ops);
+            self.reunify_selection(dirty_fragments, &qual_changed, initial, &mut unify_ops);
 
         // --------------------------------- re-resolve answers from the cache
         let fragments: Vec<FragmentId> = self.cache.keys().copied().collect();
@@ -391,10 +358,75 @@ impl IncrementalEngine {
             answers.dedup();
             self.answers = answers;
         }
+        RefreshOutcome { unify_ops, reunified_fragments: qual_reunified + sel_reunified }
+    }
+
+    /// One coordinator round over a borrowed deployment: ship ops +
+    /// recompute instructions to the dirty sites, merge the deltas into the
+    /// caches, re-unify the dirty cone and re-resolve answers. With
+    /// `initial` set, every relevant fragment is treated as dirty (and
+    /// `ops_by_fragment` is empty).
+    pub(crate) fn run_round(
+        &mut self,
+        deployment: &mut Deployment,
+        ops_by_fragment: &BTreeMap<FragmentId, Vec<UpdateOp>>,
+        initial: bool,
+    ) -> IncrementalReport {
+        let start = Instant::now();
+        let dirty_fragments: BTreeSet<FragmentId> = if initial {
+            self.analysis.relevant.iter().copied().collect()
+        } else {
+            ops_by_fragment.keys().copied().collect()
+        };
+        let dirty_sites: BTreeSet<SiteId> =
+            dirty_fragments.iter().map(|&f| deployment.cluster.site_of(f)).collect();
+
+        let visits_before: BTreeMap<SiteId, u32> =
+            deployment.cluster.stats.sites.iter().map(|(site, s)| (*site, s.visits)).collect();
+        let bytes_before = deployment.cluster.stats.total_bytes();
+
+        // ----------------------------------------------- the one dirty round
+        let mut requests: BTreeMap<SiteId, MsgUpdate> = BTreeMap::new();
+        let mut recomputed = 0usize;
+        for (&site, fragments) in &deployment.group_by_site(dirty_fragments.iter().copied()) {
+            let mut per_fragment = BTreeMap::new();
+            for &fragment in fragments {
+                let recompute = self.analysis.relevant.contains(&fragment);
+                if recompute {
+                    recomputed += 1;
+                }
+                per_fragment.insert(
+                    fragment,
+                    FragmentUpdate {
+                        ops: ops_by_fragment.get(&fragment).cloned().unwrap_or_default(),
+                        init: self.init_for(fragment),
+                        root_is_context: fragment == FragmentId::ROOT && !self.query.absolute,
+                        recompute,
+                    },
+                );
+            }
+            requests.insert(site, MsgUpdate { query: self.query.clone(), fragments: per_fragment });
+        }
+        debug_assert!(
+            requests.keys().all(|s| dirty_sites.contains(s)),
+            "the update round must address dirty sites only"
+        );
+        let responses = deployment.cluster.round(requests, update_task);
+
+        let mut applied_ops = 0usize;
+        let mut rejected: BTreeMap<FragmentId, String> = BTreeMap::new();
+        for delta in responses.into_values() {
+            applied_ops += delta.applied.values().sum::<usize>();
+            rejected.extend(delta.rejected);
+            self.absorb(delta.vect, delta.answer);
+        }
+
+        // --------------------- evalFT over the dirty cone + answer refresh
+        let refresh = self.refresh_coordinator_state(&dirty_fragments, initial);
+        self.initialized = true;
 
         // ------------------------------------------------------------ report
-        let visits: BTreeMap<SiteId, u32> = self
-            .deployment
+        let visits: BTreeMap<SiteId, u32> = deployment
             .cluster
             .stats
             .sites
@@ -409,9 +441,9 @@ impl IncrementalEngine {
             applied_ops,
             rejected,
             recomputed_fragments: recomputed,
-            reunified_fragments: qual_reunified + sel_reunified,
-            unify_ops,
-            network_bytes: self.deployment.cluster.stats.total_bytes() - bytes_before,
+            reunified_fragments: refresh.reunified_fragments,
+            unify_ops: refresh.unify_ops,
+            network_bytes: deployment.cluster.stats.total_bytes() - bytes_before,
             elapsed: start.elapsed(),
         }
     }
@@ -535,7 +567,91 @@ impl IncrementalEngine {
     }
 }
 
+/// A long-lived evaluation session: one query over one owned deployment,
+/// with the per-fragment residual vectors cached between update batches.
+#[deprecated(note = "use `PaxServer::prepare` + `execute` + `apply_updates`, which maintain the \
+                     same cache for every prepared query of a session")]
+pub struct IncrementalEngine {
+    deployment: Deployment,
+    session: QuerySession,
+}
+
+#[allow(deprecated)]
+impl IncrementalEngine {
+    /// Compile `query_text`, run the initial full evaluation (one visit per
+    /// occupied relevant site), and populate the caches.
+    pub fn new(
+        deployment: Deployment,
+        query_text: &str,
+        options: &EvalOptions,
+    ) -> XPathResult<IncrementalEngine> {
+        let query = compile_text(query_text)?;
+        let ft = deployment.fragment_tree.clone();
+        let root_label = deployment.root_label.clone();
+        let mut engine = IncrementalEngine {
+            deployment,
+            session: QuerySession::new(query, query_text, options, ft, &root_label),
+        };
+        // The initial evaluation is "everything is dirty, nothing to apply":
+        // one update round with empty op lists snapshots every relevant
+        // fragment.
+        engine.session.run_round(&mut engine.deployment, &BTreeMap::new(), true);
+        Ok(engine)
+    }
+
+    /// The query this session evaluates.
+    pub fn query_text(&self) -> &str {
+        self.session.query_text()
+    }
+
+    /// The evaluation options the session was created with.
+    pub fn options(&self) -> &EvalOptions {
+        self.session.options()
+    }
+
+    /// The current answers (kept up to date by [`Self::apply_updates`]),
+    /// sorted by original-document position.
+    pub fn answers(&self) -> &[AnswerItem] {
+        self.session.answers()
+    }
+
+    /// The current answers' text contents.
+    pub fn answer_texts(&self) -> Vec<String> {
+        self.session.answers().iter().filter_map(|a| a.text.clone()).collect()
+    }
+
+    /// The underlying deployment (for cumulative statistics).
+    pub fn deployment(&self) -> &Deployment {
+        &self.deployment
+    }
+
+    /// Apply a batch of updates and bring the cached answers up to date,
+    /// visiting only the sites that hold an updated fragment.
+    ///
+    /// Ops for the same fragment apply in batch order. Returns an error if
+    /// an op names a fragment the deployment does not have; per-op
+    /// validation failures are reported per fragment in
+    /// [`IncrementalReport::rejected`] instead (the deployment stays
+    /// consistent — the fragment's vectors are refreshed either way).
+    pub fn apply_updates(
+        &mut self,
+        updates: &[(FragmentId, UpdateOp)],
+    ) -> FragmentResult<IncrementalReport> {
+        let mut ops_by_fragment: BTreeMap<FragmentId, Vec<UpdateOp>> = BTreeMap::new();
+        for (fragment, op) in updates {
+            if fragment.index() >= self.session.ft.len() {
+                return Err(paxml_fragment::FragmentError::UnknownFragment {
+                    fragment: fragment.index(),
+                });
+            }
+            ops_by_fragment.entry(*fragment).or_default().push(op.clone());
+        }
+        Ok(self.session.run_round(&mut self.deployment, &ops_by_fragment, false))
+    }
+}
+
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::pax2;

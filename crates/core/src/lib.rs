@@ -12,9 +12,10 @@
 //! | [`prune`] | §5 | The XPath-annotation optimization (fragment pruning + exact stack initialization). |
 //! | [`naive`] | §3 | The NaiveCentralized ship-everything baseline. |
 //! | [`protocol`] / [`unify`] | §3.1–3.3 | The coordinator↔site messages, the per-site tasks, and the `evalFT` unification procedures. |
+//! | [`server`] | the public API | The [`PaxServer`] session: prepared queries, every mode behind one handle, one [`ExecReport`]. |
 //!
 //! ```
-//! use paxml_core::{pax2, Deployment, EvalOptions};
+//! use paxml_core::{server::PaxServer, Algorithm};
 //! use paxml_distsim::Placement;
 //! use paxml_fragment::strategy::cut_at_labels;
 //! use paxml_xml::TreeBuilder;
@@ -29,13 +30,15 @@
 //!     .close()
 //!     .build();
 //! let fragmented = cut_at_labels(&tree, &["broker"]).unwrap();
-//! let mut deployment = Deployment::new(&fragmented, 3, Placement::RoundRobin);
+//! let mut server = PaxServer::builder()
+//!     .algorithm(Algorithm::PaX2)
+//!     .sites(3)
+//!     .placement(Placement::RoundRobin)
+//!     .deploy(&fragmented)
+//!     .unwrap();
 //!
-//! let report = pax2::evaluate(
-//!     &mut deployment,
-//!     "client[country/text()='US']/broker/name",
-//!     &EvalOptions::default(),
-//! ).unwrap();
+//! let query = server.prepare("client[country/text()='US']/broker/name").unwrap();
+//! let report = server.execute(&query).unwrap();
 //! assert_eq!(report.answer_texts(), vec!["E*trade".to_string()]);
 //! assert!(report.max_visits_per_site() <= 2);
 //! ```
@@ -45,6 +48,7 @@
 
 pub mod batch;
 mod deployment;
+mod error;
 pub mod incremental;
 pub mod naive;
 pub mod pax2;
@@ -52,13 +56,21 @@ pub mod pax3;
 pub mod protocol;
 pub mod prune;
 mod report;
+pub mod server;
 pub mod unify;
 mod vars;
 
 pub use batch::BatchReport;
 pub use deployment::Deployment;
-pub use incremental::{IncrementalEngine, IncrementalReport};
-pub use report::{answer_item, Algorithm, AnswerItem, EvaluationReport};
+pub use error::{PaxError, PaxResult};
+#[allow(deprecated)]
+pub use incremental::IncrementalEngine;
+pub use incremental::IncrementalReport;
+pub use report::{
+    answer_item, Algorithm, AnswerItem, EvaluationReport, ExecMode, ExecReport, QueryOutcome,
+    UpdateOutcome,
+};
+pub use server::{PaxServer, PaxServerBuilder, PreparedQuery};
 pub use vars::{PaxVar, QualVecKind};
 
 /// Options shared by the distributed algorithms.
@@ -87,7 +99,19 @@ mod tests {
     use paxml_distsim::Placement;
     use paxml_fragment::{fragment_at, strategy, FragmentedTree};
     use paxml_xml::{NodeId, TreeBuilder, XmlTree};
-    use paxml_xpath::centralized;
+    use paxml_xpath::{centralized, compile_text};
+
+    /// The classic engine drivers, compiled on the fly (the internal
+    /// equivalents of `PaxServer::query_once` for each algorithm).
+    fn eval_pax3(d: &mut Deployment, q: &str, o: &EvalOptions) -> ExecReport {
+        pax3::run(d, &compile_text(q).unwrap(), q, o)
+    }
+    fn eval_pax2(d: &mut Deployment, q: &str, o: &EvalOptions) -> ExecReport {
+        pax2::run(d, &compile_text(q).unwrap(), q, o)
+    }
+    fn eval_naive(d: &mut Deployment, q: &str) -> ExecReport {
+        naive::run(d, &compile_text(q).unwrap(), q)
+    }
 
     /// The Fig. 1 clientele document.
     fn clientele() -> XmlTree {
@@ -201,7 +225,7 @@ mod tests {
             for use_annotations in [false, true] {
                 let options = EvalOptions { use_annotations };
                 let mut d = Deployment::new(fragmented, sites, Placement::RoundRobin);
-                let p3 = pax3::evaluate(&mut d, query, &options).unwrap();
+                let p3 = eval_pax3(&mut d, query, &options);
                 assert_eq!(
                     p3.answer_origins(),
                     expected,
@@ -213,7 +237,7 @@ mod tests {
                 );
 
                 let mut d = Deployment::new(fragmented, sites, Placement::RoundRobin);
-                let p2 = pax2::evaluate(&mut d, query, &options).unwrap();
+                let p2 = eval_pax2(&mut d, query, &options);
                 assert_eq!(
                     p2.answer_origins(),
                     expected,
@@ -225,7 +249,7 @@ mod tests {
                 );
             }
             let mut d = Deployment::new(fragmented, sites, Placement::RoundRobin);
-            let naive = naive::evaluate(&mut d, query).unwrap();
+            let naive = eval_naive(&mut d, query);
             assert_eq!(naive.answer_origins(), expected, "Naive disagrees on {query}");
             assert_eq!(naive.max_visits_per_site(), 1);
         }
@@ -266,11 +290,11 @@ mod tests {
         for query in ["client/name", "//broker[//stock/code/text()='GOOG']/name"] {
             let expected = reference(&tree, query);
             let mut d = Deployment::new(&fragmented, 1, Placement::SingleSite);
-            let p3 = pax3::evaluate(&mut d, query, &EvalOptions::default()).unwrap();
+            let p3 = eval_pax3(&mut d, query, &EvalOptions::default());
             assert_eq!(p3.answer_origins(), expected);
             assert!(p3.max_visits_per_site() <= 3);
             let mut d = Deployment::new(&fragmented, 1, Placement::SingleSite);
-            let p2 = pax2::evaluate(&mut d, query, &EvalOptions::default()).unwrap();
+            let p2 = eval_pax2(&mut d, query, &EvalOptions::default());
             assert_eq!(p2.answer_origins(), expected);
             assert!(p2.max_visits_per_site() <= 2);
         }
@@ -283,39 +307,29 @@ mod tests {
 
         // PaX3 without annotations: Stage 1 skipped => 2 visits.
         let mut d = Deployment::new(&fragmented, 4, Placement::RoundRobin);
-        let report = pax3::evaluate(&mut d, "client/broker/name", &EvalOptions::default()).unwrap();
+        let report = eval_pax3(&mut d, "client/broker/name", &EvalOptions::default());
         assert_eq!(report.max_visits_per_site(), 2);
 
         // PaX3 with annotations: exact init vectors => Stage 3 skipped => 1 visit.
         let mut d = Deployment::new(&fragmented, 4, Placement::RoundRobin);
-        let report =
-            pax3::evaluate(&mut d, "client/broker/name", &EvalOptions::with_annotations()).unwrap();
+        let report = eval_pax3(&mut d, "client/broker/name", &EvalOptions::with_annotations());
         assert_eq!(report.max_visits_per_site(), 1);
 
         // PaX2 with annotations on a qualifier-free query: a single visit.
         let mut d = Deployment::new(&fragmented, 4, Placement::RoundRobin);
-        let report =
-            pax2::evaluate(&mut d, "client/broker/name", &EvalOptions::with_annotations()).unwrap();
+        let report = eval_pax2(&mut d, "client/broker/name", &EvalOptions::with_annotations());
         assert_eq!(report.max_visits_per_site(), 1);
 
         // With qualifiers PaX3 needs all three stages.
         let mut d = Deployment::new(&fragmented, 4, Placement::RoundRobin);
-        let report = pax3::evaluate(
-            &mut d,
-            "client[country/text()='US']/broker/name",
-            &EvalOptions::default(),
-        )
-        .unwrap();
+        let report =
+            eval_pax3(&mut d, "client[country/text()='US']/broker/name", &EvalOptions::default());
         assert_eq!(report.max_visits_per_site(), 3);
 
         // ... while PaX2 stays at two.
         let mut d = Deployment::new(&fragmented, 4, Placement::RoundRobin);
-        let report = pax2::evaluate(
-            &mut d,
-            "client[country/text()='US']/broker/name",
-            &EvalOptions::default(),
-        )
-        .unwrap();
+        let report =
+            eval_pax2(&mut d, "client[country/text()='US']/broker/name", &EvalOptions::default());
         assert_eq!(report.max_visits_per_site(), 2);
     }
 
@@ -326,12 +340,12 @@ mod tests {
         // Example 5.1: client/name only needs the root fragment and the
         // client fragment.
         let mut d = Deployment::new(&fragmented, 4, Placement::RoundRobin);
-        let without = pax2::evaluate(&mut d, "client/name", &EvalOptions::default()).unwrap();
+        let without = eval_pax2(&mut d, "client/name", &EvalOptions::default());
         let mut d = Deployment::new(&fragmented, 4, Placement::RoundRobin);
-        let with = pax2::evaluate(&mut d, "client/name", &EvalOptions::with_annotations()).unwrap();
+        let with = eval_pax2(&mut d, "client/name", &EvalOptions::with_annotations());
         assert_eq!(without.answer_origins(), with.answer_origins());
-        assert_eq!(without.fragments_evaluated, 5);
-        assert_eq!(with.fragments_evaluated, 2);
+        assert_eq!(without.queries[0].fragments_evaluated, 5);
+        assert_eq!(with.queries[0].fragments_evaluated, 2);
         assert!(with.total_ops() < without.total_ops());
         assert!(with.network_bytes() < without.network_bytes());
     }
@@ -360,12 +374,12 @@ mod tests {
             "clientele/client[country/text()='US']/broker[market/name/text()='NASDAQ']/name";
 
         let mut d = Deployment::new(&fragmented, 8, Placement::RoundRobin);
-        let naive = naive::evaluate(&mut d, query).unwrap();
+        let naive = eval_naive(&mut d, query);
         let mut d = Deployment::new(&fragmented, 8, Placement::RoundRobin);
-        let pax = pax2::evaluate(&mut d, query, &EvalOptions::default()).unwrap();
+        let pax = eval_pax2(&mut d, query, &EvalOptions::default());
 
         assert_eq!(naive.answer_origins(), pax.answer_origins());
-        assert_eq!(pax.answers.len(), 8 * 10 * 2); // NASDAQ brokers of US clients
+        assert_eq!(pax.answers().len(), 8 * 10 * 2); // NASDAQ brokers of US clients
         assert!(
             naive.network_bytes() > 3 * pax.network_bytes(),
             "naive={} pax2={}",
@@ -399,9 +413,9 @@ mod tests {
         let grown_frag = strategy::cut_at_labels(&grown, &["client"]).unwrap();
 
         let mut d_small = Deployment::new(&small_frag, 4, Placement::RoundRobin);
-        let small_report = pax2::evaluate(&mut d_small, query, &EvalOptions::default()).unwrap();
+        let small_report = eval_pax2(&mut d_small, query, &EvalOptions::default());
         let mut d_grown = Deployment::new(&grown_frag, 4, Placement::RoundRobin);
-        let grown_report = pax2::evaluate(&mut d_grown, query, &EvalOptions::default()).unwrap();
+        let grown_report = eval_pax2(&mut d_grown, query, &EvalOptions::default());
 
         // Same answers (the US clients of the original subtree), roughly
         // |FT|-proportional traffic: the grown tree has ~200 more fragments,
@@ -422,12 +436,8 @@ mod tests {
         let tree = clientele();
         let fragmented = fig1_fragmentation(&tree);
         let mut d = Deployment::new(&fragmented, 4, Placement::RoundRobin);
-        let report = pax3::evaluate(
-            &mut d,
-            "client[country/text()='US']/broker/name",
-            &EvalOptions::default(),
-        )
-        .unwrap();
+        let report =
+            eval_pax3(&mut d, "client[country/text()='US']/broker/name", &EvalOptions::default());
         assert!(report.total_ops() > 0);
         assert!(report.network_bytes() > 0);
         assert!(
@@ -444,8 +454,8 @@ mod tests {
         let query = "//broker[//stock/code/text()='GOOG']/name";
         let mut par = Deployment::new(&fragmented, 4, Placement::RoundRobin);
         let mut seq = Deployment::new(&fragmented, 4, Placement::RoundRobin).sequential();
-        let a = pax2::evaluate(&mut par, query, &EvalOptions::default()).unwrap();
-        let b = pax2::evaluate(&mut seq, query, &EvalOptions::default()).unwrap();
+        let a = eval_pax2(&mut par, query, &EvalOptions::default());
+        let b = eval_pax2(&mut seq, query, &EvalOptions::default());
         assert_eq!(a.answer_origins(), b.answer_origins());
         assert_eq!(a.stats.messages, b.stats.messages);
     }

@@ -8,25 +8,38 @@
 //! latency gap.
 
 use crate::deployment::Deployment;
-use crate::report::{Algorithm, AnswerItem, EvaluationReport};
+use crate::report::{Algorithm, AnswerItem, EvaluationReport, ExecMode, ExecReport, QueryOutcome};
 use paxml_fragment::{Fragment, FragmentedTree};
 use paxml_xml::NodeId;
 use paxml_xpath::{centralized, compile_text, CompiledQuery, XPathResult};
 use std::time::Instant;
 
 /// Evaluate `query_text` with the naive ship-everything baseline.
+#[deprecated(note = "use `PaxServer::prepare` + `execute` (or `query_once`) instead")]
 pub fn evaluate(deployment: &mut Deployment, query_text: &str) -> XPathResult<EvaluationReport> {
     let query = compile_text(query_text)?;
-    Ok(evaluate_compiled(deployment, &query, query_text))
+    Ok(run(deployment, &query, query_text).to_evaluation_report())
 }
 
 /// Evaluate an already-compiled query with the naive baseline.
+#[deprecated(note = "use `PaxServer::prepare` + `execute` (or `query_once`) instead")]
 pub fn evaluate_compiled(
     deployment: &mut Deployment,
     query: &CompiledQuery,
     query_text: &str,
 ) -> EvaluationReport {
+    run(deployment, query, query_text).to_evaluation_report()
+}
+
+/// The naive driver, reported as a unified [`ExecReport`] whose cluster
+/// meters cover exactly this execution.
+pub(crate) fn run(
+    deployment: &mut Deployment,
+    query: &CompiledQuery,
+    query_text: &str,
+) -> ExecReport {
     let start = Instant::now();
+    let baseline = deployment.cluster.stats.clone();
 
     // One visit per site: "send me everything you store".
     let responses = deployment.cluster.broadcast((), |site, _req: ()| -> Vec<Fragment> {
@@ -58,15 +71,21 @@ pub fn evaluate_compiled(
     let mut answers = answers;
     answers.sort();
 
-    EvaluationReport {
+    ExecReport {
         algorithm: Algorithm::NaiveCentralized,
         annotations_used: false,
-        query: query_text.to_string(),
-        answers,
-        fragments_evaluated: deployment.fragment_tree.len(),
+        mode: ExecMode::Query,
+        queries: vec![QueryOutcome {
+            query: query_text.to_string(),
+            answers,
+            fragments_evaluated: deployment.fragment_tree.len(),
+            coordinator_ops: result.ops,
+        }],
+        update: None,
         fragments_total: deployment.fragment_tree.len(),
-        stats: deployment.cluster.stats.clone(),
+        stats: deployment.cluster.stats.delta_since(&baseline),
         coordinator_ops: result.ops,
         elapsed: start.elapsed(),
+        from_cache: false,
     }
 }

@@ -23,7 +23,7 @@ use crate::protocol::{
     SelFragmentInput, SelRequest,
 };
 use crate::prune::{analyze, AnnotationAnalysis};
-use crate::report::{Algorithm, AnswerItem, EvaluationReport};
+use crate::report::{Algorithm, AnswerItem, EvaluationReport, ExecMode, ExecReport, QueryOutcome};
 use crate::unify::{restrict_for_fragment, unify_qualifiers, unify_selection};
 use crate::vars::PaxVar;
 use crate::EvalOptions;
@@ -35,23 +35,37 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// Evaluate `query_text` over the deployment with PaX3.
+#[deprecated(note = "use `PaxServer::prepare` + `execute` (or `query_once`) instead")]
 pub fn evaluate(
     deployment: &mut Deployment,
     query_text: &str,
     options: &EvalOptions,
 ) -> XPathResult<EvaluationReport> {
     let query = compile_text(query_text)?;
-    Ok(evaluate_compiled(deployment, &query, query_text, options))
+    Ok(run(deployment, &query, query_text, options).to_evaluation_report())
 }
 
 /// Evaluate an already-compiled query with PaX3.
+#[deprecated(note = "use `PaxServer::prepare` + `execute` (or `query_once`) instead")]
 pub fn evaluate_compiled(
     deployment: &mut Deployment,
     query: &CompiledQuery,
     query_text: &str,
     options: &EvalOptions,
 ) -> EvaluationReport {
+    run(deployment, query, query_text, options).to_evaluation_report()
+}
+
+/// The PaX3 driver: the three-stage protocol, reported as a unified
+/// [`ExecReport`] whose cluster meters cover exactly this execution.
+pub(crate) fn run(
+    deployment: &mut Deployment,
+    query: &CompiledQuery,
+    query_text: &str,
+    options: &EvalOptions,
+) -> ExecReport {
     let start = Instant::now();
+    let baseline = deployment.cluster.stats.clone();
     let ft = deployment.fragment_tree.clone();
     let analysis = if options.use_annotations {
         analyze(query, &ft, &deployment.root_label)
@@ -140,16 +154,22 @@ pub fn evaluate_compiled(
 
     answers.sort();
     answers.dedup();
-    EvaluationReport {
+    ExecReport {
         algorithm: Algorithm::PaX3,
         annotations_used: options.use_annotations,
-        query: query_text.to_string(),
-        answers,
-        fragments_evaluated: analysis.relevant.len(),
+        mode: ExecMode::Query,
+        queries: vec![QueryOutcome {
+            query: query_text.to_string(),
+            answers,
+            fragments_evaluated: analysis.relevant.len(),
+            coordinator_ops,
+        }],
+        update: None,
         fragments_total: ft.len(),
-        stats: deployment.cluster.stats.clone(),
+        stats: deployment.cluster.stats.delta_since(&baseline),
         coordinator_ops,
         elapsed: start.elapsed(),
+        from_cache: false,
     }
 }
 

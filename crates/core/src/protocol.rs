@@ -733,7 +733,8 @@ fn snapshot_fragment(
     query: &CompiledQuery,
     init: &InitVector,
     root_is_context: bool,
-    delta: &mut MsgDelta,
+    vect: &mut MsgDeltaVect,
+    answer: &mut MsgDeltaAnswer,
 ) {
     let fid = fragment.id;
     let out = fused_pass_on_fragment(
@@ -742,8 +743,8 @@ fn snapshot_fragment(
         query,
         init,
         root_is_context,
-        &mut delta.vect.roots,
-        &mut delta.vect.virtuals,
+        &mut vect.roots,
+        &mut vect.virtuals,
     );
     let sure: Vec<AnswerItem> = out
         .answers
@@ -758,8 +759,8 @@ fn snapshot_fragment(
             formula,
         })
         .collect();
-    delta.answer.sure.insert(fid, sure);
-    delta.answer.candidates.insert(fid, candidates);
+    answer.sure.insert(fid, sure);
+    answer.candidates.insert(fid, candidates);
 }
 
 /// Site-side task of the incremental update round: apply each fragment's
@@ -788,12 +789,129 @@ pub fn update_task(site: &mut SiteLocal, request: MsgUpdate) -> MsgDelta {
                 &request.query,
                 &fu.init,
                 fu.root_is_context,
-                &mut delta,
+                &mut delta.vect,
+                &mut delta.answer,
             );
         }
         site.add_fragment(fragment);
     }
     delta
+}
+
+// ---------------------------------------------------------------------------
+// Server sessions: one update round maintaining many prepared queries.
+// ---------------------------------------------------------------------------
+
+/// How one prepared-query session wants one fragment's combined pass
+/// re-initialised after an update (the session analogue of
+/// [`FragmentUpdate`] minus the ops, which are shared across sessions).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecomputeInput {
+    /// How to initialise the ancestor summary of the re-evaluation pass.
+    pub init: InitVector,
+    /// Is this fragment's root the evaluation context?
+    pub root_is_context: bool,
+}
+
+/// One prepared-query session's slice of a [`MsgSessionUpdate`]: which of
+/// the dirty fragments at the target site this session needs fresh residual
+/// vectors for (fragments the session's annotation analysis pruned are
+/// simply absent — their data changes, their vectors don't matter).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionRecompute {
+    /// The session's position in the server's session table.
+    pub session: usize,
+    /// The session's compiled query.
+    pub query: CompiledQuery,
+    /// Recompute instructions per dirty fragment at the target site.
+    pub fragments: BTreeMap<FragmentId, RecomputeInput>,
+}
+
+/// Request of a server update round: the update ops for the fragments at
+/// the target site (applied **once**, shared by all sessions) plus, per
+/// active prepared-query session, the recompute instructions that refresh
+/// its residual-vector cache in the *same visit* — this is how a
+/// `PaxServer` keeps every prepared query's incremental cache current with
+/// one visit per dirty site and zero visits elsewhere.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MsgSessionUpdate {
+    /// Update ops per fragment at the target site, applied in order.
+    pub ops: BTreeMap<FragmentId, Vec<UpdateOp>>,
+    /// Per-session recompute instructions.
+    pub sessions: Vec<SessionRecompute>,
+}
+
+/// One session's slice of a [`MsgSessionDelta`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionDelta {
+    /// The session's position in the server's session table.
+    pub session: usize,
+    /// Recomputed residual vectors for the session's dirty fragments.
+    pub vect: MsgDeltaVect,
+    /// Recomputed answer state for the session's dirty fragments.
+    pub answer: MsgDeltaAnswer,
+}
+
+/// Response of a server update round.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MsgSessionDelta {
+    /// Update ops applied successfully, per fragment.
+    pub applied: BTreeMap<FragmentId, usize>,
+    /// Fragments whose op sequence was rejected (with the reason); their
+    /// remaining ops were skipped but session vectors were still
+    /// recomputed.
+    pub rejected: BTreeMap<FragmentId, String>,
+    /// Per-session recomputed state.
+    pub sessions: Vec<SessionDelta>,
+}
+
+/// Site-side task of a server update round: apply each fragment's ops once,
+/// then re-run the combined pass per session over the fragments that
+/// session asked for — one visit does all of it.
+pub fn session_update_task(site: &mut SiteLocal, request: MsgSessionUpdate) -> MsgSessionDelta {
+    let mut response = MsgSessionDelta::default();
+
+    // Apply the ops once, independent of how many sessions watch.
+    for (fragment_id, ops) in &request.ops {
+        let Some(mut fragment) = site.fragments.remove(fragment_id) else { continue };
+        let mut applied = 0;
+        for op in ops {
+            match paxml_fragment::apply_update(&mut fragment, op) {
+                Ok(_) => applied += 1,
+                Err(e) => {
+                    response.rejected.insert(*fragment_id, e.to_string());
+                    break;
+                }
+            }
+            site.charge_ops(1);
+        }
+        response.applied.insert(*fragment_id, applied);
+        site.add_fragment(fragment);
+    }
+
+    // Refresh each session's residual vectors over the updated data.
+    for entry in &request.sessions {
+        let mut delta = SessionDelta {
+            session: entry.session,
+            vect: Default::default(),
+            answer: Default::default(),
+        };
+        for (fragment_id, input) in &entry.fragments {
+            let Some(fragment) = site.fragments.remove(fragment_id) else { continue };
+            snapshot_fragment(
+                site,
+                &fragment,
+                &entry.query,
+                &input.init,
+                input.root_is_context,
+                &mut delta.vect,
+                &mut delta.answer,
+            );
+            site.add_fragment(fragment);
+        }
+        response.sessions.push(delta);
+    }
+    response
 }
 
 #[cfg(test)]

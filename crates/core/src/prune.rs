@@ -157,6 +157,7 @@ fn chain_vectors(query: &CompiledQuery, chain: &[String]) -> Vec<Vec<bool>> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy shims stay covered until they are removed
 mod tests {
     use super::*;
     use paxml_xml::LabelPath;

@@ -1,10 +1,11 @@
 //! Evaluation reports: answers plus the measured costs that back the paper's
 //! performance guarantees.
 
-use paxml_distsim::ClusterStats;
+use paxml_distsim::{ClusterStats, SiteId};
 use paxml_fragment::FragmentId;
 use paxml_xml::{NodeId, XmlTree};
 use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::time::Duration;
 
@@ -135,6 +136,272 @@ impl EvaluationReport {
             self.total_ops(),
             self.parallel_time(),
         )
+    }
+}
+
+/// What kind of work one [`ExecReport`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecMode {
+    /// One query executed (`PaxServer::execute` / `query_once`).
+    Query,
+    /// A batch of queries executed together (`PaxServer::execute_batch`).
+    Batch,
+    /// A batch of fragment updates applied (`PaxServer::apply_updates`).
+    Update,
+}
+
+impl fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecMode::Query => write!(f, "query"),
+            ExecMode::Batch => write!(f, "batch"),
+            ExecMode::Update => write!(f, "update"),
+        }
+    }
+}
+
+/// One query's slice of an [`ExecReport`]: its answers plus the per-query
+/// meters (the cluster-level meters are shared across the execution and live
+/// on the report itself).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryOutcome {
+    /// The query text as prepared.
+    pub query: String,
+    /// The answers, sorted by their position in the original document.
+    pub answers: Vec<AnswerItem>,
+    /// Number of fragments that actually participated (after pruning).
+    pub fragments_evaluated: usize,
+    /// Coordinator-side unification work attributable to this query.
+    pub coordinator_ops: u64,
+}
+
+/// The update-specific slice of an [`ExecReport`] (mode
+/// [`ExecMode::Update`]).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct UpdateOutcome {
+    /// Fragments the update batch touched.
+    pub dirty_fragments: BTreeSet<FragmentId>,
+    /// Sites holding at least one dirty fragment — the only sites the
+    /// update round is allowed to visit.
+    pub dirty_sites: BTreeSet<SiteId>,
+    /// Update ops applied successfully.
+    pub applied_ops: usize,
+    /// Fragments whose op sequence was rejected, with the reason (their
+    /// remaining ops were skipped; any session vectors were still
+    /// refreshed).
+    pub rejected: BTreeMap<FragmentId, String>,
+    /// Prepared-query sessions whose residual-vector caches were refreshed
+    /// in the same visit the ops were applied in.
+    pub refreshed_sessions: usize,
+    /// Fragment snapshots recomputed site-side across all sessions.
+    pub recomputed_fragments: usize,
+    /// `evalFT` steps performed across all sessions' dirty cones.
+    pub reunified_fragments: usize,
+}
+
+/// The outcome of one execution against a `PaxServer` session — the unified
+/// report every entry point (`execute`, `execute_batch`, `apply_updates`,
+/// `query_once`) returns.
+///
+/// The cluster meters ([`ExecReport::stats`]) are **per-execution deltas**:
+/// the server snapshots the deployment's cumulative counters around each
+/// execution, so back-to-back executions each report their own visits and
+/// bytes — no `reset()` needed, ever. Per-query data (answers, pruning,
+/// unification work) lives in [`ExecReport::queries`]; update-only data in
+/// [`ExecReport::update`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExecReport {
+    /// The algorithm the server is configured with. Note: batch executions
+    /// always run the shared-visit combined protocol (PaX2's machinery)
+    /// regardless of this label — a PaX3 server's batch report carries
+    /// `PaX3` but its meters come from the two-visit batch engine (the ≤ 3
+    /// bound holds a fortiori).
+    pub algorithm: Algorithm,
+    /// Was the XPath-annotation optimization (§5) enabled?
+    pub annotations_used: bool,
+    /// What kind of execution this report describes.
+    pub mode: ExecMode,
+    /// One outcome per query (exactly one for [`ExecMode::Query`], one per
+    /// batch member for [`ExecMode::Batch`], empty for updates).
+    pub queries: Vec<QueryOutcome>,
+    /// Update-specific details ([`ExecMode::Update`] only).
+    pub update: Option<UpdateOutcome>,
+    /// Total number of fragments in the fragment tree.
+    pub fragments_total: usize,
+    /// Network / visit / computation counters of **this execution only**.
+    pub stats: ClusterStats,
+    /// Coordinator-side work of this execution (unification, or the naive
+    /// baseline's centralized evaluation).
+    pub coordinator_ops: u64,
+    /// Wall-clock time of the execution as seen by the coordinator.
+    pub elapsed: Duration,
+    /// Was this execution served entirely from the server's residual-vector
+    /// cache (zero site visits)?
+    pub from_cache: bool,
+}
+
+impl ExecReport {
+    /// The answers of a single-query execution (the first query's answers;
+    /// empty for updates).
+    pub fn answers(&self) -> &[AnswerItem] {
+        self.queries.first().map(|q| q.answers.as_slice()).unwrap_or(&[])
+    }
+
+    /// The answers' origin node ids, sorted — the canonical comparison key.
+    /// For batches this is the first query's; use [`ExecReport::queries`]
+    /// for the rest.
+    pub fn answer_origins(&self) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self.answers().iter().map(|a| a.origin).collect();
+        out.sort();
+        out
+    }
+
+    /// The answers' text contents (useful in examples and tests).
+    pub fn answer_texts(&self) -> Vec<String> {
+        self.answers().iter().filter_map(|a| a.text.clone()).collect()
+    }
+
+    /// Number of queries this execution carried.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Did this execution carry no queries (an update, or an empty batch)?
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Answers summed over every query of the execution.
+    pub fn total_answers(&self) -> usize {
+        self.queries.iter().map(|q| q.answers.len()).sum()
+    }
+
+    /// Maximum number of visits any site received **during this execution**
+    /// — the paper's headline guarantee (≤ 3 for PaX3, ≤ 2 for PaX2 and for
+    /// a whole PaX2 batch, ≤ 1 for the naive baseline and for an update
+    /// round).
+    pub fn max_visits_per_site(&self) -> u32 {
+        self.stats.max_visits_per_site()
+    }
+
+    /// Per-site visit counts of this execution.
+    pub fn visits_per_site(&self) -> BTreeMap<SiteId, u32> {
+        self.stats.sites.iter().map(|(site, s)| (*site, s.visits)).collect()
+    }
+
+    /// Visits this execution paid to sites holding *no* dirty fragment.
+    /// Meaningful for [`ExecMode::Update`], where the incremental protocol
+    /// guarantees zero; executions without an update slice return 0.
+    pub fn clean_site_visits(&self) -> u32 {
+        match &self.update {
+            Some(update) => self
+                .stats
+                .sites
+                .iter()
+                .filter(|(site, _)| !update.dirty_sites.contains(site))
+                .map(|(_, s)| s.visits)
+                .sum(),
+            None => 0,
+        }
+    }
+
+    /// Total bytes moved over the (simulated) network by this execution.
+    pub fn network_bytes(&self) -> u64 {
+        self.stats.total_bytes()
+    }
+
+    /// Coordinator rounds this execution needed.
+    pub fn rounds(&self) -> u32 {
+        self.stats.rounds
+    }
+
+    /// Total computation (sum over sites plus the coordinator's own work).
+    pub fn total_ops(&self) -> u64 {
+        self.stats.total_ops + self.coordinator_ops
+    }
+
+    /// The parallel (perceived) computation time of this execution.
+    pub fn parallel_time(&self) -> Duration {
+        self.stats.parallel_time()
+    }
+
+    /// Deterministic model of the parallel computation cost (see
+    /// [`ClusterStats::parallel_ops`]).
+    pub fn parallel_ops(&self) -> u64 {
+        self.stats.parallel_ops
+    }
+
+    /// Sum of per-site busy time — the paper's Experiment-3 metric.
+    pub fn total_computation_time(&self) -> Duration {
+        self.stats.total_busy()
+    }
+
+    /// Queries per second of coordinator wall-clock time (batch executions).
+    pub fn queries_per_second(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return f64::INFINITY;
+        }
+        self.queries.len() as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        let mut out =
+            format!("{}{}", self.algorithm, if self.annotations_used { "-XA" } else { "-NA" },);
+        match self.mode {
+            ExecMode::Query => {}
+            ExecMode::Batch => out.push_str("-batch"),
+            ExecMode::Update => out.push_str("-update"),
+        }
+        out.push_str(&format!(
+            ": {} answers, {} visits max/site, {} rounds, {} bytes, {} ops, parallel {:?}",
+            self.total_answers(),
+            self.max_visits_per_site(),
+            self.rounds(),
+            self.network_bytes(),
+            self.total_ops(),
+            self.parallel_time(),
+        ));
+        if let Some(q) = self.queries.first() {
+            if self.queries.len() == 1 {
+                out.push_str(&format!(
+                    ", {} of {} fragments",
+                    q.fragments_evaluated, self.fragments_total
+                ));
+            } else {
+                out.push_str(&format!(", {} queries", self.queries.len()));
+            }
+        }
+        if let Some(update) = &self.update {
+            out.push_str(&format!(
+                ", {} dirty fragments on {} sites, {} ops applied, {} sessions refreshed",
+                update.dirty_fragments.len(),
+                update.dirty_sites.len(),
+                update.applied_ops,
+                update.refreshed_sessions,
+            ));
+        }
+        if self.from_cache {
+            out.push_str(" (cached)");
+        }
+        out
+    }
+
+    /// View this execution as the legacy single-query
+    /// [`EvaluationReport`] (the first query's slice).
+    pub fn to_evaluation_report(&self) -> EvaluationReport {
+        let outcome = self.queries.first();
+        EvaluationReport {
+            algorithm: self.algorithm,
+            annotations_used: self.annotations_used,
+            query: outcome.map(|q| q.query.clone()).unwrap_or_default(),
+            answers: outcome.map(|q| q.answers.clone()).unwrap_or_default(),
+            fragments_evaluated: outcome.map(|q| q.fragments_evaluated).unwrap_or(0),
+            fragments_total: self.fragments_total,
+            stats: self.stats.clone(),
+            coordinator_ops: self.coordinator_ops,
+            elapsed: self.elapsed,
+        }
     }
 }
 

@@ -1,0 +1,846 @@
+//! The `PaxServer` session API: every evaluation mode behind one handle.
+//!
+//! The paper's algorithms — PaX3, PaX2, the batched engine, the incremental
+//! engine, the naive baseline — are one system: a coordinator holding the
+//! fragment tree of a long-lived deployment and serving queries over it.
+//! This module is that coordinator. A [`PaxServer`]:
+//!
+//! * **owns the deployment** — callers never thread `&mut Deployment`
+//!   around, and every execution reports *its own* cluster meters (the
+//!   server snapshots the cumulative counters around each call);
+//! * **prepares queries once** — [`PaxServer::prepare`] compiles and
+//!   normalizes a query and caches it by text; a [`PreparedQuery`] is a
+//!   cheap handle that can be executed any number of times;
+//! * **routes every mode through the right engine** —
+//!   [`PaxServer::execute`] (single query), [`PaxServer::execute_batch`]
+//!   (shared-visit batch), [`PaxServer::apply_updates`] (fragment updates),
+//!   [`PaxServer::query_once`] (one-shot text query), all returning the
+//!   unified [`ExecReport`];
+//! * **maintains the incremental residual-vector cache across all prepared
+//!   queries** (PaX2 servers): the first execution of a prepared query
+//!   snapshots its per-fragment residual vectors coordinator-side; an
+//!   update round then refreshes *every* prepared query's cache in the one
+//!   visit it pays to each dirty site — clean sites are never visited, and
+//!   re-executing any prepared query afterwards costs **zero** visits.
+//!
+//! ```
+//! use paxml_core::server::PaxServer;
+//! use paxml_core::Algorithm;
+//! use paxml_distsim::Placement;
+//! use paxml_fragment::strategy::cut_at_labels;
+//! use paxml_xml::TreeBuilder;
+//!
+//! let tree = TreeBuilder::new("clientele")
+//!     .open("client").leaf("country", "US")
+//!         .open("broker").leaf("name", "E*trade").close()
+//!     .close()
+//!     .open("client").leaf("country", "Canada")
+//!         .open("broker").leaf("name", "CIBC").close()
+//!     .close()
+//!     .build();
+//! let fragmented = cut_at_labels(&tree, &["broker"]).unwrap();
+//!
+//! let mut server = PaxServer::builder()
+//!     .algorithm(Algorithm::PaX2)
+//!     .annotations(true)
+//!     .placement(Placement::RoundRobin)
+//!     .sites(3)
+//!     .deploy(&fragmented)
+//!     .unwrap();
+//!
+//! let q = server.prepare("client[country/text()='US']/broker/name").unwrap();
+//! let report = server.execute(&q).unwrap();
+//! assert_eq!(report.answer_texts(), vec!["E*trade".to_string()]);
+//! assert!(report.max_visits_per_site() <= 2);
+//!
+//! // A batch shares site visits across queries...
+//! let q2 = server.prepare("client/broker/name").unwrap();
+//! let batch = server.execute_batch(&[q.clone(), q2]).unwrap();
+//! assert_eq!(batch.len(), 2);
+//! assert!(batch.max_visits_per_site() <= 2);
+//!
+//! // ...and re-executing a prepared query is served from the cache.
+//! assert_eq!(server.execute(&q).unwrap().max_visits_per_site(), 0);
+//! ```
+
+use crate::deployment::Deployment;
+use crate::error::{PaxError, PaxResult};
+use crate::incremental::QuerySession;
+use crate::protocol::{session_update_task, MsgSessionUpdate, SessionRecompute};
+use crate::report::{Algorithm, ExecMode, ExecReport, QueryOutcome, UpdateOutcome};
+use crate::EvalOptions;
+use crate::{batch, naive, pax2, pax3};
+use paxml_distsim::{ClusterStats, Placement, SiteId};
+use paxml_fragment::{FragmentId, FragmentedTree, UpdateOp};
+use paxml_xpath::{compile_text, CompiledQuery};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A query compiled and normalized once by [`PaxServer::prepare`], reusable
+/// across any number of executions of the server that prepared it. Cloning
+/// is cheap (the compiled form is shared).
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    /// Position in the server's prepared-query table.
+    id: usize,
+    text: Arc<str>,
+    compiled: Arc<CompiledQuery>,
+}
+
+impl PreparedQuery {
+    /// The query text as prepared.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The compiled, normalized form.
+    pub fn compiled(&self) -> &CompiledQuery {
+        &self.compiled
+    }
+}
+
+/// Builder for a [`PaxServer`]. Obtain with [`PaxServer::builder`],
+/// configure, then [`PaxServerBuilder::deploy`] over a fragmented tree.
+#[derive(Debug, Clone)]
+pub struct PaxServerBuilder {
+    algorithm: Algorithm,
+    use_annotations: bool,
+    placement: Placement,
+    sites: Option<usize>,
+    assignment: Option<BTreeMap<FragmentId, SiteId>>,
+    sequential: bool,
+    round_latency: Duration,
+    site_delays: BTreeMap<SiteId, Duration>,
+}
+
+impl Default for PaxServerBuilder {
+    fn default() -> Self {
+        PaxServerBuilder {
+            algorithm: Algorithm::PaX2,
+            use_annotations: false,
+            placement: Placement::RoundRobin,
+            sites: None,
+            assignment: None,
+            sequential: false,
+            round_latency: Duration::ZERO,
+            site_delays: BTreeMap::new(),
+        }
+    }
+}
+
+impl PaxServerBuilder {
+    /// Which engine serves single-query executions (default
+    /// [`Algorithm::PaX2`], the only engine with an incremental
+    /// residual-vector cache).
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Enable the XPath-annotation optimization of §5 (default off).
+    pub fn annotations(mut self, on: bool) -> Self {
+        self.use_annotations = on;
+        self
+    }
+
+    /// How fragments are placed onto sites (default round-robin). Ignored
+    /// when an explicit [`PaxServerBuilder::assignment`] is given.
+    pub fn placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Number of simulated sites (default: one site per fragment).
+    pub fn sites(mut self, sites: usize) -> Self {
+        self.sites = Some(sites);
+        self
+    }
+
+    /// An explicit fragment→site assignment (fragments not mentioned go to
+    /// site 0). Overrides [`PaxServerBuilder::placement`].
+    pub fn assignment(mut self, assignment: BTreeMap<FragmentId, SiteId>) -> Self {
+        self.assignment = Some(assignment);
+        self
+    }
+
+    /// Run coordinator rounds sequentially (deterministic) instead of on
+    /// the per-site worker pool (default parallel).
+    pub fn sequential(mut self, sequential: bool) -> Self {
+        self.sequential = sequential;
+        self
+    }
+
+    /// Charge a fixed latency per coordinator round (simulated network
+    /// RTT; default zero).
+    pub fn round_latency(mut self, latency: Duration) -> Self {
+        self.round_latency = latency;
+        self
+    }
+
+    /// Slow one site down artificially (skew/failure-injection studies).
+    pub fn site_delay(mut self, site: SiteId, delay: Duration) -> Self {
+        self.site_delays.insert(site, delay);
+        self
+    }
+
+    /// Deploy `fragmented` over the configured cluster and start the
+    /// session.
+    pub fn deploy(self, fragmented: &FragmentedTree) -> PaxResult<PaxServer> {
+        if self.sites == Some(0) {
+            return Err(PaxError::InvalidConfig {
+                message: "a deployment needs at least one site".into(),
+            });
+        }
+        let sites = self.sites.unwrap_or_else(|| fragmented.fragment_count().max(1));
+        if let Some(assignment) = &self.assignment {
+            if let Some((f, s)) = assignment.iter().find(|(_, s)| s.index() >= sites) {
+                return Err(PaxError::InvalidConfig {
+                    message: format!("fragment {f} assigned to nonexistent site {s} (of {sites})"),
+                });
+            }
+        }
+        let mut deployment = match self.assignment {
+            Some(assignment) => Deployment::with_assignment(fragmented, sites, assignment),
+            None => Deployment::new(fragmented, sites, self.placement),
+        };
+        deployment.cluster.sequential = self.sequential;
+        deployment.cluster.round_latency = self.round_latency;
+        deployment.cluster.site_delay = self.site_delays;
+        Ok(PaxServer {
+            deployment,
+            algorithm: self.algorithm,
+            options: EvalOptions { use_annotations: self.use_annotations },
+            prepared: Vec::new(),
+            by_text: BTreeMap::new(),
+            sessions: BTreeMap::new(),
+        })
+    }
+}
+
+/// A long-lived evaluation session over one deployment: prepared queries,
+/// single and batched execution, and fragment updates, all through one
+/// handle. See the [module docs](self) for the full picture.
+pub struct PaxServer {
+    deployment: Deployment,
+    algorithm: Algorithm,
+    options: EvalOptions,
+    prepared: Vec<PreparedQuery>,
+    by_text: BTreeMap<String, usize>,
+    /// Residual-vector caches per prepared query (PaX2 servers), keyed by
+    /// the prepared query's id. Populated on first execution, maintained by
+    /// every update round.
+    sessions: BTreeMap<usize, QuerySession>,
+}
+
+impl PaxServer {
+    /// Start configuring a server.
+    pub fn builder() -> PaxServerBuilder {
+        PaxServerBuilder::default()
+    }
+
+    /// The engine serving single-query executions.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The evaluation options of this session.
+    pub fn options(&self) -> &EvalOptions {
+        &self.options
+    }
+
+    /// The owned deployment (read-only; all mutation goes through the
+    /// server so the meters stay faithful).
+    pub fn deployment(&self) -> &Deployment {
+        &self.deployment
+    }
+
+    /// Number of queries prepared so far.
+    pub fn prepared_count(&self) -> usize {
+        self.prepared.len()
+    }
+
+    /// The cumulative cluster meters since the deployment started (each
+    /// [`ExecReport`] carries the per-execution delta instead).
+    pub fn cumulative_stats(&self) -> &ClusterStats {
+        &self.deployment.cluster.stats
+    }
+
+    /// Compile and normalize `text` once, caching by query text: preparing
+    /// the same text again returns the cached compilation.
+    pub fn prepare(&mut self, text: &str) -> PaxResult<PreparedQuery> {
+        if let Some(&id) = self.by_text.get(text) {
+            return Ok(self.prepared[id].clone());
+        }
+        let compiled = compile_text(text)?;
+        let id = self.prepared.len();
+        let query = PreparedQuery { id, text: Arc::from(text), compiled: Arc::new(compiled) };
+        self.prepared.push(query.clone());
+        self.by_text.insert(text.to_string(), id);
+        Ok(query)
+    }
+
+    /// Check a prepared query belongs to this server and return its id.
+    fn resolve(&self, query: &PreparedQuery) -> PaxResult<usize> {
+        match self.prepared.get(query.id) {
+            Some(own) if *own.text == *query.text => Ok(query.id),
+            _ => Err(PaxError::ForeignQuery { query: query.text().to_string() }),
+        }
+    }
+
+    /// Execute a prepared query through the configured engine.
+    ///
+    /// On a PaX2 server the first execution also snapshots the query's
+    /// residual vectors coordinator-side (one visit per relevant site —
+    /// within the ≤ 2 bound); later executions are served from that cache
+    /// with **zero visits** until an update dirties it, and
+    /// [`PaxServer::apply_updates`] re-freshens it in the update's own
+    /// visit. PaX3 and naive servers run their classic protocols each time.
+    pub fn execute(&mut self, query: &PreparedQuery) -> PaxResult<ExecReport> {
+        let id = self.resolve(query)?;
+        match self.algorithm {
+            Algorithm::NaiveCentralized => {
+                Ok(naive::run(&mut self.deployment, &query.compiled, query.text()))
+            }
+            Algorithm::PaX3 => {
+                Ok(pax3::run(&mut self.deployment, &query.compiled, query.text(), &self.options))
+            }
+            Algorithm::PaX2 => Ok(self.execute_session(id)),
+        }
+    }
+
+    /// Prepare (or fetch the cached preparation of) `text` and execute it.
+    pub fn execute_text(&mut self, text: &str) -> PaxResult<ExecReport> {
+        let query = self.prepare(text)?;
+        self.execute(&query)
+    }
+
+    /// One-shot evaluation of `text` through the configured classic engine:
+    /// compiles fresh, runs the full protocol, touches no prepared-query
+    /// cache. This is the drop-in replacement for the deprecated
+    /// `pax2::evaluate`-style free functions (and what benchmarks use as
+    /// the un-amortized baseline).
+    pub fn query_once(&mut self, text: &str) -> PaxResult<ExecReport> {
+        let compiled = compile_text(text)?;
+        Ok(match self.algorithm {
+            Algorithm::NaiveCentralized => naive::run(&mut self.deployment, &compiled, text),
+            Algorithm::PaX3 => pax3::run(&mut self.deployment, &compiled, text, &self.options),
+            Algorithm::PaX2 => pax2::run(&mut self.deployment, &compiled, text, &self.options),
+        })
+    }
+
+    /// Execute a batch of prepared queries in one shared-visit execution.
+    ///
+    /// PaX2 and PaX3 servers run the batched combined protocol (the whole
+    /// batch costs each site at most two visits, §4 extended); a naive
+    /// server evaluates the batch one query at a time. Batch executions do
+    /// not touch the prepared-query residual caches.
+    pub fn execute_batch(&mut self, queries: &[PreparedQuery]) -> PaxResult<ExecReport> {
+        for query in queries {
+            self.resolve(query)?;
+        }
+        match self.algorithm {
+            Algorithm::NaiveCentralized => {
+                let start = Instant::now();
+                let baseline = self.deployment.cluster.stats.clone();
+                let mut outcomes: Vec<QueryOutcome> = Vec::with_capacity(queries.len());
+                let mut coordinator_ops = 0u64;
+                for query in queries {
+                    let report = naive::run(&mut self.deployment, &query.compiled, query.text());
+                    coordinator_ops += report.coordinator_ops;
+                    outcomes.extend(report.queries);
+                }
+                Ok(ExecReport {
+                    algorithm: Algorithm::NaiveCentralized,
+                    annotations_used: false,
+                    mode: ExecMode::Batch,
+                    queries: outcomes,
+                    update: None,
+                    fragments_total: self.deployment.fragment_count(),
+                    stats: self.deployment.cluster.stats.delta_since(&baseline),
+                    coordinator_ops,
+                    elapsed: start.elapsed(),
+                    from_cache: false,
+                })
+            }
+            Algorithm::PaX3 | Algorithm::PaX2 => {
+                let compiled: Vec<&CompiledQuery> =
+                    queries.iter().map(|q| q.compiled.as_ref()).collect();
+                let texts: Vec<String> = queries.iter().map(|q| q.text().to_string()).collect();
+                let mut report = batch::run(&mut self.deployment, &compiled, &texts, &self.options);
+                // Batched execution always uses the shared-visit combined
+                // protocol; the report names the server's configured
+                // algorithm (PaX3's ≤ 3 bound holds a fortiori).
+                report.algorithm = self.algorithm;
+                Ok(report)
+            }
+        }
+    }
+
+    /// Prepare every text and execute them as one batch.
+    pub fn execute_batch_text<S: AsRef<str>>(&mut self, texts: &[S]) -> PaxResult<ExecReport> {
+        let queries: Vec<PreparedQuery> =
+            texts.iter().map(|t| self.prepare(t.as_ref())).collect::<PaxResult<_>>()?;
+        self.execute_batch(&queries)
+    }
+
+    /// Apply a batch of fragment updates, visiting **only** the sites that
+    /// hold an updated fragment — and, on PaX2 servers, refresh every
+    /// executed prepared query's residual-vector cache in that same visit,
+    /// so subsequent [`PaxServer::execute`] calls are already current
+    /// (zero visits, clean sites untouched throughout).
+    ///
+    /// Ops for the same fragment apply in batch order. An op naming an
+    /// unknown fragment fails the whole call before any visit; per-op
+    /// validation failures are reported per fragment in the report's
+    /// [`UpdateOutcome::rejected`] instead (the deployment stays consistent
+    /// — session vectors are refreshed either way).
+    pub fn apply_updates(&mut self, updates: &[(FragmentId, UpdateOp)]) -> PaxResult<ExecReport> {
+        let start = Instant::now();
+        let fragments_total = self.deployment.fragment_count();
+        let mut ops_by_fragment: BTreeMap<FragmentId, Vec<UpdateOp>> = BTreeMap::new();
+        for (fragment, op) in updates {
+            if fragment.index() >= fragments_total {
+                return Err(paxml_fragment::FragmentError::UnknownFragment {
+                    fragment: fragment.index(),
+                }
+                .into());
+            }
+            ops_by_fragment.entry(*fragment).or_default().push(op.clone());
+        }
+        let dirty_fragments: BTreeSet<FragmentId> = ops_by_fragment.keys().copied().collect();
+        let dirty_sites: BTreeSet<SiteId> =
+            dirty_fragments.iter().map(|&f| self.deployment.cluster.site_of(f)).collect();
+        let baseline = self.deployment.cluster.stats.clone();
+
+        let mut recomputed_fragments = 0usize;
+        let mut applied_ops = 0usize;
+        let mut rejected: BTreeMap<FragmentId, String> = BTreeMap::new();
+
+        if !dirty_fragments.is_empty() {
+            // ------------------------------------------- the one dirty round
+            // Each dirty site gets the ops for its fragments plus, per
+            // initialized session, the recompute instructions for its share
+            // of that session's dirty-and-relevant fragments.
+            let mut session_inputs: BTreeMap<usize, BTreeMap<FragmentId, _>> = BTreeMap::new();
+            for (&id, session) in &self.sessions {
+                let inputs = session.recompute_inputs(&dirty_fragments);
+                recomputed_fragments += inputs.len();
+                session_inputs.insert(id, inputs);
+            }
+            let mut requests: BTreeMap<SiteId, MsgSessionUpdate> = BTreeMap::new();
+            for (&site, fragments) in
+                &self.deployment.group_by_site(dirty_fragments.iter().copied())
+            {
+                let ops: BTreeMap<FragmentId, Vec<UpdateOp>> = fragments
+                    .iter()
+                    .filter_map(|f| ops_by_fragment.get(f).map(|ops| (*f, ops.clone())))
+                    .collect();
+                let mut sessions: Vec<SessionRecompute> = Vec::new();
+                for (&id, inputs) in &session_inputs {
+                    let here: BTreeMap<FragmentId, _> = fragments
+                        .iter()
+                        .filter_map(|f| inputs.get(f).map(|input| (*f, input.clone())))
+                        .collect();
+                    if !here.is_empty() {
+                        sessions.push(SessionRecompute {
+                            session: id,
+                            query: self.sessions[&id].query.clone(),
+                            fragments: here,
+                        });
+                    }
+                }
+                requests.insert(site, MsgSessionUpdate { ops, sessions });
+            }
+            debug_assert!(
+                requests.keys().all(|s| dirty_sites.contains(s)),
+                "the update round must address dirty sites only"
+            );
+            let responses = self.deployment.cluster.round(requests, session_update_task);
+
+            for delta in responses.into_values() {
+                applied_ops += delta.applied.values().sum::<usize>();
+                rejected.extend(delta.rejected);
+                for session_delta in delta.sessions {
+                    if let Some(session) = self.sessions.get_mut(&session_delta.session) {
+                        session.absorb(session_delta.vect, session_delta.answer);
+                    }
+                }
+            }
+        }
+
+        // ------------------- evalFT over each session's dirty cone
+        let mut coordinator_ops = 0u64;
+        let mut reunified_fragments = 0usize;
+        for session in self.sessions.values_mut() {
+            let refresh = session.refresh_coordinator_state(&dirty_fragments, false);
+            coordinator_ops += refresh.unify_ops;
+            reunified_fragments += refresh.reunified_fragments;
+        }
+
+        Ok(ExecReport {
+            algorithm: self.algorithm,
+            annotations_used: self.options.use_annotations,
+            mode: ExecMode::Update,
+            queries: Vec::new(),
+            update: Some(UpdateOutcome {
+                dirty_fragments,
+                dirty_sites,
+                applied_ops,
+                rejected,
+                refreshed_sessions: self.sessions.len(),
+                recomputed_fragments,
+                reunified_fragments,
+            }),
+            fragments_total,
+            stats: self.deployment.cluster.stats.delta_since(&baseline),
+            coordinator_ops,
+            elapsed: start.elapsed(),
+            from_cache: false,
+        })
+    }
+
+    /// The PaX2 session path of [`PaxServer::execute`]: snapshot on first
+    /// run, serve from the maintained cache afterwards.
+    fn execute_session(&mut self, id: usize) -> ExecReport {
+        let start = Instant::now();
+        let query = &self.prepared[id];
+        let session = self.sessions.entry(id).or_insert_with(|| {
+            QuerySession::new(
+                (*query.compiled).clone(),
+                query.text(),
+                &self.options,
+                self.deployment.fragment_tree.clone(),
+                &self.deployment.root_label,
+            )
+        });
+        let fragments_total = self.deployment.fragment_count();
+        if session.initialized {
+            // The cache is current (every update round refreshes it):
+            // answer without visiting a single site.
+            return ExecReport {
+                algorithm: Algorithm::PaX2,
+                annotations_used: self.options.use_annotations,
+                mode: ExecMode::Query,
+                queries: vec![QueryOutcome {
+                    query: session.query_text().to_string(),
+                    answers: session.answers().to_vec(),
+                    fragments_evaluated: 0,
+                    coordinator_ops: 0,
+                }],
+                update: None,
+                fragments_total,
+                stats: ClusterStats::default(),
+                coordinator_ops: 0,
+                elapsed: start.elapsed(),
+                from_cache: true,
+            };
+        }
+        let baseline = self.deployment.cluster.stats.clone();
+        let round = session.run_round(&mut self.deployment, &BTreeMap::new(), true);
+        ExecReport {
+            algorithm: Algorithm::PaX2,
+            annotations_used: self.options.use_annotations,
+            mode: ExecMode::Query,
+            queries: vec![QueryOutcome {
+                query: session.query_text().to_string(),
+                answers: session.answers().to_vec(),
+                fragments_evaluated: session.relevant().len(),
+                coordinator_ops: round.unify_ops,
+            }],
+            update: None,
+            fragments_total,
+            stats: self.deployment.cluster.stats.delta_since(&baseline),
+            coordinator_ops: round.unify_ops,
+            elapsed: start.elapsed(),
+            from_cache: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paxml_fragment::strategy;
+    use paxml_xml::{TreeBuilder, XmlTree};
+    use paxml_xpath::centralized;
+
+    fn clientele() -> XmlTree {
+        TreeBuilder::new("clientele")
+            .open("client")
+            .leaf("name", "Anna")
+            .leaf("country", "US")
+            .open("broker")
+            .leaf("name", "E*trade")
+            .open("market")
+            .leaf("name", "NASDAQ")
+            .open("stock")
+            .leaf("code", "GOOG")
+            .leaf("buy", "$374")
+            .leaf("qt", "40")
+            .close()
+            .close()
+            .close()
+            .close()
+            .open("client")
+            .leaf("name", "Lisa")
+            .leaf("country", "Canada")
+            .open("broker")
+            .leaf("name", "CIBC")
+            .open("market")
+            .leaf("name", "TSE")
+            .open("stock")
+            .leaf("code", "GOOG")
+            .leaf("buy", "$382")
+            .leaf("qt", "90")
+            .close()
+            .close()
+            .close()
+            .close()
+            .build()
+    }
+
+    fn server_for(algorithm: Algorithm, fragmented: &FragmentedTree) -> PaxServer {
+        PaxServer::builder()
+            .algorithm(algorithm)
+            .sites(4)
+            .sequential(true)
+            .deploy(fragmented)
+            .unwrap()
+    }
+
+    #[test]
+    fn every_algorithm_matches_the_centralized_reference_through_the_server() {
+        let tree = clientele();
+        let fragmented = strategy::cut_at_labels(&tree, &["broker", "market"]).unwrap();
+        for query in [
+            "client/name",
+            "client[country/text()='US']/broker/name",
+            "//stock[qt >= 50]/code",
+            "//broker[//stock/code/text()='GOOG']/name",
+            "nonexistent/path",
+        ] {
+            let mut expected = centralized::evaluate(&tree, query).unwrap().answers;
+            expected.sort();
+            for algorithm in [Algorithm::NaiveCentralized, Algorithm::PaX3, Algorithm::PaX2] {
+                let mut server = server_for(algorithm, &fragmented);
+                let q = server.prepare(query).unwrap();
+                let report = server.execute(&q).unwrap();
+                assert_eq!(report.answer_origins(), expected, "{algorithm} on {query}");
+                // And again: per-execution meters, answers unchanged.
+                let report = server.execute(&q).unwrap();
+                assert_eq!(report.answer_origins(), expected, "{algorithm} rerun on {query}");
+            }
+        }
+    }
+
+    #[test]
+    fn prepare_caches_by_query_text() {
+        let tree = clientele();
+        let fragmented = strategy::cut_at_labels(&tree, &["broker"]).unwrap();
+        let mut server = server_for(Algorithm::PaX2, &fragmented);
+        let a = server.prepare("client/name").unwrap();
+        let b = server.prepare("client/name").unwrap();
+        assert_eq!(a.id, b.id);
+        assert_eq!(server.prepared_count(), 1);
+        let c = server.prepare("client/broker/name").unwrap();
+        assert_ne!(a.id, c.id);
+        assert_eq!(server.prepared_count(), 2);
+    }
+
+    #[test]
+    fn foreign_prepared_queries_are_rejected() {
+        let tree = clientele();
+        let fragmented = strategy::cut_at_labels(&tree, &["broker"]).unwrap();
+        let mut a = server_for(Algorithm::PaX2, &fragmented);
+        let mut b = server_for(Algorithm::PaX2, &fragmented);
+        let qa = a.prepare("client/name").unwrap();
+        let _qb = b.prepare("//name").unwrap();
+        // Same id slot, different text: must be rejected, not silently
+        // executed as the wrong query.
+        assert!(matches!(b.execute(&qa), Err(PaxError::ForeignQuery { .. })));
+    }
+
+    #[test]
+    fn pax2_reexecution_is_served_from_the_cache() {
+        let tree = clientele();
+        let fragmented = strategy::cut_at_labels(&tree, &["broker"]).unwrap();
+        let mut server = server_for(Algorithm::PaX2, &fragmented);
+        let q = server.prepare("client[country/text()='US']/broker/name").unwrap();
+        let first = server.execute(&q).unwrap();
+        assert!(!first.from_cache);
+        assert!(first.max_visits_per_site() >= 1);
+        let second = server.execute(&q).unwrap();
+        assert!(second.from_cache);
+        assert_eq!(second.max_visits_per_site(), 0);
+        assert_eq!(second.rounds(), 0);
+        assert_eq!(second.answer_origins(), first.answer_origins());
+        assert!(second.summary().contains("(cached)"));
+    }
+
+    #[test]
+    fn consecutive_executions_report_per_execution_stats() {
+        // The `&mut Deployment` stats footgun, fixed: no reset() anywhere,
+        // yet the second run's meters equal the first run's instead of
+        // doubling.
+        let tree = clientele();
+        let fragmented = strategy::cut_at_labels(&tree, &["broker", "market"]).unwrap();
+        for algorithm in [Algorithm::NaiveCentralized, Algorithm::PaX3] {
+            let mut server = server_for(algorithm, &fragmented);
+            let q = server.prepare("client[country/text()='US']/broker/name").unwrap();
+            let first = server.execute(&q).unwrap();
+            let second = server.execute(&q).unwrap();
+            assert_eq!(
+                first.max_visits_per_site(),
+                second.max_visits_per_site(),
+                "{algorithm}: visits accumulated across executions"
+            );
+            assert_eq!(first.network_bytes(), second.network_bytes());
+            assert_eq!(first.rounds(), second.rounds());
+            // The cumulative view keeps growing, for capacity planning.
+            assert_eq!(server.cumulative_stats().rounds, first.rounds() + second.rounds());
+        }
+        // Same through the one-shot path.
+        let mut server = server_for(Algorithm::PaX2, &fragmented);
+        let first = server.query_once("client/broker/name").unwrap();
+        let second = server.query_once("client/broker/name").unwrap();
+        assert_eq!(first.max_visits_per_site(), second.max_visits_per_site());
+        assert_eq!(first.network_bytes(), second.network_bytes());
+    }
+
+    #[test]
+    fn batches_share_visits_for_pax_servers_and_loop_for_naive() {
+        let tree = clientele();
+        let fragmented = strategy::cut_at_labels(&tree, &["broker", "market"]).unwrap();
+        let queries =
+            ["client/name", "//stock/code", "client[country/text()='US']/broker/name", "//name"];
+        let mut expected: Vec<Vec<paxml_xml::NodeId>> = Vec::new();
+        for query in queries {
+            let mut answers = centralized::evaluate(&tree, query).unwrap().answers;
+            answers.sort();
+            expected.push(answers);
+        }
+        for algorithm in [Algorithm::PaX2, Algorithm::PaX3, Algorithm::NaiveCentralized] {
+            let mut server = server_for(algorithm, &fragmented);
+            let batch = server.execute_batch_text(&queries).unwrap();
+            assert_eq!(batch.len(), queries.len());
+            assert_eq!(batch.mode, ExecMode::Batch);
+            assert_eq!(batch.algorithm, algorithm);
+            for (outcome, expected) in batch.queries.iter().zip(&expected) {
+                let mut origins: Vec<_> = outcome.answers.iter().map(|a| a.origin).collect();
+                origins.sort();
+                assert_eq!(&origins, expected, "{algorithm} batch on {}", outcome.query);
+            }
+            if algorithm != Algorithm::NaiveCentralized {
+                assert!(batch.max_visits_per_site() <= 2, "{algorithm} batch broke the bound");
+            }
+        }
+    }
+
+    #[test]
+    fn updates_refresh_every_prepared_query_without_visiting_clean_sites() {
+        let tree = clientele();
+        let fragmented = strategy::cut_at_labels(&tree, &["broker"]).unwrap();
+        let mut mirror = fragmented.clone();
+        let mut server = server_for(Algorithm::PaX2, &fragmented);
+        let q1 = server.prepare("client[country/text()='US']/broker/name").unwrap();
+        let q2 = server.prepare("client/name").unwrap();
+        assert_eq!(server.execute(&q1).unwrap().answer_texts(), vec!["E*trade".to_string()]);
+        assert_eq!(
+            server.execute(&q2).unwrap().answer_texts(),
+            vec!["Anna".to_string(), "Lisa".to_string()]
+        );
+
+        // Lisa's country text node lives in the root fragment (F0).
+        let root_tree = &mirror.fragments[0].tree;
+        let countries = root_tree.find_all("country");
+        let lisa_country = root_tree.children(countries[1]).next().unwrap();
+        let updates =
+            vec![(FragmentId(0), UpdateOp::EditText { node: lisa_country, text: "US".into() })];
+        for (fragment, op) in &updates {
+            paxml_fragment::apply_update(&mut mirror.fragments[fragment.index()], op).unwrap();
+        }
+        let update = server.apply_updates(&updates).unwrap();
+        assert_eq!(update.mode, ExecMode::Update);
+        let outcome = update.update.as_ref().unwrap();
+        assert_eq!(outcome.applied_ops, 1);
+        assert_eq!(outcome.refreshed_sessions, 2);
+        assert_eq!(update.clean_site_visits(), 0, "clean sites must not be visited");
+        assert_eq!(update.max_visits_per_site(), 1);
+
+        // Both prepared queries are current — served with zero visits — and
+        // agree with a from-scratch evaluation over the updated fragments.
+        for (q, query_text) in
+            [(q1, "client[country/text()='US']/broker/name"), (q2, "client/name")]
+        {
+            let mut scratch = server_for(Algorithm::PaX2, &mirror);
+            let expected = scratch.query_once(query_text).unwrap().answer_origins();
+            let report = server.execute(&q).unwrap();
+            assert!(report.from_cache);
+            assert_eq!(report.max_visits_per_site(), 0);
+            assert_eq!(report.answer_origins(), expected, "stale cache for {query_text}");
+        }
+    }
+
+    #[test]
+    fn unknown_fragments_fail_before_any_visit_and_empty_updates_are_free() {
+        let tree = clientele();
+        let fragmented = strategy::cut_at_labels(&tree, &["broker"]).unwrap();
+        let mut server = server_for(Algorithm::PaX2, &fragmented);
+        let node = fragmented.fragments[1].tree.root();
+        let err = server.apply_updates(&[(FragmentId(99), UpdateOp::DeleteSubtree { node })]);
+        assert!(matches!(err, Err(PaxError::Fragment(_))));
+        assert_eq!(server.cumulative_stats().rounds, 0);
+
+        let report = server.apply_updates(&[]).unwrap();
+        assert_eq!(report.rounds(), 0);
+        assert_eq!(report.network_bytes(), 0);
+        assert!(report.update.unwrap().dirty_fragments.is_empty());
+    }
+
+    #[test]
+    fn builder_validates_its_configuration() {
+        let tree = clientele();
+        let fragmented = strategy::cut_at_labels(&tree, &["broker"]).unwrap();
+        assert!(matches!(
+            PaxServer::builder().sites(0).deploy(&fragmented),
+            Err(PaxError::InvalidConfig { .. })
+        ));
+        let mut assignment = BTreeMap::new();
+        assignment.insert(FragmentId(1), SiteId(9));
+        assert!(matches!(
+            PaxServer::builder().sites(2).assignment(assignment).deploy(&fragmented),
+            Err(PaxError::InvalidConfig { .. })
+        ));
+        // Defaults: one site per fragment.
+        let server = PaxServer::builder().deploy(&fragmented).unwrap();
+        assert_eq!(server.deployment().cluster.site_count(), fragmented.fragment_count());
+        assert_eq!(server.algorithm(), Algorithm::PaX2);
+    }
+
+    #[test]
+    fn updates_on_a_naive_server_still_change_the_data() {
+        let tree = clientele();
+        let fragmented = strategy::cut_at_labels(&tree, &["broker"]).unwrap();
+        let mut server = server_for(Algorithm::NaiveCentralized, &fragmented);
+        let q = server.prepare("client/broker/name").unwrap();
+        assert_eq!(
+            server.execute(&q).unwrap().answer_texts(),
+            vec!["E*trade".to_string(), "CIBC".to_string()]
+        );
+        let f2 = &fragmented.fragments[2].tree;
+        let name = f2.find_first("name").unwrap();
+        let text = f2.children(name).next().unwrap();
+        let update = server
+            .apply_updates(&[(
+                FragmentId(2),
+                UpdateOp::EditText { node: text, text: "RBC".into() },
+            )])
+            .unwrap();
+        assert_eq!(update.update.unwrap().applied_ops, 1);
+        assert_eq!(
+            server.execute(&q).unwrap().answer_texts(),
+            vec!["E*trade".to_string(), "RBC".to_string()]
+        );
+    }
+}

@@ -109,6 +109,39 @@ impl ClusterStats {
         self.parallel_ops += max_ops;
     }
 
+    /// The counters accumulated *since* `baseline` was captured — the
+    /// per-execution view of a long-lived cluster whose counters only grow.
+    ///
+    /// Executions snapshot the cumulative stats before they start and report
+    /// `current.delta_since(&baseline)`, so back-to-back executions over one
+    /// deployment each report their own visits/bytes without anyone having
+    /// to remember a `reset()` call. Sites with no activity since the
+    /// baseline are omitted from the delta.
+    pub fn delta_since(&self, baseline: &ClusterStats) -> ClusterStats {
+        let mut delta = ClusterStats {
+            sites: BTreeMap::new(),
+            rounds: self.rounds.saturating_sub(baseline.rounds),
+            messages: self.messages.saturating_sub(baseline.messages),
+            parallel_nanos: self.parallel_nanos.saturating_sub(baseline.parallel_nanos),
+            total_ops: self.total_ops.saturating_sub(baseline.total_ops),
+            parallel_ops: self.parallel_ops.saturating_sub(baseline.parallel_ops),
+        };
+        for (site, s) in &self.sites {
+            let before = baseline.sites.get(site).cloned().unwrap_or_default();
+            let d = SiteStats {
+                visits: s.visits.saturating_sub(before.visits),
+                ops: s.ops.saturating_sub(before.ops),
+                busy_nanos: s.busy_nanos.saturating_sub(before.busy_nanos),
+                bytes_received: s.bytes_received.saturating_sub(before.bytes_received),
+                bytes_sent: s.bytes_sent.saturating_sub(before.bytes_sent),
+            };
+            if d != SiteStats::default() {
+                delta.sites.insert(*site, d);
+            }
+        }
+        delta
+    }
+
     /// Merge the counters of another execution into this one (used when an
     /// algorithm is composed of several phases measured separately).
     pub fn merge(&mut self, other: &ClusterStats) {
@@ -174,6 +207,31 @@ mod tests {
         assert_eq!(a.rounds, 2);
         assert_eq!(a.total_ops, 22);
         assert_eq!(a.parallel_ops, 17);
+    }
+
+    #[test]
+    fn delta_since_reports_only_the_new_work() {
+        let mut s = ClusterStats::default();
+        s.record_site_work(SiteId(0), 100, Duration::from_micros(5), 64, 32);
+        s.record_round(Duration::from_micros(5), 100);
+        let baseline = s.clone();
+        s.record_site_work(SiteId(0), 40, Duration::from_micros(2), 8, 8);
+        s.record_site_work(SiteId(1), 10, Duration::from_micros(1), 4, 4);
+        s.record_round(Duration::from_micros(2), 40);
+
+        let delta = s.delta_since(&baseline);
+        assert_eq!(delta.sites[&SiteId(0)].visits, 1);
+        assert_eq!(delta.sites[&SiteId(0)].ops, 40);
+        assert_eq!(delta.sites[&SiteId(1)].visits, 1);
+        assert_eq!(delta.rounds, 1);
+        assert_eq!(delta.total_ops, 50);
+        assert_eq!(delta.total_bytes(), 8 + 8 + 4 + 4);
+        assert_eq!(delta.max_visits_per_site(), 1);
+
+        // A delta against itself is empty, including the per-site map.
+        let idle = s.delta_since(&s.clone());
+        assert!(idle.sites.is_empty());
+        assert_eq!(idle.rounds, 0);
     }
 
     #[test]

@@ -25,6 +25,20 @@ fn main() {
         );
     }
 
+    // Two long-lived sessions over the same topology: with and without the
+    // annotation optimization (per-execution meters need no reset calls).
+    let server = |annotations: bool| {
+        PaxServer::builder()
+            .algorithm(Algorithm::PaX2)
+            .annotations(annotations)
+            .sites(10)
+            .placement(Placement::RoundRobin)
+            .deploy(&fragmented)
+            .expect("valid configuration")
+    };
+    let mut with_na = server(false);
+    let mut with_xa = server(true);
+
     for (query_name, query) in [
         ("Q1 (people/person — prunable)", "/sites/site/people/person"),
         (
@@ -41,14 +55,12 @@ fn main() {
         ),
     ] {
         println!("\n=== {query_name}");
-        let mut with_na = Deployment::new(&fragmented, 10, Placement::RoundRobin);
-        let na = pax2::evaluate(&mut with_na, query, &EvalOptions::without_annotations()).unwrap();
-        let mut with_xa = Deployment::new(&fragmented, 10, Placement::RoundRobin);
-        let xa = pax2::evaluate(&mut with_xa, query, &EvalOptions::with_annotations()).unwrap();
+        let na = with_na.query_once(query).unwrap();
+        let xa = with_xa.query_once(query).unwrap();
         assert_eq!(na.answer_origins(), xa.answer_origins());
         println!(
             "  PaX2-NA: {:>2}/{} fragments, parallel {:?}, total cpu {:?}, {} bytes",
-            na.fragments_evaluated,
+            na.queries[0].fragments_evaluated,
             na.fragments_total,
             na.parallel_time(),
             na.total_computation_time(),
@@ -56,7 +68,7 @@ fn main() {
         );
         println!(
             "  PaX2-XA: {:>2}/{} fragments, parallel {:?}, total cpu {:?}, {} bytes",
-            xa.fragments_evaluated,
+            xa.queries[0].fragments_evaluated,
             xa.fragments_total,
             xa.parallel_time(),
             xa.total_computation_time(),
@@ -68,7 +80,7 @@ fn main() {
                     / na.total_computation_time().as_secs_f64().max(1e-9));
         println!(
             "  -> total computation saved by annotations: {saved:.0}%  (answers identical: {})",
-            na.answers.len()
+            na.answers().len()
         );
     }
 }

@@ -43,25 +43,32 @@ fn main() {
         queries.len()
     );
 
+    // One long-lived session serves both series; every execution reports
+    // its own meters (no reset() calls anywhere).
+    let mut server = PaxServer::builder()
+        .algorithm(Algorithm::PaX2)
+        .sites(sites)
+        .placement(Placement::RoundRobin)
+        .deploy(&fragmented)
+        .expect("valid configuration");
+
     // ------------------------------------------------ one query at a time
-    let mut deployment = Deployment::new(&fragmented, sites, Placement::RoundRobin);
     let start = Instant::now();
     let mut single_rounds = 0u32;
     let mut single_visits = 0u32;
     let mut single_bytes = 0u64;
     let mut single_answers = 0usize;
     for query in &queries {
-        deployment.reset();
-        let report = pax2::evaluate(&mut deployment, query, &EvalOptions::default()).unwrap();
-        single_rounds += report.stats.rounds;
+        let report = server.query_once(query).unwrap();
+        single_rounds += report.rounds();
         single_visits += report.max_visits_per_site();
         single_bytes += report.network_bytes();
-        single_answers += report.answers.len();
+        single_answers += report.answers().len();
     }
     let single_elapsed = start.elapsed();
 
     // ------------------------------------------------------- one batch
-    let batch = batch::evaluate(&mut deployment, &queries, &EvalOptions::default()).unwrap();
+    let batch = server.execute_batch_text(&queries).unwrap();
 
     println!("{:<26} {:>14} {:>14}", "metric", "one-at-a-time", "batched");
     let rows: Vec<(&str, String, String)> = vec![
@@ -85,8 +92,8 @@ fn main() {
     }
 
     println!("\nper-query answers (batch):");
-    for report in &batch.reports {
-        println!("  {:>5} answers  {}", report.answers.len(), report.query);
+    for outcome in &batch.queries {
+        println!("  {:>5} answers  {}", outcome.answers.len(), outcome.query);
     }
     println!("\n{}", batch.summary());
 

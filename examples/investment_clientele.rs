@@ -38,21 +38,28 @@ fn main() {
         );
     }
 
+    // One long-lived session serves every example query over the Fig. 2
+    // placement; each execution reports its own meters.
+    let mut server = PaxServer::builder()
+        .algorithm(Algorithm::PaX2)
+        .annotations(true)
+        .sites(4)
+        .assignment(assignment.clone())
+        .deploy(&fragmented)
+        .expect("valid configuration");
+
     for (query, description) in CLIENTELE_QUERY_EXAMPLES {
         println!("\n=== {description}\n    {query}");
-        let mut deployment =
-            paxml::core::Deployment::with_assignment(&fragmented, 4, assignment.clone());
-        let report =
-            pax2::evaluate(&mut deployment, query, &EvalOptions::with_annotations()).unwrap();
+        let report = server.query_once(query).unwrap();
         let texts = report.answer_texts();
         if texts.is_empty() {
-            println!("    answers: {} node(s)", report.answers.len());
+            println!("    answers: {} node(s)", report.answers().len());
         } else {
             println!("    answers: {texts:?}");
         }
         println!(
             "    PaX2-XA: {} of {} fragments evaluated, ≤{} visits/site, {} bytes on the wire",
-            report.fragments_evaluated,
+            report.queries[0].fragments_evaluated,
             report.fragments_total,
             report.max_visits_per_site(),
             report.network_bytes(),
@@ -60,7 +67,7 @@ fn main() {
 
         // Cross-check against centralized evaluation on the unfragmented tree.
         let reference = centralized::evaluate(&tree, query).unwrap();
-        assert_eq!(report.answers.len(), reference.answers.len());
+        assert_eq!(report.answers().len(), reference.answers.len());
     }
 
     println!("\nAll distributed answers match the centralized reference.");

@@ -1,6 +1,7 @@
-//! Quickstart: build a small document, fragment it, distribute it over a few
-//! simulated sites, and run the same query with PaX3, PaX2 and the naive
-//! baseline, printing the performance counters next to the answers.
+//! Quickstart: build a small document, fragment it, deploy it over a few
+//! simulated sites behind a [`PaxServer`] session, and run the same query
+//! with PaX3, PaX2 and the naive baseline, printing the performance
+//! counters next to the answers.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -31,35 +32,25 @@ fn main() {
         fragmented.total_real_nodes()
     );
 
-    // 3. Deploy the fragments over three simulated sites.
+    // 3. Serve the fragments from three simulated sites: one PaxServer
+    //    session per algorithm/optimization combination.
     let query = "shelf/book[year/val() >= 2007]/title";
     println!("query: {query}\n");
 
-    for (name, report) in [
-        (
-            "PaX3 (no annotations)",
-            pax3::evaluate(
-                &mut Deployment::new(&fragmented, 3, Placement::RoundRobin),
-                query,
-                &EvalOptions::without_annotations(),
-            )
-            .unwrap(),
-        ),
-        (
-            "PaX2 (with annotations)",
-            pax2::evaluate(
-                &mut Deployment::new(&fragmented, 3, Placement::RoundRobin),
-                query,
-                &EvalOptions::with_annotations(),
-            )
-            .unwrap(),
-        ),
-        (
-            "NaiveCentralized",
-            naive::evaluate(&mut Deployment::new(&fragmented, 3, Placement::RoundRobin), query)
-                .unwrap(),
-        ),
+    for (name, algorithm, annotations) in [
+        ("PaX3 (no annotations)", Algorithm::PaX3, false),
+        ("PaX2 (with annotations)", Algorithm::PaX2, true),
+        ("NaiveCentralized", Algorithm::NaiveCentralized, false),
     ] {
+        let mut server = PaxServer::builder()
+            .algorithm(algorithm)
+            .annotations(annotations)
+            .placement(Placement::RoundRobin)
+            .sites(3)
+            .deploy(&fragmented)
+            .expect("valid configuration");
+        let prepared = server.prepare(query).expect("query compiles");
+        let report = server.execute(&prepared).expect("query evaluates");
         println!("== {name}");
         println!("   answers: {:?}", report.answer_texts());
         println!(
@@ -69,6 +60,12 @@ fn main() {
             report.total_ops(),
             report.parallel_time(),
         );
+        // Prepared queries are compiled once; on a PaX2 server a re-execution
+        // is even served from the residual-vector cache with zero visits.
+        let again = server.execute(&prepared).expect("query re-evaluates");
+        if again.from_cache {
+            println!("   re-execution: served from cache, {} visits", again.max_visits_per_site());
+        }
         println!();
     }
 

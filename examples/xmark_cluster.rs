@@ -25,21 +25,22 @@ fn main() {
     );
     for (name, query) in PAPER_QUERIES {
         let reference = centralized::evaluate(&tree, query).unwrap();
-        for (label, use_annotations, pax3_algo) in [
-            ("PaX3-NA", false, true),
-            ("PaX3-XA", true, true),
-            ("PaX2-NA", false, false),
-            ("PaX2-XA", true, false),
+        for (label, use_annotations, algorithm) in [
+            ("PaX3-NA", false, Algorithm::PaX3),
+            ("PaX3-XA", true, Algorithm::PaX3),
+            ("PaX2-NA", false, Algorithm::PaX2),
+            ("PaX2-XA", true, Algorithm::PaX2),
         ] {
-            let mut deployment = Deployment::new(&fragmented, fragments, Placement::RoundRobin);
-            let options = EvalOptions { use_annotations };
-            let report = if pax3_algo {
-                pax3::evaluate(&mut deployment, query, &options).unwrap()
-            } else {
-                pax2::evaluate(&mut deployment, query, &options).unwrap()
-            };
+            let mut server = PaxServer::builder()
+                .algorithm(algorithm)
+                .annotations(use_annotations)
+                .sites(fragments)
+                .placement(Placement::RoundRobin)
+                .deploy(&fragmented)
+                .expect("valid configuration");
+            let report = server.query_once(query).unwrap();
             assert_eq!(
-                report.answers.len(),
+                report.answers().len(),
                 reference.answers.len(),
                 "{name}/{label} disagrees with the centralized reference"
             );
@@ -47,7 +48,7 @@ fn main() {
                 "{:<4} {:<10} {:>9} {:>12?} {:>12?} {:>10} {:>8}",
                 name,
                 label,
-                report.answers.len(),
+                report.answers().len(),
                 report.parallel_time(),
                 report.total_computation_time(),
                 report.network_bytes(),

@@ -195,8 +195,20 @@ fn show_fragmentation(fragmented: &FragmentedTree) {
     }
 }
 
-fn deployment(fragmented: &FragmentedTree, options: &Options) -> Deployment {
-    Deployment::new(fragmented, options.sites.max(1), Placement::RoundRobin)
+/// Spin up a `PaxServer` session over the fragmented document.
+fn server(
+    fragmented: &FragmentedTree,
+    options: &Options,
+    algorithm: Algorithm,
+    annotations: bool,
+) -> Result<PaxServer, String> {
+    PaxServer::builder()
+        .algorithm(algorithm)
+        .annotations(annotations)
+        .placement(Placement::RoundRobin)
+        .sites(options.sites.max(1))
+        .deploy(fragmented)
+        .map_err(|e| e.to_string())
 }
 
 fn run_query(
@@ -205,11 +217,10 @@ fn run_query(
     query_text: &str,
     options: &Options,
 ) -> Result<(), String> {
-    let eval_options = EvalOptions { use_annotations: options.annotations };
-    let report = match options.algorithm.as_str() {
-        "pax2" => pax2::evaluate(&mut deployment(fragmented, options), query_text, &eval_options),
-        "pax3" => pax3::evaluate(&mut deployment(fragmented, options), query_text, &eval_options),
-        "naive" => naive::evaluate(&mut deployment(fragmented, options), query_text),
+    let algorithm = match options.algorithm.as_str() {
+        "pax2" => Algorithm::PaX2,
+        "pax3" => Algorithm::PaX3,
+        "naive" => Algorithm::NaiveCentralized,
         "centralized" => {
             // No distribution at all: evaluate over the original document.
             let result = centralized::evaluate(tree, query_text).map_err(|e| e.to_string())?;
@@ -218,18 +229,20 @@ fn run_query(
             return Ok(());
         }
         other => return Err(format!("unknown algorithm {other:?}")),
-    }
-    .map_err(|e| format!("query error: {e}"))?;
+    };
+    let mut server = server(fragmented, options, algorithm, options.annotations)?;
+    let report = server.query_once(query_text).map_err(|e| e.to_string())?;
 
     println!("{}", report.summary());
-    for item in report.answers.iter().take(options.show_answers) {
+    let answers = report.answers();
+    for item in answers.iter().take(options.show_answers) {
         match &item.text {
             Some(text) => println!("  <{}> {}", item.label, text),
             None => println!("  <{}>", item.label),
         }
     }
-    if report.answers.len() > options.show_answers {
-        println!("  … and {} more", report.answers.len() - options.show_answers);
+    if answers.len() > options.show_answers {
+        println!("  … and {} more", answers.len() - options.show_answers);
     }
     Ok(())
 }
@@ -270,67 +283,33 @@ fn compare_algorithms(
         "algorithm", "answers", "visits", "bytes", "total ops", "parallel ops", "fragments"
     );
 
-    let runs: Vec<(&str, EvaluationReport)> = vec![
-        (
-            "PaX3-NA",
-            pax3::evaluate(
-                &mut deployment(fragmented, options),
-                query_text,
-                &EvalOptions::without_annotations(),
-            )
-            .map_err(|e| e.to_string())?,
-        ),
-        (
-            "PaX3-XA",
-            pax3::evaluate(
-                &mut deployment(fragmented, options),
-                query_text,
-                &EvalOptions::with_annotations(),
-            )
-            .map_err(|e| e.to_string())?,
-        ),
-        (
-            "PaX2-NA",
-            pax2::evaluate(
-                &mut deployment(fragmented, options),
-                query_text,
-                &EvalOptions::without_annotations(),
-            )
-            .map_err(|e| e.to_string())?,
-        ),
-        (
-            "PaX2-XA",
-            pax2::evaluate(
-                &mut deployment(fragmented, options),
-                query_text,
-                &EvalOptions::with_annotations(),
-            )
-            .map_err(|e| e.to_string())?,
-        ),
-        (
-            "NaiveCentralized",
-            naive::evaluate(&mut deployment(fragmented, options), query_text)
-                .map_err(|e| e.to_string())?,
-        ),
+    let combos: Vec<(&str, Algorithm, bool)> = vec![
+        ("PaX3-NA", Algorithm::PaX3, false),
+        ("PaX3-XA", Algorithm::PaX3, true),
+        ("PaX2-NA", Algorithm::PaX2, false),
+        ("PaX2-XA", Algorithm::PaX2, true),
+        ("NaiveCentralized", Algorithm::NaiveCentralized, false),
     ];
 
-    for (label, report) in &runs {
-        if report.answers.len() != reference.answers.len() {
+    for (label, algorithm, annotations) in combos {
+        let mut server = server(fragmented, options, algorithm, annotations)?;
+        let report = server.query_once(query_text).map_err(|e| e.to_string())?;
+        if report.answers().len() != reference.answers.len() {
             return Err(format!(
                 "{label} returned {} answers but the centralized reference returned {}",
-                report.answers.len(),
+                report.answers().len(),
                 reference.answers.len()
             ));
         }
         println!(
             "{:<22} {:>8} {:>8} {:>12} {:>12} {:>12} {:>10}",
             label,
-            report.answers.len(),
+            report.answers().len(),
             report.max_visits_per_site(),
             report.network_bytes(),
             report.total_ops(),
             report.parallel_ops(),
-            report.fragments_evaluated,
+            report.queries.first().map(|q| q.fragments_evaluated).unwrap_or(0),
         );
     }
     println!("\nall algorithms returned exactly the centralized answer set");

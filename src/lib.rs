@@ -23,26 +23,39 @@
 //! | [`xpath`] | `paxml-xpath` | The XPath fragment X: parser, normal form, `SVect`/`QVect`, centralized evaluator. |
 //! | [`fragment`] | `paxml-fragment` | Fragmentation, fragment trees, XPath annotations, fragment updates. |
 //! | [`distsim`] | `paxml-distsim` | Simulated sites, traffic/visit accounting, parallel rounds. |
-//! | [`core`] | `paxml-core` | PaX3, PaX2, the batch and incremental engines, the annotation optimization, the naive baseline. |
+//! | [`core`] | `paxml-core` | The [`PaxServer`](core::server::PaxServer) session API over PaX3, PaX2, the batch and incremental engines, the annotation optimization, and the naive baseline. |
 //! | [`xmark`] | `paxml-xmark` | XMark-like workload generator, the paper's running example, update workloads. |
 //!
 //! ## Quickstart
+//!
+//! Everything goes through a long-lived [`PaxServer`](core::server::PaxServer)
+//! session: deploy once, prepare queries once, then interleave execution,
+//! batching and fragment updates — every call returns one unified
+//! [`ExecReport`](core::ExecReport) metering exactly that execution.
 //!
 //! ```
 //! use paxml::prelude::*;
 //!
 //! // The paper's Fig. 1 clientele, fragmented as in Fig. 2, on 4 sites.
 //! let (_tree, fragmented) = paxml::xmark::clientele_fragmentation();
-//! let mut deployment = Deployment::new(&fragmented, 4, Placement::RoundRobin);
+//! let mut server = PaxServer::builder()
+//!     .algorithm(Algorithm::PaX2)
+//!     .annotations(true)
+//!     .placement(Placement::RoundRobin)
+//!     .sites(4)
+//!     .deploy(&fragmented)
+//!     .unwrap();
 //!
-//! let report = pax2::evaluate(
-//!     &mut deployment,
-//!     "client[country/text()='US']/broker[market/name/text()='NASDAQ']/name",
-//!     &EvalOptions::with_annotations(),
-//! ).unwrap();
-//!
+//! // Compile once, execute as often as you like.
+//! let q = server
+//!     .prepare("client[country/text()='US']/broker[market/name/text()='NASDAQ']/name")
+//!     .unwrap();
+//! let report = server.execute(&q).unwrap();
 //! assert_eq!(report.answer_texts(), vec!["E*trade".to_string(), "Bache".to_string()]);
 //! assert!(report.max_visits_per_site() <= 2);
+//!
+//! // Re-execution is served from the maintained residual-vector cache.
+//! assert_eq!(server.execute(&q).unwrap().max_visits_per_site(), 0);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -58,9 +71,17 @@ pub use paxml_xpath as xpath;
 
 /// The most commonly used items, for `use paxml::prelude::*`.
 pub mod prelude {
+    pub use paxml_core::server::{PaxServer, PaxServerBuilder, PreparedQuery};
     pub use paxml_core::{
-        batch, incremental, naive, pax2, pax3, BatchReport, Deployment, EvalOptions,
-        EvaluationReport, IncrementalEngine, IncrementalReport,
+        Algorithm, AnswerItem, Deployment, EvalOptions, ExecMode, ExecReport, PaxError, PaxResult,
+        QueryOutcome, UpdateOutcome,
+    };
+    // The pre-`PaxServer` entry points, kept for one release; see
+    // MIGRATION.md for the mapping to the session API.
+    #[allow(deprecated)]
+    pub use paxml_core::IncrementalEngine;
+    pub use paxml_core::{
+        batch, incremental, naive, pax2, pax3, BatchReport, EvaluationReport, IncrementalReport,
     };
     pub use paxml_distsim::Placement;
     pub use paxml_fragment::{fragment_at, strategy, FragmentId, FragmentedTree, UpdateOp};

@@ -1,6 +1,6 @@
-//! End-to-end tests of the batch evaluation engine: for random XMark
-//! workloads (random documents, fragmentations, deployments and query
-//! subsets), the batch engine must return exactly the per-query PaX2
+//! End-to-end tests of batched execution through the `PaxServer` API: for
+//! random XMark workloads (random documents, fragmentations, deployments and
+//! query subsets), `execute_batch` must return exactly the per-query PaX2
 //! answers while holding the paper's two-visit bound for the *whole batch*.
 
 use paxml::prelude::*;
@@ -30,6 +30,17 @@ fn workload_strategy() -> impl Strategy<Value = Vec<String>> {
         .prop_map(|queries| queries.into_iter().map(String::from).collect())
 }
 
+fn pax2_server(fragmented: &FragmentedTree, sites: usize, annotations: bool) -> PaxServer {
+    PaxServer::builder()
+        .algorithm(Algorithm::PaX2)
+        .annotations(annotations)
+        .placement(Placement::RoundRobin)
+        .sites(sites)
+        .sequential(true)
+        .deploy(fragmented)
+        .expect("valid configuration")
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
 
@@ -56,11 +67,9 @@ proptest! {
             _ => &["site", "people", "person", "auction", "item"],
         };
         let fragmented = strategy::cut_at_labels(&tree, labels).expect("valid label cuts");
-        let options = EvalOptions { use_annotations };
 
-        let mut deployment =
-            Deployment::new(&fragmented, sites, Placement::RoundRobin).sequential();
-        let batch = batch::evaluate(&mut deployment, &queries, &options).unwrap();
+        let mut server = pax2_server(&fragmented, sites, use_annotations);
+        let batch = server.execute_batch_text(&queries).unwrap();
 
         // The whole batch respects PaX2's per-site visit bound.
         prop_assert!(
@@ -73,12 +82,13 @@ proptest! {
 
         // Per-query answers match an independent single-query evaluation.
         prop_assert_eq!(batch.len(), queries.len());
-        for (query, report) in queries.iter().zip(&batch.reports) {
-            let mut single =
-                Deployment::new(&fragmented, sites, Placement::RoundRobin).sequential();
-            let expected = pax2::evaluate(&mut single, query, &options).unwrap();
+        for (query, outcome) in queries.iter().zip(&batch.queries) {
+            let mut single = pax2_server(&fragmented, sites, use_annotations);
+            let expected = single.query_once(query).unwrap();
+            let mut origins: Vec<_> = outcome.answers.iter().map(|a| a.origin).collect();
+            origins.sort();
             prop_assert_eq!(
-                report.answer_origins(),
+                origins,
                 expected.answer_origins(),
                 "batch disagrees with PaX2 on {} (XA={}, seed={})",
                 query, use_annotations, seed
@@ -94,8 +104,13 @@ fn pax2_batch_of_paper_queries_needs_at_most_two_visits_per_site() {
     let tree = generate(XmarkConfig { site_count: 2, vmb_per_site: 0.5, ..Default::default() });
     let fragmented = strategy::cut_at_labels(&tree, &["site", "people", "open_auctions"]).unwrap();
     let queries: Vec<&str> = PAPER_QUERIES.iter().map(|(_, q)| *q).collect();
-    let mut deployment = Deployment::new(&fragmented, 6, Placement::RoundRobin);
-    let batch = batch::evaluate(&mut deployment, &queries, &EvalOptions::default()).unwrap();
+    let mut server = PaxServer::builder()
+        .algorithm(Algorithm::PaX2)
+        .sites(6)
+        .placement(Placement::RoundRobin)
+        .deploy(&fragmented)
+        .unwrap();
+    let batch = server.execute_batch_text(&queries).unwrap();
     assert_eq!(batch.len(), queries.len());
     assert!(batch.total_answers() > 0, "the paper queries select data");
     assert!(
@@ -103,14 +118,14 @@ fn pax2_batch_of_paper_queries_needs_at_most_two_visits_per_site() {
         "PaX2 batch exceeded two visits per site: {}",
         batch.max_visits_per_site()
     );
-    // And the batch beats one-at-a-time on every amortizable meter.
-    let mut single = Deployment::new(&fragmented, 6, Placement::RoundRobin);
+    // And the batch beats one-at-a-time on every amortizable meter — the
+    // one-at-a-time runs reuse the *same* server, whose per-execution
+    // reports need no reset bookkeeping.
     let mut rounds = 0;
     for query in &queries {
-        single.reset();
-        let report = pax2::evaluate(&mut single, query, &EvalOptions::default()).unwrap();
+        let report = server.query_once(query).unwrap();
         assert!(report.max_visits_per_site() <= 2);
-        rounds += report.stats.rounds;
+        rounds += report.rounds();
     }
     assert!(rounds >= 2 * batch.rounds(), "batching must amortize coordinator rounds");
 }

@@ -1,5 +1,5 @@
 //! Integration tests asserting the paper's **performance guarantees** (§3.4,
-//! §4) as measurable facts on the simulator:
+//! §4) as measurable facts on the simulator, through the `PaxServer` API:
 //!
 //! 1. every site is visited at most three times by PaX3 and at most twice by
 //!    PaX2, irrespective of the number of fragments it stores;
@@ -12,6 +12,26 @@
 use paxml::prelude::*;
 use paxml::xmark::{ft1, ft2, PAPER_QUERIES};
 
+/// One classic (un-amortized) run of the configured algorithm over a fresh
+/// server session.
+fn run(
+    algorithm: Algorithm,
+    use_annotations: bool,
+    fragmented: &FragmentedTree,
+    sites: usize,
+    query: &str,
+) -> ExecReport {
+    PaxServer::builder()
+        .algorithm(algorithm)
+        .annotations(use_annotations)
+        .placement(Placement::RoundRobin)
+        .sites(sites)
+        .deploy(fragmented)
+        .expect("valid configuration")
+        .query_once(query)
+        .expect("query evaluates")
+}
+
 #[test]
 fn visit_bounds_hold_for_every_paper_query_and_topology() {
     let deployments: Vec<(&str, FragmentedTree)> =
@@ -19,15 +39,12 @@ fn visit_bounds_hold_for_every_paper_query_and_topology() {
     for (topology, fragmented) in &deployments {
         for (name, query) in PAPER_QUERIES {
             for use_annotations in [false, true] {
-                let options = EvalOptions { use_annotations };
-                let mut d = Deployment::new(fragmented, 10, Placement::RoundRobin);
-                let p3 = pax3::evaluate(&mut d, query, &options).unwrap();
+                let p3 = run(Algorithm::PaX3, use_annotations, fragmented, 10, query);
                 assert!(
                     p3.max_visits_per_site() <= 3,
                     "PaX3 exceeded 3 visits on {name}/{topology} (XA={use_annotations})"
                 );
-                let mut d = Deployment::new(fragmented, 10, Placement::RoundRobin);
-                let p2 = pax2::evaluate(&mut d, query, &options).unwrap();
+                let p2 = run(Algorithm::PaX2, use_annotations, fragmented, 10, query);
                 assert!(
                     p2.max_visits_per_site() <= 2,
                     "PaX2 exceeded 2 visits on {name}/{topology} (XA={use_annotations})"
@@ -48,10 +65,8 @@ fn visits_do_not_depend_on_fragments_per_site() {
     // ("irrespectively of the number of fragments stored there").
     let (_, fragmented) = ft1(8, 1.0, 5);
     let query = PAPER_QUERIES[2].1; // Q3, with qualifiers
-    let mut spread = Deployment::new(&fragmented, 8, Placement::RoundRobin);
-    let spread_report = pax3::evaluate(&mut spread, query, &EvalOptions::default()).unwrap();
-    let mut packed = Deployment::new(&fragmented, 4, Placement::RoundRobin);
-    let packed_report = pax3::evaluate(&mut packed, query, &EvalOptions::default()).unwrap();
+    let spread_report = run(Algorithm::PaX3, false, &fragmented, 8, query);
+    let packed_report = run(Algorithm::PaX3, false, &fragmented, 4, query);
     assert_eq!(spread_report.max_visits_per_site(), packed_report.max_visits_per_site());
     assert_eq!(spread_report.answer_origins(), packed_report.answer_origins());
 }
@@ -64,17 +79,15 @@ fn traffic_scales_with_query_and_answer_not_with_data() {
     let (_, small) = ft1(8, 0.5, 9);
     let (_, large) = ft1(8, 2.0, 9);
 
-    let mut d = Deployment::new(&small, 8, Placement::RoundRobin);
-    let small_report = pax2::evaluate(&mut d, query, &EvalOptions::default()).unwrap();
-    let mut d = Deployment::new(&large, 8, Placement::RoundRobin);
-    let large_report = pax2::evaluate(&mut d, query, &EvalOptions::default()).unwrap();
+    let small_report = run(Algorithm::PaX2, false, &small, 8, query);
+    let large_report = run(Algorithm::PaX2, false, &large, 8, query);
 
     // Four times the data means roughly four times the *answers* for Q1; the
     // additional traffic must be explainable by those extra answers alone
     // (≤ ~100 bytes per answer item) plus a small constant slack — never by
     // the extra ~3 vMB of data that stayed on the sites.
     let delta_bytes = large_report.network_bytes() as f64 - small_report.network_bytes() as f64;
-    let delta_answers = large_report.answers.len() as f64 - small_report.answers.len() as f64;
+    let delta_answers = large_report.answers().len() as f64 - small_report.answers().len() as f64;
     assert!(delta_answers > 0.0, "Q1 answers should grow with the data");
     assert!(
         delta_bytes <= 100.0 * delta_answers + 0.25 * small_report.network_bytes() as f64,
@@ -82,10 +95,8 @@ fn traffic_scales_with_query_and_answer_not_with_data() {
     );
 
     // The naive baseline, by contrast, ships the document itself.
-    let mut d = Deployment::new(&small, 8, Placement::RoundRobin);
-    let naive_small = naive::evaluate(&mut d, query).unwrap();
-    let mut d = Deployment::new(&large, 8, Placement::RoundRobin);
-    let naive_large = naive::evaluate(&mut d, query).unwrap();
+    let naive_small = run(Algorithm::NaiveCentralized, false, &small, 8, query);
+    let naive_large = run(Algorithm::NaiveCentralized, false, &large, 8, query);
     assert!(
         naive_large.network_bytes() as f64 > 2.5 * naive_small.network_bytes() as f64,
         "naive traffic should scale with the data"
@@ -97,8 +108,7 @@ fn total_computation_is_comparable_to_centralized() {
     let (tree, fragmented) = ft2(2.0, 13);
     for (name, query) in PAPER_QUERIES {
         let central = centralized::evaluate(&tree, query).unwrap();
-        let mut d = Deployment::new(&fragmented, 10, Placement::RoundRobin);
-        let report = pax2::evaluate(&mut d, query, &EvalOptions::default()).unwrap();
+        let report = run(Algorithm::PaX2, false, &fragmented, 10, query);
         // Elementary-operation counts must agree within a constant factor
         // (the distributed run redoes O(|Q|) work per fragment boundary).
         let ratio = report.total_ops() as f64 / central.ops as f64;
@@ -106,7 +116,7 @@ fn total_computation_is_comparable_to_centralized() {
             ratio < 4.0,
             "{name}: distributed total computation is {ratio:.1}x the centralized cost"
         );
-        assert_eq!(report.answers.len(), central.answers.len());
+        assert_eq!(report.answers().len(), central.answers.len());
     }
 }
 
@@ -116,9 +126,14 @@ fn parallelism_reduces_perceived_time_on_skewed_sites() {
     // site (not the sum), demonstrating that the rounds really overlap.
     let (_, fragmented) = ft1(6, 1.2, 21);
     let query = PAPER_QUERIES[3].1;
-    let mut d = Deployment::new(&fragmented, 6, Placement::RoundRobin);
-    d.cluster.site_delay.insert(paxml_distsim::SiteId(3), std::time::Duration::from_millis(30));
-    let report = pax2::evaluate(&mut d, query, &EvalOptions::default()).unwrap();
+    let mut server = PaxServer::builder()
+        .algorithm(Algorithm::PaX2)
+        .sites(6)
+        .placement(Placement::RoundRobin)
+        .site_delay(paxml::distsim::SiteId(3), std::time::Duration::from_millis(30))
+        .deploy(&fragmented)
+        .unwrap();
+    let report = server.query_once(query).unwrap();
     let parallel = report.parallel_time();
     let total = report.total_computation_time();
     // The 30 ms delay dominates each of the two rounds the slow site joins,
@@ -136,13 +151,12 @@ fn answers_are_shipped_exactly_once_and_only_answers() {
     let (tree, fragmented) = ft2(1.0, 17);
     let query = PAPER_QUERIES[2].1;
     let reference = centralized::evaluate(&tree, query).unwrap();
-    let mut d = Deployment::new(&fragmented, 10, Placement::RoundRobin);
-    let report = pax3::evaluate(&mut d, query, &EvalOptions::default()).unwrap();
-    assert_eq!(report.answers.len(), reference.answers.len());
+    let report = run(Algorithm::PaX3, false, &fragmented, 10, query);
+    assert_eq!(report.answers().len(), reference.answers.len());
     let mut origins = report.answer_origins();
     origins.dedup();
-    assert_eq!(origins.len(), report.answers.len(), "duplicate answers were shipped");
-    for item in &report.answers {
+    assert_eq!(origins.len(), report.answers().len(), "duplicate answers were shipped");
+    for item in report.answers() {
         assert_eq!(item.label, "creditcard");
     }
 }

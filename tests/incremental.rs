@@ -1,12 +1,13 @@
-//! Property-based tests of the incremental-evaluation subsystem: for random
-//! XMark update streams, incremental re-evaluation must return **bit-identical
-//! answers** to a from-scratch PaX2 evaluation over the updated data, while
-//! visiting **only dirty sites** (clean-site visit count asserted to be 0),
-//! and its traffic must scale with the number of dirty fragments — not with
-//! the data size.
+//! Property-based tests of incremental re-evaluation through the
+//! `PaxServer` session API: for random XMark update streams, a prepared
+//! query maintained across `apply_updates` rounds must return
+//! **bit-identical answers** to a from-scratch PaX2 evaluation over the
+//! updated data, while visiting **only dirty sites** (clean-site visit
+//! count asserted to be 0) and serving re-executions from the cache with
+//! zero visits; its traffic must scale with the number of dirty fragments —
+//! not with the data size.
 
 use paxml::prelude::*;
-use paxml_core::incremental::IncrementalEngine;
 use paxml_fragment::FragmentId;
 use paxml_xmark::{ft1, ft2, UpdateWorkload};
 use proptest::prelude::*;
@@ -22,15 +23,27 @@ const QUERIES: &[&str] = &[
     "//people/person/name",
 ];
 
+fn pax2_server(fragmented: &FragmentedTree, sites: usize, annotations: bool) -> PaxServer {
+    PaxServer::builder()
+        .algorithm(Algorithm::PaX2)
+        .annotations(annotations)
+        .placement(Placement::RoundRobin)
+        .sites(sites)
+        .sequential(true)
+        .deploy(fragmented)
+        .expect("valid configuration")
+}
+
 /// From-scratch PaX2 over the workload's mirror of the updated fragments.
+/// Returns the full `AnswerItem`s (origin, fragment, label, text) so the
+/// bit-identity checks catch stale cached labels/texts, not just node ids.
 fn from_scratch(
     mirror: &FragmentedTree,
     query: &str,
-    options: &EvalOptions,
+    annotations: bool,
     sites: usize,
-) -> Vec<paxml_core::AnswerItem> {
-    let mut d = Deployment::new(mirror, sites, Placement::RoundRobin).sequential();
-    paxml_core::pax2::evaluate(&mut d, query, options).unwrap().answers
+) -> Vec<AnswerItem> {
+    pax2_server(mirror, sites, annotations).query_once(query).unwrap().answers().to_vec()
 }
 
 proptest! {
@@ -51,17 +64,17 @@ proptest! {
         let (tree, fragmented) =
             if use_ft2 { ft2(0.4, seed) } else { ft1(4, 0.4, seed) };
         let query = QUERIES[query_index];
-        let options = EvalOptions { use_annotations };
         let sites = 4;
 
-        let deployment = Deployment::new(&fragmented, sites, Placement::RoundRobin).sequential();
-        let mut engine = IncrementalEngine::new(deployment, query, &options).unwrap();
+        let mut server = pax2_server(&fragmented, sites, use_annotations);
+        let prepared = server.prepare(query).unwrap();
+        let initial = server.execute(&prepared).unwrap();
         let mut workload = UpdateWorkload::new(&fragmented, tree.all_nodes().count(), seed ^ 0xab);
 
         // The initial evaluation must already agree with from-scratch PaX2.
         prop_assert_eq!(
-            engine.answers(),
-            &from_scratch(workload.mirror(), query, &options, sites)[..],
+            initial.answers(),
+            &from_scratch(workload.mirror(), query, use_annotations, sites)[..],
             "initial evaluation differs on {}", query
         );
 
@@ -70,31 +83,36 @@ proptest! {
             if batch.is_empty() {
                 continue;
             }
-            let report = engine.apply_updates(&batch).unwrap();
+            let report = server.apply_updates(&batch).unwrap();
+            let outcome = report.update.clone().expect("update reports carry an update slice");
 
             // Every op the mirror accepted must have been accepted site-side.
-            prop_assert!(report.rejected.is_empty(), "rejected: {:?}", report.rejected);
-            prop_assert_eq!(report.applied_ops, batch.len());
+            prop_assert!(outcome.rejected.is_empty(), "rejected: {:?}", outcome.rejected);
+            prop_assert_eq!(outcome.applied_ops, batch.len());
+
+            // The visit guarantee: zero visits to clean sites, at most two
+            // (in fact one) to each dirty site — the update round maintains
+            // the prepared query's cache in its one visit.
+            prop_assert_eq!(report.clean_site_visits(), 0);
+            prop_assert!(report.max_visits_per_site() <= 2);
+            let total_visits: u32 = report.visits_per_site().values().sum();
+            prop_assert!(
+                total_visits <= 2 * outcome.dirty_sites.len() as u32,
+                "visits {} exceed 2·|dirty sites| = {}",
+                total_visits, 2 * outcome.dirty_sites.len()
+            );
 
             // Bit-identical answers vs. a from-scratch evaluation of the
-            // updated data.
-            let expected = from_scratch(workload.mirror(), query, &options, sites);
+            // updated data — and the re-execution costs zero visits.
+            let reexec = server.execute(&prepared).unwrap();
+            prop_assert!(reexec.from_cache);
+            prop_assert_eq!(reexec.max_visits_per_site(), 0);
+            let expected = from_scratch(workload.mirror(), query, use_annotations, sites);
             prop_assert_eq!(
-                engine.answers(), &expected[..],
+                reexec.answers(), &expected[..],
                 "round {}: incremental differs from from-scratch on {} (XA={}, batch {:?})",
                 round, query, use_annotations,
                 batch.iter().map(|(f, op)| (f.index(), op.kind())).collect::<Vec<_>>()
-            );
-
-            // The visit guarantee: zero visits to clean sites, at most two
-            // (in fact one) to each dirty site.
-            prop_assert_eq!(report.clean_site_visits(), 0);
-            prop_assert!(report.max_visits_per_dirty_site() <= 2);
-            let total_visits: u32 = report.visits.values().sum();
-            prop_assert!(
-                total_visits <= 2 * report.dirty_sites.len() as u32,
-                "visits {} exceed 2·|dirty sites| = {}",
-                total_visits, 2 * report.dirty_sites.len()
             );
         }
     }
@@ -110,10 +128,9 @@ fn incremental_traffic_is_independent_of_data_size() {
 
     let bytes_for = |fragments: usize, vmb: f64| -> (u64, u64) {
         let (tree, fragmented) = ft1(fragments, vmb, 3);
-        let deployment =
-            Deployment::new(&fragmented, fragments, Placement::RoundRobin).sequential();
-        let mut engine =
-            IncrementalEngine::new(deployment, query, &EvalOptions::default()).unwrap();
+        let mut server = pax2_server(&fragmented, fragments, false);
+        let prepared = server.prepare(query).unwrap();
+        server.execute(&prepared).unwrap();
         let mut workload = UpdateWorkload::new(&fragmented, tree.all_nodes().count(), 99);
         // Average a few single-dirty-fragment batches.
         let mut incremental_bytes = 0;
@@ -123,17 +140,15 @@ fn incremental_traffic_is_independent_of_data_size() {
             if batch.is_empty() {
                 continue;
             }
-            let report = engine.apply_updates(&batch).unwrap();
+            let report = server.apply_updates(&batch).unwrap();
             assert_eq!(report.clean_site_visits(), 0);
-            incremental_bytes += report.network_bytes;
+            incremental_bytes += report.network_bytes();
             rounds += 1;
         }
         assert!(rounds > 0);
 
         // From-scratch reference traffic over the same updated data.
-        let mut d =
-            Deployment::new(workload.mirror(), fragments, Placement::RoundRobin).sequential();
-        let scratch = paxml_core::pax2::evaluate(&mut d, query, &EvalOptions::default()).unwrap();
+        let scratch = pax2_server(workload.mirror(), fragments, false).query_once(query).unwrap();
         (incremental_bytes / rounds, scratch.network_bytes())
     };
 
@@ -162,9 +177,9 @@ fn incremental_traffic_scales_with_dirty_fragment_count() {
     let nodes = tree.all_nodes().count();
 
     let avg_bytes = |dirty: usize| -> u64 {
-        let deployment = Deployment::new(&fragmented, 12, Placement::RoundRobin).sequential();
-        let mut engine =
-            IncrementalEngine::new(deployment, query, &EvalOptions::default()).unwrap();
+        let mut server = pax2_server(&fragmented, 12, false);
+        let prepared = server.prepare(query).unwrap();
+        server.execute(&prepared).unwrap();
         let mut workload = UpdateWorkload::new(&fragmented, nodes, 41);
         let mut total = 0;
         let mut rounds = 0;
@@ -174,9 +189,9 @@ fn incremental_traffic_scales_with_dirty_fragment_count() {
             if dirtied.len() != dirty {
                 continue;
             }
-            let report = engine.apply_updates(&batch).unwrap();
-            assert_eq!(report.dirty_fragments.len(), dirty);
-            total += report.network_bytes;
+            let report = server.apply_updates(&batch).unwrap();
+            assert_eq!(report.update.as_ref().unwrap().dirty_fragments.len(), dirty);
+            total += report.network_bytes();
             rounds += 1;
         }
         assert!(rounds > 0, "no batch dirtied exactly {dirty} fragments");

@@ -112,10 +112,18 @@ proptest! {
         let central = centralized::evaluate(&tree, &query).expect("query parses");
         prop_assert_eq!(&oracle, &central.answers, "oracle vs centralized on {}", query);
 
+        let server = |algorithm: Algorithm, annotations: bool| {
+            PaxServer::builder()
+                .algorithm(algorithm)
+                .annotations(annotations)
+                .placement(Placement::RoundRobin)
+                .sites(sites)
+                .sequential(true)
+                .deploy(&fragmented)
+                .expect("valid configuration")
+        };
         for use_annotations in [false, true] {
-            let options = EvalOptions { use_annotations };
-            let mut d = Deployment::new(&fragmented, sites, Placement::RoundRobin).sequential();
-            let p3 = pax3::evaluate(&mut d, &query, &options).unwrap();
+            let p3 = server(Algorithm::PaX3, use_annotations).query_once(&query).unwrap();
             prop_assert_eq!(
                 p3.answer_origins(), oracle.clone(),
                 "PaX3 (XA={}) differs on query {} with {} fragments",
@@ -123,8 +131,7 @@ proptest! {
             );
             prop_assert!(p3.max_visits_per_site() <= 3);
 
-            let mut d = Deployment::new(&fragmented, sites, Placement::RoundRobin).sequential();
-            let p2 = pax2::evaluate(&mut d, &query, &options).unwrap();
+            let p2 = server(Algorithm::PaX2, use_annotations).query_once(&query).unwrap();
             prop_assert_eq!(
                 p2.answer_origins(), oracle.clone(),
                 "PaX2 (XA={}) differs on query {} with {} fragments",
@@ -133,8 +140,7 @@ proptest! {
             prop_assert!(p2.max_visits_per_site() <= 2);
         }
 
-        let mut d = Deployment::new(&fragmented, sites, Placement::RoundRobin).sequential();
-        let nv = naive::evaluate(&mut d, &query).unwrap();
+        let nv = server(Algorithm::NaiveCentralized, false).query_once(&query).unwrap();
         prop_assert_eq!(nv.answer_origins(), oracle, "Naive differs on query {}", query);
     }
 

@@ -1,6 +1,7 @@
 //! Integration test walking through the paper's running example exactly as
-//! the narrative does: the Fig. 1 clientele, the Fig. 2 fragmentation and
-//! placement, the queries of §1, §2.2, Example 2.1 and Example 5.1.
+//! the narrative does — through the `PaxServer` session API: the Fig. 1
+//! clientele, the Fig. 2 fragmentation and placement, the queries of §1,
+//! §2.2, Example 2.1 and Example 5.1.
 
 use paxml::prelude::*;
 use paxml::xmark::{clientele_document, clientele_fragmentation};
@@ -8,35 +9,43 @@ use paxml_distsim::SiteId;
 use std::collections::BTreeMap;
 
 /// The Fig. 2 placement: F0→S0, F1→S1, the two NASDAQ fragments→S2, Lisa→S3.
-fn fig2_deployment(fragmented: &FragmentedTree) -> Deployment {
+fn fig2_assignment() -> BTreeMap<FragmentId, SiteId> {
     let mut assignment = BTreeMap::new();
     assignment.insert(FragmentId(0), SiteId(0));
     assignment.insert(FragmentId(1), SiteId(1));
     assignment.insert(FragmentId(2), SiteId(2));
     assignment.insert(FragmentId(3), SiteId(2));
     assignment.insert(FragmentId(4), SiteId(3));
-    Deployment::with_assignment(fragmented, 4, assignment)
+    assignment
+}
+
+/// A server over the Fig. 2 deployment.
+fn fig2_server(fragmented: &FragmentedTree, algorithm: Algorithm, annotations: bool) -> PaxServer {
+    PaxServer::builder()
+        .algorithm(algorithm)
+        .annotations(annotations)
+        .sites(4)
+        .assignment(fig2_assignment())
+        .deploy(fragmented)
+        .expect("valid configuration")
 }
 
 #[test]
 fn introduction_boolean_query_is_true() {
     // Q = [//stock/code/text() = "GOOG"]: true iff some client trades GOOG.
     let (_, fragmented) = clientele_fragmentation();
-    let mut deployment = fig2_deployment(&fragmented);
-    let report =
-        pax2::evaluate(&mut deployment, ".[//stock/code/text()='GOOG']", &EvalOptions::default())
-            .unwrap();
+    let mut server = fig2_server(&fragmented, Algorithm::PaX2, false);
+    let goog = server.prepare(".[//stock/code/text()='GOOG']").unwrap();
+    let report = server.execute(&goog).unwrap();
     // The Boolean query is encoded as "select the root iff the qualifier
     // holds"; a non-empty answer means `true`.
-    assert_eq!(report.answers.len(), 1);
-    assert_eq!(report.answers[0].label, "clientele");
+    assert_eq!(report.answers().len(), 1);
+    assert_eq!(report.answers()[0].label, "clientele");
 
-    // ... and a stock nobody trades yields `false` (empty answer).
-    let mut deployment = fig2_deployment(&fragmented);
-    let report =
-        pax2::evaluate(&mut deployment, ".[//stock/code/text()='MSFT']", &EvalOptions::default())
-            .unwrap();
-    assert!(report.answers.is_empty());
+    // ... and a stock nobody trades yields `false` (empty answer) — same
+    // session, no reset needed.
+    let msft = server.prepare(".[//stock/code/text()='MSFT']").unwrap();
+    assert!(server.execute(&msft).unwrap().answers().is_empty());
 }
 
 #[test]
@@ -44,11 +53,9 @@ fn introduction_data_selecting_query() {
     // Q' = //broker[//stock/code/text() = "GOOG"]/name — all three brokers
     // trade GOOG in Fig. 1.
     let (_, fragmented) = clientele_fragmentation();
-    for options in [EvalOptions::without_annotations(), EvalOptions::with_annotations()] {
-        let mut deployment = fig2_deployment(&fragmented);
-        let report =
-            pax3::evaluate(&mut deployment, "//broker[//stock/code/text()='GOOG']/name", &options)
-                .unwrap();
+    for annotations in [false, true] {
+        let mut server = fig2_server(&fragmented, Algorithm::PaX3, annotations);
+        let report = server.query_once("//broker[//stock/code/text()='GOOG']/name").unwrap();
         let mut texts = report.answer_texts();
         texts.sort();
         assert_eq!(texts, vec!["Bache", "CIBC", "E*trade"]);
@@ -59,13 +66,10 @@ fn introduction_data_selecting_query() {
 #[test]
 fn section_2_query_q1_goog_but_not_yhoo() {
     let (_, fragmented) = clientele_fragmentation();
-    let mut deployment = fig2_deployment(&fragmented);
-    let report = pax2::evaluate(
-        &mut deployment,
-        "//broker[//stock/code/text()='GOOG' and not(//stock/code/text()='YHOO')]/name",
-        &EvalOptions::default(),
-    )
-    .unwrap();
+    let mut server = fig2_server(&fragmented, Algorithm::PaX2, false);
+    let report = server
+        .query_once("//broker[//stock/code/text()='GOOG' and not(//stock/code/text()='YHOO')]/name")
+        .unwrap();
     let mut texts = report.answer_texts();
     texts.sort();
     // E*trade also trades YHOO, so only Bache and CIBC qualify.
@@ -80,20 +84,14 @@ fn example_2_1_nasdaq_brokers_of_us_clients() {
     let reference = centralized::evaluate(&tree, query).unwrap();
     assert_eq!(reference.answers.len(), 2);
 
-    for use_annotations in [false, true] {
-        let mut deployment = fig2_deployment(&fragmented);
-        let report =
-            pax3::evaluate(&mut deployment, query, &EvalOptions { use_annotations }).unwrap();
-        let mut texts = report.answer_texts();
-        texts.sort();
-        assert_eq!(texts, vec!["Bache", "E*trade"]);
-
-        let mut deployment = fig2_deployment(&fragmented);
-        let report =
-            pax2::evaluate(&mut deployment, query, &EvalOptions { use_annotations }).unwrap();
-        let mut texts = report.answer_texts();
-        texts.sort();
-        assert_eq!(texts, vec!["Bache", "E*trade"]);
+    for annotations in [false, true] {
+        for algorithm in [Algorithm::PaX3, Algorithm::PaX2] {
+            let mut server = fig2_server(&fragmented, algorithm, annotations);
+            let report = server.query_once(query).unwrap();
+            let mut texts = report.answer_texts();
+            texts.sort();
+            assert_eq!(texts, vec!["Bache", "E*trade"]);
+        }
     }
 }
 
@@ -102,10 +100,9 @@ fn example_5_1_annotation_pruning_keeps_two_fragments() {
     // client/name over the annotated fragment tree: only the root fragment
     // and Lisa's client fragment can contain answers.
     let (_, fragmented) = clientele_fragmentation();
-    let mut deployment = fig2_deployment(&fragmented);
-    let report =
-        pax2::evaluate(&mut deployment, "client/name", &EvalOptions::with_annotations()).unwrap();
-    assert_eq!(report.fragments_evaluated, 2);
+    let mut server = fig2_server(&fragmented, Algorithm::PaX2, true);
+    let report = server.query_once("client/name").unwrap();
+    assert_eq!(report.queries[0].fragments_evaluated, 2);
     assert_eq!(report.fragments_total, 5);
     let mut texts = report.answer_texts();
     texts.sort();
@@ -115,22 +112,24 @@ fn example_5_1_annotation_pruning_keeps_two_fragments() {
 }
 
 #[test]
-fn every_example_query_matches_the_centralized_reference_under_both_algorithms() {
+fn every_example_query_matches_the_centralized_reference_under_all_algorithms() {
     let tree = clientele_document();
     let (_, fragmented) = clientele_fragmentation();
     for (query, _) in paxml::xmark::CLIENTELE_QUERY_EXAMPLES {
         let reference = centralized::evaluate(&tree, query).unwrap();
-        for use_annotations in [false, true] {
-            let options = EvalOptions { use_annotations };
-            let mut deployment = fig2_deployment(&fragmented);
-            let p3 = pax3::evaluate(&mut deployment, query, &options).unwrap();
-            assert_eq!(p3.answers.len(), reference.answers.len(), "PaX3 mismatch on {query}");
-            let mut deployment = fig2_deployment(&fragmented);
-            let p2 = pax2::evaluate(&mut deployment, query, &options).unwrap();
-            assert_eq!(p2.answers.len(), reference.answers.len(), "PaX2 mismatch on {query}");
+        for annotations in [false, true] {
+            for algorithm in [Algorithm::PaX3, Algorithm::PaX2] {
+                let mut server = fig2_server(&fragmented, algorithm, annotations);
+                let report = server.query_once(query).unwrap();
+                assert_eq!(
+                    report.answers().len(),
+                    reference.answers.len(),
+                    "{algorithm} mismatch on {query}"
+                );
+            }
         }
-        let mut deployment = fig2_deployment(&fragmented);
-        let nv = naive::evaluate(&mut deployment, query).unwrap();
-        assert_eq!(nv.answers.len(), reference.answers.len(), "Naive mismatch on {query}");
+        let mut server = fig2_server(&fragmented, Algorithm::NaiveCentralized, false);
+        let nv = server.query_once(query).unwrap();
+        assert_eq!(nv.answers().len(), reference.answers.len(), "Naive mismatch on {query}");
     }
 }
