@@ -64,7 +64,7 @@ fn throughput_vs_batch_size(c: &mut Criterion) {
         let queries = workload(size);
         group.throughput(Throughput::Elements(size as u64));
 
-        let mut server = pax2_server(&fragmented, false);
+        let server = pax2_server(&fragmented, false);
         group.bench_with_input(BenchmarkId::new("one-at-a-time", size), &queries, |b, queries| {
             b.iter(|| {
                 for query in queries {
@@ -73,7 +73,7 @@ fn throughput_vs_batch_size(c: &mut Criterion) {
             });
         });
 
-        let mut server = pax2_server(&fragmented, false);
+        let server = pax2_server(&fragmented, false);
         group.bench_with_input(BenchmarkId::new("batched", size), &queries, |b, queries| {
             b.iter(|| server.execute_batch_text(queries).unwrap());
         });
@@ -112,7 +112,7 @@ fn perceived_latency_vs_batch_size(c: &mut Criterion) {
         group.throughput(Throughput::Elements(size as u64));
 
         group.bench_with_input(BenchmarkId::new("one-at-a-time", size), &queries, |b, queries| {
-            let mut server = pax2_server(&fragmented, true);
+            let server = pax2_server(&fragmented, true);
             b.iter_custom(|iters| {
                 let mut total = Duration::ZERO;
                 for _ in 0..iters {
@@ -126,7 +126,7 @@ fn perceived_latency_vs_batch_size(c: &mut Criterion) {
         });
 
         group.bench_with_input(BenchmarkId::new("batched", size), &queries, |b, queries| {
-            let mut server = pax2_server(&fragmented, true);
+            let server = pax2_server(&fragmented, true);
             b.iter_custom(|iters| {
                 let mut total = Duration::ZERO;
                 for _ in 0..iters {

@@ -50,7 +50,7 @@ fn traffic_table() {
 
         // Incremental: the prepared query's cache rides along with every
         // update round; re-reading the answers afterwards costs no visit.
-        let mut server = pax2_server(&fragmented);
+        let server = pax2_server(&fragmented);
         let q = server.prepare(QUERY).unwrap();
         server.execute(&q).unwrap();
         let mut workload = UpdateWorkload::new(&fragmented, nodes, SEED ^ dirty as u64);
@@ -72,7 +72,7 @@ fn traffic_table() {
 
         // From-scratch: no prepared queries — updates are a bare write
         // round, then the full protocol re-runs.
-        let mut scratch_server = pax2_server(&fragmented);
+        let scratch_server = pax2_server(&fragmented);
         let mut scratch_workload = UpdateWorkload::new(&fragmented, nodes, SEED ^ dirty as u64);
         let mut scratch = 0u64;
         let mut scratch_rounds = 0u64;
@@ -110,7 +110,7 @@ fn reevaluation_latency(c: &mut Criterion) {
         let (tree, fragmented) = ft1(FRAGMENTS, VMB, SEED);
         let nodes = tree.all_nodes().count();
 
-        let mut server = pax2_server(&fragmented);
+        let server = pax2_server(&fragmented);
         let q = server.prepare(QUERY).unwrap();
         server.execute(&q).unwrap();
         let mut workload = UpdateWorkload::new(&fragmented, nodes, SEED);
@@ -122,7 +122,7 @@ fn reevaluation_latency(c: &mut Criterion) {
             });
         });
 
-        let mut scratch_server = pax2_server(&fragmented);
+        let scratch_server = pax2_server(&fragmented);
         let mut workload = UpdateWorkload::new(&fragmented, nodes, SEED);
         group.bench_with_input(BenchmarkId::new("from-scratch", dirty), &dirty, |b, &dirty| {
             b.iter(|| {

@@ -50,7 +50,7 @@ fn amortization_table() {
         "N", "text bytes", "prepared bytes", "text visits", "prep visits"
     );
     for &n in &REPEATS {
-        let mut text_server = pax2_server(&fragmented);
+        let text_server = pax2_server(&fragmented);
         let mut text_bytes = 0u64;
         let mut text_visits = 0u32;
         for _ in 0..n {
@@ -59,7 +59,7 @@ fn amortization_table() {
             text_visits += report.max_visits_per_site();
         }
 
-        let mut prepared_server = pax2_server(&fragmented);
+        let prepared_server = pax2_server(&fragmented);
         let q = prepared_server.prepare(QUERY).unwrap();
         let mut prepared_bytes = 0u64;
         let mut prepared_visits = 0u32;
@@ -90,7 +90,7 @@ fn prepared_vs_text(c: &mut Criterion) {
     for &n in &REPEATS {
         group.throughput(Throughput::Elements(n as u64));
 
-        let mut server = pax2_server(&fragmented);
+        let server = pax2_server(&fragmented);
         group.bench_with_input(BenchmarkId::new("text-path", n), &n, |b, &n| {
             b.iter(|| {
                 for _ in 0..n {
@@ -99,7 +99,7 @@ fn prepared_vs_text(c: &mut Criterion) {
             });
         });
 
-        let mut server = pax2_server(&fragmented);
+        let server = pax2_server(&fragmented);
         let q = server.prepare(QUERY).unwrap();
         server.execute(&q).unwrap(); // populate the cache once, outside the loop
         group.bench_with_input(BenchmarkId::new("prepared", n), &n, |b, &n| {

@@ -1,0 +1,203 @@
+//! Experiment 7 (new in this repository, beyond the paper): concurrent
+//! multi-client serving throughput.
+//!
+//! The paper bounds the *per-query* network cost; a server for "heavy
+//! traffic" also needs the execution path itself to scale with client
+//! count. Since the `PaxServer` serving path takes `&self`, one server is
+//! shared by `N` closed-loop client threads through an `Arc` — no queue, no
+//! cloned deployments — and this experiment measures aggregate queries/sec
+//! plus p50/p99 client-observed latency as `N` grows, for three serving
+//! modes over the same FT2 deployment:
+//!
+//! * **PaX2-prepared** — `prepare` once, `execute` per request: after the
+//!   first snapshot every execution is served from the residual-vector
+//!   cache with zero site visits (the fixed-query/changing-data regime);
+//! * **PaX2-oneshot** — `query_once` per request: the full two-visit
+//!   protocol every time, concurrent executions interleaving their rounds
+//!   over the shared worker pool;
+//! * **Naive** — `query_once` on a ship-everything server: every request
+//!   moves the whole document, so contention on the (simulated) network
+//!   dominates.
+//!
+//! A report table prints the throughput curve before the timed Criterion
+//! groups run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use paxml_core::{server::PaxServer, Algorithm, PreparedQuery};
+use paxml_distsim::Placement;
+use paxml_fragment::FragmentedTree;
+use paxml_xmark::ft2;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 42;
+const SITES: usize = 10;
+const VMB: f64 = 1.0;
+const CLIENT_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const ITERS_PER_CLIENT: usize = 12;
+
+/// The client mix: one cheap selection, one qualifier-heavy query.
+const QUERIES: [&str; 2] = [
+    "/sites/site/people/person/name",
+    "/sites/site/people/person[profile/age > 20 and address/country=\"US\"]/creditcard",
+];
+
+fn server_for(algorithm: Algorithm, fragmented: &FragmentedTree) -> Arc<PaxServer> {
+    Arc::new(
+        PaxServer::builder()
+            .algorithm(algorithm)
+            .placement(Placement::RoundRobin)
+            .sites(SITES)
+            .deploy(fragmented)
+            .expect("valid configuration"),
+    )
+}
+
+/// One closed-loop run: `clients` threads each issue `iters` requests
+/// back-to-back against the shared server. Returns the wall-clock time of
+/// the whole run plus every client-observed request latency.
+fn closed_loop(
+    server: &Arc<PaxServer>,
+    prepared: Option<Arc<Vec<PreparedQuery>>>,
+    clients: usize,
+    iters: usize,
+) -> (Duration, Vec<Duration>) {
+    let start = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|client| {
+            let server = Arc::clone(server);
+            let prepared = prepared.clone();
+            thread::spawn(move || {
+                let mut latencies = Vec::with_capacity(iters);
+                for i in 0..iters {
+                    let pick = (client + i) % QUERIES.len();
+                    let issued = Instant::now();
+                    let report = match &prepared {
+                        Some(queries) => server.execute(&queries[pick]).unwrap(),
+                        None => server.query_once(QUERIES[pick]).unwrap(),
+                    };
+                    latencies.push(issued.elapsed());
+                    // Every serving mode here stays within PaX2's bound
+                    // (cached: 0 visits; one-shot PaX2: ≤ 2; naive: 1) and
+                    // returns a query outcome.
+                    assert!(report.max_visits_per_site() <= 2);
+                    assert!(!report.queries.is_empty());
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies = Vec::with_capacity(clients * iters);
+    for worker in workers {
+        latencies.extend(worker.join().unwrap());
+    }
+    (start.elapsed(), latencies)
+}
+
+fn percentile(sorted: &[Duration], p: usize) -> Duration {
+    sorted[(sorted.len() * p / 100).min(sorted.len() - 1)]
+}
+
+/// Print the queries/sec and latency-percentile curve vs. client count.
+fn throughput_table(fragmented: &FragmentedTree) {
+    println!(
+        "\nexp7: {ITERS_PER_CLIENT} closed-loop requests per client, {CLIENT_COUNTS:?} clients"
+    );
+    println!(
+        "{:<14} {:>8} {:>12} {:>12} {:>12}",
+        "series", "clients", "queries/s", "p50(us)", "p99(us)"
+    );
+    for &clients in &CLIENT_COUNTS {
+        for (label, algorithm, prepare) in [
+            ("PaX2-prepared", Algorithm::PaX2, true),
+            ("PaX2-oneshot", Algorithm::PaX2, false),
+            ("Naive", Algorithm::NaiveCentralized, false),
+        ] {
+            let server = server_for(algorithm, fragmented);
+            let prepared = prepare.then(|| {
+                let queries: Vec<PreparedQuery> =
+                    QUERIES.iter().map(|q| server.prepare(q).unwrap()).collect();
+                // Populate the residual caches outside the measured loop.
+                for query in &queries {
+                    server.execute(query).unwrap();
+                }
+                Arc::new(queries)
+            });
+            let (wall, mut latencies) = closed_loop(&server, prepared, clients, ITERS_PER_CLIENT);
+            latencies.sort();
+            let qps = (clients * ITERS_PER_CLIENT) as f64 / wall.as_secs_f64();
+            println!(
+                "{:<14} {:>8} {:>12.0} {:>12.1} {:>12.1}",
+                label,
+                clients,
+                qps,
+                percentile(&latencies, 50).as_secs_f64() * 1e6,
+                percentile(&latencies, 99).as_secs_f64() * 1e6,
+            );
+        }
+    }
+    println!();
+}
+
+fn concurrent_throughput(c: &mut Criterion) {
+    let (_, fragmented) = ft2(VMB, SEED);
+    throughput_table(&fragmented);
+
+    let mut group = c.benchmark_group("exp7_concurrent_throughput");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    for &clients in &CLIENT_COUNTS {
+        group.throughput(Throughput::Elements((clients * ITERS_PER_CLIENT) as u64));
+
+        let server = server_for(Algorithm::PaX2, &fragmented);
+        let queries: Vec<PreparedQuery> =
+            QUERIES.iter().map(|q| server.prepare(q).unwrap()).collect();
+        for query in &queries {
+            server.execute(query).unwrap();
+        }
+        let queries = Arc::new(queries);
+        group.bench_with_input(BenchmarkId::new("pax2-prepared", clients), &clients, |b, &n| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let (wall, _) =
+                        closed_loop(&server, Some(Arc::clone(&queries)), n, ITERS_PER_CLIENT);
+                    total += wall;
+                }
+                total
+            });
+        });
+
+        let server = server_for(Algorithm::PaX2, &fragmented);
+        group.bench_with_input(BenchmarkId::new("pax2-oneshot", clients), &clients, |b, &n| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let (wall, _) = closed_loop(&server, None, n, ITERS_PER_CLIENT);
+                    total += wall;
+                }
+                total
+            });
+        });
+
+        let server = server_for(Algorithm::NaiveCentralized, &fragmented);
+        group.bench_with_input(BenchmarkId::new("naive", clients), &clients, |b, &n| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let (wall, _) = closed_loop(&server, None, n, ITERS_PER_CLIENT);
+                    total += wall;
+                }
+                total
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, concurrent_throughput);
+criterion_main!(benches);

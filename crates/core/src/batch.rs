@@ -64,7 +64,7 @@
 //! assert!(report.max_visits_per_site() <= 2);
 //! ```
 
-use crate::deployment::Deployment;
+use crate::deployment::{Deployment, ExecCtx};
 use crate::protocol::{
     batch_collect_task, batch_combined_task, BatchCollectEntry, BatchCollectRequest,
     BatchCombinedEntry, BatchCombinedRequest, CombinedFragmentInput, InitVector,
@@ -217,16 +217,19 @@ pub fn evaluate_compiled(
 ///
 /// Panics when `compiled` and `texts` have different lengths.
 pub(crate) fn run(
-    deployment: &mut Deployment,
+    deployment: &Deployment,
     compiled: &[&CompiledQuery],
     texts: &[String],
     options: &EvalOptions,
 ) -> ExecReport {
     assert_eq!(compiled.len(), texts.len(), "a batch run needs one query text per compiled query");
     let start = Instant::now();
-    let baseline = deployment.cluster.stats.clone();
+    let mut ctx = ExecCtx::new(deployment);
     let ft = deployment.fragment_tree.clone();
     let query_count = compiled.len();
+    // One scratch slot per query of the batch, unique across concurrent
+    // executions, so interleaved batches never mix candidate state.
+    let slot_base = deployment.cluster.allocate_slots(query_count.max(1));
     let mut coordinator_ops_per_query: Vec<u64> = vec![0; query_count];
     let mut answers: Vec<Vec<AnswerItem>> = vec![Vec::new(); query_count];
 
@@ -270,6 +273,7 @@ pub(crate) fn run(
             }
             site_entries.entry(site).or_default().push(BatchCombinedEntry {
                 query_index,
+                slot: slot_base + query_index,
                 query: (*query).clone(),
                 fragments: inputs,
             });
@@ -282,7 +286,7 @@ pub(crate) fn run(
         .into_iter()
         .map(|(site, entries)| (site, BatchCombinedRequest { entries }))
         .collect();
-    let responses = deployment.cluster.round(requests, batch_combined_task);
+    let responses = ctx.round(requests, batch_combined_task);
 
     // Scatter the merged responses back out per query.
     let mut roots: Vec<BTreeMap<FragmentId, QualVectors<PaxVar>>> =
@@ -320,10 +324,11 @@ pub(crate) fn run(
                     restrict_for_fragment(&sel_assignment, fragment, ft.children(fragment)),
                 );
             }
-            site_collect
-                .entry(site)
-                .or_default()
-                .push(BatchCollectEntry { query_index, fragments: per_fragment });
+            site_collect.entry(site).or_default().push(BatchCollectEntry {
+                query_index,
+                slot: slot_base + query_index,
+                fragments: per_fragment,
+            });
         }
     }
 
@@ -333,7 +338,7 @@ pub(crate) fn run(
             .into_iter()
             .map(|(site, entries)| (site, BatchCollectRequest { entries }))
             .collect();
-        let responses = deployment.cluster.round(requests, batch_collect_task);
+        let responses = ctx.round(requests, batch_collect_task);
         for response in responses.into_values() {
             for slice in response.per_query {
                 answers[slice.query_index].extend(slice.answers);
@@ -343,7 +348,7 @@ pub(crate) fn run(
 
     // ------------------------------------------------------------- Reports
     let elapsed = start.elapsed();
-    let stats = deployment.cluster.stats.delta_since(&baseline);
+    let stats = ctx.stats;
     let mut outcomes = Vec::with_capacity(query_count);
     for (query_index, mut query_answers) in answers.into_iter().enumerate() {
         query_answers.sort();

@@ -7,8 +7,9 @@
 //! access goes through the messaging layer so that traffic and visits are
 //! accounted faithfully.
 
-use paxml_distsim::{Cluster, Placement, SiteId};
+use paxml_distsim::{Cluster, ClusterStats, Placement, SiteId, SiteLocal};
 use paxml_fragment::{FragmentId, FragmentTree, FragmentedTree};
+use serde::Serialize;
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -87,6 +88,62 @@ impl Deployment {
     /// Reset statistics and per-site scratch state between query runs.
     pub fn reset(&mut self) {
         self.cluster.reset();
+    }
+}
+
+/// A borrowed execution context: one execution's private view of a shared
+/// deployment.
+///
+/// Every algorithm driver runs against an `ExecCtx` instead of a
+/// `&mut Deployment`. The context borrows the deployment *shared* — any
+/// number of executions may run concurrently over one deployment — and owns
+/// this execution's [`ClusterStats`] recorder: [`ExecCtx::round`] forwards
+/// to [`Cluster::round_recorded`], so [`ExecCtx::stats`] accumulates the
+/// visits/bytes/ops of **this execution only** while the cluster's
+/// cumulative counters grow in the background. This is what lets
+/// per-execution reports stay exact without racing `delta_since` snapshots
+/// of a shared counter.
+pub struct ExecCtx<'a> {
+    deployment: &'a Deployment,
+    /// The cluster meters of this execution only.
+    pub stats: ClusterStats,
+}
+
+impl<'a> ExecCtx<'a> {
+    /// Start an execution over a shared deployment with a fresh recorder.
+    pub fn new(deployment: &'a Deployment) -> Self {
+        ExecCtx { deployment, stats: ClusterStats::default() }
+    }
+
+    /// The shared deployment this execution runs over.
+    pub fn deployment(&self) -> &'a Deployment {
+        self.deployment
+    }
+
+    /// One coordinator round, recorded into this execution's meters (and
+    /// the cluster's cumulative ones).
+    pub fn round<Req, Resp, F>(
+        &mut self,
+        requests: BTreeMap<SiteId, Req>,
+        task: F,
+    ) -> BTreeMap<SiteId, Resp>
+    where
+        Req: Serialize + Send + 'static,
+        Resp: Serialize + Send + 'static,
+        F: Fn(&mut SiteLocal, Req) -> Resp + Send + Sync + 'static,
+    {
+        self.deployment.cluster.round_recorded(&mut self.stats, requests, task)
+    }
+
+    /// Visit every occupied site with the same request, recorded into this
+    /// execution's meters.
+    pub fn broadcast<Req, Resp, F>(&mut self, request: Req, task: F) -> BTreeMap<SiteId, Resp>
+    where
+        Req: Serialize + Send + Clone + 'static,
+        Resp: Serialize + Send + 'static,
+        F: Fn(&mut SiteLocal, Req) -> Resp + Send + Sync + 'static,
+    {
+        self.deployment.cluster.broadcast_recorded(&mut self.stats, request, task)
     }
 }
 

@@ -79,7 +79,7 @@
 //! assert_eq!(report.max_visits_per_site(), 0);
 //! ```
 
-use crate::deployment::Deployment;
+use crate::deployment::{Deployment, ExecCtx};
 use crate::protocol::{
     update_task, CandidateAnswer, FragmentUpdate, InitVector, MsgDeltaAnswer, MsgDeltaVect,
     MsgUpdate, RecomputeInput,
@@ -89,7 +89,7 @@ use crate::report::AnswerItem;
 use crate::vars::{PaxVar, QualVecKind};
 use crate::EvalOptions;
 use paxml_boolex::{Assignment, FormulaVector};
-use paxml_distsim::SiteId;
+use paxml_distsim::{ClusterStats, SiteId};
 use paxml_fragment::{FragmentId, FragmentResult, FragmentTree, UpdateOp};
 use paxml_xpath::eval::{root_context_vector, QualVectors};
 use paxml_xpath::{compile_text, CompiledQuery, XPathResult};
@@ -136,6 +136,10 @@ pub struct IncrementalReport {
     pub unify_ops: u64,
     /// Bytes moved over the network by this re-evaluation.
     pub network_bytes: u64,
+    /// The full cluster meters of this re-evaluation only (recorded by the
+    /// round's own [`ClusterStats`] recorder, never derived from shared
+    /// cumulative counters).
+    pub stats: ClusterStats,
     /// Wall-clock time of the re-evaluation as seen by the coordinator.
     pub elapsed: Duration,
 }
@@ -361,18 +365,21 @@ impl QuerySession {
         RefreshOutcome { unify_ops, reunified_fragments: qual_reunified + sel_reunified }
     }
 
-    /// One coordinator round over a borrowed deployment: ship ops +
-    /// recompute instructions to the dirty sites, merge the deltas into the
-    /// caches, re-unify the dirty cone and re-resolve answers. With
-    /// `initial` set, every relevant fragment is treated as dirty (and
-    /// `ops_by_fragment` is empty).
+    /// One coordinator round over a borrowed (shared) deployment: ship the
+    /// ops and recompute instructions to the dirty sites, merge the deltas
+    /// into the caches, re-unify the dirty cone and re-resolve answers.
+    /// With `initial` set, every relevant fragment is treated as dirty
+    /// (and `ops_by_fragment` is empty). The round's meters are recorded
+    /// by its own [`ExecCtx`], so concurrent activity elsewhere on the
+    /// deployment never leaks into this report.
     pub(crate) fn run_round(
         &mut self,
-        deployment: &mut Deployment,
+        deployment: &Deployment,
         ops_by_fragment: &BTreeMap<FragmentId, Vec<UpdateOp>>,
         initial: bool,
     ) -> IncrementalReport {
         let start = Instant::now();
+        let mut ctx = ExecCtx::new(deployment);
         let dirty_fragments: BTreeSet<FragmentId> = if initial {
             self.analysis.relevant.iter().copied().collect()
         } else {
@@ -380,10 +387,6 @@ impl QuerySession {
         };
         let dirty_sites: BTreeSet<SiteId> =
             dirty_fragments.iter().map(|&f| deployment.cluster.site_of(f)).collect();
-
-        let visits_before: BTreeMap<SiteId, u32> =
-            deployment.cluster.stats.sites.iter().map(|(site, s)| (*site, s.visits)).collect();
-        let bytes_before = deployment.cluster.stats.total_bytes();
 
         // ----------------------------------------------- the one dirty round
         let mut requests: BTreeMap<SiteId, MsgUpdate> = BTreeMap::new();
@@ -411,7 +414,7 @@ impl QuerySession {
             requests.keys().all(|s| dirty_sites.contains(s)),
             "the update round must address dirty sites only"
         );
-        let responses = deployment.cluster.round(requests, update_task);
+        let responses = ctx.round(requests, update_task);
 
         let mut applied_ops = 0usize;
         let mut rejected: BTreeMap<FragmentId, String> = BTreeMap::new();
@@ -426,12 +429,11 @@ impl QuerySession {
         self.initialized = true;
 
         // ------------------------------------------------------------ report
-        let visits: BTreeMap<SiteId, u32> = deployment
-            .cluster
+        let visits: BTreeMap<SiteId, u32> = ctx
             .stats
             .sites
             .iter()
-            .map(|(site, s)| (*site, s.visits - visits_before.get(site).copied().unwrap_or(0)))
+            .map(|(site, s)| (*site, s.visits))
             .filter(|(_, v)| *v > 0)
             .collect();
         IncrementalReport {
@@ -443,7 +445,8 @@ impl QuerySession {
             recomputed_fragments: recomputed,
             reunified_fragments: refresh.reunified_fragments,
             unify_ops: refresh.unify_ops,
-            network_bytes: deployment.cluster.stats.total_bytes() - bytes_before,
+            network_bytes: ctx.stats.total_bytes(),
+            stats: ctx.stats,
             elapsed: start.elapsed(),
         }
     }
@@ -595,7 +598,7 @@ impl IncrementalEngine {
         // The initial evaluation is "everything is dirty, nothing to apply":
         // one update round with empty op lists snapshots every relevant
         // fragment.
-        engine.session.run_round(&mut engine.deployment, &BTreeMap::new(), true);
+        engine.session.run_round(&engine.deployment, &BTreeMap::new(), true);
         Ok(engine)
     }
 
@@ -646,7 +649,7 @@ impl IncrementalEngine {
             }
             ops_by_fragment.entry(*fragment).or_default().push(op.clone());
         }
-        Ok(self.session.run_round(&mut self.deployment, &ops_by_fragment, false))
+        Ok(self.session.run_round(&self.deployment, &ops_by_fragment, false))
     }
 }
 
@@ -867,12 +870,12 @@ mod tests {
 
         // Unknown fragments are an error before any visit happens.
         let visits_before: u32 =
-            engine.deployment().cluster.stats.sites.values().map(|s| s.visits).sum();
+            engine.deployment().cluster.stats().sites.values().map(|s| s.visits).sum();
         assert!(engine
             .apply_updates(&[(FragmentId(99), UpdateOp::DeleteSubtree { node: f1_root })])
             .is_err());
         let visits_after: u32 =
-            engine.deployment().cluster.stats.sites.values().map(|s| s.visits).sum();
+            engine.deployment().cluster.stats().sites.values().map(|s| s.visits).sum();
         assert_eq!(visits_before, visits_after);
     }
 

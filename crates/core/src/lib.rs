@@ -61,7 +61,7 @@ pub mod unify;
 mod vars;
 
 pub use batch::BatchReport;
-pub use deployment::Deployment;
+pub use deployment::{Deployment, ExecCtx};
 pub use error::{PaxError, PaxResult};
 #[allow(deprecated)]
 pub use incremental::IncrementalEngine;
@@ -445,6 +445,34 @@ mod tests {
         );
         assert!(report.summary().contains("PaX3"));
         assert_eq!(report.fragments_total, 5);
+    }
+
+    #[test]
+    fn executions_leave_no_scratch_parked_on_any_site() {
+        // Per-execution scratch slots are never reused, so anything an
+        // execution parks site-side and fails to take back accumulates
+        // forever on a long-lived deployment. Regression: PaX3's qualifier
+        // stage used to park per-node vectors for annotation-pruned
+        // fragments that the selection stage never visited.
+        use paxml_distsim::SiteId;
+        let tree = clientele();
+        let fragmented = fig1_fragmentation(&tree);
+        let mut d = Deployment::new(&fragmented, 4, Placement::RoundRobin);
+        for query in ["client[country/text()='US']/name", "//stock[qt >= 50]/code", "client/name"] {
+            for options in [EvalOptions::without_annotations(), EvalOptions::with_annotations()] {
+                for _ in 0..3 {
+                    eval_pax3(&mut d, query, &options);
+                    eval_pax2(&mut d, query, &options);
+                }
+            }
+        }
+        for site in 0..4 {
+            assert_eq!(
+                d.cluster.inspect_site(SiteId(site)).scratch_len(),
+                0,
+                "scratch leaked at site {site}"
+            );
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! to avoid. The baseline exists so the benchmarks can show the traffic and
 //! latency gap.
 
-use crate::deployment::Deployment;
+use crate::deployment::{Deployment, ExecCtx};
 use crate::report::{Algorithm, AnswerItem, EvaluationReport, ExecMode, ExecReport, QueryOutcome};
 use paxml_fragment::{Fragment, FragmentedTree};
 use paxml_xml::NodeId;
@@ -32,17 +32,14 @@ pub fn evaluate_compiled(
 }
 
 /// The naive driver, reported as a unified [`ExecReport`] whose cluster
-/// meters cover exactly this execution.
-pub(crate) fn run(
-    deployment: &mut Deployment,
-    query: &CompiledQuery,
-    query_text: &str,
-) -> ExecReport {
+/// meters cover exactly this execution. Takes the deployment *shared*: any
+/// number of runs may execute concurrently, each with its own recorder.
+pub(crate) fn run(deployment: &Deployment, query: &CompiledQuery, query_text: &str) -> ExecReport {
     let start = Instant::now();
-    let baseline = deployment.cluster.stats.clone();
+    let mut ctx = ExecCtx::new(deployment);
 
     // One visit per site: "send me everything you store".
-    let responses = deployment.cluster.broadcast((), |site, _req: ()| -> Vec<Fragment> {
+    let responses = ctx.broadcast((), |site, _req: ()| -> Vec<Fragment> {
         // Shipping is charged by the serialized size of the response; the
         // site does no real computation beyond reading its fragments.
         site.charge_ops(site.cumulative_size() as u64);
@@ -83,7 +80,7 @@ pub(crate) fn run(
         }],
         update: None,
         fragments_total: deployment.fragment_tree.len(),
-        stats: deployment.cluster.stats.delta_since(&baseline),
+        stats: ctx.stats,
         coordinator_ops: result.ops,
         elapsed: start.elapsed(),
         from_cache: false,

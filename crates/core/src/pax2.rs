@@ -13,7 +13,7 @@
 //! still touch every fragment — which is why `PaX2-XA` wins on Q3 in the
 //! paper's Figure 10(c).
 
-use crate::deployment::Deployment;
+use crate::deployment::{Deployment, ExecCtx};
 use crate::protocol::{
     collect_task, combined_task, CollectRequest, CombinedFragmentInput, CombinedRequest, InitVector,
 };
@@ -52,15 +52,18 @@ pub fn evaluate_compiled(
 }
 
 /// The PaX2 driver: the two-visit protocol, reported as a unified
-/// [`ExecReport`] whose cluster meters cover exactly this execution.
+/// [`ExecReport`] whose cluster meters cover exactly this execution. Takes
+/// the deployment *shared*: any number of PaX2 runs may execute
+/// concurrently, each with its own recorder and scratch slot.
 pub(crate) fn run(
-    deployment: &mut Deployment,
+    deployment: &Deployment,
     query: &CompiledQuery,
     query_text: &str,
     options: &EvalOptions,
 ) -> ExecReport {
     let start = Instant::now();
-    let baseline = deployment.cluster.stats.clone();
+    let mut ctx = ExecCtx::new(deployment);
+    let slot = deployment.cluster.allocate_slots(1);
     let ft = deployment.fragment_tree.clone();
     let analysis = if options.use_annotations {
         analyze(query, &ft, &deployment.root_label)
@@ -102,9 +105,9 @@ pub(crate) fn run(
                 },
             );
         }
-        requests.insert(site, CombinedRequest { query: query.clone(), fragments: inputs });
+        requests.insert(site, CombinedRequest { slot, query: query.clone(), fragments: inputs });
     }
-    let responses = deployment.cluster.round(requests, combined_task);
+    let responses = ctx.round(requests, combined_task);
     let mut roots: BTreeMap<FragmentId, QualVectors<PaxVar>> = BTreeMap::new();
     let mut virtuals: BTreeMap<FragmentId, FormulaVector<PaxVar>> = BTreeMap::new();
     for response in responses.into_values() {
@@ -134,9 +137,9 @@ pub(crate) fn run(
                     restrict_for_fragment(&sel_assignment, fragment, ft.children(fragment)),
                 );
             }
-            requests.insert(site, CollectRequest { fragments: per_fragment });
+            requests.insert(site, CollectRequest { slot, fragments: per_fragment });
         }
-        let responses = deployment.cluster.round(requests, collect_task);
+        let responses = ctx.round(requests, collect_task);
         for response in responses.into_values() {
             answers.extend(response.answers);
         }
@@ -156,7 +159,7 @@ pub(crate) fn run(
         }],
         update: None,
         fragments_total: ft.len(),
-        stats: deployment.cluster.stats.delta_since(&baseline),
+        stats: ctx.stats,
         coordinator_ops,
         elapsed: start.elapsed(),
         from_cache: false,

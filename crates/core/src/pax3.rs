@@ -17,7 +17,7 @@
 //! XPath-annotation optimization provides exact ancestor summaries Stage 3
 //! is skipped as well — matching the visit counts measured in Experiment 1.
 
-use crate::deployment::Deployment;
+use crate::deployment::{Deployment, ExecCtx};
 use crate::protocol::{
     collect_task, qualifier_task, selection_task, CollectRequest, InitVector, QualRequest,
     SelFragmentInput, SelRequest,
@@ -57,15 +57,18 @@ pub fn evaluate_compiled(
 }
 
 /// The PaX3 driver: the three-stage protocol, reported as a unified
-/// [`ExecReport`] whose cluster meters cover exactly this execution.
+/// [`ExecReport`] whose cluster meters cover exactly this execution. Takes
+/// the deployment *shared*: any number of runs may execute concurrently,
+/// each with its own recorder and scratch slot.
 pub(crate) fn run(
-    deployment: &mut Deployment,
+    deployment: &Deployment,
     query: &CompiledQuery,
     query_text: &str,
     options: &EvalOptions,
 ) -> ExecReport {
     let start = Instant::now();
-    let baseline = deployment.cluster.stats.clone();
+    let mut ctx = ExecCtx::new(deployment);
+    let slot = deployment.cluster.allocate_slots(1);
     let ft = deployment.fragment_tree.clone();
     let analysis = if options.use_annotations {
         analyze(query, &ft, &deployment.root_label)
@@ -77,8 +80,8 @@ pub(crate) fn run(
 
     // ----------------------------------------------------------------- Stage 1
     let qual_assignment = if query.has_qualifiers() {
-        let requests = stage1_requests(deployment, query);
-        let responses = deployment.cluster.round(requests, qualifier_task);
+        let requests = stage1_requests(deployment, query, slot, &analysis.relevant);
+        let responses = ctx.round(requests, qualifier_task);
         let mut roots: BTreeMap<FragmentId, QualVectors<PaxVar>> = BTreeMap::new();
         for response in responses.into_values() {
             roots.extend(response.roots);
@@ -124,9 +127,9 @@ pub(crate) fn run(
                 },
             );
         }
-        requests.insert(site, SelRequest { query: query.clone(), fragments: inputs });
+        requests.insert(site, SelRequest { slot, query: query.clone(), fragments: inputs });
     }
-    let responses = deployment.cluster.round(requests, selection_task);
+    let responses = ctx.round(requests, selection_task);
     let mut virtuals: BTreeMap<FragmentId, FormulaVector<PaxVar>> = BTreeMap::new();
     for response in responses.into_values() {
         virtuals.extend(response.virtuals);
@@ -144,9 +147,9 @@ pub(crate) fn run(
                 per_fragment
                     .insert(fragment, restrict_for_fragment(&sel_assignment, fragment, &[]));
             }
-            requests.insert(site, CollectRequest { fragments: per_fragment });
+            requests.insert(site, CollectRequest { slot, fragments: per_fragment });
         }
-        let responses = deployment.cluster.round(requests, collect_task);
+        let responses = ctx.round(requests, collect_task);
         for response in responses.into_values() {
             answers.extend(response.answers);
         }
@@ -166,7 +169,7 @@ pub(crate) fn run(
         }],
         update: None,
         fragments_total: ft.len(),
-        stats: deployment.cluster.stats.delta_since(&baseline),
+        stats: ctx.stats,
         coordinator_ops,
         elapsed: start.elapsed(),
         from_cache: false,
@@ -175,15 +178,23 @@ pub(crate) fn run(
 
 /// Build the Stage-1 requests: every site is asked to evaluate the
 /// qualifiers over *all* of its fragments (the annotation optimization only
-/// kicks in from Stage 2 onward, exactly as in the paper).
+/// kicks in from Stage 2 onward, exactly as in the paper). Only the
+/// `relevant` fragments park their per-node vectors site-side — Stage 2
+/// visits exactly those, so anything else parked would never be taken back.
 fn stage1_requests(
     deployment: &Deployment,
     query: &CompiledQuery,
+    slot: usize,
+    relevant: &std::collections::BTreeSet<FragmentId>,
 ) -> BTreeMap<paxml_distsim::SiteId, QualRequest> {
     let all: Vec<FragmentId> = deployment.fragment_tree.ids().to_vec();
     deployment
         .group_by_site(all)
         .into_iter()
-        .map(|(site, fragments)| (site, QualRequest { query: query.clone(), fragments }))
+        .map(|(site, fragments)| {
+            let park: Vec<FragmentId> =
+                fragments.iter().copied().filter(|f| relevant.contains(f)).collect();
+            (site, QualRequest { slot, query: query.clone(), fragments, park })
+        })
         .collect()
 }

@@ -43,7 +43,7 @@
 //!         init,
 //!     });
 //! }
-//! let response = combined_task(&mut site, CombinedRequest { query, fragments });
+//! let response = combined_task(&mut site, CombinedRequest { slot: 0, query, fragments });
 //!
 //! // Both fragments report root vectors; the root fragment records an
 //! // ancestor summary for its virtual node standing in for F1.
@@ -70,8 +70,11 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Scratch keys used to keep per-fragment state between visits. The `slot`
-/// distinguishes the queries of a batch; single-query evaluations use slot
-/// [`SINGLE_QUERY_SLOT`].
+/// keeps concurrent executions (and the queries of a batch) apart: every
+/// request that parks state site-side carries the slot its execution drew
+/// from [`paxml_distsim::Cluster::allocate_slots`], so two executions
+/// interleaving their visits to one site never read each other's candidate
+/// sets.
 fn qv_key(slot: usize, f: FragmentId) -> String {
     format!("qv:{slot}:{}", f.0)
 }
@@ -82,7 +85,10 @@ fn cans_key(slot: usize, f: FragmentId) -> String {
     format!("cans:{slot}:{}", f.0)
 }
 
-/// The scratch slot used by the single-query algorithms (PaX3/PaX2).
+/// A default scratch slot for driving the site tasks directly against a
+/// hand-built [`SiteLocal`] (tests, doctests). Real executions draw a
+/// unique slot from the cluster instead — sharing this constant between
+/// concurrent executions would mix their candidate state.
 pub const SINGLE_QUERY_SLOT: usize = 0;
 
 /// How a fragment's top-down pass should initialise its ancestor summary.
@@ -103,11 +109,21 @@ pub enum InitVector {
 /// Request of the qualifier stage.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct QualRequest {
+    /// The execution's scratch slot (where the per-node `QV` vectors are
+    /// parked for the selection visit).
+    pub slot: usize,
     /// The compiled query (sent to every site — the `O(|Q|·|FT|)` part of
     /// the communication bound).
     pub query: CompiledQuery,
     /// The fragments (stored at the target site) to evaluate.
     pub fragments: Vec<FragmentId>,
+    /// The subset of `fragments` whose per-node vectors a later selection
+    /// visit will consume (the annotation-relevant ones). Every fragment
+    /// still contributes its root vectors, but only these park state in
+    /// the site's scratch — parking for a fragment the selection stage
+    /// prunes would leak the entry, since per-execution slots are never
+    /// reused.
+    pub park: Vec<FragmentId>,
 }
 
 /// Response of the qualifier stage: the root `QV`/`QDV` vectors of every
@@ -145,7 +161,9 @@ pub fn qualifier_task(site: &mut SiteLocal, request: QualRequest) -> QualRespons
         );
         site.charge_ops(out.ops);
         roots.insert(*fragment_id, out.root.clone());
-        site.put_scratch(qv_key(SINGLE_QUERY_SLOT, *fragment_id), out.node_qv);
+        if request.park.contains(fragment_id) {
+            site.put_scratch(qv_key(request.slot, *fragment_id), out.node_qv);
+        }
         site.add_fragment(fragment);
     }
     QualResponse { roots }
@@ -175,6 +193,9 @@ pub struct SelFragmentInput {
 /// Request of the selection stage.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SelRequest {
+    /// The execution's scratch slot (where the qualifier visit parked its
+    /// vectors and where candidate answers are parked for collection).
+    pub slot: usize,
     /// The compiled query.
     pub query: CompiledQuery,
     /// Inputs per fragment stored at the target site.
@@ -216,7 +237,7 @@ pub fn selection_task(site: &mut SiteLocal, request: SelRequest) -> SelResponse 
         let context = if input.root_is_context { Some(fragment.tree.root()) } else { None };
         let qual_assignment = assignment_from_pairs(&input.qual_values);
         let stored_qv = site.take_scratch::<Vec<Option<FormulaVector<PaxVar>>>>(&qv_key(
-            SINGLE_QUERY_SLOT,
+            request.slot,
             *fragment_id,
         ));
         let mut qual_value = |v: NodeId, e: QEntryId| -> BoolExpr<PaxVar> {
@@ -259,8 +280,8 @@ pub fn selection_task(site: &mut SiteLocal, request: SelRequest) -> SelResponse 
                 ));
             }
         } else {
-            site.put_scratch(ans_key(SINGLE_QUERY_SLOT, *fragment_id), out.answers);
-            site.put_scratch(cans_key(SINGLE_QUERY_SLOT, *fragment_id), out.candidates);
+            site.put_scratch(ans_key(request.slot, *fragment_id), out.answers);
+            site.put_scratch(cans_key(request.slot, *fragment_id), out.candidates);
         }
         site.add_fragment(fragment);
     }
@@ -274,6 +295,9 @@ pub fn selection_task(site: &mut SiteLocal, request: SelRequest) -> SelResponse 
 /// Request of PaX2's combined stage.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CombinedRequest {
+    /// The execution's scratch slot (where candidate answers are parked for
+    /// the collection visit).
+    pub slot: usize,
     /// The compiled query.
     pub query: CompiledQuery,
     /// Inputs per fragment stored at the target site.
@@ -404,7 +428,7 @@ pub fn combined_task(site: &mut SiteLocal, request: CombinedRequest) -> Combined
         combined_pass_on_fragment(
             site,
             &fragment,
-            SINGLE_QUERY_SLOT,
+            request.slot,
             query,
             input,
             &mut roots,
@@ -423,6 +447,9 @@ pub fn combined_task(site: &mut SiteLocal, request: CombinedRequest) -> Combined
 /// Request of the answer-collection stage.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CollectRequest {
+    /// The execution's scratch slot (where the earlier visit parked the
+    /// candidate answers being resolved).
+    pub slot: usize,
     /// For every fragment at the target site: the resolved truth values of
     /// the variables its candidate formulas may mention.
     pub fragments: BTreeMap<FragmentId, Vec<(PaxVar, bool)>>,
@@ -469,7 +496,7 @@ pub fn collect_task(site: &mut SiteLocal, request: CollectRequest) -> CollectRes
     let mut answers = Vec::new();
     for (fragment_id, values) in &request.fragments {
         let Some(fragment) = site.fragments.remove(fragment_id) else { continue };
-        collect_on_fragment(site, &fragment, SINGLE_QUERY_SLOT, values, &mut answers);
+        collect_on_fragment(site, &fragment, request.slot, values, &mut answers);
         site.add_fragment(fragment);
     }
     CollectResponse { answers }
@@ -480,12 +507,16 @@ pub fn collect_task(site: &mut SiteLocal, request: CollectRequest) -> CollectRes
 // ---------------------------------------------------------------------------
 
 /// One query's slice of a batched combined-stage request. `query_index` is
-/// the query's position in the batch; it doubles as the scratch slot keeping
-/// the queries' candidate sets apart between the two visits.
+/// the query's position in the batch (used to route the response slices);
+/// `slot` is the scratch slot keeping this query's candidate sets apart
+/// between the two visits — unique per execution *and* per query, so
+/// concurrent batches never mix state.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BatchCombinedEntry {
     /// Position of this query in the batch.
     pub query_index: usize,
+    /// The scratch slot of this query's candidate state.
+    pub slot: usize,
     /// The compiled query.
     pub query: CompiledQuery,
     /// Inputs for the fragments (stored at the target site) this query
@@ -557,7 +588,7 @@ pub fn batch_combined_task(
             combined_pass_on_fragment(
                 site,
                 &fragment,
-                entry.query_index,
+                entry.slot,
                 &entry.query,
                 input,
                 &mut response.roots,
@@ -573,8 +604,11 @@ pub fn batch_combined_task(
 /// One query's slice of a batched answer-collection request.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BatchCollectEntry {
-    /// Position of this query in the batch (its scratch slot).
+    /// Position of this query in the batch.
     pub query_index: usize,
+    /// The scratch slot the combined visit parked this query's candidate
+    /// state under.
+    pub slot: usize,
     /// Resolved variable values per fragment at the target site.
     pub fragments: BTreeMap<FragmentId, Vec<(PaxVar, bool)>>,
 }
@@ -628,7 +662,7 @@ pub fn batch_collect_task(
             collect_on_fragment(
                 site,
                 &fragment,
-                entry.query_index,
+                entry.slot,
                 values,
                 &mut per_query[position].answers,
             );
@@ -951,7 +985,12 @@ mod tests {
         let query = compile_text("client[country/text()='US']/broker/name").unwrap();
         let response = qualifier_task(
             &mut site,
-            QualRequest { query, fragments: vec![FragmentId(0), FragmentId(1)] },
+            QualRequest {
+                slot: SINGLE_QUERY_SLOT,
+                query,
+                fragments: vec![FragmentId(0), FragmentId(1)],
+                park: vec![FragmentId(0), FragmentId(1)],
+            },
         );
         assert_eq!(response.roots.len(), 2);
         assert!(site.scratch::<Vec<Option<FormulaVector<PaxVar>>>>("qv:0:0").is_some());
@@ -980,7 +1019,8 @@ mod tests {
                 collect_answers_now: true,
             },
         );
-        let response = selection_task(&mut site, SelRequest { query, fragments });
+        let response =
+            selection_task(&mut site, SelRequest { slot: SINGLE_QUERY_SLOT, query, fragments });
         assert_eq!(response.answers.len(), 1);
         assert_eq!(response.answers[0].text, Some("E*trade".to_string()));
         assert!(response.virtuals.is_empty());
@@ -1001,13 +1041,15 @@ mod tests {
                 collect_answers_now: false,
             },
         );
-        let response = selection_task(&mut site, SelRequest { query, fragments });
+        let response =
+            selection_task(&mut site, SelRequest { slot: SINGLE_QUERY_SLOT, query, fragments });
         assert!(response.answers.is_empty());
         // The name node became a candidate; resolve its z-variable to true.
         let mut values = BTreeMap::new();
         values
             .insert(FragmentId(1), vec![(PaxVar::Sel { fragment: FragmentId(1), entry: 1 }, true)]);
-        let collected = collect_task(&mut site, CollectRequest { fragments: values });
+        let collected =
+            collect_task(&mut site, CollectRequest { slot: SINGLE_QUERY_SLOT, fragments: values });
         assert_eq!(collected.answers.len(), 1);
         assert_eq!(collected.answers[0].label, "name");
     }
@@ -1091,7 +1133,8 @@ mod tests {
                 collect_answers_now: false,
             },
         );
-        let response = combined_task(&mut site, CombinedRequest { query, fragments });
+        let response =
+            combined_task(&mut site, CombinedRequest { slot: SINGLE_QUERY_SLOT, query, fragments });
         assert_eq!(response.roots.len(), 2);
         // The root fragment records an ancestor summary for its virtual node F1.
         assert!(response.virtuals.contains_key(&FragmentId(1)));

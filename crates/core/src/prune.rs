@@ -351,7 +351,7 @@ mod tests {
             // Only the root fragment's site is ever visited.
             let visited: Vec<_> = d
                 .cluster
-                .stats
+                .stats()
                 .sites
                 .iter()
                 .filter(|(_, s)| s.visits > 0)

@@ -1,4 +1,5 @@
-//! The `PaxServer` session API: every evaluation mode behind one handle.
+//! The `PaxServer` session API: every evaluation mode behind one
+//! **concurrently shareable** handle.
 //!
 //! The paper's algorithms — PaX3, PaX2, the batched engine, the incremental
 //! engine, the naive baseline — are one system: a coordinator holding the
@@ -6,8 +7,9 @@
 //! This module is that coordinator. A [`PaxServer`]:
 //!
 //! * **owns the deployment** — callers never thread `&mut Deployment`
-//!   around, and every execution reports *its own* cluster meters (the
-//!   server snapshots the cumulative counters around each call);
+//!   around, and every execution reports *its own* cluster meters (each
+//!   execution threads a private [`ClusterStats`] recorder through its
+//!   rounds);
 //! * **prepares queries once** — [`PaxServer::prepare`] compiles and
 //!   normalizes a query and caches it by text; a [`PreparedQuery`] is a
 //!   cheap handle that can be executed any number of times;
@@ -22,6 +24,31 @@
 //!   update round then refreshes *every* prepared query's cache in the one
 //!   visit it pays to each dirty site — clean sites are never visited, and
 //!   re-executing any prepared query afterwards costs **zero** visits.
+//!
+//! # The `Send + Sync` contract
+//!
+//! `PaxServer` is `Send + Sync`: wrap one in an [`Arc`] and share it with
+//! any number of client threads — **no `&mut self` anywhere in the serving
+//! path**. The session follows the read-heavy/update-rare split of a
+//! production query server:
+//!
+//! | Operation | Access | Blocks | Blocked by |
+//! |-----------|--------|--------|------------|
+//! | [`execute`](PaxServer::execute), [`execute_batch`](PaxServer::execute_batch), [`execute_text`](PaxServer::execute_text), [`query_once`](PaxServer::query_once) | shared (read) | [`apply_updates`](PaxServer::apply_updates) | an in-flight `apply_updates` |
+//! | [`apply_updates`](PaxServer::apply_updates) | exclusive (write) | every execution | every in-flight execution |
+//! | [`prepare`](PaxServer::prepare) | exclusive over the prepared-query table only | other `prepare` calls | other `prepare` calls |
+//!
+//! Executions hold the read side of an internal update gate for their
+//! *entire* protocol (all visits of all rounds), and `apply_updates` holds
+//! the write side — so a reader observes either the pre-update or the
+//! post-update deployment, **never a torn mix**, and concurrent execution
+//! stays bit-identical to a sequential interleaving. Concurrent executions
+//! themselves never block each other: each runs with a private stats
+//! recorder and private site-scratch slots; the first (cache-snapshotting)
+//! execution of one particular PaX2 prepared query serializes on that
+//! query's session lock, after which re-executions are lock-cheap cache
+//! reads. `prepare` is exclusive only against other `prepare` calls — it
+//! never blocks executions.
 //!
 //! ```
 //! use paxml_core::server::PaxServer;
@@ -40,7 +67,7 @@
 //!     .build();
 //! let fragmented = cut_at_labels(&tree, &["broker"]).unwrap();
 //!
-//! let mut server = PaxServer::builder()
+//! let server = PaxServer::builder()
 //!     .algorithm(Algorithm::PaX2)
 //!     .annotations(true)
 //!     .placement(Placement::RoundRobin)
@@ -62,8 +89,42 @@
 //! // ...and re-executing a prepared query is served from the cache.
 //! assert_eq!(server.execute(&q).unwrap().max_visits_per_site(), 0);
 //! ```
+//!
+//! Two client threads sharing one server through an `Arc` — the
+//! concurrent-serving shape the session API is built for:
+//!
+//! ```
+//! use paxml_core::server::PaxServer;
+//! use paxml_core::Algorithm;
+//! use paxml_fragment::strategy::cut_at_labels;
+//! use paxml_xml::TreeBuilder;
+//! use std::sync::Arc;
+//! use std::thread;
+//!
+//! let tree = TreeBuilder::new("clientele")
+//!     .open("client").leaf("country", "US")
+//!         .open("broker").leaf("name", "E*trade").close()
+//!     .close()
+//!     .build();
+//! let fragmented = cut_at_labels(&tree, &["broker"]).unwrap();
+//! let server = Arc::new(
+//!     PaxServer::builder().algorithm(Algorithm::PaX2).sites(2).deploy(&fragmented).unwrap(),
+//! );
+//! let query = server.prepare("client/broker/name").unwrap();
+//!
+//! let clients: Vec<_> = (0..2)
+//!     .map(|_| {
+//!         let server = Arc::clone(&server);
+//!         let query = query.clone();
+//!         thread::spawn(move || server.execute(&query).unwrap().answer_texts())
+//!     })
+//!     .collect();
+//! for client in clients {
+//!     assert_eq!(client.join().unwrap(), vec!["E*trade".to_string()]);
+//! }
+//! ```
 
-use crate::deployment::Deployment;
+use crate::deployment::{Deployment, ExecCtx};
 use crate::error::{PaxError, PaxResult};
 use crate::incremental::QuerySession;
 use crate::protocol::{session_update_task, MsgSessionUpdate, SessionRecompute};
@@ -74,12 +135,13 @@ use paxml_distsim::{ClusterStats, Placement, SiteId};
 use paxml_fragment::{FragmentId, FragmentedTree, UpdateOp};
 use paxml_xpath::{compile_text, CompiledQuery};
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard};
 use std::time::{Duration, Instant};
 
 /// A query compiled and normalized once by [`PaxServer::prepare`], reusable
 /// across any number of executions of the server that prepared it. Cloning
-/// is cheap (the compiled form is shared).
+/// is cheap (the compiled form is shared), and a clone may be moved to any
+/// thread.
 #[derive(Debug, Clone)]
 pub struct PreparedQuery {
     /// Position in the server's prepared-query table.
@@ -211,26 +273,41 @@ impl PaxServerBuilder {
             deployment,
             algorithm: self.algorithm,
             options: EvalOptions { use_annotations: self.use_annotations },
-            prepared: Vec::new(),
-            by_text: BTreeMap::new(),
-            sessions: BTreeMap::new(),
+            update_gate: RwLock::new(()),
+            prepared: RwLock::new(PreparedTable::default()),
+            sessions: Mutex::new(BTreeMap::new()),
         })
     }
 }
 
+/// The prepared-query table: compilations cached by query text.
+#[derive(Default)]
+struct PreparedTable {
+    queries: Vec<PreparedQuery>,
+    by_text: BTreeMap<String, usize>,
+}
+
 /// A long-lived evaluation session over one deployment: prepared queries,
 /// single and batched execution, and fragment updates, all through one
-/// handle. See the [module docs](self) for the full picture.
+/// `Send + Sync` handle shared by any number of client threads. See the
+/// [module docs](self) for the full picture, including which operations
+/// block which.
 pub struct PaxServer {
     deployment: Deployment,
     algorithm: Algorithm,
     options: EvalOptions,
-    prepared: Vec<PreparedQuery>,
-    by_text: BTreeMap<String, usize>,
+    /// The read-path/write-path split: executions hold the read side for
+    /// their whole protocol; `apply_updates` holds the write side while it
+    /// mutates fragment data and session caches. Lock order (when several
+    /// are taken): `update_gate` → `sessions` map → individual session.
+    update_gate: RwLock<()>,
+    /// Queries compiled so far, cached by text.
+    prepared: RwLock<PreparedTable>,
     /// Residual-vector caches per prepared query (PaX2 servers), keyed by
     /// the prepared query's id. Populated on first execution, maintained by
-    /// every update round.
-    sessions: BTreeMap<usize, QuerySession>,
+    /// every update round. Each session has its own lock so executions of
+    /// *different* prepared queries never contend.
+    sessions: Mutex<BTreeMap<usize, Arc<Mutex<QuerySession>>>>,
 }
 
 impl PaxServer {
@@ -257,38 +334,62 @@ impl PaxServer {
 
     /// Number of queries prepared so far.
     pub fn prepared_count(&self) -> usize {
-        self.prepared.len()
+        self.prepared.read().expect("the prepared-query lock is never poisoned").queries.len()
     }
 
-    /// The cumulative cluster meters since the deployment started (each
-    /// [`ExecReport`] carries the per-execution delta instead).
-    pub fn cumulative_stats(&self) -> &ClusterStats {
-        &self.deployment.cluster.stats
+    /// A consistent snapshot of the cumulative cluster meters since the
+    /// deployment started (each [`ExecReport`] carries the per-execution
+    /// counters instead). Snapshots are committed whole-round, so two
+    /// snapshots bracketing any set of concurrent executions yield an
+    /// accurate [`ClusterStats::delta_since`].
+    pub fn cumulative_stats(&self) -> ClusterStats {
+        self.deployment.cluster.stats()
+    }
+
+    /// Hold the shared side of the update gate for the duration of one
+    /// execution: updates wait, other executions proceed.
+    fn shared_gate(&self) -> RwLockReadGuard<'_, ()> {
+        self.update_gate.read().expect("the update gate is never poisoned")
     }
 
     /// Compile and normalize `text` once, caching by query text: preparing
-    /// the same text again returns the cached compilation.
-    pub fn prepare(&mut self, text: &str) -> PaxResult<PreparedQuery> {
-        if let Some(&id) = self.by_text.get(text) {
-            return Ok(self.prepared[id].clone());
+    /// the same text again returns the cached compilation. Exclusive only
+    /// against other `prepare` calls — in-flight executions are not
+    /// blocked.
+    pub fn prepare(&self, text: &str) -> PaxResult<PreparedQuery> {
+        {
+            let table = self.prepared.read().expect("the prepared-query lock is never poisoned");
+            if let Some(&id) = table.by_text.get(text) {
+                return Ok(table.queries[id].clone());
+            }
         }
+        // Compile outside any lock — a slow compilation must not stall
+        // resolve() calls of concurrent executions.
         let compiled = compile_text(text)?;
-        let id = self.prepared.len();
+        let mut table = self.prepared.write().expect("the prepared-query lock is never poisoned");
+        if let Some(&id) = table.by_text.get(text) {
+            // A racing prepare of the same text won; use its entry.
+            return Ok(table.queries[id].clone());
+        }
+        let id = table.queries.len();
         let query = PreparedQuery { id, text: Arc::from(text), compiled: Arc::new(compiled) };
-        self.prepared.push(query.clone());
-        self.by_text.insert(text.to_string(), id);
+        table.queries.push(query.clone());
+        table.by_text.insert(text.to_string(), id);
         Ok(query)
     }
 
     /// Check a prepared query belongs to this server and return its id.
     fn resolve(&self, query: &PreparedQuery) -> PaxResult<usize> {
-        match self.prepared.get(query.id) {
+        let table = self.prepared.read().expect("the prepared-query lock is never poisoned");
+        match table.queries.get(query.id) {
             Some(own) if *own.text == *query.text => Ok(query.id),
             _ => Err(PaxError::ForeignQuery { query: query.text().to_string() }),
         }
     }
 
-    /// Execute a prepared query through the configured engine.
+    /// Execute a prepared query through the configured engine. Takes
+    /// `&self`: any number of executions may run concurrently (updates
+    /// wait — see the [module docs](self)).
     ///
     /// On a PaX2 server the first execution also snapshots the query's
     /// residual vectors coordinator-side (one visit per relevant site —
@@ -296,21 +397,22 @@ impl PaxServer {
     /// with **zero visits** until an update dirties it, and
     /// [`PaxServer::apply_updates`] re-freshens it in the update's own
     /// visit. PaX3 and naive servers run their classic protocols each time.
-    pub fn execute(&mut self, query: &PreparedQuery) -> PaxResult<ExecReport> {
-        let id = self.resolve(query)?;
-        match self.algorithm {
+    pub fn execute(&self, query: &PreparedQuery) -> PaxResult<ExecReport> {
+        self.resolve(query)?;
+        let _shared = self.shared_gate();
+        Ok(match self.algorithm {
             Algorithm::NaiveCentralized => {
-                Ok(naive::run(&mut self.deployment, &query.compiled, query.text()))
+                naive::run(&self.deployment, &query.compiled, query.text())
             }
             Algorithm::PaX3 => {
-                Ok(pax3::run(&mut self.deployment, &query.compiled, query.text(), &self.options))
+                pax3::run(&self.deployment, &query.compiled, query.text(), &self.options)
             }
-            Algorithm::PaX2 => Ok(self.execute_session(id)),
-        }
+            Algorithm::PaX2 => self.execute_session(query),
+        })
     }
 
     /// Prepare (or fetch the cached preparation of) `text` and execute it.
-    pub fn execute_text(&mut self, text: &str) -> PaxResult<ExecReport> {
+    pub fn execute_text(&self, text: &str) -> PaxResult<ExecReport> {
         let query = self.prepare(text)?;
         self.execute(&query)
     }
@@ -319,13 +421,15 @@ impl PaxServer {
     /// compiles fresh, runs the full protocol, touches no prepared-query
     /// cache. This is the drop-in replacement for the deprecated
     /// `pax2::evaluate`-style free functions (and what benchmarks use as
-    /// the un-amortized baseline).
-    pub fn query_once(&mut self, text: &str) -> PaxResult<ExecReport> {
+    /// the un-amortized baseline). Shares the deployment like
+    /// [`PaxServer::execute`] does.
+    pub fn query_once(&self, text: &str) -> PaxResult<ExecReport> {
         let compiled = compile_text(text)?;
+        let _shared = self.shared_gate();
         Ok(match self.algorithm {
-            Algorithm::NaiveCentralized => naive::run(&mut self.deployment, &compiled, text),
-            Algorithm::PaX3 => pax3::run(&mut self.deployment, &compiled, text, &self.options),
-            Algorithm::PaX2 => pax2::run(&mut self.deployment, &compiled, text, &self.options),
+            Algorithm::NaiveCentralized => naive::run(&self.deployment, &compiled, text),
+            Algorithm::PaX3 => pax3::run(&self.deployment, &compiled, text, &self.options),
+            Algorithm::PaX2 => pax2::run(&self.deployment, &compiled, text, &self.options),
         })
     }
 
@@ -334,20 +438,23 @@ impl PaxServer {
     /// PaX2 and PaX3 servers run the batched combined protocol (the whole
     /// batch costs each site at most two visits, §4 extended); a naive
     /// server evaluates the batch one query at a time. Batch executions do
-    /// not touch the prepared-query residual caches.
-    pub fn execute_batch(&mut self, queries: &[PreparedQuery]) -> PaxResult<ExecReport> {
+    /// not touch the prepared-query residual caches, and run concurrently
+    /// with other executions like [`PaxServer::execute`] does.
+    pub fn execute_batch(&self, queries: &[PreparedQuery]) -> PaxResult<ExecReport> {
         for query in queries {
             self.resolve(query)?;
         }
+        let _shared = self.shared_gate();
         match self.algorithm {
             Algorithm::NaiveCentralized => {
                 let start = Instant::now();
-                let baseline = self.deployment.cluster.stats.clone();
                 let mut outcomes: Vec<QueryOutcome> = Vec::with_capacity(queries.len());
                 let mut coordinator_ops = 0u64;
+                let mut stats = ClusterStats::default();
                 for query in queries {
-                    let report = naive::run(&mut self.deployment, &query.compiled, query.text());
+                    let report = naive::run(&self.deployment, &query.compiled, query.text());
                     coordinator_ops += report.coordinator_ops;
+                    stats.merge(&report.stats);
                     outcomes.extend(report.queries);
                 }
                 Ok(ExecReport {
@@ -357,7 +464,7 @@ impl PaxServer {
                     queries: outcomes,
                     update: None,
                     fragments_total: self.deployment.fragment_count(),
-                    stats: self.deployment.cluster.stats.delta_since(&baseline),
+                    stats,
                     coordinator_ops,
                     elapsed: start.elapsed(),
                     from_cache: false,
@@ -367,7 +474,7 @@ impl PaxServer {
                 let compiled: Vec<&CompiledQuery> =
                     queries.iter().map(|q| q.compiled.as_ref()).collect();
                 let texts: Vec<String> = queries.iter().map(|q| q.text().to_string()).collect();
-                let mut report = batch::run(&mut self.deployment, &compiled, &texts, &self.options);
+                let mut report = batch::run(&self.deployment, &compiled, &texts, &self.options);
                 // Batched execution always uses the shared-visit combined
                 // protocol; the report names the server's configured
                 // algorithm (PaX3's ≤ 3 bound holds a fortiori).
@@ -378,7 +485,7 @@ impl PaxServer {
     }
 
     /// Prepare every text and execute them as one batch.
-    pub fn execute_batch_text<S: AsRef<str>>(&mut self, texts: &[S]) -> PaxResult<ExecReport> {
+    pub fn execute_batch_text<S: AsRef<str>>(&self, texts: &[S]) -> PaxResult<ExecReport> {
         let queries: Vec<PreparedQuery> =
             texts.iter().map(|t| self.prepare(t.as_ref())).collect::<PaxResult<_>>()?;
         self.execute_batch(&queries)
@@ -390,13 +497,20 @@ impl PaxServer {
     /// so subsequent [`PaxServer::execute`] calls are already current
     /// (zero visits, clean sites untouched throughout).
     ///
+    /// This is the **writer-exclusive** operation of the session: it waits
+    /// for every in-flight execution to finish, blocks new ones while it
+    /// runs, and releases them against the fully-updated deployment —
+    /// interleaved readers observe either the pre-update or the post-update
+    /// answers, never a torn mix.
+    ///
     /// Ops for the same fragment apply in batch order. An op naming an
     /// unknown fragment fails the whole call before any visit; per-op
     /// validation failures are reported per fragment in the report's
     /// [`UpdateOutcome::rejected`] instead (the deployment stays consistent
     /// — session vectors are refreshed either way).
-    pub fn apply_updates(&mut self, updates: &[(FragmentId, UpdateOp)]) -> PaxResult<ExecReport> {
+    pub fn apply_updates(&self, updates: &[(FragmentId, UpdateOp)]) -> PaxResult<ExecReport> {
         let start = Instant::now();
+        let _exclusive = self.update_gate.write().expect("the update gate is never poisoned");
         let fragments_total = self.deployment.fragment_count();
         let mut ops_by_fragment: BTreeMap<FragmentId, Vec<UpdateOp>> = BTreeMap::new();
         for (fragment, op) in updates {
@@ -411,7 +525,19 @@ impl PaxServer {
         let dirty_fragments: BTreeSet<FragmentId> = ops_by_fragment.keys().copied().collect();
         let dirty_sites: BTreeSet<SiteId> =
             dirty_fragments.iter().map(|&f| self.deployment.cluster.site_of(f)).collect();
-        let baseline = self.deployment.cluster.stats.clone();
+        let mut ctx = ExecCtx::new(&self.deployment);
+
+        // The session set is stable while the write gate is held (only
+        // executions create sessions, and they are blocked): snapshot the
+        // handles, then lock every session for the whole update.
+        let session_arcs: Vec<(usize, Arc<Mutex<QuerySession>>)> = {
+            let map = self.sessions.lock().expect("the session-table lock is never poisoned");
+            map.iter().map(|(id, arc)| (*id, Arc::clone(arc))).collect()
+        };
+        let mut sessions: BTreeMap<usize, MutexGuard<'_, QuerySession>> = BTreeMap::new();
+        for (id, arc) in &session_arcs {
+            sessions.insert(*id, arc.lock().expect("a session lock is never poisoned"));
+        }
 
         let mut recomputed_fragments = 0usize;
         let mut applied_ops = 0usize;
@@ -423,7 +549,7 @@ impl PaxServer {
             // initialized session, the recompute instructions for its share
             // of that session's dirty-and-relevant fragments.
             let mut session_inputs: BTreeMap<usize, BTreeMap<FragmentId, _>> = BTreeMap::new();
-            for (&id, session) in &self.sessions {
+            for (&id, session) in &sessions {
                 let inputs = session.recompute_inputs(&dirty_fragments);
                 recomputed_fragments += inputs.len();
                 session_inputs.insert(id, inputs);
@@ -436,33 +562,33 @@ impl PaxServer {
                     .iter()
                     .filter_map(|f| ops_by_fragment.get(f).map(|ops| (*f, ops.clone())))
                     .collect();
-                let mut sessions: Vec<SessionRecompute> = Vec::new();
+                let mut session_slices: Vec<SessionRecompute> = Vec::new();
                 for (&id, inputs) in &session_inputs {
                     let here: BTreeMap<FragmentId, _> = fragments
                         .iter()
                         .filter_map(|f| inputs.get(f).map(|input| (*f, input.clone())))
                         .collect();
                     if !here.is_empty() {
-                        sessions.push(SessionRecompute {
+                        session_slices.push(SessionRecompute {
                             session: id,
-                            query: self.sessions[&id].query.clone(),
+                            query: sessions[&id].query.clone(),
                             fragments: here,
                         });
                     }
                 }
-                requests.insert(site, MsgSessionUpdate { ops, sessions });
+                requests.insert(site, MsgSessionUpdate { ops, sessions: session_slices });
             }
             debug_assert!(
                 requests.keys().all(|s| dirty_sites.contains(s)),
                 "the update round must address dirty sites only"
             );
-            let responses = self.deployment.cluster.round(requests, session_update_task);
+            let responses = ctx.round(requests, session_update_task);
 
             for delta in responses.into_values() {
                 applied_ops += delta.applied.values().sum::<usize>();
                 rejected.extend(delta.rejected);
                 for session_delta in delta.sessions {
-                    if let Some(session) = self.sessions.get_mut(&session_delta.session) {
+                    if let Some(session) = sessions.get_mut(&session_delta.session) {
                         session.absorb(session_delta.vect, session_delta.answer);
                     }
                 }
@@ -472,7 +598,7 @@ impl PaxServer {
         // ------------------- evalFT over each session's dirty cone
         let mut coordinator_ops = 0u64;
         let mut reunified_fragments = 0usize;
-        for session in self.sessions.values_mut() {
+        for session in sessions.values_mut() {
             let refresh = session.refresh_coordinator_state(&dirty_fragments, false);
             coordinator_ops += refresh.unify_ops;
             reunified_fragments += refresh.reunified_fragments;
@@ -488,12 +614,12 @@ impl PaxServer {
                 dirty_sites,
                 applied_ops,
                 rejected,
-                refreshed_sessions: self.sessions.len(),
+                refreshed_sessions: sessions.len(),
                 recomputed_fragments,
                 reunified_fragments,
             }),
             fragments_total,
-            stats: self.deployment.cluster.stats.delta_since(&baseline),
+            stats: ctx.stats,
             coordinator_ops,
             elapsed: start.elapsed(),
             from_cache: false,
@@ -501,19 +627,25 @@ impl PaxServer {
     }
 
     /// The PaX2 session path of [`PaxServer::execute`]: snapshot on first
-    /// run, serve from the maintained cache afterwards.
-    fn execute_session(&mut self, id: usize) -> ExecReport {
+    /// run, serve from the maintained cache afterwards. Called with the
+    /// shared gate held; cold snapshots of one particular query serialize
+    /// on that query's session lock, warm executions of different queries
+    /// run fully in parallel.
+    fn execute_session(&self, query: &PreparedQuery) -> ExecReport {
         let start = Instant::now();
-        let query = &self.prepared[id];
-        let session = self.sessions.entry(id).or_insert_with(|| {
-            QuerySession::new(
-                (*query.compiled).clone(),
-                query.text(),
-                &self.options,
-                self.deployment.fragment_tree.clone(),
-                &self.deployment.root_label,
-            )
-        });
+        let session_arc = {
+            let mut map = self.sessions.lock().expect("the session-table lock is never poisoned");
+            Arc::clone(map.entry(query.id).or_insert_with(|| {
+                Arc::new(Mutex::new(QuerySession::new(
+                    (*query.compiled).clone(),
+                    query.text(),
+                    &self.options,
+                    self.deployment.fragment_tree.clone(),
+                    &self.deployment.root_label,
+                )))
+            }))
+        };
+        let mut session = session_arc.lock().expect("a session lock is never poisoned");
         let fragments_total = self.deployment.fragment_count();
         if session.initialized {
             // The cache is current (every update round refreshes it):
@@ -536,8 +668,7 @@ impl PaxServer {
                 from_cache: true,
             };
         }
-        let baseline = self.deployment.cluster.stats.clone();
-        let round = session.run_round(&mut self.deployment, &BTreeMap::new(), true);
+        let round = session.run_round(&self.deployment, &BTreeMap::new(), true);
         ExecReport {
             algorithm: Algorithm::PaX2,
             annotations_used: self.options.use_annotations,
@@ -550,7 +681,7 @@ impl PaxServer {
             }],
             update: None,
             fragments_total,
-            stats: self.deployment.cluster.stats.delta_since(&baseline),
+            stats: round.stats,
             coordinator_ops: round.unify_ops,
             elapsed: start.elapsed(),
             from_cache: false,
@@ -610,6 +741,13 @@ mod tests {
     }
 
     #[test]
+    fn the_server_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PaxServer>();
+        assert_send_sync::<PreparedQuery>();
+    }
+
+    #[test]
     fn every_algorithm_matches_the_centralized_reference_through_the_server() {
         let tree = clientele();
         let fragmented = strategy::cut_at_labels(&tree, &["broker", "market"]).unwrap();
@@ -623,7 +761,7 @@ mod tests {
             let mut expected = centralized::evaluate(&tree, query).unwrap().answers;
             expected.sort();
             for algorithm in [Algorithm::NaiveCentralized, Algorithm::PaX3, Algorithm::PaX2] {
-                let mut server = server_for(algorithm, &fragmented);
+                let server = server_for(algorithm, &fragmented);
                 let q = server.prepare(query).unwrap();
                 let report = server.execute(&q).unwrap();
                 assert_eq!(report.answer_origins(), expected, "{algorithm} on {query}");
@@ -638,7 +776,7 @@ mod tests {
     fn prepare_caches_by_query_text() {
         let tree = clientele();
         let fragmented = strategy::cut_at_labels(&tree, &["broker"]).unwrap();
-        let mut server = server_for(Algorithm::PaX2, &fragmented);
+        let server = server_for(Algorithm::PaX2, &fragmented);
         let a = server.prepare("client/name").unwrap();
         let b = server.prepare("client/name").unwrap();
         assert_eq!(a.id, b.id);
@@ -652,8 +790,8 @@ mod tests {
     fn foreign_prepared_queries_are_rejected() {
         let tree = clientele();
         let fragmented = strategy::cut_at_labels(&tree, &["broker"]).unwrap();
-        let mut a = server_for(Algorithm::PaX2, &fragmented);
-        let mut b = server_for(Algorithm::PaX2, &fragmented);
+        let a = server_for(Algorithm::PaX2, &fragmented);
+        let b = server_for(Algorithm::PaX2, &fragmented);
         let qa = a.prepare("client/name").unwrap();
         let _qb = b.prepare("//name").unwrap();
         // Same id slot, different text: must be rejected, not silently
@@ -665,7 +803,7 @@ mod tests {
     fn pax2_reexecution_is_served_from_the_cache() {
         let tree = clientele();
         let fragmented = strategy::cut_at_labels(&tree, &["broker"]).unwrap();
-        let mut server = server_for(Algorithm::PaX2, &fragmented);
+        let server = server_for(Algorithm::PaX2, &fragmented);
         let q = server.prepare("client[country/text()='US']/broker/name").unwrap();
         let first = server.execute(&q).unwrap();
         assert!(!first.from_cache);
@@ -686,7 +824,7 @@ mod tests {
         let tree = clientele();
         let fragmented = strategy::cut_at_labels(&tree, &["broker", "market"]).unwrap();
         for algorithm in [Algorithm::NaiveCentralized, Algorithm::PaX3] {
-            let mut server = server_for(algorithm, &fragmented);
+            let server = server_for(algorithm, &fragmented);
             let q = server.prepare("client[country/text()='US']/broker/name").unwrap();
             let first = server.execute(&q).unwrap();
             let second = server.execute(&q).unwrap();
@@ -701,7 +839,7 @@ mod tests {
             assert_eq!(server.cumulative_stats().rounds, first.rounds() + second.rounds());
         }
         // Same through the one-shot path.
-        let mut server = server_for(Algorithm::PaX2, &fragmented);
+        let server = server_for(Algorithm::PaX2, &fragmented);
         let first = server.query_once("client/broker/name").unwrap();
         let second = server.query_once("client/broker/name").unwrap();
         assert_eq!(first.max_visits_per_site(), second.max_visits_per_site());
@@ -721,7 +859,7 @@ mod tests {
             expected.push(answers);
         }
         for algorithm in [Algorithm::PaX2, Algorithm::PaX3, Algorithm::NaiveCentralized] {
-            let mut server = server_for(algorithm, &fragmented);
+            let server = server_for(algorithm, &fragmented);
             let batch = server.execute_batch_text(&queries).unwrap();
             assert_eq!(batch.len(), queries.len());
             assert_eq!(batch.mode, ExecMode::Batch);
@@ -742,7 +880,7 @@ mod tests {
         let tree = clientele();
         let fragmented = strategy::cut_at_labels(&tree, &["broker"]).unwrap();
         let mut mirror = fragmented.clone();
-        let mut server = server_for(Algorithm::PaX2, &fragmented);
+        let server = server_for(Algorithm::PaX2, &fragmented);
         let q1 = server.prepare("client[country/text()='US']/broker/name").unwrap();
         let q2 = server.prepare("client/name").unwrap();
         assert_eq!(server.execute(&q1).unwrap().answer_texts(), vec!["E*trade".to_string()]);
@@ -773,7 +911,7 @@ mod tests {
         for (q, query_text) in
             [(q1, "client[country/text()='US']/broker/name"), (q2, "client/name")]
         {
-            let mut scratch = server_for(Algorithm::PaX2, &mirror);
+            let scratch = server_for(Algorithm::PaX2, &mirror);
             let expected = scratch.query_once(query_text).unwrap().answer_origins();
             let report = server.execute(&q).unwrap();
             assert!(report.from_cache);
@@ -786,7 +924,7 @@ mod tests {
     fn unknown_fragments_fail_before_any_visit_and_empty_updates_are_free() {
         let tree = clientele();
         let fragmented = strategy::cut_at_labels(&tree, &["broker"]).unwrap();
-        let mut server = server_for(Algorithm::PaX2, &fragmented);
+        let server = server_for(Algorithm::PaX2, &fragmented);
         let node = fragmented.fragments[1].tree.root();
         let err = server.apply_updates(&[(FragmentId(99), UpdateOp::DeleteSubtree { node })]);
         assert!(matches!(err, Err(PaxError::Fragment(_))));
@@ -822,7 +960,7 @@ mod tests {
     fn updates_on_a_naive_server_still_change_the_data() {
         let tree = clientele();
         let fragmented = strategy::cut_at_labels(&tree, &["broker"]).unwrap();
-        let mut server = server_for(Algorithm::NaiveCentralized, &fragmented);
+        let server = server_for(Algorithm::NaiveCentralized, &fragmented);
         let q = server.prepare("client/broker/name").unwrap();
         assert_eq!(
             server.execute(&q).unwrap().answer_texts(),
@@ -842,5 +980,33 @@ mod tests {
             server.execute(&q).unwrap().answer_texts(),
             vec!["E*trade".to_string(), "RBC".to_string()]
         );
+    }
+
+    #[test]
+    fn concurrent_executions_share_one_server_through_an_arc() {
+        let tree = clientele();
+        let fragmented = strategy::cut_at_labels(&tree, &["broker", "market"]).unwrap();
+        for algorithm in [Algorithm::NaiveCentralized, Algorithm::PaX3, Algorithm::PaX2] {
+            let server = Arc::new(
+                PaxServer::builder().algorithm(algorithm).sites(4).deploy(&fragmented).unwrap(),
+            );
+            let q = server.prepare("client[country/text()='US']/broker/name").unwrap();
+            let expected = server.execute(&q).unwrap().answer_origins();
+            let clients: Vec<_> = (0..4)
+                .map(|_| {
+                    let server = Arc::clone(&server);
+                    let q = q.clone();
+                    std::thread::spawn(move || {
+                        (0..8).map(|_| server.execute(&q).unwrap().answer_origins()).collect()
+                    })
+                })
+                .collect();
+            for client in clients {
+                let runs: Vec<Vec<paxml_xml::NodeId>> = client.join().unwrap();
+                for run in runs {
+                    assert_eq!(run, expected, "{algorithm} diverged under concurrency");
+                }
+            }
+        }
     }
 }

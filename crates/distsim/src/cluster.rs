@@ -1,5 +1,6 @@
 //! The simulated cluster: sites, fragment placement, and the coordinator's
-//! visit primitive.
+//! visit primitive — callable from any number of coordinator threads at
+//! once.
 //!
 //! The paper's setting is a coordinator site `S_Q` plus a number of sites
 //! each holding one or more fragments, communicating over a network. This
@@ -9,6 +10,11 @@
 //!   subset of the sites in parallel — every selected site runs the supplied
 //!   task on its own long-lived worker thread against its local fragments
 //!   and scratch state;
+//! * rounds take `&self`: a cluster is `Sync`, and **concurrent rounds from
+//!   different coordinator threads are safe** — each round collects its
+//!   responses over a private channel, sites serialize overlapping visits on
+//!   their own mutex, and per-execution state is kept apart by caller-owned
+//!   scratch *slots* ([`Cluster::allocate_slots`]);
 //! * the worker threads form a **persistent per-site pool**: they are
 //!   spawned once per cluster (lazily, on the first parallel round) and fed
 //!   jobs over channels, so thread setup cost does not scale with
@@ -16,6 +22,12 @@
 //!   did — a difference that compounds under batch workloads;
 //! * every request and response is measured with the byte-counting
 //!   serializer, so network traffic is accounted exactly;
+//! * cost accounting is **recorder-threaded**: [`Cluster::round_recorded`]
+//!   writes each round's meters both into the cluster's cumulative
+//!   [`ClusterStats`] (snapshot via [`Cluster::stats`]) *and* into a
+//!   caller-owned per-execution recorder, so concurrent executions each see
+//!   exactly their own visits/bytes/ops without racing `delta_since`
+//!   snapshots of a shared counter;
 //! * per-round wall-clock cost is the **slowest** site's task time (plus the
 //!   configurable per-round network latency), modelling the parallel
 //!   computation cost of §3.4; per-site busy time accumulates into the total
@@ -32,7 +44,7 @@
 //!     .open("site").leaf("person", "p3").close()
 //!     .build();
 //! let fragmented = cut_children_of_root(&tree).unwrap();
-//! let mut cluster = Cluster::new(&fragmented, 2, Placement::RoundRobin);
+//! let cluster = Cluster::new(&fragmented, 2, Placement::RoundRobin);
 //!
 //! // One round: ask every occupied site how many nodes it stores. Each
 //! // site runs the task on its own worker thread; the cluster accounts one
@@ -40,9 +52,9 @@
 //! let responses = cluster.broadcast((), |site, ()| site.cumulative_size() as u64);
 //! let total: u64 = responses.values().sum();
 //! assert_eq!(total as usize, fragmented.total_real_nodes());
-//! assert_eq!(cluster.stats.rounds, 1);
-//! assert_eq!(cluster.stats.max_visits_per_site(), 1);
-//! assert!(cluster.stats.total_bytes() > 0);
+//! assert_eq!(cluster.stats().rounds, 1);
+//! assert_eq!(cluster.stats().max_visits_per_site(), 1);
+//! assert!(cluster.stats().total_bytes() > 0);
 //! ```
 
 use crate::bytecount::encoded_size;
@@ -52,8 +64,9 @@ use paxml_fragment::{FragmentId, FragmentedTree};
 use serde::Serialize;
 use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -81,67 +94,67 @@ struct RoundOutcome {
     busy: Duration,
 }
 
-/// A job shipped to a site's worker thread.
-type Job = Box<dyn FnOnce(&mut SiteLocal) -> RoundOutcome + Send>;
-
-/// What a worker sends back: the outcome, or the payload of a panicking
-/// task (re-raised on the coordinator thread so a faulty task crashes the
-/// round immediately instead of hanging it).
+/// What a round collects per site: the outcome, or the payload of a
+/// panicking task (re-raised on that round's coordinator thread so a faulty
+/// task crashes its round immediately instead of hanging it).
 type WorkerResult = Result<RoundOutcome, Box<dyn Any + Send>>;
 
-/// The persistent per-site worker threads plus their channels.
+/// A job shipped to a site's worker thread. The job runs the site task,
+/// catches any panic, and ships the result back on the channel of the round
+/// that posted it — workers themselves are round-agnostic, which is what
+/// lets rounds from different coordinator threads overlap without their
+/// responses crossing.
+type Job = Box<dyn FnOnce(&mut SiteLocal) + Send>;
+
+/// The persistent per-site worker threads plus their job channels.
 struct WorkerPool {
     job_senders: Vec<Sender<Job>>,
-    results_rx: Receiver<WorkerResult>,
     handles: Vec<JoinHandle<()>>,
 }
 
 impl WorkerPool {
     fn spawn(sites: &[Arc<Mutex<SiteLocal>>]) -> Self {
-        let (results_tx, results_rx) = channel::<WorkerResult>();
         let mut job_senders = Vec::with_capacity(sites.len());
         let mut handles = Vec::with_capacity(sites.len());
         for (index, site) in sites.iter().enumerate() {
             let (job_tx, job_rx) = channel::<Job>();
             let site = Arc::clone(site);
-            let results_tx = results_tx.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("paxml-site-{index}"))
                 .spawn(move || {
-                    // The worker owns nothing but channel ends and a handle
+                    // The worker owns nothing but a channel end and a handle
                     // on its site; it idles on `recv` between rounds and
-                    // exits when the cluster drops its job sender. A
-                    // panicking job is caught (before the site guard drops,
-                    // so the mutex is not poisoned) and shipped back to the
-                    // coordinator, which re-raises it.
+                    // exits when the cluster drops its job sender. Jobs never
+                    // unwind (each catches its own panic before the site
+                    // guard drops, so the mutex is not poisoned) and deliver
+                    // their outcome to their round's private channel.
                     while let Ok(job) = job_rx.recv() {
                         let mut guard =
                             site.lock().expect("a site task panicked while holding the site");
-                        let outcome =
-                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                job(&mut guard)
-                            }));
-                        drop(guard);
-                        if results_tx.send(outcome).is_err() {
-                            break;
-                        }
+                        job(&mut guard);
                     }
                 })
                 .expect("spawning a site worker thread");
             job_senders.push(job_tx);
             handles.push(handle);
         }
-        WorkerPool { job_senders, results_rx, handles }
+        WorkerPool { job_senders, handles }
     }
 }
 
 /// The simulated cluster.
+///
+/// `Cluster` is `Sync`: rounds take `&self` and may be issued from many
+/// coordinator threads concurrently (see the module docs for how responses
+/// and meters are kept apart). Configuration fields (`sequential`,
+/// `round_latency`, `site_delay`) are plain data set up before the cluster
+/// is shared.
 pub struct Cluster {
     sites: Vec<Arc<Mutex<SiteLocal>>>,
     assignment: BTreeMap<FragmentId, SiteId>,
     /// The persistent worker pool (spawned lazily on the first round that
     /// actually runs in parallel; `sequential` clusters never spawn it).
-    pool: Option<WorkerPool>,
+    pool: OnceLock<WorkerPool>,
     /// Extra latency charged to every round, modelling one network round
     /// trip between the coordinator and the sites.
     pub round_latency: Duration,
@@ -150,8 +163,11 @@ pub struct Cluster {
     /// Run rounds sequentially (deterministic debugging) instead of on the
     /// per-site worker pool.
     pub sequential: bool,
-    /// Accumulated cost counters.
-    pub stats: ClusterStats,
+    /// Cumulative cost counters, updated once per round under a lock so a
+    /// [`Cluster::stats`] snapshot never observes a torn round.
+    stats: Mutex<ClusterStats>,
+    /// Source of unique scratch slots (see [`Cluster::allocate_slots`]).
+    next_slot: AtomicUsize,
 }
 
 impl Cluster {
@@ -190,11 +206,12 @@ impl Cluster {
         Cluster {
             sites: sites.into_iter().map(|s| Arc::new(Mutex::new(s))).collect(),
             assignment: final_assignment,
-            pool: None,
+            pool: OnceLock::new(),
             round_latency: Duration::ZERO,
             site_delay: BTreeMap::new(),
             sequential: false,
-            stats: ClusterStats::default(),
+            stats: Mutex::new(ClusterStats::default()),
+            next_slot: AtomicUsize::new(0),
         }
     }
 
@@ -237,12 +254,33 @@ impl Cluster {
         self.sites.iter().map(|s| Self::lock(s).cumulative_size()).max().unwrap_or(0)
     }
 
+    /// A consistent snapshot of the cumulative cost counters since the
+    /// cluster started. Counters are committed whole-round under a lock, so
+    /// two snapshots bracketing any set of (even concurrent) executions
+    /// yield an accurate [`ClusterStats::delta_since`]. Per-execution meters
+    /// come from the recorder threaded through
+    /// [`Cluster::round_recorded`] instead.
+    pub fn stats(&self) -> ClusterStats {
+        self.stats.lock().expect("the stats lock is never poisoned").clone()
+    }
+
+    /// Hand out `n` scratch *slots* no other caller will ever receive.
+    ///
+    /// A slot is the namespace key executions use to keep their per-site
+    /// scratch state apart (candidate answer sets between the two PaX
+    /// visits, per-query batch state). Executions that may run concurrently
+    /// over one cluster must not share slots; allocating is a single atomic
+    /// add. Returns the first slot of the contiguous block `[base, base+n)`.
+    pub fn allocate_slots(&self, n: usize) -> usize {
+        self.next_slot.fetch_add(n.max(1), Ordering::Relaxed)
+    }
+
     /// Reset all scratch state and statistics (between query executions).
-    pub fn reset(&mut self) {
+    pub fn reset(&self) {
         for site in &self.sites {
             Self::lock(site).clear_scratch();
         }
-        self.stats = ClusterStats::default();
+        *self.stats.lock().expect("the stats lock is never poisoned") = ClusterStats::default();
     }
 
     /// Direct read-only access to a site, for assertions in tests. Algorithm
@@ -260,15 +298,20 @@ impl Cluster {
         site.lock().expect("a site task panicked while holding the site")
     }
 
-    /// One coordinator round: send each request to its site, run `task`
-    /// there (in parallel across the persistent site workers), and collect
-    /// the responses.
+    /// One coordinator round with per-execution accounting: send each
+    /// request to its site, run `task` there (in parallel across the
+    /// persistent site workers), collect the responses, and record the
+    /// round's meters both into the cluster's cumulative counters and into
+    /// the caller's `recorder`.
     ///
     /// Every targeted site is *visited* exactly once per round regardless of
     /// how many fragments it stores, which is precisely how the paper counts
-    /// visits.
-    pub fn round<Req, Resp, F>(
-        &mut self,
+    /// visits. Rounds issued concurrently from different threads are safe:
+    /// overlapping visits to one site serialize on that site's lock, and
+    /// each round's responses travel over a channel private to the round.
+    pub fn round_recorded<Req, Resp, F>(
+        &self,
+        recorder: &mut ClusterStats,
         requests: BTreeMap<SiteId, Req>,
         task: F,
     ) -> BTreeMap<SiteId, Resp>
@@ -328,46 +371,63 @@ impl Cluster {
                 }
             }
         } else {
-            if self.pool.is_none() {
-                self.pool = Some(WorkerPool::spawn(&self.sites));
-            }
-            let pool = self.pool.as_ref().expect("pool was just spawned");
+            let pool = self.pool.get_or_init(|| WorkerPool::spawn(&self.sites));
+            // A channel *per round*: results of overlapping rounds cannot
+            // cross, because each job carries its own round's sender.
+            let (results_tx, results_rx) = channel::<WorkerResult>();
             let expected = requests.len();
             for (site_id, req) in requests {
                 let delay = self.site_delay.get(&site_id).copied();
-                let job: Job = Box::new(make_job(site_id, req, Arc::clone(&task), delay));
+                let inner = make_job(site_id, req, Arc::clone(&task), delay);
+                let results_tx = results_tx.clone();
+                let job: Job = Box::new(move |site: &mut SiteLocal| {
+                    // The catch happens before the worker's site guard
+                    // drops, so the mutex is not poisoned; if the round's
+                    // coordinator is already gone the send result is moot.
+                    let outcome =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| inner(site)));
+                    let _ = results_tx.send(outcome);
+                });
                 pool.job_senders[site_id.index()].send(job).expect("site worker thread is alive");
             }
-            // Drain *every* targeted worker before acting on a failure, so a
-            // caught round leaves no stale outcome queued for later rounds.
+            drop(results_tx);
+            // Drain *every* targeted site before acting on a failure, so a
+            // caught round leaves no job of its own still running when the
+            // caller observes the panic.
             let mut panicked: Option<Box<dyn Any + Send>> = None;
             for _ in 0..expected {
-                match pool.results_rx.recv().expect("site worker thread is alive") {
+                match results_rx.recv().expect("site worker thread is alive") {
                     Ok(outcome) => outcomes.push(outcome),
                     Err(payload) => panicked = Some(payload),
                 }
             }
             if let Some(payload) = panicked {
-                // Re-raise a site task's panic on the coordinator thread so a
-                // faulty task crashes the round loudly (matching the pre-pool
-                // scoped-thread behaviour) instead of hanging it.
+                // Re-raise a site task's panic on the round's coordinator
+                // thread so a faulty task crashes the round loudly (matching
+                // the pre-pool scoped-thread behaviour) instead of hanging
+                // it.
                 std::panic::resume_unwind(payload);
             }
         }
 
-        // Account the round.
+        // Account the round: per-execution into the recorder, cumulative
+        // under the stats lock (one commit per round, so snapshots never see
+        // half a round).
         let mut responses = BTreeMap::new();
         let mut slowest = Duration::ZERO;
         let mut max_ops = 0u64;
+        let mut cumulative = self.stats.lock().expect("the stats lock is never poisoned");
         for outcome in outcomes {
             let req_bytes = request_bytes.get(&outcome.site).copied().unwrap_or(0);
-            self.stats.record_site_work(
-                outcome.site,
-                outcome.ops,
-                outcome.busy,
-                req_bytes,
-                outcome.response_bytes,
-            );
+            for target in [&mut *cumulative, &mut *recorder] {
+                target.record_site_work(
+                    outcome.site,
+                    outcome.ops,
+                    outcome.busy,
+                    req_bytes,
+                    outcome.response_bytes,
+                );
+            }
             if outcome.busy > slowest {
                 slowest = outcome.busy;
             }
@@ -380,13 +440,46 @@ impl Cluster {
                 .expect("a round's responses all have the task's response type");
             responses.insert(outcome.site, response);
         }
-        self.stats.record_round(slowest + self.round_latency, max_ops);
+        cumulative.record_round(slowest + self.round_latency, max_ops);
+        recorder.record_round(slowest + self.round_latency, max_ops);
         responses
+    }
+
+    /// [`Cluster::round_recorded`] without a per-execution recorder (the
+    /// meters still accumulate into the cluster's cumulative counters).
+    pub fn round<Req, Resp, F>(
+        &self,
+        requests: BTreeMap<SiteId, Req>,
+        task: F,
+    ) -> BTreeMap<SiteId, Resp>
+    where
+        Req: Serialize + Send + 'static,
+        Resp: Serialize + Send + 'static,
+        F: Fn(&mut SiteLocal, Req) -> Resp + Send + Sync + 'static,
+    {
+        let mut scratch = ClusterStats::default();
+        self.round_recorded(&mut scratch, requests, task)
     }
 
     /// Convenience wrapper: visit *every occupied site* with the same
     /// (cloneable) request.
-    pub fn broadcast<Req, Resp, F>(&mut self, request: Req, task: F) -> BTreeMap<SiteId, Resp>
+    pub fn broadcast<Req, Resp, F>(&self, request: Req, task: F) -> BTreeMap<SiteId, Resp>
+    where
+        Req: Serialize + Send + Clone + 'static,
+        Resp: Serialize + Send + 'static,
+        F: Fn(&mut SiteLocal, Req) -> Resp + Send + Sync + 'static,
+    {
+        let mut scratch = ClusterStats::default();
+        self.broadcast_recorded(&mut scratch, request, task)
+    }
+
+    /// [`Cluster::broadcast`] with per-execution accounting into `recorder`.
+    pub fn broadcast_recorded<Req, Resp, F>(
+        &self,
+        recorder: &mut ClusterStats,
+        request: Req,
+        task: F,
+    ) -> BTreeMap<SiteId, Resp>
     where
         Req: Serialize + Send + Clone + 'static,
         Resp: Serialize + Send + 'static,
@@ -394,7 +487,7 @@ impl Cluster {
     {
         let requests: BTreeMap<SiteId, Req> =
             self.occupied_sites().into_iter().map(|s| (s, request.clone())).collect();
-        self.round(requests, task)
+        self.round_recorded(recorder, requests, task)
     }
 }
 
@@ -467,7 +560,7 @@ mod tests {
     #[test]
     fn rounds_count_visits_messages_and_bytes() {
         let f = fragmented();
-        let mut cluster = Cluster::new(&f, 3, Placement::RoundRobin);
+        let cluster = Cluster::new(&f, 3, Placement::RoundRobin);
         let responses = cluster.broadcast("how many nodes?".to_string(), |site, _req| {
             site.charge_ops(10);
             site.cumulative_size() as u64
@@ -475,11 +568,11 @@ mod tests {
         assert_eq!(responses.len(), 3);
         let total: u64 = responses.values().sum();
         assert_eq!(total as usize, f.total_real_nodes());
-        assert_eq!(cluster.stats.rounds, 1);
-        assert_eq!(cluster.stats.max_visits_per_site(), 1);
-        assert_eq!(cluster.stats.messages, 6);
-        assert_eq!(cluster.stats.total_ops, 30);
-        assert!(cluster.stats.total_bytes() > 0);
+        assert_eq!(cluster.stats().rounds, 1);
+        assert_eq!(cluster.stats().max_visits_per_site(), 1);
+        assert_eq!(cluster.stats().messages, 6);
+        assert_eq!(cluster.stats().total_ops, 30);
+        assert!(cluster.stats().total_bytes() > 0);
 
         // A second, targeted round visits only one site.
         let mut one = BTreeMap::new();
@@ -489,15 +582,58 @@ mod tests {
             site.cumulative_size() as u64 * factor as u64
         });
         assert_eq!(responses.len(), 1);
-        assert_eq!(cluster.stats.rounds, 2);
-        assert_eq!(cluster.stats.sites[&SiteId(1)].visits, 2);
-        assert_eq!(cluster.stats.sites[&SiteId(0)].visits, 1);
+        assert_eq!(cluster.stats().rounds, 2);
+        assert_eq!(cluster.stats().sites[&SiteId(1)].visits, 2);
+        assert_eq!(cluster.stats().sites[&SiteId(0)].visits, 1);
+    }
+
+    #[test]
+    fn recorder_sees_exactly_its_own_rounds() {
+        let f = fragmented();
+        let cluster = Cluster::new(&f, 3, Placement::RoundRobin);
+        // Unrecorded background traffic.
+        cluster.broadcast(0u8, |site, _| {
+            site.charge_ops(5);
+            0u8
+        });
+        let mut recorder = ClusterStats::default();
+        cluster.broadcast_recorded(&mut recorder, 0u8, |site, _| {
+            site.charge_ops(7);
+            0u8
+        });
+        assert_eq!(recorder.rounds, 1);
+        assert_eq!(recorder.total_ops, 21);
+        assert_eq!(recorder.max_visits_per_site(), 1);
+        // Cumulative counters saw both rounds.
+        assert_eq!(cluster.stats().rounds, 2);
+        assert_eq!(cluster.stats().total_ops, 36);
+    }
+
+    #[test]
+    fn slot_allocation_never_repeats() {
+        let f = fragmented();
+        let cluster = Arc::new(Cluster::new(&f, 2, Placement::RoundRobin));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let cluster = Arc::clone(&cluster);
+                std::thread::spawn(move || {
+                    (0..50).map(|_| cluster.allocate_slots(3)).collect::<Vec<usize>>()
+                })
+            })
+            .collect();
+        let mut seen = BTreeSet::new();
+        for handle in handles {
+            for base in handle.join().unwrap() {
+                assert!(seen.insert(base), "slot base {base} handed out twice");
+                assert_eq!(base % 3, 0);
+            }
+        }
     }
 
     #[test]
     fn sequential_and_parallel_rounds_agree() {
         let f = fragmented();
-        let mut parallel = Cluster::new(&f, 3, Placement::RoundRobin);
+        let parallel = Cluster::new(&f, 3, Placement::RoundRobin);
         let mut sequential = Cluster::new(&f, 3, Placement::RoundRobin);
         sequential.sequential = true;
         let task = |site: &mut SiteLocal, _req: u8| site.fragment_ids().len() as u64;
@@ -509,8 +645,8 @@ mod tests {
     #[test]
     fn worker_pool_threads_persist_across_rounds() {
         let f = fragmented();
-        let mut cluster = Cluster::new(&f, 3, Placement::RoundRobin);
-        assert!(cluster.pool.is_none(), "pool is lazy");
+        let cluster = Cluster::new(&f, 3, Placement::RoundRobin);
+        assert!(cluster.pool.get().is_none(), "pool is lazy");
         for round in 0..20 {
             let responses = cluster.broadcast(round as u32, |site, r| {
                 site.charge_ops(1);
@@ -519,17 +655,75 @@ mod tests {
             assert_eq!(responses.len(), 3);
         }
         // Twenty multi-site rounds ran on the same three threads.
-        let pool = cluster.pool.as_ref().expect("pool spawned on first parallel round");
+        let pool = cluster.pool.get().expect("pool spawned on first parallel round");
         assert_eq!(pool.handles.len(), 3);
-        assert_eq!(cluster.stats.rounds, 20);
-        assert_eq!(cluster.stats.total_ops, 60);
+        assert_eq!(cluster.stats().rounds, 20);
+        assert_eq!(cluster.stats().total_ops, 60);
+    }
+
+    #[test]
+    fn concurrent_rounds_do_not_cross_responses_or_tear_stats() {
+        // Many coordinator threads hammer one shared cluster with rounds of
+        // *different* response types; every thread must see exactly its own
+        // responses (the per-round channel guarantee) and the cumulative
+        // counters must equal the sum of all per-thread recorders.
+        let f = fragmented();
+        let cluster = Arc::new(Cluster::new(&f, 3, Placement::RoundRobin));
+        let threads = 4u32;
+        let rounds_per_thread = 25u32;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let cluster = Arc::clone(&cluster);
+                std::thread::spawn(move || {
+                    let mut recorder = ClusterStats::default();
+                    for i in 0..rounds_per_thread {
+                        if t % 2 == 0 {
+                            let responses =
+                                cluster.broadcast_recorded(&mut recorder, t, |site, req| {
+                                    site.charge_ops(1);
+                                    format!("t{req}-s{}", site.id.index())
+                                });
+                            assert_eq!(responses.len(), 3);
+                            for (site, response) in &responses {
+                                assert_eq!(response, &format!("t{t}-s{}", site.index()));
+                            }
+                        } else {
+                            let responses =
+                                cluster.broadcast_recorded(&mut recorder, i as u64, |site, req| {
+                                    site.charge_ops(1);
+                                    req * 1000 + site.id.index() as u64
+                                });
+                            assert_eq!(responses.len(), 3);
+                            for (site, response) in &responses {
+                                assert_eq!(*response, i as u64 * 1000 + site.index() as u64);
+                            }
+                        }
+                    }
+                    recorder
+                })
+            })
+            .collect();
+        let mut merged = ClusterStats::default();
+        for handle in handles {
+            merged.merge(&handle.join().unwrap());
+        }
+        let cumulative = cluster.stats();
+        assert_eq!(cumulative.rounds, threads * rounds_per_thread);
+        assert_eq!(cumulative.rounds, merged.rounds);
+        assert_eq!(cumulative.total_ops, merged.total_ops);
+        assert_eq!(cumulative.messages, merged.messages);
+        for (site, stats) in &cumulative.sites {
+            assert_eq!(stats.visits, merged.sites[site].visits);
+            assert_eq!(stats.bytes_received, merged.sites[site].bytes_received);
+            assert_eq!(stats.bytes_sent, merged.sites[site].bytes_sent);
+        }
     }
 
     #[test]
     #[should_panic(expected = "task blew up")]
     fn a_panicking_site_task_crashes_the_round_not_hangs_it() {
         let f = fragmented();
-        let mut cluster = Cluster::new(&f, 3, Placement::RoundRobin);
+        let cluster = Cluster::new(&f, 3, Placement::RoundRobin);
         cluster.broadcast(0u8, |site, _| {
             if site.id == SiteId(1) {
                 panic!("task blew up");
@@ -541,7 +735,7 @@ mod tests {
     #[test]
     fn a_caught_panic_leaves_no_stale_outcomes_for_later_rounds() {
         let f = fragmented();
-        let mut cluster = Cluster::new(&f, 3, Placement::RoundRobin);
+        let cluster = Cluster::new(&f, 3, Placement::RoundRobin);
         let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             cluster.broadcast(0u8, |site, _| {
                 if site.id == SiteId(2) {
@@ -566,7 +760,7 @@ mod tests {
         // re-raises exactly one panic, the site mutexes stay usable, and the
         // pool serves subsequent rounds with no stale outcomes.
         let f = fragmented();
-        let mut cluster = Cluster::new(&f, 3, Placement::RoundRobin);
+        let cluster = Cluster::new(&f, 3, Placement::RoundRobin);
 
         let mut observed_panics = 0;
         for _ in 0..2 {
@@ -608,14 +802,14 @@ mod tests {
         for _ in 0..5 {
             cluster.broadcast(0u8, |_, _| 0u8);
         }
-        assert!(cluster.pool.is_none());
-        assert_eq!(cluster.stats.rounds, 5);
+        assert!(cluster.pool.get().is_none());
+        assert_eq!(cluster.stats().rounds, 5);
     }
 
     #[test]
     fn scratch_state_persists_across_rounds() {
         let f = fragmented();
-        let mut cluster = Cluster::new(&f, 2, Placement::RoundRobin);
+        let cluster = Cluster::new(&f, 2, Placement::RoundRobin);
         cluster.broadcast(0u8, |site, _| {
             site.put_scratch("marker", site.id.index() as u64 + 100);
             0u8
@@ -626,7 +820,7 @@ mod tests {
         cluster.reset();
         let cleared = cluster.broadcast(0u8, |site, _| site.scratch::<u64>("marker").is_none());
         assert!(cleared.values().all(|&b| b));
-        assert_eq!(cluster.stats.rounds, 1); // reset cleared the earlier rounds
+        assert_eq!(cluster.stats().rounds, 1); // reset cleared the earlier rounds
     }
 
     #[test]
@@ -635,7 +829,7 @@ mod tests {
         let mut cluster = Cluster::new(&f, 3, Placement::RoundRobin);
         cluster.site_delay.insert(SiteId(1), Duration::from_millis(5));
         cluster.broadcast(0u8, |_, _| 0u8);
-        assert!(cluster.stats.parallel_time() >= Duration::from_millis(5));
+        assert!(cluster.stats().parallel_time() >= Duration::from_millis(5));
     }
 
     #[test]
@@ -645,25 +839,25 @@ mod tests {
         cluster.round_latency = Duration::from_millis(2);
         cluster.broadcast(0u8, |_, _| 0u8);
         cluster.broadcast(0u8, |_, _| 0u8);
-        assert!(cluster.stats.parallel_time() >= Duration::from_millis(4));
+        assert!(cluster.stats().parallel_time() >= Duration::from_millis(4));
     }
 
     #[test]
     fn empty_round_is_a_no_op() {
         let f = fragmented();
-        let mut cluster = Cluster::new(&f, 2, Placement::RoundRobin);
+        let cluster = Cluster::new(&f, 2, Placement::RoundRobin);
         let out: BTreeMap<SiteId, u8> = cluster.round(BTreeMap::<SiteId, u8>::new(), |_, r| r);
         assert!(out.is_empty());
-        assert_eq!(cluster.stats.rounds, 0);
+        assert_eq!(cluster.stats().rounds, 0);
     }
 
     #[test]
     fn larger_responses_cost_more_bytes() {
         let f = fragmented();
-        let mut small = Cluster::new(&f, 1, Placement::SingleSite);
-        let mut large = Cluster::new(&f, 1, Placement::SingleSite);
+        let small = Cluster::new(&f, 1, Placement::SingleSite);
+        let large = Cluster::new(&f, 1, Placement::SingleSite);
         small.broadcast(0u8, |_, _| "x".to_string());
         large.broadcast(0u8, |_, _| "x".repeat(10_000));
-        assert!(large.stats.total_bytes() > small.stats.total_bytes() + 9_000);
+        assert!(large.stats().total_bytes() > small.stats().total_bytes() + 9_000);
     }
 }

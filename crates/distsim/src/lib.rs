@@ -6,7 +6,12 @@
 //!
 //! * [`Cluster`] — a set of [`SiteLocal`] sites holding fragments, visited by
 //!   a coordinator in parallel **rounds** served by a persistent pool of
-//!   per-site worker threads (spawned once per cluster, fed over channels);
+//!   per-site worker threads (spawned once per cluster, fed over channels).
+//!   Rounds take `&self`: a cluster is `Sync` and serves rounds from any
+//!   number of coordinator threads at once, with per-execution meters
+//!   threaded through a caller-owned [`ClusterStats`] recorder
+//!   ([`Cluster::round_recorded`]) and per-execution site scratch kept
+//!   apart by unique slots ([`Cluster::allocate_slots`]);
 //! * request/response **byte accounting** via a counting serde serializer
 //!   ([`encoded_size`]) — no bytes are charged that the algorithms did not
 //!   actually put into a message;
@@ -20,7 +25,7 @@
 //! `paxml-core`; this crate deliberately knows nothing about XPath.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod bytecount;
 mod cluster;

@@ -109,6 +109,14 @@ impl SiteLocal {
         }
     }
 
+    /// Number of entries currently parked in the scratch store. Steady
+    /// state is zero: an execution must take back everything it parks
+    /// (per-execution scratch slots are never reused, so a leaked entry
+    /// would accumulate forever — leak regression tests assert on this).
+    pub fn scratch_len(&self) -> usize {
+        self.scratch.len()
+    }
+
     /// Drop all scratch state (between independent query executions).
     pub fn clear_scratch(&mut self) {
         self.scratch.clear();

@@ -36,8 +36,8 @@ fn main() {
             .deploy(&fragmented)
             .expect("valid configuration")
     };
-    let mut with_na = server(false);
-    let mut with_xa = server(true);
+    let with_na = server(false);
+    let with_xa = server(true);
 
     for (query_name, query) in [
         ("Q1 (people/person — prunable)", "/sites/site/people/person"),

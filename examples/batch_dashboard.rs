@@ -45,7 +45,7 @@ fn main() {
 
     // One long-lived session serves both series; every execution reports
     // its own meters (no reset() calls anywhere).
-    let mut server = PaxServer::builder()
+    let server = PaxServer::builder()
         .algorithm(Algorithm::PaX2)
         .sites(sites)
         .placement(Placement::RoundRobin)

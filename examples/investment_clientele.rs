@@ -40,7 +40,7 @@ fn main() {
 
     // One long-lived session serves every example query over the Fig. 2
     // placement; each execution reports its own meters.
-    let mut server = PaxServer::builder()
+    let server = PaxServer::builder()
         .algorithm(Algorithm::PaX2)
         .annotations(true)
         .sites(4)

@@ -42,7 +42,7 @@ fn main() {
         ("PaX2 (with annotations)", Algorithm::PaX2, true),
         ("NaiveCentralized", Algorithm::NaiveCentralized, false),
     ] {
-        let mut server = PaxServer::builder()
+        let server = PaxServer::builder()
             .algorithm(algorithm)
             .annotations(annotations)
             .placement(Placement::RoundRobin)

@@ -31,7 +31,7 @@ fn main() {
             ("PaX2-NA", false, Algorithm::PaX2),
             ("PaX2-XA", true, Algorithm::PaX2),
         ] {
-            let mut server = PaxServer::builder()
+            let server = PaxServer::builder()
                 .algorithm(algorithm)
                 .annotations(use_annotations)
                 .sites(fragments)

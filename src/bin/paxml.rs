@@ -230,7 +230,7 @@ fn run_query(
         }
         other => return Err(format!("unknown algorithm {other:?}")),
     };
-    let mut server = server(fragmented, options, algorithm, options.annotations)?;
+    let server = server(fragmented, options, algorithm, options.annotations)?;
     let report = server.query_once(query_text).map_err(|e| e.to_string())?;
 
     println!("{}", report.summary());
@@ -292,7 +292,7 @@ fn compare_algorithms(
     ];
 
     for (label, algorithm, annotations) in combos {
-        let mut server = server(fragmented, options, algorithm, annotations)?;
+        let server = server(fragmented, options, algorithm, annotations)?;
         let report = server.query_once(query_text).map_err(|e| e.to_string())?;
         if report.answers().len() != reference.answers.len() {
             return Err(format!(

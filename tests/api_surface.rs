@@ -52,13 +52,21 @@ fn server_api_compiles_against_its_pinned_signatures() {
     let _: fn(PaxServerBuilder, bool) -> PaxServerBuilder = PaxServerBuilder::sequential;
     let _: fn(PaxServerBuilder, Duration) -> PaxServerBuilder = PaxServerBuilder::round_latency;
     let _: fn(PaxServerBuilder, &FragmentedTree) -> PaxResult<PaxServer> = PaxServerBuilder::deploy;
-    let _: fn(&mut PaxServer, &str) -> PaxResult<PreparedQuery> = PaxServer::prepare;
-    let _: fn(&mut PaxServer, &PreparedQuery) -> PaxResult<ExecReport> = PaxServer::execute;
-    let _: fn(&mut PaxServer, &[PreparedQuery]) -> PaxResult<ExecReport> = PaxServer::execute_batch;
-    let _: fn(&mut PaxServer, Updates) -> PaxResult<ExecReport> = PaxServer::apply_updates;
-    let _: fn(&mut PaxServer, &str) -> PaxResult<ExecReport> = PaxServer::query_once;
-    let _: fn(&mut PaxServer, &str) -> PaxResult<ExecReport> = PaxServer::execute_text;
+    // The whole serving path takes `&self`: a `PaxServer` is shared across
+    // client threads (see `tests/concurrent_server.rs`); only `prepare` and
+    // `apply_updates` are internally exclusive.
+    let _: fn(&PaxServer, &str) -> PaxResult<PreparedQuery> = PaxServer::prepare;
+    let _: fn(&PaxServer, &PreparedQuery) -> PaxResult<ExecReport> = PaxServer::execute;
+    let _: fn(&PaxServer, &[PreparedQuery]) -> PaxResult<ExecReport> = PaxServer::execute_batch;
+    let _: fn(&PaxServer, Updates) -> PaxResult<ExecReport> = PaxServer::apply_updates;
+    let _: fn(&PaxServer, &str) -> PaxResult<ExecReport> = PaxServer::query_once;
+    let _: fn(&PaxServer, &str) -> PaxResult<ExecReport> = PaxServer::execute_text;
     let _: fn(&PaxServer) -> Algorithm = PaxServer::algorithm;
+
+    // The concurrency contract itself, pinned at compile time.
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PaxServer>();
+    assert_send_sync::<PreparedQuery>();
 
     // The unified report's accessor surface.
     let _: fn(&ExecReport) -> u32 = ExecReport::max_visits_per_site;
@@ -124,7 +132,6 @@ fn shims_evaluate_and_report_per_execution_stats() {
     // An explicit assignment keeps working through the builder, too.
     let mut assignment = BTreeMap::new();
     assignment.insert(FragmentId(0), paxml::distsim::SiteId(0));
-    let mut server =
-        PaxServer::builder().sites(2).assignment(assignment).deploy(&fragmented).unwrap();
+    let server = PaxServer::builder().sites(2).assignment(assignment).deploy(&fragmented).unwrap();
     assert_eq!(server.query_once(query).unwrap().answer_texts(), vec!["Etrade".to_string()]);
 }

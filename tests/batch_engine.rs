@@ -68,7 +68,7 @@ proptest! {
         };
         let fragmented = strategy::cut_at_labels(&tree, labels).expect("valid label cuts");
 
-        let mut server = pax2_server(&fragmented, sites, use_annotations);
+        let server = pax2_server(&fragmented, sites, use_annotations);
         let batch = server.execute_batch_text(&queries).unwrap();
 
         // The whole batch respects PaX2's per-site visit bound.
@@ -83,7 +83,7 @@ proptest! {
         // Per-query answers match an independent single-query evaluation.
         prop_assert_eq!(batch.len(), queries.len());
         for (query, outcome) in queries.iter().zip(&batch.queries) {
-            let mut single = pax2_server(&fragmented, sites, use_annotations);
+            let single = pax2_server(&fragmented, sites, use_annotations);
             let expected = single.query_once(query).unwrap();
             let mut origins: Vec<_> = outcome.answers.iter().map(|a| a.origin).collect();
             origins.sort();
@@ -104,7 +104,7 @@ fn pax2_batch_of_paper_queries_needs_at_most_two_visits_per_site() {
     let tree = generate(XmarkConfig { site_count: 2, vmb_per_site: 0.5, ..Default::default() });
     let fragmented = strategy::cut_at_labels(&tree, &["site", "people", "open_auctions"]).unwrap();
     let queries: Vec<&str> = PAPER_QUERIES.iter().map(|(_, q)| *q).collect();
-    let mut server = PaxServer::builder()
+    let server = PaxServer::builder()
         .algorithm(Algorithm::PaX2)
         .sites(6)
         .placement(Placement::RoundRobin)

@@ -126,7 +126,7 @@ fn parallelism_reduces_perceived_time_on_skewed_sites() {
     // site (not the sum), demonstrating that the rounds really overlap.
     let (_, fragmented) = ft1(6, 1.2, 21);
     let query = PAPER_QUERIES[3].1;
-    let mut server = PaxServer::builder()
+    let server = PaxServer::builder()
         .algorithm(Algorithm::PaX2)
         .sites(6)
         .placement(Placement::RoundRobin)

@@ -66,7 +66,7 @@ proptest! {
         let query = QUERIES[query_index];
         let sites = 4;
 
-        let mut server = pax2_server(&fragmented, sites, use_annotations);
+        let server = pax2_server(&fragmented, sites, use_annotations);
         let prepared = server.prepare(query).unwrap();
         let initial = server.execute(&prepared).unwrap();
         let mut workload = UpdateWorkload::new(&fragmented, tree.all_nodes().count(), seed ^ 0xab);
@@ -128,7 +128,7 @@ fn incremental_traffic_is_independent_of_data_size() {
 
     let bytes_for = |fragments: usize, vmb: f64| -> (u64, u64) {
         let (tree, fragmented) = ft1(fragments, vmb, 3);
-        let mut server = pax2_server(&fragmented, fragments, false);
+        let server = pax2_server(&fragmented, fragments, false);
         let prepared = server.prepare(query).unwrap();
         server.execute(&prepared).unwrap();
         let mut workload = UpdateWorkload::new(&fragmented, tree.all_nodes().count(), 99);
@@ -177,7 +177,7 @@ fn incremental_traffic_scales_with_dirty_fragment_count() {
     let nodes = tree.all_nodes().count();
 
     let avg_bytes = |dirty: usize| -> u64 {
-        let mut server = pax2_server(&fragmented, 12, false);
+        let server = pax2_server(&fragmented, 12, false);
         let prepared = server.prepare(query).unwrap();
         server.execute(&prepared).unwrap();
         let mut workload = UpdateWorkload::new(&fragmented, nodes, 41);

@@ -34,7 +34,7 @@ fn fig2_server(fragmented: &FragmentedTree, algorithm: Algorithm, annotations: b
 fn introduction_boolean_query_is_true() {
     // Q = [//stock/code/text() = "GOOG"]: true iff some client trades GOOG.
     let (_, fragmented) = clientele_fragmentation();
-    let mut server = fig2_server(&fragmented, Algorithm::PaX2, false);
+    let server = fig2_server(&fragmented, Algorithm::PaX2, false);
     let goog = server.prepare(".[//stock/code/text()='GOOG']").unwrap();
     let report = server.execute(&goog).unwrap();
     // The Boolean query is encoded as "select the root iff the qualifier
@@ -54,7 +54,7 @@ fn introduction_data_selecting_query() {
     // trade GOOG in Fig. 1.
     let (_, fragmented) = clientele_fragmentation();
     for annotations in [false, true] {
-        let mut server = fig2_server(&fragmented, Algorithm::PaX3, annotations);
+        let server = fig2_server(&fragmented, Algorithm::PaX3, annotations);
         let report = server.query_once("//broker[//stock/code/text()='GOOG']/name").unwrap();
         let mut texts = report.answer_texts();
         texts.sort();
@@ -66,7 +66,7 @@ fn introduction_data_selecting_query() {
 #[test]
 fn section_2_query_q1_goog_but_not_yhoo() {
     let (_, fragmented) = clientele_fragmentation();
-    let mut server = fig2_server(&fragmented, Algorithm::PaX2, false);
+    let server = fig2_server(&fragmented, Algorithm::PaX2, false);
     let report = server
         .query_once("//broker[//stock/code/text()='GOOG' and not(//stock/code/text()='YHOO')]/name")
         .unwrap();
@@ -86,7 +86,7 @@ fn example_2_1_nasdaq_brokers_of_us_clients() {
 
     for annotations in [false, true] {
         for algorithm in [Algorithm::PaX3, Algorithm::PaX2] {
-            let mut server = fig2_server(&fragmented, algorithm, annotations);
+            let server = fig2_server(&fragmented, algorithm, annotations);
             let report = server.query_once(query).unwrap();
             let mut texts = report.answer_texts();
             texts.sort();
@@ -100,7 +100,7 @@ fn example_5_1_annotation_pruning_keeps_two_fragments() {
     // client/name over the annotated fragment tree: only the root fragment
     // and Lisa's client fragment can contain answers.
     let (_, fragmented) = clientele_fragmentation();
-    let mut server = fig2_server(&fragmented, Algorithm::PaX2, true);
+    let server = fig2_server(&fragmented, Algorithm::PaX2, true);
     let report = server.query_once("client/name").unwrap();
     assert_eq!(report.queries[0].fragments_evaluated, 2);
     assert_eq!(report.fragments_total, 5);
@@ -119,7 +119,7 @@ fn every_example_query_matches_the_centralized_reference_under_all_algorithms() 
         let reference = centralized::evaluate(&tree, query).unwrap();
         for annotations in [false, true] {
             for algorithm in [Algorithm::PaX3, Algorithm::PaX2] {
-                let mut server = fig2_server(&fragmented, algorithm, annotations);
+                let server = fig2_server(&fragmented, algorithm, annotations);
                 let report = server.query_once(query).unwrap();
                 assert_eq!(
                     report.answers().len(),
@@ -128,7 +128,7 @@ fn every_example_query_matches_the_centralized_reference_under_all_algorithms() 
                 );
             }
         }
-        let mut server = fig2_server(&fragmented, Algorithm::NaiveCentralized, false);
+        let server = fig2_server(&fragmented, Algorithm::NaiveCentralized, false);
         let nv = server.query_once(query).unwrap();
         assert_eq!(nv.answers().len(), reference.answers.len(), "Naive mismatch on {query}");
     }

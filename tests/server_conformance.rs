@@ -181,7 +181,7 @@ fn back_to_back_executions_report_per_execution_meters() {
     let tree = generate(XmarkConfig { site_count: 1, vmb_per_site: 0.2, ..Default::default() });
     let fragmented = strategy::cut_at_labels(&tree, &["site", "people"]).unwrap();
     for algorithm in ALGORITHMS {
-        let mut s = server(algorithm, false, &fragmented, 4);
+        let s = server(algorithm, false, &fragmented, 4);
         let first = s.query_once("//people/person/name").unwrap();
         let second = s.query_once("//people/person/name").unwrap();
         assert!(first.max_visits_per_site() > 0);
