@@ -1,0 +1,207 @@
+//! Experiment 8 (new in this repository, beyond the paper): vector-kernel
+//! node throughput — the two-tier `CompactVector`/`FormulaArena` kernel
+//! against the legacy one-`BoolExpr`-per-entry representation.
+//!
+//! Two series per group:
+//!
+//! * **constant path** — the bottom-up qualifier pass over an unfragmented
+//!   XMark tree. Every vector entry is a known truth value, so the new
+//!   kernel stays in packed bits (word-wise child folds, zero allocations
+//!   per entry) while the legacy kernel allocates a `Vec<BoolExpr>` per
+//!   node and clones entries through every fold.
+//! * **symbolic path** — the same pass over a tree whose leaves are
+//!   replaced by virtual-node stand-ins (fresh variables), so residual
+//!   formulas flow through the folds. The new kernel combines interned
+//!   `ExprId`s; the legacy kernel deep-clones formula subtrees through
+//!   `or_all`/`and_all`.
+//!
+//! The legacy kernel is reimplemented here, verbatim from the pre-arena
+//! `eval.rs`, operating on the still-available `FormulaVector`/`BoolExpr`
+//! types — so the comparison measures representations, not drift.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use paxml_boolex::{BoolExpr, FormulaVector};
+use paxml_xmark::{generate, XmarkConfig};
+use paxml_xml::{NodeId, XmlTree};
+use paxml_xpath::eval::{qualifier_pass, QualVectors};
+use paxml_xpath::{compile_text, CompiledQuery, QAxis, QEntry};
+use std::time::Duration;
+
+const SEED: u64 = 42;
+const QUERY: &str =
+    "/sites/site/people/person[profile/age > 20 and address/country=\"US\"]/creditcard";
+
+/// Variable type used by both kernels in this bench.
+type Var = u32;
+
+// ---------------------------------------------------------------------------
+// The legacy kernel: the pre-arena qualifier pass, copied unchanged.
+// ---------------------------------------------------------------------------
+
+fn legacy_eval_qentry(
+    tree: &XmlTree,
+    v: NodeId,
+    entry: &QEntry,
+    qv_so_far: &FormulaVector<Var>,
+    child_any_qv: &FormulaVector<Var>,
+    child_any_qdv: &FormulaVector<Var>,
+) -> BoolExpr<Var> {
+    match entry {
+        QEntry::LabelTest(label) => BoolExpr::constant(tree.label(v) == Some(label.as_str())),
+        QEntry::ElementTest => BoolExpr::constant(tree.is_element(v)),
+        QEntry::TextTest(s) => BoolExpr::constant(tree.text_value(v) == Some(s.as_str())),
+        QEntry::ValTest(op, n) => {
+            let holds = tree
+                .text_value(v)
+                .and_then(|t| {
+                    let t = t.trim();
+                    let t = t.strip_prefix('$').unwrap_or(t);
+                    t.parse::<f64>().ok()
+                })
+                .map(|value| op.apply(value, *n))
+                .unwrap_or(false);
+            BoolExpr::constant(holds)
+        }
+        QEntry::Step { test, quals, next } => {
+            let mut conjuncts = vec![qv_so_far[*test].clone()];
+            for q in quals {
+                conjuncts.push(qv_so_far[*q].clone());
+            }
+            match next {
+                None => {}
+                Some((QAxis::Child, e)) => conjuncts.push(child_any_qv[*e].clone()),
+                Some((QAxis::Descendant, e)) => conjuncts.push(child_any_qdv[*e].clone()),
+            }
+            BoolExpr::and_all(conjuncts)
+        }
+        QEntry::Exists { axis, entry } => match axis {
+            QAxis::Child => child_any_qv[*entry].clone(),
+            QAxis::Descendant => child_any_qdv[*entry].clone(),
+        },
+        QEntry::Not(e) => BoolExpr::not(qv_so_far[*e].clone()),
+        QEntry::And(es) => BoolExpr::and_all(es.iter().map(|e| qv_so_far[*e].clone())),
+        QEntry::Or(es) => BoolExpr::or_all(es.iter().map(|e| qv_so_far[*e].clone())),
+    }
+}
+
+/// The legacy bottom-up pass: one `FormulaVector` (a `Vec<BoolExpr>`) per
+/// node, entry-wise child folds with per-entry clones.
+fn legacy_qualifier_pass(
+    tree: &XmlTree,
+    query: &CompiledQuery,
+    virtual_vector: impl Fn(NodeId, usize, bool) -> BoolExpr<Var>,
+) -> (FormulaVector<Var>, FormulaVector<Var>) {
+    let root = tree.root();
+    let qlen = query.qvect_len();
+    let mut node_qv: Vec<Option<FormulaVector<Var>>> = vec![None; tree.node_count()];
+    let mut node_qdv: Vec<Option<FormulaVector<Var>>> = vec![None; tree.node_count()];
+    for v in tree.post_order(root) {
+        if tree.is_virtual(v) {
+            node_qv[v.index()] = Some(FormulaVector::from_entries(
+                (0..qlen).map(|i| virtual_vector(v, i, false)).collect(),
+            ));
+            node_qdv[v.index()] = Some(FormulaVector::from_entries(
+                (0..qlen).map(|i| virtual_vector(v, i, true)).collect(),
+            ));
+            continue;
+        }
+        let mut child_any_qv: FormulaVector<Var> = FormulaVector::all_false(qlen);
+        let mut child_any_qdv: FormulaVector<Var> = FormulaVector::all_false(qlen);
+        for c in tree.children(v) {
+            let cqv = node_qv[c.index()].as_ref().expect("post-order");
+            let cqdv = node_qdv[c.index()].as_ref().expect("post-order");
+            for i in 0..qlen {
+                child_any_qv.set(i, BoolExpr::or(child_any_qv[i].clone(), cqv[i].clone()));
+                child_any_qdv.set(i, BoolExpr::or(child_any_qdv[i].clone(), cqdv[i].clone()));
+            }
+        }
+        let mut qv: FormulaVector<Var> = FormulaVector::all_false(qlen);
+        for (i, entry) in query.qvect.iter().enumerate() {
+            let value = legacy_eval_qentry(tree, v, entry, &qv, &child_any_qv, &child_any_qdv);
+            qv.set(i, value);
+        }
+        let mut qdv: FormulaVector<Var> = FormulaVector::all_false(qlen);
+        for i in 0..qlen {
+            qdv.set(i, BoolExpr::or(qv[i].clone(), child_any_qdv[i].clone()));
+        }
+        node_qv[v.index()] = Some(qv);
+        node_qdv[v.index()] = Some(qdv);
+    }
+    (node_qv[root.index()].clone().unwrap(), node_qdv[root.index()].clone().unwrap())
+}
+
+// ---------------------------------------------------------------------------
+// Workloads.
+// ---------------------------------------------------------------------------
+
+fn xmark_tree() -> XmlTree {
+    generate(XmarkConfig { site_count: 1, vmb_per_site: 1.0, seed: SEED, ..Default::default() })
+}
+
+fn bench_constant_path(c: &mut Criterion) {
+    let tree = xmark_tree();
+    let query = compile_text(QUERY).unwrap();
+    let nodes = tree.node_count() as u64;
+
+    let mut group = c.benchmark_group("exp8_vector_kernel_constant_path");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(nodes));
+
+    group.bench_with_input(BenchmarkId::new("new", nodes), &tree, |b, tree| {
+        b.iter(|| {
+            qualifier_pass::<Var>(tree, tree.root(), &query, |_| {
+                unreachable!("no virtual nodes on the constant path")
+            })
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("legacy", nodes), &tree, |b, tree| {
+        b.iter(|| legacy_qualifier_pass(tree, &query, |_, _, _| unreachable!()));
+    });
+    group.finish();
+}
+
+/// The symbolic path: the root fragment of an XMark tree cut at `person`
+/// contains one virtual node per person, so fresh variables flow through
+/// every fold above them. Variables are minted per (virtual node, entry),
+/// exactly as the distributed layer does.
+fn bench_symbolic_path(c: &mut Criterion) {
+    let tree = xmark_tree();
+    let fragmented = paxml_fragment::strategy::cut_at_labels(&tree, &["person"]).unwrap();
+    let root_fragment = fragmented.fragments[0].tree.clone();
+    let query = compile_text(QUERY).unwrap();
+    let qlen = query.qvect_len();
+    let nodes = root_fragment.node_count() as u64;
+    let virtuals = fragmented.fragment_count() - 1;
+
+    let mut group = c.benchmark_group("exp8_vector_kernel_symbolic_path");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(nodes));
+
+    let fresh = |node: NodeId, entry: usize, qdv: bool| -> Var {
+        (node.index() as Var) * 1000 + (entry as Var) * 2 + Var::from(qdv)
+    };
+
+    group.bench_with_input(BenchmarkId::new("new", virtuals), &root_fragment, |b, tree| {
+        b.iter(|| {
+            qualifier_pass::<Var>(tree, tree.root(), &query, |vnode| QualVectors {
+                qv: paxml_boolex::CompactVector::fresh_variables(qlen, |i| fresh(vnode, i, false)),
+                qdv: paxml_boolex::CompactVector::fresh_variables(qlen, |i| fresh(vnode, i, true)),
+            })
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("legacy", virtuals), &root_fragment, |b, tree| {
+        b.iter(|| {
+            legacy_qualifier_pass(tree, &query, |vnode, i, qdv| BoolExpr::var(fresh(vnode, i, qdv)))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_constant_path, bench_symbolic_path);
+criterion_main!(benches);

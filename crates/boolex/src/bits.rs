@@ -1,0 +1,196 @@
+//! Packed bit vectors — the constant-path representation of the paper's
+//! `QV`/`QDV`/`SV` vectors.
+//!
+//! At every node that is *not* adjacent to a virtual node, all vector
+//! entries are already known truth values. Storing them as one bit each (in
+//! `u64` words) instead of one heap-allocated [`crate::BoolExpr`] each makes
+//! the per-node vector computations allocation-free and lets the child-fold
+//! loops of the evaluation passes run word-wise: 64 entries per AND/OR
+//! instruction instead of one enum match per entry.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-length vector of booleans packed 64 to a `u64` word.
+///
+/// Invariant: bits at positions `>= len` are always zero, so `==` and `Hash`
+/// on the raw words are canonical.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitVector {
+    len: usize,
+    words: Vec<u64>,
+}
+
+/// Number of `u64` words needed for `len` bits.
+fn words_for(len: usize) -> usize {
+    len.div_ceil(64)
+}
+
+impl BitVector {
+    /// A vector of `len` entries, all `false`.
+    pub fn all_false(len: usize) -> Self {
+        BitVector { len, words: vec![0; words_for(len)] }
+    }
+
+    /// A vector of `len` entries, all `true`.
+    pub fn all_true(len: usize) -> Self {
+        let mut v = BitVector { len, words: vec![u64::MAX; words_for(len)] };
+        v.mask_tail();
+        v
+    }
+
+    /// Build from a slice of booleans.
+    pub fn from_bools(bools: &[bool]) -> Self {
+        let mut v = BitVector::all_false(bools.len());
+        for (i, &b) in bools.iter().enumerate() {
+            if b {
+                v.words[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        v
+    }
+
+    /// Zero out the unused high bits of the last word (the canonical-form
+    /// invariant behind `Eq`/`Hash`).
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the vector empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read one entry.
+    pub fn get(&self, index: usize) -> bool {
+        debug_assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        self.words[index / 64] & (1u64 << (index % 64)) != 0
+    }
+
+    /// Write one entry.
+    pub fn set(&mut self, index: usize, value: bool) {
+        debug_assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        let mask = 1u64 << (index % 64);
+        if value {
+            self.words[index / 64] |= mask;
+        } else {
+            self.words[index / 64] &= !mask;
+        }
+    }
+
+    /// Word-wise `self |= other`. Both vectors must have the same length.
+    pub fn or_assign(&mut self, other: &BitVector) {
+        debug_assert_eq!(self.len, other.len);
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// Word-wise `self &= other`. Both vectors must have the same length.
+    pub fn and_assign(&mut self, other: &BitVector) {
+        debug_assert_eq!(self.len, other.len);
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+    }
+
+    /// Word-wise complement, preserving the canonical-form invariant.
+    pub fn not_assign(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+
+    /// Number of `true` entries.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Is any entry `true`?
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// Unpack into a `Vec<bool>`.
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// Iterate over the entries as booleans.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(|i| self.get(i))
+    }
+
+    /// The packed words backing the vector (`⌈len/64⌉` of them) — what a
+    /// leaf fragment actually ships over the wire.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut v = BitVector::all_false(70);
+        assert_eq!(v.len(), 70);
+        assert_eq!(v.words().len(), 2);
+        assert!(!v.any());
+        v.set(0, true);
+        v.set(69, true);
+        assert!(v.get(0) && v.get(69) && !v.get(35));
+        assert_eq!(v.count_ones(), 2);
+        v.set(69, false);
+        assert_eq!(v.count_ones(), 1);
+    }
+
+    #[test]
+    fn all_true_is_canonical() {
+        let t = BitVector::all_true(65);
+        assert_eq!(t.count_ones(), 65);
+        // The 63 unused bits of the second word must be zero so Eq works.
+        assert_eq!(t.words()[1], 1);
+        let mut built = BitVector::all_false(65);
+        for i in 0..65 {
+            built.set(i, true);
+        }
+        assert_eq!(t, built);
+    }
+
+    #[test]
+    fn word_wise_ops_match_elementwise() {
+        let a = BitVector::from_bools(&[true, false, true, false, true]);
+        let b = BitVector::from_bools(&[true, true, false, false, true]);
+        let mut or = a.clone();
+        or.or_assign(&b);
+        assert_eq!(or.to_bools(), vec![true, true, true, false, true]);
+        let mut and = a.clone();
+        and.and_assign(&b);
+        assert_eq!(and.to_bools(), vec![true, false, false, false, true]);
+        let mut not = a.clone();
+        not.not_assign();
+        assert_eq!(not.to_bools(), vec![false, true, false, true, false]);
+        assert_eq!(not.words().len(), 1);
+        assert!(not.words()[0] < 32, "tail bits must stay masked");
+    }
+
+    #[test]
+    fn round_trips_through_bools() {
+        let bools: Vec<bool> = (0..130).map(|i| i % 3 == 0).collect();
+        let v = BitVector::from_bools(&bools);
+        assert_eq!(v.to_bools(), bools);
+        assert_eq!(v.iter().collect::<Vec<_>>(), bools);
+    }
+}

@@ -125,7 +125,8 @@ impl<V: Clone + Eq + Ord + Hash> BoolExpr<V> {
 
     /// Remove duplicate operands while keeping the first occurrence's order.
     /// Small operand lists (the overwhelmingly common case) are deduplicated
-    /// with a quadratic scan to avoid allocating a set.
+    /// with a quadratic scan to avoid allocating a set; larger lists sort a
+    /// permutation of indices, so no operand is ever cloned either way.
     fn dedup(operands: &mut Vec<BoolExpr<V>>) {
         if operands.len() <= 1 {
             return;
@@ -141,8 +142,22 @@ impl<V: Clone + Eq + Ord + Hash> BoolExpr<V> {
             }
             return;
         }
-        let mut seen: BTreeSet<BoolExpr<V>> = BTreeSet::new();
-        operands.retain(|op| seen.insert(op.clone()));
+        // Sort indices by operand; within a run of equal operands only the
+        // first occurrence (smallest original index) survives.
+        let mut order: Vec<usize> = (0..operands.len()).collect();
+        order.sort_unstable_by(|&a, &b| operands[a].cmp(&operands[b]).then(a.cmp(&b)));
+        let mut keep = vec![true; operands.len()];
+        for pair in order.windows(2) {
+            if operands[pair[0]] == operands[pair[1]] {
+                keep[pair[1]] = false;
+            }
+        }
+        let mut index = 0;
+        operands.retain(|_| {
+            let k = keep[index];
+            index += 1;
+            k
+        });
     }
 
     /// Is this formula a constant? Returns the constant value if so.
@@ -214,14 +229,21 @@ impl<V: Clone + Eq + Ord + Hash> BoolExpr<V> {
     /// if other operands mention unassigned variables (and dually for `And`),
     /// matching how `evalFT` can conclude early.
     pub fn eval(&self, env: &Assignment<V>) -> Option<bool> {
+        self.eval_with(&|v| env.get(v))
+    }
+
+    /// [`BoolExpr::eval`] with a generic variable lookup — lets callers
+    /// resolve variables from dense (bitset) environments without building a
+    /// `BTreeMap` first.
+    pub fn eval_with(&self, env: &impl Fn(&V) -> Option<bool>) -> Option<bool> {
         match self {
             BoolExpr::Const(b) => Some(*b),
-            BoolExpr::Var(v) => env.get(v),
-            BoolExpr::Not(f) => f.eval(env).map(|b| !b),
+            BoolExpr::Var(v) => env(v),
+            BoolExpr::Not(f) => f.eval_with(env).map(|b| !b),
             BoolExpr::And(fs) => {
                 let mut all_known = true;
                 for f in fs {
-                    match f.eval(env) {
+                    match f.eval_with(env) {
                         Some(false) => return Some(false),
                         Some(true) => {}
                         None => all_known = false,
@@ -236,7 +258,7 @@ impl<V: Clone + Eq + Ord + Hash> BoolExpr<V> {
             BoolExpr::Or(fs) => {
                 let mut all_known = true;
                 for f in fs {
-                    match f.eval(env) {
+                    match f.eval_with(env) {
                         Some(true) => return Some(true),
                         Some(false) => {}
                         None => all_known = false,
@@ -255,15 +277,22 @@ impl<V: Clone + Eq + Ord + Hash> BoolExpr<V> {
     /// the remaining variables symbolic, and re-simplify. This is the core
     /// operation of the paper's `evalFT` and of Stage 2/3 unification.
     pub fn assign(&self, env: &Assignment<V>) -> BoolExpr<V> {
+        self.assign_with(&|v| env.get(v))
+    }
+
+    /// [`BoolExpr::assign`] with a generic variable lookup — the dense
+    /// (bitset) environments of the coordinator resolve variables without
+    /// materializing a map.
+    pub fn assign_with(&self, env: &impl Fn(&V) -> Option<bool>) -> BoolExpr<V> {
         match self {
             BoolExpr::Const(b) => BoolExpr::Const(*b),
-            BoolExpr::Var(v) => match env.get(v) {
+            BoolExpr::Var(v) => match env(v) {
                 Some(b) => BoolExpr::Const(b),
                 None => BoolExpr::Var(v.clone()),
             },
-            BoolExpr::Not(f) => Self::not(f.assign(env)),
-            BoolExpr::And(fs) => Self::and_all(fs.iter().map(|f| f.assign(env))),
-            BoolExpr::Or(fs) => Self::or_all(fs.iter().map(|f| f.assign(env))),
+            BoolExpr::Not(f) => Self::not(f.assign_with(env)),
+            BoolExpr::And(fs) => Self::and_all(fs.iter().map(|f| f.assign_with(env))),
+            BoolExpr::Or(fs) => Self::or_all(fs.iter().map(|f| f.assign_with(env))),
         }
     }
 

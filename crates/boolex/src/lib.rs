@@ -21,6 +21,13 @@
 //!   sub-fragments.
 //! * [`FormulaVector`] — a fixed-length vector of formulas: the `QV`/`QCV`/
 //!   `QDV`/`SV` vectors of the paper.
+//! * [`BitVector`] / [`CompactVector`] — the two-tier vector representation:
+//!   packed `u64` words while every entry is a known constant (the
+//!   overwhelmingly common case, and the only case a variable-free leaf
+//!   fragment ever ships), explicit formulas once a variable appears.
+//! * [`FormulaArena`] / [`ExprId`] — a hash-consing arena interning every
+//!   distinct sub-formula once, so the evaluation kernel's symbolic path
+//!   combines, assigns and substitutes formulas without cloning subtrees.
 //!
 //! ```
 //! use paxml_boolex::{BoolExpr, Assignment};
@@ -34,12 +41,18 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+mod arena;
+mod bits;
+mod compact;
 mod env;
 mod expr;
 mod vector;
 
+pub use arena::{ExprId, FormulaArena};
+pub use bits::BitVector;
+pub use compact::CompactVector;
 pub use env::{Assignment, Substitution};
 pub use expr::BoolExpr;
 pub use vector::FormulaVector;

@@ -71,10 +71,10 @@ use crate::protocol::{
 };
 use crate::prune::{analyze, AnnotationAnalysis};
 use crate::report::{Algorithm, AnswerItem, EvaluationReport, ExecMode, ExecReport, QueryOutcome};
-use crate::unify::{restrict_for_fragment, unify_qualifiers, unify_selection};
+use crate::unify::{unify_qualifiers, unify_selection, DenseAssignment};
 use crate::vars::PaxVar;
 use crate::EvalOptions;
-use paxml_boolex::FormulaVector;
+use paxml_boolex::{BitVector, CompactVector};
 use paxml_distsim::{ClusterStats, SiteId};
 use paxml_fragment::FragmentId;
 use paxml_xpath::eval::{root_context_vector, QualVectors};
@@ -244,17 +244,15 @@ pub(crate) fn run(
         } else {
             AnnotationAnalysis::keep_all(&ft)
         };
-        let root_init: Vec<bool> = root_context_vector::<PaxVar>(query)
-            .as_bools()
-            .expect("the document vector is always constant");
+        let root_init: Vec<bool> = root_context_vector(query);
         let mut finals_pending: Vec<FragmentId> = Vec::new();
         for (&site, fragments) in &deployment.group_by_site(analysis.relevant.iter().copied()) {
             let mut inputs = BTreeMap::new();
             for &fragment in fragments {
                 let init = if fragment == FragmentId::ROOT {
-                    InitVector::Exact(root_init.clone())
+                    InitVector::Exact(BitVector::from_bools(&root_init))
                 } else if let Some(exact) = analysis.exact_init.get(&fragment) {
-                    InitVector::Exact(exact.clone())
+                    InitVector::Exact(BitVector::from_bools(exact))
                 } else {
                     InitVector::Unknown
                 };
@@ -291,7 +289,7 @@ pub(crate) fn run(
     // Scatter the merged responses back out per query.
     let mut roots: Vec<BTreeMap<FragmentId, QualVectors<PaxVar>>> =
         vec![BTreeMap::new(); query_count];
-    let mut virtuals: Vec<BTreeMap<FragmentId, FormulaVector<PaxVar>>> =
+    let mut virtuals: Vec<BTreeMap<FragmentId, CompactVector<PaxVar>>> =
         vec![BTreeMap::new(); query_count];
     for response in responses.into_values() {
         for slice in response.per_query {
@@ -304,24 +302,22 @@ pub(crate) fn run(
     // ------------------------------------------- Coordinator: unify per query
     let mut site_collect: BTreeMap<SiteId, Vec<BatchCollectEntry>> = BTreeMap::new();
     for (query_index, (query, plan)) in compiled.iter().zip(&plans).enumerate() {
-        let qual_assignment = if query.has_qualifiers() {
+        let mut assignment = DenseAssignment::new(ft.len());
+        if query.has_qualifiers() {
             coordinator_ops_per_query[query_index] += (ft.len() * query.qvect_len()) as u64;
-            unify_qualifiers(&ft, &roots[query_index], query.qvect_len())
-        } else {
-            paxml_boolex::Assignment::new()
-        };
+            unify_qualifiers(&ft, &roots[query_index], query.qvect_len(), &mut assignment);
+        }
         if plan.finals_pending.is_empty() {
             continue;
         }
         coordinator_ops_per_query[query_index] += (ft.len() * query.svect_len()) as u64;
-        let sel_assignment =
-            unify_selection(&ft, &virtuals[query_index], &plan.root_init, &qual_assignment);
+        unify_selection(&ft, &virtuals[query_index], &plan.root_init, &mut assignment);
         for (&site, fragments) in &deployment.group_by_site(plan.finals_pending.iter().copied()) {
             let mut per_fragment = BTreeMap::new();
             for &fragment in fragments {
                 per_fragment.insert(
                     fragment,
-                    restrict_for_fragment(&sel_assignment, fragment, ft.children(fragment)),
+                    assignment.restrict_for_fragment(fragment, ft.children(fragment)),
                 );
             }
             site_collect.entry(site).or_default().push(BatchCollectEntry {

@@ -86,9 +86,10 @@ use crate::protocol::{
 };
 use crate::prune::{analyze, AnnotationAnalysis};
 use crate::report::AnswerItem;
-use crate::vars::{PaxVar, QualVecKind};
+use crate::unify::{resolve_summary, DenseAssignment};
+use crate::vars::PaxVar;
 use crate::EvalOptions;
-use paxml_boolex::{Assignment, FormulaVector};
+use paxml_boolex::{BitVector, CompactVector};
 use paxml_distsim::{ClusterStats, SiteId};
 use paxml_fragment::{FragmentId, FragmentResult, FragmentTree, UpdateOp};
 use paxml_xpath::eval::{root_context_vector, QualVectors};
@@ -205,9 +206,10 @@ pub(crate) struct QuerySession {
     cache: BTreeMap<FragmentId, FragmentCache>,
     /// Ancestor summaries recorded at virtual nodes, keyed by the
     /// sub-fragment they stand for (produced by the parent fragment).
-    virtuals: BTreeMap<FragmentId, FormulaVector<PaxVar>>,
-    /// The cached truth values of every `Qual`/`Sel` variable.
-    assignment: Assignment<PaxVar>,
+    virtuals: BTreeMap<FragmentId, CompactVector<PaxVar>>,
+    /// The cached truth values of every `Qual`/`Sel` variable, packed as
+    /// per-fragment bitsets.
+    assignment: DenseAssignment,
     answers: Vec<AnswerItem>,
     /// Has the initial snapshot round run yet?
     pub(crate) initialized: bool,
@@ -228,9 +230,8 @@ impl QuerySession {
         } else {
             AnnotationAnalysis::keep_all(&ft)
         };
-        let root_init: Vec<bool> = root_context_vector::<PaxVar>(&query)
-            .as_bools()
-            .expect("the document vector is always constant");
+        let root_init: Vec<bool> = root_context_vector(&query);
+        let fragments = ft.len();
         QuerySession {
             query,
             query_text: query_text.to_string(),
@@ -240,7 +241,7 @@ impl QuerySession {
             ft,
             cache: BTreeMap::new(),
             virtuals: BTreeMap::new(),
-            assignment: Assignment::new(),
+            assignment: DenseAssignment::new(fragments),
             answers: Vec::new(),
             initialized: false,
         }
@@ -270,9 +271,9 @@ impl QuerySession {
     /// from-scratch PaX2).
     fn init_for(&self, fragment: FragmentId) -> InitVector {
         if fragment == FragmentId::ROOT {
-            InitVector::Exact(self.root_init.clone())
+            InitVector::Exact(BitVector::from_bools(&self.root_init))
         } else if let Some(exact) = self.analysis.exact_init.get(&fragment) {
-            InitVector::Exact(exact.clone())
+            InitVector::Exact(BitVector::from_bools(exact))
         } else {
             InitVector::Unknown
         }
@@ -344,7 +345,7 @@ impl QuerySession {
             let mut resolved = entry.sure.clone();
             for candidate in &entry.candidates {
                 unify_ops += 1;
-                if candidate.formula.assign(assignment).is_true() {
+                if candidate.formula.eval_with(&|v| assignment.get(v)) == Some(true) {
                     resolved.push(candidate.item.clone());
                 }
             }
@@ -477,24 +478,17 @@ impl QuerySession {
             }
             reunified += 1;
             *unify_ops += 2 * qlen as u64;
-            let resolved = match self.cache.get(&fragment).and_then(|e| e.root.as_ref()) {
-                Some(vectors) => vectors.assign(&self.assignment),
-                None => QualVectors::all_false(qlen),
-            };
-            let mut fragment_changed = false;
-            for i in 0..qlen {
-                for (kind, value) in [
-                    (QualVecKind::Qv, resolved.qv[i].as_const().unwrap_or(false)),
-                    (QualVecKind::Qdv, resolved.qdv[i].as_const().unwrap_or(false)),
-                ] {
-                    let var = PaxVar::Qual { fragment, vector: kind, entry: i };
-                    if self.assignment.get(&var) != Some(value) {
-                        fragment_changed = true;
-                    }
-                    self.assignment.set(var, value);
+            let (qv, qdv) = {
+                let assignment = &self.assignment;
+                match self.cache.get(&fragment).and_then(|e| e.root.as_ref()) {
+                    Some(vectors) => (
+                        vectors.qv.resolve_bits(&|v| assignment.get(v)),
+                        vectors.qdv.resolve_bits(&|v| assignment.get(v)),
+                    ),
+                    None => (BitVector::all_false(qlen), BitVector::all_false(qlen)),
                 }
-            }
-            if fragment_changed {
+            };
+            if self.assignment.set_qual(fragment, qv, qdv) {
                 changed.insert(fragment);
             }
         }
@@ -516,9 +510,7 @@ impl QuerySession {
         let mut changed: BTreeSet<FragmentId> = BTreeSet::new();
         let mut reunified = 0usize;
         if initial {
-            for (i, &b) in self.root_init.iter().enumerate() {
-                self.assignment.set(PaxVar::Sel { fragment: FragmentId::ROOT, entry: i }, b);
-            }
+            self.assignment.set_sel(FragmentId::ROOT, BitVector::from_bools(&self.root_init));
         }
         for fragment in self.ft.top_down_order() {
             if fragment == FragmentId::ROOT {
@@ -539,30 +531,11 @@ impl QuerySession {
             }
             reunified += 1;
             *unify_ops += slen as u64;
-            let values: Vec<bool> = match self.virtuals.get(&fragment) {
-                Some(vector) => {
-                    let resolved = vector.assign(&self.assignment);
-                    (0..slen)
-                        .map(|i| {
-                            if i < resolved.len() {
-                                resolved[i].as_const().unwrap_or(false)
-                            } else {
-                                false
-                            }
-                        })
-                        .collect()
-                }
-                None => vec![false; slen],
+            let sel = match self.virtuals.get(&fragment) {
+                Some(vector) => resolve_summary(vector, slen, &self.assignment),
+                None => BitVector::all_false(slen),
             };
-            let mut fragment_changed = false;
-            for (i, value) in values.into_iter().enumerate() {
-                let var = PaxVar::Sel { fragment, entry: i };
-                if self.assignment.get(&var) != Some(value) {
-                    fragment_changed = true;
-                }
-                self.assignment.set(var, value);
-            }
-            if fragment_changed {
+            if self.assignment.set_sel(fragment, sel) {
                 changed.insert(fragment);
             }
         }

@@ -24,10 +24,10 @@ use crate::protocol::{
 };
 use crate::prune::{analyze, AnnotationAnalysis};
 use crate::report::{Algorithm, AnswerItem, EvaluationReport, ExecMode, ExecReport, QueryOutcome};
-use crate::unify::{restrict_for_fragment, unify_qualifiers, unify_selection};
+use crate::unify::{unify_qualifiers, unify_selection, DenseAssignment};
 use crate::vars::PaxVar;
 use crate::EvalOptions;
-use paxml_boolex::FormulaVector;
+use paxml_boolex::{BitVector, CompactVector};
 use paxml_fragment::FragmentId;
 use paxml_xpath::eval::{root_context_vector, QualVectors};
 use paxml_xpath::{compile_text, CompiledQuery, XPathResult};
@@ -79,7 +79,8 @@ pub(crate) fn run(
     let mut answers: Vec<AnswerItem> = Vec::new();
 
     // ----------------------------------------------------------------- Stage 1
-    let qual_assignment = if query.has_qualifiers() {
+    let mut assignment = DenseAssignment::new(ft.len());
+    if query.has_qualifiers() {
         let requests = stage1_requests(deployment, query, slot, &analysis.relevant);
         let responses = ctx.round(requests, qualifier_task);
         let mut roots: BTreeMap<FragmentId, QualVectors<PaxVar>> = BTreeMap::new();
@@ -87,24 +88,20 @@ pub(crate) fn run(
             roots.extend(response.roots);
         }
         coordinator_ops += (ft.len() * query.qvect_len()) as u64;
-        unify_qualifiers(&ft, &roots, query.qvect_len())
-    } else {
-        paxml_boolex::Assignment::new()
-    };
+        unify_qualifiers(&ft, &roots, query.qvect_len(), &mut assignment);
+    }
 
     // ----------------------------------------------------------------- Stage 2
-    let root_init: Vec<bool> = root_context_vector::<PaxVar>(query)
-        .as_bools()
-        .expect("the document vector is always constant");
+    let root_init: Vec<bool> = root_context_vector(query);
     let mut requests: BTreeMap<paxml_distsim::SiteId, SelRequest> = BTreeMap::new();
     let mut finals_pending: Vec<FragmentId> = Vec::new();
     for (&site, fragments) in &deployment.group_by_site(analysis.relevant.iter().copied()) {
         let mut inputs = BTreeMap::new();
         for &fragment in fragments {
             let init = if fragment == FragmentId::ROOT {
-                InitVector::Exact(root_init.clone())
+                InitVector::Exact(BitVector::from_bools(&root_init))
             } else if let Some(exact) = analysis.exact_init.get(&fragment) {
-                InitVector::Exact(exact.clone())
+                InitVector::Exact(BitVector::from_bools(exact))
             } else {
                 InitVector::Unknown
             };
@@ -113,7 +110,7 @@ pub(crate) fn run(
                 finals_pending.push(fragment);
             }
             let qual_values = if query.has_qualifiers() {
-                restrict_for_fragment(&qual_assignment, fragment, ft.children(fragment))
+                assignment.restrict_for_fragment(fragment, ft.children(fragment))
             } else {
                 Vec::new()
             };
@@ -130,7 +127,7 @@ pub(crate) fn run(
         requests.insert(site, SelRequest { slot, query: query.clone(), fragments: inputs });
     }
     let responses = ctx.round(requests, selection_task);
-    let mut virtuals: BTreeMap<FragmentId, FormulaVector<PaxVar>> = BTreeMap::new();
+    let mut virtuals: BTreeMap<FragmentId, CompactVector<PaxVar>> = BTreeMap::new();
     for response in responses.into_values() {
         virtuals.extend(response.virtuals);
         answers.extend(response.answers);
@@ -139,13 +136,12 @@ pub(crate) fn run(
     // ----------------------------------------------------------------- Stage 3
     if !finals_pending.is_empty() {
         coordinator_ops += (ft.len() * query.svect_len()) as u64;
-        let sel_assignment = unify_selection(&ft, &virtuals, &root_init, &qual_assignment);
+        unify_selection(&ft, &virtuals, &root_init, &mut assignment);
         let mut requests: BTreeMap<paxml_distsim::SiteId, CollectRequest> = BTreeMap::new();
         for (&site, fragments) in &deployment.group_by_site(finals_pending.iter().copied()) {
             let mut per_fragment = BTreeMap::new();
             for &fragment in fragments {
-                per_fragment
-                    .insert(fragment, restrict_for_fragment(&sel_assignment, fragment, &[]));
+                per_fragment.insert(fragment, assignment.restrict_for_fragment(fragment, &[]));
             }
             requests.insert(site, CollectRequest { slot, fragments: per_fragment });
         }

@@ -8,6 +8,7 @@
 //! exercised directly against a hand-built site:
 //!
 //! ```
+//! use paxml_boolex::{BitVector, CompactVector};
 //! use paxml_core::protocol::{combined_task, CombinedFragmentInput, CombinedRequest, InitVector};
 //! use paxml_distsim::{SiteId, SiteLocal};
 //! use paxml_fragment::{fragment_at, FragmentId};
@@ -34,7 +35,7 @@
 //! let query = compile_text("client/broker/name").unwrap();
 //! let mut fragments = BTreeMap::new();
 //! for (id, init) in [
-//!     (FragmentId(0), InitVector::Exact(vec![false; query.svect_len()])),
+//!     (FragmentId(0), InitVector::Exact(BitVector::all_false(query.svect_len()))),
 //!     (FragmentId(1), InitVector::Unknown),
 //! ] {
 //!     fragments.insert(id, CombinedFragmentInput {
@@ -49,16 +50,19 @@
 //! // ancestor summary for its virtual node standing in for F1.
 //! assert_eq!(response.roots.len(), 2);
 //! assert!(response.virtuals.contains_key(&FragmentId(1)));
-//! // No PaX2-local placeholder may ever cross the wire.
+//! // No PaX2-local placeholder may ever cross the wire...
 //! for vector in response.virtuals.values() {
 //!     assert!(vector.variables().iter().all(|v| !v.is_local()));
 //! }
+//! // ...and the variable-free leaf fragment F1 ships packed bits, not a
+//! // vector of enum-tagged formulas.
+//! assert!(matches!(response.roots[&FragmentId(1)].qv, CompactVector::Bits(_)));
 //! ```
 
 use crate::report::{answer_item, AnswerItem};
 use crate::unify::{assignment_from_pairs, fresh_qual_vectors, fresh_selection_vector};
 use crate::vars::PaxVar;
-use paxml_boolex::{BoolExpr, FormulaVector};
+use paxml_boolex::{BitVector, BoolExpr, CompactVector};
 use paxml_distsim::SiteLocal;
 use paxml_fragment::{Fragment, FragmentId, UpdateOp};
 use paxml_xml::NodeId;
@@ -94,10 +98,10 @@ pub const SINGLE_QUERY_SLOT: usize = 0;
 /// How a fragment's top-down pass should initialise its ancestor summary.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum InitVector {
-    /// Concrete truth values (the root fragment, or any fragment when the
-    /// XPath-annotation optimization applies and the query has no
-    /// qualifiers).
-    Exact(Vec<bool>),
+    /// Concrete truth values, packed as bits (the root fragment, or any
+    /// fragment when the XPath-annotation optimization applies and the
+    /// query has no qualifiers).
+    Exact(BitVector),
     /// Unknown ancestors: start from fresh `Sel` variables.
     Unknown,
 }
@@ -207,20 +211,20 @@ pub struct SelRequest {
 pub struct SelResponse {
     /// For every sub-fragment of every evaluated fragment: the ancestor
     /// summary recorded at its virtual node.
-    pub virtuals: BTreeMap<FragmentId, FormulaVector<PaxVar>>,
+    pub virtuals: BTreeMap<FragmentId, CompactVector<PaxVar>>,
     /// Answers returned early (only when `collect_answers_now` was set).
     pub answers: Vec<AnswerItem>,
 }
 
 /// Build the initial vector for a fragment's top-down pass.
-fn build_init(fragment: FragmentId, init: &InitVector, svect_len: usize) -> FormulaVector<PaxVar> {
+fn build_init(fragment: FragmentId, init: &InitVector, svect_len: usize) -> CompactVector<PaxVar> {
     match init {
         InitVector::Exact(values) => {
-            let mut v = FormulaVector::all_false(svect_len);
-            for (i, &b) in values.iter().enumerate().take(svect_len) {
-                v.set(i, BoolExpr::constant(b));
+            let mut v = BitVector::all_false(svect_len);
+            for (i, b) in values.iter().enumerate().take(svect_len) {
+                v.set(i, b);
             }
-            v
+            CompactVector::Bits(v)
         }
         InitVector::Unknown => fresh_selection_vector(fragment, svect_len),
     }
@@ -236,7 +240,7 @@ pub fn selection_task(site: &mut SiteLocal, request: SelRequest) -> SelResponse 
         let init = build_init(*fragment_id, &input.init, query.svect_len());
         let context = if input.root_is_context { Some(fragment.tree.root()) } else { None };
         let qual_assignment = assignment_from_pairs(&input.qual_values);
-        let stored_qv = site.take_scratch::<Vec<Option<FormulaVector<PaxVar>>>>(&qv_key(
+        let stored_qv = site.take_scratch::<Vec<Option<CompactVector<PaxVar>>>>(&qv_key(
             request.slot,
             *fragment_id,
         ));
@@ -244,7 +248,7 @@ pub fn selection_task(site: &mut SiteLocal, request: SelRequest) -> SelResponse 
             match &stored_qv {
                 Some(qv) => qv[v.index()]
                     .as_ref()
-                    .map(|vec| vec[e].assign(&qual_assignment))
+                    .map(|vec| vec.expr(e).assign(&qual_assignment))
                     .unwrap_or_else(|| BoolExpr::constant(false)),
                 None => BoolExpr::constant(false),
             }
@@ -321,7 +325,7 @@ pub struct CombinedResponse {
     /// Root `QV`/`QDV` vectors per evaluated fragment.
     pub roots: BTreeMap<FragmentId, QualVectors<PaxVar>>,
     /// Ancestor summaries recorded at the virtual nodes.
-    pub virtuals: BTreeMap<FragmentId, FormulaVector<PaxVar>>,
+    pub virtuals: BTreeMap<FragmentId, CompactVector<PaxVar>>,
     /// Answers returned early.
     pub answers: Vec<AnswerItem>,
 }
@@ -351,7 +355,7 @@ fn fused_pass_on_fragment(
     init: &InitVector,
     root_is_context: bool,
     roots: &mut BTreeMap<FragmentId, QualVectors<PaxVar>>,
-    virtuals: &mut BTreeMap<FragmentId, FormulaVector<PaxVar>>,
+    virtuals: &mut BTreeMap<FragmentId, CompactVector<PaxVar>>,
 ) -> CombinedPassOutput<PaxVar> {
     let fid = fragment.id;
     let qlen = query.qvect_len();
@@ -391,7 +395,7 @@ fn combined_pass_on_fragment(
     query: &CompiledQuery,
     input: &CombinedFragmentInput,
     roots: &mut BTreeMap<FragmentId, QualVectors<PaxVar>>,
-    virtuals: &mut BTreeMap<FragmentId, FormulaVector<PaxVar>>,
+    virtuals: &mut BTreeMap<FragmentId, CompactVector<PaxVar>>,
     answers: &mut Vec<AnswerItem>,
 ) {
     let fid = fragment.id;
@@ -485,7 +489,7 @@ fn collect_on_fragment(
         answers.push(answer_item(fid, &fragment.tree, node, fragment.origin_of(node)));
     }
     for (node, formula) in candidates {
-        if formula.assign(&assignment).is_true() {
+        if formula.eval_with(&|v| assignment.get(v)) == Some(true) {
             answers.push(answer_item(fid, &fragment.tree, node, fragment.origin_of(node)));
         }
     }
@@ -542,7 +546,7 @@ pub struct BatchCombinedQueryResponse {
     /// Root `QV`/`QDV` vectors per evaluated fragment.
     pub roots: BTreeMap<FragmentId, QualVectors<PaxVar>>,
     /// Ancestor summaries recorded at the virtual nodes.
-    pub virtuals: BTreeMap<FragmentId, FormulaVector<PaxVar>>,
+    pub virtuals: BTreeMap<FragmentId, CompactVector<PaxVar>>,
     /// Answers returned early (exact init and no qualifiers).
     pub answers: Vec<AnswerItem>,
 }
@@ -714,7 +718,7 @@ pub struct MsgDeltaVect {
     pub roots: BTreeMap<FragmentId, QualVectors<PaxVar>>,
     /// Ancestor summaries recorded at the recomputed fragments' virtual
     /// nodes, keyed by the sub-fragment they stand for.
-    pub virtuals: BTreeMap<FragmentId, FormulaVector<PaxVar>>,
+    pub virtuals: BTreeMap<FragmentId, CompactVector<PaxVar>>,
 }
 
 /// A candidate answer shipped to the coordinator's incremental cache: the
@@ -993,13 +997,15 @@ mod tests {
             },
         );
         assert_eq!(response.roots.len(), 2);
-        assert!(site.scratch::<Vec<Option<FormulaVector<PaxVar>>>>("qv:0:0").is_some());
-        assert!(site.scratch::<Vec<Option<FormulaVector<PaxVar>>>>("qv:0:1").is_some());
+        assert!(site.scratch::<Vec<Option<CompactVector<PaxVar>>>>("qv:0:0").is_some());
+        assert!(site.scratch::<Vec<Option<CompactVector<PaxVar>>>>("qv:0:1").is_some());
         assert!(site.ops() > 0);
         // The leaf fragment F1 has no virtual nodes, so its root vectors are
-        // already fully resolved.
+        // already fully resolved — and therefore ship as packed bits.
         assert!(response.roots[&FragmentId(1)].qv.is_fully_resolved());
         assert!(response.roots[&FragmentId(1)].qdv.is_fully_resolved());
+        assert!(matches!(response.roots[&FragmentId(1)].qv, CompactVector::Bits(_)));
+        assert!(matches!(response.roots[&FragmentId(1)].qdv, CompactVector::Bits(_)));
     }
 
     #[test]
@@ -1014,7 +1020,7 @@ mod tests {
                 qual_values: vec![],
                 // The broker fragment's parent (a client under the root) is
                 // matched by prefix 1.
-                init: InitVector::Exact(vec![false, true, false, false]),
+                init: InitVector::Exact(BitVector::from_bools(&[false, true, false, false])),
                 root_is_context: false,
                 collect_answers_now: true,
             },
@@ -1120,7 +1126,7 @@ mod tests {
         fragments.insert(
             FragmentId(0),
             CombinedFragmentInput {
-                init: InitVector::Exact(vec![false; query.svect_len()]),
+                init: InitVector::Exact(BitVector::all_false(query.svect_len())),
                 root_is_context: true,
                 collect_answers_now: false,
             },

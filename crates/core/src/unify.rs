@@ -1,48 +1,164 @@
 //! The coordinator-side `evalFT` procedures: unifying the residual variables
 //! of the per-fragment partial answers over the fragment tree.
+//!
+//! The coordinator's working state is a [`DenseAssignment`]: instead of a
+//! `BTreeMap<PaxVar, bool>` with one tree node per `(fragment, vector,
+//! entry)` coordinate, every fragment owns three packed [`BitVector`]s (`QV`,
+//! `QDV`, `SV`) indexed directly by entry — a lookup is two array reads, and
+//! resolving a variable-free (leaf-fragment) vector is a word copy.
 
 use crate::vars::{PaxVar, QualVecKind};
-use paxml_boolex::{Assignment, FormulaVector};
+use paxml_boolex::{Assignment, BitVector, CompactVector};
 use paxml_fragment::{FragmentId, FragmentTree};
 use paxml_xpath::eval::QualVectors;
 use std::collections::BTreeMap;
+
+/// Per-fragment truth values of every residual variable, packed as bits.
+///
+/// `Qual` variables live in the `qv`/`qdv` vectors, `Sel` variables in
+/// `sel`; a whole vector is either entirely known (set in one unification
+/// step) or entirely unknown, which is exactly how `evalFT` proceeds.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct FragmentBits {
+    /// `QV` values of the fragment's root (None until Stage 1 resolves them).
+    qv: Option<BitVector>,
+    /// `QDV` values of the fragment's root.
+    qdv: Option<BitVector>,
+    /// `SV` (ancestor-summary) values of the fragment.
+    sel: Option<BitVector>,
+}
+
+/// A dense truth-value assignment for every `Qual`/`Sel` variable of a
+/// deployment, indexed by `(fragment, vector, entry)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DenseAssignment {
+    frags: Vec<FragmentBits>,
+}
+
+impl DenseAssignment {
+    /// An empty assignment for `fragments` fragments — nothing is known yet.
+    pub fn new(fragments: usize) -> Self {
+        DenseAssignment { frags: vec![FragmentBits::default(); fragments] }
+    }
+
+    /// Make sure `fragment` is addressable (assignments built before a
+    /// fragment tree grew can still be extended).
+    fn slot(&mut self, fragment: FragmentId) -> &mut FragmentBits {
+        let index = fragment.index();
+        if index >= self.frags.len() {
+            self.frags.resize(index + 1, FragmentBits::default());
+        }
+        &mut self.frags[index]
+    }
+
+    /// Record the resolved root `QV`/`QDV` values of a fragment, returning
+    /// whether anything changed (used by the incremental dirty-cone walk).
+    pub fn set_qual(&mut self, fragment: FragmentId, qv: BitVector, qdv: BitVector) -> bool {
+        let slot = self.slot(fragment);
+        let changed = slot.qv.as_ref() != Some(&qv) || slot.qdv.as_ref() != Some(&qdv);
+        slot.qv = Some(qv);
+        slot.qdv = Some(qdv);
+        changed
+    }
+
+    /// Record the resolved ancestor-summary (`Sel`) values of a fragment,
+    /// returning whether anything changed.
+    pub fn set_sel(&mut self, fragment: FragmentId, sel: BitVector) -> bool {
+        let slot = self.slot(fragment);
+        let changed = slot.sel.as_ref() != Some(&sel);
+        slot.sel = Some(sel);
+        changed
+    }
+
+    /// Look up a variable. `None` when the owning vector has not been
+    /// unified yet (or for PaX2-local placeholders, which never reach the
+    /// coordinator).
+    pub fn get(&self, var: &PaxVar) -> Option<bool> {
+        match var {
+            PaxVar::Qual { fragment, vector, entry } => {
+                let slot = self.frags.get(fragment.index())?;
+                let bits = match vector {
+                    QualVecKind::Qv => slot.qv.as_ref()?,
+                    QualVecKind::Qdv => slot.qdv.as_ref()?,
+                };
+                (*entry < bits.len()).then(|| bits.get(*entry))
+            }
+            PaxVar::Sel { fragment, entry } => {
+                let bits = self.frags.get(fragment.index())?.sel.as_ref()?;
+                (*entry < bits.len()).then(|| bits.get(*entry))
+            }
+            PaxVar::Local { .. } => None,
+        }
+    }
+
+    /// The resolved `Sel` bits of a fragment, if unified already.
+    pub fn sel_of(&self, fragment: FragmentId) -> Option<&BitVector> {
+        self.frags.get(fragment.index())?.sel.as_ref()
+    }
+
+    /// Restrict the assignment to the variables a particular fragment's site
+    /// needs: the `Qual` variables of the fragment's sub-fragments and the
+    /// fragment's own `Sel` variables. Keeps the per-message payload
+    /// `O(|Q|)` per fragment, as required by the communication bound.
+    pub fn restrict_for_fragment(
+        &self,
+        fragment: FragmentId,
+        sub_fragments: &[FragmentId],
+    ) -> Vec<(PaxVar, bool)> {
+        let mut out = Vec::new();
+        for &child in sub_fragments {
+            if let Some(slot) = self.frags.get(child.index()) {
+                for (kind, bits) in [(QualVecKind::Qv, &slot.qv), (QualVecKind::Qdv, &slot.qdv)] {
+                    if let Some(bits) = bits {
+                        for entry in 0..bits.len() {
+                            out.push((
+                                PaxVar::Qual { fragment: child, vector: kind, entry },
+                                bits.get(entry),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(sel) = self.sel_of(fragment) {
+            for entry in 0..sel.len() {
+                out.push((PaxVar::Sel { fragment, entry }, sel.get(entry)));
+            }
+        }
+        out
+    }
+}
 
 /// Bottom-up unification of Stage-1 (qualifier) vectors.
 ///
 /// `roots[f]` is the `QV`/`QDV` pair computed at the root of fragment `f`;
 /// its entries may mention the variables `Qual{c, …}` of `f`'s
-/// sub-fragments. Leaf fragments are variable-free, so walking the fragment
-/// tree bottom-up resolves every vector to constants (Example 3.2: `y₈`
-/// unifies with entry `q₈` of `QV_market`).
+/// sub-fragments. Leaf fragments are variable-free — they arrive as packed
+/// bits and resolve by a word copy — so walking the fragment tree bottom-up
+/// resolves every vector to constants (Example 3.2: `y₈` unifies with entry
+/// `q₈` of `QV_market`).
 ///
 /// Fragments missing from `roots` (pruned by the annotation optimization)
 /// resolve to all-false vectors; the pruning criterion guarantees their
 /// values are never consulted by an answer-determining formula.
 ///
-/// Returns the assignment giving a truth value to every `Qual` variable.
+/// Fills `assignment` with a truth value for every `Qual` variable.
 pub fn unify_qualifiers(
     ft: &FragmentTree,
     roots: &BTreeMap<FragmentId, QualVectors<PaxVar>>,
     qvect_len: usize,
-) -> Assignment<PaxVar> {
-    let mut assignment: Assignment<PaxVar> = Assignment::new();
+    assignment: &mut DenseAssignment,
+) {
     for fragment in ft.bottom_up_order() {
-        let resolved = match roots.get(&fragment) {
-            Some(vectors) => vectors.assign(&assignment),
-            None => QualVectors::all_false(qvect_len),
+        let (qv, qdv) = match roots.get(&fragment) {
+            Some(vectors) => {
+                let lookup = |var: &PaxVar| assignment.get(var);
+                (vectors.qv.resolve_bits(&lookup), vectors.qdv.resolve_bits(&lookup))
+            }
+            None => (BitVector::all_false(qvect_len), BitVector::all_false(qvect_len)),
         };
-        for i in 0..qvect_len {
-            assignment.set(
-                PaxVar::Qual { fragment, vector: QualVecKind::Qv, entry: i },
-                resolved.qv[i].as_const().unwrap_or(false),
-            );
-            assignment.set(
-                PaxVar::Qual { fragment, vector: QualVecKind::Qdv, entry: i },
-                resolved.qdv[i].as_const().unwrap_or(false),
-            );
-        }
+        assignment.set_qual(fragment, qv, qdv);
     }
-    assignment
 }
 
 /// Top-down unification of the selection (Stage-2) vectors.
@@ -51,70 +167,52 @@ pub fn unify_qualifiers(
 /// node standing for fragment `c` inside its parent fragment; it may mention
 /// the parent's own `Sel` variables (its unknown ancestors) and, for PaX2,
 /// `Qual` variables. `root_init` is the known initial vector of the root
-/// fragment (the implicit document node). `qual_assignment` resolves any
-/// `Qual` variables (pass an empty assignment for PaX3, where Stage 1
-/// already resolved the qualifiers).
+/// fragment (the implicit document node). `assignment` must already hold the
+/// `Qual` truth values (it is empty of them for qualifier-free queries,
+/// whose summaries mention no `Qual` variables).
 ///
-/// Returns the assignment giving a truth value to every `Sel` variable of
-/// every fragment (Example 3.4: `z₁` unifies to true via `SV_client`).
+/// Fills `assignment` with a truth value for every `Sel` variable of every
+/// fragment (Example 3.4: `z₁` unifies to true via `SV_client`).
 pub fn unify_selection(
     ft: &FragmentTree,
-    virtuals: &BTreeMap<FragmentId, FormulaVector<PaxVar>>,
+    virtuals: &BTreeMap<FragmentId, CompactVector<PaxVar>>,
     root_init: &[bool],
-    qual_assignment: &Assignment<PaxVar>,
-) -> Assignment<PaxVar> {
+    assignment: &mut DenseAssignment,
+) {
     let slen = root_init.len();
-    let mut assignment: Assignment<PaxVar> = Assignment::new();
-    assignment.extend(qual_assignment);
     // The root fragment's ancestor summary is known exactly.
-    for (i, &b) in root_init.iter().enumerate() {
-        assignment.set(PaxVar::Sel { fragment: FragmentId::ROOT, entry: i }, b);
-    }
+    assignment.set_sel(FragmentId::ROOT, BitVector::from_bools(root_init));
     for fragment in ft.top_down_order() {
         if fragment == FragmentId::ROOT {
             continue;
         }
-        match virtuals.get(&fragment) {
-            Some(vector) => {
-                let resolved = vector.assign(&assignment);
-                for i in 0..slen.min(resolved.len()) {
-                    assignment.set(
-                        PaxVar::Sel { fragment, entry: i },
-                        resolved[i].as_const().unwrap_or(false),
-                    );
-                }
-            }
-            None => {
-                // The parent fragment was pruned or did not record a vector:
-                // nothing above this fragment can match, so the summary is
-                // all-false.
-                for i in 0..slen {
-                    assignment.set(PaxVar::Sel { fragment, entry: i }, false);
-                }
-            }
-        }
+        let sel = match virtuals.get(&fragment) {
+            Some(vector) => resolve_summary(vector, slen, assignment),
+            // The parent fragment was pruned or did not record a vector:
+            // nothing above this fragment can match, so the summary is
+            // all-false.
+            None => BitVector::all_false(slen),
+        };
+        assignment.set_sel(fragment, sel);
     }
-    assignment
 }
 
-/// Restrict an assignment to the variables a particular fragment's site
-/// needs: the `Qual` variables of the fragment's sub-fragments and the
-/// fragment's own `Sel` variables. Keeps the per-message payload `O(|Q|)`
-/// per fragment, as required by the communication bound.
-pub fn restrict_for_fragment(
-    assignment: &Assignment<PaxVar>,
-    fragment: FragmentId,
-    sub_fragments: &[FragmentId],
-) -> Vec<(PaxVar, bool)> {
-    assignment
-        .iter()
-        .filter(|(var, _)| match var {
-            PaxVar::Qual { fragment: f, .. } => sub_fragments.contains(f),
-            PaxVar::Sel { fragment: f, .. } => *f == fragment,
-            PaxVar::Local { .. } => false,
-        })
-        .map(|(var, value)| (var.clone(), value))
-        .collect()
+/// Resolve a recorded ancestor summary to exactly `slen` constant bits
+/// under the current assignment (undecidable or missing entries are false).
+pub(crate) fn resolve_summary(
+    vector: &CompactVector<PaxVar>,
+    slen: usize,
+    assignment: &DenseAssignment,
+) -> BitVector {
+    let resolved = vector.resolve_bits(&|var| assignment.get(var));
+    if resolved.len() == slen {
+        return resolved;
+    }
+    let mut sel = BitVector::all_false(slen);
+    for i in 0..slen.min(resolved.len()) {
+        sel.set(i, resolved.get(i));
+    }
+    sel
 }
 
 /// Turn a wire-format variable/value list back into an assignment.
@@ -127,12 +225,12 @@ pub fn assignment_from_pairs(pairs: &[(PaxVar, bool)]) -> Assignment<PaxVar> {
 /// pass plugs in for each missing sub-fragment.
 pub fn fresh_qual_vectors(fragment: FragmentId, qvect_len: usize) -> QualVectors<PaxVar> {
     QualVectors {
-        qv: FormulaVector::fresh_variables(qvect_len, |entry| PaxVar::Qual {
+        qv: CompactVector::fresh_variables(qvect_len, |entry| PaxVar::Qual {
             fragment,
             vector: QualVecKind::Qv,
             entry,
         }),
-        qdv: FormulaVector::fresh_variables(qvect_len, |entry| PaxVar::Qual {
+        qdv: CompactVector::fresh_variables(qvect_len, |entry| PaxVar::Qual {
             fragment,
             vector: QualVecKind::Qdv,
             entry,
@@ -141,8 +239,8 @@ pub fn fresh_qual_vectors(fragment: FragmentId, qvect_len: usize) -> QualVectors
 }
 
 /// Helper: the fresh ancestor-summary vector for a non-root fragment.
-pub fn fresh_selection_vector(fragment: FragmentId, svect_len: usize) -> FormulaVector<PaxVar> {
-    FormulaVector::fresh_variables(svect_len, |entry| PaxVar::Sel { fragment, entry })
+pub fn fresh_selection_vector(fragment: FragmentId, svect_len: usize) -> CompactVector<PaxVar> {
+    CompactVector::fresh_variables(svect_len, |entry| PaxVar::Sel { fragment, entry })
 }
 
 #[cfg(test)]
@@ -170,6 +268,8 @@ mod tests {
         let mut f2 = QualVectors::all_false(qlen);
         f2.qv.set(7, BoolExpr::constant(true));
         f2.qdv.set(7, BoolExpr::constant(true));
+        // A leaf fragment's vectors are variable-free: packed bits.
+        assert!(matches!(f2.qv, CompactVector::Bits(_)));
         roots.insert(FragmentId(2), f2);
 
         let mut f1 = QualVectors::all_false(qlen);
@@ -181,10 +281,12 @@ mod tests {
                 entry: 7,
             }),
         );
+        assert!(matches!(f1.qv, CompactVector::Formulas(_)));
         roots.insert(FragmentId(1), f1);
         roots.insert(FragmentId(0), QualVectors::all_false(qlen));
 
-        let assignment = unify_qualifiers(&ft, &roots, qlen);
+        let mut assignment = DenseAssignment::new(ft.len());
+        unify_qualifiers(&ft, &roots, qlen, &mut assignment);
         assert_eq!(
             assignment.get(&PaxVar::Qual {
                 fragment: FragmentId(2),
@@ -215,7 +317,8 @@ mod tests {
     fn missing_fragments_default_to_false() {
         let ft = two_level_ft();
         let roots = BTreeMap::new();
-        let assignment = unify_qualifiers(&ft, &roots, 3);
+        let mut assignment = DenseAssignment::new(ft.len());
+        unify_qualifiers(&ft, &roots, 3, &mut assignment);
         for f in 0..3 {
             for e in 0..3 {
                 assert_eq!(
@@ -238,19 +341,20 @@ mod tests {
         // to exactly that.
         let ft = two_level_ft();
         let slen = 4;
-        let mut virtuals: BTreeMap<FragmentId, FormulaVector<PaxVar>> = BTreeMap::new();
-        let mut sv_client: FormulaVector<PaxVar> = FormulaVector::all_false(slen);
+        let mut virtuals: BTreeMap<FragmentId, CompactVector<PaxVar>> = BTreeMap::new();
+        let mut sv_client: CompactVector<PaxVar> = CompactVector::all_false(slen);
         sv_client.set(1, BoolExpr::constant(true));
         virtuals.insert(FragmentId(1), sv_client);
         // F1 records, at its own virtual node for F2, a vector depending on
         // its z variables: entry 2 = z[F1.1] (its broker matched iff the
         // parent's client prefix was matched).
-        let mut sv_broker: FormulaVector<PaxVar> = FormulaVector::all_false(slen);
+        let mut sv_broker: CompactVector<PaxVar> = CompactVector::all_false(slen);
         sv_broker.set(2, BoolExpr::var(PaxVar::Sel { fragment: FragmentId(1), entry: 1 }));
         virtuals.insert(FragmentId(2), sv_broker);
 
         let root_init = vec![false, false, false, false];
-        let assignment = unify_selection(&ft, &virtuals, &root_init, &Assignment::new());
+        let mut assignment = DenseAssignment::new(ft.len());
+        unify_selection(&ft, &virtuals, &root_init, &mut assignment);
         assert_eq!(assignment.get(&PaxVar::Sel { fragment: FragmentId(1), entry: 1 }), Some(true));
         assert_eq!(assignment.get(&PaxVar::Sel { fragment: FragmentId(2), entry: 2 }), Some(true));
         assert_eq!(assignment.get(&PaxVar::Sel { fragment: FragmentId(2), entry: 1 }), Some(false));
@@ -258,24 +362,41 @@ mod tests {
 
     #[test]
     fn restriction_keeps_only_the_relevant_variables() {
-        let mut assignment: Assignment<PaxVar> = Assignment::new();
-        assignment.set(PaxVar::Sel { fragment: FragmentId(1), entry: 0 }, true);
-        assignment.set(PaxVar::Sel { fragment: FragmentId(2), entry: 0 }, true);
-        assignment
-            .set(PaxVar::Qual { fragment: FragmentId(2), vector: QualVecKind::Qv, entry: 3 }, true);
-        assignment.set(
-            PaxVar::Qual { fragment: FragmentId(3), vector: QualVecKind::Qv, entry: 3 },
-            false,
+        let mut assignment = DenseAssignment::new(4);
+        assignment.set_sel(FragmentId(1), BitVector::from_bools(&[true]));
+        assignment.set_sel(FragmentId(2), BitVector::from_bools(&[true]));
+        assignment.set_qual(
+            FragmentId(2),
+            BitVector::from_bools(&[false]),
+            BitVector::from_bools(&[true]),
         );
-        let restricted = restrict_for_fragment(&assignment, FragmentId(1), &[FragmentId(2)]);
-        assert_eq!(restricted.len(), 2);
+        assignment.set_qual(
+            FragmentId(3),
+            BitVector::from_bools(&[true]),
+            BitVector::from_bools(&[false]),
+        );
+        let restricted = assignment.restrict_for_fragment(FragmentId(1), &[FragmentId(2)]);
+        // F2's QV+QDV entries plus F1's own Sel entry.
+        assert_eq!(restricted.len(), 3);
         let back = assignment_from_pairs(&restricted);
         assert_eq!(back.get(&PaxVar::Sel { fragment: FragmentId(1), entry: 0 }), Some(true));
         assert_eq!(
-            back.get(&PaxVar::Qual { fragment: FragmentId(2), vector: QualVecKind::Qv, entry: 3 }),
+            back.get(&PaxVar::Qual { fragment: FragmentId(2), vector: QualVecKind::Qdv, entry: 0 }),
             Some(true)
         );
         assert_eq!(back.get(&PaxVar::Sel { fragment: FragmentId(2), entry: 0 }), None);
+    }
+
+    #[test]
+    fn unknown_vectors_and_local_vars_are_unset() {
+        let assignment = DenseAssignment::new(2);
+        assert_eq!(assignment.get(&PaxVar::Sel { fragment: FragmentId(0), entry: 0 }), None);
+        assert_eq!(
+            assignment.get(&PaxVar::Local { fragment: FragmentId(0), node: 1, entry: 0 }),
+            None
+        );
+        // Out-of-range fragments are simply unknown, not a panic.
+        assert_eq!(assignment.get(&PaxVar::Sel { fragment: FragmentId(9), entry: 0 }), None);
     }
 
     #[test]

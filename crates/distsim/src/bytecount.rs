@@ -7,6 +7,13 @@
 //! counter as a [`serde::Serializer`] means any `Serialize` message type is
 //! measured with zero extra code, and no serialization-format dependency is
 //! needed.
+//!
+//! Integers are charged at **varint** widths (LEB128: 7 payload bits per
+//! byte; signed values zig-zag first), and sequence/map/string lengths are
+//! charged as varints too — so a small length or id costs one byte, exactly
+//! like the compact binary encodings (protobuf, postcard) this counter
+//! stands in for. Floats keep their fixed widths; chars are charged at
+//! their UTF-8 length (1–4 bytes).
 
 use serde::ser::{self, Serialize};
 use std::fmt::Display;
@@ -41,6 +48,20 @@ struct ByteCounter {
     bytes: u64,
 }
 
+/// Bytes a LEB128 varint needs for `v`: 7 payload bits per byte.
+fn varint_len(v: u64) -> u64 {
+    if v == 0 {
+        1
+    } else {
+        (64 - u64::from(v.leading_zeros())).div_ceil(7)
+    }
+}
+
+/// Zig-zag an i64 so small-magnitude values stay small varints.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
 impl ByteCounter {
     fn add(&mut self, n: u64) {
         self.bytes += n;
@@ -66,32 +87,32 @@ impl ser::Serializer for &mut ByteCounter {
         self.add(1);
         Ok(())
     }
-    fn serialize_i16(self, _v: i16) -> Result<(), CountError> {
-        self.add(2);
+    fn serialize_i16(self, v: i16) -> Result<(), CountError> {
+        self.add(varint_len(zigzag(v as i64)));
         Ok(())
     }
-    fn serialize_i32(self, _v: i32) -> Result<(), CountError> {
-        self.add(4);
+    fn serialize_i32(self, v: i32) -> Result<(), CountError> {
+        self.add(varint_len(zigzag(v as i64)));
         Ok(())
     }
-    fn serialize_i64(self, _v: i64) -> Result<(), CountError> {
-        self.add(8);
+    fn serialize_i64(self, v: i64) -> Result<(), CountError> {
+        self.add(varint_len(zigzag(v)));
         Ok(())
     }
     fn serialize_u8(self, _v: u8) -> Result<(), CountError> {
         self.add(1);
         Ok(())
     }
-    fn serialize_u16(self, _v: u16) -> Result<(), CountError> {
-        self.add(2);
+    fn serialize_u16(self, v: u16) -> Result<(), CountError> {
+        self.add(varint_len(v as u64));
         Ok(())
     }
-    fn serialize_u32(self, _v: u32) -> Result<(), CountError> {
-        self.add(4);
+    fn serialize_u32(self, v: u32) -> Result<(), CountError> {
+        self.add(varint_len(v as u64));
         Ok(())
     }
-    fn serialize_u64(self, _v: u64) -> Result<(), CountError> {
-        self.add(8);
+    fn serialize_u64(self, v: u64) -> Result<(), CountError> {
+        self.add(varint_len(v));
         Ok(())
     }
     fn serialize_f32(self, _v: f32) -> Result<(), CountError> {
@@ -102,17 +123,17 @@ impl ser::Serializer for &mut ByteCounter {
         self.add(8);
         Ok(())
     }
-    fn serialize_char(self, _v: char) -> Result<(), CountError> {
-        self.add(4);
+    fn serialize_char(self, v: char) -> Result<(), CountError> {
+        self.add(v.len_utf8() as u64);
         Ok(())
     }
     fn serialize_str(self, v: &str) -> Result<(), CountError> {
-        // length prefix + payload
-        self.add(4 + v.len() as u64);
+        // varint length prefix + payload
+        self.add(varint_len(v.len() as u64) + v.len() as u64);
         Ok(())
     }
     fn serialize_bytes(self, v: &[u8]) -> Result<(), CountError> {
-        self.add(4 + v.len() as u64);
+        self.add(varint_len(v.len() as u64) + v.len() as u64);
         Ok(())
     }
     fn serialize_none(self) -> Result<(), CountError> {
@@ -155,8 +176,8 @@ impl ser::Serializer for &mut ByteCounter {
         self.add(1);
         value.serialize(self)
     }
-    fn serialize_seq(self, _len: Option<usize>) -> Result<Self, CountError> {
-        self.add(4);
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self, CountError> {
+        self.add(len.map_or(1, |n| varint_len(n as u64)));
         Ok(self)
     }
     fn serialize_tuple(self, _len: usize) -> Result<Self, CountError> {
@@ -175,8 +196,8 @@ impl ser::Serializer for &mut ByteCounter {
         self.add(1);
         Ok(self)
     }
-    fn serialize_map(self, _len: Option<usize>) -> Result<Self, CountError> {
-        self.add(4);
+    fn serialize_map(self, len: Option<usize>) -> Result<Self, CountError> {
+        self.add(len.map_or(1, |n| varint_len(n as u64)));
         Ok(self)
     }
     fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self, CountError> {
@@ -272,20 +293,26 @@ mod tests {
     }
 
     #[test]
-    fn primitives_have_fixed_sizes() {
+    fn primitives_have_varint_sizes() {
         assert_eq!(encoded_size(&true), 1);
-        assert_eq!(encoded_size(&7u32), 4);
-        assert_eq!(encoded_size(&7u64), 8);
+        assert_eq!(encoded_size(&7u32), 1);
+        assert_eq!(encoded_size(&300u32), 2);
+        assert_eq!(encoded_size(&7u64), 1);
+        assert_eq!(encoded_size(&u64::MAX), 10);
+        assert_eq!(encoded_size(&-1i64), 1, "zig-zag keeps small negatives small");
+        assert_eq!(encoded_size(&-64i32), 1);
+        assert_eq!(encoded_size(&64i32), 2);
         assert_eq!(encoded_size(&1.5f64), 8);
-        assert_eq!(encoded_size(&'x'), 4);
-        assert_eq!(encoded_size("ab"), 4 + 2);
+        assert_eq!(encoded_size(&'x'), 1);
+        assert_eq!(encoded_size(&'€'), 3);
+        assert_eq!(encoded_size("ab"), 1 + 2);
     }
 
     #[test]
     fn structs_sum_their_fields() {
         let e = Example { id: 1, name: "hello".into(), values: vec![1, 2, 3], flag: Some(true) };
-        // 4 (id) + 4+5 (name) + 4 + 3*8 (values) + 1+1 (flag)
-        assert_eq!(encoded_size(&e), 4 + 9 + 4 + 24 + 2);
+        // 1 (id) + 1+5 (name) + 1 + 3*1 (values) + 1+1 (flag)
+        assert_eq!(encoded_size(&e), 1 + 6 + 4 + 2);
     }
 
     #[test]
@@ -304,8 +331,8 @@ mod tests {
             C { x: u64 },
         }
         assert_eq!(encoded_size(&E::A), 1);
-        assert_eq!(encoded_size(&E::B(1)), 5);
-        assert_eq!(encoded_size(&E::C { x: 1 }), 9);
+        assert_eq!(encoded_size(&E::B(1)), 2);
+        assert_eq!(encoded_size(&E::C { x: 1 }), 2);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::eval::{evaluation_context, qualifier_pass, root_context_vector, selec
 use crate::normalize::normalize;
 use crate::parse;
 use crate::Query;
-use paxml_boolex::BoolExpr;
+use paxml_boolex::{BoolExpr, CompactVector};
 use paxml_xml::{NodeId, XmlTree};
 use serde::{Deserialize, Serialize};
 
@@ -54,14 +54,14 @@ pub fn evaluate_compiled(tree: &XmlTree, query: &CompiledQuery) -> CentralizedRe
     };
 
     // Pass 2 — selection path.
-    let init = root_context_vector::<NoVar>(query);
+    let init: CompactVector<NoVar> = CompactVector::from_bools(&root_context_vector(query));
     let context = evaluation_context(query, tree.root());
     let mut qual_value = |v: NodeId, e: QEntryId| -> BoolExpr<NoVar> {
         match &qual {
             Some(q) => q.node_qv[v.index()]
                 .as_ref()
-                .expect("qualifier pass covered every reachable node")[e]
-                .clone(),
+                .expect("qualifier pass covered every reachable node")
+                .expr(e),
             None => BoolExpr::constant(false),
         }
     };

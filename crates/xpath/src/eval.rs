@@ -17,16 +17,112 @@
 //! All passes are generic over the variable type `V` so that the distributed
 //! layer can use globally-unique variable names while the centralized
 //! evaluator uses an uninhabited variable type (everything is constant).
+//!
+//! # Vector representation
+//!
+//! The kernel keeps per-node vectors in a two-tier form. At every node that
+//! is *not* adjacent to a virtual node, all entries are already known truth
+//! values, so vectors stay as packed [`BitVector`]s: the child-fold loops
+//! run word-wise (64 entries per AND/OR instruction) and the constant path
+//! performs **zero heap allocations per entry**. Only once a virtual node's
+//! fresh variables flow into a vector does it switch to per-entry formulas —
+//! and those formulas live as interned [`ExprId`]s in a pass-local
+//! [`FormulaArena`], so combining, assigning and locally unifying the
+//! `O(k)` residual formulas never clones a subtree. Pass outputs are
+//! exported as [`CompactVector`]s (bits for fully-constant vectors,
+//! self-contained [`BoolExpr`] trees otherwise), which is also the wire
+//! format: a variable-free leaf fragment ships `⌈len/64⌉` words per vector.
 
 use crate::compile::{CompiledQuery, QAxis, QEntry, QEntryId, SelItem};
-use paxml_boolex::{Assignment, BoolExpr, FormulaVector, Substitution};
+use paxml_boolex::{BitVector, BoolExpr, CompactVector, ExprId, FormulaArena};
 use paxml_xml::{NodeId, XmlTree};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::hash::Hash;
 
 /// Trait bound shorthand for formula variables.
 pub trait VarLike: Clone + Eq + Ord + Hash {}
 impl<T: Clone + Eq + Ord + Hash> VarLike for T {}
+
+/// The kernel's working vector: packed bits until a variable is introduced,
+/// interned formula ids afterwards. Cloning either arm copies a flat `Vec`
+/// of machine words — never a formula tree.
+#[derive(Debug, Clone)]
+enum AVec {
+    /// Every entry is a known constant.
+    Bits(BitVector),
+    /// At least one entry is symbolic; entries are ids into the pass arena.
+    Ids(Vec<ExprId>),
+}
+
+impl AVec {
+    fn all_false(len: usize) -> AVec {
+        AVec::Bits(BitVector::all_false(len))
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            AVec::Bits(b) => b.len(),
+            AVec::Ids(v) => v.len(),
+        }
+    }
+
+    /// The entry as an arena id (constants use the two fixed ids).
+    fn id(&self, index: usize) -> ExprId {
+        match self {
+            AVec::Bits(b) => ExprId::of_const(b.get(index)),
+            AVec::Ids(v) => v[index],
+        }
+    }
+
+    /// Overwrite an entry, promoting to the ids arm when a symbolic id
+    /// lands in a bits vector.
+    fn set(&mut self, index: usize, id: ExprId) {
+        match self {
+            AVec::Bits(b) => match id.as_const() {
+                Some(v) => b.set(index, v),
+                None => {
+                    let mut ids: Vec<ExprId> = b.iter().map(ExprId::of_const).collect();
+                    ids[index] = id;
+                    *self = AVec::Ids(ids);
+                }
+            },
+            AVec::Ids(v) => v[index] = id,
+        }
+    }
+
+    /// `self[i] |= other[i]` for every entry — word-wise when both sides
+    /// are constant, which is the overwhelmingly common case.
+    fn or_into<V: VarLike>(&mut self, other: &AVec, arena: &mut FormulaArena<V>) {
+        if let (AVec::Bits(a), AVec::Bits(b)) = (&mut *self, other) {
+            a.or_assign(b);
+            return;
+        }
+        for i in 0..self.len() {
+            let id = arena.or(self.id(i), other.id(i));
+            self.set(i, id);
+        }
+    }
+
+    /// Import a wire-format vector into the pass arena.
+    fn from_compact<V: VarLike>(vector: &CompactVector<V>, arena: &mut FormulaArena<V>) -> AVec {
+        match vector {
+            CompactVector::Bits(b) => AVec::Bits(b.clone()),
+            CompactVector::Formulas(f) => AVec::Ids(f.iter().map(|e| arena.from_expr(e)).collect()),
+        }
+    }
+
+    /// Export to the wire format (bits move without conversion; formulas
+    /// are materialized as self-contained trees).
+    fn into_compact<V: VarLike>(self, arena: &FormulaArena<V>) -> CompactVector<V> {
+        match self {
+            AVec::Bits(b) => CompactVector::Bits(b),
+            AVec::Ids(ids) => {
+                CompactVector::from_exprs(ids.iter().map(|&id| arena.to_expr(id)).collect())
+            }
+        }
+    }
+}
 
 /// The pair of vectors a fragment publishes for its root and that a parent
 /// fragment needs for each of its virtual nodes: the node's own `QV` vector
@@ -39,25 +135,25 @@ impl<T: Clone + Eq + Ord + Hash> VarLike for T {}
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QualVectors<V: Ord> {
     /// `QV` — the value of every `QVect` entry at the node.
-    pub qv: FormulaVector<V>,
+    pub qv: CompactVector<V>,
     /// `QDV` — for every entry, "true at the node or at some descendant".
-    pub qdv: FormulaVector<V>,
+    pub qdv: CompactVector<V>,
 }
 
 impl<V: VarLike> QualVectors<V> {
     /// Vectors of the right length with every entry `false`.
     pub fn all_false(len: usize) -> Self {
-        QualVectors { qv: FormulaVector::all_false(len), qdv: FormulaVector::all_false(len) }
+        QualVectors { qv: CompactVector::all_false(len), qdv: CompactVector::all_false(len) }
+    }
+
+    /// Apply a partial truth-value lookup to both vectors.
+    pub fn assign_with(&self, lookup: &impl Fn(&V) -> Option<bool>) -> Self {
+        QualVectors { qv: self.qv.assign_with(lookup), qdv: self.qdv.assign_with(lookup) }
     }
 
     /// Apply an assignment to both vectors.
-    pub fn assign(&self, env: &Assignment<V>) -> Self {
-        QualVectors { qv: self.qv.assign(env), qdv: self.qdv.assign(env) }
-    }
-
-    /// Apply a substitution to both vectors.
-    pub fn substitute(&self, env: &Substitution<V>) -> Self {
-        QualVectors { qv: self.qv.substitute(env), qdv: self.qdv.substitute(env) }
+    pub fn assign(&self, env: &paxml_boolex::Assignment<V>) -> Self {
+        self.assign_with(&|v| env.get(v))
     }
 
     /// Are both vectors free of variables?
@@ -72,7 +168,7 @@ pub struct QualifierPassOutput<V: Ord> {
     /// Per-node `QV` vectors, indexed by the node's arena index. Entries are
     /// `None` for nodes outside the evaluated subtree. Virtual nodes hold the
     /// vectors supplied by the `virtual_vectors` callback.
-    pub node_qv: Vec<Option<FormulaVector<V>>>,
+    pub node_qv: Vec<Option<CompactVector<V>>>,
     /// The `QV`/`QDV` vectors of the subtree root — what a fragment sends to
     /// the coordinator at the end of Stage 1.
     pub root: QualVectors<V>,
@@ -94,71 +190,73 @@ pub fn qualifier_pass<V: VarLike>(
     mut virtual_vectors: impl FnMut(NodeId) -> QualVectors<V>,
 ) -> QualifierPassOutput<V> {
     let qlen = query.qvect_len();
-    let mut node_qv: Vec<Option<FormulaVector<V>>> = vec![None; tree.node_count()];
-    let mut node_qdv: Vec<Option<FormulaVector<V>>> = vec![None; tree.node_count()];
+    let mut arena: FormulaArena<V> = FormulaArena::new();
+    let mut node_qv: Vec<Option<AVec>> = vec![None; tree.node_count()];
+    let mut node_qdv: Vec<Option<AVec>> = vec![None; tree.node_count()];
     let mut ops: u64 = 0;
 
     for v in tree.post_order(root) {
         if tree.is_virtual(v) {
             let vectors = virtual_vectors(v);
             debug_assert_eq!(vectors.qv.len(), qlen);
-            node_qv[v.index()] = Some(vectors.qv);
-            node_qdv[v.index()] = Some(vectors.qdv);
+            node_qv[v.index()] = Some(AVec::from_compact(&vectors.qv, &mut arena));
+            node_qdv[v.index()] = Some(AVec::from_compact(&vectors.qdv, &mut arena));
             ops += qlen as u64;
             continue;
         }
 
         // Fold the children's vectors into "some child has entry i true"
         // (the paper's QCV) and "some child's subtree has entry i true".
-        let mut child_any_qv: FormulaVector<V> = FormulaVector::all_false(qlen);
-        let mut child_any_qdv: FormulaVector<V> = FormulaVector::all_false(qlen);
+        let mut child_any_qv = AVec::all_false(qlen);
+        let mut child_any_qdv = AVec::all_false(qlen);
         for c in tree.children(v) {
             let cqv = node_qv[c.index()].as_ref().expect("children processed before parent");
             let cqdv = node_qdv[c.index()].as_ref().expect("children processed before parent");
-            for i in 0..qlen {
-                child_any_qv.set(i, BoolExpr::or(child_any_qv[i].clone(), cqv[i].clone()));
-                child_any_qdv.set(i, BoolExpr::or(child_any_qdv[i].clone(), cqdv[i].clone()));
-                ops += 2;
-            }
+            child_any_qv.or_into(cqv, &mut arena);
+            child_any_qdv.or_into(cqdv, &mut arena);
+            ops += 2 * qlen as u64;
         }
 
-        let mut qv: FormulaVector<V> = FormulaVector::all_false(qlen);
+        let mut qv = AVec::all_false(qlen);
         for (i, entry) in query.qvect.iter().enumerate() {
-            let value = eval_qentry(tree, v, entry, &qv, &child_any_qv, &child_any_qdv);
+            let value = eval_qentry(&mut arena, tree, v, entry, &qv, &child_any_qv, &child_any_qdv);
             qv.set(i, value);
             ops += 1;
         }
 
         // QDV_v(i) = QV_v(i) ∨ (some child's QDV has i).
-        let mut qdv: FormulaVector<V> = FormulaVector::all_false(qlen);
-        for i in 0..qlen {
-            qdv.set(i, BoolExpr::or(qv[i].clone(), child_any_qdv[i].clone()));
-            ops += 1;
-        }
+        let mut qdv = child_any_qdv;
+        qdv.or_into(&qv, &mut arena);
+        ops += qlen as u64;
 
         node_qv[v.index()] = Some(qv);
         node_qdv[v.index()] = Some(qdv);
     }
 
-    let root_qv = node_qv[root.index()].clone().unwrap_or_else(|| FormulaVector::all_false(qlen));
-    let root_qdv = node_qdv[root.index()].clone().unwrap_or_else(|| FormulaVector::all_false(qlen));
-    QualifierPassOutput { node_qv, root: QualVectors { qv: root_qv, qdv: root_qdv }, ops }
+    let root_qv = node_qv[root.index()].clone().unwrap_or_else(|| AVec::all_false(qlen));
+    let root_qdv = node_qdv[root.index()].clone().unwrap_or_else(|| AVec::all_false(qlen));
+    let root = QualVectors { qv: root_qv.into_compact(&arena), qdv: root_qdv.into_compact(&arena) };
+    let node_qv: Vec<Option<CompactVector<V>>> =
+        node_qv.into_iter().map(|av| av.map(|av| av.into_compact(&arena))).collect();
+    QualifierPassOutput { node_qv, root, ops }
 }
 
 /// Evaluate one `QVect` entry at a node, given the already-computed earlier
-/// entries at the same node (`qv_so_far`) and the folded child vectors.
+/// entries at the same node (`qv_so_far`) and the folded child vectors. On
+/// the constant path this is pure integer work — no allocation at all.
 fn eval_qentry<V: VarLike>(
+    arena: &mut FormulaArena<V>,
     tree: &XmlTree,
     v: NodeId,
     entry: &QEntry,
-    qv_so_far: &FormulaVector<V>,
-    child_any_qv: &FormulaVector<V>,
-    child_any_qdv: &FormulaVector<V>,
-) -> BoolExpr<V> {
+    qv_so_far: &AVec,
+    child_any_qv: &AVec,
+    child_any_qdv: &AVec,
+) -> ExprId {
     match entry {
-        QEntry::LabelTest(label) => BoolExpr::constant(tree.label(v) == Some(label.as_str())),
-        QEntry::ElementTest => BoolExpr::constant(tree.is_element(v)),
-        QEntry::TextTest(s) => BoolExpr::constant(tree.text_value(v) == Some(s.as_str())),
+        QEntry::LabelTest(label) => ExprId::of_const(tree.label(v) == Some(label.as_str())),
+        QEntry::ElementTest => ExprId::of_const(tree.is_element(v)),
+        QEntry::TextTest(s) => ExprId::of_const(tree.text_value(v) == Some(s.as_str())),
         QEntry::ValTest(op, n) => {
             let holds = tree
                 .text_value(v)
@@ -169,27 +267,33 @@ fn eval_qentry<V: VarLike>(
                 })
                 .map(|value| op.apply(value, *n))
                 .unwrap_or(false);
-            BoolExpr::constant(holds)
+            ExprId::of_const(holds)
         }
         QEntry::Step { test, quals, next } => {
-            let mut conjuncts = vec![qv_so_far[*test].clone()];
-            for q in quals {
-                conjuncts.push(qv_so_far[*q].clone());
-            }
-            match next {
-                None => {}
-                Some((QAxis::Child, e)) => conjuncts.push(child_any_qv[*e].clone()),
-                Some((QAxis::Descendant, e)) => conjuncts.push(child_any_qdv[*e].clone()),
-            }
-            BoolExpr::and_all(conjuncts)
+            let next_id = match next {
+                None => None,
+                Some((QAxis::Child, e)) => Some(child_any_qv.id(*e)),
+                Some((QAxis::Descendant, e)) => Some(child_any_qdv.id(*e)),
+            };
+            // One n-ary conjunction: no intermediate `And` node is interned
+            // for the prefix of a longer conjunct list (and on the constant
+            // path `and_all` folds without touching the arena at all).
+            arena.and_all(
+                std::iter::once(qv_so_far.id(*test))
+                    .chain(quals.iter().map(|q| qv_so_far.id(*q)))
+                    .chain(next_id),
+            )
         }
         QEntry::Exists { axis, entry } => match axis {
-            QAxis::Child => child_any_qv[*entry].clone(),
-            QAxis::Descendant => child_any_qdv[*entry].clone(),
+            QAxis::Child => child_any_qv.id(*entry),
+            QAxis::Descendant => child_any_qdv.id(*entry),
         },
-        QEntry::Not(e) => BoolExpr::not(qv_so_far[*e].clone()),
-        QEntry::And(es) => BoolExpr::and_all(es.iter().map(|e| qv_so_far[*e].clone())),
-        QEntry::Or(es) => BoolExpr::or_all(es.iter().map(|e| qv_so_far[*e].clone())),
+        QEntry::Not(e) => {
+            let inner = qv_so_far.id(*e);
+            arena.not(inner)
+        }
+        QEntry::And(es) => arena.and_all(es.iter().map(|e| qv_so_far.id(*e))),
+        QEntry::Or(es) => arena.or_all(es.iter().map(|e| qv_so_far.id(*e))),
     }
 }
 
@@ -207,16 +311,13 @@ fn eval_qentry<V: VarLike>(
 /// For a relative query the context is the root element itself; pass the
 /// root as the `context` argument of [`selection_pass`] (see
 /// [`evaluation_context`]).
-pub fn root_context_vector<V: VarLike>(query: &CompiledQuery) -> FormulaVector<V> {
-    let mut sv = FormulaVector::all_false(query.svect_len());
+pub fn root_context_vector(query: &CompiledQuery) -> Vec<bool> {
+    let mut sv = vec![false; query.svect_len()];
     if query.absolute {
-        sv.set(0, BoolExpr::constant(true));
+        sv[0] = true;
         for (idx, item) in query.sel_items.iter().enumerate() {
             match item {
-                SelItem::DescendantOrSelf => {
-                    let prev = sv[idx].clone();
-                    sv.set(idx + 1, prev);
-                }
+                SelItem::DescendantOrSelf => sv[idx + 1] = sv[idx],
                 _ => break,
             }
         }
@@ -244,7 +345,7 @@ pub struct SelectionPassOutput<V: Ord> {
     pub candidates: Vec<(NodeId, BoolExpr<V>)>,
     /// For every virtual node: the ancestor-summary `SV` vector that the
     /// corresponding sub-fragment needs as its initial stack vector.
-    pub virtual_vectors: Vec<(NodeId, FormulaVector<V>)>,
+    pub virtual_vectors: Vec<(NodeId, CompactVector<V>)>,
     /// Elementary operations performed.
     pub ops: u64,
 }
@@ -263,40 +364,45 @@ pub fn selection_pass<V: VarLike>(
     tree: &XmlTree,
     root: NodeId,
     query: &CompiledQuery,
-    init: FormulaVector<V>,
+    init: CompactVector<V>,
     context: Option<NodeId>,
     qual_value: &mut impl FnMut(NodeId, QEntryId) -> BoolExpr<V>,
 ) -> SelectionPassOutput<V> {
     let slen = query.svect_len();
     debug_assert_eq!(init.len(), slen, "init vector must have |SVect| entries");
+    let mut arena: FormulaArena<V> = FormulaArena::new();
     let mut out = SelectionPassOutput {
         answers: Vec::new(),
         candidates: Vec::new(),
         virtual_vectors: Vec::new(),
         ops: 0,
     };
+    let mut qual_id = |arena: &mut FormulaArena<V>, v: NodeId, e: QEntryId| -> ExprId {
+        arena.from_expr(&qual_value(v, e))
+    };
 
     // Explicit DFS stack carrying the parent's (summarised) SV vector.
-    let mut stack: Vec<(NodeId, FormulaVector<V>)> = vec![(root, init)];
+    let init = AVec::from_compact(&init, &mut arena);
+    let mut stack: Vec<(NodeId, AVec)> = vec![(root, init)];
     while let Some((v, parent_sv)) = stack.pop() {
         if tree.is_virtual(v) {
             // The stack-top summarises everything known about the ancestors
             // of the missing fragment's root — exactly what that fragment
             // needs as its initial vector (§3.2, Example 3.4).
-            out.virtual_vectors.push((v, parent_sv));
+            out.virtual_vectors.push((v, parent_sv.into_compact(&arena)));
             out.ops += slen as u64;
             continue;
         }
 
-        let sv = compute_sv(tree, v, query, &parent_sv, context, qual_value);
+        let sv = compute_sv(&mut arena, tree, v, query, &parent_sv, context, &mut qual_id);
         out.ops += slen as u64;
 
         if tree.is_element(v) || query.sel_items.is_empty() {
-            let last = sv.last();
-            if last.is_true() {
+            let last = sv.id(slen - 1);
+            if last == ExprId::TRUE {
                 out.answers.push(v);
-            } else if last.has_variables() {
-                out.candidates.push((v, last.clone()));
+            } else if !last.is_const() {
+                out.candidates.push((v, arena.to_expr(last)));
             }
         }
 
@@ -310,35 +416,47 @@ pub fn selection_pass<V: VarLike>(
 }
 
 /// Compute the `SV` vector of a node from its parent's vector.
-pub(crate) fn compute_sv<V: VarLike>(
+fn compute_sv<V: VarLike>(
+    arena: &mut FormulaArena<V>,
     tree: &XmlTree,
     v: NodeId,
     query: &CompiledQuery,
-    parent_sv: &FormulaVector<V>,
+    parent_sv: &AVec,
     context: Option<NodeId>,
-    qual_value: &mut impl FnMut(NodeId, QEntryId) -> BoolExpr<V>,
-) -> FormulaVector<V> {
+    qual_id: &mut impl FnMut(&mut FormulaArena<V>, NodeId, QEntryId) -> ExprId,
+) -> AVec {
     let slen = query.svect_len();
-    let mut sv: FormulaVector<V> = FormulaVector::all_false(slen);
+    let mut sv = AVec::all_false(slen);
     // Entry 0: the empty prefix — true only at the evaluation context.
-    sv.set(0, BoolExpr::constant(Some(v) == context));
+    sv.set(0, ExprId::of_const(Some(v) == context));
     for (idx, item) in query.sel_items.iter().enumerate() {
         let i = idx + 1;
         let value = match item {
-            SelItem::Label(l) => BoolExpr::and(
-                parent_sv[i - 1].clone(),
-                BoolExpr::constant(tree.label(v) == Some(l.as_str())),
-            ),
-            SelItem::Wildcard => {
-                BoolExpr::and(parent_sv[i - 1].clone(), BoolExpr::constant(tree.is_element(v)))
-            }
-            SelItem::DescendantOrSelf => BoolExpr::or(parent_sv[i].clone(), sv[i - 1].clone()),
-            SelItem::SelfQualifier(quals) => {
-                let mut conjuncts = vec![sv[i - 1].clone()];
-                for q in quals {
-                    conjuncts.push(qual_value(v, *q));
+            SelItem::Label(l) => {
+                if tree.label(v) == Some(l.as_str()) {
+                    parent_sv.id(i - 1)
+                } else {
+                    ExprId::FALSE
                 }
-                BoolExpr::and_all(conjuncts)
+            }
+            SelItem::Wildcard => {
+                if tree.is_element(v) {
+                    parent_sv.id(i - 1)
+                } else {
+                    ExprId::FALSE
+                }
+            }
+            SelItem::DescendantOrSelf => arena.or(parent_sv.id(i), sv.id(i - 1)),
+            SelItem::SelfQualifier(quals) => {
+                let mut acc = sv.id(i - 1);
+                for q in quals {
+                    if acc == ExprId::FALSE {
+                        break;
+                    }
+                    let qid = qual_id(arena, v, *q);
+                    acc = arena.and(acc, qid);
+                }
+                acc
             }
         };
         sv.set(i, value);
@@ -355,7 +473,7 @@ pub struct CombinedPassOutput<V: Ord> {
     /// variables and the qualifier variables of virtual nodes).
     pub candidates: Vec<(NodeId, BoolExpr<V>)>,
     /// Ancestor-summary `SV` vector for every virtual node.
-    pub virtual_vectors: Vec<(NodeId, FormulaVector<V>)>,
+    pub virtual_vectors: Vec<(NodeId, CompactVector<V>)>,
     /// Root `QV`/`QDV` vectors (as in Stage 1 of PaX3).
     pub root: QualVectors<V>,
     /// Elementary operations performed.
@@ -370,18 +488,18 @@ pub struct CombinedPassOutput<V: Ord> {
 ///
 /// `local_var(v, e)` must mint a variable unique to the pair (node, entry);
 /// the pass guarantees that no such variable survives in the output.
-#[allow(clippy::too_many_arguments)]
 pub fn combined_pass<V: VarLike>(
     tree: &XmlTree,
     root: NodeId,
     query: &CompiledQuery,
-    init: FormulaVector<V>,
+    init: CompactVector<V>,
     context: Option<NodeId>,
     mut virtual_qual_vectors: impl FnMut(NodeId) -> QualVectors<V>,
     local_var: impl Fn(NodeId, QEntryId) -> V,
 ) -> CombinedPassOutput<V> {
     let qlen = query.qvect_len();
     let slen = query.svect_len();
+    let mut arena: FormulaArena<V> = FormulaArena::new();
     let mut ops: u64 = 0;
 
     // Only the qualifier entries referenced by the selection path ever get a
@@ -399,18 +517,20 @@ pub fn combined_pass<V: VarLike>(
     // --- single DFS -------------------------------------------------------
     // Pre-order: compute SV with placeholders for qualifier values.
     // Post-order: compute QV/QDV; record the values of the placeholders.
-    let mut node_qv: Vec<Option<FormulaVector<V>>> = vec![None; tree.node_count()];
-    let mut node_qdv: Vec<Option<FormulaVector<V>>> = vec![None; tree.node_count()];
-    let mut pending_sv: Vec<(NodeId, BoolExpr<V>)> = Vec::new(); // last SV entry per interesting node
-    let mut virtual_vectors: Vec<(NodeId, FormulaVector<V>)> = Vec::new();
-    let mut local_values: Substitution<V> = Substitution::new();
+    let mut node_qv: Vec<Option<AVec>> = vec![None; tree.node_count()];
+    let mut node_qdv: Vec<Option<AVec>> = vec![None; tree.node_count()];
+    let mut pending_sv: Vec<(NodeId, ExprId)> = Vec::new(); // last SV entry per interesting node
+    let mut virtual_vectors: Vec<(NodeId, AVec)> = Vec::new();
+    // Placeholder variable id ↦ its value, recorded during post-order.
+    let mut local_values: HashMap<ExprId, ExprId> = HashMap::new();
 
     // DFS stack frames: (node, parent_sv, expanded?)
-    enum Frame<V: Ord> {
-        Enter(NodeId, FormulaVector<V>),
+    enum Frame {
+        Enter(NodeId, AVec),
         Exit(NodeId),
     }
-    let mut stack: Vec<Frame<V>> = vec![Frame::Enter(root, init)];
+    let init = AVec::from_compact(&init, &mut arena);
+    let mut stack: Vec<Frame> = vec![Frame::Enter(root, init)];
 
     while let Some(frame) = stack.pop() {
         match frame {
@@ -420,22 +540,24 @@ pub fn combined_pass<V: VarLike>(
                     // the fresh variables standing for the sub-fragment.
                     virtual_vectors.push((v, parent_sv));
                     let vectors = virtual_qual_vectors(v);
-                    node_qv[v.index()] = Some(vectors.qv);
-                    node_qdv[v.index()] = Some(vectors.qdv);
+                    node_qv[v.index()] = Some(AVec::from_compact(&vectors.qv, &mut arena));
+                    node_qdv[v.index()] = Some(AVec::from_compact(&vectors.qdv, &mut arena));
                     ops += (qlen + slen) as u64;
                     continue;
                 }
 
                 // Pre-order: SV with placeholder qualifier values.
-                let mut placeholder = |node: NodeId, e: QEntryId| -> BoolExpr<V> {
-                    BoolExpr::var(local_var(node, e))
-                };
-                let sv = compute_sv(tree, v, query, &parent_sv, context, &mut placeholder);
+                let mut placeholder = |arena: &mut FormulaArena<V>,
+                                       node: NodeId,
+                                       e: QEntryId|
+                 -> ExprId { arena.var(local_var(node, e)) };
+                let sv =
+                    compute_sv(&mut arena, tree, v, query, &parent_sv, context, &mut placeholder);
                 ops += slen as u64;
                 if tree.is_element(v) || query.sel_items.is_empty() {
-                    let last = sv.last();
-                    if !last.is_false() {
-                        pending_sv.push((v, last.clone()));
+                    let last = sv.id(slen - 1);
+                    if last != ExprId::FALSE {
+                        pending_sv.push((v, last));
                     }
                 }
 
@@ -447,36 +569,33 @@ pub fn combined_pass<V: VarLike>(
             }
             Frame::Exit(v) => {
                 // Post-order: qualifier vectors, exactly as in qualifier_pass.
-                let mut child_any_qv: FormulaVector<V> = FormulaVector::all_false(qlen);
-                let mut child_any_qdv: FormulaVector<V> = FormulaVector::all_false(qlen);
+                let mut child_any_qv = AVec::all_false(qlen);
+                let mut child_any_qdv = AVec::all_false(qlen);
                 for c in tree.children(v) {
                     let cqv =
                         node_qv[c.index()].as_ref().expect("children processed before parent");
                     let cqdv =
                         node_qdv[c.index()].as_ref().expect("children processed before parent");
-                    for i in 0..qlen {
-                        child_any_qv.set(i, BoolExpr::or(child_any_qv[i].clone(), cqv[i].clone()));
-                        child_any_qdv
-                            .set(i, BoolExpr::or(child_any_qdv[i].clone(), cqdv[i].clone()));
-                        ops += 2;
-                    }
+                    child_any_qv.or_into(cqv, &mut arena);
+                    child_any_qdv.or_into(cqdv, &mut arena);
+                    ops += 2 * qlen as u64;
                 }
-                let mut qv: FormulaVector<V> = FormulaVector::all_false(qlen);
+                let mut qv = AVec::all_false(qlen);
                 for (i, entry) in query.qvect.iter().enumerate() {
-                    let value = eval_qentry(tree, v, entry, &qv, &child_any_qv, &child_any_qdv);
+                    let value =
+                        eval_qentry(&mut arena, tree, v, entry, &qv, &child_any_qv, &child_any_qdv);
                     qv.set(i, value);
                     ops += 1;
                 }
-                let mut qdv: FormulaVector<V> = FormulaVector::all_false(qlen);
-                for i in 0..qlen {
-                    qdv.set(i, BoolExpr::or(qv[i].clone(), child_any_qdv[i].clone()));
-                    ops += 1;
-                }
+                let mut qdv = child_any_qdv;
+                qdv.or_into(&qv, &mut arena);
+                ops += qlen as u64;
                 // The placeholders minted for this node during pre-order can
                 // now be unified with the freshly computed values (§4,
                 // Example 4.2: qz₂ unifies with y₈).
                 for &i in &sel_qual_entries {
-                    local_values.set(local_var(v, i), qv[i].clone());
+                    let var_id = arena.var(local_var(v, i));
+                    local_values.insert(var_id, qv.id(i));
                 }
                 node_qv[v.index()] = Some(qv);
                 node_qdv[v.index()] = Some(qdv);
@@ -487,34 +606,44 @@ pub fn combined_pass<V: VarLike>(
     // --- local unification -------------------------------------------------
     // Replace every placeholder with its computed value. Placeholder values
     // never mention other placeholders (they are formulas over the virtual
-    // nodes' variables only), so a single substitution round suffices.
+    // nodes' variables only), so a single substitution round suffices. The
+    // memo makes every shared sub-formula rewrite at most once.
+    let mut memo: HashMap<ExprId, ExprId> = HashMap::new();
     let mut answers = Vec::new();
     let mut candidates = Vec::new();
     for (v, formula) in pending_sv {
-        let resolved = formula.substitute(&local_values);
+        let resolved = arena.substitute_ids(formula, &local_values, &mut memo);
         ops += 1;
-        if resolved.is_true() {
+        if resolved == ExprId::TRUE {
             answers.push(v);
-        } else if resolved.has_variables() {
-            candidates.push((v, resolved));
+        } else if !resolved.is_const() {
+            candidates.push((v, arena.to_expr(resolved)));
         }
     }
-    let virtual_vectors: Vec<(NodeId, FormulaVector<V>)> = virtual_vectors
+    let virtual_vectors: Vec<(NodeId, CompactVector<V>)> = virtual_vectors
         .into_iter()
         .map(|(v, vec)| {
             ops += vec.len() as u64;
-            (v, vec.substitute(&local_values))
+            let resolved = match vec {
+                AVec::Bits(b) => AVec::Bits(b),
+                AVec::Ids(ids) => AVec::Ids(
+                    ids.into_iter()
+                        .map(|id| arena.substitute_ids(id, &local_values, &mut memo))
+                        .collect(),
+                ),
+            };
+            (v, resolved.into_compact(&arena))
         })
         .collect();
 
-    let root_qv = node_qv[root.index()].clone().unwrap_or_else(|| FormulaVector::all_false(qlen));
-    let root_qdv = node_qdv[root.index()].clone().unwrap_or_else(|| FormulaVector::all_false(qlen));
+    let root_qv = node_qv[root.index()].clone().unwrap_or_else(|| AVec::all_false(qlen));
+    let root_qdv = node_qdv[root.index()].clone().unwrap_or_else(|| AVec::all_false(qlen));
 
     CombinedPassOutput {
         answers,
         candidates,
         virtual_vectors,
-        root: QualVectors { qv: root_qv, qdv: root_qdv },
+        root: QualVectors { qv: root_qv.into_compact(&arena), qdv: root_qdv.into_compact(&arena) },
         ops,
     }
 }
@@ -525,6 +654,7 @@ mod tests {
     use crate::compile::compile;
     use crate::normalize::normalize;
     use crate::parse;
+    use paxml_boolex::Assignment;
     use paxml_xml::TreeBuilder;
 
     /// Variable type for tests that never introduce variables.
@@ -579,6 +709,8 @@ mod tests {
         let out = qualifier_pass::<NoVar>(&tree, tree.root(), &q, |_| unreachable!());
         assert!(out.root.is_fully_resolved());
         assert!(out.ops > 0);
+        // Constant vectors stay in the packed-bits representation.
+        assert!(matches!(out.root.qv, CompactVector::Bits(_)));
         // The US client node must satisfy the first qualifier, the Canadian
         // one must not. Qualifier 1 is the last entry of the first
         // SelfQualifier item.
@@ -587,10 +719,10 @@ mod tests {
             SelItem::SelfQualifier(ids) => ids[0],
             other => panic!("unexpected {other:?}"),
         };
-        let us_val = out.node_qv[clients[0].index()].as_ref().unwrap()[first_qual_entry].clone();
-        let ca_val = out.node_qv[clients[1].index()].as_ref().unwrap()[first_qual_entry].clone();
-        assert!(us_val.is_true());
-        assert!(ca_val.is_false());
+        let us_val = out.node_qv[clients[0].index()].as_ref().unwrap().const_at(first_qual_entry);
+        let ca_val = out.node_qv[clients[1].index()].as_ref().unwrap().const_at(first_qual_entry);
+        assert_eq!(us_val, Some(true));
+        assert_eq!(ca_val, Some(false));
     }
 
     #[test]
@@ -600,10 +732,9 @@ mod tests {
             "client[country/text() = \"US\"]/broker[market/name/text() = \"NASDAQ\"]/name",
         );
         let quals = qualifier_pass::<NoVar>(&tree, tree.root(), &q, |_| unreachable!());
-        let mut init = FormulaVector::all_false(q.svect_len());
-        init.set(0, BoolExpr::constant(false));
+        let init = CompactVector::all_false(q.svect_len());
         let mut qual_value =
-            |v: NodeId, e: QEntryId| quals.node_qv[v.index()].as_ref().unwrap()[e].clone();
+            |v: NodeId, e: QEntryId| quals.node_qv[v.index()].as_ref().unwrap().expr(e);
         let out = selection_pass::<NoVar>(
             &tree,
             tree.root(),
@@ -631,9 +762,9 @@ mod tests {
         ] {
             let q = compiled(text);
             let quals = qualifier_pass::<u32>(&tree, tree.root(), &q, |_| unreachable!());
-            let init = FormulaVector::all_false(q.svect_len());
+            let init: CompactVector<u32> = CompactVector::all_false(q.svect_len());
             let mut qual_value =
-                |v: NodeId, e: QEntryId| quals.node_qv[v.index()].as_ref().unwrap()[e].clone();
+                |v: NodeId, e: QEntryId| quals.node_qv[v.index()].as_ref().unwrap().expr(e);
             let two_pass = selection_pass::<u32>(
                 &tree,
                 tree.root(),
@@ -666,12 +797,19 @@ mod tests {
         let q = compiled("/clientele/client/name");
         let quals = qualifier_pass::<NoVar>(&tree, tree.root(), &q, |_| unreachable!());
         let init = root_context_vector(&q);
-        assert!(init[0].is_true());
+        assert!(init[0]);
         let context = evaluation_context(&q, tree.root());
         assert_eq!(context, None);
         let mut qual_value =
-            |v: NodeId, e: QEntryId| quals.node_qv[v.index()].as_ref().unwrap()[e].clone();
-        let out = selection_pass::<NoVar>(&tree, tree.root(), &q, init, context, &mut qual_value);
+            |v: NodeId, e: QEntryId| quals.node_qv[v.index()].as_ref().unwrap().expr(e);
+        let out = selection_pass::<NoVar>(
+            &tree,
+            tree.root(),
+            &q,
+            CompactVector::from_bools(&init),
+            context,
+            &mut qual_value,
+        );
         assert_eq!(out.answers.len(), 2); // both clients' name elements
     }
 
@@ -683,10 +821,17 @@ mod tests {
         let init = root_context_vector(&q);
         // Leading `//` inherits the context truth so the root element can
         // already be inside the closure.
-        assert!(init[1].is_true());
+        assert!(init[1]);
         let mut qual_value =
-            |v: NodeId, e: QEntryId| quals.node_qv[v.index()].as_ref().unwrap()[e].clone();
-        let out = selection_pass::<NoVar>(&tree, tree.root(), &q, init, None, &mut qual_value);
+            |v: NodeId, e: QEntryId| quals.node_qv[v.index()].as_ref().unwrap().expr(e);
+        let out = selection_pass::<NoVar>(
+            &tree,
+            tree.root(),
+            &q,
+            CompactVector::from_bools(&init),
+            None,
+            &mut qual_value,
+        );
         assert_eq!(out.answers.len(), 2);
         for a in &out.answers {
             assert_eq!(tree.label(*a), Some("code"));
@@ -699,9 +844,9 @@ mod tests {
         let tree = TreeBuilder::new("broker").leaf("name", "Bache").build();
         let q = compiled("client/broker/name");
         let quals = qualifier_pass::<String>(&tree, tree.root(), &q, |_| unreachable!());
-        let init = FormulaVector::fresh_variables(q.svect_len(), |i| format!("z{i}"));
+        let init = CompactVector::fresh_variables(q.svect_len(), |i| format!("z{i}"));
         let mut qual_value =
-            |v: NodeId, e: QEntryId| quals.node_qv[v.index()].as_ref().unwrap()[e].clone();
+            |v: NodeId, e: QEntryId| quals.node_qv[v.index()].as_ref().unwrap().expr(e);
         let out = selection_pass::<String>(&tree, tree.root(), &q, init, None, &mut qual_value);
         // The name node is a *candidate*: it is an answer iff the unknown
         // ancestor prefix ends in a matched `client` (variable z1 of the

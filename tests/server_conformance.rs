@@ -173,6 +173,44 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, .. ProptestConfig::default() })]
+
+    /// The compact-vector/arena kernel against a representation-independent
+    /// reference: the naive *set-based* oracle of `paxml::xpath::semantics`
+    /// shares no code with the bitset/arena evaluation passes (it never
+    /// builds a vector or a formula), so agreement here pins the new kernel
+    /// to the legacy semantics on random XMark workloads for all three
+    /// algorithms.
+    #[test]
+    fn vector_kernel_matches_set_based_oracle_on_random_workloads(
+        seed in 0u64..1000,
+        site_subtrees in 1usize..3,
+        sites in 2usize..6,
+        use_annotations in prop::bool::ANY,
+    ) {
+        let tree = generate(XmarkConfig {
+            site_count: site_subtrees,
+            vmb_per_site: 0.2,
+            seed,
+            ..XmarkConfig::default()
+        });
+        let fragmented =
+            strategy::cut_at_labels(&tree, &["site", "people", "open_auctions"]).unwrap();
+        for query in QUERIES {
+            let expected = paxml::xpath::semantics::oracle_eval(&tree, query).unwrap();
+            for algorithm in ALGORITHMS {
+                let s = server(algorithm, use_annotations, &fragmented, sites);
+                let report = s.query_once(query).unwrap();
+                prop_assert_eq!(
+                    report.answer_origins(), expected.clone(),
+                    "{} differs from the set-based oracle on {}", algorithm, query
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn back_to_back_executions_report_per_execution_meters() {
     // The `&mut Deployment` stats footgun, asserted dead at the API level:
