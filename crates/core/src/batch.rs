@@ -65,12 +65,14 @@
 //! ```
 
 use crate::deployment::{Deployment, ExecCtx};
+use crate::error::PaxResult;
 use crate::protocol::{
-    batch_collect_task, batch_combined_task, BatchCollectEntry, BatchCollectRequest,
-    BatchCombinedEntry, BatchCombinedRequest, CombinedFragmentInput, InitVector,
+    BatchCollectEntry, BatchCollectRequest, BatchCombinedEntry, BatchCombinedRequest,
+    CombinedFragmentInput, InitVector,
 };
 use crate::prune::{analyze, AnnotationAnalysis};
 use crate::report::{Algorithm, AnswerItem, EvaluationReport, ExecMode, ExecReport, QueryOutcome};
+use crate::transport::ProtocolRequest;
 use crate::unify::{unify_qualifiers, unify_selection, DenseAssignment};
 use crate::vars::PaxVar;
 use crate::EvalOptions;
@@ -189,7 +191,9 @@ pub fn evaluate<S: AsRef<str>>(
         queries.iter().map(|q| compile_text(q.as_ref())).collect::<XPathResult<_>>()?;
     let refs: Vec<&CompiledQuery> = compiled.iter().collect();
     let texts: Vec<String> = queries.iter().map(|q| q.as_ref().to_string()).collect();
-    Ok(run(deployment, &refs, &texts, options).to_batch_report())
+    let report = run(deployment, &refs, &texts, options)
+        .expect("the in-process simulator transport cannot fail");
+    Ok(report.to_batch_report())
 }
 
 /// Evaluate a batch of already-compiled queries with PaX2. `texts` are the
@@ -207,7 +211,9 @@ pub fn evaluate_compiled(
     options: &EvalOptions,
 ) -> BatchReport {
     let refs: Vec<&CompiledQuery> = compiled.iter().collect();
-    run(deployment, &refs, texts, options).to_batch_report()
+    run(deployment, &refs, texts, options)
+        .expect("the in-process simulator transport cannot fail")
+        .to_batch_report()
 }
 
 /// The batched PaX2 driver, reported as a unified [`ExecReport`] (mode
@@ -221,7 +227,7 @@ pub(crate) fn run(
     compiled: &[&CompiledQuery],
     texts: &[String],
     options: &EvalOptions,
-) -> ExecReport {
+) -> PaxResult<ExecReport> {
     assert_eq!(compiled.len(), texts.len(), "a batch run needs one query text per compiled query");
     let start = Instant::now();
     let mut ctx = ExecCtx::new(deployment);
@@ -229,7 +235,7 @@ pub(crate) fn run(
     let query_count = compiled.len();
     // One scratch slot per query of the batch, unique across concurrent
     // executions, so interleaved batches never mix candidate state.
-    let slot_base = deployment.cluster.allocate_slots(query_count.max(1));
+    let slot_base = deployment.allocate_slots(query_count.max(1));
     let mut coordinator_ops_per_query: Vec<u64> = vec![0; query_count];
     let mut answers: Vec<Vec<AnswerItem>> = vec![Vec::new(); query_count];
 
@@ -280,11 +286,13 @@ pub(crate) fn run(
         plans.push(QueryPlan { analysis, root_init, finals_pending });
     }
 
-    let requests: BTreeMap<SiteId, BatchCombinedRequest> = site_entries
+    let requests: BTreeMap<SiteId, ProtocolRequest> = site_entries
         .into_iter()
-        .map(|(site, entries)| (site, BatchCombinedRequest { entries }))
+        .map(|(site, entries)| {
+            (site, ProtocolRequest::BatchCombined(BatchCombinedRequest { entries }))
+        })
         .collect();
-    let responses = ctx.round(requests, batch_combined_task);
+    let responses = ctx.round(requests)?;
 
     // Scatter the merged responses back out per query.
     let mut roots: Vec<BTreeMap<FragmentId, QualVectors<PaxVar>>> =
@@ -292,7 +300,7 @@ pub(crate) fn run(
     let mut virtuals: Vec<BTreeMap<FragmentId, CompactVector<PaxVar>>> =
         vec![BTreeMap::new(); query_count];
     for response in responses.into_values() {
-        for slice in response.per_query {
+        for slice in response.into_batch_combined()?.per_query {
             roots[slice.query_index].extend(slice.roots);
             virtuals[slice.query_index].extend(slice.virtuals);
             answers[slice.query_index].extend(slice.answers);
@@ -330,13 +338,15 @@ pub(crate) fn run(
 
     // ---------------------------------------------- Stage 2 (collect, 1 visit)
     if !site_collect.is_empty() {
-        let requests: BTreeMap<SiteId, BatchCollectRequest> = site_collect
+        let requests: BTreeMap<SiteId, ProtocolRequest> = site_collect
             .into_iter()
-            .map(|(site, entries)| (site, BatchCollectRequest { entries }))
+            .map(|(site, entries)| {
+                (site, ProtocolRequest::BatchCollect(BatchCollectRequest { entries }))
+            })
             .collect();
-        let responses = ctx.round(requests, batch_collect_task);
+        let responses = ctx.round(requests)?;
         for response in responses.into_values() {
-            for slice in response.per_query {
+            for slice in response.into_batch_collect()?.per_query {
                 answers[slice.query_index].extend(slice.answers);
             }
         }
@@ -356,7 +366,7 @@ pub(crate) fn run(
             coordinator_ops: coordinator_ops_per_query[query_index],
         });
     }
-    ExecReport {
+    Ok(ExecReport {
         algorithm: Algorithm::PaX2,
         annotations_used: options.use_annotations,
         mode: ExecMode::Batch,
@@ -367,7 +377,7 @@ pub(crate) fn run(
         coordinator_ops: coordinator_ops_per_query.iter().sum(),
         elapsed,
         from_cache: false,
-    }
+    })
 }
 
 impl ExecReport {

@@ -1,22 +1,44 @@
-//! A deployment: the simulated cluster plus the coordinator-side metadata
-//! (the fragment tree and its annotations).
+//! A deployment: the transport to the sites plus the coordinator-side
+//! metadata (the fragment tree and its annotations).
 //!
 //! The coordinator (query site `S_Q`) knows the fragment tree `FT` — which
 //! fragment is a sub-fragment of which, where each fragment lives, and the
 //! optional XPath annotations — but never the fragment *data*; all data
 //! access goes through the messaging layer so that traffic and visits are
-//! accounted faithfully.
+//! accounted faithfully. The messaging layer itself is pluggable: by
+//! default a deployment owns an in-process simulated [`Cluster`], but any
+//! [`Transport`] (such as `paxml-wire`'s TCP cluster of real site
+//! processes) can stand in — the drivers only ever see the trait.
 
-use paxml_distsim::{Cluster, ClusterStats, Placement, SiteId, SiteLocal};
+use crate::error::PaxResult;
+use crate::transport::{ProtocolRequest, ProtocolResponse, Transport};
+use paxml_distsim::{Cluster, ClusterStats, Placement, SiteId};
 use paxml_fragment::{FragmentId, FragmentTree, FragmentedTree};
-use serde::Serialize;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Duration;
 
-/// A simulated deployment of one fragmented document over a set of sites.
+/// How a deployment reaches its sites.
+enum TransportHold {
+    /// The in-process simulator (owned; configurable until shared).
+    Sim(Arc<Cluster>),
+    /// Any other transport (e.g. TCP to real site processes).
+    Custom(Arc<dyn Transport>),
+}
+
+impl TransportHold {
+    fn get(&self) -> &dyn Transport {
+        match self {
+            TransportHold::Sim(cluster) => cluster.as_ref(),
+            TransportHold::Custom(transport) => transport.as_ref(),
+        }
+    }
+}
+
+/// A deployment of one fragmented document over a set of sites.
 pub struct Deployment {
-    /// The simulated sites and their statistics.
-    pub cluster: Cluster,
+    /// The transport to the simulated or real sites.
+    transport: TransportHold,
     /// The fragment tree (coordinator metadata).
     pub fragment_tree: FragmentTree,
     /// Label of the original tree's root element (stored in the root
@@ -27,45 +49,106 @@ pub struct Deployment {
 }
 
 impl Deployment {
-    /// Deploy a fragmented tree over `site_count` sites.
+    /// Deploy a fragmented tree over `site_count` simulated sites.
     pub fn new(fragmented: &FragmentedTree, site_count: usize, placement: Placement) -> Self {
         Deployment {
-            cluster: Cluster::new(fragmented, site_count, placement),
+            transport: TransportHold::Sim(Arc::new(Cluster::new(
+                fragmented, site_count, placement,
+            ))),
             fragment_tree: fragmented.fragment_tree.clone(),
             root_label: fragmented.root_fragment().root_label.clone(),
             total_nodes: fragmented.total_real_nodes(),
         }
     }
 
-    /// Deploy with an explicit fragment→site assignment.
+    /// Deploy with an explicit fragment→site assignment (simulated sites).
     pub fn with_assignment(
         fragmented: &FragmentedTree,
         site_count: usize,
         assignment: BTreeMap<FragmentId, SiteId>,
     ) -> Self {
         Deployment {
-            cluster: Cluster::with_assignment(fragmented, site_count, assignment),
+            transport: TransportHold::Sim(Arc::new(Cluster::with_assignment(
+                fragmented, site_count, assignment,
+            ))),
             fragment_tree: fragmented.fragment_tree.clone(),
             root_label: fragmented.root_fragment().root_label.clone(),
             total_nodes: fragmented.total_real_nodes(),
         }
     }
 
-    /// Deploy every fragment onto one site (degenerate baseline).
+    /// Deploy every fragment onto one simulated site (degenerate baseline).
     pub fn single_site(fragmented: &FragmentedTree) -> Self {
         Self::new(fragmented, 1, Placement::SingleSite)
     }
 
+    /// Run over an externally-built transport (e.g. a TCP cluster whose
+    /// site processes have already loaded their fragments). The
+    /// coordinator-side metadata still comes from the fragmented tree; the
+    /// fragment *data* is wherever the transport put it.
+    pub fn over_transport(fragmented: &FragmentedTree, transport: Arc<dyn Transport>) -> Self {
+        Deployment {
+            transport: TransportHold::Custom(transport),
+            fragment_tree: fragmented.fragment_tree.clone(),
+            root_label: fragmented.root_fragment().root_label.clone(),
+            total_nodes: fragmented.total_real_nodes(),
+        }
+    }
+
     /// Charge a fixed latency per coordinator round (simulated network RTT).
+    /// No-op on non-simulator transports, which have real latency.
     pub fn with_round_latency(mut self, latency: Duration) -> Self {
-        self.cluster.round_latency = latency;
+        self.configure_sim(|cluster| cluster.round_latency = latency);
         self
     }
 
     /// Run rounds sequentially (deterministic) instead of thread-per-site.
+    /// No-op on non-simulator transports.
     pub fn sequential(mut self) -> Self {
-        self.cluster.sequential = true;
+        self.configure_sim(|cluster| cluster.sequential = true);
         self
+    }
+
+    /// Apply a simulator-only configuration tweak. Only possible before the
+    /// deployment is shared (builder phase); silently skipped on custom
+    /// transports.
+    pub(crate) fn configure_sim(&mut self, tweak: impl FnOnce(&mut Cluster)) {
+        if let TransportHold::Sim(cluster) = &mut self.transport {
+            let cluster = Arc::get_mut(cluster)
+                .expect("simulator knobs are set in the builder phase, before sharing");
+            tweak(cluster);
+        }
+    }
+
+    /// The transport this deployment talks to its sites through.
+    pub fn transport(&self) -> &dyn Transport {
+        self.transport.get()
+    }
+
+    /// The in-process simulator cluster, when that is the transport
+    /// (test instrumentation and simulator-only reporting).
+    pub fn cluster(&self) -> Option<&Cluster> {
+        self.transport().as_cluster()
+    }
+
+    /// Number of sites behind the transport.
+    pub fn site_count(&self) -> usize {
+        self.transport().site_count()
+    }
+
+    /// The site storing a fragment.
+    pub fn site_of(&self, fragment: FragmentId) -> SiteId {
+        self.transport().site_of(fragment)
+    }
+
+    /// Hand out `n` scratch slots unique across concurrent executions.
+    pub fn allocate_slots(&self, n: usize) -> usize {
+        self.transport().allocate_slots(n)
+    }
+
+    /// A consistent snapshot of the cumulative meters since deployment.
+    pub fn stats(&self) -> ClusterStats {
+        self.transport().stats()
     }
 
     /// Number of fragments in the deployment.
@@ -80,14 +163,14 @@ impl Deployment {
     ) -> BTreeMap<SiteId, Vec<FragmentId>> {
         let mut out: BTreeMap<SiteId, Vec<FragmentId>> = BTreeMap::new();
         for f in fragments {
-            out.entry(self.cluster.site_of(f)).or_default().push(f);
+            out.entry(self.site_of(f)).or_default().push(f);
         }
         out
     }
 
     /// Reset statistics and per-site scratch state between query runs.
     pub fn reset(&mut self) {
-        self.cluster.reset();
+        self.transport().reset();
     }
 }
 
@@ -98,8 +181,8 @@ impl Deployment {
 /// `&mut Deployment`. The context borrows the deployment *shared* — any
 /// number of executions may run concurrently over one deployment — and owns
 /// this execution's [`ClusterStats`] recorder: [`ExecCtx::round`] forwards
-/// to [`Cluster::round_recorded`], so [`ExecCtx::stats`] accumulates the
-/// visits/bytes/ops of **this execution only** while the cluster's
+/// to [`Transport::round_recorded`], so [`ExecCtx::stats`] accumulates the
+/// visits/bytes/ops of **this execution only** while the transport's
 /// cumulative counters grow in the background. This is what lets
 /// per-execution reports stay exact without racing `delta_since` snapshots
 /// of a shared counter.
@@ -121,29 +204,29 @@ impl<'a> ExecCtx<'a> {
     }
 
     /// One coordinator round, recorded into this execution's meters (and
-    /// the cluster's cumulative ones).
-    pub fn round<Req, Resp, F>(
+    /// the transport's cumulative ones). Fails only on remote transports
+    /// (a site process died); the in-process simulator cannot fail.
+    pub fn round(
         &mut self,
-        requests: BTreeMap<SiteId, Req>,
-        task: F,
-    ) -> BTreeMap<SiteId, Resp>
-    where
-        Req: Serialize + Send + 'static,
-        Resp: Serialize + Send + 'static,
-        F: Fn(&mut SiteLocal, Req) -> Resp + Send + Sync + 'static,
-    {
-        self.deployment.cluster.round_recorded(&mut self.stats, requests, task)
+        requests: BTreeMap<SiteId, ProtocolRequest>,
+    ) -> PaxResult<BTreeMap<SiteId, ProtocolResponse>> {
+        self.deployment.transport().round_recorded(&mut self.stats, requests)
     }
 
     /// Visit every occupied site with the same request, recorded into this
     /// execution's meters.
-    pub fn broadcast<Req, Resp, F>(&mut self, request: Req, task: F) -> BTreeMap<SiteId, Resp>
-    where
-        Req: Serialize + Send + Clone + 'static,
-        Resp: Serialize + Send + 'static,
-        F: Fn(&mut SiteLocal, Req) -> Resp + Send + Sync + 'static,
-    {
-        self.deployment.cluster.broadcast_recorded(&mut self.stats, request, task)
+    pub fn broadcast(
+        &mut self,
+        request: ProtocolRequest,
+    ) -> PaxResult<BTreeMap<SiteId, ProtocolResponse>> {
+        let requests: BTreeMap<SiteId, ProtocolRequest> = self
+            .deployment
+            .transport()
+            .occupied_sites()
+            .into_iter()
+            .map(|site| (site, request.clone()))
+            .collect();
+        self.round(requests)
     }
 }
 
@@ -185,8 +268,25 @@ mod tests {
         let f = fragmented();
         let d =
             Deployment::single_site(&f).with_round_latency(Duration::from_millis(1)).sequential();
-        assert_eq!(d.cluster.site_count(), 1);
-        assert!(d.cluster.sequential);
-        assert_eq!(d.cluster.round_latency, Duration::from_millis(1));
+        assert_eq!(d.site_count(), 1);
+        let cluster = d.cluster().expect("a default deployment is simulator-backed");
+        assert!(cluster.sequential);
+        assert_eq!(cluster.round_latency, Duration::from_millis(1));
+    }
+
+    #[test]
+    fn a_custom_transport_is_reachable_through_the_trait_surface() {
+        // The simulator itself, held behind `Arc<dyn Transport>`: exercises
+        // the custom-transport arm end to end.
+        let f = fragmented();
+        let cluster: Arc<dyn Transport> = Arc::new(Cluster::new(&f, 2, Placement::RoundRobin));
+        let d = Deployment::over_transport(&f, cluster);
+        assert!(d.cluster().is_some(), "as_cluster sees through the Arc");
+        assert_eq!(d.site_count(), 2);
+        let mut ctx = ExecCtx::new(&d);
+        let responses = ctx.broadcast(ProtocolRequest::Fetch).unwrap();
+        let shipped: usize =
+            responses.into_values().map(|r| r.into_fragments().unwrap().len()).sum();
+        assert_eq!(shipped, d.fragment_count());
     }
 }

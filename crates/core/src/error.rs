@@ -35,6 +35,20 @@ pub enum PaxError {
         /// The query's text, for diagnostics.
         query: String,
     },
+    /// A site could not be reached (or died mid-round) over a remote
+    /// transport. The in-process simulator never raises this.
+    SiteUnreachable {
+        /// The unreachable site.
+        site: paxml_distsim::SiteId,
+        /// What the transport observed (connection refused, reset, EOF…).
+        detail: String,
+    },
+    /// A remote peer violated the wire protocol (undecodable frame,
+    /// response of the wrong stage, bad handshake).
+    Protocol {
+        /// Human-readable description of the violation.
+        message: String,
+    },
 }
 
 impl fmt::Display for PaxError {
@@ -49,6 +63,12 @@ impl fmt::Display for PaxError {
             PaxError::ForeignQuery { query } => {
                 write!(f, "prepared query {query:?} belongs to a different server")
             }
+            PaxError::SiteUnreachable { site, detail } => {
+                write!(f, "site {} unreachable: {detail}", site.0)
+            }
+            PaxError::Protocol { message } => {
+                write!(f, "wire protocol violation: {message}")
+            }
         }
     }
 }
@@ -59,7 +79,10 @@ impl std::error::Error for PaxError {
             PaxError::Xml(e) => Some(e),
             PaxError::Query(e) => Some(e),
             PaxError::Fragment(e) => Some(e),
-            PaxError::InvalidConfig { .. } | PaxError::ForeignQuery { .. } => None,
+            PaxError::InvalidConfig { .. }
+            | PaxError::ForeignQuery { .. }
+            | PaxError::SiteUnreachable { .. }
+            | PaxError::Protocol { .. } => None,
         }
     }
 }

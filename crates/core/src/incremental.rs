@@ -80,12 +80,14 @@
 //! ```
 
 use crate::deployment::{Deployment, ExecCtx};
+use crate::error::PaxResult;
 use crate::protocol::{
-    update_task, CandidateAnswer, FragmentUpdate, InitVector, MsgDeltaAnswer, MsgDeltaVect,
-    MsgUpdate, RecomputeInput,
+    CandidateAnswer, FragmentUpdate, InitVector, MsgDeltaAnswer, MsgDeltaVect, MsgUpdate,
+    RecomputeInput,
 };
 use crate::prune::{analyze, AnnotationAnalysis};
 use crate::report::AnswerItem;
+use crate::transport::ProtocolRequest;
 use crate::unify::{resolve_summary, DenseAssignment};
 use crate::vars::PaxVar;
 use crate::EvalOptions;
@@ -378,7 +380,7 @@ impl QuerySession {
         deployment: &Deployment,
         ops_by_fragment: &BTreeMap<FragmentId, Vec<UpdateOp>>,
         initial: bool,
-    ) -> IncrementalReport {
+    ) -> PaxResult<IncrementalReport> {
         let start = Instant::now();
         let mut ctx = ExecCtx::new(deployment);
         let dirty_fragments: BTreeSet<FragmentId> = if initial {
@@ -387,10 +389,10 @@ impl QuerySession {
             ops_by_fragment.keys().copied().collect()
         };
         let dirty_sites: BTreeSet<SiteId> =
-            dirty_fragments.iter().map(|&f| deployment.cluster.site_of(f)).collect();
+            dirty_fragments.iter().map(|&f| deployment.site_of(f)).collect();
 
         // ----------------------------------------------- the one dirty round
-        let mut requests: BTreeMap<SiteId, MsgUpdate> = BTreeMap::new();
+        let mut requests: BTreeMap<SiteId, ProtocolRequest> = BTreeMap::new();
         let mut recomputed = 0usize;
         for (&site, fragments) in &deployment.group_by_site(dirty_fragments.iter().copied()) {
             let mut per_fragment = BTreeMap::new();
@@ -409,17 +411,24 @@ impl QuerySession {
                     },
                 );
             }
-            requests.insert(site, MsgUpdate { query: self.query.clone(), fragments: per_fragment });
+            requests.insert(
+                site,
+                ProtocolRequest::Update(MsgUpdate {
+                    query: self.query.clone(),
+                    fragments: per_fragment,
+                }),
+            );
         }
         debug_assert!(
             requests.keys().all(|s| dirty_sites.contains(s)),
             "the update round must address dirty sites only"
         );
-        let responses = ctx.round(requests, update_task);
+        let responses = ctx.round(requests)?;
 
         let mut applied_ops = 0usize;
         let mut rejected: BTreeMap<FragmentId, String> = BTreeMap::new();
-        for delta in responses.into_values() {
+        for response in responses.into_values() {
+            let delta = response.into_delta()?;
             applied_ops += delta.applied.values().sum::<usize>();
             rejected.extend(delta.rejected);
             self.absorb(delta.vect, delta.answer);
@@ -437,7 +446,7 @@ impl QuerySession {
             .map(|(site, s)| (*site, s.visits))
             .filter(|(_, v)| *v > 0)
             .collect();
-        IncrementalReport {
+        Ok(IncrementalReport {
             dirty_fragments,
             dirty_sites,
             visits,
@@ -449,7 +458,7 @@ impl QuerySession {
             network_bytes: ctx.stats.total_bytes(),
             stats: ctx.stats,
             elapsed: start.elapsed(),
-        }
+        })
     }
 
     /// Bottom-up qualifier re-unification over the dirty cone: a fragment's
@@ -571,7 +580,10 @@ impl IncrementalEngine {
         // The initial evaluation is "everything is dirty, nothing to apply":
         // one update round with empty op lists snapshots every relevant
         // fragment.
-        engine.session.run_round(&engine.deployment, &BTreeMap::new(), true);
+        engine
+            .session
+            .run_round(&engine.deployment, &BTreeMap::new(), true)
+            .expect("the in-process simulator transport cannot fail");
         Ok(engine)
     }
 
@@ -622,7 +634,10 @@ impl IncrementalEngine {
             }
             ops_by_fragment.entry(*fragment).or_default().push(op.clone());
         }
-        Ok(self.session.run_round(&self.deployment, &ops_by_fragment, false))
+        Ok(self
+            .session
+            .run_round(&self.deployment, &ops_by_fragment, false)
+            .expect("the in-process simulator transport cannot fail"))
     }
 }
 
@@ -842,13 +857,11 @@ mod tests {
         assert_eq!(engine.answers(), &before[..], "rejected ops must not change answers");
 
         // Unknown fragments are an error before any visit happens.
-        let visits_before: u32 =
-            engine.deployment().cluster.stats().sites.values().map(|s| s.visits).sum();
+        let visits_before: u32 = engine.deployment().stats().sites.values().map(|s| s.visits).sum();
         assert!(engine
             .apply_updates(&[(FragmentId(99), UpdateOp::DeleteSubtree { node: f1_root })])
             .is_err());
-        let visits_after: u32 =
-            engine.deployment().cluster.stats().sites.values().map(|s| s.visits).sum();
+        let visits_after: u32 = engine.deployment().stats().sites.values().map(|s| s.visits).sum();
         assert_eq!(visits_before, visits_after);
     }
 

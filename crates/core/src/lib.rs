@@ -57,6 +57,7 @@ pub mod protocol;
 pub mod prune;
 mod report;
 pub mod server;
+pub mod transport;
 pub mod unify;
 mod vars;
 
@@ -71,6 +72,7 @@ pub use report::{
     UpdateOutcome,
 };
 pub use server::{PaxServer, PaxServerBuilder, PreparedQuery};
+pub use transport::{dispatch, ProtocolRequest, ProtocolResponse, Transport};
 pub use vars::{PaxVar, QualVecKind};
 
 /// Options shared by the distributed algorithms.
@@ -104,13 +106,13 @@ mod tests {
     /// The classic engine drivers, compiled on the fly (the internal
     /// equivalents of `PaxServer::query_once` for each algorithm).
     fn eval_pax3(d: &mut Deployment, q: &str, o: &EvalOptions) -> ExecReport {
-        pax3::run(d, &compile_text(q).unwrap(), q, o)
+        pax3::run(d, &compile_text(q).unwrap(), q, o).unwrap()
     }
     fn eval_pax2(d: &mut Deployment, q: &str, o: &EvalOptions) -> ExecReport {
-        pax2::run(d, &compile_text(q).unwrap(), q, o)
+        pax2::run(d, &compile_text(q).unwrap(), q, o).unwrap()
     }
     fn eval_naive(d: &mut Deployment, q: &str) -> ExecReport {
-        naive::run(d, &compile_text(q).unwrap(), q)
+        naive::run(d, &compile_text(q).unwrap(), q).unwrap()
     }
 
     /// The Fig. 1 clientele document.
@@ -467,11 +469,7 @@ mod tests {
             }
         }
         for site in 0..4 {
-            assert_eq!(
-                d.cluster.inspect_site(SiteId(site)).scratch_len(),
-                0,
-                "scratch leaked at site {site}"
-            );
+            assert_eq!(d.transport().scratch_len(SiteId(site)), 0, "scratch leaked at site {site}");
         }
     }
 

@@ -8,7 +8,9 @@
 //! latency gap.
 
 use crate::deployment::{Deployment, ExecCtx};
+use crate::error::PaxResult;
 use crate::report::{Algorithm, AnswerItem, EvaluationReport, ExecMode, ExecReport, QueryOutcome};
+use crate::transport::ProtocolRequest;
 use paxml_fragment::{Fragment, FragmentedTree};
 use paxml_xml::NodeId;
 use paxml_xpath::{centralized, compile_text, CompiledQuery, XPathResult};
@@ -18,7 +20,9 @@ use std::time::Instant;
 #[deprecated(note = "use `PaxServer::prepare` + `execute` (or `query_once`) instead")]
 pub fn evaluate(deployment: &mut Deployment, query_text: &str) -> XPathResult<EvaluationReport> {
     let query = compile_text(query_text)?;
-    Ok(run(deployment, &query, query_text).to_evaluation_report())
+    let report = run(deployment, &query, query_text)
+        .expect("the in-process simulator transport cannot fail");
+    Ok(report.to_evaluation_report())
 }
 
 /// Evaluate an already-compiled query with the naive baseline.
@@ -28,26 +32,31 @@ pub fn evaluate_compiled(
     query: &CompiledQuery,
     query_text: &str,
 ) -> EvaluationReport {
-    run(deployment, query, query_text).to_evaluation_report()
+    run(deployment, query, query_text)
+        .expect("the in-process simulator transport cannot fail")
+        .to_evaluation_report()
 }
 
 /// The naive driver, reported as a unified [`ExecReport`] whose cluster
 /// meters cover exactly this execution. Takes the deployment *shared*: any
 /// number of runs may execute concurrently, each with its own recorder.
-pub(crate) fn run(deployment: &Deployment, query: &CompiledQuery, query_text: &str) -> ExecReport {
+pub(crate) fn run(
+    deployment: &Deployment,
+    query: &CompiledQuery,
+    query_text: &str,
+) -> PaxResult<ExecReport> {
     let start = Instant::now();
     let mut ctx = ExecCtx::new(deployment);
 
     // One visit per site: "send me everything you store".
-    let responses = ctx.broadcast((), |site, _req: ()| -> Vec<Fragment> {
-        // Shipping is charged by the serialized size of the response; the
-        // site does no real computation beyond reading its fragments.
-        site.charge_ops(site.cumulative_size() as u64);
-        site.fragments.values().cloned().collect()
-    });
+    let responses = ctx.broadcast(ProtocolRequest::Fetch)?;
+    let mut shipped: Vec<Fragment> = Vec::new();
+    for response in responses.into_values() {
+        shipped.extend(response.into_fragments()?);
+    }
 
     // Reassemble the document at the coordinator.
-    let mut fragments: Vec<Fragment> = responses.into_values().flatten().collect();
+    let mut fragments: Vec<Fragment> = shipped;
     fragments.sort_by_key(|f| f.id);
     let fragmented = FragmentedTree { fragments, fragment_tree: deployment.fragment_tree.clone() };
     let (tree, origin) = paxml_fragment::reassemble_with_origin(&fragmented)
@@ -68,7 +77,7 @@ pub(crate) fn run(deployment: &Deployment, query: &CompiledQuery, query_text: &s
     let mut answers = answers;
     answers.sort();
 
-    ExecReport {
+    Ok(ExecReport {
         algorithm: Algorithm::NaiveCentralized,
         annotations_used: false,
         mode: ExecMode::Query,
@@ -84,5 +93,5 @@ pub(crate) fn run(deployment: &Deployment, query: &CompiledQuery, query_text: &s
         coordinator_ops: result.ops,
         elapsed: start.elapsed(),
         from_cache: false,
-    }
+    })
 }

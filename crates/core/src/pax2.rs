@@ -14,11 +14,11 @@
 //! paper's Figure 10(c).
 
 use crate::deployment::{Deployment, ExecCtx};
-use crate::protocol::{
-    collect_task, combined_task, CollectRequest, CombinedFragmentInput, CombinedRequest, InitVector,
-};
+use crate::error::PaxResult;
+use crate::protocol::{CollectRequest, CombinedFragmentInput, CombinedRequest, InitVector};
 use crate::prune::{analyze, AnnotationAnalysis};
 use crate::report::{Algorithm, AnswerItem, EvaluationReport, ExecMode, ExecReport, QueryOutcome};
+use crate::transport::ProtocolRequest;
 use crate::unify::{unify_qualifiers, unify_selection, DenseAssignment};
 use crate::vars::PaxVar;
 use crate::EvalOptions;
@@ -37,7 +37,9 @@ pub fn evaluate(
     options: &EvalOptions,
 ) -> XPathResult<EvaluationReport> {
     let query = compile_text(query_text)?;
-    Ok(run(deployment, &query, query_text, options).to_evaluation_report())
+    let report = run(deployment, &query, query_text, options)
+        .expect("the in-process simulator transport cannot fail");
+    Ok(report.to_evaluation_report())
 }
 
 /// Evaluate an already-compiled query with PaX2.
@@ -48,7 +50,9 @@ pub fn evaluate_compiled(
     query_text: &str,
     options: &EvalOptions,
 ) -> EvaluationReport {
-    run(deployment, query, query_text, options).to_evaluation_report()
+    run(deployment, query, query_text, options)
+        .expect("the in-process simulator transport cannot fail")
+        .to_evaluation_report()
 }
 
 /// The PaX2 driver: the two-visit protocol, reported as a unified
@@ -60,10 +64,10 @@ pub(crate) fn run(
     query: &CompiledQuery,
     query_text: &str,
     options: &EvalOptions,
-) -> ExecReport {
+) -> PaxResult<ExecReport> {
     let start = Instant::now();
     let mut ctx = ExecCtx::new(deployment);
-    let slot = deployment.cluster.allocate_slots(1);
+    let slot = deployment.allocate_slots(1);
     let ft = deployment.fragment_tree.clone();
     let analysis = if options.use_annotations {
         analyze(query, &ft, &deployment.root_label)
@@ -75,7 +79,7 @@ pub(crate) fn run(
 
     // ------------------------------------------------------- Stage 1 (combined)
     let root_init: Vec<bool> = root_context_vector(query);
-    let mut requests: BTreeMap<paxml_distsim::SiteId, CombinedRequest> = BTreeMap::new();
+    let mut requests: BTreeMap<paxml_distsim::SiteId, ProtocolRequest> = BTreeMap::new();
     let mut finals_pending: Vec<FragmentId> = Vec::new();
     for (&site, fragments) in &deployment.group_by_site(analysis.relevant.iter().copied()) {
         let mut inputs = BTreeMap::new();
@@ -103,12 +107,20 @@ pub(crate) fn run(
                 },
             );
         }
-        requests.insert(site, CombinedRequest { slot, query: query.clone(), fragments: inputs });
+        requests.insert(
+            site,
+            ProtocolRequest::Combined(CombinedRequest {
+                slot,
+                query: query.clone(),
+                fragments: inputs,
+            }),
+        );
     }
-    let responses = ctx.round(requests, combined_task);
+    let responses = ctx.round(requests)?;
     let mut roots: BTreeMap<FragmentId, QualVectors<PaxVar>> = BTreeMap::new();
     let mut virtuals: BTreeMap<FragmentId, CompactVector<PaxVar>> = BTreeMap::new();
     for response in responses.into_values() {
+        let response = response.into_combined()?;
         roots.extend(response.roots);
         virtuals.extend(response.virtuals);
         answers.extend(response.answers);
@@ -125,7 +137,7 @@ pub(crate) fn run(
     if !finals_pending.is_empty() {
         coordinator_ops += (ft.len() * query.svect_len()) as u64;
         unify_selection(&ft, &virtuals, &root_init, &mut assignment);
-        let mut requests: BTreeMap<paxml_distsim::SiteId, CollectRequest> = BTreeMap::new();
+        let mut requests: BTreeMap<paxml_distsim::SiteId, ProtocolRequest> = BTreeMap::new();
         for (&site, fragments) in &deployment.group_by_site(finals_pending.iter().copied()) {
             let mut per_fragment = BTreeMap::new();
             for &fragment in fragments {
@@ -134,17 +146,20 @@ pub(crate) fn run(
                     assignment.restrict_for_fragment(fragment, ft.children(fragment)),
                 );
             }
-            requests.insert(site, CollectRequest { slot, fragments: per_fragment });
+            requests.insert(
+                site,
+                ProtocolRequest::Collect(CollectRequest { slot, fragments: per_fragment }),
+            );
         }
-        let responses = ctx.round(requests, collect_task);
+        let responses = ctx.round(requests)?;
         for response in responses.into_values() {
-            answers.extend(response.answers);
+            answers.extend(response.into_collect()?.answers);
         }
     }
 
     answers.sort();
     answers.dedup();
-    ExecReport {
+    Ok(ExecReport {
         algorithm: Algorithm::PaX2,
         annotations_used: options.use_annotations,
         mode: ExecMode::Query,
@@ -160,5 +175,5 @@ pub(crate) fn run(
         coordinator_ops,
         elapsed: start.elapsed(),
         from_cache: false,
-    }
+    })
 }

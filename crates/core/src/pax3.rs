@@ -18,12 +18,11 @@
 //! is skipped as well — matching the visit counts measured in Experiment 1.
 
 use crate::deployment::{Deployment, ExecCtx};
-use crate::protocol::{
-    collect_task, qualifier_task, selection_task, CollectRequest, InitVector, QualRequest,
-    SelFragmentInput, SelRequest,
-};
+use crate::error::PaxResult;
+use crate::protocol::{CollectRequest, InitVector, QualRequest, SelFragmentInput, SelRequest};
 use crate::prune::{analyze, AnnotationAnalysis};
 use crate::report::{Algorithm, AnswerItem, EvaluationReport, ExecMode, ExecReport, QueryOutcome};
+use crate::transport::ProtocolRequest;
 use crate::unify::{unify_qualifiers, unify_selection, DenseAssignment};
 use crate::vars::PaxVar;
 use crate::EvalOptions;
@@ -42,7 +41,9 @@ pub fn evaluate(
     options: &EvalOptions,
 ) -> XPathResult<EvaluationReport> {
     let query = compile_text(query_text)?;
-    Ok(run(deployment, &query, query_text, options).to_evaluation_report())
+    let report = run(deployment, &query, query_text, options)
+        .expect("the in-process simulator transport cannot fail");
+    Ok(report.to_evaluation_report())
 }
 
 /// Evaluate an already-compiled query with PaX3.
@@ -53,7 +54,9 @@ pub fn evaluate_compiled(
     query_text: &str,
     options: &EvalOptions,
 ) -> EvaluationReport {
-    run(deployment, query, query_text, options).to_evaluation_report()
+    run(deployment, query, query_text, options)
+        .expect("the in-process simulator transport cannot fail")
+        .to_evaluation_report()
 }
 
 /// The PaX3 driver: the three-stage protocol, reported as a unified
@@ -65,10 +68,10 @@ pub(crate) fn run(
     query: &CompiledQuery,
     query_text: &str,
     options: &EvalOptions,
-) -> ExecReport {
+) -> PaxResult<ExecReport> {
     let start = Instant::now();
     let mut ctx = ExecCtx::new(deployment);
-    let slot = deployment.cluster.allocate_slots(1);
+    let slot = deployment.allocate_slots(1);
     let ft = deployment.fragment_tree.clone();
     let analysis = if options.use_annotations {
         analyze(query, &ft, &deployment.root_label)
@@ -82,10 +85,10 @@ pub(crate) fn run(
     let mut assignment = DenseAssignment::new(ft.len());
     if query.has_qualifiers() {
         let requests = stage1_requests(deployment, query, slot, &analysis.relevant);
-        let responses = ctx.round(requests, qualifier_task);
+        let responses = ctx.round(requests)?;
         let mut roots: BTreeMap<FragmentId, QualVectors<PaxVar>> = BTreeMap::new();
         for response in responses.into_values() {
-            roots.extend(response.roots);
+            roots.extend(response.into_qual()?.roots);
         }
         coordinator_ops += (ft.len() * query.qvect_len()) as u64;
         unify_qualifiers(&ft, &roots, query.qvect_len(), &mut assignment);
@@ -93,7 +96,7 @@ pub(crate) fn run(
 
     // ----------------------------------------------------------------- Stage 2
     let root_init: Vec<bool> = root_context_vector(query);
-    let mut requests: BTreeMap<paxml_distsim::SiteId, SelRequest> = BTreeMap::new();
+    let mut requests: BTreeMap<paxml_distsim::SiteId, ProtocolRequest> = BTreeMap::new();
     let mut finals_pending: Vec<FragmentId> = Vec::new();
     for (&site, fragments) in &deployment.group_by_site(analysis.relevant.iter().copied()) {
         let mut inputs = BTreeMap::new();
@@ -124,11 +127,15 @@ pub(crate) fn run(
                 },
             );
         }
-        requests.insert(site, SelRequest { slot, query: query.clone(), fragments: inputs });
+        requests.insert(
+            site,
+            ProtocolRequest::Sel(SelRequest { slot, query: query.clone(), fragments: inputs }),
+        );
     }
-    let responses = ctx.round(requests, selection_task);
+    let responses = ctx.round(requests)?;
     let mut virtuals: BTreeMap<FragmentId, CompactVector<PaxVar>> = BTreeMap::new();
     for response in responses.into_values() {
+        let response = response.into_sel()?;
         virtuals.extend(response.virtuals);
         answers.extend(response.answers);
     }
@@ -137,23 +144,26 @@ pub(crate) fn run(
     if !finals_pending.is_empty() {
         coordinator_ops += (ft.len() * query.svect_len()) as u64;
         unify_selection(&ft, &virtuals, &root_init, &mut assignment);
-        let mut requests: BTreeMap<paxml_distsim::SiteId, CollectRequest> = BTreeMap::new();
+        let mut requests: BTreeMap<paxml_distsim::SiteId, ProtocolRequest> = BTreeMap::new();
         for (&site, fragments) in &deployment.group_by_site(finals_pending.iter().copied()) {
             let mut per_fragment = BTreeMap::new();
             for &fragment in fragments {
                 per_fragment.insert(fragment, assignment.restrict_for_fragment(fragment, &[]));
             }
-            requests.insert(site, CollectRequest { slot, fragments: per_fragment });
+            requests.insert(
+                site,
+                ProtocolRequest::Collect(CollectRequest { slot, fragments: per_fragment }),
+            );
         }
-        let responses = ctx.round(requests, collect_task);
+        let responses = ctx.round(requests)?;
         for response in responses.into_values() {
-            answers.extend(response.answers);
+            answers.extend(response.into_collect()?.answers);
         }
     }
 
     answers.sort();
     answers.dedup();
-    ExecReport {
+    Ok(ExecReport {
         algorithm: Algorithm::PaX3,
         annotations_used: options.use_annotations,
         mode: ExecMode::Query,
@@ -169,7 +179,7 @@ pub(crate) fn run(
         coordinator_ops,
         elapsed: start.elapsed(),
         from_cache: false,
-    }
+    })
 }
 
 /// Build the Stage-1 requests: every site is asked to evaluate the
@@ -182,7 +192,7 @@ fn stage1_requests(
     query: &CompiledQuery,
     slot: usize,
     relevant: &std::collections::BTreeSet<FragmentId>,
-) -> BTreeMap<paxml_distsim::SiteId, QualRequest> {
+) -> BTreeMap<paxml_distsim::SiteId, ProtocolRequest> {
     let all: Vec<FragmentId> = deployment.fragment_tree.ids().to_vec();
     deployment
         .group_by_site(all)
@@ -190,7 +200,10 @@ fn stage1_requests(
         .map(|(site, fragments)| {
             let park: Vec<FragmentId> =
                 fragments.iter().copied().filter(|f| relevant.contains(f)).collect();
-            (site, QualRequest { slot, query: query.clone(), fragments, park })
+            (
+                site,
+                ProtocolRequest::Qual(QualRequest { slot, query: query.clone(), fragments, park }),
+            )
         })
         .collect()
 }

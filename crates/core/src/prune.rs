@@ -350,14 +350,13 @@ mod tests {
             assert!(p3.answers.is_empty());
             // Only the root fragment's site is ever visited.
             let visited: Vec<_> = d
-                .cluster
                 .stats()
                 .sites
                 .iter()
                 .filter(|(_, s)| s.visits > 0)
                 .map(|(site, _)| *site)
                 .collect();
-            assert_eq!(visited, vec![d.cluster.site_of(FragmentId::ROOT)]);
+            assert_eq!(visited, vec![d.site_of(FragmentId::ROOT)]);
         }
     }
 

@@ -127,8 +127,9 @@
 use crate::deployment::{Deployment, ExecCtx};
 use crate::error::{PaxError, PaxResult};
 use crate::incremental::QuerySession;
-use crate::protocol::{session_update_task, MsgSessionUpdate, SessionRecompute};
+use crate::protocol::{MsgSessionUpdate, SessionRecompute};
 use crate::report::{Algorithm, ExecMode, ExecReport, QueryOutcome, UpdateOutcome};
+use crate::transport::ProtocolRequest;
 use crate::EvalOptions;
 use crate::{batch, naive, pax2, pax3};
 use paxml_distsim::{ClusterStats, Placement, SiteId};
@@ -266,11 +267,43 @@ impl PaxServerBuilder {
             Some(assignment) => Deployment::with_assignment(fragmented, sites, assignment),
             None => Deployment::new(fragmented, sites, self.placement),
         };
-        deployment.cluster.sequential = self.sequential;
-        deployment.cluster.round_latency = self.round_latency;
-        deployment.cluster.site_delay = self.site_delays;
+        let sequential = self.sequential;
+        let round_latency = self.round_latency;
+        let site_delays = self.site_delays;
+        deployment.configure_sim(move |cluster| {
+            cluster.sequential = sequential;
+            cluster.round_latency = round_latency;
+            cluster.site_delay = site_delays;
+        });
         Ok(PaxServer {
             deployment,
+            algorithm: self.algorithm,
+            options: EvalOptions { use_annotations: self.use_annotations },
+            update_gate: RwLock::new(()),
+            prepared: RwLock::new(PreparedTable::default()),
+            sessions: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// Deploy over an externally built [`Transport`](crate::Transport)
+    /// (e.g. `paxml-wire`'s `TcpCluster`) and start the session.
+    ///
+    /// The transport already owns the site topology, so the simulator-only
+    /// builder knobs — [`sites`](PaxServerBuilder::sites),
+    /// [`placement`](PaxServerBuilder::placement),
+    /// [`assignment`](PaxServerBuilder::assignment),
+    /// [`sequential`](PaxServerBuilder::sequential),
+    /// [`round_latency`](PaxServerBuilder::round_latency) and
+    /// [`site_delay`](PaxServerBuilder::site_delay) — do not apply here and
+    /// are ignored; only [`algorithm`](PaxServerBuilder::algorithm) and
+    /// [`annotations`](PaxServerBuilder::annotations) take effect.
+    pub fn deploy_over(
+        self,
+        fragmented: &FragmentedTree,
+        transport: Arc<dyn crate::transport::Transport>,
+    ) -> PaxResult<PaxServer> {
+        Ok(PaxServer {
+            deployment: Deployment::over_transport(fragmented, transport),
             algorithm: self.algorithm,
             options: EvalOptions { use_annotations: self.use_annotations },
             update_gate: RwLock::new(()),
@@ -343,7 +376,7 @@ impl PaxServer {
     /// snapshots bracketing any set of concurrent executions yield an
     /// accurate [`ClusterStats::delta_since`].
     pub fn cumulative_stats(&self) -> ClusterStats {
-        self.deployment.cluster.stats()
+        self.deployment.stats()
     }
 
     /// Hold the shared side of the update gate for the duration of one
@@ -400,7 +433,7 @@ impl PaxServer {
     pub fn execute(&self, query: &PreparedQuery) -> PaxResult<ExecReport> {
         self.resolve(query)?;
         let _shared = self.shared_gate();
-        Ok(match self.algorithm {
+        match self.algorithm {
             Algorithm::NaiveCentralized => {
                 naive::run(&self.deployment, &query.compiled, query.text())
             }
@@ -408,7 +441,7 @@ impl PaxServer {
                 pax3::run(&self.deployment, &query.compiled, query.text(), &self.options)
             }
             Algorithm::PaX2 => self.execute_session(query),
-        })
+        }
     }
 
     /// Prepare (or fetch the cached preparation of) `text` and execute it.
@@ -426,11 +459,11 @@ impl PaxServer {
     pub fn query_once(&self, text: &str) -> PaxResult<ExecReport> {
         let compiled = compile_text(text)?;
         let _shared = self.shared_gate();
-        Ok(match self.algorithm {
+        match self.algorithm {
             Algorithm::NaiveCentralized => naive::run(&self.deployment, &compiled, text),
             Algorithm::PaX3 => pax3::run(&self.deployment, &compiled, text, &self.options),
             Algorithm::PaX2 => pax2::run(&self.deployment, &compiled, text, &self.options),
-        })
+        }
     }
 
     /// Execute a batch of prepared queries in one shared-visit execution.
@@ -452,7 +485,7 @@ impl PaxServer {
                 let mut coordinator_ops = 0u64;
                 let mut stats = ClusterStats::default();
                 for query in queries {
-                    let report = naive::run(&self.deployment, &query.compiled, query.text());
+                    let report = naive::run(&self.deployment, &query.compiled, query.text())?;
                     coordinator_ops += report.coordinator_ops;
                     stats.merge(&report.stats);
                     outcomes.extend(report.queries);
@@ -474,7 +507,7 @@ impl PaxServer {
                 let compiled: Vec<&CompiledQuery> =
                     queries.iter().map(|q| q.compiled.as_ref()).collect();
                 let texts: Vec<String> = queries.iter().map(|q| q.text().to_string()).collect();
-                let mut report = batch::run(&self.deployment, &compiled, &texts, &self.options);
+                let mut report = batch::run(&self.deployment, &compiled, &texts, &self.options)?;
                 // Batched execution always uses the shared-visit combined
                 // protocol; the report names the server's configured
                 // algorithm (PaX3's ≤ 3 bound holds a fortiori).
@@ -524,7 +557,7 @@ impl PaxServer {
         }
         let dirty_fragments: BTreeSet<FragmentId> = ops_by_fragment.keys().copied().collect();
         let dirty_sites: BTreeSet<SiteId> =
-            dirty_fragments.iter().map(|&f| self.deployment.cluster.site_of(f)).collect();
+            dirty_fragments.iter().map(|&f| self.deployment.site_of(f)).collect();
         let mut ctx = ExecCtx::new(&self.deployment);
 
         // The session set is stable while the write gate is held (only
@@ -554,7 +587,7 @@ impl PaxServer {
                 recomputed_fragments += inputs.len();
                 session_inputs.insert(id, inputs);
             }
-            let mut requests: BTreeMap<SiteId, MsgSessionUpdate> = BTreeMap::new();
+            let mut requests: BTreeMap<SiteId, ProtocolRequest> = BTreeMap::new();
             for (&site, fragments) in
                 &self.deployment.group_by_site(dirty_fragments.iter().copied())
             {
@@ -576,15 +609,22 @@ impl PaxServer {
                         });
                     }
                 }
-                requests.insert(site, MsgSessionUpdate { ops, sessions: session_slices });
+                requests.insert(
+                    site,
+                    ProtocolRequest::SessionUpdate(MsgSessionUpdate {
+                        ops,
+                        sessions: session_slices,
+                    }),
+                );
             }
             debug_assert!(
                 requests.keys().all(|s| dirty_sites.contains(s)),
                 "the update round must address dirty sites only"
             );
-            let responses = ctx.round(requests, session_update_task);
+            let responses = ctx.round(requests)?;
 
-            for delta in responses.into_values() {
+            for response in responses.into_values() {
+                let delta = response.into_session_delta()?;
                 applied_ops += delta.applied.values().sum::<usize>();
                 rejected.extend(delta.rejected);
                 for session_delta in delta.sessions {
@@ -631,7 +671,7 @@ impl PaxServer {
     /// shared gate held; cold snapshots of one particular query serialize
     /// on that query's session lock, warm executions of different queries
     /// run fully in parallel.
-    fn execute_session(&self, query: &PreparedQuery) -> ExecReport {
+    fn execute_session(&self, query: &PreparedQuery) -> PaxResult<ExecReport> {
         let start = Instant::now();
         let session_arc = {
             let mut map = self.sessions.lock().expect("the session-table lock is never poisoned");
@@ -650,7 +690,7 @@ impl PaxServer {
         if session.initialized {
             // The cache is current (every update round refreshes it):
             // answer without visiting a single site.
-            return ExecReport {
+            return Ok(ExecReport {
                 algorithm: Algorithm::PaX2,
                 annotations_used: self.options.use_annotations,
                 mode: ExecMode::Query,
@@ -666,10 +706,10 @@ impl PaxServer {
                 coordinator_ops: 0,
                 elapsed: start.elapsed(),
                 from_cache: true,
-            };
+            });
         }
-        let round = session.run_round(&self.deployment, &BTreeMap::new(), true);
-        ExecReport {
+        let round = session.run_round(&self.deployment, &BTreeMap::new(), true)?;
+        Ok(ExecReport {
             algorithm: Algorithm::PaX2,
             annotations_used: self.options.use_annotations,
             mode: ExecMode::Query,
@@ -685,7 +725,7 @@ impl PaxServer {
             coordinator_ops: round.unify_ops,
             elapsed: start.elapsed(),
             from_cache: false,
-        }
+        })
     }
 }
 
@@ -952,7 +992,7 @@ mod tests {
         ));
         // Defaults: one site per fragment.
         let server = PaxServer::builder().deploy(&fragmented).unwrap();
-        assert_eq!(server.deployment().cluster.site_count(), fragmented.fragment_count());
+        assert_eq!(server.deployment().site_count(), fragmented.fragment_count());
         assert_eq!(server.algorithm(), Algorithm::PaX2);
     }
 

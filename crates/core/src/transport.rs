@@ -1,0 +1,258 @@
+//! The transport abstraction: one typed surface over which every driver
+//! (naive/PaX2/PaX3/batch) and [`PaxServer`](crate::server::PaxServer) talk
+//! to their sites, whether the sites are in-process simulator threads or
+//! real processes behind TCP sockets.
+//!
+//! The in-process [`Cluster`] has a *closure*-shaped round API: the
+//! coordinator ships a request value and a `Fn(&mut SiteLocal, Req) -> Resp`
+//! to run site-side. Closures cannot cross a socket, so the remote-capable
+//! surface replaces the closure with data: every site-side task of
+//! [`crate::protocol`] gets a variant in [`ProtocolRequest`], and one shared
+//! [`dispatch`] function maps each variant to its task. Both transports run
+//! the *same* `dispatch` — which is exactly what makes the simulator a
+//! conformance oracle for any remote transport: byte-for-byte identical
+//! requests, responses, operation counts and traffic meters.
+//!
+//! A round over a remote transport can fail (a site process can die); the
+//! in-process simulator cannot. [`Transport::round_recorded`] is therefore
+//! fallible, and the drivers propagate [`PaxError::SiteUnreachable`] to the
+//! caller instead of hanging.
+
+use crate::error::{PaxError, PaxResult};
+use crate::protocol::{
+    batch_collect_task, batch_combined_task, collect_task, combined_task, qualifier_task,
+    selection_task, session_update_task, update_task, BatchCollectRequest, BatchCollectResponse,
+    BatchCombinedRequest, BatchCombinedResponse, CollectRequest, CollectResponse, CombinedRequest,
+    CombinedResponse, MsgDelta, MsgSessionDelta, MsgSessionUpdate, MsgUpdate, QualRequest,
+    QualResponse, SelRequest, SelResponse,
+};
+use paxml_distsim::{Cluster, ClusterStats, SiteId, SiteLocal};
+use paxml_fragment::{Fragment, FragmentId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A coordinator→site message: one variant per site-side task of the PaX
+/// protocol. This enum (not the bare per-stage request) is the unit that
+/// crosses the wire, so its encoded size is the unit both transports charge.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ProtocolRequest {
+    /// PaX3 Stage 1: partial qualifier evaluation.
+    Qual(QualRequest),
+    /// PaX3 Stage 2: selection-path evaluation.
+    Sel(SelRequest),
+    /// PaX2 Stage 1: combined selection+qualifier pass.
+    Combined(CombinedRequest),
+    /// PaX2/PaX3 final stage: answer collection.
+    Collect(CollectRequest),
+    /// Batched combined pass (many queries, one visit).
+    BatchCombined(BatchCombinedRequest),
+    /// Batched answer collection.
+    BatchCollect(BatchCollectRequest),
+    /// Incremental update round of a single query session
+    /// (`crate::incremental::QuerySession`).
+    Update(MsgUpdate),
+    /// Server update round: apply ops and refresh every session's vectors.
+    SessionUpdate(MsgSessionUpdate),
+    /// Naive baseline: ship every fragment stored at the site.
+    Fetch,
+}
+
+/// A site→coordinator message: the response to the same-named
+/// [`ProtocolRequest`] variant.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ProtocolResponse {
+    /// Response to [`ProtocolRequest::Qual`].
+    Qual(QualResponse),
+    /// Response to [`ProtocolRequest::Sel`].
+    Sel(SelResponse),
+    /// Response to [`ProtocolRequest::Combined`].
+    Combined(CombinedResponse),
+    /// Response to [`ProtocolRequest::Collect`].
+    Collect(CollectResponse),
+    /// Response to [`ProtocolRequest::BatchCombined`].
+    BatchCombined(BatchCombinedResponse),
+    /// Response to [`ProtocolRequest::BatchCollect`].
+    BatchCollect(BatchCollectResponse),
+    /// Response to [`ProtocolRequest::Update`].
+    Delta(MsgDelta),
+    /// Response to [`ProtocolRequest::SessionUpdate`].
+    SessionDelta(MsgSessionDelta),
+    /// Response to [`ProtocolRequest::Fetch`].
+    Fragments(Vec<Fragment>),
+}
+
+/// Run one protocol request against a site. Both transports execute this
+/// exact function site-side, so a remote site computes — and is charged —
+/// precisely what the simulator computes and charges.
+pub fn dispatch(site: &mut SiteLocal, request: ProtocolRequest) -> ProtocolResponse {
+    match request {
+        ProtocolRequest::Qual(r) => ProtocolResponse::Qual(qualifier_task(site, r)),
+        ProtocolRequest::Sel(r) => ProtocolResponse::Sel(selection_task(site, r)),
+        ProtocolRequest::Combined(r) => ProtocolResponse::Combined(combined_task(site, r)),
+        ProtocolRequest::Collect(r) => ProtocolResponse::Collect(collect_task(site, r)),
+        ProtocolRequest::BatchCombined(r) => {
+            ProtocolResponse::BatchCombined(batch_combined_task(site, r))
+        }
+        ProtocolRequest::BatchCollect(r) => {
+            ProtocolResponse::BatchCollect(batch_collect_task(site, r))
+        }
+        ProtocolRequest::Update(r) => ProtocolResponse::Delta(update_task(site, r)),
+        ProtocolRequest::SessionUpdate(r) => {
+            ProtocolResponse::SessionDelta(session_update_task(site, r))
+        }
+        ProtocolRequest::Fetch => {
+            // Shipping is charged by the serialized size of the response;
+            // the site does no real computation beyond reading its store.
+            site.charge_ops(site.cumulative_size() as u64);
+            ProtocolResponse::Fragments(site.fragments.values().cloned().collect())
+        }
+    }
+}
+
+macro_rules! response_accessor {
+    ($(#[$doc:meta] $fn_name:ident, $variant:ident => $ty:ty;)*) => {
+        $(
+            #[$doc]
+            pub fn $fn_name(self) -> PaxResult<$ty> {
+                match self {
+                    ProtocolResponse::$variant(inner) => Ok(inner),
+                    other => Err(PaxError::Protocol {
+                        message: format!(
+                            "expected a {} response, got {}",
+                            stringify!($variant),
+                            other.kind()
+                        ),
+                    }),
+                }
+            }
+        )*
+    };
+}
+
+impl ProtocolResponse {
+    /// The variant's name, for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ProtocolResponse::Qual(_) => "Qual",
+            ProtocolResponse::Sel(_) => "Sel",
+            ProtocolResponse::Combined(_) => "Combined",
+            ProtocolResponse::Collect(_) => "Collect",
+            ProtocolResponse::BatchCombined(_) => "BatchCombined",
+            ProtocolResponse::BatchCollect(_) => "BatchCollect",
+            ProtocolResponse::Delta(_) => "Delta",
+            ProtocolResponse::SessionDelta(_) => "SessionDelta",
+            ProtocolResponse::Fragments(_) => "Fragments",
+        }
+    }
+
+    response_accessor! {
+        /// Unwrap a Stage-1 qualifier response.
+        into_qual, Qual => QualResponse;
+        /// Unwrap a Stage-2 selection response.
+        into_sel, Sel => SelResponse;
+        /// Unwrap a combined-pass response.
+        into_combined, Combined => CombinedResponse;
+        /// Unwrap an answer-collection response.
+        into_collect, Collect => CollectResponse;
+        /// Unwrap a batched combined-pass response.
+        into_batch_combined, BatchCombined => BatchCombinedResponse;
+        /// Unwrap a batched collection response.
+        into_batch_collect, BatchCollect => BatchCollectResponse;
+        /// Unwrap an incremental-update delta.
+        into_delta, Delta => MsgDelta;
+        /// Unwrap a session-update delta.
+        into_session_delta, SessionDelta => MsgSessionDelta;
+        /// Unwrap a naive-baseline fragment shipment.
+        into_fragments, Fragments => Vec<Fragment>;
+    }
+}
+
+/// The coordinator's view of a set of sites, independent of how the sites
+/// are reached. [`Cluster`] implements it in-process; `paxml-wire`'s
+/// `TcpCluster` implements it over sockets. Everything a driver needs —
+/// rounds, placement lookups, scratch-slot allocation, meters — goes
+/// through this trait, so drivers are transport-agnostic by construction.
+pub trait Transport: Send + Sync {
+    /// One coordinator round: deliver each request to its site, run
+    /// [`dispatch`] there, collect the responses. Request and response
+    /// traffic and per-site work are recorded both into the transport's
+    /// cumulative counters and into `recorder`.
+    fn round_recorded(
+        &self,
+        recorder: &mut ClusterStats,
+        requests: BTreeMap<SiteId, ProtocolRequest>,
+    ) -> PaxResult<BTreeMap<SiteId, ProtocolResponse>>;
+
+    /// Number of sites.
+    fn site_count(&self) -> usize;
+
+    /// The site storing a fragment.
+    fn site_of(&self, fragment: FragmentId) -> SiteId;
+
+    /// All sites that hold at least one fragment.
+    fn occupied_sites(&self) -> BTreeSet<SiteId>;
+
+    /// Hand out `n` scratch slots no other caller will ever receive (see
+    /// [`Cluster::allocate_slots`]).
+    fn allocate_slots(&self, n: usize) -> usize;
+
+    /// A consistent snapshot of the cumulative meters since the transport
+    /// started.
+    fn stats(&self) -> ClusterStats;
+
+    /// Reset all site scratch state and statistics.
+    fn reset(&self);
+
+    /// Number of parked scratch entries at a site (test instrumentation:
+    /// the scratch-leak regression tests assert this returns to zero).
+    fn scratch_len(&self, site: SiteId) -> usize;
+
+    /// Downcast to the in-process simulator, when that is what this is.
+    /// Simulator-only knobs (round latency, per-site delays, sequential
+    /// mode) are applied through this; remote transports ignore them.
+    fn as_cluster(&self) -> Option<&Cluster> {
+        None
+    }
+}
+
+impl Transport for Cluster {
+    fn round_recorded(
+        &self,
+        recorder: &mut ClusterStats,
+        requests: BTreeMap<SiteId, ProtocolRequest>,
+    ) -> PaxResult<BTreeMap<SiteId, ProtocolResponse>> {
+        Ok(Cluster::round_recorded(self, recorder, requests, dispatch))
+    }
+
+    fn site_count(&self) -> usize {
+        Cluster::site_count(self)
+    }
+
+    fn site_of(&self, fragment: FragmentId) -> SiteId {
+        Cluster::site_of(self, fragment)
+    }
+
+    fn occupied_sites(&self) -> BTreeSet<SiteId> {
+        Cluster::occupied_sites(self)
+    }
+
+    fn allocate_slots(&self, n: usize) -> usize {
+        Cluster::allocate_slots(self, n)
+    }
+
+    fn stats(&self) -> ClusterStats {
+        Cluster::stats(self)
+    }
+
+    fn reset(&self) {
+        Cluster::reset(self)
+    }
+
+    fn scratch_len(&self, site: SiteId) -> usize {
+        self.inspect_site(site).scratch_len()
+    }
+
+    fn as_cluster(&self) -> Option<&Cluster> {
+        Some(self)
+    }
+}

@@ -1,0 +1,27 @@
+//! The simulator side of the shared wire-layout byte vectors: for every
+//! canonical case in `tests/common/wire_vectors.rs` (repo root), assert
+//! that [`paxml_distsim::encoded_size`] charges exactly the number of
+//! bytes the real codec produces. The mirror test in
+//! `crates/wire/tests/byte_vectors.rs` checks the bytes themselves, so
+//! the two charging models cannot drift apart on `Option`, empty-map and
+//! varint-boundary edge cases without one of these files failing.
+
+use std::collections::BTreeMap;
+
+macro_rules! case {
+    ($name:ident, $ty:ty, $value:expr, [$($byte:expr),* $(,)?]) => {
+        #[test]
+        fn $name() {
+            let value: $ty = $value;
+            let expected: &[u8] = &[$($byte),*];
+            assert_eq!(
+                paxml_distsim::encoded_size(&value),
+                expected.len() as u64,
+                "encoded_size disagrees with the canonical byte vector for {}",
+                stringify!($name),
+            );
+        }
+    };
+}
+
+include!("../../../tests/common/wire_vectors.rs");

@@ -1,0 +1,391 @@
+//! [`TcpCluster`]: the coordinator's socket-backed [`Transport`] — the same
+//! `round`/`broadcast` surface the drivers use over the in-process
+//! simulator, served by real site processes.
+//!
+//! # Round protocol
+//!
+//! A round is pipelined: the coordinator first writes every site's request
+//! frame, then reads the replies — so the sites compute in parallel, like
+//! the simulator's worker pool, while the coordinator stays single-threaded.
+//! One lock serializes whole rounds (and the control operations), which
+//! keeps every connection's request/reply streams in lockstep even when the
+//! cluster is shared across coordinator threads.
+//!
+//! # Failure behaviour
+//!
+//! A connection that errors is marked **dead** and never retried: the first
+//! failed round reports [`PaxError::SiteUnreachable`], and every later
+//! round addressed to that site fails the same way immediately — no hangs
+//! (reads carry a timeout as a backstop) and no desynchronized streams
+//! (a failing round still drains the replies of the sites it did reach, so
+//! surviving connections stay clean for the next round).
+//!
+//! # Accounting
+//!
+//! Request traffic is charged as the encoded [`ProtocolRequest`] body
+//! length and response traffic as the encoded
+//! [`ProtocolResponse`] body length — the same quantities
+//! `paxml_distsim::encoded_size` charges in the simulator, so the two
+//! transports meter bit-identical byte counts. Ops come back from the site
+//! (`dispatch` is deterministic, so they too are identical); busy time is
+//! real wall clock and therefore the one meter that legitimately differs.
+
+use crate::codec;
+use crate::msg::{self, WireReply, WireRequest};
+use paxml_core::{PaxError, PaxResult, ProtocolRequest, ProtocolResponse, Transport};
+use paxml_distsim::{ClusterStats, Placement, SiteId};
+use paxml_fragment::{Fragment, FragmentId, FragmentedTree};
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+/// How often and how long to retry the initial connection to a site that
+/// is still starting up: linear backoff, bounded at about three seconds
+/// in total.
+const CONNECT_ATTEMPTS: u32 = 40;
+const CONNECT_BACKOFF_STEP: Duration = Duration::from_millis(5);
+const CONNECT_BACKOFF_CAP: Duration = Duration::from_millis(150);
+
+/// Backstop read timeout: a site that neither replies nor closes its socket
+/// within this window is treated as unreachable instead of hanging the
+/// coordinator forever.
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One site's connection: alive, or dead with the error that killed it.
+struct Connection {
+    stream: Result<TcpStream, String>,
+}
+
+impl Connection {
+    /// Mark the connection dead and return the unreachable error.
+    fn kill(&mut self, site: SiteId, err: &io::Error) -> PaxError {
+        let detail = err.to_string();
+        self.stream = Err(detail.clone());
+        PaxError::SiteUnreachable { site, detail }
+    }
+}
+
+/// A cluster of remote sites reached over TCP, implementing the same
+/// [`Transport`] surface as the in-process simulator.
+///
+/// Dropping the cluster sends every live site a clean
+/// [`WireRequest::Shutdown`].
+pub struct TcpCluster {
+    conns: Vec<Mutex<Connection>>,
+    assignment: BTreeMap<FragmentId, SiteId>,
+    /// Serializes rounds and control operations: per-connection streams
+    /// must not interleave messages of concurrent rounds.
+    round_lock: Mutex<()>,
+    stats: Mutex<ClusterStats>,
+    next_slot: AtomicUsize,
+}
+
+impl TcpCluster {
+    /// Connect to one site per address, distribute the fragments of
+    /// `fragmented` according to `placement`, and load each site with its
+    /// share — the socket equivalent of
+    /// [`paxml_distsim::Cluster::new`].
+    pub fn connect(
+        fragmented: &FragmentedTree,
+        addrs: &[SocketAddr],
+        placement: Placement,
+    ) -> PaxResult<TcpCluster> {
+        let site_count = addrs.len().max(1);
+        let mut assignment = BTreeMap::new();
+        for fragment in &fragmented.fragments {
+            let site = match placement {
+                Placement::RoundRobin => SiteId(fragment.id.index() % site_count),
+                Placement::SingleSite => SiteId(0),
+            };
+            assignment.insert(fragment.id, site);
+        }
+        Self::connect_with_assignment(fragmented, addrs, assignment)
+    }
+
+    /// Connect with an explicit fragment→site assignment (fragments not
+    /// mentioned go to site 0; site indices are clamped to the address
+    /// list, mirroring [`paxml_distsim::Cluster::with_assignment`]).
+    pub fn connect_with_assignment(
+        fragmented: &FragmentedTree,
+        addrs: &[SocketAddr],
+        assignment: BTreeMap<FragmentId, SiteId>,
+    ) -> PaxResult<TcpCluster> {
+        if addrs.is_empty() {
+            return Err(PaxError::InvalidConfig {
+                message: "a TCP cluster needs at least one site address".into(),
+            });
+        }
+        let mut final_assignment = BTreeMap::new();
+        let mut per_site: Vec<Vec<Fragment>> = vec![Vec::new(); addrs.len()];
+        for fragment in &fragmented.fragments {
+            let site = assignment.get(&fragment.id).copied().unwrap_or(SiteId(0));
+            let site = SiteId(site.index().min(addrs.len() - 1));
+            final_assignment.insert(fragment.id, site);
+            per_site[site.index()].push(fragment.clone());
+        }
+
+        let mut conns = Vec::with_capacity(addrs.len());
+        for (index, addr) in addrs.iter().enumerate() {
+            let site = SiteId(index);
+            let mut stream = connect_with_retry(site, *addr)?;
+            let fragments = std::mem::take(&mut per_site[index]);
+            handshake(&mut stream, site, fragments).map_err(|err| PaxError::SiteUnreachable {
+                site,
+                detail: format!("handshake with {addr} failed: {err}"),
+            })?;
+            conns.push(Mutex::new(Connection { stream: Ok(stream) }));
+        }
+        Ok(TcpCluster {
+            conns,
+            assignment: final_assignment,
+            round_lock: Mutex::new(()),
+            stats: Mutex::new(ClusterStats::default()),
+            next_slot: AtomicUsize::new(0),
+        })
+    }
+
+    fn lock_conn(&self, site: SiteId) -> MutexGuard<'_, Connection> {
+        self.conns[site.index()].lock().expect("connection locks are never poisoned")
+    }
+
+    /// Send one control request to a site and read its reply, marking the
+    /// connection dead on any io failure.
+    fn control(&self, site: SiteId, request: &WireRequest) -> PaxResult<WireReply> {
+        let mut conn = self.lock_conn(site);
+        let stream = match &mut conn.stream {
+            Ok(stream) => stream,
+            Err(detail) => return Err(PaxError::SiteUnreachable { site, detail: detail.clone() }),
+        };
+        match msg::send(stream, request).and_then(|()| msg::recv::<WireReply>(stream)) {
+            Ok(reply) => Ok(reply),
+            Err(err) => Err(conn.kill(site, &err)),
+        }
+    }
+}
+
+/// Dial `addr` with bounded linear backoff (the site process may still be
+/// binding its listener when the coordinator starts).
+fn connect_with_retry(site: SiteId, addr: SocketAddr) -> PaxResult<TcpStream> {
+    let mut last_error = String::new();
+    for attempt in 0..CONNECT_ATTEMPTS {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                stream
+                    .set_read_timeout(Some(READ_TIMEOUT))
+                    .and_then(|()| stream.set_nodelay(true))
+                    .map_err(|err| PaxError::SiteUnreachable {
+                        site,
+                        detail: format!("configuring the socket to {addr}: {err}"),
+                    })?;
+                return Ok(stream);
+            }
+            Err(err) => last_error = err.to_string(),
+        }
+        std::thread::sleep((CONNECT_BACKOFF_STEP * (attempt + 1)).min(CONNECT_BACKOFF_CAP));
+    }
+    Err(PaxError::SiteUnreachable {
+        site,
+        detail: format!("no connection to {addr} after {CONNECT_ATTEMPTS} attempts: {last_error}"),
+    })
+}
+
+/// Hello + Load over a fresh connection.
+fn handshake(stream: &mut TcpStream, site: SiteId, fragments: Vec<Fragment>) -> io::Result<()> {
+    msg::send(stream, &WireRequest::Hello { site })?;
+    match msg::recv::<WireReply>(stream)? {
+        WireReply::Hello { site: echoed } if echoed == site => {}
+        other => return Err(unexpected_reply("Hello", &other)),
+    }
+    msg::send(stream, &WireRequest::Load { fragments })?;
+    match msg::recv::<WireReply>(stream)? {
+        WireReply::Loaded { .. } => Ok(()),
+        other => Err(unexpected_reply("Loaded", &other)),
+    }
+}
+
+fn unexpected_reply(expected: &str, got: &WireReply) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("expected a {expected} reply, got {got:?}"))
+}
+
+/// One site's successfully completed share of a round.
+struct RoundOutcome {
+    site: SiteId,
+    request_bytes: u64,
+    response_bytes: u64,
+    ops: u64,
+    busy: Duration,
+    response: ProtocolResponse,
+}
+
+impl Transport for TcpCluster {
+    fn round_recorded(
+        &self,
+        recorder: &mut ClusterStats,
+        requests: BTreeMap<SiteId, ProtocolRequest>,
+    ) -> PaxResult<BTreeMap<SiteId, ProtocolResponse>> {
+        if requests.is_empty() {
+            return Ok(BTreeMap::new());
+        }
+        for site in requests.keys() {
+            assert!(site.index() < self.conns.len(), "request addressed to unknown site {site}");
+        }
+        let _round = self.round_lock.lock().expect("the round lock is never poisoned");
+
+        // Phase 1 — write every request frame. On the first failure stop
+        // sending (sites later in the order receive nothing this round).
+        let mut sent: Vec<(SiteId, u64)> = Vec::with_capacity(requests.len());
+        let mut failure: Option<PaxError> = None;
+        for (site, request) in &requests {
+            let body = codec::encode(request);
+            let request_bytes = body.len() as u64;
+            let mut conn = self.lock_conn(*site);
+            let result = match &mut conn.stream {
+                Ok(stream) => msg::send(stream, &WireRequest::Round { body }),
+                Err(detail) => {
+                    failure =
+                        Some(PaxError::SiteUnreachable { site: *site, detail: detail.clone() });
+                    break;
+                }
+            };
+            match result {
+                Ok(()) => sent.push((*site, request_bytes)),
+                Err(err) => {
+                    failure = Some(conn.kill(*site, &err));
+                    break;
+                }
+            }
+        }
+
+        // Phase 2 — drain a reply from every site we reached, even when the
+        // round is already doomed: leaving a reply unread would desync that
+        // connection for every later round.
+        let mut outcomes: Vec<RoundOutcome> = Vec::with_capacity(sent.len());
+        for (site, request_bytes) in sent {
+            let mut conn = self.lock_conn(site);
+            let reply = match &mut conn.stream {
+                Ok(stream) => msg::recv::<WireReply>(stream),
+                Err(detail) => Err(io::Error::other(detail.clone())),
+            };
+            match reply {
+                Ok(WireReply::Round { ops, busy_nanos, body }) => {
+                    match codec::decode::<ProtocolResponse>(&body) {
+                        Ok(response) => outcomes.push(RoundOutcome {
+                            site,
+                            request_bytes,
+                            response_bytes: body.len() as u64,
+                            ops,
+                            busy: Duration::from_nanos(busy_nanos),
+                            response,
+                        }),
+                        Err(err) => {
+                            failure = failure.or(Some(PaxError::Protocol {
+                                message: format!("undecodable response from site {site}: {err}"),
+                            }))
+                        }
+                    }
+                }
+                Ok(WireReply::Error { message }) => {
+                    failure = failure.or(Some(PaxError::Protocol {
+                        message: format!("site {site} failed its task: {message}"),
+                    }))
+                }
+                Ok(other) => {
+                    failure = failure.or(Some(PaxError::Protocol {
+                        message: format!("unexpected reply from site {site}: {other:?}"),
+                    }))
+                }
+                Err(err) => {
+                    let unreachable = conn.kill(site, &err);
+                    failure = failure.or(Some(unreachable));
+                }
+            }
+        }
+        if let Some(error) = failure {
+            return Err(error);
+        }
+
+        // Phase 3 — commit the meters whole-round, exactly like the
+        // simulator: per-site work into both recorders, then the round's
+        // slowest/busiest site.
+        let mut responses = BTreeMap::new();
+        let mut slowest = Duration::ZERO;
+        let mut max_ops = 0u64;
+        let mut cumulative = self.stats.lock().expect("the stats lock is never poisoned");
+        for outcome in outcomes {
+            for target in [&mut *cumulative, &mut *recorder] {
+                target.record_site_work(
+                    outcome.site,
+                    outcome.ops,
+                    outcome.busy,
+                    outcome.request_bytes,
+                    outcome.response_bytes,
+                );
+            }
+            slowest = slowest.max(outcome.busy);
+            max_ops = max_ops.max(outcome.ops);
+            responses.insert(outcome.site, outcome.response);
+        }
+        cumulative.record_round(slowest, max_ops);
+        recorder.record_round(slowest, max_ops);
+        Ok(responses)
+    }
+
+    fn site_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    fn site_of(&self, fragment: FragmentId) -> SiteId {
+        self.assignment
+            .get(&fragment)
+            .copied()
+            .expect("every fragment was assigned to a site at construction")
+    }
+
+    fn occupied_sites(&self) -> BTreeSet<SiteId> {
+        self.assignment.values().copied().collect()
+    }
+
+    fn allocate_slots(&self, n: usize) -> usize {
+        self.next_slot.fetch_add(n.max(1), Ordering::Relaxed)
+    }
+
+    fn stats(&self) -> ClusterStats {
+        self.stats.lock().expect("the stats lock is never poisoned").clone()
+    }
+
+    fn reset(&self) {
+        let _round = self.round_lock.lock().expect("the round lock is never poisoned");
+        for index in 0..self.conns.len() {
+            // Best effort: a dead site has no scratch worth clearing.
+            let _ = self.control(SiteId(index), &WireRequest::Reset);
+        }
+        *self.stats.lock().expect("the stats lock is never poisoned") = ClusterStats::default();
+    }
+
+    fn scratch_len(&self, site: SiteId) -> usize {
+        let _round = self.round_lock.lock().expect("the round lock is never poisoned");
+        match self.control(site, &WireRequest::ScratchLen) {
+            Ok(WireReply::ScratchLen { len }) => len,
+            Ok(other) => panic!("unexpected reply to a scratch-len probe: {other:?}"),
+            Err(err) => panic!("scratch-len probe failed: {err}"),
+        }
+    }
+}
+
+impl Drop for TcpCluster {
+    fn drop(&mut self) {
+        for conn in &mut self.conns {
+            let connection = conn.get_mut().expect("connection locks are never poisoned");
+            if let Ok(stream) = &mut connection.stream {
+                // Give the site its clean shutdown; ignore failures — the
+                // peer may already be gone.
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                let _ = msg::send(stream, &WireRequest::Shutdown);
+                let _ = msg::recv::<WireReply>(stream);
+            }
+        }
+    }
+}

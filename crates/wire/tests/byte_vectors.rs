@@ -1,0 +1,34 @@
+//! The codec side of the shared wire-layout byte vectors: for every
+//! canonical case in `tests/common/wire_vectors.rs` (repo root), assert
+//! that [`paxml_wire::encode`] produces exactly those bytes and that
+//! [`paxml_wire::decode`] recovers the original value. The mirror test in
+//! `crates/distsim/tests/byte_vectors.rs` holds `encoded_size` to the
+//! same vectors, pinning the simulator's byte meter and the socket
+//! transport's codec to one layout.
+
+use std::collections::BTreeMap;
+
+macro_rules! case {
+    ($name:ident, $ty:ty, $value:expr, [$($byte:expr),* $(,)?]) => {
+        #[test]
+        fn $name() {
+            let value: $ty = $value;
+            let expected: &[u8] = &[$($byte),*];
+            let encoded = paxml_wire::encode(&value);
+            assert_eq!(
+                encoded, expected,
+                "encode disagrees with the canonical byte vector for {}",
+                stringify!($name),
+            );
+            let decoded: $ty = paxml_wire::decode(expected)
+                .expect("canonical bytes must decode");
+            assert_eq!(
+                decoded, value,
+                "decode(canonical bytes) did not recover the value for {}",
+                stringify!($name),
+            );
+        }
+    };
+}
+
+include!("../../../tests/common/wire_vectors.rs");

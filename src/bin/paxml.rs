@@ -1,25 +1,29 @@
 //! `paxml` — command-line front end for the distributed XPath engine.
 //!
 //! ```text
-//! paxml query <file.xml> <xpath> [options]     evaluate a query
+//! paxml query <file.xml> <xpath> [options]     evaluate a query (simulated sites)
+//! paxml cluster <file.xml> <xpath> [options]   evaluate over real site processes (TCP)
 //! paxml fragment <file.xml> [options]          show how a document fragments
 //! paxml compare <file.xml> <xpath> [options]   run every algorithm and compare costs
+//! paxml site --listen <addr>                   run one site server (used by `cluster`)
 //! paxml help                                   this text
 //!
 //! options:
 //!   --cut-label <label>      cut a fragment at every element with this label
 //!                            (repeatable; default: the root's children)
 //!   --cut-size <nodes>       cut fragments greedily at this node budget
-//!   --sites <n>              number of simulated sites (default 4)
+//!   --sites <n>              number of sites (default 4)
 //!   --algorithm <name>       pax2 | pax3 | naive | centralized (default pax2)
 //!   --annotations            enable the XPath-annotation optimization (§5)
 //!   --show-answers <n>       print at most n answers (default 10)
 //! ```
 //!
-//! The "distribution" is simulated in-process (see `paxml::distsim`), so the
-//! tool is useful for exploring how a document would fragment, which
-//! fragments a query touches, and what the paper's algorithms would ship —
-//! without provisioning anything.
+//! `query`, `fragment` and `compare` simulate the distribution in-process
+//! (see `paxml::distsim`). `cluster` is the real thing in miniature: it
+//! spawns `--sites` copies of this binary as `paxml site` child processes,
+//! ships each its fragments over TCP, runs the query through
+//! `paxml::wire::TcpCluster`, and tears the processes down afterwards —
+//! same algorithms, same answers, same byte charges as the simulation.
 
 use paxml::prelude::*;
 use paxml::xpath::semantics;
@@ -55,7 +59,14 @@ fn main() -> ExitCode {
             print_help();
             ExitCode::SUCCESS
         }
-        "query" | "fragment" | "compare" => match run(command, &args[1..]) {
+        "query" | "fragment" | "compare" | "cluster" => match run(command, &args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::from(1)
+            }
+        },
+        "site" => match run_site(&args[1..]) {
             Ok(()) => ExitCode::SUCCESS,
             Err(message) => {
                 eprintln!("error: {message}");
@@ -74,14 +85,16 @@ fn print_help() {
         "paxml — distributed XPath query evaluation with performance guarantees\n\
          \n\
          usage:\n\
-         \u{20}  paxml query <file.xml> <xpath> [options]     evaluate a query\n\
+         \u{20}  paxml query <file.xml> <xpath> [options]     evaluate a query (simulated sites)\n\
+         \u{20}  paxml cluster <file.xml> <xpath> [options]   evaluate over real site processes (TCP)\n\
          \u{20}  paxml fragment <file.xml> [options]          show how a document fragments\n\
          \u{20}  paxml compare <file.xml> <xpath> [options]   run every algorithm and compare costs\n\
+         \u{20}  paxml site --listen <addr>                   run one site server (used by `cluster`)\n\
          \n\
          options:\n\
          \u{20}  --cut-label <label>   cut a fragment at every element with this label (repeatable)\n\
          \u{20}  --cut-size <nodes>    cut fragments greedily at this node budget\n\
-         \u{20}  --sites <n>           number of simulated sites (default 4)\n\
+         \u{20}  --sites <n>           number of sites (default 4)\n\
          \u{20}  --algorithm <name>    pax2 | pax3 | naive | centralized (default pax2)\n\
          \u{20}  --annotations         enable the XPath-annotation optimization\n\
          \u{20}  --show-answers <n>    print at most n answers (default 10)"
@@ -111,6 +124,10 @@ fn run(command: &str, rest: &[String]) -> Result<(), String> {
         "compare" => {
             let query_text = query_text.expect("compare command always has a query");
             compare_algorithms(&tree, &fragmented, &query_text, &options)?;
+        }
+        "cluster" => {
+            let query_text = query_text.expect("cluster command always has a query");
+            run_cluster(&fragmented, &query_text, &options)?;
         }
         _ => unreachable!("validated by main"),
     }
@@ -244,6 +261,84 @@ fn run_query(
     if answers.len() > options.show_answers {
         println!("  … and {} more", answers.len() - options.show_answers);
     }
+    Ok(())
+}
+
+/// `paxml site --listen <addr>`: one site of a TCP cluster. Announces the
+/// bound address on stdout (`LISTENING <addr>` — the OS picks the port for
+/// `:0`), then serves fragments until a shutdown message arrives.
+fn run_site(rest: &[String]) -> Result<(), String> {
+    use std::io::Write;
+    let mut listen = String::from("127.0.0.1:0");
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--listen" => {
+                listen = rest
+                    .get(i + 1)
+                    .cloned()
+                    .ok_or_else(|| "--listen expects an address".to_string())?;
+                i += 2;
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    let server = paxml::wire::SiteServer::bind(listen.as_str())
+        .map_err(|e| format!("cannot listen on {listen}: {e}"))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    println!("{}{addr}", paxml::wire::process::LISTENING_PREFIX);
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    server.run().map_err(|e| e.to_string())
+}
+
+/// `paxml cluster`: the same evaluation as `query`, but over `--sites`
+/// real site processes (spawned from this very binary) behind TCP.
+fn run_cluster(
+    fragmented: &FragmentedTree,
+    query_text: &str,
+    options: &Options,
+) -> Result<(), String> {
+    let algorithm = match options.algorithm.as_str() {
+        "pax2" => Algorithm::PaX2,
+        "pax3" => Algorithm::PaX3,
+        "naive" => Algorithm::NaiveCentralized,
+        "centralized" => {
+            return Err(
+                "`cluster` distributes the document; use `query` for centralized".to_string()
+            )
+        }
+        other => return Err(format!("unknown algorithm {other:?}")),
+    };
+    let program = std::env::current_exe().map_err(|e| format!("cannot find own binary: {e}"))?;
+    let sites = options.sites.max(1);
+    println!("spawning {sites} site processes …");
+    let cluster =
+        paxml::wire::ProcessCluster::spawn(&program, fragmented, sites, Placement::RoundRobin)
+            .map_err(|e| e.to_string())?;
+    for site in cluster.addresses() {
+        println!("  site listening on {site}");
+    }
+    let server = PaxServer::builder()
+        .algorithm(algorithm)
+        .annotations(options.annotations)
+        .deploy_over(fragmented, cluster.transport.clone())
+        .map_err(|e| e.to_string())?;
+    let report = server.query_once(query_text).map_err(|e| e.to_string())?;
+
+    println!("{}", report.summary());
+    let answers = report.answers();
+    for item in answers.iter().take(options.show_answers) {
+        match &item.text {
+            Some(text) => println!("  <{}> {}", item.label, text),
+            None => println!("  <{}>", item.label),
+        }
+    }
+    if answers.len() > options.show_answers {
+        println!("  … and {} more", answers.len() - options.show_answers);
+    }
+    // Dropping the server and the cluster sends each site a clean shutdown
+    // message, then reaps the child processes.
+    println!("shutting the cluster down …");
     Ok(())
 }
 

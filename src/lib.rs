@@ -65,6 +65,7 @@ pub use paxml_boolex as boolex;
 pub use paxml_core as core;
 pub use paxml_distsim as distsim;
 pub use paxml_fragment as fragment;
+pub use paxml_wire as wire;
 pub use paxml_xmark as xmark;
 pub use paxml_xml as xml;
 pub use paxml_xpath as xpath;

@@ -1,0 +1,89 @@
+// Canonical byte vectors for the PaX wire layout, shared between
+// `crates/distsim/tests/byte_vectors.rs` (which asserts that
+// `paxml_distsim::encoded_size` charges exactly `expected.len()` bytes)
+// and `crates/wire/tests/byte_vectors.rs` (which asserts that
+// `paxml_wire::encode` produces exactly these bytes and that
+// `paxml_wire::decode` recovers the value). Each includer defines a
+// `case!(name, Type, value, [bytes...])` macro before `include!`-ing this
+// file; keeping one copy pins the two charging models to each other.
+//
+// The vectors deliberately over-represent the edge cases where a size
+// model and a codec could drift apart silently: `None` vs `Some` of an
+// empty container, empty maps and sequences, varint byte boundaries,
+// zig-zag extremes, and multi-byte UTF-8 chars (which are written raw,
+// with no length prefix).
+
+// Booleans and single-byte integers: one raw byte each.
+case!(v_bool_false, bool, false, [0x00]);
+case!(v_bool_true, bool, true, [0x01]);
+case!(v_u8_max, u8, 255u8, [0xFF]);
+case!(v_i8_neg_one, i8, -1i8, [0xFF]);
+
+// Unsigned varints: 7 bits per byte, little-endian groups,
+// high bit = continuation.
+case!(v_u16_300, u16, 300u16, [0xAC, 0x02]);
+case!(v_u32_127, u32, 127u32, [0x7F]);
+case!(v_u32_128, u32, 128u32, [0x80, 0x01]);
+case!(
+    v_u64_max,
+    u64,
+    u64::MAX,
+    [0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01]
+);
+
+// Signed integers: zig-zag then varint, so small magnitudes stay small.
+case!(v_i32_neg_one, i32, -1i32, [0x01]);
+case!(v_i32_one, i32, 1i32, [0x02]);
+case!(
+    v_i64_min,
+    i64,
+    i64::MIN,
+    [0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01]
+);
+
+// Floats: fixed-width little-endian IEEE 754.
+case!(v_f32_one, f32, 1.0f32, [0x00, 0x00, 0x80, 0x3F]);
+case!(v_f64_one, f64, 1.0f64, [0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF0, 0x3F]);
+
+// Chars: raw UTF-8 bytes, width implied by the leading byte — no prefix.
+case!(v_char_ascii, char, 'A', [0x41]);
+case!(v_char_two_byte, char, '\u{e9}', [0xC3, 0xA9]);
+
+// Strings: varint byte length, then the UTF-8 payload.
+case!(v_string_empty, String, String::new(), [0x00]);
+case!(v_string_accent, String, String::from("\u{e9}"), [0x02, 0xC3, 0xA9]);
+
+// Options: one tag byte; `None` is exactly one byte even for large payload
+// types, and `Some` of a zero is two.
+case!(v_none_u64, Option<u64>, None, [0x00]);
+case!(v_some_zero_u64, Option<u64>, Some(0), [0x01, 0x00]);
+case!(v_some_none, Option<Option<u8>>, Some(None), [0x01, 0x00]);
+
+// Sequences and maps: varint element count, then the elements. An empty
+// map is one byte — NOT zero — which is the edge the simulator's byte
+// meter and the codec must agree on for protocol messages that carry
+// empty per-fragment tables.
+case!(v_vec_empty, Vec<u32>, Vec::new(), [0x00]);
+case!(v_vec_u32, Vec<u32>, vec![1, 300], [0x02, 0x01, 0xAC, 0x02]);
+case!(v_map_empty, BTreeMap<u32, u64>, BTreeMap::new(), [0x00]);
+case!(
+    v_map_with_empty_vec_value,
+    BTreeMap<u32, Vec<u32>>,
+    [(5u32, Vec::new())].into_iter().collect(),
+    [0x01, 0x05, 0x00]
+);
+case!(
+    v_some_empty_map,
+    Option<BTreeMap<u32, u64>>,
+    Some(BTreeMap::new()),
+    [0x01, 0x00]
+);
+
+// Units and tuples: zero framing overhead — fields are just concatenated.
+case!(v_unit, (), (), []);
+case!(
+    v_tuple,
+    (u8, i32, String),
+    (7u8, -2i32, String::from("hi")),
+    [0x07, 0x03, 0x02, 0x68, 0x69]
+);

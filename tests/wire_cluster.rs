@@ -1,0 +1,192 @@
+//! Process-level wire tests: sites are real OS processes running
+//! `paxml site`, spawned from the compiled binary itself.
+//!
+//! Two properties are pinned here. First, the full cross-transport
+//! conformance oracle on an XMark-style document: answers, visit counts
+//! and byte counts over the socket transport are bit-identical to the
+//! in-process simulator for all three algorithms, across single queries,
+//! batches and update streams. Second, fault tolerance in the failure
+//! model the paper assumes away: killing a site process produces a clean
+//! `PaxError::SiteUnreachable` — no hang, no poisoned later rounds, and
+//! sites that stayed up keep answering what they can.
+//!
+//! Every test body runs under a watchdog so a transport hang fails the
+//! test instead of wedging the suite.
+
+use paxml::prelude::*;
+use paxml::wire::ProcessCluster;
+use paxml_distsim::{ClusterStats, Placement, SiteId};
+use paxml_xmark::{clientele_fragmentation, ft1, UpdateWorkload, PAPER_QUERIES};
+use std::sync::Arc;
+use std::time::Duration;
+
+const BIN: &str = env!("CARGO_BIN_EXE_paxml");
+const WATCHDOG: Duration = Duration::from_secs(120);
+
+/// Run `body` on its own thread and fail loudly if it neither returns nor
+/// panics within the watchdog interval — the shape a lost shutdown or an
+/// unnoticed dead socket would take.
+fn with_watchdog<F: FnOnce() + Send + 'static>(body: F) {
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        body();
+        let _ = done_tx.send(());
+    });
+    match done_rx.recv_timeout(WATCHDOG) {
+        Ok(()) => handle.join().expect("test body panicked after completing"),
+        Err(_) => match handle.is_finished() {
+            // The body panicked: propagate the original failure.
+            true => handle.join().expect("test body panicked"),
+            false => panic!("test body hung for {WATCHDOG:?} — the transport wedged"),
+        },
+    }
+}
+
+fn assert_stats_match(sim: &ClusterStats, tcp: &ClusterStats, context: &str) {
+    assert_eq!(sim.rounds, tcp.rounds, "{context}: rounds diverged");
+    assert_eq!(sim.messages, tcp.messages, "{context}: messages diverged");
+    assert_eq!(sim.total_ops, tcp.total_ops, "{context}: total_ops diverged");
+    assert_eq!(sim.parallel_ops, tcp.parallel_ops, "{context}: parallel_ops diverged");
+    assert_eq!(
+        sim.sites.keys().collect::<Vec<_>>(),
+        tcp.sites.keys().collect::<Vec<_>>(),
+        "{context}: different sites were visited"
+    );
+    for (site, s) in &sim.sites {
+        let t = &tcp.sites[site];
+        assert_eq!(s.visits, t.visits, "{context}: visits diverged at {site:?}");
+        assert_eq!(s.ops, t.ops, "{context}: ops diverged at {site:?}");
+        assert_eq!(s.bytes_received, t.bytes_received, "{context}: req bytes at {site:?}");
+        assert_eq!(s.bytes_sent, t.bytes_sent, "{context}: resp bytes at {site:?}");
+    }
+}
+
+fn assert_reports_match(sim: &ExecReport, tcp: &ExecReport, context: &str) {
+    assert_eq!(sim.queries.len(), tcp.queries.len(), "{context}: query count");
+    for (qs, qt) in sim.queries.iter().zip(&tcp.queries) {
+        assert_eq!(qs.answers, qt.answers, "{context}: answers diverged for {}", qs.query);
+        assert_eq!(
+            qs.fragments_evaluated, qt.fragments_evaluated,
+            "{context}: fragments_evaluated diverged for {}",
+            qs.query
+        );
+    }
+    assert_stats_match(&sim.stats, &tcp.stats, context);
+}
+
+#[test]
+fn xmark_workload_matches_simulator_across_processes() {
+    with_watchdog(|| {
+        // A small XMark-style tree: 6 fragments, ~a thousand nodes.
+        let (tree, fragmented) = ft1(6, 0.01, 42);
+        let sites = 3;
+        for algorithm in [Algorithm::NaiveCentralized, Algorithm::PaX2, Algorithm::PaX3] {
+            let sim = PaxServer::builder()
+                .algorithm(algorithm)
+                .sites(sites)
+                .placement(Placement::RoundRobin)
+                .deploy(&fragmented)
+                .expect("deploy simulator");
+            let cluster = ProcessCluster::spawn(BIN, &fragmented, sites, Placement::RoundRobin)
+                .expect("spawn site processes");
+            let tcp = PaxServer::builder()
+                .algorithm(algorithm)
+                .deploy_over(&fragmented, cluster.transport.clone())
+                .expect("deploy over processes");
+
+            // Single queries from the paper's workload.
+            let queries: Vec<&str> = PAPER_QUERIES.iter().map(|(q, _)| *q).collect();
+            for query in &queries {
+                let context = format!("{algorithm} {query}");
+                let s = sim.query_once(query).expect("simulator query");
+                let t = tcp.query_once(query).expect("TCP query");
+                assert_reports_match(&s, &t, &context);
+            }
+            // One batch over the whole workload.
+            let s = sim.execute_batch_text(&queries).expect("simulator batch");
+            let t = tcp.execute_batch_text(&queries).expect("TCP batch");
+            assert_reports_match(&s, &t, &format!("{algorithm} batch"));
+            // Update rounds, then a re-execution over the updated document.
+            let mut sim_load = UpdateWorkload::new(&fragmented, tree.all_nodes().count(), 9);
+            let mut tcp_load = UpdateWorkload::new(&fragmented, tree.all_nodes().count(), 9);
+            for round in 0..2 {
+                let s = sim.apply_updates(&sim_load.next_batch(5, 2)).expect("simulator update");
+                let t = tcp.apply_updates(&tcp_load.next_batch(5, 2)).expect("TCP update");
+                assert_reports_match(&s, &t, &format!("{algorithm} update {round}"));
+            }
+            let s = sim.execute_text(queries[0]).expect("simulator re-exec");
+            let t = tcp.execute_text(queries[0]).expect("TCP re-exec");
+            assert_reports_match(&s, &t, &format!("{algorithm} post-update"));
+
+            assert_stats_match(
+                &sim.cumulative_stats(),
+                &tcp.cumulative_stats(),
+                &format!("{algorithm} cumulative"),
+            );
+        }
+    });
+}
+
+#[test]
+fn killed_site_reports_unreachable_without_hanging() {
+    with_watchdog(|| {
+        let (_tree, fragmented) = clientele_fragmentation();
+        let mut cluster = ProcessCluster::spawn(BIN, &fragmented, 3, Placement::RoundRobin)
+            .expect("spawn site processes");
+        let transport = cluster.transport.clone();
+        let server = PaxServer::builder()
+            .algorithm(Algorithm::PaX3)
+            .deploy_over(&fragmented, transport)
+            .expect("deploy");
+        let query = "//broker[//stock/code/text()='GOOG']/name";
+
+        // Healthy first: the cluster answers.
+        let before = server.query_once(query).expect("query before the fault");
+        assert!(!before.queries[0].answers.is_empty(), "workload sanity: answers exist");
+
+        // Kill one site's process outright.
+        cluster.kill_site(SiteId(1));
+
+        // Every subsequent round that addresses the dead site must fail
+        // fast with SiteUnreachable — and keep failing cleanly, round
+        // after round, rather than hanging or corrupting the transport.
+        for attempt in 0..3 {
+            match server.query_once(query) {
+                Err(PaxError::SiteUnreachable { site, .. }) => {
+                    assert_eq!(site, SiteId(1), "attempt {attempt}: wrong site blamed");
+                }
+                Err(other) => panic!("attempt {attempt}: expected SiteUnreachable, got {other}"),
+                Ok(_) => panic!("attempt {attempt}: query succeeded over a dead site"),
+            }
+        }
+
+        // Reconnecting over only the surviving processes still works: the
+        // fault took down one site, not the cluster. Fragments reroute to
+        // the two sites that stayed up.
+        let all_addrs: Vec<_> = cluster.addresses().collect();
+        let survivor_addrs = [all_addrs[0], all_addrs[2]];
+        let survivors: std::collections::BTreeMap<FragmentId, SiteId> = fragmented
+            .fragment_tree
+            .ids()
+            .iter()
+            .map(|&id| (id, if id.index() == 0 { SiteId(0) } else { SiteId(1) }))
+            .collect();
+        let rerouted = Arc::new(
+            paxml::wire::TcpCluster::connect_with_assignment(
+                &fragmented,
+                &survivor_addrs,
+                survivors,
+            )
+            .expect("reconnect to survivors"),
+        );
+        let rerouted_server = PaxServer::builder()
+            .algorithm(Algorithm::PaX3)
+            .deploy_over(&fragmented, rerouted)
+            .expect("deploy over survivors");
+        let after = rerouted_server.query_once(query).expect("survivors still answer");
+        assert_eq!(
+            before.queries[0].answers, after.queries[0].answers,
+            "the surviving sites must produce the same answers"
+        );
+    });
+}

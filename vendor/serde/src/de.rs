@@ -1,0 +1,258 @@
+//! Deserialization traits mirroring the shape of [`crate::ser`], and impls
+//! for the std types the workspace's message types are built from.
+//!
+//! Unlike real serde's visitor-based `Deserializer`, this stand-in uses a
+//! small *method-based* reader interface: the data formats in this workspace
+//! are self-describing only up to their Rust types (the wire layout carries
+//! no field names or type tags beyond enum variant indices), so a decoder
+//! always knows statically which primitive comes next and can simply ask for
+//! it. The nine reader methods below correspond one-to-one to the byte
+//! categories `paxml-distsim`'s counting serializer charges: primitives,
+//! strings/bytes (varint length + payload), option tags, sequence/map
+//! lengths, and enum variant tags. Swapping back to crates.io serde would
+//! replace this module wholesale, which is why it is kept separate from
+//! [`crate::ser`].
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt::Display;
+use std::hash::{BuildHasher, Hash};
+use std::time::Duration;
+
+/// Error trait required of a deserializer's error type.
+pub trait Error: Sized + std::error::Error {
+    /// Build an error from a display-able message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data format that a `Deserialize` type can read itself back out of.
+///
+/// All methods take `&mut self`: a deserializer is a cursor over its input
+/// and is threaded through the decode of a whole value tree.
+pub trait Deserializer<'de> {
+    /// Error type.
+    type Error: Error;
+
+    /// Read a `bool`.
+    fn read_bool(&mut self) -> Result<bool, Self::Error>;
+    /// Read an `i8`.
+    fn read_i8(&mut self) -> Result<i8, Self::Error>;
+    /// Read an `i16`.
+    fn read_i16(&mut self) -> Result<i16, Self::Error>;
+    /// Read an `i32`.
+    fn read_i32(&mut self) -> Result<i32, Self::Error>;
+    /// Read an `i64`.
+    fn read_i64(&mut self) -> Result<i64, Self::Error>;
+    /// Read a `u8`.
+    fn read_u8(&mut self) -> Result<u8, Self::Error>;
+    /// Read a `u16`.
+    fn read_u16(&mut self) -> Result<u16, Self::Error>;
+    /// Read a `u32`.
+    fn read_u32(&mut self) -> Result<u32, Self::Error>;
+    /// Read a `u64`.
+    fn read_u64(&mut self) -> Result<u64, Self::Error>;
+    /// Read an `f32`.
+    fn read_f32(&mut self) -> Result<f32, Self::Error>;
+    /// Read an `f64`.
+    fn read_f64(&mut self) -> Result<f64, Self::Error>;
+    /// Read a `char`.
+    fn read_char(&mut self) -> Result<char, Self::Error>;
+    /// Read an owned string.
+    fn read_string(&mut self) -> Result<String, Self::Error>;
+    /// Read an owned byte buffer.
+    fn read_byte_buf(&mut self) -> Result<Vec<u8>, Self::Error>;
+    /// Read a unit value (no bytes on the wire).
+    fn read_unit(&mut self) -> Result<(), Self::Error>;
+    /// Read an `Option` tag: `false` for `None`, `true` for `Some` (the
+    /// payload follows).
+    fn read_option_tag(&mut self) -> Result<bool, Self::Error>;
+    /// Read the element count of a sequence or map.
+    fn read_len(&mut self) -> Result<usize, Self::Error>;
+    /// Read an enum variant index.
+    fn read_variant_tag(&mut self) -> Result<u32, Self::Error>;
+}
+
+/// A data structure that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Read `Self` out of the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: &mut D) -> Result<Self, D::Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types (mirroring the Serialize impls in `ser`).
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_primitive {
+    ($($ty:ty => $method:ident),* $(,)?) => {
+        $(
+            impl<'de> Deserialize<'de> for $ty {
+                fn deserialize<D: Deserializer<'de>>(de: &mut D) -> Result<Self, D::Error> {
+                    de.$method()
+                }
+            }
+        )*
+    };
+}
+
+impl_primitive! {
+    bool => read_bool,
+    i8 => read_i8,
+    i16 => read_i16,
+    i32 => read_i32,
+    i64 => read_i64,
+    u8 => read_u8,
+    u16 => read_u16,
+    u32 => read_u32,
+    u64 => read_u64,
+    f32 => read_f32,
+    f64 => read_f64,
+    char => read_char,
+    String => read_string,
+}
+
+impl<'de> Deserialize<'de> for isize {
+    fn deserialize<D: Deserializer<'de>>(de: &mut D) -> Result<Self, D::Error> {
+        Ok(de.read_i64()? as isize)
+    }
+}
+
+impl<'de> Deserialize<'de> for usize {
+    fn deserialize<D: Deserializer<'de>>(de: &mut D) -> Result<Self, D::Error> {
+        Ok(de.read_u64()? as usize)
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(de: &mut D) -> Result<Self, D::Error> {
+        de.read_unit()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(de: &mut D) -> Result<Self, D::Error> {
+        Ok(Box::new(T::deserialize(de)?))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::rc::Rc<T> {
+    fn deserialize<D: Deserializer<'de>>(de: &mut D) -> Result<Self, D::Error> {
+        Ok(std::rc::Rc::new(T::deserialize(de)?))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::sync::Arc<T> {
+    fn deserialize<D: Deserializer<'de>>(de: &mut D) -> Result<Self, D::Error> {
+        Ok(std::sync::Arc::new(T::deserialize(de)?))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(de: &mut D) -> Result<Self, D::Error> {
+        if de.read_option_tag()? {
+            Ok(Some(T::deserialize(de)?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(de: &mut D) -> Result<Self, D::Error> {
+        let len = de.read_len()?;
+        let mut out = Vec::with_capacity(len.min(4096));
+        for _ in 0..len {
+            out.push(T::deserialize(de)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(de: &mut D) -> Result<Self, D::Error> {
+        // Serialized as a fixed-length tuple: no length prefix on the wire.
+        let mut out = Vec::with_capacity(N);
+        for _ in 0..N {
+            out.push(T::deserialize(de)?);
+        }
+        out.try_into().map_err(|_| D::Error::custom("array length mismatch"))
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(de: &mut D) -> Result<Self, D::Error> {
+        let len = de.read_len()?;
+        let mut out = BTreeSet::new();
+        for _ in 0..len {
+            out.insert(T::deserialize(de)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Eq + Hash, H: BuildHasher + Default> Deserialize<'de>
+    for HashSet<T, H>
+{
+    fn deserialize<D: Deserializer<'de>>(de: &mut D) -> Result<Self, D::Error> {
+        let len = de.read_len()?;
+        let mut out = HashSet::with_capacity_and_hasher(len.min(4096), H::default());
+        for _ in 0..len {
+            out.insert(T::deserialize(de)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(de: &mut D) -> Result<Self, D::Error> {
+        let len = de.read_len()?;
+        let mut out = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::deserialize(de)?;
+            let v = V::deserialize(de)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Eq + Hash, V: Deserialize<'de>, H: BuildHasher + Default>
+    Deserialize<'de> for HashMap<K, V, H>
+{
+    fn deserialize<D: Deserializer<'de>>(de: &mut D) -> Result<Self, D::Error> {
+        let len = de.read_len()?;
+        let mut out = HashMap::with_capacity_and_hasher(len.min(4096), H::default());
+        for _ in 0..len {
+            let k = K::deserialize(de)?;
+            let v = V::deserialize(de)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident),+))+) => {
+        $(
+            impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+                fn deserialize<__D: Deserializer<'de>>(de: &mut __D) -> Result<Self, __D::Error> {
+                    Ok(($($name::deserialize(de)?,)+))
+                }
+            }
+        )+
+    };
+}
+
+impl_tuple! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+impl<'de> Deserialize<'de> for Duration {
+    fn deserialize<D: Deserializer<'de>>(de: &mut D) -> Result<Self, D::Error> {
+        let secs = de.read_u64()?;
+        let nanos = de.read_u32()?;
+        Ok(Duration::new(secs, nanos))
+    }
+}

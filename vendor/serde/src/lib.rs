@@ -6,24 +6,23 @@
 //! * the [`ser::Serialize`] / [`ser::Serializer`] traits (plus the compound
 //!   `Serialize*` traits) — enough for `paxml-distsim`'s byte-counting
 //!   serializer to measure any message type;
-//! * a structural [`Deserialize`] marker trait (derived but never driven by
-//!   a data format in this workspace);
+//! * the [`de::Deserialize`] / [`de::Deserializer`] traits — a method-based
+//!   (non-visitor) reader interface sufficient for `paxml-wire`'s binary
+//!   codec to decode any message type (see the [`de`] module docs for how
+//!   this deviates from real serde and why);
 //! * `#[derive(Serialize, Deserialize)]` via the sibling `serde_derive`
 //!   proc-macro crate;
-//! * `Serialize` impls for the std types the message types are built from.
+//! * `Serialize`/`Deserialize` impls for the std types the message types
+//!   are built from.
 //!
-//! It is API-compatible with real serde for this subset, so swapping the
-//! workspace back to crates.io serde is a one-line change in `Cargo.toml`.
+//! It is API-compatible with real serde for the `Serialize` subset, so
+//! swapping the workspace back to crates.io serde is a one-line change in
+//! `Cargo.toml` plus a rewrite of the (small, self-contained) decoder in
+//! `paxml-wire` to the visitor API.
 
+pub mod de;
 pub mod ser;
 
+pub use de::{Deserialize, Deserializer};
 pub use ser::{Serialize, Serializer};
 pub use serde_derive::{Deserialize, Serialize};
-
-/// Structural deserialization marker.
-///
-/// The workspace derives `Deserialize` on its message types to keep them
-/// round-trip-ready, but never drives them from a data format (the simulator
-/// passes values in-process and only *measures* their serialized size), so
-/// no deserializer machinery is needed.
-pub trait Deserialize<'de>: Sized {}

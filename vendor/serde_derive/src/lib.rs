@@ -389,12 +389,62 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     code.parse().expect("derived Serialize impl parses")
 }
 
-/// Derive the structural `serde::Deserialize` marker.
+/// Derive `serde::de::Deserialize` structurally: fields decode in
+/// declaration order, enum variants dispatch on the variant index — the
+/// exact mirror of what [`derive_serialize`] emits, so any value
+/// round-trips through a format whose reader and writer agree on the
+/// primitive layout.
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let input = parse_input(input);
-    let header = input.impl_header("::serde::Deserialize<'de>", None, Some("'de"));
-    format!("#[automatically_derived]\n{header} {{}}\n")
-        .parse()
-        .expect("derived Deserialize impl parses")
+    let name = &input.name;
+    let field = "::serde::de::Deserialize::deserialize(deserializer)?";
+    let named_body = |fields: &[String]| -> String {
+        let inits: Vec<String> = fields.iter().map(|f| format!("{f}: {field}")).collect();
+        format!("{{ {} }}", inits.join(", "))
+    };
+    let tuple_body = |n: usize| -> String {
+        let inits: Vec<String> = (0..n).map(|_| field.to_string()).collect();
+        format!("({})", inits.join(", "))
+    };
+    let body = match &input.body {
+        Body::Unit => format!("::core::result::Result::Ok({name})"),
+        Body::Tuple(n) => {
+            format!("::core::result::Result::Ok({name}{})", tuple_body(*n))
+        }
+        Body::Named(fields) => {
+            format!("::core::result::Result::Ok({name}{})", named_body(fields))
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for (index, variant) in variants.iter().enumerate() {
+                let vname = &variant.name;
+                let value = match &variant.shape {
+                    VariantShape::Unit => format!("{name}::{vname}"),
+                    VariantShape::Tuple(n) => format!("{name}::{vname}{}", tuple_body(*n)),
+                    VariantShape::Named(fields) => {
+                        format!("{name}::{vname}{}", named_body(fields))
+                    }
+                };
+                arms.push_str(&format!("{index}u32 => ::core::result::Result::Ok({value}),\n"));
+            }
+            format!(
+                "match deserializer.read_variant_tag()? {{\n{arms}\
+                 other => ::core::result::Result::Err(\
+                 <__D::Error as ::serde::de::Error>::custom(\
+                 format!(\"invalid variant index {{other}} for enum {name}\"))),\n}}"
+            )
+        }
+    };
+    let header = input.impl_header(
+        "::serde::de::Deserialize<'de>",
+        Some("::serde::de::Deserialize<'de>"),
+        Some("'de"),
+    );
+    let code = format!(
+        "#[automatically_derived]\n{header} {{\n\
+         fn deserialize<__D: ::serde::de::Deserializer<'de>>(deserializer: &mut __D) \
+         -> ::core::result::Result<Self, __D::Error> {{\n{body}\n}}\n}}\n"
+    );
+    code.parse().expect("derived Deserialize impl parses")
 }
