@@ -1,0 +1,197 @@
+//! Experiment 9 (new in this repository, beyond the paper): read latency
+//! under a continuous update stream.
+//!
+//! The epoch-versioned server promises that updates never block readers:
+//! an execution pins the deployment epoch current at entry and an update
+//! builds the next epoch concurrently, publishing with one pointer swap.
+//! This experiment puts a number on that promise. Closed-loop reader
+//! threads execute prepared PaX2 queries against one shared server while a
+//! writer thread streams `apply_updates` batches back-to-back, and the
+//! client-observed read latencies are compared against the same reader run
+//! on an idle server. If readers queued behind the writer — the old
+//! writer-exclusive behaviour — the streaming p99 would inflate by the
+//! update round-trip; with epoch snapshots the p50/p99 curves stay flat.
+//!
+//! A report table prints both latency profiles (and the number of epochs
+//! the writer managed to publish mid-run) before the timed Criterion
+//! groups run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use paxml_core::{server::PaxServer, Algorithm, PreparedQuery};
+use paxml_distsim::Placement;
+use paxml_fragment::FragmentedTree;
+use paxml_xmark::{ft2, UpdateWorkload};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 42;
+const SITES: usize = 10;
+const VMB: f64 = 1.0;
+const READER_COUNTS: [usize; 3] = [1, 2, 4];
+const ITERS_PER_READER: usize = 12;
+const OPS_PER_BATCH: usize = 4;
+const FRAGMENTS_PER_BATCH: usize = 2;
+
+/// The read mix: one cheap selection, one qualifier-heavy query.
+const QUERIES: [&str; 2] = [
+    "/sites/site/people/person/name",
+    "/sites/site/people/person[profile/age > 20 and address/country=\"US\"]/creditcard",
+];
+
+struct Workbench {
+    fragmented: FragmentedTree,
+    node_count: usize,
+}
+
+fn workbench() -> Workbench {
+    let (tree, fragmented) = ft2(VMB, SEED);
+    let node_count = tree.all_nodes().count();
+    Workbench { fragmented, node_count }
+}
+
+/// A PaX2 server with every query prepared and its residual cache warm, so
+/// the measured loop is the steady serving state.
+fn warm_server(fragmented: &FragmentedTree) -> (Arc<PaxServer>, Arc<Vec<PreparedQuery>>) {
+    let server = Arc::new(
+        PaxServer::builder()
+            .algorithm(Algorithm::PaX2)
+            .placement(Placement::RoundRobin)
+            .sites(SITES)
+            .deploy(fragmented)
+            .expect("valid configuration"),
+    );
+    let queries: Vec<PreparedQuery> = QUERIES.iter().map(|q| server.prepare(q).unwrap()).collect();
+    for query in &queries {
+        server.execute(query).unwrap();
+    }
+    (server, Arc::new(queries))
+}
+
+/// One mixed run: `readers` closed-loop reader threads, and — when
+/// `stream_updates` — one writer streaming update batches until the
+/// readers drain. Returns the wall-clock time until the *readers* drained
+/// (the writer's final in-flight batch completes outside the measurement),
+/// every client-observed read latency, and the number of epochs the writer
+/// published.
+fn read_write_mix(
+    server: &Arc<PaxServer>,
+    queries: &Arc<Vec<PreparedQuery>>,
+    bench: &Workbench,
+    readers: usize,
+    stream_updates: bool,
+) -> (Duration, Vec<Duration>, u64) {
+    let start = Instant::now();
+    let readers_done = Arc::new(AtomicBool::new(false));
+    let writer = stream_updates.then(|| {
+        let server = Arc::clone(server);
+        let readers_done = Arc::clone(&readers_done);
+        let mut workload = UpdateWorkload::new(&bench.fragmented, bench.node_count, SEED);
+        thread::spawn(move || {
+            let mut published = 0u64;
+            while !readers_done.load(Ordering::Relaxed) {
+                let batch = workload.next_batch(OPS_PER_BATCH, FRAGMENTS_PER_BATCH);
+                let report = server.apply_updates(&batch).unwrap();
+                assert!(report.epoch > published, "every non-empty batch publishes an epoch");
+                published = report.epoch;
+            }
+            published
+        })
+    });
+    let workers: Vec<_> = (0..readers)
+        .map(|reader| {
+            let server = Arc::clone(server);
+            let queries = Arc::clone(queries);
+            thread::spawn(move || {
+                let mut latencies = Vec::with_capacity(ITERS_PER_READER);
+                for i in 0..ITERS_PER_READER {
+                    let pick = (reader + i) % queries.len();
+                    let issued = Instant::now();
+                    let report = server.execute(&queries[pick]).unwrap();
+                    latencies.push(issued.elapsed());
+                    assert!(report.max_visits_per_site() <= 2);
+                    assert!(!report.queries.is_empty());
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies = Vec::with_capacity(readers * ITERS_PER_READER);
+    for worker in workers {
+        latencies.extend(worker.join().unwrap());
+    }
+    let readers_wall = start.elapsed();
+    readers_done.store(true, Ordering::Relaxed);
+    let published = writer.map_or(0, |writer| writer.join().unwrap());
+    (readers_wall, latencies, published)
+}
+
+fn percentile(sorted: &[Duration], p: usize) -> Duration {
+    sorted[(sorted.len() * p / 100).min(sorted.len() - 1)]
+}
+
+/// Print idle vs under-updates read latency side by side.
+fn latency_table(bench: &Workbench) {
+    println!(
+        "\nexp9: {ITERS_PER_READER} closed-loop reads per reader, {READER_COUNTS:?} readers, \
+         writer streams {OPS_PER_BATCH}-op update batches"
+    );
+    println!(
+        "{:<16} {:>8} {:>12} {:>12} {:>12} {:>8}",
+        "series", "readers", "reads/s", "p50(us)", "p99(us)", "epochs"
+    );
+    for &readers in &READER_COUNTS {
+        for stream_updates in [false, true] {
+            let (server, queries) = warm_server(&bench.fragmented);
+            let (wall, mut latencies, published) =
+                read_write_mix(&server, &queries, bench, readers, stream_updates);
+            latencies.sort();
+            let label = if stream_updates { "under-updates" } else { "idle-writer" };
+            println!(
+                "{:<16} {:>8} {:>12.0} {:>12.1} {:>12.1} {:>8}",
+                label,
+                readers,
+                (readers * ITERS_PER_READER) as f64 / wall.as_secs_f64(),
+                percentile(&latencies, 50).as_secs_f64() * 1e6,
+                percentile(&latencies, 99).as_secs_f64() * 1e6,
+                published,
+            );
+        }
+    }
+    println!();
+}
+
+fn read_write_mix_bench(c: &mut Criterion) {
+    let bench = workbench();
+    latency_table(&bench);
+
+    let mut group = c.benchmark_group("exp9_read_write_mix");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    for &readers in &READER_COUNTS {
+        group.throughput(Throughput::Elements((readers * ITERS_PER_READER) as u64));
+        for stream_updates in [false, true] {
+            let (server, queries) = warm_server(&bench.fragmented);
+            let label = if stream_updates { "reads-under-updates" } else { "reads-idle" };
+            group.bench_with_input(BenchmarkId::new(label, readers), &readers, |b, &n| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let (wall, _, _) =
+                            read_write_mix(&server, &queries, &bench, n, stream_updates);
+                        total += wall;
+                    }
+                    total
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, read_write_mix_bench);
+criterion_main!(benches);

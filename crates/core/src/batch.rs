@@ -191,7 +191,7 @@ pub fn evaluate<S: AsRef<str>>(
         queries.iter().map(|q| compile_text(q.as_ref())).collect::<XPathResult<_>>()?;
     let refs: Vec<&CompiledQuery> = compiled.iter().collect();
     let texts: Vec<String> = queries.iter().map(|q| q.as_ref().to_string()).collect();
-    let report = run(deployment, &refs, &texts, options)
+    let report = run(deployment, &refs, &texts, options, paxml_distsim::LATEST_EPOCH)
         .expect("the in-process simulator transport cannot fail");
     Ok(report.to_batch_report())
 }
@@ -211,7 +211,7 @@ pub fn evaluate_compiled(
     options: &EvalOptions,
 ) -> BatchReport {
     let refs: Vec<&CompiledQuery> = compiled.iter().collect();
-    run(deployment, &refs, texts, options)
+    run(deployment, &refs, texts, options, paxml_distsim::LATEST_EPOCH)
         .expect("the in-process simulator transport cannot fail")
         .to_batch_report()
 }
@@ -227,10 +227,11 @@ pub(crate) fn run(
     compiled: &[&CompiledQuery],
     texts: &[String],
     options: &EvalOptions,
+    epoch: u64,
 ) -> PaxResult<ExecReport> {
     assert_eq!(compiled.len(), texts.len(), "a batch run needs one query text per compiled query");
     let start = Instant::now();
-    let mut ctx = ExecCtx::new(deployment);
+    let mut ctx = ExecCtx::pinned(deployment, epoch, 0);
     let ft = deployment.fragment_tree.clone();
     let query_count = compiled.len();
     // One scratch slot per query of the batch, unique across concurrent
@@ -377,6 +378,7 @@ pub(crate) fn run(
         coordinator_ops: coordinator_ops_per_query.iter().sum(),
         elapsed,
         from_cache: false,
+        epoch,
     })
 }
 

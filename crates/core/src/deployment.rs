@@ -11,8 +11,8 @@
 //! processes) can stand in — the drivers only ever see the trait.
 
 use crate::error::PaxResult;
-use crate::transport::{ProtocolRequest, ProtocolResponse, Transport};
-use paxml_distsim::{Cluster, ClusterStats, Placement, SiteId};
+use crate::transport::{EpochRequest, ProtocolRequest, ProtocolResponse, Transport};
+use paxml_distsim::{Cluster, ClusterStats, Placement, SiteId, LATEST_EPOCH};
 use paxml_fragment::{FragmentId, FragmentTree, FragmentedTree};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -186,21 +186,46 @@ impl Deployment {
 /// cumulative counters grow in the background. This is what lets
 /// per-execution reports stay exact without racing `delta_since` snapshots
 /// of a shared counter.
+///
+/// Every context is **pinned to one deployment epoch**: each round wraps its
+/// requests in an [`EpochRequest`] envelope carrying the pinned epoch (and a
+/// retirement watermark), so all visits of an execution read one consistent
+/// set of fragment snapshots no matter how many updates publish mid-flight.
+/// [`ExecCtx::new`] pins [`LATEST_EPOCH`] — the unversioned semantics the
+/// deprecated free-function drivers rely on; a `PaxServer` pins the epoch
+/// current at execution entry via [`ExecCtx::pinned`].
 pub struct ExecCtx<'a> {
     deployment: &'a Deployment,
+    /// The epoch every round of this execution reads.
+    epoch: u64,
+    /// The retirement watermark shipped with every round (0 retires
+    /// nothing; update rounds carry the coordinator's min-live epoch).
+    retire_below: u64,
     /// The cluster meters of this execution only.
     pub stats: ClusterStats,
 }
 
 impl<'a> ExecCtx<'a> {
-    /// Start an execution over a shared deployment with a fresh recorder.
+    /// Start an execution over a shared deployment with a fresh recorder,
+    /// reading the newest fragment snapshots ([`LATEST_EPOCH`]).
     pub fn new(deployment: &'a Deployment) -> Self {
-        ExecCtx { deployment, stats: ClusterStats::default() }
+        Self::pinned(deployment, LATEST_EPOCH, 0)
+    }
+
+    /// Start an execution pinned to `epoch`, shipping `retire_below` as the
+    /// retirement watermark on every round.
+    pub fn pinned(deployment: &'a Deployment, epoch: u64, retire_below: u64) -> Self {
+        ExecCtx { deployment, epoch, retire_below, stats: ClusterStats::default() }
     }
 
     /// The shared deployment this execution runs over.
     pub fn deployment(&self) -> &'a Deployment {
         self.deployment
+    }
+
+    /// The epoch this execution is pinned to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// One coordinator round, recorded into this execution's meters (and
@@ -210,6 +235,12 @@ impl<'a> ExecCtx<'a> {
         &mut self,
         requests: BTreeMap<SiteId, ProtocolRequest>,
     ) -> PaxResult<BTreeMap<SiteId, ProtocolResponse>> {
+        let requests: BTreeMap<SiteId, EpochRequest> = requests
+            .into_iter()
+            .map(|(site, body)| {
+                (site, EpochRequest { epoch: self.epoch, retire_below: self.retire_below, body })
+            })
+            .collect();
         self.deployment.transport().round_recorded(&mut self.stats, requests)
     }
 

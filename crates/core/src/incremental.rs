@@ -96,12 +96,16 @@ use paxml_distsim::{ClusterStats, SiteId};
 use paxml_fragment::{FragmentId, FragmentResult, FragmentTree, UpdateOp};
 use paxml_xpath::eval::{root_context_vector, QualVectors};
 use paxml_xpath::{compile_text, CompiledQuery, XPathResult};
+use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The per-fragment cache entry: everything the coordinator keeps from the
-/// last combined pass over that fragment.
-#[derive(Debug, Clone, Default)]
+/// last combined pass over that fragment. `Serialize` exists only so
+/// [`ServerStats::session_cache_bytes`](crate::server::ServerStats) can
+/// meter the cache with the same canonical encoding the network charges.
+#[derive(Debug, Clone, Default, Serialize)]
 struct FragmentCache {
     /// Root `QV`/`QDV` vectors (symbolic in the sub-fragments' variables).
     root: Option<QualVectors<PaxVar>>,
@@ -198,6 +202,13 @@ pub(crate) struct RefreshOutcome {
 /// that lets re-evaluation after updates visit only dirty sites (and serve
 /// clean re-executions with no visit at all). Borrows the deployment per
 /// call, so a server can hold many sessions over one deployment.
+///
+/// `Clone` is copy-on-write at the fragment granularity: the per-fragment
+/// cache entries sit behind [`Arc`]s, so cloning a session for the next
+/// epoch shares every clean fragment's vectors by reference and only the
+/// entries an update actually touches are deep-copied (via
+/// [`Arc::make_mut`]).
+#[derive(Clone)]
 pub(crate) struct QuerySession {
     pub(crate) query: CompiledQuery,
     query_text: String,
@@ -205,7 +216,7 @@ pub(crate) struct QuerySession {
     analysis: AnnotationAnalysis,
     root_init: Vec<bool>,
     ft: FragmentTree,
-    cache: BTreeMap<FragmentId, FragmentCache>,
+    cache: BTreeMap<FragmentId, Arc<FragmentCache>>,
     /// Ancestor summaries recorded at virtual nodes, keyed by the
     /// sub-fragment they stand for (produced by the parent fragment).
     virtuals: BTreeMap<FragmentId, CompactVector<PaxVar>>,
@@ -304,17 +315,28 @@ impl QuerySession {
     }
 
     /// Merge a recomputed site delta into the coordinator-side cache.
+    /// `Arc::make_mut` unshares exactly the touched entries; clean
+    /// fragments' caches stay shared with any prior epoch's sessions.
     pub(crate) fn absorb(&mut self, vect: MsgDeltaVect, answer: MsgDeltaAnswer) {
         for (fragment, root) in vect.roots {
-            self.cache.entry(fragment).or_default().root = Some(root);
+            Arc::make_mut(self.cache.entry(fragment).or_default()).root = Some(root);
         }
         self.virtuals.extend(vect.virtuals);
         for (fragment, sure) in answer.sure {
-            self.cache.entry(fragment).or_default().sure = sure;
+            Arc::make_mut(self.cache.entry(fragment).or_default()).sure = sure;
         }
         for (fragment, candidates) in answer.candidates {
-            self.cache.entry(fragment).or_default().candidates = candidates;
+            Arc::make_mut(self.cache.entry(fragment).or_default()).candidates = candidates;
         }
+    }
+
+    /// Bytes of the session's per-fragment cache under the canonical wire
+    /// encoding — the coordinator-memory meter behind
+    /// [`ServerStats::session_cache_bytes`](crate::server::ServerStats).
+    /// Entries shared with other epochs' sessions are charged once per
+    /// session (the meter reports the logical, not the deduplicated, size).
+    pub(crate) fn cache_bytes(&self) -> u64 {
+        self.cache.values().map(|entry| paxml_distsim::encoded_size(entry.as_ref())).sum()
     }
 
     /// Re-unify `evalFT` over the dirty cone and re-resolve the cached
@@ -352,7 +374,7 @@ impl QuerySession {
                 }
             }
             if resolved != entry.resolved {
-                entry.resolved = resolved;
+                Arc::make_mut(entry).resolved = resolved;
                 any_resolved_changed = true;
             }
         }
@@ -372,17 +394,20 @@ impl QuerySession {
     /// ops and recompute instructions to the dirty sites, merge the deltas
     /// into the caches, re-unify the dirty cone and re-resolve answers.
     /// With `initial` set, every relevant fragment is treated as dirty
-    /// (and `ops_by_fragment` is empty). The round's meters are recorded
-    /// by its own [`ExecCtx`], so concurrent activity elsewhere on the
-    /// deployment never leaks into this report.
+    /// (and `ops_by_fragment` is empty). The round is pinned to `epoch`:
+    /// sites read (and, when ops are present, install) fragment versions
+    /// in that epoch's namespace. The round's meters are recorded by its
+    /// own [`ExecCtx`], so concurrent activity elsewhere on the deployment
+    /// never leaks into this report.
     pub(crate) fn run_round(
         &mut self,
         deployment: &Deployment,
+        epoch: u64,
         ops_by_fragment: &BTreeMap<FragmentId, Vec<UpdateOp>>,
         initial: bool,
     ) -> PaxResult<IncrementalReport> {
         let start = Instant::now();
-        let mut ctx = ExecCtx::new(deployment);
+        let mut ctx = ExecCtx::pinned(deployment, epoch, 0);
         let dirty_fragments: BTreeSet<FragmentId> = if initial {
             self.analysis.relevant.iter().copied().collect()
         } else {
@@ -582,7 +607,7 @@ impl IncrementalEngine {
         // fragment.
         engine
             .session
-            .run_round(&engine.deployment, &BTreeMap::new(), true)
+            .run_round(&engine.deployment, paxml_distsim::LATEST_EPOCH, &BTreeMap::new(), true)
             .expect("the in-process simulator transport cannot fail");
         Ok(engine)
     }
@@ -636,7 +661,7 @@ impl IncrementalEngine {
         }
         Ok(self
             .session
-            .run_round(&self.deployment, &ops_by_fragment, false)
+            .run_round(&self.deployment, paxml_distsim::LATEST_EPOCH, &ops_by_fragment, false)
             .expect("the in-process simulator transport cannot fail"))
     }
 }

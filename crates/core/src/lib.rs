@@ -67,12 +67,15 @@ pub use error::{PaxError, PaxResult};
 #[allow(deprecated)]
 pub use incremental::IncrementalEngine;
 pub use incremental::IncrementalReport;
+pub use paxml_distsim::LATEST_EPOCH;
 pub use report::{
     answer_item, Algorithm, AnswerItem, EvaluationReport, ExecMode, ExecReport, QueryOutcome,
     UpdateOutcome,
 };
-pub use server::{PaxServer, PaxServerBuilder, PreparedQuery};
-pub use transport::{dispatch, ProtocolRequest, ProtocolResponse, Transport};
+pub use server::{PaxServer, PaxServerBuilder, PreparedQuery, ServerStats};
+pub use transport::{
+    dispatch, EpochRequest, ProtocolRequest, ProtocolResponse, Transport, VacuumOutcome,
+};
 pub use vars::{PaxVar, QualVecKind};
 
 /// Options shared by the distributed algorithms.
@@ -106,13 +109,13 @@ mod tests {
     /// The classic engine drivers, compiled on the fly (the internal
     /// equivalents of `PaxServer::query_once` for each algorithm).
     fn eval_pax3(d: &mut Deployment, q: &str, o: &EvalOptions) -> ExecReport {
-        pax3::run(d, &compile_text(q).unwrap(), q, o).unwrap()
+        pax3::run(d, &compile_text(q).unwrap(), q, o, LATEST_EPOCH).unwrap()
     }
     fn eval_pax2(d: &mut Deployment, q: &str, o: &EvalOptions) -> ExecReport {
-        pax2::run(d, &compile_text(q).unwrap(), q, o).unwrap()
+        pax2::run(d, &compile_text(q).unwrap(), q, o, LATEST_EPOCH).unwrap()
     }
     fn eval_naive(d: &mut Deployment, q: &str) -> ExecReport {
-        naive::run(d, &compile_text(q).unwrap(), q).unwrap()
+        naive::run(d, &compile_text(q).unwrap(), q, LATEST_EPOCH).unwrap()
     }
 
     /// The Fig. 1 clientele document.

@@ -20,7 +20,7 @@ use std::time::Instant;
 #[deprecated(note = "use `PaxServer::prepare` + `execute` (or `query_once`) instead")]
 pub fn evaluate(deployment: &mut Deployment, query_text: &str) -> XPathResult<EvaluationReport> {
     let query = compile_text(query_text)?;
-    let report = run(deployment, &query, query_text)
+    let report = run(deployment, &query, query_text, paxml_distsim::LATEST_EPOCH)
         .expect("the in-process simulator transport cannot fail");
     Ok(report.to_evaluation_report())
 }
@@ -32,7 +32,7 @@ pub fn evaluate_compiled(
     query: &CompiledQuery,
     query_text: &str,
 ) -> EvaluationReport {
-    run(deployment, query, query_text)
+    run(deployment, query, query_text, paxml_distsim::LATEST_EPOCH)
         .expect("the in-process simulator transport cannot fail")
         .to_evaluation_report()
 }
@@ -44,9 +44,10 @@ pub(crate) fn run(
     deployment: &Deployment,
     query: &CompiledQuery,
     query_text: &str,
+    epoch: u64,
 ) -> PaxResult<ExecReport> {
     let start = Instant::now();
-    let mut ctx = ExecCtx::new(deployment);
+    let mut ctx = ExecCtx::pinned(deployment, epoch, 0);
 
     // One visit per site: "send me everything you store".
     let responses = ctx.broadcast(ProtocolRequest::Fetch)?;
@@ -93,5 +94,6 @@ pub(crate) fn run(
         coordinator_ops: result.ops,
         elapsed: start.elapsed(),
         from_cache: false,
+        epoch,
     })
 }

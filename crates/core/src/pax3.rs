@@ -41,7 +41,7 @@ pub fn evaluate(
     options: &EvalOptions,
 ) -> XPathResult<EvaluationReport> {
     let query = compile_text(query_text)?;
-    let report = run(deployment, &query, query_text, options)
+    let report = run(deployment, &query, query_text, options, paxml_distsim::LATEST_EPOCH)
         .expect("the in-process simulator transport cannot fail");
     Ok(report.to_evaluation_report())
 }
@@ -54,7 +54,7 @@ pub fn evaluate_compiled(
     query_text: &str,
     options: &EvalOptions,
 ) -> EvaluationReport {
-    run(deployment, query, query_text, options)
+    run(deployment, query, query_text, options, paxml_distsim::LATEST_EPOCH)
         .expect("the in-process simulator transport cannot fail")
         .to_evaluation_report()
 }
@@ -68,9 +68,10 @@ pub(crate) fn run(
     query: &CompiledQuery,
     query_text: &str,
     options: &EvalOptions,
+    epoch: u64,
 ) -> PaxResult<ExecReport> {
     let start = Instant::now();
-    let mut ctx = ExecCtx::new(deployment);
+    let mut ctx = ExecCtx::pinned(deployment, epoch, 0);
     let slot = deployment.allocate_slots(1);
     let ft = deployment.fragment_tree.clone();
     let analysis = if options.use_annotations {
@@ -179,6 +180,7 @@ pub(crate) fn run(
         coordinator_ops,
         elapsed: start.elapsed(),
         from_cache: false,
+        epoch,
     })
 }
 

@@ -10,7 +10,7 @@
 //! ```
 //! use paxml_boolex::{BitVector, CompactVector};
 //! use paxml_core::protocol::{combined_task, CombinedFragmentInput, CombinedRequest, InitVector};
-//! use paxml_distsim::{SiteId, SiteLocal};
+//! use paxml_distsim::{SiteId, SiteLocal, LATEST_EPOCH};
 //! use paxml_fragment::{fragment_at, FragmentId};
 //! use paxml_xml::TreeBuilder;
 //! use paxml_xpath::compile_text;
@@ -44,7 +44,7 @@
 //!         init,
 //!     });
 //! }
-//! let response = combined_task(&mut site, CombinedRequest { slot: 0, query, fragments });
+//! let response = combined_task(&mut site, LATEST_EPOCH, CombinedRequest { slot: 0, query, fragments });
 //!
 //! // Both fragments report root vectors; the root fragment records an
 //! // ancestor summary for its virtual node standing in for F1.
@@ -78,15 +78,18 @@ use std::collections::BTreeMap;
 /// request that parks state site-side carries the slot its execution drew
 /// from [`paxml_distsim::Cluster::allocate_slots`], so two executions
 /// interleaving their visits to one site never read each other's candidate
-/// sets.
-fn qv_key(slot: usize, f: FragmentId) -> String {
-    format!("qv:{slot}:{}", f.0)
+/// sets. The epoch prefix namespaces the slots per deployment epoch, so
+/// state parked against one epoch's snapshots can never be resolved against
+/// another's (an execution pins one epoch for all its visits, so it always
+/// takes back what it parked).
+fn qv_key(epoch: u64, slot: usize, f: FragmentId) -> String {
+    format!("e{epoch}:qv:{slot}:{}", f.0)
 }
-fn ans_key(slot: usize, f: FragmentId) -> String {
-    format!("ans:{slot}:{}", f.0)
+fn ans_key(epoch: u64, slot: usize, f: FragmentId) -> String {
+    format!("e{epoch}:ans:{slot}:{}", f.0)
 }
-fn cans_key(slot: usize, f: FragmentId) -> String {
-    format!("cans:{slot}:{}", f.0)
+fn cans_key(epoch: u64, slot: usize, f: FragmentId) -> String {
+    format!("e{epoch}:cans:{slot}:{}", f.0)
 }
 
 /// A default scratch slot for driving the site tasks directly against a
@@ -140,14 +143,13 @@ pub struct QualResponse {
 }
 
 /// Site-side task of the qualifier stage: one bottom-up pass per fragment,
-/// storing the per-node `QV` vectors locally for the next visit.
-pub fn qualifier_task(site: &mut SiteLocal, request: QualRequest) -> QualResponse {
+/// storing the per-node `QV` vectors locally for the next visit. The pass
+/// reads the fragment snapshot of the visit's pinned `epoch` (an `Arc`
+/// handle — fragment data is never copied).
+pub fn qualifier_task(site: &mut SiteLocal, epoch: u64, request: QualRequest) -> QualResponse {
     let mut roots = BTreeMap::new();
     for fragment_id in &request.fragments {
-        // Take the fragment out of the map for the duration of the pass so
-        // the site's scratch state can be updated without aliasing issues
-        // (a move, not a copy — fragment data is never duplicated).
-        let Some(fragment) = site.fragments.remove(fragment_id) else { continue };
+        let Some(fragment) = site.fragment_at(*fragment_id, epoch) else { continue };
         let qlen = request.query.qvect_len();
         let out = qualifier_pass::<PaxVar>(
             &fragment.tree,
@@ -166,9 +168,8 @@ pub fn qualifier_task(site: &mut SiteLocal, request: QualRequest) -> QualRespons
         site.charge_ops(out.ops);
         roots.insert(*fragment_id, out.root.clone());
         if request.park.contains(fragment_id) {
-            site.put_scratch(qv_key(request.slot, *fragment_id), out.node_qv);
+            site.put_scratch(qv_key(epoch, request.slot, *fragment_id), out.node_qv);
         }
-        site.add_fragment(fragment);
     }
     QualResponse { roots }
 }
@@ -231,16 +232,17 @@ fn build_init(fragment: FragmentId, init: &InitVector, svect_len: usize) -> Comp
 }
 
 /// Site-side task of the selection stage (PaX3 Stage 2).
-pub fn selection_task(site: &mut SiteLocal, request: SelRequest) -> SelResponse {
+pub fn selection_task(site: &mut SiteLocal, epoch: u64, request: SelRequest) -> SelResponse {
     let query = &request.query;
     let mut virtuals = BTreeMap::new();
     let mut answers = Vec::new();
     for (fragment_id, input) in &request.fragments {
-        let Some(fragment) = site.fragments.remove(fragment_id) else { continue };
+        let Some(fragment) = site.fragment_at(*fragment_id, epoch) else { continue };
         let init = build_init(*fragment_id, &input.init, query.svect_len());
         let context = if input.root_is_context { Some(fragment.tree.root()) } else { None };
         let qual_assignment = assignment_from_pairs(&input.qual_values);
         let stored_qv = site.take_scratch::<Vec<Option<CompactVector<PaxVar>>>>(&qv_key(
+            epoch,
             request.slot,
             *fragment_id,
         ));
@@ -284,10 +286,9 @@ pub fn selection_task(site: &mut SiteLocal, request: SelRequest) -> SelResponse 
                 ));
             }
         } else {
-            site.put_scratch(ans_key(request.slot, *fragment_id), out.answers);
-            site.put_scratch(cans_key(request.slot, *fragment_id), out.candidates);
+            site.put_scratch(ans_key(epoch, request.slot, *fragment_id), out.answers);
+            site.put_scratch(cans_key(epoch, request.slot, *fragment_id), out.candidates);
         }
-        site.add_fragment(fragment);
     }
     SelResponse { virtuals, answers }
 }
@@ -391,6 +392,7 @@ fn fused_pass_on_fragment(
 fn combined_pass_on_fragment(
     site: &mut SiteLocal,
     fragment: &Fragment,
+    epoch: u64,
     slot: usize,
     query: &CompiledQuery,
     input: &CombinedFragmentInput,
@@ -415,23 +417,28 @@ fn combined_pass_on_fragment(
             answers.push(answer_item(fid, &fragment.tree, *node, fragment.origin_of(*node)));
         }
     } else {
-        site.put_scratch(ans_key(slot, fid), out.answers);
-        site.put_scratch(cans_key(slot, fid), out.candidates);
+        site.put_scratch(ans_key(epoch, slot, fid), out.answers);
+        site.put_scratch(cans_key(epoch, slot, fid), out.candidates);
     }
 }
 
 /// Site-side task of PaX2's combined stage: one pre/post-order traversal per
-/// fragment.
-pub fn combined_task(site: &mut SiteLocal, request: CombinedRequest) -> CombinedResponse {
+/// fragment, over the snapshots of the visit's pinned `epoch`.
+pub fn combined_task(
+    site: &mut SiteLocal,
+    epoch: u64,
+    request: CombinedRequest,
+) -> CombinedResponse {
     let query = &request.query;
     let mut roots = BTreeMap::new();
     let mut virtuals = BTreeMap::new();
     let mut answers = Vec::new();
     for (fragment_id, input) in &request.fragments {
-        let Some(fragment) = site.fragments.remove(fragment_id) else { continue };
+        let Some(fragment) = site.fragment_at(*fragment_id, epoch) else { continue };
         combined_pass_on_fragment(
             site,
             &fragment,
+            epoch,
             request.slot,
             query,
             input,
@@ -439,7 +446,6 @@ pub fn combined_task(site: &mut SiteLocal, request: CombinedRequest) -> Combined
             &mut virtuals,
             &mut answers,
         );
-        site.add_fragment(fragment);
     }
     CombinedResponse { roots, virtuals, answers }
 }
@@ -473,6 +479,7 @@ pub struct CollectResponse {
 fn collect_on_fragment(
     site: &mut SiteLocal,
     fragment: &Fragment,
+    epoch: u64,
     slot: usize,
     values: &[(PaxVar, bool)],
     answers: &mut Vec<AnswerItem>,
@@ -480,9 +487,9 @@ fn collect_on_fragment(
     let fid = fragment.id;
     let assignment = assignment_from_pairs(values);
     let sure: Vec<NodeId> =
-        site.take_scratch::<Vec<NodeId>>(&ans_key(slot, fid)).unwrap_or_default();
+        site.take_scratch::<Vec<NodeId>>(&ans_key(epoch, slot, fid)).unwrap_or_default();
     let candidates: Vec<(NodeId, BoolExpr<PaxVar>)> = site
-        .take_scratch::<Vec<(NodeId, BoolExpr<PaxVar>)>>(&cans_key(slot, fid))
+        .take_scratch::<Vec<(NodeId, BoolExpr<PaxVar>)>>(&cans_key(epoch, slot, fid))
         .unwrap_or_default();
     site.charge_ops(candidates.len() as u64 + sure.len() as u64);
     for node in sure {
@@ -496,12 +503,11 @@ fn collect_on_fragment(
 }
 
 /// Site-side task of the answer-collection stage (Procedure `collectAns`).
-pub fn collect_task(site: &mut SiteLocal, request: CollectRequest) -> CollectResponse {
+pub fn collect_task(site: &mut SiteLocal, epoch: u64, request: CollectRequest) -> CollectResponse {
     let mut answers = Vec::new();
     for (fragment_id, values) in &request.fragments {
-        let Some(fragment) = site.fragments.remove(fragment_id) else { continue };
-        collect_on_fragment(site, &fragment, request.slot, values, &mut answers);
-        site.add_fragment(fragment);
+        let Some(fragment) = site.fragment_at(*fragment_id, epoch) else { continue };
+        collect_on_fragment(site, &fragment, epoch, request.slot, values, &mut answers);
     }
     CollectResponse { answers }
 }
@@ -567,6 +573,7 @@ pub struct BatchCombinedResponse {
 /// vectors, instead of being visited once per query.
 pub fn batch_combined_task(
     site: &mut SiteLocal,
+    epoch: u64,
     request: BatchCombinedRequest,
 ) -> BatchCombinedResponse {
     let mut per_query: Vec<BatchCombinedQueryResponse> = request
@@ -585,13 +592,14 @@ pub fn batch_combined_task(
         request.entries.iter().flat_map(|entry| entry.fragments.keys().copied()).collect();
 
     for fragment_id in needed {
-        let Some(fragment) = site.fragments.remove(&fragment_id) else { continue };
+        let Some(fragment) = site.fragment_at(fragment_id, epoch) else { continue };
         for (position, entry) in request.entries.iter().enumerate() {
             let Some(input) = entry.fragments.get(&fragment_id) else { continue };
             let response = &mut per_query[position];
             combined_pass_on_fragment(
                 site,
                 &fragment,
+                epoch,
                 entry.slot,
                 &entry.query,
                 input,
@@ -600,7 +608,6 @@ pub fn batch_combined_task(
                 &mut response.answers,
             );
         }
-        site.add_fragment(fragment);
     }
     BatchCombinedResponse { per_query }
 }
@@ -645,6 +652,7 @@ pub struct BatchCollectResponse {
 /// Site-side task of the batched answer-collection stage.
 pub fn batch_collect_task(
     site: &mut SiteLocal,
+    epoch: u64,
     request: BatchCollectRequest,
 ) -> BatchCollectResponse {
     let mut per_query: Vec<BatchCollectQueryResponse> = request
@@ -660,18 +668,18 @@ pub fn batch_collect_task(
         request.entries.iter().flat_map(|entry| entry.fragments.keys().copied()).collect();
 
     for fragment_id in needed {
-        let Some(fragment) = site.fragments.remove(&fragment_id) else { continue };
+        let Some(fragment) = site.fragment_at(fragment_id, epoch) else { continue };
         for (position, entry) in request.entries.iter().enumerate() {
             let Some(values) = entry.fragments.get(&fragment_id) else { continue };
             collect_on_fragment(
                 site,
                 &fragment,
+                epoch,
                 entry.slot,
                 values,
                 &mut per_query[position].answers,
             );
         }
-        site.add_fragment(fragment);
     }
     BatchCollectResponse { per_query }
 }
@@ -804,10 +812,34 @@ fn snapshot_fragment(
 /// Site-side task of the incremental update round: apply each fragment's
 /// ops, then re-run the combined pass over the fragments marked for
 /// recomputation — one visit does both.
-pub fn update_task(site: &mut SiteLocal, request: MsgUpdate) -> MsgDelta {
+///
+/// Epoch semantics: a fragment with ops is rebuilt copy-on-write from the
+/// newest snapshot **strictly before** `epoch` (so a retried epoch build
+/// never re-applies its ops on top of a failed attempt's orphan) and
+/// installed as `epoch`'s snapshot; readers pinned below `epoch` are
+/// untouched. A fragment with no ops — the cold-session initial snapshot —
+/// is read **at** `epoch` without installing anything.
+pub fn update_task(site: &mut SiteLocal, epoch: u64, request: MsgUpdate) -> MsgDelta {
     let mut delta = MsgDelta::default();
     for (fragment_id, fu) in &request.fragments {
-        let Some(mut fragment) = site.fragments.remove(fragment_id) else { continue };
+        if fu.ops.is_empty() {
+            let Some(fragment) = site.fragment_at(*fragment_id, epoch) else { continue };
+            delta.applied.insert(*fragment_id, 0);
+            if fu.recompute {
+                snapshot_fragment(
+                    site,
+                    &fragment,
+                    &request.query,
+                    &fu.init,
+                    fu.root_is_context,
+                    &mut delta.vect,
+                    &mut delta.answer,
+                );
+            }
+            continue;
+        }
+        let Some(base) = site.update_base(*fragment_id, epoch) else { continue };
+        let mut fragment = base.as_ref().clone();
         let mut applied = 0;
         for op in &fu.ops {
             match paxml_fragment::apply_update(&mut fragment, op) {
@@ -831,7 +863,7 @@ pub fn update_task(site: &mut SiteLocal, request: MsgUpdate) -> MsgDelta {
                 &mut delta.answer,
             );
         }
-        site.add_fragment(fragment);
+        site.install_version(epoch, fragment);
     }
     delta
 }
@@ -906,12 +938,23 @@ pub struct MsgSessionDelta {
 /// Site-side task of a server update round: apply each fragment's ops once,
 /// then re-run the combined pass per session over the fragments that
 /// session asked for — one visit does all of it.
-pub fn session_update_task(site: &mut SiteLocal, request: MsgSessionUpdate) -> MsgSessionDelta {
+///
+/// Ops rebuild each fragment copy-on-write from the newest snapshot
+/// strictly before `epoch` and install the result as `epoch`'s snapshot
+/// (see [`update_task`] for why strictness matters); the per-session
+/// recomputes then read at `epoch` and therefore see the fresh snapshots,
+/// while executions pinned to earlier epochs keep reading theirs.
+pub fn session_update_task(
+    site: &mut SiteLocal,
+    epoch: u64,
+    request: MsgSessionUpdate,
+) -> MsgSessionDelta {
     let mut response = MsgSessionDelta::default();
 
     // Apply the ops once, independent of how many sessions watch.
     for (fragment_id, ops) in &request.ops {
-        let Some(mut fragment) = site.fragments.remove(fragment_id) else { continue };
+        let Some(base) = site.update_base(*fragment_id, epoch) else { continue };
+        let mut fragment = base.as_ref().clone();
         let mut applied = 0;
         for op in ops {
             match paxml_fragment::apply_update(&mut fragment, op) {
@@ -924,7 +967,7 @@ pub fn session_update_task(site: &mut SiteLocal, request: MsgSessionUpdate) -> M
             site.charge_ops(1);
         }
         response.applied.insert(*fragment_id, applied);
-        site.add_fragment(fragment);
+        site.install_version(epoch, fragment);
     }
 
     // Refresh each session's residual vectors over the updated data.
@@ -935,7 +978,7 @@ pub fn session_update_task(site: &mut SiteLocal, request: MsgSessionUpdate) -> M
             answer: Default::default(),
         };
         for (fragment_id, input) in &entry.fragments {
-            let Some(fragment) = site.fragments.remove(fragment_id) else { continue };
+            let Some(fragment) = site.fragment_at(*fragment_id, epoch) else { continue };
             snapshot_fragment(
                 site,
                 &fragment,
@@ -945,7 +988,6 @@ pub fn session_update_task(site: &mut SiteLocal, request: MsgSessionUpdate) -> M
                 &mut delta.vect,
                 &mut delta.answer,
             );
-            site.add_fragment(fragment);
         }
         response.sessions.push(delta);
     }
@@ -989,6 +1031,7 @@ mod tests {
         let query = compile_text("client[country/text()='US']/broker/name").unwrap();
         let response = qualifier_task(
             &mut site,
+            0,
             QualRequest {
                 slot: SINGLE_QUERY_SLOT,
                 query,
@@ -997,8 +1040,8 @@ mod tests {
             },
         );
         assert_eq!(response.roots.len(), 2);
-        assert!(site.scratch::<Vec<Option<CompactVector<PaxVar>>>>("qv:0:0").is_some());
-        assert!(site.scratch::<Vec<Option<CompactVector<PaxVar>>>>("qv:0:1").is_some());
+        assert!(site.scratch::<Vec<Option<CompactVector<PaxVar>>>>("e0:qv:0:0").is_some());
+        assert!(site.scratch::<Vec<Option<CompactVector<PaxVar>>>>("e0:qv:0:1").is_some());
         assert!(site.ops() > 0);
         // The leaf fragment F1 has no virtual nodes, so its root vectors are
         // already fully resolved — and therefore ship as packed bits.
@@ -1026,7 +1069,7 @@ mod tests {
             },
         );
         let response =
-            selection_task(&mut site, SelRequest { slot: SINGLE_QUERY_SLOT, query, fragments });
+            selection_task(&mut site, 0, SelRequest { slot: SINGLE_QUERY_SLOT, query, fragments });
         assert_eq!(response.answers.len(), 1);
         assert_eq!(response.answers[0].text, Some("E*trade".to_string()));
         assert!(response.virtuals.is_empty());
@@ -1048,14 +1091,17 @@ mod tests {
             },
         );
         let response =
-            selection_task(&mut site, SelRequest { slot: SINGLE_QUERY_SLOT, query, fragments });
+            selection_task(&mut site, 0, SelRequest { slot: SINGLE_QUERY_SLOT, query, fragments });
         assert!(response.answers.is_empty());
         // The name node became a candidate; resolve its z-variable to true.
         let mut values = BTreeMap::new();
         values
             .insert(FragmentId(1), vec![(PaxVar::Sel { fragment: FragmentId(1), entry: 1 }, true)]);
-        let collected =
-            collect_task(&mut site, CollectRequest { slot: SINGLE_QUERY_SLOT, fragments: values });
+        let collected = collect_task(
+            &mut site,
+            0,
+            CollectRequest { slot: SINGLE_QUERY_SLOT, fragments: values },
+        );
         assert_eq!(collected.answers.len(), 1);
         assert_eq!(collected.answers[0].label, "name");
     }
@@ -1079,7 +1125,7 @@ mod tests {
                 recompute: true,
             },
         );
-        let delta = update_task(&mut site, MsgUpdate { query, fragments });
+        let delta = update_task(&mut site, 1, MsgUpdate { query, fragments });
         assert_eq!(delta.applied[&FragmentId(1)], 1);
         assert!(delta.rejected.is_empty());
         assert!(delta.vect.roots.contains_key(&FragmentId(1)));
@@ -1090,8 +1136,13 @@ mod tests {
         assert_eq!(candidates[0].item.text, Some("Bache".to_string()));
         assert!(candidates[0].formula.has_variables());
         assert!(candidates[0].formula.variables().iter().all(|v| !v.is_local()));
-        // The site's stored fragment really changed.
-        assert_eq!(site.fragments[&FragmentId(1)].tree.text_of(name), Some("Bache".to_string()));
+        // Epoch 1's snapshot carries the edit; epoch 0's is untouched, so a
+        // reader still pinned to the pre-update epoch sees the old text.
+        let at_1 = site.fragment_at(FragmentId(1), 1).unwrap();
+        assert_eq!(at_1.tree.text_of(name), Some("Bache".to_string()));
+        let at_0 = site.fragment_at(FragmentId(1), 0).unwrap();
+        assert_eq!(at_0.tree.text_of(name), Some("E*trade".to_string()));
+        assert_eq!(site.version_count(), 3, "two fragments plus one fresh version");
     }
 
     #[test]
@@ -1110,7 +1161,7 @@ mod tests {
                 recompute: true,
             },
         );
-        let delta = update_task(&mut site, MsgUpdate { query, fragments });
+        let delta = update_task(&mut site, 1, MsgUpdate { query, fragments });
         assert_eq!(delta.applied[&FragmentId(1)], 0);
         assert!(delta.rejected[&FragmentId(1)].contains("root"));
         // Vectors are refreshed regardless, so coordinator caches stay valid.
@@ -1139,8 +1190,11 @@ mod tests {
                 collect_answers_now: false,
             },
         );
-        let response =
-            combined_task(&mut site, CombinedRequest { slot: SINGLE_QUERY_SLOT, query, fragments });
+        let response = combined_task(
+            &mut site,
+            0,
+            CombinedRequest { slot: SINGLE_QUERY_SLOT, query, fragments },
+        );
         assert_eq!(response.roots.len(), 2);
         // The root fragment records an ancestor summary for its virtual node F1.
         assert!(response.virtuals.contains_key(&FragmentId(1)));

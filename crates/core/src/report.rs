@@ -238,6 +238,12 @@ pub struct ExecReport {
     /// Was this execution served entirely from the server's residual-vector
     /// cache (zero site visits)?
     pub from_cache: bool,
+    /// The deployment epoch this execution was pinned to: queries report
+    /// the epoch whose snapshots they read, updates the epoch they
+    /// published. Executions outside an epoch-versioned server (the
+    /// deprecated free-function drivers) report
+    /// [`paxml_distsim::LATEST_EPOCH`].
+    pub epoch: u64,
 }
 
 impl ExecReport {

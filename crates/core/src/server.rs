@@ -25,25 +25,50 @@
 //!   visit it pays to each dirty site — clean sites are never visited, and
 //!   re-executing any prepared query afterwards costs **zero** visits.
 //!
-//! # The `Send + Sync` contract
+//! # The concurrency model: epoch-versioned snapshots
 //!
 //! `PaxServer` is `Send + Sync`: wrap one in an [`Arc`] and share it with
 //! any number of client threads — **no `&mut self` anywhere in the serving
-//! path**. The session follows the read-heavy/update-rare split of a
-//! production query server:
+//! path**. The session is MVCC at *deployment* granularity: updates never
+//! block readers, readers never block updates, and every execution reads
+//! one immutable **epoch** of the deployment from its first visit to its
+//! last.
 //!
-//! | Operation | Access | Blocks | Blocked by |
-//! |-----------|--------|--------|------------|
-//! | [`execute`](PaxServer::execute), [`execute_batch`](PaxServer::execute_batch), [`execute_text`](PaxServer::execute_text), [`query_once`](PaxServer::query_once) | shared (read) | [`apply_updates`](PaxServer::apply_updates) | an in-flight `apply_updates` |
-//! | [`apply_updates`](PaxServer::apply_updates) | exclusive (write) | every execution | every in-flight execution |
-//! | [`prepare`](PaxServer::prepare) | exclusive over the prepared-query table only | other `prepare` calls | other `prepare` calls |
+//! The lifecycle is **pin → build → swap → retire**:
 //!
-//! Executions hold the read side of an internal update gate for their
-//! *entire* protocol (all visits of all rounds), and `apply_updates` holds
-//! the write side — so a reader observes either the pre-update or the
-//! post-update deployment, **never a torn mix**, and concurrent execution
-//! stays bit-identical to a sequential interleaving. Concurrent executions
-//! themselves never block each other: each runs with a private stats
+//! * **Pin.** Every execution clones the current epoch handle on entry (one
+//!   short mutex hold — no lock is kept for the execution's duration) and
+//!   tags all of its protocol messages with that epoch number. Sites read
+//!   the fragment version current *at that epoch*, and every scratch slot
+//!   lives in a per-epoch namespace, so the execution is bit-identical to
+//!   one that ran with the cluster frozen at its pinned epoch.
+//! * **Build.** [`PaxServer::apply_updates`] (serialized against other
+//!   updaters by a writer mutex that readers never touch) takes the current
+//!   epoch `N` as its base and builds epoch `N + 1` **concurrently with
+//!   in-flight readers**: it visits only the dirty sites, which install new
+//!   fragment versions under epoch `N + 1` copy-on-write — clean sites are
+//!   never visited, and a clean fragment's epoch-`N` version *is* its
+//!   epoch-`N + 1` version by reference. Coordinator-side, every prepared
+//!   query's residual-vector session is cloned copy-on-write (clean
+//!   fragments' cached vectors are shared by `Arc`) and refreshed against
+//!   the new data. During the build the writer holds **no lock a reader
+//!   ever takes**.
+//! * **Swap.** Publishing epoch `N + 1` is a single pointer swap of the
+//!   current-epoch handle. Executions that pinned epoch `N` keep reading
+//!   epoch `N` to completion; executions entering after the swap read
+//!   epoch `N + 1`. A failed build (e.g. an unreachable site) publishes
+//!   nothing — the current epoch stays `N` and pinned readers are
+//!   unaffected.
+//! * **Retire.** An epoch handle is an `Arc`; when the last pinned
+//!   execution drops it the epoch is dead. Site-side, superseded fragment
+//!   versions are dropped lazily: every update round piggybacks the oldest
+//!   still-live epoch as a retirement watermark on the sites it visits,
+//!   and [`PaxServer::vacuum`] sweeps every site explicitly.
+//!   [`PaxServer::server_stats`] meters live epochs and cache bytes.
+//!
+//! Lock order (outermost first): writer mutex → current-epoch handle →
+//! epoch session table → individual session → epoch registry. Concurrent
+//! executions never block each other: each runs with a private stats
 //! recorder and private site-scratch slots; the first (cache-snapshotting)
 //! execution of one particular PaX2 prepared query serializes on that
 //! query's session lock, after which re-executions are lock-cheap cache
@@ -129,14 +154,14 @@ use crate::error::{PaxError, PaxResult};
 use crate::incremental::QuerySession;
 use crate::protocol::{MsgSessionUpdate, SessionRecompute};
 use crate::report::{Algorithm, ExecMode, ExecReport, QueryOutcome, UpdateOutcome};
-use crate::transport::ProtocolRequest;
+use crate::transport::{ProtocolRequest, VacuumOutcome};
 use crate::EvalOptions;
 use crate::{batch, naive, pax2, pax3};
 use paxml_distsim::{ClusterStats, Placement, SiteId};
 use paxml_fragment::{FragmentId, FragmentedTree, UpdateOp};
 use paxml_xpath::{compile_text, CompiledQuery};
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard};
+use std::sync::{Arc, Mutex, RwLock, Weak};
 use std::time::{Duration, Instant};
 
 /// A query compiled and normalized once by [`PaxServer::prepare`], reusable
@@ -275,13 +300,16 @@ impl PaxServerBuilder {
             cluster.round_latency = round_latency;
             cluster.site_delay = site_delays;
         });
+        let (current, epochs) = initial_epoch();
         Ok(PaxServer {
             deployment,
             algorithm: self.algorithm,
             options: EvalOptions { use_annotations: self.use_annotations },
-            update_gate: RwLock::new(()),
+            writer: Mutex::new(()),
+            current,
+            epochs,
             prepared: RwLock::new(PreparedTable::default()),
-            sessions: Mutex::new(BTreeMap::new()),
+            update_hook: Mutex::new(None),
         })
     }
 
@@ -302,13 +330,16 @@ impl PaxServerBuilder {
         fragmented: &FragmentedTree,
         transport: Arc<dyn crate::transport::Transport>,
     ) -> PaxResult<PaxServer> {
+        let (current, epochs) = initial_epoch();
         Ok(PaxServer {
             deployment: Deployment::over_transport(fragmented, transport),
             algorithm: self.algorithm,
             options: EvalOptions { use_annotations: self.use_annotations },
-            update_gate: RwLock::new(()),
+            writer: Mutex::new(()),
+            current,
+            epochs,
             prepared: RwLock::new(PreparedTable::default()),
-            sessions: Mutex::new(BTreeMap::new()),
+            update_hook: Mutex::new(None),
         })
     }
 }
@@ -320,6 +351,45 @@ struct PreparedTable {
     by_text: BTreeMap<String, usize>,
 }
 
+/// One immutable deployment epoch: the unit executions pin on entry.
+///
+/// The fragment *data* of an epoch lives site-side (each site keeps a
+/// version list per fragment, read at the pinned epoch number); the
+/// coordinator side of an epoch is the per-prepared-query residual-vector
+/// sessions consistent with that data. An epoch is dead when the last
+/// pinned execution drops its `Arc`; the server tracks epochs through
+/// [`Weak`] handles so retirement needs no reference counting of its own.
+struct EpochInner {
+    /// The epoch number tagged onto every protocol message of a pinned
+    /// execution. Epoch 0 is the initial deployment.
+    number: u64,
+    /// Residual-vector caches per prepared query (PaX2 servers), keyed by
+    /// the prepared query's id, *consistent with this epoch's data*.
+    /// Populated on first execution, carried copy-on-write into the next
+    /// epoch by every update. Each session has its own lock so executions
+    /// of *different* prepared queries never contend.
+    sessions: Mutex<BTreeMap<usize, Arc<Mutex<QuerySession>>>>,
+}
+
+/// A consistent snapshot of the server's epoch machinery, from
+/// [`PaxServer::server_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// The epoch new executions pin right now.
+    pub current_epoch: u64,
+    /// Epochs still pinned by at least one handle (the current epoch
+    /// always counts). Steady state is 1; more means executions are still
+    /// draining on older epochs.
+    pub live_epochs: usize,
+    /// Epochs published and since fully drained (`current_epoch + 1 -
+    /// live_epochs`).
+    pub retired_epochs: u64,
+    /// Bytes of the current epoch's session caches under the canonical
+    /// wire encoding (per-session logical size; vectors shared
+    /// copy-on-write across epochs are charged once per session).
+    pub session_cache_bytes: u64,
+}
+
 /// A long-lived evaluation session over one deployment: prepared queries,
 /// single and batched execution, and fragment updates, all through one
 /// `Send + Sync` handle shared by any number of client threads. See the
@@ -329,18 +399,33 @@ pub struct PaxServer {
     deployment: Deployment,
     algorithm: Algorithm,
     options: EvalOptions,
-    /// The read-path/write-path split: executions hold the read side for
-    /// their whole protocol; `apply_updates` holds the write side while it
-    /// mutates fragment data and session caches. Lock order (when several
-    /// are taken): `update_gate` → `sessions` map → individual session.
-    update_gate: RwLock<()>,
+    /// Serializes updaters against each other — never taken by the read
+    /// path. Held across the whole build-and-publish of one update (and
+    /// by [`PaxServer::vacuum`]), so epoch numbers advance one at a time.
+    writer: Mutex<()>,
+    /// The epoch new executions pin. Readers hold this lock only long
+    /// enough to clone the `Arc`; `apply_updates` only long enough to swap
+    /// in the next epoch.
+    current: Mutex<Arc<EpochInner>>,
+    /// Every epoch not yet proven dead, by number. `Weak`: the registry
+    /// never keeps an epoch alive, it only observes which ones still are.
+    epochs: Mutex<EpochRegistry>,
     /// Queries compiled so far, cached by text.
     prepared: RwLock<PreparedTable>,
-    /// Residual-vector caches per prepared query (PaX2 servers), keyed by
-    /// the prepared query's id. Populated on first execution, maintained by
-    /// every update round. Each session has its own lock so executions of
-    /// *different* prepared queries never contend.
-    sessions: Mutex<BTreeMap<usize, Arc<Mutex<QuerySession>>>>,
+    /// Test instrumentation: invoked by `apply_updates` after the build
+    /// round and before the publish swap, with no reader-visible lock
+    /// held. Lets the wait-freedom suite hold an update open mid-air.
+    update_hook: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
+}
+
+/// The epoch registry: every epoch not yet proven dead, by number.
+type EpochRegistry = BTreeMap<u64, Weak<EpochInner>>;
+
+/// Build the epoch-0 state shared by both deployment constructors.
+fn initial_epoch() -> (Mutex<Arc<EpochInner>>, Mutex<EpochRegistry>) {
+    let epoch0 = Arc::new(EpochInner { number: 0, sessions: Mutex::new(BTreeMap::new()) });
+    let registry = BTreeMap::from([(0, Arc::downgrade(&epoch0))]);
+    (Mutex::new(epoch0), Mutex::new(registry))
 }
 
 impl PaxServer {
@@ -379,10 +464,82 @@ impl PaxServer {
         self.deployment.stats()
     }
 
-    /// Hold the shared side of the update gate for the duration of one
-    /// execution: updates wait, other executions proceed.
-    fn shared_gate(&self) -> RwLockReadGuard<'_, ()> {
-        self.update_gate.read().expect("the update gate is never poisoned")
+    /// Pin the current epoch: clone the handle under a short lock hold.
+    /// The returned `Arc` keeps the epoch live (and its site-side fragment
+    /// versions unretired) until the caller drops it.
+    fn pin(&self) -> Arc<EpochInner> {
+        Arc::clone(&self.current.lock().expect("the current-epoch lock is never poisoned"))
+    }
+
+    /// The oldest epoch still pinned anywhere — the retirement watermark:
+    /// site-side versions superseded at or below it can never be read
+    /// again. Prunes dead registry entries as a side effect.
+    fn live_watermark(&self) -> u64 {
+        let mut registry = self.epochs.lock().expect("the epoch registry is never poisoned");
+        registry.retain(|_, weak| weak.strong_count() > 0);
+        registry.keys().next().copied().unwrap_or(0)
+    }
+
+    /// A consistent snapshot of the epoch machinery: current epoch, how
+    /// many epochs are still pinned, and the current epoch's session-cache
+    /// footprint. The leak check of the stress suite asserts `live_epochs`
+    /// returns to 1 once readers drain.
+    pub fn server_stats(&self) -> ServerStats {
+        let current = self.pin();
+        let live_epochs = {
+            let mut registry = self.epochs.lock().expect("the epoch registry is never poisoned");
+            registry.retain(|_, weak| weak.strong_count() > 0);
+            registry.len()
+        };
+        let session_cache_bytes = {
+            let sessions =
+                current.sessions.lock().expect("the session-table lock is never poisoned");
+            sessions
+                .values()
+                .map(|arc| arc.lock().expect("a session lock is never poisoned").cache_bytes())
+                .sum()
+        };
+        ServerStats {
+            current_epoch: current.number,
+            live_epochs,
+            retired_epochs: current.number + 1 - live_epochs as u64,
+            session_cache_bytes,
+        }
+    }
+
+    /// Install a hook [`PaxServer::apply_updates`] invokes after the build
+    /// round and before the publish swap — test instrumentation for the
+    /// wait-freedom suite (a hook that sleeps holds the update open while
+    /// readers must keep completing on the old epoch). No reader-visible
+    /// lock is held while the hook runs.
+    pub fn set_update_hook<F: Fn() + Send + Sync + 'static>(&self, hook: F) {
+        *self.update_hook.lock().expect("the update-hook lock is never poisoned") =
+            Some(Box::new(hook));
+    }
+
+    /// Remove the hook installed by [`PaxServer::set_update_hook`].
+    pub fn clear_update_hook(&self) {
+        *self.update_hook.lock().expect("the update-hook lock is never poisoned") = None;
+    }
+
+    /// Sweep every site, dropping fragment versions no live epoch can
+    /// still read. Update rounds already piggyback the retirement
+    /// watermark onto the sites they visit; `vacuum` reaches the sites a
+    /// sparse update stream never touches. Returns the total versions
+    /// dropped and left live across the cluster.
+    pub fn vacuum(&self) -> PaxResult<VacuumOutcome> {
+        let _writer = self.writer.lock().expect("the writer lock is never poisoned");
+        let current = self.pin();
+        let watermark = self.live_watermark();
+        let mut ctx = ExecCtx::pinned(&self.deployment, current.number, watermark);
+        let responses = ctx.broadcast(ProtocolRequest::Vacuum)?;
+        let mut outcome = VacuumOutcome { dropped: 0, live_versions: 0 };
+        for response in responses.into_values() {
+            let swept = response.into_vacuumed()?;
+            outcome.dropped += swept.dropped;
+            outcome.live_versions += swept.live_versions;
+        }
+        Ok(outcome)
     }
 
     /// Compile and normalize `text` once, caching by query text: preparing
@@ -421,8 +578,10 @@ impl PaxServer {
     }
 
     /// Execute a prepared query through the configured engine. Takes
-    /// `&self`: any number of executions may run concurrently (updates
-    /// wait — see the [module docs](self)).
+    /// `&self`: any number of executions may run concurrently, and none is
+    /// ever blocked by an in-flight [`PaxServer::apply_updates`] — the
+    /// execution pins the epoch current at entry and reads it to
+    /// completion (see the [module docs](self)).
     ///
     /// On a PaX2 server the first execution also snapshots the query's
     /// residual vectors coordinator-side (one visit per relevant site —
@@ -432,15 +591,19 @@ impl PaxServer {
     /// visit. PaX3 and naive servers run their classic protocols each time.
     pub fn execute(&self, query: &PreparedQuery) -> PaxResult<ExecReport> {
         self.resolve(query)?;
-        let _shared = self.shared_gate();
+        let epoch = self.pin();
         match self.algorithm {
             Algorithm::NaiveCentralized => {
-                naive::run(&self.deployment, &query.compiled, query.text())
+                naive::run(&self.deployment, &query.compiled, query.text(), epoch.number)
             }
-            Algorithm::PaX3 => {
-                pax3::run(&self.deployment, &query.compiled, query.text(), &self.options)
-            }
-            Algorithm::PaX2 => self.execute_session(query),
+            Algorithm::PaX3 => pax3::run(
+                &self.deployment,
+                &query.compiled,
+                query.text(),
+                &self.options,
+                epoch.number,
+            ),
+            Algorithm::PaX2 => self.execute_session(query, &epoch),
         }
     }
 
@@ -458,11 +621,17 @@ impl PaxServer {
     /// [`PaxServer::execute`] does.
     pub fn query_once(&self, text: &str) -> PaxResult<ExecReport> {
         let compiled = compile_text(text)?;
-        let _shared = self.shared_gate();
+        let epoch = self.pin();
         match self.algorithm {
-            Algorithm::NaiveCentralized => naive::run(&self.deployment, &compiled, text),
-            Algorithm::PaX3 => pax3::run(&self.deployment, &compiled, text, &self.options),
-            Algorithm::PaX2 => pax2::run(&self.deployment, &compiled, text, &self.options),
+            Algorithm::NaiveCentralized => {
+                naive::run(&self.deployment, &compiled, text, epoch.number)
+            }
+            Algorithm::PaX3 => {
+                pax3::run(&self.deployment, &compiled, text, &self.options, epoch.number)
+            }
+            Algorithm::PaX2 => {
+                pax2::run(&self.deployment, &compiled, text, &self.options, epoch.number)
+            }
         }
     }
 
@@ -477,7 +646,7 @@ impl PaxServer {
         for query in queries {
             self.resolve(query)?;
         }
-        let _shared = self.shared_gate();
+        let epoch = self.pin();
         match self.algorithm {
             Algorithm::NaiveCentralized => {
                 let start = Instant::now();
@@ -485,7 +654,8 @@ impl PaxServer {
                 let mut coordinator_ops = 0u64;
                 let mut stats = ClusterStats::default();
                 for query in queries {
-                    let report = naive::run(&self.deployment, &query.compiled, query.text())?;
+                    let report =
+                        naive::run(&self.deployment, &query.compiled, query.text(), epoch.number)?;
                     coordinator_ops += report.coordinator_ops;
                     stats.merge(&report.stats);
                     outcomes.extend(report.queries);
@@ -501,13 +671,15 @@ impl PaxServer {
                     coordinator_ops,
                     elapsed: start.elapsed(),
                     from_cache: false,
+                    epoch: epoch.number,
                 })
             }
             Algorithm::PaX3 | Algorithm::PaX2 => {
                 let compiled: Vec<&CompiledQuery> =
                     queries.iter().map(|q| q.compiled.as_ref()).collect();
                 let texts: Vec<String> = queries.iter().map(|q| q.text().to_string()).collect();
-                let mut report = batch::run(&self.deployment, &compiled, &texts, &self.options)?;
+                let mut report =
+                    batch::run(&self.deployment, &compiled, &texts, &self.options, epoch.number)?;
                 // Batched execution always uses the shared-visit combined
                 // protocol; the report names the server's configured
                 // algorithm (PaX3's ≤ 3 bound holds a fortiori).
@@ -524,17 +696,19 @@ impl PaxServer {
         self.execute_batch(&queries)
     }
 
-    /// Apply a batch of fragment updates, visiting **only** the sites that
-    /// hold an updated fragment — and, on PaX2 servers, refresh every
-    /// executed prepared query's residual-vector cache in that same visit,
-    /// so subsequent [`PaxServer::execute`] calls are already current
-    /// (zero visits, clean sites untouched throughout).
+    /// Apply a batch of fragment updates by building the **next epoch**,
+    /// visiting **only** the sites that hold an updated fragment — and, on
+    /// PaX2 servers, refresh every executed prepared query's
+    /// residual-vector cache in that same visit, so subsequent
+    /// [`PaxServer::execute`] calls are already current (zero visits,
+    /// clean sites untouched throughout).
     ///
-    /// This is the **writer-exclusive** operation of the session: it waits
-    /// for every in-flight execution to finish, blocks new ones while it
-    /// runs, and releases them against the fully-updated deployment —
-    /// interleaved readers observe either the pre-update or the post-update
-    /// answers, never a torn mix.
+    /// Updates **never block readers**: the build runs concurrently with
+    /// in-flight executions, which keep reading their pinned epoch; the
+    /// new epoch becomes visible in a single swap at the end, so a reader
+    /// observes either the pre-update or the post-update answers, never a
+    /// torn mix. Concurrent updaters serialize on the writer mutex. A
+    /// failed build publishes nothing.
     ///
     /// Ops for the same fragment apply in batch order. An op naming an
     /// unknown fragment fails the whole call before any visit; per-op
@@ -543,7 +717,7 @@ impl PaxServer {
     /// — session vectors are refreshed either way).
     pub fn apply_updates(&self, updates: &[(FragmentId, UpdateOp)]) -> PaxResult<ExecReport> {
         let start = Instant::now();
-        let _exclusive = self.update_gate.write().expect("the update gate is never poisoned");
+        let _writer = self.writer.lock().expect("the writer lock is never poisoned");
         let fragments_total = self.deployment.fragment_count();
         let mut ops_by_fragment: BTreeMap<FragmentId, Vec<UpdateOp>> = BTreeMap::new();
         for (fragment, op) in updates {
@@ -555,82 +729,122 @@ impl PaxServer {
             }
             ops_by_fragment.entry(*fragment).or_default().push(op.clone());
         }
+        // The writer lock makes this the only publisher: the base epoch is
+        // stable for the whole build.
+        let base = self.pin();
         let dirty_fragments: BTreeSet<FragmentId> = ops_by_fragment.keys().copied().collect();
         let dirty_sites: BTreeSet<SiteId> =
             dirty_fragments.iter().map(|&f| self.deployment.site_of(f)).collect();
-        let mut ctx = ExecCtx::new(&self.deployment);
 
-        // The session set is stable while the write gate is held (only
-        // executions create sessions, and they are blocked): snapshot the
-        // handles, then lock every session for the whole update.
-        let session_arcs: Vec<(usize, Arc<Mutex<QuerySession>>)> = {
-            let map = self.sessions.lock().expect("the session-table lock is never poisoned");
+        if dirty_fragments.is_empty() {
+            // Nothing changes: no visit, no new epoch.
+            let refreshed_sessions =
+                base.sessions.lock().expect("the session-table lock is never poisoned").len();
+            return Ok(ExecReport {
+                algorithm: self.algorithm,
+                annotations_used: self.options.use_annotations,
+                mode: ExecMode::Update,
+                queries: Vec::new(),
+                update: Some(UpdateOutcome {
+                    dirty_fragments,
+                    dirty_sites,
+                    applied_ops: 0,
+                    rejected: BTreeMap::new(),
+                    refreshed_sessions,
+                    recomputed_fragments: 0,
+                    reunified_fragments: 0,
+                }),
+                fragments_total,
+                stats: ClusterStats::default(),
+                coordinator_ops: 0,
+                elapsed: start.elapsed(),
+                from_cache: false,
+                epoch: base.number,
+            });
+        }
+        let next_number = base.number + 1;
+
+        // Clone every session copy-on-write for the next epoch: clean
+        // fragments' cached vectors are shared by reference, only the
+        // entries this update dirties will be deep-copied on absorb. Each
+        // base session is locked only for the duration of its clone —
+        // readers on the base epoch are never blocked behind the round
+        // below. Sessions a concurrent cold execution adds to the base
+        // epoch *after* this snapshot simply re-snapshot on their first
+        // execution in the next epoch.
+        let base_sessions: Vec<(usize, Arc<Mutex<QuerySession>>)> = {
+            let map = base.sessions.lock().expect("the session-table lock is never poisoned");
             map.iter().map(|(id, arc)| (*id, Arc::clone(arc))).collect()
         };
-        let mut sessions: BTreeMap<usize, MutexGuard<'_, QuerySession>> = BTreeMap::new();
-        for (id, arc) in &session_arcs {
-            sessions.insert(*id, arc.lock().expect("a session lock is never poisoned"));
+        let mut next_sessions: BTreeMap<usize, QuerySession> = BTreeMap::new();
+        for (id, arc) in &base_sessions {
+            next_sessions
+                .insert(*id, arc.lock().expect("a session lock is never poisoned").clone());
         }
 
+        // ----------------------------------------------- the one dirty round
+        // Each dirty site gets the ops for its fragments plus, per session,
+        // the recompute instructions for its share of that session's
+        // dirty-and-relevant fragments. The round is pinned to the *next*
+        // epoch: sites install the updated fragments as new versions and
+        // recompute vectors against them, while readers on older epochs
+        // keep seeing the old versions. The round also piggybacks the
+        // oldest-live-epoch watermark so visited sites retire dead
+        // versions for free.
+        let watermark = self.live_watermark();
+        let mut ctx = ExecCtx::pinned(&self.deployment, next_number, watermark);
         let mut recomputed_fragments = 0usize;
+        let mut session_inputs: BTreeMap<usize, BTreeMap<FragmentId, _>> = BTreeMap::new();
+        for (&id, session) in &next_sessions {
+            let inputs = session.recompute_inputs(&dirty_fragments);
+            recomputed_fragments += inputs.len();
+            session_inputs.insert(id, inputs);
+        }
+        let mut requests: BTreeMap<SiteId, ProtocolRequest> = BTreeMap::new();
+        for (&site, fragments) in &self.deployment.group_by_site(dirty_fragments.iter().copied()) {
+            let ops: BTreeMap<FragmentId, Vec<UpdateOp>> = fragments
+                .iter()
+                .filter_map(|f| ops_by_fragment.get(f).map(|ops| (*f, ops.clone())))
+                .collect();
+            let mut session_slices: Vec<SessionRecompute> = Vec::new();
+            for (&id, inputs) in &session_inputs {
+                let here: BTreeMap<FragmentId, _> = fragments
+                    .iter()
+                    .filter_map(|f| inputs.get(f).map(|input| (*f, input.clone())))
+                    .collect();
+                if !here.is_empty() {
+                    session_slices.push(SessionRecompute {
+                        session: id,
+                        query: next_sessions[&id].query.clone(),
+                        fragments: here,
+                    });
+                }
+            }
+            requests.insert(
+                site,
+                ProtocolRequest::SessionUpdate(MsgSessionUpdate { ops, sessions: session_slices }),
+            );
+        }
+        debug_assert!(
+            requests.keys().all(|s| dirty_sites.contains(s)),
+            "the update round must address dirty sites only"
+        );
+        // A failed round (e.g. a site became unreachable mid-build) returns
+        // here: nothing was published, readers keep the base epoch. The
+        // versions already installed under `next_number` on reached sites
+        // are unreadable orphans; a retried update overwrites them
+        // (installs read their base strictly *below* the target epoch).
+        let responses = ctx.round(requests)?;
+
         let mut applied_ops = 0usize;
         let mut rejected: BTreeMap<FragmentId, String> = BTreeMap::new();
-
-        if !dirty_fragments.is_empty() {
-            // ------------------------------------------- the one dirty round
-            // Each dirty site gets the ops for its fragments plus, per
-            // initialized session, the recompute instructions for its share
-            // of that session's dirty-and-relevant fragments.
-            let mut session_inputs: BTreeMap<usize, BTreeMap<FragmentId, _>> = BTreeMap::new();
-            for (&id, session) in &sessions {
-                let inputs = session.recompute_inputs(&dirty_fragments);
-                recomputed_fragments += inputs.len();
-                session_inputs.insert(id, inputs);
-            }
-            let mut requests: BTreeMap<SiteId, ProtocolRequest> = BTreeMap::new();
-            for (&site, fragments) in
-                &self.deployment.group_by_site(dirty_fragments.iter().copied())
-            {
-                let ops: BTreeMap<FragmentId, Vec<UpdateOp>> = fragments
-                    .iter()
-                    .filter_map(|f| ops_by_fragment.get(f).map(|ops| (*f, ops.clone())))
-                    .collect();
-                let mut session_slices: Vec<SessionRecompute> = Vec::new();
-                for (&id, inputs) in &session_inputs {
-                    let here: BTreeMap<FragmentId, _> = fragments
-                        .iter()
-                        .filter_map(|f| inputs.get(f).map(|input| (*f, input.clone())))
-                        .collect();
-                    if !here.is_empty() {
-                        session_slices.push(SessionRecompute {
-                            session: id,
-                            query: sessions[&id].query.clone(),
-                            fragments: here,
-                        });
-                    }
-                }
-                requests.insert(
-                    site,
-                    ProtocolRequest::SessionUpdate(MsgSessionUpdate {
-                        ops,
-                        sessions: session_slices,
-                    }),
-                );
-            }
-            debug_assert!(
-                requests.keys().all(|s| dirty_sites.contains(s)),
-                "the update round must address dirty sites only"
-            );
-            let responses = ctx.round(requests)?;
-
-            for response in responses.into_values() {
-                let delta = response.into_session_delta()?;
-                applied_ops += delta.applied.values().sum::<usize>();
-                rejected.extend(delta.rejected);
-                for session_delta in delta.sessions {
-                    if let Some(session) = sessions.get_mut(&session_delta.session) {
-                        session.absorb(session_delta.vect, session_delta.answer);
-                    }
+        for response in responses.into_values() {
+            let delta = response.into_session_delta()?;
+            applied_ops += delta.applied.values().sum::<usize>();
+            rejected.extend(delta.rejected);
+            for session_delta in delta.sessions {
+                if let Some(session) = next_sessions.get_mut(&session_delta.session) {
+                    session.absorb(session_delta.vect, session_delta.answer);
                 }
             }
         }
@@ -638,10 +852,39 @@ impl PaxServer {
         // ------------------- evalFT over each session's dirty cone
         let mut coordinator_ops = 0u64;
         let mut reunified_fragments = 0usize;
-        for session in sessions.values_mut() {
+        for session in next_sessions.values_mut() {
             let refresh = session.refresh_coordinator_state(&dirty_fragments, false);
             coordinator_ops += refresh.unify_ops;
             reunified_fragments += refresh.reunified_fragments;
+        }
+
+        // Test instrumentation: hold the fully built, not-yet-visible epoch
+        // open. No reader-visible lock is held here — readers must keep
+        // completing on the base epoch however long the hook takes.
+        {
+            let hook = self.update_hook.lock().expect("the update-hook lock is never poisoned");
+            if let Some(hook) = hook.as_ref() {
+                hook();
+            }
+        }
+
+        // ------------------------------------- publish: one atomic swap
+        let refreshed_sessions = next_sessions.len();
+        let next = Arc::new(EpochInner {
+            number: next_number,
+            sessions: Mutex::new(
+                next_sessions.into_iter().map(|(id, s)| (id, Arc::new(Mutex::new(s)))).collect(),
+            ),
+        });
+        {
+            let mut current =
+                self.current.lock().expect("the current-epoch lock is never poisoned");
+            *current = Arc::clone(&next);
+        }
+        {
+            let mut registry = self.epochs.lock().expect("the epoch registry is never poisoned");
+            registry.insert(next_number, Arc::downgrade(&next));
+            registry.retain(|_, weak| weak.strong_count() > 0);
         }
 
         Ok(ExecReport {
@@ -654,7 +897,7 @@ impl PaxServer {
                 dirty_sites,
                 applied_ops,
                 rejected,
-                refreshed_sessions: sessions.len(),
+                refreshed_sessions,
                 recomputed_fragments,
                 reunified_fragments,
             }),
@@ -663,18 +906,19 @@ impl PaxServer {
             coordinator_ops,
             elapsed: start.elapsed(),
             from_cache: false,
+            epoch: next_number,
         })
     }
 
     /// The PaX2 session path of [`PaxServer::execute`]: snapshot on first
-    /// run, serve from the maintained cache afterwards. Called with the
-    /// shared gate held; cold snapshots of one particular query serialize
-    /// on that query's session lock, warm executions of different queries
-    /// run fully in parallel.
-    fn execute_session(&self, query: &PreparedQuery) -> PaxResult<ExecReport> {
+    /// run, serve from the maintained cache afterwards. Runs against the
+    /// epoch the caller pinned; cold snapshots of one particular query
+    /// serialize on that query's session lock, warm executions of
+    /// different queries run fully in parallel.
+    fn execute_session(&self, query: &PreparedQuery, epoch: &EpochInner) -> PaxResult<ExecReport> {
         let start = Instant::now();
         let session_arc = {
-            let mut map = self.sessions.lock().expect("the session-table lock is never poisoned");
+            let mut map = epoch.sessions.lock().expect("the session-table lock is never poisoned");
             Arc::clone(map.entry(query.id).or_insert_with(|| {
                 Arc::new(Mutex::new(QuerySession::new(
                     (*query.compiled).clone(),
@@ -688,8 +932,9 @@ impl PaxServer {
         let mut session = session_arc.lock().expect("a session lock is never poisoned");
         let fragments_total = self.deployment.fragment_count();
         if session.initialized {
-            // The cache is current (every update round refreshes it):
-            // answer without visiting a single site.
+            // The cache is current for this epoch (every update carries
+            // the sessions into the next epoch refreshed): answer without
+            // visiting a single site.
             return Ok(ExecReport {
                 algorithm: Algorithm::PaX2,
                 annotations_used: self.options.use_annotations,
@@ -706,9 +951,12 @@ impl PaxServer {
                 coordinator_ops: 0,
                 elapsed: start.elapsed(),
                 from_cache: true,
+                epoch: epoch.number,
             });
         }
-        let round = session.run_round(&self.deployment, &BTreeMap::new(), true)?;
+        // Cold snapshot: one visit per relevant site, reading the pinned
+        // epoch's fragment versions.
+        let round = session.run_round(&self.deployment, epoch.number, &BTreeMap::new(), true)?;
         Ok(ExecReport {
             algorithm: Algorithm::PaX2,
             annotations_used: self.options.use_annotations,
@@ -725,6 +973,7 @@ impl PaxServer {
             coordinator_ops: round.unify_ops,
             elapsed: start.elapsed(),
             from_cache: false,
+            epoch: epoch.number,
         })
     }
 }

@@ -26,14 +26,40 @@ use crate::protocol::{
     CombinedResponse, MsgDelta, MsgSessionDelta, MsgSessionUpdate, MsgUpdate, QualRequest,
     QualResponse, SelRequest, SelResponse,
 };
-use paxml_distsim::{Cluster, ClusterStats, SiteId, SiteLocal};
+use paxml_distsim::{Cluster, ClusterStats, SiteId, SiteLocal, LATEST_EPOCH};
 use paxml_fragment::{Fragment, FragmentId};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
-/// A coordinator→site message: one variant per site-side task of the PaX
-/// protocol. This enum (not the bare per-stage request) is the unit that
-/// crosses the wire, so its encoded size is the unit both transports charge.
+/// The envelope every coordinator→site message travels in: a protocol body
+/// plus the deployment epoch the visit is pinned to and a retirement
+/// watermark. This (not the bare [`ProtocolRequest`]) is the unit that
+/// crosses the wire, so its encoded size is the unit both transports charge
+/// — which keeps the simulator byte-identical to the socket transport.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpochRequest {
+    /// The epoch this visit reads (and, for update bodies, installs).
+    /// [`LATEST_EPOCH`] means "the newest snapshot, updated in place" — the
+    /// semantics of the deprecated unversioned API.
+    pub epoch: u64,
+    /// Retirement watermark: before the body runs, the site drops every
+    /// fragment version that no execution pinned at or above this epoch can
+    /// read. Zero retires nothing.
+    pub retire_below: u64,
+    /// The protocol task to run.
+    pub body: ProtocolRequest,
+}
+
+impl EpochRequest {
+    /// Wrap a body at [`LATEST_EPOCH`] with no retirement — the envelope
+    /// the deprecated free-function drivers use.
+    pub fn latest(body: ProtocolRequest) -> EpochRequest {
+        EpochRequest { epoch: LATEST_EPOCH, retire_below: 0, body }
+    }
+}
+
+/// A coordinator→site message body: one variant per site-side task of the
+/// PaX protocol.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum ProtocolRequest {
     /// PaX3 Stage 1: partial qualifier evaluation.
@@ -53,8 +79,14 @@ pub enum ProtocolRequest {
     Update(MsgUpdate),
     /// Server update round: apply ops and refresh every session's vectors.
     SessionUpdate(MsgSessionUpdate),
-    /// Naive baseline: ship every fragment stored at the site.
+    /// Naive baseline: ship every fragment stored at the site (as seen from
+    /// the request's epoch).
     Fetch,
+    /// Explicit retirement sweep: drop fragment versions below the
+    /// envelope's `retire_below` watermark and report what remains. Sent by
+    /// `PaxServer::vacuum`, which exists because piggybacked watermarks
+    /// only reach sites the next update happens to visit.
+    Vacuum,
 }
 
 /// A site→coordinator message: the response to the same-named
@@ -79,33 +111,62 @@ pub enum ProtocolResponse {
     SessionDelta(MsgSessionDelta),
     /// Response to [`ProtocolRequest::Fetch`].
     Fragments(Vec<Fragment>),
+    /// Response to [`ProtocolRequest::Vacuum`].
+    Vacuumed(VacuumOutcome),
+}
+
+/// What a [`ProtocolRequest::Vacuum`] sweep did at one site.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct VacuumOutcome {
+    /// Fragment versions dropped by this sweep.
+    pub dropped: usize,
+    /// Fragment versions still held after the sweep (steady state: one per
+    /// fragment).
+    pub live_versions: usize,
 }
 
 /// Run one protocol request against a site. Both transports execute this
 /// exact function site-side, so a remote site computes — and is charged —
 /// precisely what the simulator computes and charges.
-pub fn dispatch(site: &mut SiteLocal, request: ProtocolRequest) -> ProtocolResponse {
-    match request {
-        ProtocolRequest::Qual(r) => ProtocolResponse::Qual(qualifier_task(site, r)),
-        ProtocolRequest::Sel(r) => ProtocolResponse::Sel(selection_task(site, r)),
-        ProtocolRequest::Combined(r) => ProtocolResponse::Combined(combined_task(site, r)),
-        ProtocolRequest::Collect(r) => ProtocolResponse::Collect(collect_task(site, r)),
+///
+/// The envelope is consumed first: versions below the retirement watermark
+/// are dropped, then the body runs pinned to the envelope's epoch.
+pub fn dispatch(site: &mut SiteLocal, request: EpochRequest) -> ProtocolResponse {
+    let EpochRequest { epoch, retire_below, body } = request;
+    if let ProtocolRequest::Vacuum = body {
+        let dropped = site.retire_below(retire_below);
+        site.charge_ops(1);
+        return ProtocolResponse::Vacuumed(VacuumOutcome {
+            dropped,
+            live_versions: site.version_count(),
+        });
+    }
+    if retire_below > 0 {
+        site.retire_below(retire_below);
+    }
+    match body {
+        ProtocolRequest::Qual(r) => ProtocolResponse::Qual(qualifier_task(site, epoch, r)),
+        ProtocolRequest::Sel(r) => ProtocolResponse::Sel(selection_task(site, epoch, r)),
+        ProtocolRequest::Combined(r) => ProtocolResponse::Combined(combined_task(site, epoch, r)),
+        ProtocolRequest::Collect(r) => ProtocolResponse::Collect(collect_task(site, epoch, r)),
         ProtocolRequest::BatchCombined(r) => {
-            ProtocolResponse::BatchCombined(batch_combined_task(site, r))
+            ProtocolResponse::BatchCombined(batch_combined_task(site, epoch, r))
         }
         ProtocolRequest::BatchCollect(r) => {
-            ProtocolResponse::BatchCollect(batch_collect_task(site, r))
+            ProtocolResponse::BatchCollect(batch_collect_task(site, epoch, r))
         }
-        ProtocolRequest::Update(r) => ProtocolResponse::Delta(update_task(site, r)),
+        ProtocolRequest::Update(r) => ProtocolResponse::Delta(update_task(site, epoch, r)),
         ProtocolRequest::SessionUpdate(r) => {
-            ProtocolResponse::SessionDelta(session_update_task(site, r))
+            ProtocolResponse::SessionDelta(session_update_task(site, epoch, r))
         }
         ProtocolRequest::Fetch => {
             // Shipping is charged by the serialized size of the response;
             // the site does no real computation beyond reading its store.
-            site.charge_ops(site.cumulative_size() as u64);
-            ProtocolResponse::Fragments(site.fragments.values().cloned().collect())
+            site.charge_ops(site.cumulative_size_at(epoch) as u64);
+            let fragments = site.fragments_at(epoch).iter().map(|f| f.as_ref().clone()).collect();
+            ProtocolResponse::Fragments(fragments)
         }
+        ProtocolRequest::Vacuum => unreachable!("handled before the epoch body match"),
     }
 }
 
@@ -142,6 +203,7 @@ impl ProtocolResponse {
             ProtocolResponse::Delta(_) => "Delta",
             ProtocolResponse::SessionDelta(_) => "SessionDelta",
             ProtocolResponse::Fragments(_) => "Fragments",
+            ProtocolResponse::Vacuumed(_) => "Vacuumed",
         }
     }
 
@@ -164,6 +226,8 @@ impl ProtocolResponse {
         into_session_delta, SessionDelta => MsgSessionDelta;
         /// Unwrap a naive-baseline fragment shipment.
         into_fragments, Fragments => Vec<Fragment>;
+        /// Unwrap a retirement-sweep outcome.
+        into_vacuumed, Vacuumed => VacuumOutcome;
     }
 }
 
@@ -180,7 +244,7 @@ pub trait Transport: Send + Sync {
     fn round_recorded(
         &self,
         recorder: &mut ClusterStats,
-        requests: BTreeMap<SiteId, ProtocolRequest>,
+        requests: BTreeMap<SiteId, EpochRequest>,
     ) -> PaxResult<BTreeMap<SiteId, ProtocolResponse>>;
 
     /// Number of sites.
@@ -219,7 +283,7 @@ impl Transport for Cluster {
     fn round_recorded(
         &self,
         recorder: &mut ClusterStats,
-        requests: BTreeMap<SiteId, ProtocolRequest>,
+        requests: BTreeMap<SiteId, EpochRequest>,
     ) -> PaxResult<BTreeMap<SiteId, ProtocolResponse>> {
         Ok(Cluster::round_recorded(self, recorder, requests, dispatch))
     }

@@ -34,5 +34,5 @@ mod stats;
 
 pub use bytecount::encoded_size;
 pub use cluster::{Cluster, Placement};
-pub use site::{SiteId, SiteLocal};
+pub use site::{SiteId, SiteLocal, LATEST_EPOCH};
 pub use stats::{ClusterStats, SiteStats};

@@ -1,11 +1,27 @@
 //! A simulated site: the fragments it stores plus scratch state kept between
 //! visits.
+//!
+//! Fragment storage is **epoch-versioned**: a site keeps, per fragment, a
+//! short list of immutable snapshots tagged with the update epoch that
+//! installed them. A visit pinned to epoch `e` reads the newest snapshot
+//! installed at or before `e`, so an update round building epoch `e+1` never
+//! disturbs readers still executing against epoch `e`. Old snapshots are
+//! dropped by [`SiteLocal::retire_below`] once the coordinator proves no
+//! in-flight execution can still pin them.
 
 use paxml_fragment::{Fragment, FragmentId};
 use serde::{Deserialize, Serialize};
 use std::any::Any;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::Arc;
+
+/// The epoch sentinel that always resolves to a fragment's newest snapshot.
+/// Drivers running outside an epoch-pinned server (the deprecated
+/// free-function API) read and write at this epoch: reads see the latest
+/// version and updates replace it in place, which reproduces the historical
+/// unversioned semantics exactly.
+pub const LATEST_EPOCH: u64 = u64::MAX;
 
 /// Identifier of a site (`S0`, `S1`, … in the paper's figures).
 #[derive(
@@ -37,10 +53,10 @@ impl fmt::Display for SiteId {
 pub struct SiteLocal {
     /// This site's id.
     pub id: SiteId,
-    /// The fragments stored at this site, keyed by fragment id. More than
-    /// one fragment may live at the same site (in Fig. 2, `S2` stores both
-    /// `F2` and `F4`).
-    pub fragments: BTreeMap<FragmentId, Fragment>,
+    /// Per-fragment version lists, sorted by install epoch (ascending).
+    /// Every list is non-empty; the snapshots are shared `Arc`s so reading
+    /// a version never copies the tree.
+    versions: BTreeMap<FragmentId, Vec<(u64, Arc<Fragment>)>>,
     scratch: HashMap<String, Box<dyn Any + Send>>,
     ops: u64,
 }
@@ -48,24 +64,113 @@ pub struct SiteLocal {
 impl SiteLocal {
     /// Create an empty site.
     pub fn new(id: SiteId) -> Self {
-        SiteLocal { id, fragments: BTreeMap::new(), scratch: HashMap::new(), ops: 0 }
+        SiteLocal { id, versions: BTreeMap::new(), scratch: HashMap::new(), ops: 0 }
     }
 
-    /// Store a fragment at this site.
+    /// Store a fragment at this site as the epoch-0 snapshot (the initial
+    /// deployment), dropping any previous versions of the same fragment.
     pub fn add_fragment(&mut self, fragment: Fragment) {
-        self.fragments.insert(fragment.id, fragment);
+        self.versions.insert(fragment.id, vec![(0, Arc::new(fragment))]);
+    }
+
+    /// The snapshot of a fragment a reader pinned to `epoch` sees: the
+    /// newest version installed at or before `epoch`. With
+    /// [`LATEST_EPOCH`] this is simply the newest version.
+    pub fn fragment_at(&self, fragment: FragmentId, epoch: u64) -> Option<Arc<Fragment>> {
+        let versions = self.versions.get(&fragment)?;
+        versions.iter().rev().find(|(e, _)| *e <= epoch).map(|(_, f)| Arc::clone(f))
+    }
+
+    /// The snapshot an update building `epoch` starts from: the newest
+    /// version installed **strictly before** `epoch`. Strictness matters
+    /// for crash consistency — a failed epoch build may leave an orphaned
+    /// version at `epoch` on sites it reached, and a retry must not apply
+    /// its ops on top of that orphan. With [`LATEST_EPOCH`] the base is the
+    /// newest version (in-place update semantics).
+    pub fn update_base(&self, fragment: FragmentId, epoch: u64) -> Option<Arc<Fragment>> {
+        let versions = self.versions.get(&fragment)?;
+        if epoch == LATEST_EPOCH {
+            return versions.last().map(|(_, f)| Arc::clone(f));
+        }
+        versions.iter().rev().find(|(e, _)| *e < epoch).map(|(_, f)| Arc::clone(f))
+    }
+
+    /// Install `fragment` as the snapshot of install-epoch `epoch`,
+    /// replacing an existing version at exactly that epoch (a retried epoch
+    /// build overwrites its own orphan). With [`LATEST_EPOCH`] the newest
+    /// version is replaced in place, keeping its install epoch.
+    pub fn install_version(&mut self, epoch: u64, fragment: Fragment) {
+        let versions = self.versions.entry(fragment.id).or_default();
+        if epoch == LATEST_EPOCH {
+            match versions.last_mut() {
+                Some(last) => last.1 = Arc::new(fragment),
+                None => versions.push((0, Arc::new(fragment))),
+            }
+            return;
+        }
+        match versions.binary_search_by_key(&epoch, |(e, _)| *e) {
+            Ok(i) => versions[i].1 = Arc::new(fragment),
+            Err(i) => versions.insert(i, (epoch, Arc::new(fragment))),
+        }
+    }
+
+    /// Drop every version no reader can still pin, given that all in-flight
+    /// and future executions are pinned at or above `watermark`: per
+    /// fragment, keep the newest version installed at or before the
+    /// watermark (the one a reader at the watermark reads) plus everything
+    /// newer. Returns the number of versions dropped.
+    pub fn retire_below(&mut self, watermark: u64) -> usize {
+        let mut dropped = 0;
+        for versions in self.versions.values_mut() {
+            let keep_from = versions.iter().rposition(|(e, _)| *e <= watermark).unwrap_or(0);
+            dropped += keep_from;
+            versions.drain(..keep_from);
+        }
+        dropped
+    }
+
+    /// The newest snapshot of every fragment stored here, in id order.
+    pub fn latest_fragments(&self) -> Vec<Arc<Fragment>> {
+        self.versions.values().filter_map(|v| v.last().map(|(_, f)| Arc::clone(f))).collect()
+    }
+
+    /// Every fragment's snapshot as seen from `epoch`, in id order.
+    pub fn fragments_at(&self, epoch: u64) -> Vec<Arc<Fragment>> {
+        self.versions
+            .values()
+            .filter_map(|v| v.iter().rev().find(|(e, _)| *e <= epoch).map(|(_, f)| Arc::clone(f)))
+            .collect()
     }
 
     /// Fragment ids stored here, in id order.
     pub fn fragment_ids(&self) -> Vec<FragmentId> {
-        self.fragments.keys().copied().collect()
+        self.versions.keys().copied().collect()
     }
 
-    /// Cumulative number of (non-virtual) nodes stored at this site —
-    /// `|F_{S_i}|` in the paper's parallel-computation bound.
+    /// Number of distinct fragments stored here.
+    pub fn fragment_count(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// Total number of fragment versions held, across all fragments. Steady
+    /// state after retirement is one per fragment (leak regression tests
+    /// assert on this).
+    pub fn version_count(&self) -> usize {
+        self.versions.values().map(Vec::len).sum()
+    }
+
+    /// Cumulative number of (non-virtual) nodes stored at this site in its
+    /// newest snapshots — `|F_{S_i}|` in the paper's parallel-computation
+    /// bound.
     pub fn cumulative_size(&self) -> usize {
-        self.fragments
-            .values()
+        self.cumulative_size_at(LATEST_EPOCH)
+    }
+
+    /// Cumulative number of (non-virtual) nodes in the snapshots a reader
+    /// pinned to `epoch` sees.
+    pub fn cumulative_size_at(&self, epoch: u64) -> usize {
+        self.fragments_at(epoch)
+            .iter()
             .map(|f| f.tree.all_nodes().filter(|&n| !f.tree.is_virtual(n)).count())
             .sum()
     }
@@ -128,6 +233,7 @@ impl fmt::Debug for SiteLocal {
         f.debug_struct("SiteLocal")
             .field("id", &self.id)
             .field("fragments", &self.fragment_ids())
+            .field("versions", &self.version_count())
             .field("scratch_keys", &self.scratch.keys().collect::<Vec<_>>())
             .field("ops", &self.ops)
             .finish()
@@ -155,7 +261,41 @@ mod tests {
         s.add_fragment(fragment(4, "market"));
         assert_eq!(s.fragment_ids(), vec![FragmentId(2), FragmentId(4)]);
         assert_eq!(s.cumulative_size(), 2);
+        assert_eq!(s.fragment_count(), 2);
+        assert_eq!(s.version_count(), 2);
         assert_eq!(s.id.to_string(), "S2");
+    }
+
+    #[test]
+    fn epoch_versions_are_isolated_and_retire() {
+        let mut s = SiteLocal::new(SiteId(0));
+        s.add_fragment(fragment(1, "v0"));
+        // Epoch 1 and 2 install fresh snapshots on top of epoch 0.
+        s.install_version(1, fragment(1, "v1"));
+        s.install_version(2, fragment(1, "v2"));
+        assert_eq!(s.version_count(), 3);
+        assert_eq!(s.fragment_at(FragmentId(1), 0).unwrap().root_label, "v0");
+        assert_eq!(s.fragment_at(FragmentId(1), 1).unwrap().root_label, "v1");
+        assert_eq!(s.fragment_at(FragmentId(1), 2).unwrap().root_label, "v2");
+        assert_eq!(s.fragment_at(FragmentId(1), LATEST_EPOCH).unwrap().root_label, "v2");
+        // An update building epoch 2 starts from epoch 1's snapshot even if
+        // an orphaned version already sits at epoch 2.
+        assert_eq!(s.update_base(FragmentId(1), 2).unwrap().root_label, "v1");
+        assert_eq!(s.update_base(FragmentId(1), LATEST_EPOCH).unwrap().root_label, "v2");
+        // Retire below epoch 2: only the newest ≤ 2 survives.
+        assert_eq!(s.retire_below(2), 2);
+        assert_eq!(s.version_count(), 1);
+        assert_eq!(s.fragment_at(FragmentId(1), 2).unwrap().root_label, "v2");
+        assert_eq!(s.fragment_at(FragmentId(1), 1), None);
+    }
+
+    #[test]
+    fn latest_epoch_updates_replace_in_place() {
+        let mut s = SiteLocal::new(SiteId(0));
+        s.add_fragment(fragment(3, "old"));
+        s.install_version(LATEST_EPOCH, fragment(3, "new"));
+        assert_eq!(s.version_count(), 1, "in-place semantics must not grow the version list");
+        assert_eq!(s.fragment_at(FragmentId(3), 0).unwrap().root_label, "new");
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! A site as a network server: one [`SiteLocal`] behind a [`TcpListener`],
 //! serving the PaX protocol with thread-per-connection.
 //!
-//! The server is deliberately thin: every `Round` request decodes to a
-//! [`paxml_core::ProtocolRequest`] and runs through the
+//! The server is deliberately thin: every `Round` request decodes to an
+//! [`paxml_core::EpochRequest`] and runs through the
 //! same [`paxml_core::dispatch`] the in-process simulator runs — the server
 //! adds only the socket, the ops/busy metering around the task, and a clean
 //! shutdown path. A panicking task is caught (before the site guard drops,
@@ -11,7 +11,7 @@
 
 use crate::msg::{self, WireReply, WireRequest};
 use paxml_core::dispatch;
-use paxml_core::ProtocolRequest;
+use paxml_core::EpochRequest;
 use paxml_distsim::{SiteId, SiteLocal};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -95,7 +95,7 @@ fn serve_connection(
                 for fragment in fragments {
                     guard.add_fragment(fragment);
                 }
-                WireReply::Loaded { fragments: guard.fragments.len() }
+                WireReply::Loaded { fragments: guard.fragment_count() }
             }
             WireRequest::Round { body } => run_round(&site, &body),
             WireRequest::ScratchLen => {
@@ -122,7 +122,7 @@ fn serve_connection(
 /// Decode and dispatch one protocol round, metering ops and busy time the
 /// same way the simulator's round does.
 fn run_round(site: &Arc<Mutex<SiteLocal>>, body: &[u8]) -> WireReply {
-    let request: ProtocolRequest = match crate::codec::decode(body) {
+    let request: EpochRequest = match crate::codec::decode(body) {
         Ok(request) => request,
         Err(err) => return WireReply::Error { message: err.to_string() },
     };

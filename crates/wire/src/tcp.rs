@@ -22,8 +22,10 @@
 //!
 //! # Accounting
 //!
-//! Request traffic is charged as the encoded [`ProtocolRequest`] body
-//! length and response traffic as the encoded
+//! Request traffic is charged as the encoded
+//! [`EpochRequest`] envelope body length (epoch tag,
+//! retirement watermark and protocol body — a site can hold two epochs'
+//! versions during an update handover) and response traffic as the encoded
 //! [`ProtocolResponse`] body length — the same quantities
 //! `paxml_distsim::encoded_size` charges in the simulator, so the two
 //! transports meter bit-identical byte counts. Ops come back from the site
@@ -32,7 +34,7 @@
 
 use crate::codec;
 use crate::msg::{self, WireReply, WireRequest};
-use paxml_core::{PaxError, PaxResult, ProtocolRequest, ProtocolResponse, Transport};
+use paxml_core::{EpochRequest, PaxError, PaxResult, ProtocolResponse, Transport};
 use paxml_distsim::{ClusterStats, Placement, SiteId};
 use paxml_fragment::{Fragment, FragmentId, FragmentedTree};
 use std::collections::{BTreeMap, BTreeSet};
@@ -224,7 +226,7 @@ impl Transport for TcpCluster {
     fn round_recorded(
         &self,
         recorder: &mut ClusterStats,
-        requests: BTreeMap<SiteId, ProtocolRequest>,
+        requests: BTreeMap<SiteId, EpochRequest>,
     ) -> PaxResult<BTreeMap<SiteId, ProtocolResponse>> {
         if requests.is_empty() {
             return Ok(BTreeMap::new());

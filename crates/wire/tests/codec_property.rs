@@ -6,7 +6,7 @@
 //! simulator's byte meter implement one layout.
 //!
 //! Second, live protocol messages: a [`RecordingTransport`] wraps the
-//! in-process simulator and, for every [`ProtocolRequest`] and
+//! in-process simulator and, for every [`EpochRequest`] envelope and
 //! [`ProtocolResponse`] that actually crosses it, asserts the same two
 //! properties plus re-encode stability (`encode(decode(encode(m))) ==
 //! encode(m)`). Random workloads — single queries, prepared sessions,
@@ -14,7 +14,7 @@
 //! message variant the drivers produce through those assertions.
 
 use paxml_core::{
-    dispatch, Algorithm, PaxResult, PaxServer, ProtocolRequest, ProtocolResponse, Transport,
+    dispatch, Algorithm, EpochRequest, PaxResult, PaxServer, ProtocolResponse, Transport,
 };
 use paxml_distsim::{encoded_size, Cluster, ClusterStats, Placement, SiteId};
 use paxml_fragment::FragmentId;
@@ -60,9 +60,9 @@ impl Transport for RecordingTransport {
     fn round_recorded(
         &self,
         recorder: &mut ClusterStats,
-        requests: BTreeMap<SiteId, ProtocolRequest>,
+        requests: BTreeMap<SiteId, EpochRequest>,
     ) -> PaxResult<BTreeMap<SiteId, ProtocolResponse>> {
-        let decoded_requests: BTreeMap<SiteId, ProtocolRequest> = requests
+        let decoded_requests: BTreeMap<SiteId, EpochRequest> = requests
             .into_iter()
             .map(|(site, request)| {
                 self.messages_checked.fetch_add(1, Ordering::Relaxed);
@@ -213,9 +213,9 @@ fn workloads_cover_every_protocol_message_variant() {
         fn round_recorded(
             &self,
             recorder: &mut ClusterStats,
-            requests: BTreeMap<SiteId, ProtocolRequest>,
+            requests: BTreeMap<SiteId, EpochRequest>,
         ) -> PaxResult<BTreeMap<SiteId, ProtocolResponse>> {
-            let checked: BTreeMap<SiteId, ProtocolRequest> = requests
+            let checked: BTreeMap<SiteId, EpochRequest> = requests
                 .into_iter()
                 .map(|(site, request)| (site, check_roundtrip(&request, "request")))
                 .collect();

@@ -72,7 +72,7 @@ pub use paxml_xpath as xpath;
 
 /// The most commonly used items, for `use paxml::prelude::*`.
 pub mod prelude {
-    pub use paxml_core::server::{PaxServer, PaxServerBuilder, PreparedQuery};
+    pub use paxml_core::server::{PaxServer, PaxServerBuilder, PreparedQuery, ServerStats};
     pub use paxml_core::{
         Algorithm, AnswerItem, Deployment, EvalOptions, ExecMode, ExecReport, PaxError, PaxResult,
         QueryOutcome, UpdateOutcome,

@@ -7,8 +7,8 @@
 //!   queries returns exactly what it returns on an otherwise idle server;
 //! * **no torn reads** — an execution interleaved with `apply_updates`
 //!   observes either the pre-update or the post-update answers as a whole,
-//!   never a mix of the two (executions hold the read side of the update
-//!   gate for their entire protocol);
+//!   never a mix of the two (an execution pins one deployment epoch on
+//!   entry and reads it for its entire protocol);
 //! * **race-free meters** — every `ExecReport` carries exactly its own
 //!   execution's counters, and two `cumulative_stats()` snapshots
 //!   bracketing a set of concurrent executions delta to precisely the sum
@@ -59,9 +59,9 @@ fn rename_ops(fragmented: &FragmentedTree, suffix: &str) -> Vec<(FragmentId, Upd
 
 /// Readers hammer `//broker/name` while a writer flips *every* broker name
 /// between generations. Every observed answer set must be one whole
-/// generation — `{broker-gK} × 3` — never a mix of two: the writer holds
-/// the update gate exclusively, so an execution sees pre-update or
-/// post-update fragments, not both.
+/// generation — `{broker-gK} × 3` — never a mix of two: an execution reads
+/// the one epoch it pinned on entry, so it sees pre-update or post-update
+/// fragments, not both.
 #[test]
 fn interleaved_updates_never_produce_torn_reads() {
     let tree = clientele();

@@ -127,6 +127,79 @@ fn xmark_workload_matches_simulator_across_processes() {
     });
 }
 
+/// A site process dies *mid-epoch-build*: the in-flight update must fail
+/// with a clean `SiteUnreachable`, publish nothing — the current epoch is
+/// unchanged — and readers pinned to the old epoch keep finishing from the
+/// coordinator's cache the whole time, zero visits, answers intact.
+#[test]
+fn update_fails_mid_build_while_old_epoch_readers_finish_cleanly() {
+    with_watchdog(|| {
+        let (tree, fragmented) = clientele_fragmentation();
+        let mut cluster = ProcessCluster::spawn(BIN, &fragmented, 3, Placement::RoundRobin)
+            .expect("spawn site processes");
+        let server = Arc::new(
+            PaxServer::builder()
+                .algorithm(Algorithm::PaX2)
+                .deploy_over(&fragmented, cluster.transport.clone())
+                .expect("deploy"),
+        );
+        let query = server
+            .prepare("client[country/text()='US']/broker[market/name/text()='NASDAQ']/name")
+            .expect("prepare");
+        // Warm the residual-vector cache: from here on this query re-executes
+        // coordinator-side with zero site visits, dead site or not.
+        let before = server.execute(&query).expect("warm the cache");
+        assert_eq!(before.epoch, 0);
+        assert!(!before.answer_texts().is_empty(), "workload sanity: answers exist");
+        assert_eq!(server.execute(&query).expect("cached").max_visits_per_site(), 0);
+
+        // Build an update batch, then kill one of the sites it must visit.
+        let batch = UpdateWorkload::new(&fragmented, tree.all_nodes().count(), 11).next_batch(5, 3);
+        let doomed = server.deployment().site_of(batch[0].0);
+        cluster.kill_site(doomed);
+
+        // Readers on the old epoch run *through* the failing update.
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let reader = std::thread::spawn({
+            let server = Arc::clone(&server);
+            let query = query.clone();
+            let expected = before.answer_texts();
+            let done = Arc::clone(&done);
+            move || {
+                let mut observed = 0usize;
+                while !done.load(std::sync::atomic::Ordering::Relaxed) {
+                    let report = server.execute(&query).expect("old-epoch read must not fail");
+                    assert_eq!(report.epoch, 0, "a failed update must not publish an epoch");
+                    assert_eq!(report.answer_texts(), expected);
+                    observed += 1;
+                }
+                observed
+            }
+        });
+
+        // The epoch build reaches the dead site and fails fast — twice, to
+        // show the failure does not poison later update attempts either.
+        for attempt in 0..2 {
+            match server.apply_updates(&batch) {
+                Err(PaxError::SiteUnreachable { site, .. }) => {
+                    assert_eq!(site, doomed, "attempt {attempt}: wrong site blamed");
+                }
+                Err(other) => panic!("attempt {attempt}: expected SiteUnreachable, got {other}"),
+                Ok(_) => panic!("attempt {attempt}: update succeeded over a dead site"),
+            }
+        }
+        done.store(true, std::sync::atomic::Ordering::Relaxed);
+        assert!(reader.join().unwrap() > 0, "the reader never got to execute");
+
+        // Nothing was published: epoch 0 is still current and still serves.
+        assert_eq!(server.server_stats().current_epoch, 0);
+        let after = server.execute(&query).expect("the old epoch still serves");
+        assert_eq!(after.epoch, 0);
+        assert_eq!(after.answer_texts(), before.answer_texts());
+        assert_eq!(after.max_visits_per_site(), 0, "cached reads never touch the dead site");
+    });
+}
+
 #[test]
 fn killed_site_reports_unreachable_without_hanging() {
     with_watchdog(|| {
