@@ -1,0 +1,205 @@
+//! Experiment 10 (new in this repository, beyond the paper): online
+//! re-fragmentation under load.
+//!
+//! The paper fixes fragmentation and placement at deploy time;
+//! `paxml-rebalance` makes both mutable online, published through the same
+//! epoch machinery as updates. This experiment puts numbers on the two
+//! promises that matter:
+//!
+//! * **readers never stall** — closed-loop readers execute prepared PaX2
+//!   queries against a deliberately skewed deployment while a full
+//!   cost-model rebalance pass (observe → plan → migrate → publish →
+//!   vacuum) runs mid-stream; the client-observed p50/p99 read latencies
+//!   are compared against the same reader run on an untouched server. If
+//!   readers queued behind the migration, the tail would inflate by the
+//!   whole transfer; with epoch publication the curves stay flat.
+//! * **the plan actually helps** — after the pass, the max-site resident
+//!   bytes of the skewed XMark deployment must have dropped, and every
+//!   read must report which topology version served it.
+//!
+//! A report table prints both latency profiles and the before/after
+//! max-site load before the timed Criterion groups run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use paxml_core::{server::PaxServer, Algorithm, PreparedQuery};
+use paxml_distsim::Placement;
+use paxml_fragment::FragmentedTree;
+use paxml_rebalance::{rebalance, PlannerOptions, RebalanceOutcome};
+use paxml_xmark::ft2;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 42;
+const SITES: usize = 10;
+const VMB: f64 = 1.0;
+const READER_COUNTS: [usize; 2] = [2, 4];
+const ITERS_PER_READER: usize = 16;
+
+/// The read mix: one cheap selection, one qualifier-heavy query.
+const QUERIES: [&str; 2] = [
+    "/sites/site/people/person/name",
+    "/sites/site/people/person[profile/age > 20 and address/country=\"US\"]/creditcard",
+];
+
+/// A PaX2 server over the FT2 fragmentation with **everything on one
+/// site** — the worst skew a placement can have — queries prepared and the
+/// residual cache warm.
+fn skewed_server(fragmented: &FragmentedTree) -> (Arc<PaxServer>, Arc<Vec<PreparedQuery>>) {
+    let server = Arc::new(
+        PaxServer::builder()
+            .algorithm(Algorithm::PaX2)
+            .placement(Placement::SingleSite)
+            .sites(SITES)
+            .deploy(fragmented)
+            .expect("valid configuration"),
+    );
+    let queries: Vec<PreparedQuery> = QUERIES.iter().map(|q| server.prepare(q).unwrap()).collect();
+    for query in &queries {
+        server.execute(query).unwrap();
+    }
+    (server, Arc::new(queries))
+}
+
+/// One run: `readers` closed-loop reader threads; when `rebalance_mid_run`,
+/// the main thread fires one full rebalance pass while they read. Returns
+/// the readers' wall-clock time, every observed latency, and the pass
+/// outcome (when one ran).
+fn read_during_rebalance(
+    server: &Arc<PaxServer>,
+    queries: &Arc<Vec<PreparedQuery>>,
+    readers: usize,
+    rebalance_mid_run: bool,
+) -> (Duration, Vec<Duration>, Option<RebalanceOutcome>) {
+    let start = Instant::now();
+    let workers: Vec<_> = (0..readers)
+        .map(|reader| {
+            let server = Arc::clone(server);
+            let queries = Arc::clone(queries);
+            thread::spawn(move || {
+                let mut latencies = Vec::with_capacity(ITERS_PER_READER);
+                for i in 0..ITERS_PER_READER {
+                    let pick = (reader + i) % queries.len();
+                    let issued = Instant::now();
+                    let report = server.execute(&queries[pick]).unwrap();
+                    latencies.push(issued.elapsed());
+                    assert!(report.max_visits_per_site() <= 2);
+                    // Every read names the topology that served it: either
+                    // the skewed original or the rebalanced one, never a
+                    // torn in-between.
+                    assert!(report.placement_version <= 1, "impossible topology version");
+                }
+                latencies
+            })
+        })
+        .collect();
+    let outcome = rebalance_mid_run
+        .then(|| rebalance(server, &PlannerOptions::default()).expect("rebalance pass"));
+    let mut latencies = Vec::with_capacity(readers * ITERS_PER_READER);
+    for worker in workers {
+        latencies.extend(worker.join().unwrap());
+    }
+    (start.elapsed(), latencies, outcome)
+}
+
+fn percentile(sorted: &[Duration], p: usize) -> Duration {
+    sorted[(sorted.len() * p / 100).min(sorted.len() - 1)]
+}
+
+/// Print idle vs mid-rebalance read latency side by side, plus the load
+/// the pass shaved off the hot site.
+fn latency_table(fragmented: &FragmentedTree) {
+    println!(
+        "\nexp10: {ITERS_PER_READER} closed-loop reads per reader, {READER_COUNTS:?} readers, \
+         FT2 on {SITES} sites, everything on S0 until one rebalance pass runs mid-stream"
+    );
+    println!(
+        "{:<18} {:>8} {:>12} {:>12} {:>12} {:>8} {:>22}",
+        "series", "readers", "reads/s", "p50(us)", "p99(us)", "moves", "max site bytes"
+    );
+    for &readers in &READER_COUNTS {
+        for rebalance_mid_run in [false, true] {
+            let (server, queries) = skewed_server(fragmented);
+            let (wall, mut latencies, outcome) =
+                read_during_rebalance(&server, &queries, readers, rebalance_mid_run);
+            latencies.sort();
+            let label = if rebalance_mid_run { "mid-rebalance" } else { "idle" };
+            let (moves, load) = match &outcome {
+                Some(o) => {
+                    assert!(
+                        o.max_site_bytes_after < o.max_site_bytes_before,
+                        "the pass must reduce the max-site load"
+                    );
+                    (
+                        o.ops.len(),
+                        format!("{} -> {}", o.max_site_bytes_before, o.max_site_bytes_after),
+                    )
+                }
+                None => (0, "unchanged".to_string()),
+            };
+            println!(
+                "{:<18} {:>8} {:>12.0} {:>12.1} {:>12.1} {:>8} {:>22}",
+                label,
+                readers,
+                (readers * ITERS_PER_READER) as f64 / wall.as_secs_f64(),
+                percentile(&latencies, 50).as_secs_f64() * 1e6,
+                percentile(&latencies, 99).as_secs_f64() * 1e6,
+                moves,
+                load,
+            );
+        }
+    }
+    println!();
+}
+
+fn rebalance_bench(c: &mut Criterion) {
+    let (_tree, fragmented) = ft2(VMB, SEED);
+    latency_table(&fragmented);
+
+    let mut group = c.benchmark_group("exp10_rebalance");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    // Reads while a rebalance pass runs vs reads on an untouched server —
+    // the tail-latency-flatness claim, timed.
+    for &readers in &READER_COUNTS {
+        group.throughput(Throughput::Elements((readers * ITERS_PER_READER) as u64));
+        for rebalance_mid_run in [false, true] {
+            let label = if rebalance_mid_run { "reads-mid-rebalance" } else { "reads-idle" };
+            group.bench_with_input(BenchmarkId::new(label, readers), &readers, |b, &n| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let (server, queries) = skewed_server(&fragmented);
+                        let (wall, _, _) =
+                            read_during_rebalance(&server, &queries, n, rebalance_mid_run);
+                        total += wall;
+                    }
+                    total
+                });
+            });
+        }
+    }
+
+    // The pass itself: observe → plan → migrate → publish → vacuum, on a
+    // freshly skewed deployment each time.
+    group.bench_function("full-rebalance-pass", |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let (server, _queries) = skewed_server(&fragmented);
+                let started = Instant::now();
+                let outcome = rebalance(&server, &PlannerOptions::default()).unwrap();
+                total += started.elapsed();
+                assert!(outcome.report.is_some(), "a skewed deployment always yields a plan");
+            }
+            total
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, rebalance_bench);
+criterion_main!(benches);

@@ -232,7 +232,8 @@ pub(crate) fn run(
     assert_eq!(compiled.len(), texts.len(), "a batch run needs one query text per compiled query");
     let start = Instant::now();
     let mut ctx = ExecCtx::pinned(deployment, epoch, 0);
-    let ft = deployment.fragment_tree.clone();
+    let topology = ctx.topology();
+    let ft = topology.fragment_tree.clone();
     let query_count = compiled.len();
     // One scratch slot per query of the batch, unique across concurrent
     // executions, so interleaved batches never mix candidate state.
@@ -253,7 +254,7 @@ pub(crate) fn run(
         };
         let root_init: Vec<bool> = root_context_vector(query);
         let mut finals_pending: Vec<FragmentId> = Vec::new();
-        for (&site, fragments) in &deployment.group_by_site(analysis.relevant.iter().copied()) {
+        for (&site, fragments) in &topology.group_by_site(analysis.relevant.iter().copied()) {
             let mut inputs = BTreeMap::new();
             for &fragment in fragments {
                 let init = if fragment == FragmentId::ROOT {
@@ -321,7 +322,7 @@ pub(crate) fn run(
         }
         coordinator_ops_per_query[query_index] += (ft.len() * query.svect_len()) as u64;
         unify_selection(&ft, &virtuals[query_index], &plan.root_init, &mut assignment);
-        for (&site, fragments) in &deployment.group_by_site(plan.finals_pending.iter().copied()) {
+        for (&site, fragments) in &topology.group_by_site(plan.finals_pending.iter().copied()) {
             let mut per_fragment = BTreeMap::new();
             for &fragment in fragments {
                 per_fragment.insert(
@@ -379,6 +380,7 @@ pub(crate) fn run(
         elapsed,
         from_cache: false,
         epoch,
+        placement_version: topology.version,
     })
 }
 

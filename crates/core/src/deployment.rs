@@ -14,9 +14,68 @@ use crate::error::PaxResult;
 use crate::transport::{EpochRequest, ProtocolRequest, ProtocolResponse, Transport};
 use paxml_distsim::{Cluster, ClusterStats, Placement, SiteId, LATEST_EPOCH};
 use paxml_fragment::{FragmentId, FragmentTree, FragmentedTree};
-use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, RwLock};
 use std::time::Duration;
+
+/// One immutable version of the deployment's *topology*: the fragment tree
+/// (with its §5 annotations) plus the fragment→site placement map, tagged
+/// with a monotonically increasing version.
+///
+/// Before online re-fragmentation, the topology was a constant captured at
+/// deploy time. Now every execution resolves the topology **as of its
+/// pinned epoch** via [`Deployment::topology_at`], so a reader that pinned
+/// epoch `N` keeps routing fragments to the sites that held them at `N`
+/// even while a re-fragmentation publishes epoch `N+1` with fragments moved
+/// elsewhere — the topology is versioned by exactly the same MVCC scheme as
+/// the fragment data itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    /// The fragment tree `FT` with its annotations.
+    pub fragment_tree: FragmentTree,
+    /// Which site stores each fragment.
+    pub placement: BTreeMap<FragmentId, SiteId>,
+    /// Version counter: 0 for the deploy-time topology, bumped by every
+    /// published re-fragmentation. Carried on `ExecReport` so callers can
+    /// assert which topology served a read.
+    pub version: u64,
+}
+
+impl Topology {
+    /// The site storing a fragment.
+    ///
+    /// # Panics
+    /// Panics if the fragment is not part of this topology — routing a
+    /// fragment through the wrong epoch's topology is a coordinator bug.
+    pub fn site_of(&self, fragment: FragmentId) -> SiteId {
+        *self
+            .placement
+            .get(&fragment)
+            .expect("every fragment of a topology version has a placement")
+    }
+
+    /// Number of fragments in this topology.
+    pub fn fragment_count(&self) -> usize {
+        self.fragment_tree.len()
+    }
+
+    /// Group a set of fragments by the site that stores them.
+    pub fn group_by_site(
+        &self,
+        fragments: impl IntoIterator<Item = FragmentId>,
+    ) -> BTreeMap<SiteId, Vec<FragmentId>> {
+        let mut out: BTreeMap<SiteId, Vec<FragmentId>> = BTreeMap::new();
+        for f in fragments {
+            out.entry(self.site_of(f)).or_default().push(f);
+        }
+        out
+    }
+
+    /// The sites that hold at least one fragment under this topology.
+    pub fn occupied_sites(&self) -> BTreeSet<SiteId> {
+        self.placement.values().copied().collect()
+    }
+}
 
 /// How a deployment reaches its sites.
 enum TransportHold {
@@ -39,26 +98,54 @@ impl TransportHold {
 pub struct Deployment {
     /// The transport to the simulated or real sites.
     transport: TransportHold,
-    /// The fragment tree (coordinator metadata).
+    /// The fragment tree **at deploy time** (kept for the deprecated
+    /// unversioned API surface; epoch-aware callers use
+    /// [`Deployment::topology_at`], which reflects re-fragmentations).
     pub fragment_tree: FragmentTree,
     /// Label of the original tree's root element (stored in the root
     /// fragment; needed by the annotation analysis).
     pub root_label: String,
     /// Cumulative number of real nodes across all fragments.
     pub total_nodes: usize,
+    /// Topology versions, each tagged with the first epoch it serves,
+    /// ascending. Append-only: [`Deployment::publish_topology`] pushes the
+    /// next version before the epoch pointer swaps, so a reader that pins
+    /// epoch `N+1` always finds `N+1`'s topology here.
+    topologies: RwLock<Vec<(u64, Arc<Topology>)>>,
 }
 
 impl Deployment {
-    /// Deploy a fragmented tree over `site_count` simulated sites.
-    pub fn new(fragmented: &FragmentedTree, site_count: usize, placement: Placement) -> Self {
+    fn assemble(transport: TransportHold, fragmented: &FragmentedTree) -> Deployment {
+        // Capture the deploy-time placement from the transport once; from
+        // here on, routing is resolved through topology versions and the
+        // transport's own static assignment is never consulted again (it
+        // cannot know about fragments created by later splits).
+        let placement: BTreeMap<FragmentId, SiteId> = fragmented
+            .fragment_tree
+            .ids()
+            .iter()
+            .map(|&f| (f, transport.get().site_of(f)))
+            .collect();
+        let initial = Arc::new(Topology {
+            fragment_tree: fragmented.fragment_tree.clone(),
+            placement,
+            version: 0,
+        });
         Deployment {
-            transport: TransportHold::Sim(Arc::new(Cluster::new(
-                fragmented, site_count, placement,
-            ))),
+            transport,
             fragment_tree: fragmented.fragment_tree.clone(),
             root_label: fragmented.root_fragment().root_label.clone(),
             total_nodes: fragmented.total_real_nodes(),
+            topologies: RwLock::new(vec![(0, initial)]),
         }
+    }
+
+    /// Deploy a fragmented tree over `site_count` simulated sites.
+    pub fn new(fragmented: &FragmentedTree, site_count: usize, placement: Placement) -> Self {
+        Self::assemble(
+            TransportHold::Sim(Arc::new(Cluster::new(fragmented, site_count, placement))),
+            fragmented,
+        )
     }
 
     /// Deploy with an explicit fragment→site assignment (simulated sites).
@@ -67,14 +154,12 @@ impl Deployment {
         site_count: usize,
         assignment: BTreeMap<FragmentId, SiteId>,
     ) -> Self {
-        Deployment {
-            transport: TransportHold::Sim(Arc::new(Cluster::with_assignment(
+        Self::assemble(
+            TransportHold::Sim(Arc::new(Cluster::with_assignment(
                 fragmented, site_count, assignment,
             ))),
-            fragment_tree: fragmented.fragment_tree.clone(),
-            root_label: fragmented.root_fragment().root_label.clone(),
-            total_nodes: fragmented.total_real_nodes(),
-        }
+            fragmented,
+        )
     }
 
     /// Deploy every fragment onto one simulated site (degenerate baseline).
@@ -87,12 +172,7 @@ impl Deployment {
     /// coordinator-side metadata still comes from the fragmented tree; the
     /// fragment *data* is wherever the transport put it.
     pub fn over_transport(fragmented: &FragmentedTree, transport: Arc<dyn Transport>) -> Self {
-        Deployment {
-            transport: TransportHold::Custom(transport),
-            fragment_tree: fragmented.fragment_tree.clone(),
-            root_label: fragmented.root_fragment().root_label.clone(),
-            total_nodes: fragmented.total_real_nodes(),
-        }
+        Self::assemble(TransportHold::Custom(transport), fragmented)
     }
 
     /// Charge a fixed latency per coordinator round (simulated network RTT).
@@ -136,9 +216,37 @@ impl Deployment {
         self.transport().site_count()
     }
 
-    /// The site storing a fragment.
+    /// The topology serving `epoch`: the newest version whose first epoch
+    /// is at or before it ([`LATEST_EPOCH`] resolves to the newest).
+    pub fn topology_at(&self, epoch: u64) -> Arc<Topology> {
+        let topologies = self.topologies.read().expect("topology lock poisoned");
+        topologies
+            .iter()
+            .rev()
+            .find(|(first, _)| *first <= epoch)
+            .map(|(_, t)| Arc::clone(t))
+            .unwrap_or_else(|| Arc::clone(&topologies[0].1))
+    }
+
+    /// The newest published topology.
+    pub fn current_topology(&self) -> Arc<Topology> {
+        self.topology_at(LATEST_EPOCH)
+    }
+
+    /// Publish the next topology version, serving epochs from
+    /// `first_epoch` on. Called by the server's re-fragmentation path
+    /// *before* the epoch pointer swaps, so by the time any reader can pin
+    /// `first_epoch` its topology is already resolvable.
+    pub(crate) fn publish_topology(&self, first_epoch: u64, topology: Arc<Topology>) {
+        let mut topologies = self.topologies.write().expect("topology lock poisoned");
+        debug_assert!(topologies.last().is_none_or(|(first, _)| *first < first_epoch));
+        topologies.push((first_epoch, topology));
+    }
+
+    /// The site storing a fragment **under the newest topology**. Pinned
+    /// executions should route through [`Deployment::topology_at`] instead.
     pub fn site_of(&self, fragment: FragmentId) -> SiteId {
-        self.transport().site_of(fragment)
+        self.current_topology().site_of(fragment)
     }
 
     /// Hand out `n` scratch slots unique across concurrent executions.
@@ -151,21 +259,19 @@ impl Deployment {
         self.transport().stats()
     }
 
-    /// Number of fragments in the deployment.
+    /// Number of fragments under the newest topology.
     pub fn fragment_count(&self) -> usize {
-        self.fragment_tree.len()
+        self.current_topology().fragment_count()
     }
 
-    /// Group a set of fragments by the site that stores them.
+    /// Group a set of fragments by the site that stores them under the
+    /// newest topology. Pinned executions should use
+    /// [`Topology::group_by_site`] on their epoch's topology instead.
     pub fn group_by_site(
         &self,
         fragments: impl IntoIterator<Item = FragmentId>,
     ) -> BTreeMap<SiteId, Vec<FragmentId>> {
-        let mut out: BTreeMap<SiteId, Vec<FragmentId>> = BTreeMap::new();
-        for f in fragments {
-            out.entry(self.site_of(f)).or_default().push(f);
-        }
-        out
+        self.current_topology().group_by_site(fragments)
     }
 
     /// Reset statistics and per-site scratch state between query runs.
@@ -228,6 +334,12 @@ impl<'a> ExecCtx<'a> {
         self.epoch
     }
 
+    /// The topology as of this execution's pinned epoch — the fragment
+    /// tree and placement every round of this execution routes by.
+    pub fn topology(&self) -> Arc<Topology> {
+        self.deployment.topology_at(self.epoch)
+    }
+
     /// One coordinator round, recorded into this execution's meters (and
     /// the transport's cumulative ones). Fails only on remote transports
     /// (a site process died); the in-process simulator cannot fail.
@@ -257,6 +369,19 @@ impl<'a> ExecCtx<'a> {
             .into_iter()
             .map(|site| (site, request.clone()))
             .collect();
+        self.round(requests)
+    }
+
+    /// Visit **every** site with the same request, occupied or not.
+    /// Retirement sweeps use this: after a migration, the *old* site of a
+    /// moved fragment may hold garbage versions even though the current
+    /// topology places nothing there.
+    pub fn broadcast_all(
+        &mut self,
+        request: ProtocolRequest,
+    ) -> PaxResult<BTreeMap<SiteId, ProtocolResponse>> {
+        let requests: BTreeMap<SiteId, ProtocolRequest> =
+            (0..self.deployment.site_count()).map(|site| (SiteId(site), request.clone())).collect();
         self.round(requests)
     }
 }

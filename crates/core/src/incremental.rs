@@ -408,18 +408,19 @@ impl QuerySession {
     ) -> PaxResult<IncrementalReport> {
         let start = Instant::now();
         let mut ctx = ExecCtx::pinned(deployment, epoch, 0);
+        let topology = ctx.topology();
         let dirty_fragments: BTreeSet<FragmentId> = if initial {
             self.analysis.relevant.iter().copied().collect()
         } else {
             ops_by_fragment.keys().copied().collect()
         };
         let dirty_sites: BTreeSet<SiteId> =
-            dirty_fragments.iter().map(|&f| deployment.site_of(f)).collect();
+            dirty_fragments.iter().map(|&f| topology.site_of(f)).collect();
 
         // ----------------------------------------------- the one dirty round
         let mut requests: BTreeMap<SiteId, ProtocolRequest> = BTreeMap::new();
         let mut recomputed = 0usize;
-        for (&site, fragments) in &deployment.group_by_site(dirty_fragments.iter().copied()) {
+        for (&site, fragments) in &topology.group_by_site(dirty_fragments.iter().copied()) {
             let mut per_fragment = BTreeMap::new();
             for &fragment in fragments {
                 let recompute = self.analysis.relevant.contains(&fragment);
@@ -484,6 +485,40 @@ impl QuerySession {
             stats: ctx.stats,
             elapsed: start.elapsed(),
         })
+    }
+
+    /// Adopt a new fragment tree after a re-fragmentation that left this
+    /// session's relevant fragments untouched. The annotation analysis is
+    /// re-derived over the new tree, the (possibly stale) entries for the
+    /// `touched` fragments are dropped, and the truth-value assignment is
+    /// rebuilt from the surviving cached vectors — a pure coordinator-side
+    /// refresh that costs **zero site visits**.
+    ///
+    /// Sessions whose relevant set intersects the touched fragments cannot
+    /// be salvaged this way (their residual vectors mention fragments that
+    /// no longer exist); the server cold-resets those instead.
+    pub(crate) fn retopologize(
+        &mut self,
+        ft: FragmentTree,
+        root_label: &str,
+        touched: &BTreeSet<FragmentId>,
+    ) {
+        self.ft = ft;
+        self.analysis = if self.options.use_annotations {
+            analyze(&self.query, &self.ft, root_label)
+        } else {
+            AnnotationAnalysis::keep_all(&self.ft)
+        };
+        for fragment in touched {
+            self.cache.remove(fragment);
+            self.virtuals.remove(fragment);
+        }
+        // Fragments that left the tree entirely (merged away) must not keep
+        // contributing cached answers.
+        self.cache.retain(|fragment, _| self.ft.contains(*fragment));
+        self.virtuals.retain(|fragment, _| self.ft.contains(*fragment));
+        self.assignment = DenseAssignment::new(self.ft.len());
+        self.refresh_coordinator_state(&BTreeSet::new(), true);
     }
 
     /// Bottom-up qualifier re-unification over the dirty cone: a fragment's

@@ -62,7 +62,7 @@ pub mod unify;
 mod vars;
 
 pub use batch::BatchReport;
-pub use deployment::{Deployment, ExecCtx};
+pub use deployment::{Deployment, ExecCtx, Topology};
 pub use error::{PaxError, PaxResult};
 #[allow(deprecated)]
 pub use incremental::IncrementalEngine;
@@ -72,7 +72,10 @@ pub use report::{
     answer_item, Algorithm, AnswerItem, EvaluationReport, ExecMode, ExecReport, QueryOutcome,
     UpdateOutcome,
 };
-pub use server::{PaxServer, PaxServerBuilder, PreparedQuery, ServerStats};
+pub use server::{
+    PaxServer, PaxServerBuilder, PreparedQuery, RefragBase, RefragReport, ServerStats, SiteLoad,
+    TopologyChange,
+};
 pub use transport::{
     dispatch, EpochRequest, ProtocolRequest, ProtocolResponse, Transport, VacuumOutcome,
 };

@@ -11,9 +11,11 @@ use crate::deployment::{Deployment, ExecCtx};
 use crate::error::PaxResult;
 use crate::report::{Algorithm, AnswerItem, EvaluationReport, ExecMode, ExecReport, QueryOutcome};
 use crate::transport::ProtocolRequest;
-use paxml_fragment::{Fragment, FragmentedTree};
+use paxml_distsim::SiteId;
+use paxml_fragment::Fragment;
 use paxml_xml::NodeId;
 use paxml_xpath::{centralized, compile_text, CompiledQuery, XPathResult};
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// Evaluate `query_text` with the naive ship-everything baseline.
@@ -48,18 +50,25 @@ pub(crate) fn run(
 ) -> PaxResult<ExecReport> {
     let start = Instant::now();
     let mut ctx = ExecCtx::pinned(deployment, epoch, 0);
+    let topology = ctx.topology();
 
-    // One visit per site: "send me everything you store".
-    let responses = ctx.broadcast(ProtocolRequest::Fetch)?;
+    // One visit per site, routed by the pinned epoch's topology: each site
+    // ships exactly the fragments the topology places there, so stale
+    // copies left behind by a migration are never read.
+    let mut requests: BTreeMap<SiteId, ProtocolRequest> = BTreeMap::new();
+    for (site, fragments) in topology.group_by_site(topology.fragment_tree.ids().iter().copied()) {
+        requests.insert(site, ProtocolRequest::FetchFragments(fragments));
+    }
+    let responses = ctx.round(requests)?;
     let mut shipped: Vec<Fragment> = Vec::new();
     for response in responses.into_values() {
         shipped.extend(response.into_fragments()?);
     }
 
-    // Reassemble the document at the coordinator.
-    let mut fragments: Vec<Fragment> = shipped;
-    fragments.sort_by_key(|f| f.id);
-    let fragmented = FragmentedTree { fragments, fragment_tree: deployment.fragment_tree.clone() };
+    // Reassemble the document at the coordinator. Fragment ids may have
+    // gaps after re-fragmentations; compacting re-indexes them densely.
+    let fragmented = paxml_fragment::compact_fragmentation(shipped, &topology.fragment_tree)
+        .expect("shipping every fragment of a topology yields a consistent set");
     let (tree, origin) = paxml_fragment::reassemble_with_origin(&fragmented)
         .expect("shipping every fragment always yields a consistent document");
 
@@ -85,15 +94,16 @@ pub(crate) fn run(
         queries: vec![QueryOutcome {
             query: query_text.to_string(),
             answers,
-            fragments_evaluated: deployment.fragment_tree.len(),
+            fragments_evaluated: topology.fragment_tree.len(),
             coordinator_ops: result.ops,
         }],
         update: None,
-        fragments_total: deployment.fragment_tree.len(),
+        fragments_total: topology.fragment_tree.len(),
         stats: ctx.stats,
         coordinator_ops: result.ops,
         elapsed: start.elapsed(),
         from_cache: false,
         epoch,
+        placement_version: topology.version,
     })
 }

@@ -68,8 +68,9 @@ pub(crate) fn run(
 ) -> PaxResult<ExecReport> {
     let start = Instant::now();
     let mut ctx = ExecCtx::pinned(deployment, epoch, 0);
+    let topology = ctx.topology();
     let slot = deployment.allocate_slots(1);
-    let ft = deployment.fragment_tree.clone();
+    let ft = topology.fragment_tree.clone();
     let analysis = if options.use_annotations {
         analyze(query, &ft, &deployment.root_label)
     } else {
@@ -82,7 +83,7 @@ pub(crate) fn run(
     let root_init: Vec<bool> = root_context_vector(query);
     let mut requests: BTreeMap<paxml_distsim::SiteId, ProtocolRequest> = BTreeMap::new();
     let mut finals_pending: Vec<FragmentId> = Vec::new();
-    for (&site, fragments) in &deployment.group_by_site(analysis.relevant.iter().copied()) {
+    for (&site, fragments) in &topology.group_by_site(analysis.relevant.iter().copied()) {
         let mut inputs = BTreeMap::new();
         for &fragment in fragments {
             let init = if fragment == FragmentId::ROOT {
@@ -139,7 +140,7 @@ pub(crate) fn run(
         coordinator_ops += (ft.len() * query.svect_len()) as u64;
         unify_selection(&ft, &virtuals, &root_init, &mut assignment);
         let mut requests: BTreeMap<paxml_distsim::SiteId, ProtocolRequest> = BTreeMap::new();
-        for (&site, fragments) in &deployment.group_by_site(finals_pending.iter().copied()) {
+        for (&site, fragments) in &topology.group_by_site(finals_pending.iter().copied()) {
             let mut per_fragment = BTreeMap::new();
             for &fragment in fragments {
                 per_fragment.insert(
@@ -177,5 +178,6 @@ pub(crate) fn run(
         elapsed: start.elapsed(),
         from_cache: false,
         epoch,
+        placement_version: topology.version,
     })
 }

@@ -72,8 +72,9 @@ pub(crate) fn run(
 ) -> PaxResult<ExecReport> {
     let start = Instant::now();
     let mut ctx = ExecCtx::pinned(deployment, epoch, 0);
+    let topology = ctx.topology();
     let slot = deployment.allocate_slots(1);
-    let ft = deployment.fragment_tree.clone();
+    let ft = topology.fragment_tree.clone();
     let analysis = if options.use_annotations {
         analyze(query, &ft, &deployment.root_label)
     } else {
@@ -85,7 +86,7 @@ pub(crate) fn run(
     // ----------------------------------------------------------------- Stage 1
     let mut assignment = DenseAssignment::new(ft.len());
     if query.has_qualifiers() {
-        let requests = stage1_requests(deployment, query, slot, &analysis.relevant);
+        let requests = stage1_requests(&topology, query, slot, &analysis.relevant);
         let responses = ctx.round(requests)?;
         let mut roots: BTreeMap<FragmentId, QualVectors<PaxVar>> = BTreeMap::new();
         for response in responses.into_values() {
@@ -99,7 +100,7 @@ pub(crate) fn run(
     let root_init: Vec<bool> = root_context_vector(query);
     let mut requests: BTreeMap<paxml_distsim::SiteId, ProtocolRequest> = BTreeMap::new();
     let mut finals_pending: Vec<FragmentId> = Vec::new();
-    for (&site, fragments) in &deployment.group_by_site(analysis.relevant.iter().copied()) {
+    for (&site, fragments) in &topology.group_by_site(analysis.relevant.iter().copied()) {
         let mut inputs = BTreeMap::new();
         for &fragment in fragments {
             let init = if fragment == FragmentId::ROOT {
@@ -146,7 +147,7 @@ pub(crate) fn run(
         coordinator_ops += (ft.len() * query.svect_len()) as u64;
         unify_selection(&ft, &virtuals, &root_init, &mut assignment);
         let mut requests: BTreeMap<paxml_distsim::SiteId, ProtocolRequest> = BTreeMap::new();
-        for (&site, fragments) in &deployment.group_by_site(finals_pending.iter().copied()) {
+        for (&site, fragments) in &topology.group_by_site(finals_pending.iter().copied()) {
             let mut per_fragment = BTreeMap::new();
             for &fragment in fragments {
                 per_fragment.insert(fragment, assignment.restrict_for_fragment(fragment, &[]));
@@ -181,6 +182,7 @@ pub(crate) fn run(
         elapsed: start.elapsed(),
         from_cache: false,
         epoch,
+        placement_version: topology.version,
     })
 }
 
@@ -190,13 +192,13 @@ pub(crate) fn run(
 /// `relevant` fragments park their per-node vectors site-side — Stage 2
 /// visits exactly those, so anything else parked would never be taken back.
 fn stage1_requests(
-    deployment: &Deployment,
+    topology: &crate::deployment::Topology,
     query: &CompiledQuery,
     slot: usize,
     relevant: &std::collections::BTreeSet<FragmentId>,
 ) -> BTreeMap<paxml_distsim::SiteId, ProtocolRequest> {
-    let all: Vec<FragmentId> = deployment.fragment_tree.ids().to_vec();
-    deployment
+    let all: Vec<FragmentId> = topology.fragment_tree.ids().to_vec();
+    topology
         .group_by_site(all)
         .into_iter()
         .map(|(site, fragments)| {

@@ -869,6 +869,59 @@ pub fn update_task(site: &mut SiteLocal, epoch: u64, request: MsgUpdate) -> MsgD
 }
 
 // ---------------------------------------------------------------------------
+// Re-fragmentation: installing a new topology's fragment payloads.
+// ---------------------------------------------------------------------------
+
+/// Request of a re-fragmentation round (`MsgRefrag`): the fragment payloads
+/// the target site must hold under the *next* epoch's topology. The round
+/// ships **installs only** — it never deletes anything — so it is idempotent
+/// and a partially-delivered round (a site dying mid-transfer) leaves at
+/// worst orphan versions at the epoch that was never published, which a
+/// retried build simply overwrites. Space held by fragments that migrated
+/// *away* is reclaimed later by a vacuum sweep's purge list.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MsgRefrag {
+    /// Fragments to install as the envelope epoch's snapshot at this site,
+    /// in any order.
+    pub installs: Vec<Fragment>,
+}
+
+/// What a re-fragmentation round did at one site.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RefragOutcome {
+    /// The fragments installed, in request order.
+    pub installed: Vec<FragmentId>,
+}
+
+/// Site-side task of a re-fragmentation round: install each shipped
+/// fragment as the envelope epoch's snapshot. Installation is copy-on-write
+/// against the version lists — readers pinned to older epochs are
+/// untouched, and re-installing the same fragment at the same epoch
+/// replaces the earlier attempt in place.
+pub fn refrag_task(site: &mut SiteLocal, epoch: u64, request: MsgRefrag) -> RefragOutcome {
+    let mut installed = Vec::with_capacity(request.installs.len());
+    for fragment in request.installs {
+        // Receiving and storing a fragment costs its shipped size, the same
+        // meter the naive baseline's Fetch uses for the reverse direction.
+        site.charge_ops(paxml_distsim::encoded_size(&fragment));
+        installed.push(fragment.id);
+        site.install_version(epoch, fragment);
+    }
+    RefragOutcome { installed }
+}
+
+/// Payload of an explicit vacuum sweep: besides the envelope's retirement
+/// watermark (versions below it are dropped at every site), the coordinator
+/// may name fragments whose version lists should be removed *entirely* at
+/// the target site — fragments that migrated away or were merged out of
+/// existence by an old re-fragmentation no pinned execution can still see.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MsgVacuum {
+    /// Fragments to purge wholesale at this site.
+    pub purge: Vec<FragmentId>,
+}
+
+// ---------------------------------------------------------------------------
 // Server sessions: one update round maintaining many prepared queries.
 // ---------------------------------------------------------------------------
 

@@ -244,6 +244,11 @@ pub struct ExecReport {
     /// deprecated free-function drivers) report
     /// [`paxml_distsim::LATEST_EPOCH`].
     pub epoch: u64,
+    /// The version of the placement map (fragment → site topology) that
+    /// routed this execution's visits. 0 is the deploy-time topology; every
+    /// published re-fragmentation increments it. Lets tests and benches
+    /// assert which topology served a read across an online rebalance.
+    pub placement_version: u64,
 }
 
 impl ExecReport {

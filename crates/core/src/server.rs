@@ -149,18 +149,19 @@
 //! }
 //! ```
 
-use crate::deployment::{Deployment, ExecCtx};
+use crate::deployment::{Deployment, ExecCtx, Topology};
 use crate::error::{PaxError, PaxResult};
 use crate::incremental::QuerySession;
-use crate::protocol::{MsgSessionUpdate, SessionRecompute};
+use crate::protocol::{MsgRefrag, MsgSessionUpdate, MsgVacuum, SessionRecompute};
 use crate::report::{Algorithm, ExecMode, ExecReport, QueryOutcome, UpdateOutcome};
 use crate::transport::{ProtocolRequest, VacuumOutcome};
 use crate::EvalOptions;
 use crate::{batch, naive, pax2, pax3};
 use paxml_distsim::{ClusterStats, Placement, SiteId};
-use paxml_fragment::{FragmentId, FragmentedTree, UpdateOp};
+use paxml_fragment::{Fragment, FragmentId, FragmentTree, FragmentedTree, UpdateOp};
 use paxml_xpath::{compile_text, CompiledQuery};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock, Weak};
 use std::time::{Duration, Instant};
 
@@ -200,6 +201,7 @@ pub struct PaxServerBuilder {
     sequential: bool,
     round_latency: Duration,
     site_delays: BTreeMap<SiteId, Duration>,
+    auto_vacuum_threshold: Option<u64>,
 }
 
 impl Default for PaxServerBuilder {
@@ -213,6 +215,7 @@ impl Default for PaxServerBuilder {
             sequential: false,
             round_latency: Duration::ZERO,
             site_delays: BTreeMap::new(),
+            auto_vacuum_threshold: None,
         }
     }
 }
@@ -272,6 +275,16 @@ impl PaxServerBuilder {
         self
     }
 
+    /// Sweep the cluster automatically once that many epochs have retired
+    /// since the last sweep (default: never — [`PaxServer::vacuum`] stays
+    /// explicit). The sweep runs at the end of the update or
+    /// re-fragmentation that crossed the threshold, under the same writer
+    /// lock, so it never races another publisher.
+    pub fn auto_vacuum_threshold(mut self, retired_epochs: u64) -> Self {
+        self.auto_vacuum_threshold = Some(retired_epochs.max(1));
+        self
+    }
+
     /// Deploy `fragmented` over the configured cluster and start the
     /// session.
     pub fn deploy(self, fragmented: &FragmentedTree) -> PaxResult<PaxServer> {
@@ -310,6 +323,9 @@ impl PaxServerBuilder {
             epochs,
             prepared: RwLock::new(PreparedTable::default()),
             update_hook: Mutex::new(None),
+            retired_placements: Mutex::new(Vec::new()),
+            auto_vacuum_threshold: self.auto_vacuum_threshold,
+            retired_at_last_vacuum: AtomicU64::new(0),
         })
     }
 
@@ -340,6 +356,9 @@ impl PaxServerBuilder {
             epochs,
             prepared: RwLock::new(PreparedTable::default()),
             update_hook: Mutex::new(None),
+            retired_placements: Mutex::new(Vec::new()),
+            auto_vacuum_threshold: self.auto_vacuum_threshold,
+            retired_at_last_vacuum: AtomicU64::new(0),
         })
     }
 }
@@ -373,7 +392,7 @@ struct EpochInner {
 
 /// A consistent snapshot of the server's epoch machinery, from
 /// [`PaxServer::server_stats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerStats {
     /// The epoch new executions pin right now.
     pub current_epoch: u64,
@@ -388,6 +407,36 @@ pub struct ServerStats {
     /// wire encoding (per-session logical size; vectors shared
     /// copy-on-write across epochs are charged once per session).
     pub session_cache_bytes: u64,
+    /// The current placement-map (topology) version: 0 until the first
+    /// re-fragmentation publishes, incremented by each one after.
+    pub placement_version: u64,
+    /// Per-site load breakdown, one entry per site of the cluster — the
+    /// observability half of the rebalance planner's cost model.
+    pub site_loads: Vec<SiteLoad>,
+}
+
+impl ServerStats {
+    /// The largest resident-bytes figure any single site carries.
+    pub fn max_site_bytes(&self) -> u64 {
+        self.site_loads.iter().map(|l| l.resident_bytes).max().unwrap_or(0)
+    }
+}
+
+/// One site's load figures inside [`ServerStats`]: what it stores now
+/// (resident fragments/bytes at the newest epoch) and what it has served
+/// since the deployment started (cumulative visits and protocol bytes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteLoad {
+    /// The site.
+    pub site: SiteId,
+    /// Distinct fragments resident at the site's newest epoch.
+    pub fragment_count: usize,
+    /// Bytes those fragments occupy under the canonical encoding.
+    pub resident_bytes: u64,
+    /// Cumulative visits the coordinator paid this site.
+    pub visits: u32,
+    /// Cumulative protocol bytes moved to and from this site.
+    pub bytes_served: u64,
 }
 
 /// A long-lived evaluation session over one deployment: prepared queries,
@@ -412,10 +461,31 @@ pub struct PaxServer {
     epochs: Mutex<EpochRegistry>,
     /// Queries compiled so far, cached by text.
     prepared: RwLock<PreparedTable>,
-    /// Test instrumentation: invoked by `apply_updates` after the build
-    /// round and before the publish swap, with no reader-visible lock
-    /// held. Lets the wait-freedom suite hold an update open mid-air.
+    /// Test instrumentation: invoked by `apply_updates` (and
+    /// [`PaxServer::refragment`]) after the build round and before the
+    /// publish swap, with no reader-visible lock held. Lets the
+    /// wait-freedom suite hold an update open mid-air.
     update_hook: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
+    /// `(fragment, site)` placements dissolved by re-fragmentations, kept
+    /// until a vacuum sweep can prove no live epoch still routes to them
+    /// and purges the stale copies wholesale.
+    retired_placements: Mutex<Vec<RetiredPlacement>>,
+    /// Auto-vacuum: sweep once this many epochs retired since the last
+    /// sweep (`None`: only explicit [`PaxServer::vacuum`] calls sweep).
+    auto_vacuum_threshold: Option<u64>,
+    /// Total retired-epoch count as of the last (auto or explicit) vacuum.
+    retired_at_last_vacuum: AtomicU64,
+}
+
+/// A fragment→site placement dissolved by a re-fragmentation. The old
+/// site's copy must outlive every epoch that still routes to it; the
+/// vacuum sweep purges it once the oldest live epoch reaches
+/// `removal_epoch`.
+struct RetiredPlacement {
+    fragment: FragmentId,
+    site: SiteId,
+    /// The first epoch in which the placement no longer exists.
+    removal_epoch: u64,
 }
 
 /// The epoch registry: every epoch not yet proven dead, by number.
@@ -499,11 +569,28 @@ impl PaxServer {
                 .map(|arc| arc.lock().expect("a session lock is never poisoned").cache_bytes())
                 .sum()
         };
+        let cumulative = self.deployment.stats();
+        let site_loads = (0..self.deployment.site_count())
+            .map(|index| {
+                let site = SiteId(index);
+                let report = self.deployment.transport().site_load(site);
+                let served = cumulative.sites.get(&site).cloned().unwrap_or_default();
+                SiteLoad {
+                    site,
+                    fragment_count: report.fragment_count(),
+                    resident_bytes: report.resident_bytes(),
+                    visits: served.visits,
+                    bytes_served: served.bytes_received + served.bytes_sent,
+                }
+            })
+            .collect();
         ServerStats {
             current_epoch: current.number,
             live_epochs,
             retired_epochs: current.number + 1 - live_epochs as u64,
             session_cache_bytes,
+            placement_version: self.deployment.topology_at(current.number).version,
+            site_loads,
         }
     }
 
@@ -522,24 +609,89 @@ impl PaxServer {
         *self.update_hook.lock().expect("the update-hook lock is never poisoned") = None;
     }
 
-    /// Sweep every site, dropping fragment versions no live epoch can
-    /// still read. Update rounds already piggyback the retirement
-    /// watermark onto the sites they visit; `vacuum` reaches the sites a
-    /// sparse update stream never touches. Returns the total versions
-    /// dropped and left live across the cluster.
+    /// Sweep every site — occupied or not — dropping fragment versions no
+    /// live epoch can still read and purging copies left behind by
+    /// migrations and merges once no live epoch routes to them. Update
+    /// rounds already piggyback the retirement watermark onto the sites
+    /// they visit; `vacuum` reaches the sites a sparse update stream never
+    /// touches. Returns the total versions dropped and left live across
+    /// the cluster.
+    ///
+    /// With [`PaxServerBuilder::auto_vacuum_threshold`] set, the server
+    /// also runs this sweep by itself at the end of an update or
+    /// re-fragmentation once enough epochs have retired; the explicit call
+    /// keeps working either way.
     pub fn vacuum(&self) -> PaxResult<VacuumOutcome> {
         let _writer = self.writer.lock().expect("the writer lock is never poisoned");
+        self.vacuum_locked()
+    }
+
+    /// The sweep itself, callers already holding the writer lock (the
+    /// public [`PaxServer::vacuum`] and the auto-vacuum trigger inside the
+    /// publish paths — taking the writer mutex here again would deadlock).
+    fn vacuum_locked(&self) -> PaxResult<VacuumOutcome> {
         let current = self.pin();
         let watermark = self.live_watermark();
+        // Placements dissolved at or below the watermark can never be
+        // routed to again: purge their copies wholesale. Later removals
+        // stay queued for a future sweep.
+        let mut purge_by_site: BTreeMap<SiteId, Vec<FragmentId>> = BTreeMap::new();
+        {
+            let retired = self
+                .retired_placements
+                .lock()
+                .expect("the retired-placement lock is never poisoned");
+            for placement in retired.iter().filter(|p| p.removal_epoch <= watermark) {
+                purge_by_site.entry(placement.site).or_default().push(placement.fragment);
+            }
+        }
         let mut ctx = ExecCtx::pinned(&self.deployment, current.number, watermark);
-        let responses = ctx.broadcast(ProtocolRequest::Vacuum)?;
+        let requests: BTreeMap<SiteId, ProtocolRequest> = (0..self.deployment.site_count())
+            .map(|index| {
+                let site = SiteId(index);
+                let purge = purge_by_site.remove(&site).unwrap_or_default();
+                (site, ProtocolRequest::Vacuum(MsgVacuum { purge }))
+            })
+            .collect();
+        // A failed sweep (a site process died) keeps every queued removal:
+        // purges are idempotent, so the next sweep simply retries them.
+        let responses = ctx.round(requests)?;
         let mut outcome = VacuumOutcome { dropped: 0, live_versions: 0 };
         for response in responses.into_values() {
             let swept = response.into_vacuumed()?;
             outcome.dropped += swept.dropped;
             outcome.live_versions += swept.live_versions;
         }
+        self.retired_placements
+            .lock()
+            .expect("the retired-placement lock is never poisoned")
+            .retain(|p| p.removal_epoch > watermark);
+        self.retired_at_last_vacuum
+            .store(current.number + 1 - self.live_epoch_count() as u64, Ordering::Relaxed);
         Ok(outcome)
+    }
+
+    /// Live epochs right now (prunes dead registry entries).
+    fn live_epoch_count(&self) -> usize {
+        let mut registry = self.epochs.lock().expect("the epoch registry is never poisoned");
+        registry.retain(|_, weak| weak.strong_count() > 0);
+        registry.len()
+    }
+
+    /// The auto-vacuum trigger, run at the end of every publish while the
+    /// writer lock is still held. A failed sweep is deliberately swallowed:
+    /// the publish it piggybacks on has already succeeded, and the queued
+    /// removals survive for the next sweep.
+    fn maybe_auto_vacuum(&self, published_epoch: u64) {
+        let Some(threshold) = self.auto_vacuum_threshold else {
+            return;
+        };
+        let retired_total = published_epoch + 1 - self.live_epoch_count() as u64;
+        if retired_total.saturating_sub(self.retired_at_last_vacuum.load(Ordering::Relaxed))
+            >= threshold
+        {
+            let _ = self.vacuum_locked();
+        }
     }
 
     /// Compile and normalize `text` once, caching by query text: preparing
@@ -660,18 +812,20 @@ impl PaxServer {
                     stats.merge(&report.stats);
                     outcomes.extend(report.queries);
                 }
+                let topology = self.deployment.topology_at(epoch.number);
                 Ok(ExecReport {
                     algorithm: Algorithm::NaiveCentralized,
                     annotations_used: false,
                     mode: ExecMode::Batch,
                     queries: outcomes,
                     update: None,
-                    fragments_total: self.deployment.fragment_count(),
+                    fragments_total: topology.fragment_tree.len(),
                     stats,
                     coordinator_ops,
                     elapsed: start.elapsed(),
                     from_cache: false,
                     epoch: epoch.number,
+                    placement_version: topology.version,
                 })
             }
             Algorithm::PaX3 | Algorithm::PaX2 => {
@@ -718,10 +872,14 @@ impl PaxServer {
     pub fn apply_updates(&self, updates: &[(FragmentId, UpdateOp)]) -> PaxResult<ExecReport> {
         let start = Instant::now();
         let _writer = self.writer.lock().expect("the writer lock is never poisoned");
-        let fragments_total = self.deployment.fragment_count();
+        // The writer lock makes this the only publisher: the base epoch
+        // (and its topology) is stable for the whole build.
+        let base = self.pin();
+        let topology = self.deployment.topology_at(base.number);
+        let fragments_total = topology.fragment_tree.len();
         let mut ops_by_fragment: BTreeMap<FragmentId, Vec<UpdateOp>> = BTreeMap::new();
         for (fragment, op) in updates {
-            if fragment.index() >= fragments_total {
+            if !topology.fragment_tree.contains(*fragment) {
                 return Err(paxml_fragment::FragmentError::UnknownFragment {
                     fragment: fragment.index(),
                 }
@@ -729,12 +887,9 @@ impl PaxServer {
             }
             ops_by_fragment.entry(*fragment).or_default().push(op.clone());
         }
-        // The writer lock makes this the only publisher: the base epoch is
-        // stable for the whole build.
-        let base = self.pin();
         let dirty_fragments: BTreeSet<FragmentId> = ops_by_fragment.keys().copied().collect();
         let dirty_sites: BTreeSet<SiteId> =
-            dirty_fragments.iter().map(|&f| self.deployment.site_of(f)).collect();
+            dirty_fragments.iter().map(|&f| topology.site_of(f)).collect();
 
         if dirty_fragments.is_empty() {
             // Nothing changes: no visit, no new epoch.
@@ -760,6 +915,7 @@ impl PaxServer {
                 elapsed: start.elapsed(),
                 from_cache: false,
                 epoch: base.number,
+                placement_version: topology.version,
             });
         }
         let next_number = base.number + 1;
@@ -801,7 +957,7 @@ impl PaxServer {
             session_inputs.insert(id, inputs);
         }
         let mut requests: BTreeMap<SiteId, ProtocolRequest> = BTreeMap::new();
-        for (&site, fragments) in &self.deployment.group_by_site(dirty_fragments.iter().copied()) {
+        for (&site, fragments) in &topology.group_by_site(dirty_fragments.iter().copied()) {
             let ops: BTreeMap<FragmentId, Vec<UpdateOp>> = fragments
                 .iter()
                 .filter_map(|f| ops_by_fragment.get(f).map(|ops| (*f, ops.clone())))
@@ -886,6 +1042,7 @@ impl PaxServer {
             registry.insert(next_number, Arc::downgrade(&next));
             registry.retain(|_, weak| weak.strong_count() > 0);
         }
+        self.maybe_auto_vacuum(next_number);
 
         Ok(ExecReport {
             algorithm: self.algorithm,
@@ -907,7 +1064,256 @@ impl PaxServer {
             elapsed: start.elapsed(),
             from_cache: false,
             epoch: next_number,
+            placement_version: topology.version,
         })
+    }
+
+    /// Re-shape the deployment topology online: apply a re-fragmentation
+    /// built by `build` — splits, merges, migrations, any mix — publishing
+    /// the result as the **next epoch** exactly like
+    /// [`PaxServer::apply_updates`] does for data edits.
+    ///
+    /// `build` runs against a [`RefragBase`] pinned to the base epoch: it
+    /// can fetch fragment payloads (charged protocol rounds, so the meters
+    /// stay faithful) and must return the [`TopologyChange`] describing
+    /// the new fragment tree, the complete new placement, and the fragment
+    /// payloads to install. The server then:
+    ///
+    /// 1. ships every install to its new site in one round pinned to epoch
+    ///    `N + 1` (a failed round — e.g. a site killed mid-migration —
+    ///    publishes **nothing**: readers keep epoch `N`, and the versions
+    ///    already installed are unreadable orphans a retry overwrites);
+    /// 2. publishes the new topology version, then swaps the epoch pointer
+    ///    — in that order, so a reader that pins `N + 1` always finds
+    ///    `N + 1`'s topology;
+    /// 3. carries every residual-vector session into the new epoch:
+    ///    sessions whose relevant fragments were untouched are
+    ///    re-anchored to the new fragment tree coordinator-side (zero
+    ///    visits), sessions that overlap the touched fragments are
+    ///    cold-reset and re-snapshot lazily on their next execution;
+    /// 4. queues the dissolved `(fragment, site)` placements for the
+    ///    vacuum sweep, which purges the stale copies once no live epoch
+    ///    can route to them.
+    ///
+    /// Readers are never blocked: in-flight executions keep reading their
+    /// pinned epoch and its topology version to completion.
+    pub fn refragment(
+        &self,
+        build: impl FnOnce(&mut RefragBase<'_>) -> PaxResult<TopologyChange>,
+    ) -> PaxResult<RefragReport> {
+        let start = Instant::now();
+        let _writer = self.writer.lock().expect("the writer lock is never poisoned");
+        let base = self.pin();
+        let base_topology = self.deployment.topology_at(base.number);
+        let mut refrag_base = RefragBase {
+            ctx: ExecCtx::pinned(&self.deployment, base.number, 0),
+            topology: Arc::clone(&base_topology),
+        };
+        let change = build(&mut refrag_base)?;
+        let mut stats = refrag_base.ctx.stats;
+        self.validate_change(&change, &base_topology)?;
+
+        let next_number = base.number + 1;
+        let watermark = self.live_watermark();
+
+        // ------------------------- transfer: one install round at N + 1
+        // Installs only — never removals — so a partial round cannot
+        // corrupt any epoch: old placements still hold their data, and
+        // versions installed under `N + 1` are invisible until publish.
+        let installed_fragments = change.installs.len();
+        let mut by_site: BTreeMap<SiteId, Vec<Fragment>> = BTreeMap::new();
+        for fragment in change.installs {
+            let site = change.placement[&fragment.id];
+            by_site.entry(site).or_default().push(fragment);
+        }
+        if !by_site.is_empty() {
+            let mut ctx = ExecCtx::pinned(&self.deployment, next_number, watermark);
+            let requests: BTreeMap<SiteId, ProtocolRequest> = by_site
+                .into_iter()
+                .map(|(site, installs)| (site, ProtocolRequest::Refrag(MsgRefrag { installs })))
+                .collect();
+            let responses = ctx.round(requests)?;
+            for response in responses.into_values() {
+                response.into_refragged()?;
+            }
+            stats.merge(&ctx.stats);
+        }
+
+        // ---------------- carry the sessions into the new epoch (no visits)
+        let next_topology = Arc::new(Topology {
+            fragment_tree: change.fragment_tree,
+            placement: change.placement,
+            version: base_topology.version + 1,
+        });
+        let base_sessions: Vec<(usize, Arc<Mutex<QuerySession>>)> = {
+            let map = base.sessions.lock().expect("the session-table lock is never poisoned");
+            map.iter().map(|(id, arc)| (*id, Arc::clone(arc))).collect()
+        };
+        let mut next_sessions: BTreeMap<usize, QuerySession> = BTreeMap::new();
+        let mut invalidated_sessions = 0usize;
+        let mut retopologized_sessions = 0usize;
+        for (id, arc) in &base_sessions {
+            let session = arc.lock().expect("a session lock is never poisoned").clone();
+            let overlaps = session.relevant().iter().any(|f| change.touched.contains(f));
+            if session.initialized && !overlaps {
+                let mut session = session;
+                session.retopologize(
+                    next_topology.fragment_tree.clone(),
+                    &self.deployment.root_label,
+                    &change.touched,
+                );
+                retopologized_sessions += 1;
+                next_sessions.insert(*id, session);
+            } else {
+                // Residual vectors mention fragments that changed shape (or
+                // were never snapshotted): start over. The next execution
+                // re-snapshots against the new topology.
+                invalidated_sessions += 1;
+                next_sessions.insert(
+                    *id,
+                    QuerySession::new(
+                        session.query.clone(),
+                        session.query_text(),
+                        session.options(),
+                        next_topology.fragment_tree.clone(),
+                        &self.deployment.root_label,
+                    ),
+                );
+            }
+        }
+
+        // Test instrumentation: hold the fully built, not-yet-visible
+        // epoch open (same hook as `apply_updates`).
+        {
+            let hook = self.update_hook.lock().expect("the update-hook lock is never poisoned");
+            if let Some(hook) = hook.as_ref() {
+                hook();
+            }
+        }
+
+        // ------------ queue dissolved placements for the vacuum sweep
+        {
+            let mut retired = self
+                .retired_placements
+                .lock()
+                .expect("the retired-placement lock is never poisoned");
+            // A fragment returning to a site it once left supersedes the
+            // pending wholesale purge of its old copy there — the install
+            // just made that placement live again, and the version-level
+            // sweep reclaims the stale copy instead.
+            retired.retain(|p| next_topology.placement.get(&p.fragment) != Some(&p.site));
+            for (&fragment, &old_site) in &base_topology.placement {
+                let keeps = next_topology.placement.get(&fragment) == Some(&old_site);
+                if !keeps {
+                    retired.push(RetiredPlacement {
+                        fragment,
+                        site: old_site,
+                        removal_epoch: next_number,
+                    });
+                }
+            }
+        }
+
+        // ---------------- publish: topology first, then the epoch swap
+        self.deployment.publish_topology(next_number, Arc::clone(&next_topology));
+        let next = Arc::new(EpochInner {
+            number: next_number,
+            sessions: Mutex::new(
+                next_sessions.into_iter().map(|(id, s)| (id, Arc::new(Mutex::new(s)))).collect(),
+            ),
+        });
+        {
+            let mut current =
+                self.current.lock().expect("the current-epoch lock is never poisoned");
+            *current = Arc::clone(&next);
+        }
+        {
+            let mut registry = self.epochs.lock().expect("the epoch registry is never poisoned");
+            registry.insert(next_number, Arc::downgrade(&next));
+            registry.retain(|_, weak| weak.strong_count() > 0);
+        }
+        self.maybe_auto_vacuum(next_number);
+
+        Ok(RefragReport {
+            base_epoch: base.number,
+            epoch: next_number,
+            placement_version: next_topology.version,
+            installed_fragments,
+            invalidated_sessions,
+            retopologized_sessions,
+            stats,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Sanity-check a [`TopologyChange`] before anything ships.
+    fn validate_change(&self, change: &TopologyChange, base: &Topology) -> PaxResult<()> {
+        let sites = self.deployment.site_count();
+        if change.fragment_tree.is_empty() {
+            return Err(PaxError::InvalidConfig {
+                message: "a re-fragmentation cannot leave the tree empty".into(),
+            });
+        }
+        let installed: BTreeSet<FragmentId> = change.installs.iter().map(|f| f.id).collect();
+        for &fragment in change.fragment_tree.ids() {
+            let Some(&site) = change.placement.get(&fragment) else {
+                return Err(PaxError::InvalidConfig {
+                    message: format!("fragment {fragment} has no placement in the new topology"),
+                });
+            };
+            if site.index() >= sites {
+                return Err(PaxError::InvalidConfig {
+                    message: format!("fragment {fragment} placed on nonexistent site {site}"),
+                });
+            }
+            // Anything that is new or moved must ship a payload — its new
+            // site has no version of it to read.
+            let needs_install = base.placement.get(&fragment) != Some(&site);
+            if needs_install && !installed.contains(&fragment) {
+                return Err(PaxError::InvalidConfig {
+                    message: format!(
+                        "fragment {fragment} is new or moved to {site} but ships no payload"
+                    ),
+                });
+            }
+        }
+        for fragment in &installed {
+            if !change.fragment_tree.contains(*fragment) {
+                return Err(PaxError::InvalidConfig {
+                    message: format!("install for fragment {fragment} absent from the new tree"),
+                });
+            }
+        }
+        if change.placement.keys().any(|f| !change.fragment_tree.contains(*f)) {
+            return Err(PaxError::InvalidConfig {
+                message: "the placement maps a fragment the new tree does not have".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Ship every fragment of the **current** topology to the coordinator
+    /// and re-index them densely: the deployment's logical document as one
+    /// self-contained [`FragmentedTree`], deployable elsewhere. This is
+    /// the conformance oracle of the re-fragmentation tests — after any
+    /// split/merge/migrate sequence, a fresh deployment of the export must
+    /// answer bit-identically.
+    pub fn export_fragmentation(&self) -> PaxResult<FragmentedTree> {
+        let epoch = self.pin();
+        let topology = self.deployment.topology_at(epoch.number);
+        let mut ctx = ExecCtx::pinned(&self.deployment, epoch.number, 0);
+        let mut requests: BTreeMap<SiteId, ProtocolRequest> = BTreeMap::new();
+        for (site, fragments) in
+            topology.group_by_site(topology.fragment_tree.ids().iter().copied())
+        {
+            requests.insert(site, ProtocolRequest::FetchFragments(fragments));
+        }
+        let responses = ctx.round(requests)?;
+        let mut shipped: Vec<Fragment> = Vec::new();
+        for response in responses.into_values() {
+            shipped.extend(response.into_fragments()?);
+        }
+        paxml_fragment::compact_fragmentation(shipped, &topology.fragment_tree).map_err(Into::into)
     }
 
     /// The PaX2 session path of [`PaxServer::execute`]: snapshot on first
@@ -917,6 +1323,7 @@ impl PaxServer {
     /// different queries run fully in parallel.
     fn execute_session(&self, query: &PreparedQuery, epoch: &EpochInner) -> PaxResult<ExecReport> {
         let start = Instant::now();
+        let topology = self.deployment.topology_at(epoch.number);
         let session_arc = {
             let mut map = epoch.sessions.lock().expect("the session-table lock is never poisoned");
             Arc::clone(map.entry(query.id).or_insert_with(|| {
@@ -924,13 +1331,13 @@ impl PaxServer {
                     (*query.compiled).clone(),
                     query.text(),
                     &self.options,
-                    self.deployment.fragment_tree.clone(),
+                    topology.fragment_tree.clone(),
                     &self.deployment.root_label,
                 )))
             }))
         };
         let mut session = session_arc.lock().expect("a session lock is never poisoned");
-        let fragments_total = self.deployment.fragment_count();
+        let fragments_total = topology.fragment_tree.len();
         if session.initialized {
             // The cache is current for this epoch (every update carries
             // the sessions into the next epoch refreshed): answer without
@@ -952,6 +1359,7 @@ impl PaxServer {
                 elapsed: start.elapsed(),
                 from_cache: true,
                 epoch: epoch.number,
+                placement_version: topology.version,
             });
         }
         // Cold snapshot: one visit per relevant site, reading the pinned
@@ -974,8 +1382,94 @@ impl PaxServer {
             elapsed: start.elapsed(),
             from_cache: false,
             epoch: epoch.number,
+            placement_version: topology.version,
         })
     }
+}
+
+/// The new shape a [`PaxServer::refragment`] closure hands back: the
+/// complete post-change fragment tree, where every fragment lives, which
+/// payloads must ship, and which fragments changed shape.
+#[derive(Debug, Clone)]
+pub struct TopologyChange {
+    /// The fragment tree after the change — the complete tree, not a
+    /// delta. Fragment ids the base tree had may be gone (merges),
+    /// brand-new ids may appear (splits); ids need not be dense.
+    pub fragment_tree: FragmentTree,
+    /// Where every fragment of `fragment_tree` lives after the change.
+    /// Must cover the whole tree.
+    pub placement: BTreeMap<FragmentId, SiteId>,
+    /// The payloads to install. Every fragment that is **new or placed on
+    /// a different site than in the base topology** must appear here —
+    /// its new site has no version of it to read. Fragments that stay put
+    /// ship nothing.
+    pub installs: Vec<Fragment>,
+    /// Fragments whose *content or shape* changed — split parents and
+    /// their offspring, merge products, and every base fragment they
+    /// replace. Pure migrations touch nothing. Residual-vector sessions
+    /// overlapping this set are invalidated; the rest carry over with
+    /// zero visits.
+    pub touched: BTreeSet<FragmentId>,
+}
+
+/// The base-epoch view a [`PaxServer::refragment`] closure builds against:
+/// the topology being re-shaped, plus charged fragment fetches from the
+/// sites (so a split or merge can read the payloads it re-cuts and the
+/// meters record the true cost of the re-fragmentation).
+pub struct RefragBase<'a> {
+    ctx: ExecCtx<'a>,
+    topology: Arc<Topology>,
+}
+
+impl RefragBase<'_> {
+    /// The topology at the base epoch — what the change is relative to.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Fetch fragment payloads from the sites holding them (one charged
+    /// round, grouped by site, pinned to the base epoch).
+    pub fn fetch(&mut self, fragments: &[FragmentId]) -> PaxResult<BTreeMap<FragmentId, Fragment>> {
+        if fragments.is_empty() {
+            return Ok(BTreeMap::new());
+        }
+        let mut requests: BTreeMap<SiteId, ProtocolRequest> = BTreeMap::new();
+        for (site, fragments) in self.topology.group_by_site(fragments.iter().copied()) {
+            requests.insert(site, ProtocolRequest::FetchFragments(fragments));
+        }
+        let responses = self.ctx.round(requests)?;
+        let mut fetched = BTreeMap::new();
+        for response in responses.into_values() {
+            for fragment in response.into_fragments()? {
+                fetched.insert(fragment.id, fragment);
+            }
+        }
+        Ok(fetched)
+    }
+}
+
+/// What a [`PaxServer::refragment`] did, with the meters it paid doing it.
+#[derive(Debug, Clone)]
+pub struct RefragReport {
+    /// The epoch the change was built against.
+    pub base_epoch: u64,
+    /// The epoch the change published (`base_epoch + 1`).
+    pub epoch: u64,
+    /// The topology version the new epoch routes by.
+    pub placement_version: u64,
+    /// Fragment payloads shipped to their (new) sites.
+    pub installed_fragments: usize,
+    /// Residual-vector sessions cold-reset because their relevant
+    /// fragments changed shape (they re-snapshot on next execution).
+    pub invalidated_sessions: usize,
+    /// Residual-vector sessions carried into the new epoch with zero
+    /// visits — their caches stayed valid under the new topology.
+    pub retopologized_sessions: usize,
+    /// Cluster meters for the whole re-fragmentation: the closure's
+    /// fetches plus the install round.
+    pub stats: ClusterStats,
+    /// Wall-clock time from closure entry to publish.
+    pub elapsed: Duration,
 }
 
 #[cfg(test)]

@@ -21,12 +21,13 @@
 use crate::error::{PaxError, PaxResult};
 use crate::protocol::{
     batch_collect_task, batch_combined_task, collect_task, combined_task, qualifier_task,
-    selection_task, session_update_task, update_task, BatchCollectRequest, BatchCollectResponse,
-    BatchCombinedRequest, BatchCombinedResponse, CollectRequest, CollectResponse, CombinedRequest,
-    CombinedResponse, MsgDelta, MsgSessionDelta, MsgSessionUpdate, MsgUpdate, QualRequest,
-    QualResponse, SelRequest, SelResponse,
+    refrag_task, selection_task, session_update_task, update_task, BatchCollectRequest,
+    BatchCollectResponse, BatchCombinedRequest, BatchCombinedResponse, CollectRequest,
+    CollectResponse, CombinedRequest, CombinedResponse, MsgDelta, MsgRefrag, MsgSessionDelta,
+    MsgSessionUpdate, MsgUpdate, MsgVacuum, QualRequest, QualResponse, RefragOutcome, SelRequest,
+    SelResponse,
 };
-use paxml_distsim::{Cluster, ClusterStats, SiteId, SiteLocal, LATEST_EPOCH};
+use paxml_distsim::{Cluster, ClusterStats, SiteId, SiteLoadReport, SiteLocal, LATEST_EPOCH};
 use paxml_fragment::{Fragment, FragmentId};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -82,11 +83,20 @@ pub enum ProtocolRequest {
     /// Naive baseline: ship every fragment stored at the site (as seen from
     /// the request's epoch).
     Fetch,
+    /// Ship the named fragments as seen from the request's epoch. Unlike
+    /// [`ProtocolRequest::Fetch`] this is *routed*: the coordinator asks
+    /// each site only for the fragments the current topology places there,
+    /// so stale copies left behind by a migration are never read.
+    FetchFragments(Vec<FragmentId>),
+    /// Re-fragmentation round: install the shipped fragment payloads as the
+    /// envelope epoch's snapshots (see [`MsgRefrag`]).
+    Refrag(MsgRefrag),
     /// Explicit retirement sweep: drop fragment versions below the
-    /// envelope's `retire_below` watermark and report what remains. Sent by
+    /// envelope's `retire_below` watermark, purge the named migrated-away
+    /// fragments wholesale, and report what remains. Sent by
     /// `PaxServer::vacuum`, which exists because piggybacked watermarks
     /// only reach sites the next update happens to visit.
-    Vacuum,
+    Vacuum(MsgVacuum),
 }
 
 /// A site→coordinator message: the response to the same-named
@@ -109,8 +119,11 @@ pub enum ProtocolResponse {
     Delta(MsgDelta),
     /// Response to [`ProtocolRequest::SessionUpdate`].
     SessionDelta(MsgSessionDelta),
-    /// Response to [`ProtocolRequest::Fetch`].
+    /// Response to [`ProtocolRequest::Fetch`] and
+    /// [`ProtocolRequest::FetchFragments`].
     Fragments(Vec<Fragment>),
+    /// Response to [`ProtocolRequest::Refrag`].
+    Refragged(RefragOutcome),
     /// Response to [`ProtocolRequest::Vacuum`].
     Vacuumed(VacuumOutcome),
 }
@@ -133,8 +146,11 @@ pub struct VacuumOutcome {
 /// are dropped, then the body runs pinned to the envelope's epoch.
 pub fn dispatch(site: &mut SiteLocal, request: EpochRequest) -> ProtocolResponse {
     let EpochRequest { epoch, retire_below, body } = request;
-    if let ProtocolRequest::Vacuum = body {
-        let dropped = site.retire_below(retire_below);
+    if let ProtocolRequest::Vacuum(msg) = body {
+        let mut dropped = site.retire_below(retire_below);
+        for fragment in &msg.purge {
+            dropped += site.purge_fragment(*fragment);
+        }
         site.charge_ops(1);
         return ProtocolResponse::Vacuumed(VacuumOutcome {
             dropped,
@@ -166,7 +182,18 @@ pub fn dispatch(site: &mut SiteLocal, request: EpochRequest) -> ProtocolResponse
             let fragments = site.fragments_at(epoch).iter().map(|f| f.as_ref().clone()).collect();
             ProtocolResponse::Fragments(fragments)
         }
-        ProtocolRequest::Vacuum => unreachable!("handled before the epoch body match"),
+        ProtocolRequest::FetchFragments(ids) => {
+            let mut fragments = Vec::with_capacity(ids.len());
+            for id in ids {
+                if let Some(fragment) = site.fragment_at(id, epoch) {
+                    site.charge_ops(paxml_distsim::encoded_size(fragment.as_ref()));
+                    fragments.push(fragment.as_ref().clone());
+                }
+            }
+            ProtocolResponse::Fragments(fragments)
+        }
+        ProtocolRequest::Refrag(r) => ProtocolResponse::Refragged(refrag_task(site, epoch, r)),
+        ProtocolRequest::Vacuum(_) => unreachable!("handled before the epoch body match"),
     }
 }
 
@@ -203,6 +230,7 @@ impl ProtocolResponse {
             ProtocolResponse::Delta(_) => "Delta",
             ProtocolResponse::SessionDelta(_) => "SessionDelta",
             ProtocolResponse::Fragments(_) => "Fragments",
+            ProtocolResponse::Refragged(_) => "Refragged",
             ProtocolResponse::Vacuumed(_) => "Vacuumed",
         }
     }
@@ -226,6 +254,8 @@ impl ProtocolResponse {
         into_session_delta, SessionDelta => MsgSessionDelta;
         /// Unwrap a naive-baseline fragment shipment.
         into_fragments, Fragments => Vec<Fragment>;
+        /// Unwrap a re-fragmentation outcome.
+        into_refragged, Refragged => RefragOutcome;
         /// Unwrap a retirement-sweep outcome.
         into_vacuumed, Vacuumed => VacuumOutcome;
     }
@@ -271,6 +301,15 @@ pub trait Transport: Send + Sync {
     /// the scratch-leak regression tests assert this returns to zero).
     fn scratch_len(&self, site: SiteId) -> usize;
 
+    /// What the site currently holds: every fragment with a live version
+    /// list, with the encoded size of its newest snapshot. A control-plane
+    /// inspection (like [`Transport::scratch_len`]): nothing is charged to
+    /// the traffic meters. Transports that cannot inspect their sites
+    /// report no fragments.
+    fn site_load(&self, site: SiteId) -> SiteLoadReport {
+        SiteLoadReport { site, fragments: Vec::new() }
+    }
+
     /// Downcast to the in-process simulator, when that is what this is.
     /// Simulator-only knobs (round latency, per-site delays, sequential
     /// mode) are applied through this; remote transports ignore them.
@@ -314,6 +353,10 @@ impl Transport for Cluster {
 
     fn scratch_len(&self, site: SiteId) -> usize {
         self.inspect_site(site).scratch_len()
+    }
+
+    fn site_load(&self, site: SiteId) -> SiteLoadReport {
+        SiteLoadReport { site, fragments: self.inspect_site(site).fragment_bytes_at(LATEST_EPOCH) }
     }
 
     fn as_cluster(&self) -> Option<&Cluster> {

@@ -35,4 +35,4 @@ mod stats;
 pub use bytecount::encoded_size;
 pub use cluster::{Cluster, Placement};
 pub use site::{SiteId, SiteLocal, LATEST_EPOCH};
-pub use stats::{ClusterStats, SiteStats};
+pub use stats::{ClusterStats, SiteLoadReport, SiteStats};

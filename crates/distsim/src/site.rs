@@ -129,6 +129,32 @@ impl SiteLocal {
         dropped
     }
 
+    /// Drop **every** version of a fragment, returning how many were held.
+    ///
+    /// This is the reclamation step after a re-fragmentation retired the
+    /// fragment from this site's placement (it migrated away, or was merged
+    /// into its parent). The coordinator only issues it once the retirement
+    /// watermark has passed the epoch that removed the fragment, so no
+    /// pinned reader can still be routed here for it.
+    pub fn purge_fragment(&mut self, fragment: FragmentId) -> usize {
+        self.versions.remove(&fragment).map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// Per-fragment resident bytes of the snapshots a reader pinned to
+    /// `epoch` sees, under the canonical wire encoding — the storage-side
+    /// half of a site load report (the rebalance planner's input).
+    pub fn fragment_bytes_at(&self, epoch: u64) -> Vec<(FragmentId, u64)> {
+        self.versions
+            .iter()
+            .filter_map(|(id, v)| {
+                v.iter()
+                    .rev()
+                    .find(|(e, _)| *e <= epoch)
+                    .map(|(_, f)| (*id, crate::encoded_size(f.as_ref())))
+            })
+            .collect()
+    }
+
     /// The newest snapshot of every fragment stored here, in id order.
     pub fn latest_fragments(&self) -> Vec<Arc<Fragment>> {
         self.versions.values().filter_map(|v| v.last().map(|(_, f)| Arc::clone(f))).collect()

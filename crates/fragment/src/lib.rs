@@ -34,10 +34,14 @@
 mod error;
 mod fragmenter;
 mod model;
+mod refrag;
 pub mod strategy;
 pub mod update;
 
 pub use error::{FragmentError, FragmentResult};
 pub use fragmenter::{fragment_at, reassemble, reassemble_with_origin};
 pub use model::{Fragment, FragmentId, FragmentTree, FragmentedTree};
+pub use refrag::{
+    compact_fragmentation, merge_fragment, split_fragment, MergeOutcome, SplitOutcome,
+};
 pub use update::{apply_all, apply_update, UpdateOp};

@@ -184,6 +184,86 @@ impl FragmentTree {
         order
     }
 
+    /// Does the tree contain this fragment?
+    pub fn contains(&self, f: FragmentId) -> bool {
+        self.ids.contains(&f)
+    }
+
+    /// The largest fragment id present (used to allocate fresh ids for
+    /// splits: new fragments take `max_id + 1`, never reusing a retired id,
+    /// so epoch-pinned readers can never confuse an old fragment's versions
+    /// with a new fragment's).
+    pub fn max_id(&self) -> FragmentId {
+        self.ids.iter().copied().max().unwrap_or(FragmentId::ROOT)
+    }
+
+    /// Move `child` under `new_parent`, replacing its edge annotation — the
+    /// FT half of a split/merge. Only the touched edge's §5 annotation is
+    /// re-derived; every other edge keeps its annotation untouched.
+    pub fn reparent(
+        &mut self,
+        child: FragmentId,
+        new_parent: FragmentId,
+        annotation: LabelPath,
+    ) -> FragmentResult<()> {
+        if child == FragmentId::ROOT {
+            return Err(FragmentError::Inconsistent {
+                message: "the root fragment cannot be re-parented".into(),
+            });
+        }
+        let old = self
+            .parent
+            .get(&child)
+            .copied()
+            .ok_or(FragmentError::UnknownFragment { fragment: child.0 })?;
+        if !self.contains(new_parent) {
+            return Err(FragmentError::UnknownFragment { fragment: new_parent.0 });
+        }
+        // A fragment must never become its own ancestor.
+        let mut cursor = Some(new_parent);
+        while let Some(f) = cursor {
+            if f == child {
+                return Err(FragmentError::Inconsistent {
+                    message: format!("re-parenting {child} under {new_parent} creates a cycle"),
+                });
+            }
+            cursor = self.parent(f);
+        }
+        if let Some(list) = self.children.get_mut(&old) {
+            list.retain(|&c| c != child);
+        }
+        self.children.entry(new_parent).or_default().push(child);
+        self.parent.insert(child, new_parent);
+        self.annotations.insert(child, annotation);
+        Ok(())
+    }
+
+    /// Remove a childless, non-root fragment — the final FT step of a merge
+    /// (the fragment's own children must have been [`reparent`]ed first).
+    ///
+    /// [`reparent`]: FragmentTree::reparent
+    pub fn remove(&mut self, f: FragmentId) -> FragmentResult<()> {
+        if f == FragmentId::ROOT {
+            return Err(FragmentError::Inconsistent {
+                message: "the root fragment cannot be removed".into(),
+            });
+        }
+        if self.children.get(&f).is_some_and(|c| !c.is_empty()) {
+            return Err(FragmentError::Inconsistent {
+                message: format!("fragment {f} still has sub-fragments"),
+            });
+        }
+        let parent =
+            self.parent.remove(&f).ok_or(FragmentError::UnknownFragment { fragment: f.0 })?;
+        if let Some(list) = self.children.get_mut(&parent) {
+            list.retain(|&c| c != f);
+        }
+        self.children.remove(&f);
+        self.annotations.remove(&f);
+        self.ids.retain(|&i| i != f);
+        Ok(())
+    }
+
     /// Depth of a fragment in `FT` (root fragment has depth 0).
     pub fn depth(&self, f: FragmentId) -> usize {
         let mut d = 0;

@@ -1,0 +1,64 @@
+//! # paxml-rebalance — online re-fragmentation for live PaX deployments
+//!
+//! The paper fixes the fragmentation and placement at deploy time; this
+//! crate makes both **mutable online**, without ever blocking readers:
+//!
+//! * [`RefragOp`] — the primitive operations on the deployment topology:
+//!   [`RefragOp::Split`] cuts a fragment in two, [`RefragOp::Merge`]
+//!   splices a child back into its parent, [`RefragOp::Migrate`] moves a
+//!   fragment to another site. [`apply_ops`] executes any sequence of them
+//!   as **one** [`PaxServer::refragment`] call — fetch payloads, rewrite
+//!   the fragment tree with incrementally re-derived §5 annotations (the
+//!   surgery of `paxml_fragment::split_fragment` / `merge_fragment`),
+//!   ship the installs, publish the next epoch. A failure anywhere
+//!   publishes nothing.
+//! * [`CostModel`] + [`plan`] — per-site load observation (resident
+//!   fragments/bytes from [`Transport::site_load`], historical traffic
+//!   from the cumulative meters) feeding a greedy planner that evens out
+//!   hot sites under a configurable [`Objective`] and an optional
+//!   bytes-moved budget.
+//! * [`rebalance`] — observe, plan, apply: the closed loop.
+//!
+//! Everything publishes through the server's epoch machinery, so readers
+//! pinned to the old topology keep routing to the old sites to completion
+//! and a reader never observes a half-moved deployment.
+//!
+//! [`PaxServer::refragment`]: paxml_core::server::PaxServer::refragment
+//! [`Transport::site_load`]: paxml_core::Transport::site_load
+//!
+//! ```
+//! use paxml_core::{server::PaxServer, Algorithm};
+//! use paxml_distsim::SiteId;
+//! use paxml_fragment::{strategy::cut_at_labels, FragmentId};
+//! use paxml_rebalance::{apply_ops, RefragOp};
+//! use paxml_xml::TreeBuilder;
+//!
+//! let tree = TreeBuilder::new("clientele")
+//!     .open("client").leaf("country", "US")
+//!         .open("broker").leaf("name", "E*trade").close()
+//!     .close()
+//!     .build();
+//! let fragmented = cut_at_labels(&tree, &["broker"]).unwrap();
+//! let server = PaxServer::builder().algorithm(Algorithm::PaX2).sites(2)
+//!     .deploy(&fragmented).unwrap();
+//! let q = server.prepare("client/broker/name").unwrap();
+//! let before = server.execute(&q).unwrap();
+//!
+//! // Move the broker fragment to the other site, online.
+//! let to = SiteId(1 - server.deployment().site_of(FragmentId(1)).index());
+//! let report = apply_ops(&server, &[RefragOp::Migrate { fragment: FragmentId(1), to }]).unwrap();
+//! assert_eq!(report.installed_fragments, 1);
+//!
+//! let after = server.execute(&q).unwrap();
+//! assert_eq!(after.answer_texts(), before.answer_texts());
+//! assert_eq!(after.placement_version, before.placement_version + 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod ops;
+mod plan;
+
+pub use ops::{apply_ops, RefragOp};
+pub use plan::{plan, rebalance, CostModel, Objective, PlannerOptions, RebalanceOutcome, SiteCost};

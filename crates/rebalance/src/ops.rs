@@ -1,0 +1,155 @@
+//! The primitive re-fragmentation operations and their executor.
+//!
+//! [`apply_ops`] turns a sequence of [`RefragOp`]s into one
+//! [`TopologyChange`] inside a single [`PaxServer::refragment`] call: the
+//! whole sequence publishes as **one** epoch, atomically — a failed
+//! payload fetch, an invalid cut, or a dead site mid-transfer publishes
+//! nothing and leaves the old topology serving.
+
+use paxml_core::server::{PaxServer, RefragBase, RefragReport, TopologyChange};
+use paxml_core::{PaxError, PaxResult};
+use paxml_distsim::SiteId;
+use paxml_fragment::{merge_fragment, split_fragment, Fragment, FragmentId};
+use paxml_xml::NodeId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One primitive operation on the deployment topology. Validation happens
+/// inside [`apply_ops`] against the topology the op sequence has built so
+/// far, so later ops can reference fragments earlier ops created.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefragOp {
+    /// Cut `fragment` at the interior element `cut`: the subtree below it
+    /// becomes a new fragment (the next unused id) placed on `place_on`;
+    /// its place in the parent is taken by a virtual node. The §5
+    /// annotations of the new edge — and of any sub-fragment edges the cut
+    /// carries along — are re-derived incrementally.
+    Split {
+        /// The fragment to cut.
+        fragment: FragmentId,
+        /// The element node (in the fragment's own tree) to cut at.
+        cut: NodeId,
+        /// Where the new fragment will live.
+        place_on: SiteId,
+    },
+    /// Splice `child` back into its FT parent: the child's data replaces
+    /// the parent's virtual node, the child's sub-fragments are lifted to
+    /// the parent with joined annotations, and the child's id disappears.
+    Merge {
+        /// The fragment to dissolve into its parent.
+        child: FragmentId,
+    },
+    /// Move `fragment` — data unchanged — to another site.
+    Migrate {
+        /// The fragment to move.
+        fragment: FragmentId,
+        /// The destination site.
+        to: SiteId,
+    },
+}
+
+/// Execute `ops` in order as **one** published re-fragmentation.
+///
+/// Payloads are fetched from the sites on demand (charged rounds, pinned
+/// to the base epoch); fragments created by earlier ops are edited in
+/// place, so a split fragment can be split again or migrated within the
+/// same sequence. The resulting installs ship everything whose content
+/// changed or whose site changed — nothing else moves.
+pub fn apply_ops(server: &PaxServer, ops: &[RefragOp]) -> PaxResult<RefragReport> {
+    server.refragment(|base| build_change(base, ops))
+}
+
+/// Fold the op sequence into a [`TopologyChange`] against `base`.
+fn build_change(base: &mut RefragBase<'_>, ops: &[RefragOp]) -> PaxResult<TopologyChange> {
+    let topology = base.topology();
+    let base_placement = topology.placement.clone();
+    let mut ft = topology.fragment_tree.clone();
+    let mut placement = base_placement.clone();
+    // Payloads the sequence has fetched or rewritten so far.
+    let mut working: BTreeMap<FragmentId, Fragment> = BTreeMap::new();
+    // Fragments whose content or shape changed (split halves, merge
+    // products, dissolved ids) — the session-invalidation set.
+    let mut touched: BTreeSet<FragmentId> = BTreeSet::new();
+    let mut next_id = ft.max_id().index() + 1;
+
+    for op in ops {
+        match op {
+            RefragOp::Split { fragment, cut, place_on } => {
+                let source = obtain(base, &working, *fragment)?;
+                let new_id = FragmentId(next_id);
+                next_id += 1;
+                let outcome = split_fragment(&source, &ft, *cut, new_id)?;
+                ft = outcome.fragment_tree;
+                placement.insert(new_id, *place_on);
+                working.insert(*fragment, outcome.parent);
+                working.insert(new_id, outcome.child);
+                touched.insert(*fragment);
+                touched.insert(new_id);
+            }
+            RefragOp::Merge { child } => {
+                let parent_id = ft.parent(*child).ok_or_else(|| PaxError::InvalidConfig {
+                    message: format!("cannot merge {child}: it has no parent fragment"),
+                })?;
+                let child_frag = obtain(base, &working, *child)?;
+                let parent_frag = obtain(base, &working, parent_id)?;
+                let outcome = merge_fragment(&parent_frag, &child_frag, &ft)?;
+                ft = outcome.fragment_tree;
+                placement.remove(child);
+                working.remove(child);
+                working.insert(parent_id, outcome.merged);
+                touched.insert(parent_id);
+                touched.insert(*child);
+            }
+            RefragOp::Migrate { fragment, to } => {
+                if !ft.contains(*fragment) {
+                    return Err(PaxError::InvalidConfig {
+                        message: format!("cannot migrate {fragment}: no such fragment"),
+                    });
+                }
+                placement.insert(*fragment, *to);
+            }
+        }
+    }
+
+    // Everything new-or-moved or rewritten must ship. Unmodified movers
+    // (pure migrations) still hold their base payloads site-side: fetch
+    // them all in one round.
+    let mut install_ids: BTreeSet<FragmentId> = BTreeSet::new();
+    for &fragment in ft.ids() {
+        let moved = base_placement.get(&fragment) != placement.get(&fragment);
+        if moved || working.contains_key(&fragment) {
+            install_ids.insert(fragment);
+        }
+    }
+    let missing: Vec<FragmentId> =
+        install_ids.iter().copied().filter(|f| !working.contains_key(f)).collect();
+    let mut fetched = base.fetch(&missing)?;
+    let mut installs: Vec<Fragment> = Vec::with_capacity(install_ids.len());
+    for fragment in install_ids {
+        let payload =
+            working.remove(&fragment).or_else(|| fetched.remove(&fragment)).ok_or_else(|| {
+                PaxError::Protocol {
+                    message: format!("no payload obtainable for fragment {fragment}"),
+                }
+            })?;
+        installs.push(payload);
+    }
+
+    Ok(TopologyChange { fragment_tree: ft, placement, installs, touched })
+}
+
+/// A fragment's current payload under the sequence so far: the working
+/// copy when an earlier op rewrote it, the site's base-epoch version
+/// otherwise (one charged fetch round).
+fn obtain(
+    base: &mut RefragBase<'_>,
+    working: &BTreeMap<FragmentId, Fragment>,
+    fragment: FragmentId,
+) -> PaxResult<Fragment> {
+    if let Some(frag) = working.get(&fragment) {
+        return Ok(frag.clone());
+    }
+    let mut fetched = base.fetch(&[fragment])?;
+    fetched.remove(&fragment).ok_or_else(|| PaxError::Protocol {
+        message: format!("the site holding fragment {fragment} returned no payload"),
+    })
+}

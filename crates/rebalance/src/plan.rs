@@ -1,0 +1,284 @@
+//! The cost model and the greedy placement planner.
+//!
+//! The model is observation-only: per-site resident bytes (what each site
+//! stores, from the uncharged [`Transport::site_load`] control probe) and
+//! per-site cumulative traffic (what each site has served, from the
+//! deployment's meters). The planner is pure — it maps a [`CostModel`] to
+//! a list of [`RefragOp::Migrate`]s — so it can be unit-tested without a
+//! cluster; [`rebalance`] closes the loop against a live server.
+//!
+//! [`Transport::site_load`]: paxml_core::Transport::site_load
+
+use crate::ops::{apply_ops, RefragOp};
+use paxml_core::server::{PaxServer, RefragReport};
+use paxml_core::PaxResult;
+use paxml_distsim::SiteId;
+use paxml_fragment::FragmentId;
+
+/// What the planner evens out across sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Objective {
+    /// Minimize the largest per-site **resident bytes** — storage balance.
+    #[default]
+    MaxSiteBytes,
+    /// Minimize the largest per-site **traffic estimate** — serve balance.
+    /// Each fragment's future traffic is estimated as its site's
+    /// historically served bytes, attributed proportionally to the
+    /// fragment's share of the site's resident bytes (per-fragment
+    /// history is not tracked). Sites with no history fall back to
+    /// resident bytes.
+    MaxSiteTraffic,
+}
+
+/// Knobs for [`plan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannerOptions {
+    /// What to even out.
+    pub objective: Objective,
+    /// Stop once the migrations planned so far would move this many
+    /// resident bytes (`None`: unbounded).
+    pub bytes_moved_budget: Option<u64>,
+    /// Hard cap on the number of migrations planned.
+    pub max_moves: usize,
+}
+
+impl Default for PlannerOptions {
+    fn default() -> Self {
+        PlannerOptions {
+            objective: Objective::MaxSiteBytes,
+            bytes_moved_budget: None,
+            max_moves: 16,
+        }
+    }
+}
+
+/// One site's observed cost inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteCost {
+    /// The site.
+    pub site: SiteId,
+    /// Resident fragments with their bytes (newest epoch).
+    pub fragments: Vec<(FragmentId, u64)>,
+    /// Cumulative protocol bytes this site has served.
+    pub bytes_served: u64,
+    /// Cumulative visits the coordinator paid this site.
+    pub visits: u64,
+}
+
+impl SiteCost {
+    /// Total resident bytes at the site.
+    pub fn resident_bytes(&self) -> u64 {
+        self.fragments.iter().map(|(_, b)| b).sum()
+    }
+}
+
+/// The planner's input: one [`SiteCost`] per site of the cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostModel {
+    /// Per-site observations, one entry per site (occupied or not).
+    pub sites: Vec<SiteCost>,
+}
+
+impl CostModel {
+    /// Observe a live server: one uncharged load probe per site plus the
+    /// cumulative traffic meters.
+    pub fn observe(server: &PaxServer) -> CostModel {
+        let cumulative = server.cumulative_stats();
+        let deployment = server.deployment();
+        let sites = (0..deployment.site_count())
+            .map(|index| {
+                let site = SiteId(index);
+                let load = deployment.transport().site_load(site);
+                let served = cumulative.sites.get(&site);
+                SiteCost {
+                    site,
+                    fragments: load.fragments,
+                    bytes_served: served.map(|s| s.bytes_received + s.bytes_sent).unwrap_or(0),
+                    visits: served.map(|s| u64::from(s.visits)).unwrap_or(0),
+                }
+            })
+            .collect();
+        CostModel { sites }
+    }
+
+    /// The largest per-site resident-bytes figure.
+    pub fn max_site_bytes(&self) -> u64 {
+        self.sites.iter().map(SiteCost::resident_bytes).max().unwrap_or(0)
+    }
+
+    /// Per-fragment weights under `objective`, grouped per site.
+    fn weights(&self, objective: Objective) -> Vec<Vec<(FragmentId, u64)>> {
+        self.sites
+            .iter()
+            .map(|site| {
+                let resident = site.resident_bytes();
+                site.fragments
+                    .iter()
+                    .map(|&(fragment, bytes)| {
+                        let weight = match objective {
+                            Objective::MaxSiteBytes => bytes,
+                            Objective::MaxSiteTraffic => {
+                                if site.bytes_served == 0 || resident == 0 {
+                                    bytes
+                                } else {
+                                    // The fragment's share of the site's
+                                    // history, scaled to avoid zeroing
+                                    // small fragments.
+                                    (site.bytes_served.saturating_mul(bytes) / resident).max(1)
+                                }
+                            }
+                        };
+                        (fragment, weight)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Greedy rebalancing: repeatedly move the best-fitting fragment from the
+/// heaviest site to the lightest until no move improves the objective, the
+/// bytes-moved budget is exhausted, or `max_moves` is reached. Returns
+/// pure migrations (splits/merges are policy decisions [`plan`] does not
+/// take — hand-build those with [`apply_ops`]).
+pub fn plan(model: &CostModel, options: &PlannerOptions) -> Vec<RefragOp> {
+    let mut per_site = model.weights(options.objective);
+    // Resident bytes ride along so the budget is charged in real bytes
+    // even when the objective weighs traffic.
+    let mut bytes_of: std::collections::BTreeMap<FragmentId, u64> =
+        std::collections::BTreeMap::new();
+    for site in &model.sites {
+        for &(fragment, bytes) in &site.fragments {
+            bytes_of.insert(fragment, bytes);
+        }
+    }
+    let mut moves: Vec<RefragOp> = Vec::new();
+    let mut bytes_moved: u64 = 0;
+    while moves.len() < options.max_moves {
+        let totals: Vec<u64> = per_site.iter().map(|f| f.iter().map(|(_, w)| w).sum()).collect();
+        let Some(heavy) = totals.iter().enumerate().max_by_key(|(_, t)| **t).map(|(i, _)| i) else {
+            break;
+        };
+        let light = totals
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| **t)
+            .map(|(i, _)| i)
+            .expect("a heaviest site implies a lightest one");
+        let gap = totals[heavy] - totals[light];
+        if heavy == light || gap == 0 {
+            break;
+        }
+        // The largest fragment that still *reduces* the pairwise max:
+        // moving weight w helps iff w < gap.
+        let candidate = per_site[heavy]
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, w))| *w < gap)
+            .max_by_key(|(_, (_, w))| *w)
+            .map(|(position, &(fragment, weight))| (position, fragment, weight));
+        let Some((position, fragment, weight)) = candidate else {
+            break;
+        };
+        let fragment_bytes = bytes_of.get(&fragment).copied().unwrap_or(0);
+        if let Some(budget) = options.bytes_moved_budget {
+            if bytes_moved + fragment_bytes > budget {
+                break;
+            }
+        }
+        bytes_moved += fragment_bytes;
+        per_site[heavy].remove(position);
+        per_site[light].push((fragment, weight));
+        moves.push(RefragOp::Migrate { fragment, to: SiteId(light) });
+    }
+    moves
+}
+
+/// The outcome of one [`rebalance`] pass.
+#[derive(Debug, Clone)]
+pub struct RebalanceOutcome {
+    /// The migrations the planner chose (possibly none).
+    pub ops: Vec<RefragOp>,
+    /// The published re-fragmentation, when any op was worth applying.
+    pub report: Option<RefragReport>,
+    /// The largest per-site resident-bytes figure before the pass.
+    pub max_site_bytes_before: u64,
+    /// The same figure after the pass (equals `before` when nothing moved).
+    pub max_site_bytes_after: u64,
+}
+
+/// Observe, plan, apply: one full rebalancing pass over a live server.
+/// With an empty plan nothing is published and the topology version is
+/// unchanged; otherwise the whole plan publishes as one epoch, followed by
+/// a best-effort vacuum so the source sites' dissolved copies are purged
+/// (and show up as freed in `max_site_bytes_after`) as soon as no reader
+/// pins the old topology.
+pub fn rebalance(server: &PaxServer, options: &PlannerOptions) -> PaxResult<RebalanceOutcome> {
+    let model = CostModel::observe(server);
+    let before = model.max_site_bytes();
+    let ops = plan(&model, options);
+    let report = if ops.is_empty() { None } else { Some(apply_ops(server, &ops)?) };
+    if report.is_some() {
+        let _ = server.vacuum();
+    }
+    let after = CostModel::observe(server).max_site_bytes();
+    Ok(RebalanceOutcome { ops, report, max_site_bytes_before: before, max_site_bytes_after: after })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(sites: Vec<Vec<(usize, u64)>>) -> CostModel {
+        CostModel {
+            sites: sites
+                .into_iter()
+                .enumerate()
+                .map(|(index, fragments)| SiteCost {
+                    site: SiteId(index),
+                    fragments: fragments.into_iter().map(|(f, b)| (FragmentId(f), b)).collect(),
+                    bytes_served: 0,
+                    visits: 0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn a_balanced_cluster_plans_nothing() {
+        let m = model(vec![vec![(0, 100)], vec![(1, 100)]]);
+        assert!(plan(&m, &PlannerOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn a_hot_site_sheds_load_to_the_coldest() {
+        let m = model(vec![vec![(0, 100), (1, 100), (2, 100)], vec![], vec![(3, 90)]]);
+        let moves = plan(&m, &PlannerOptions::default());
+        assert!(!moves.is_empty());
+        // Every move comes off site 0 and the result is better balanced.
+        for m in &moves {
+            match m {
+                RefragOp::Migrate { fragment, to } => {
+                    assert!([FragmentId(0), FragmentId(1), FragmentId(2)].contains(fragment));
+                    assert_ne!(*to, SiteId(0));
+                }
+                other => panic!("planner emitted a non-migration: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn the_budget_caps_bytes_moved() {
+        let m = model(vec![vec![(0, 100), (1, 100), (2, 100)], vec![]]);
+        let options = PlannerOptions { bytes_moved_budget: Some(100), ..PlannerOptions::default() };
+        let moves = plan(&m, &options);
+        assert_eq!(moves.len(), 1, "a 100-byte budget affords exactly one 100-byte move");
+    }
+
+    #[test]
+    fn an_indivisible_site_is_left_alone() {
+        // One huge fragment: moving it would just move the hot spot.
+        let m = model(vec![vec![(0, 1000)], vec![(1, 10)]]);
+        assert!(plan(&m, &PlannerOptions::default()).is_empty());
+    }
+}

@@ -37,6 +37,9 @@ pub enum WireRequest {
     },
     /// Ask how many scratch entries are parked (test instrumentation).
     ScratchLen,
+    /// Ask what the site currently stores (control-plane observability for
+    /// the rebalance planner; uncharged, like `ScratchLen`).
+    SiteLoad,
     /// Clear all scratch state (between independent executions).
     Reset,
     /// Clean shutdown: the site replies [`WireReply::ShuttingDown`] and
@@ -72,6 +75,11 @@ pub enum WireReply {
     ScratchLen {
         /// Number of parked scratch entries.
         len: usize,
+    },
+    /// What the site currently stores.
+    SiteLoad {
+        /// Per-fragment resident bytes at the site's newest epoch.
+        report: paxml_distsim::SiteLoadReport,
     },
     /// Scratch state cleared.
     ResetDone,

@@ -101,6 +101,15 @@ fn serve_connection(
             WireRequest::ScratchLen => {
                 WireReply::ScratchLen { len: lock_site(&site).scratch_len() }
             }
+            WireRequest::SiteLoad => {
+                let guard = lock_site(&site);
+                WireReply::SiteLoad {
+                    report: paxml_distsim::SiteLoadReport {
+                        site: guard.id,
+                        fragments: guard.fragment_bytes_at(paxml_distsim::LATEST_EPOCH),
+                    },
+                }
+            }
             WireRequest::Reset => {
                 lock_site(&site).clear_scratch();
                 WireReply::ResetDone

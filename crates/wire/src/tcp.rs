@@ -35,7 +35,7 @@
 use crate::codec;
 use crate::msg::{self, WireReply, WireRequest};
 use paxml_core::{EpochRequest, PaxError, PaxResult, ProtocolResponse, Transport};
-use paxml_distsim::{ClusterStats, Placement, SiteId};
+use paxml_distsim::{ClusterStats, Placement, SiteId, SiteLoadReport};
 use paxml_fragment::{Fragment, FragmentId, FragmentedTree};
 use std::collections::{BTreeMap, BTreeSet};
 use std::io;
@@ -373,6 +373,16 @@ impl Transport for TcpCluster {
             Ok(WireReply::ScratchLen { len }) => len,
             Ok(other) => panic!("unexpected reply to a scratch-len probe: {other:?}"),
             Err(err) => panic!("scratch-len probe failed: {err}"),
+        }
+    }
+
+    fn site_load(&self, site: SiteId) -> SiteLoadReport {
+        let _round = self.round_lock.lock().expect("the round lock is never poisoned");
+        match self.control(site, &WireRequest::SiteLoad) {
+            Ok(WireReply::SiteLoad { report }) => report,
+            // A dead or confused site stores nothing we can observe; load
+            // probes are best-effort observability, never a failure.
+            _ => SiteLoadReport { site, fragments: Vec::new() },
         }
     }
 }

@@ -5,6 +5,7 @@
 //! paxml cluster <file.xml> <xpath> [options]   evaluate over real site processes (TCP)
 //! paxml fragment <file.xml> [options]          show how a document fragments
 //! paxml compare <file.xml> <xpath> [options]   run every algorithm and compare costs
+//! paxml stats <file.xml> <xpath> [options]     deploy, run the query, show per-site load
 //! paxml site --listen <addr>                   run one site server (used by `cluster`)
 //! paxml help                                   this text
 //!
@@ -16,6 +17,7 @@
 //!   --algorithm <name>       pax2 | pax3 | naive | centralized (default pax2)
 //!   --annotations            enable the XPath-annotation optimization (§5)
 //!   --show-answers <n>       print at most n answers (default 10)
+//!   --rebalance              (stats) run one planner pass and show the load again
 //! ```
 //!
 //! `query`, `fragment` and `compare` simulate the distribution in-process
@@ -36,6 +38,7 @@ struct Options {
     algorithm: String,
     annotations: bool,
     show_answers: usize,
+    rebalance: bool,
 }
 
 impl Default for Options {
@@ -47,6 +50,7 @@ impl Default for Options {
             algorithm: "pax2".to_string(),
             annotations: false,
             show_answers: 10,
+            rebalance: false,
         }
     }
 }
@@ -59,7 +63,7 @@ fn main() -> ExitCode {
             print_help();
             ExitCode::SUCCESS
         }
-        "query" | "fragment" | "compare" | "cluster" => match run(command, &args[1..]) {
+        "query" | "fragment" | "compare" | "cluster" | "stats" => match run(command, &args[1..]) {
             Ok(()) => ExitCode::SUCCESS,
             Err(message) => {
                 eprintln!("error: {message}");
@@ -89,6 +93,7 @@ fn print_help() {
          \u{20}  paxml cluster <file.xml> <xpath> [options]   evaluate over real site processes (TCP)\n\
          \u{20}  paxml fragment <file.xml> [options]          show how a document fragments\n\
          \u{20}  paxml compare <file.xml> <xpath> [options]   run every algorithm and compare costs\n\
+         \u{20}  paxml stats <file.xml> <xpath> [options]     deploy, run the query, show per-site load\n\
          \u{20}  paxml site --listen <addr>                   run one site server (used by `cluster`)\n\
          \n\
          options:\n\
@@ -97,7 +102,8 @@ fn print_help() {
          \u{20}  --sites <n>           number of sites (default 4)\n\
          \u{20}  --algorithm <name>    pax2 | pax3 | naive | centralized (default pax2)\n\
          \u{20}  --annotations         enable the XPath-annotation optimization\n\
-         \u{20}  --show-answers <n>    print at most n answers (default 10)"
+         \u{20}  --show-answers <n>    print at most n answers (default 10)\n\
+         \u{20}  --rebalance           (stats) run one planner pass and show the load again"
     );
 }
 
@@ -128,6 +134,10 @@ fn run(command: &str, rest: &[String]) -> Result<(), String> {
         "cluster" => {
             let query_text = query_text.expect("cluster command always has a query");
             run_cluster(&fragmented, &query_text, &options)?;
+        }
+        "stats" => {
+            let query_text = query_text.expect("stats command always has a query");
+            run_stats(&fragmented, &query_text, &options)?;
         }
         _ => unreachable!("validated by main"),
     }
@@ -165,6 +175,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--annotations" => {
                 options.annotations = true;
+                i += 1;
+            }
+            "--rebalance" => {
+                options.rebalance = true;
                 i += 1;
             }
             "--show-answers" => {
@@ -340,6 +354,87 @@ fn run_cluster(
     // message, then reaps the child processes.
     println!("shutting the cluster down …");
     Ok(())
+}
+
+/// `paxml stats`: deploy the document, run the query, and print the
+/// server's load breakdown — epoch/topology versions plus what each site
+/// stores and has served. With `--rebalance`, run one cost-model planner
+/// pass over the deployment and show the load again.
+fn run_stats(
+    fragmented: &FragmentedTree,
+    query_text: &str,
+    options: &Options,
+) -> Result<(), String> {
+    let algorithm = match options.algorithm.as_str() {
+        "pax2" => Algorithm::PaX2,
+        "pax3" => Algorithm::PaX3,
+        "naive" => Algorithm::NaiveCentralized,
+        "centralized" => {
+            return Err(
+                "`stats` meters a distributed deployment; use `query` for centralized".to_string()
+            )
+        }
+        other => return Err(format!("unknown algorithm {other:?}")),
+    };
+    let server = server(fragmented, options, algorithm, options.annotations)?;
+    let prepared = server.prepare(query_text).map_err(|e| e.to_string())?;
+    let report = server.execute(&prepared).map_err(|e| e.to_string())?;
+    println!("{}", report.summary());
+    println!();
+    print_server_stats(&server);
+
+    if options.rebalance {
+        let outcome =
+            paxml::rebalance::rebalance(&server, &paxml::rebalance::PlannerOptions::default())
+                .map_err(|e| e.to_string())?;
+        println!();
+        if outcome.ops.is_empty() {
+            println!("rebalance: the deployment is already balanced, nothing moved");
+        } else {
+            println!(
+                "rebalance: {} migration(s), max site bytes {} -> {}",
+                outcome.ops.len(),
+                outcome.max_site_bytes_before,
+                outcome.max_site_bytes_after
+            );
+            for op in &outcome.ops {
+                if let paxml::rebalance::RefragOp::Migrate { fragment, to } = op {
+                    println!("  move {fragment} to {to}");
+                }
+            }
+            println!();
+            print_server_stats(&server);
+        }
+    }
+    Ok(())
+}
+
+/// The `server_stats()` table: epoch/topology state, then one row per site.
+fn print_server_stats(server: &PaxServer) {
+    let stats = server.server_stats();
+    println!(
+        "epoch {}   placement version {}   live epochs {}   retired {}   session cache {} bytes",
+        stats.current_epoch,
+        stats.placement_version,
+        stats.live_epochs,
+        stats.retired_epochs,
+        stats.session_cache_bytes
+    );
+    println!(
+        "{:<8} {:>10} {:>16} {:>8} {:>14}",
+        "site", "fragments", "resident bytes", "visits", "bytes served"
+    );
+    for load in &stats.site_loads {
+        println!(
+            "{:<8} {:>10} {:>16} {:>8} {:>14}",
+            load.site.to_string(),
+            load.fragment_count,
+            load.resident_bytes,
+            load.visits,
+            load.bytes_served
+        );
+    }
+    println!("max site bytes: {}", stats.max_site_bytes());
 }
 
 fn print_answer_nodes(tree: &XmlTree, answers: &[paxml::xml::NodeId], limit: usize) {

@@ -24,6 +24,7 @@
 //! | [`fragment`] | `paxml-fragment` | Fragmentation, fragment trees, XPath annotations, fragment updates. |
 //! | [`distsim`] | `paxml-distsim` | Simulated sites, traffic/visit accounting, parallel rounds. |
 //! | [`core`] | `paxml-core` | The [`PaxServer`](core::server::PaxServer) session API over PaX3, PaX2, the batch and incremental engines, the annotation optimization, and the naive baseline. |
+//! | [`rebalance`] | `paxml-rebalance` | Online re-fragmentation: split/merge/migrate ops and the cost-model-driven placement planner. |
 //! | [`xmark`] | `paxml-xmark` | XMark-like workload generator, the paper's running example, update workloads. |
 //!
 //! ## Quickstart
@@ -65,6 +66,7 @@ pub use paxml_boolex as boolex;
 pub use paxml_core as core;
 pub use paxml_distsim as distsim;
 pub use paxml_fragment as fragment;
+pub use paxml_rebalance as rebalance;
 pub use paxml_wire as wire;
 pub use paxml_xmark as xmark;
 pub use paxml_xml as xml;

@@ -1,0 +1,464 @@
+//! Online re-fragmentation: conformance, round-trips, planning, faults.
+//!
+//! The contract under test (see `paxml-rebalance` and
+//! `PaxServer::refragment`): after **any** valid sequence of split, merge
+//! and migrate operations, the live server answers every query exactly as
+//! a *fresh* deployment of the resulting fragmentation would — same
+//! answers, same visit counts — on both the in-process simulator and the
+//! TCP transport; a round-trip (split then merge, migrate there and back)
+//! is bit-identical to never having touched the deployment at all; the
+//! cost-model planner reduces the max-site load on a skewed deployment;
+//! and a site dying mid-migration publishes nothing — clean
+//! `SiteUnreachable`, old topology serving throughout.
+
+use paxml::prelude::*;
+use paxml::rebalance::{apply_ops, rebalance, PlannerOptions, RefragOp};
+use paxml::wire::ProcessCluster;
+use paxml::xmark::{ft1, PAPER_QUERIES};
+use paxml_distsim::SiteId;
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+const BIN: &str = env!("CARGO_BIN_EXE_paxml");
+const WATCHDOG: Duration = Duration::from_secs(120);
+const ALGORITHMS: [Algorithm; 3] = [Algorithm::PaX2, Algorithm::PaX3, Algorithm::NaiveCentralized];
+
+/// Run `body` on its own thread and fail loudly if it neither returns nor
+/// panics within the watchdog interval (transport tests only).
+fn with_watchdog<F: FnOnce() + Send + 'static>(body: F) {
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        body();
+        let _ = done_tx.send(());
+    });
+    match done_rx.recv_timeout(WATCHDOG) {
+        Ok(()) => handle.join().expect("test body panicked after completing"),
+        Err(_) => match handle.is_finished() {
+            true => handle.join().expect("test body panicked"),
+            false => panic!("test body hung for {WATCHDOG:?} — the transport wedged"),
+        },
+    }
+}
+
+/// The paper's workload queries (text only — the tuple is `(label, query)`).
+fn queries() -> Vec<&'static str> {
+    PAPER_QUERIES.iter().map(|(_, q)| *q).collect()
+}
+
+/// The conformance oracle: export the server's current fragmentation,
+/// deploy it fresh on an idle simulator, and demand that every workload
+/// query returns the same answers with the same visit bound and fragment
+/// coverage on both.
+fn assert_conforms_to_fresh_deploy(
+    server: &PaxServer,
+    algorithm: Algorithm,
+    sites: usize,
+    context: &str,
+) {
+    let exported = server.export_fragmentation().expect("export the live fragmentation");
+    let fresh = PaxServer::builder()
+        .algorithm(algorithm)
+        .sites(sites)
+        .deploy(&exported)
+        .expect("the exported fragmentation must deploy");
+    for query in queries() {
+        let live = server.query_once(query).expect("live server query");
+        let reference = fresh.query_once(query).expect("fresh deploy query");
+        assert_eq!(
+            live.answer_origins(),
+            reference.answer_origins(),
+            "{context}: answers diverged from a fresh deploy for {query}"
+        );
+        assert_eq!(
+            live.answer_texts(),
+            reference.answer_texts(),
+            "{context}: answer texts diverged from a fresh deploy for {query}"
+        );
+        assert_eq!(
+            live.max_visits_per_site(),
+            reference.max_visits_per_site(),
+            "{context}: visit bound diverged from a fresh deploy for {query}"
+        );
+        assert_eq!(
+            live.queries[0].fragments_evaluated, reference.queries[0].fragments_evaluated,
+            "{context}: fragment coverage diverged for {query}"
+        );
+    }
+}
+
+/// Answers + per-site visits of one fresh execution — the "bit-identical"
+/// comparison for round-trips, where even the placement is unchanged.
+fn assert_executions_match(a: &ExecReport, b: &ExecReport, context: &str) {
+    for (qa, qb) in a.queries.iter().zip(&b.queries) {
+        assert_eq!(qa.answers, qb.answers, "{context}: answers diverged for {}", qa.query);
+    }
+    assert_eq!(
+        a.stats.sites.keys().collect::<Vec<_>>(),
+        b.stats.sites.keys().collect::<Vec<_>>(),
+        "{context}: different sites were visited"
+    );
+    for (site, sa) in &a.stats.sites {
+        assert_eq!(sa.visits, b.stats.sites[site].visits, "{context}: visits diverged at {site:?}");
+    }
+}
+
+/// A split point inside fragment 1 of an FT1 deployment: every XMark site
+/// subtree has a `people` section, a real interior element.
+fn people_cut(fragmented: &FragmentedTree) -> paxml::xml::NodeId {
+    fragmented
+        .fragment(FragmentId(1))
+        .expect("FT1 has a fragment 1")
+        .tree
+        .find_first("people")
+        .expect("every XMark site subtree has a people section")
+}
+
+/// A split, a migration of the new fragment, a second migration of an old
+/// fragment, then a merge of an (unrelated) original fragment into the
+/// root: after each step the live server must answer exactly like a fresh
+/// deployment of its exported fragmentation — for all three algorithms.
+#[test]
+fn mixed_op_sequences_conform_to_a_fresh_deploy() {
+    let sites = 3;
+    let (_tree, fragmented) = ft1(5, 0.01, 42);
+    for algorithm in ALGORITHMS {
+        let server = PaxServer::builder()
+            .algorithm(algorithm)
+            .sites(sites)
+            .deploy(&fragmented)
+            .expect("deploy");
+        let new_id = FragmentId(fragmented.fragment_tree.max_id().index() + 1);
+
+        let steps: Vec<(&str, Vec<RefragOp>)> = vec![
+            (
+                "split",
+                vec![RefragOp::Split {
+                    fragment: FragmentId(1),
+                    cut: people_cut(&fragmented),
+                    place_on: SiteId(2),
+                }],
+            ),
+            (
+                "migrate the split child",
+                vec![RefragOp::Migrate { fragment: new_id, to: SiteId(0) }],
+            ),
+            (
+                "migrate an original",
+                vec![RefragOp::Migrate { fragment: FragmentId(3), to: SiteId(1) }],
+            ),
+            ("merge an original into the root", vec![RefragOp::Merge { child: FragmentId(4) }]),
+        ];
+        let mut version = 0u64;
+        for (step, ops) in steps {
+            let report =
+                apply_ops(&server, &ops).unwrap_or_else(|e| panic!("{algorithm} {step}: {e}"));
+            version += 1;
+            assert_eq!(
+                report.placement_version, version,
+                "{algorithm} {step}: each applied sequence bumps the placement version once"
+            );
+            assert_conforms_to_fresh_deploy(
+                &server,
+                algorithm,
+                sites,
+                &format!("{algorithm} after {step}"),
+            );
+        }
+        assert_eq!(server.server_stats().placement_version, version);
+    }
+}
+
+/// The same op sequence on the simulator and on real TCP site processes:
+/// the refragmented TCP cluster must stay bit-compatible with the
+/// refragmented simulator (answers + per-site visits), and both must
+/// conform to a fresh deploy of the exported fragmentation.
+#[test]
+fn refragmentation_over_tcp_matches_the_simulator() {
+    with_watchdog(|| {
+        let sites = 3;
+        let (_tree, fragmented) = ft1(4, 0.01, 7);
+        let sim = PaxServer::builder()
+            .algorithm(Algorithm::PaX2)
+            .sites(sites)
+            .deploy(&fragmented)
+            .expect("deploy simulator");
+        let cluster = ProcessCluster::spawn(BIN, &fragmented, sites, Placement::RoundRobin)
+            .expect("spawn site processes");
+        let tcp = PaxServer::builder()
+            .algorithm(Algorithm::PaX2)
+            .deploy_over(&fragmented, cluster.transport.clone())
+            .expect("deploy over processes");
+
+        let ops = vec![
+            RefragOp::Split {
+                fragment: FragmentId(1),
+                cut: people_cut(&fragmented),
+                place_on: SiteId(2),
+            },
+            RefragOp::Migrate { fragment: FragmentId(2), to: SiteId(0) },
+        ];
+        let s = apply_ops(&sim, &ops).expect("simulator refragmentation");
+        let t = apply_ops(&tcp, &ops).expect("TCP refragmentation");
+        assert_eq!(s.installed_fragments, t.installed_fragments, "install counts diverged");
+        assert_eq!(s.placement_version, t.placement_version, "topology versions diverged");
+
+        for query in queries() {
+            let a = sim.query_once(query).expect("simulator query");
+            let b = tcp.query_once(query).expect("TCP query");
+            assert_executions_match(&a, &b, &format!("post-refrag {query}"));
+        }
+        assert_conforms_to_fresh_deploy(&tcp, Algorithm::PaX2, sites, "TCP post-refrag");
+
+        // The exported fragmentations agree fragment-for-fragment.
+        let se = sim.export_fragmentation().expect("simulator export");
+        let te = tcp.export_fragmentation().expect("TCP export");
+        assert_eq!(se.fragment_count(), te.fragment_count(), "exports diverged in shape");
+        assert_eq!(se.total_real_nodes(), te.total_real_nodes(), "exports diverged in size");
+    });
+}
+
+/// A migration with a **dead destination**: the payload fetch succeeds,
+/// the install round hits the killed process and fails — with a clean
+/// `SiteUnreachable` naming the dead site, nothing published (epoch and
+/// placement version unchanged), and the old topology serving reads the
+/// whole time.
+#[test]
+fn migration_to_a_dead_site_publishes_nothing() {
+    with_watchdog(|| {
+        let sites = 3;
+        let (_tree, fragmented) = ft1(4, 0.02, 21);
+        let mut cluster = ProcessCluster::spawn(BIN, &fragmented, sites, Placement::RoundRobin)
+            .expect("spawn site processes");
+        let server = Arc::new(
+            PaxServer::builder()
+                .algorithm(Algorithm::PaX2)
+                .deploy_over(&fragmented, cluster.transport.clone())
+                .expect("deploy"),
+        );
+        let query = server.prepare(queries()[0]).expect("prepare");
+        // Warm the residual-vector cache so reads keep completing with
+        // zero site visits even while a site is down.
+        let before = server.execute(&query).expect("warm the cache");
+        assert_eq!(before.placement_version, 0);
+        assert!(!before.answers().is_empty(), "workload sanity: answers exist");
+
+        // Pick a fragment on a live site and a doomed destination.
+        let victim = SiteId(2);
+        let moved = *fragmented
+            .fragment_tree
+            .ids()
+            .iter()
+            .find(|&&f| server.deployment().site_of(f) != victim)
+            .expect("some fragment lives off the doomed site");
+        cluster.kill_site(victim);
+
+        // Twice, to show the failed attempt poisons nothing.
+        for attempt in 0..2 {
+            match apply_ops(&server, &[RefragOp::Migrate { fragment: moved, to: victim }]) {
+                Err(PaxError::SiteUnreachable { site, .. }) => {
+                    assert_eq!(site, victim, "attempt {attempt}: wrong site blamed");
+                }
+                Err(other) => panic!("attempt {attempt}: expected SiteUnreachable, got {other}"),
+                Ok(_) => panic!("attempt {attempt}: migration to a dead site succeeded"),
+            }
+            let stats = server.server_stats();
+            assert_eq!(stats.current_epoch, 0, "attempt {attempt}: an epoch was published");
+            assert_eq!(stats.placement_version, 0, "attempt {attempt}: a topology was published");
+            let read = server.execute(&query).expect("the old topology still serves");
+            assert_eq!(read.placement_version, 0);
+            assert_eq!(read.answer_origins(), before.answer_origins());
+            assert_eq!(read.max_visits_per_site(), 0, "cached reads never touch a site");
+        }
+
+        // The load probe over a dead site degrades to empty instead of
+        // failing, so observation-driven planning stays possible.
+        let probe = server.deployment().transport().site_load(victim);
+        assert_eq!(probe.fragments, vec![], "a dead site's load probe must come back empty");
+    });
+}
+
+/// The planner evens out a deliberately skewed deployment: everything
+/// starts on one site, one `rebalance` pass must migrate fragments off it,
+/// cut the max-site-load and leave answers conformant.
+#[test]
+fn planner_reduces_max_site_load_on_a_skewed_deployment() {
+    let sites = 4;
+    let (_tree, fragmented) = ft1(8, 0.02, 13);
+    let server = PaxServer::builder()
+        .algorithm(Algorithm::PaX2)
+        .sites(sites)
+        .placement(Placement::SingleSite)
+        .deploy(&fragmented)
+        .expect("deploy everything on S0");
+    let outcome = rebalance(&server, &PlannerOptions::default()).expect("rebalance pass");
+    assert!(!outcome.ops.is_empty(), "a single-site deployment must yield migrations");
+    assert!(
+        outcome.max_site_bytes_after < outcome.max_site_bytes_before,
+        "the pass did not reduce the max site load ({} -> {})",
+        outcome.max_site_bytes_before,
+        outcome.max_site_bytes_after
+    );
+    let report = outcome.report.expect("a non-empty plan publishes");
+    assert_eq!(report.placement_version, 1);
+    assert!(
+        server.server_stats().site_loads.iter().filter(|l| l.fragment_count > 0).count() > 1,
+        "fragments still all live on one site"
+    );
+    assert_conforms_to_fresh_deploy(&server, Algorithm::PaX2, sites, "post-rebalance");
+
+    // A second pass over the now-balanced deployment must not thrash: the
+    // max load never goes back up.
+    let second = rebalance(&server, &PlannerOptions::default()).expect("second pass");
+    assert!(
+        second.max_site_bytes_after <= outcome.max_site_bytes_after,
+        "a second pass made the balance worse"
+    );
+}
+
+/// A bytes-moved budget of zero forbids every migration: the pass is a
+/// no-op and publishes nothing.
+#[test]
+fn a_zero_budget_plans_nothing() {
+    let (_tree, fragmented) = ft1(4, 0.01, 3);
+    let server = PaxServer::builder()
+        .algorithm(Algorithm::PaX2)
+        .sites(3)
+        .placement(Placement::SingleSite)
+        .deploy(&fragmented)
+        .expect("deploy");
+    let options = PlannerOptions { bytes_moved_budget: Some(0), ..PlannerOptions::default() };
+    let outcome = rebalance(&server, &options).expect("rebalance pass");
+    assert!(outcome.ops.is_empty(), "a zero budget must not move anything");
+    assert!(outcome.report.is_none(), "an empty plan must not publish");
+    assert_eq!(server.server_stats().placement_version, 0);
+}
+
+/// Auto-vacuum across re-fragmentations: with a threshold configured,
+/// ping-pong migrations must not accumulate superseded fragment copies on
+/// the sites — the sweep runs as a side effect of publishing, no explicit
+/// `vacuum` call anywhere.
+#[test]
+fn auto_vacuum_bounds_refragmentation_garbage() {
+    let (_tree, fragmented) = ft1(4, 0.01, 5);
+    let server = PaxServer::builder()
+        .algorithm(Algorithm::PaX2)
+        .sites(2)
+        .auto_vacuum_threshold(2)
+        .deploy(&fragmented)
+        .expect("deploy");
+    let site_versions = |server: &PaxServer| -> usize {
+        let cluster = server.deployment().cluster().expect("simulator deployment");
+        cluster
+            .occupied_sites()
+            .into_iter()
+            .map(|site| cluster.inspect_site(site).version_count())
+            .sum()
+    };
+    let one_fragment_everywhere = fragmented.fragments.len();
+
+    for round in 0..6u64 {
+        let to = SiteId((round as usize) % 2);
+        apply_ops(&server, &[RefragOp::Migrate { fragment: FragmentId(1), to }])
+            .expect("ping-pong migration");
+    }
+    let stats = server.server_stats();
+    assert_eq!(stats.current_epoch, 6);
+    assert_eq!(stats.live_epochs, 1, "no reader pins old epochs here");
+    // The auto sweep runs while the publishing epoch is still pinned, so
+    // each ping-pong site may keep one version the next sweep reclaims —
+    // bounded garbage, against the 6 extra copies an unvacuumed run piles
+    // up on top of the originals.
+    assert!(
+        site_versions(&server) <= one_fragment_everywhere + 4,
+        "superseded copies piled up past the auto-vacuum threshold: {} versions for {} fragments",
+        site_versions(&server),
+        one_fragment_everywhere
+    );
+    // An explicit sweep still exists and finishes the job.
+    server.vacuum().expect("explicit vacuum");
+    assert_eq!(site_versions(&server), one_fragment_everywhere);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Split∘Merge round-trips to a no-op: splitting a random FT1 fragment
+    /// at its `people` section and merging the new child straight back
+    /// yields a deployment bit-identical in answers and per-site visits to
+    /// a pristine server that never refragmented — all three algorithms,
+    /// random XMark documents.
+    #[test]
+    fn split_then_merge_round_trips_bit_identically(
+        seed in 0u64..1000,
+        fragment_count in 3usize..6,
+        victim_offset in 0usize..3,
+    ) {
+        let sites = 3;
+        let (_tree, fragmented) = ft1(fragment_count, 0.01, seed);
+        let victim = FragmentId(1 + victim_offset % (fragment_count - 1).max(1));
+        let cut = fragmented
+            .fragment(victim)
+            .expect("victim is a real fragment")
+            .tree
+            .find_first("people")
+            .expect("every XMark site subtree has a people section");
+        let new_id = FragmentId(fragmented.fragment_tree.max_id().index() + 1);
+        for algorithm in ALGORITHMS {
+            let pristine = PaxServer::builder()
+                .algorithm(algorithm)
+                .sites(sites)
+                .deploy(&fragmented)
+                .expect("deploy pristine");
+            let server = PaxServer::builder()
+                .algorithm(algorithm)
+                .sites(sites)
+                .deploy(&fragmented)
+                .expect("deploy");
+            apply_ops(&server, &[
+                RefragOp::Split { fragment: victim, cut, place_on: SiteId(0) },
+                RefragOp::Merge { child: new_id },
+            ]).expect("split then merge");
+            prop_assert_eq!(server.server_stats().placement_version, 1);
+            for query in queries() {
+                let a = server.query_once(query).expect("round-tripped server");
+                let b = pristine.query_once(query).expect("pristine server");
+                assert_executions_match(&a, &b, &format!("{algorithm} split∘merge {query}"));
+            }
+        }
+    }
+
+    /// Migrate there-and-back round-trips to a no-op the same way.
+    #[test]
+    fn migrate_there_and_back_round_trips_bit_identically(
+        seed in 0u64..1000,
+        fragment_count in 3usize..6,
+    ) {
+        let sites = 3;
+        let (_tree, fragmented) = ft1(fragment_count, 0.01, seed);
+        for algorithm in ALGORITHMS {
+            let pristine = PaxServer::builder()
+                .algorithm(algorithm)
+                .sites(sites)
+                .deploy(&fragmented)
+                .expect("deploy pristine");
+            let server = PaxServer::builder()
+                .algorithm(algorithm)
+                .sites(sites)
+                .deploy(&fragmented)
+                .expect("deploy");
+            let home = server.deployment().site_of(FragmentId(1));
+            let away = SiteId((home.index() + 1) % sites);
+            apply_ops(&server, &[RefragOp::Migrate { fragment: FragmentId(1), to: away }])
+                .expect("migrate away");
+            apply_ops(&server, &[RefragOp::Migrate { fragment: FragmentId(1), to: home }])
+                .expect("migrate home");
+            prop_assert_eq!(server.server_stats().placement_version, 2);
+            for query in queries() {
+                let a = server.query_once(query).expect("round-tripped server");
+                let b = pristine.query_once(query).expect("pristine server");
+                assert_executions_match(&a, &b, &format!("{algorithm} there-and-back {query}"));
+            }
+        }
+    }
+}

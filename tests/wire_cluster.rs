@@ -95,7 +95,8 @@ fn xmark_workload_matches_simulator_across_processes() {
                 .expect("deploy over processes");
 
             // Single queries from the paper's workload.
-            let queries: Vec<&str> = PAPER_QUERIES.iter().map(|(q, _)| *q).collect();
+            // The tuple is `(label, query)` — run the queries, not the labels.
+            let queries: Vec<&str> = PAPER_QUERIES.iter().map(|(_, q)| *q).collect();
             for query in &queries {
                 let context = format!("{algorithm} {query}");
                 let s = sim.query_once(query).expect("simulator query");
