@@ -1,0 +1,131 @@
+//! Experiment 11 (new in this repository, beyond the paper): shared
+//! compilation across a *set* of prepared queries.
+//!
+//! A workload of 120 overlapping widened-X queries (drawn from the shared
+//! grammar generator over a deliberately small vocabulary, plus textual
+//! duplicates) is prepared two ways on fresh servers:
+//!
+//! * **independent** — `120 × PaxServer::prepare`: every text is parsed,
+//!   normalized and compiled on its own (the whole-query `by_text` cache
+//!   only helps for byte-identical repeats);
+//! * **shared** — one `PaxServer::prepare_set`: textual duplicates of one
+//!   normal form share a single compiled query outright, and distinct
+//!   queries share compiled qualifier subtrees through the hash-consing
+//!   [`CompileCache`] pool.
+//!
+//! Before the timing runs, a report table prints the sharing directly:
+//! pool entries vs the sum of per-query arena sizes, and the subtree
+//! hit/miss counts of the set preparation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use paxml_core::{server::PaxServer, Algorithm};
+use paxml_distsim::Placement;
+use paxml_fragment::FragmentedTree;
+use paxml_xmark::{ft1, QueryGen, QueryGenConfig};
+use std::time::Duration;
+
+const SEED: u64 = 42;
+const SITES: usize = 4;
+const DISTINCT: usize = 40;
+const COPIES: usize = 3; // 40 distinct texts × 3 spellings = 120 queries
+
+/// The overlapping workload: a small vocabulary keeps the generated
+/// qualifier subtrees heavily shared, and each text is repeated with
+/// whitespace variants so whole-query sharing fires too.
+fn workload() -> Vec<String> {
+    let config = QueryGenConfig::with_vocabulary(
+        &["people", "person", "name"],
+        &["x", "10"],
+        &["id", "age"],
+    );
+    let mut gen = QueryGen::new(config, SEED);
+    let mut texts = Vec::with_capacity(DISTINCT * COPIES);
+    for _ in 0..DISTINCT {
+        let text = gen.query_text();
+        texts.push(text.clone());
+        texts.push(format!(" {text}"));
+        texts.push(format!("{text} "));
+    }
+    texts
+}
+
+fn server(fragmented: &FragmentedTree) -> PaxServer {
+    PaxServer::builder()
+        .algorithm(Algorithm::PaX2)
+        .placement(Placement::RoundRobin)
+        .sites(SITES)
+        .deploy(fragmented)
+        .expect("valid configuration")
+}
+
+/// Print what the set preparation shares, in the server's own meters.
+fn sharing_table(fragmented: &FragmentedTree, texts: &[String]) {
+    let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+
+    let independent = server(fragmented);
+    let t0 = std::time::Instant::now();
+    for text in &refs {
+        independent.prepare(text).unwrap();
+    }
+    let independent_elapsed = t0.elapsed();
+
+    let shared = server(fragmented);
+    let (queries, stats) = shared.prepare_set(&refs).unwrap();
+    assert_eq!(queries.len(), refs.len());
+
+    println!("\nexp11: {} texts, {} distinct normal forms", stats.queries, stats.distinct_queries);
+    println!("{:>24} {:>12} {:>12}", "", "independent", "prepare_set");
+    println!(
+        "{:>24} {:>12} {:>12}",
+        "arena entries", stats.arena_entries_independent, stats.arena_entries
+    );
+    println!("{:>24} {:>12?} {:>12?}", "prepare time", independent_elapsed, stats.elapsed);
+    println!(
+        "{:>24} {:>12} {:>12}",
+        "subtree misses / hits", stats.subtree_misses, stats.subtree_hits
+    );
+    assert!(
+        stats.arena_entries < stats.arena_entries_independent,
+        "the shared pool must be smaller than the sum of per-query arenas \
+         ({} vs {})",
+        stats.arena_entries,
+        stats.arena_entries_independent
+    );
+    println!();
+}
+
+fn prepare_set_vs_independent(c: &mut Criterion) {
+    let (_, fragmented) = ft1(3, 0.01, SEED);
+    let texts = workload();
+    sharing_table(&fragmented, &texts);
+    let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+
+    let mut group = c.benchmark_group("exp11_prepared_set");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    group.throughput(Throughput::Elements(refs.len() as u64));
+
+    group.bench_with_input(BenchmarkId::new("independent", refs.len()), &refs, |b, refs| {
+        b.iter(|| {
+            // A fresh server each round: by_text must start cold.
+            let s = server(&fragmented);
+            for text in refs.iter() {
+                s.prepare(text).unwrap();
+            }
+        });
+    });
+
+    group.bench_with_input(BenchmarkId::new("prepare-set", refs.len()), &refs, |b, refs| {
+        b.iter(|| {
+            let s = server(&fragmented);
+            s.prepare_set(refs).unwrap();
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, prepare_set_vs_independent);
+criterion_main!(benches);

@@ -62,7 +62,20 @@ fn legacy_eval_qentry(
                 .unwrap_or(false);
             BoolExpr::constant(holds)
         }
-        QEntry::Step { test, quals, next } => {
+        QEntry::AttrTest(a) => BoolExpr::constant(tree.attribute(v, a).is_some()),
+        QEntry::AttrValueTest(a, s) => BoolExpr::constant(tree.attribute(v, a) == Some(s.as_str())),
+        QEntry::AttrCmpTest(a, op, n) => {
+            let holds = tree
+                .attribute(v, a)
+                .and_then(|t| t.trim().parse::<f64>().ok())
+                .map(|value| op.apply(value, *n))
+                .unwrap_or(false);
+            BoolExpr::constant(holds)
+        }
+        // The legacy kernel predates positional predicates; this bench's
+        // query has none, so the positional filters are always absent.
+        QEntry::Step { test, quals, next, next_pos } => {
+            assert!(next_pos.is_none(), "the bench query carries no positional predicate");
             let mut conjuncts = vec![qv_so_far[*test].clone()];
             for q in quals {
                 conjuncts.push(qv_so_far[*q].clone());
@@ -74,10 +87,13 @@ fn legacy_eval_qentry(
             }
             BoolExpr::and_all(conjuncts)
         }
-        QEntry::Exists { axis, entry } => match axis {
-            QAxis::Child => child_any_qv[*entry].clone(),
-            QAxis::Descendant => child_any_qdv[*entry].clone(),
-        },
+        QEntry::Exists { axis, entry, pos } => {
+            assert!(pos.is_none(), "the bench query carries no positional predicate");
+            match axis {
+                QAxis::Child => child_any_qv[*entry].clone(),
+                QAxis::Descendant => child_any_qdv[*entry].clone(),
+            }
+        }
         QEntry::Not(e) => BoolExpr::not(qv_so_far[*e].clone()),
         QEntry::And(es) => BoolExpr::and_all(es.iter().map(|e| qv_so_far[*e].clone())),
         QEntry::Or(es) => BoolExpr::or_all(es.iter().map(|e| qv_so_far[*e].clone())),

@@ -70,7 +70,7 @@ use crate::protocol::{
     BatchCollectEntry, BatchCollectRequest, BatchCombinedEntry, BatchCombinedRequest,
     CombinedFragmentInput, InitVector,
 };
-use crate::prune::{analyze, AnnotationAnalysis};
+use crate::prune::{analyze_with_trie, AnnotationAnalysis};
 use crate::report::{Algorithm, AnswerItem, EvaluationReport, ExecMode, ExecReport, QueryOutcome};
 use crate::transport::ProtocolRequest;
 use crate::unify::{unify_qualifiers, unify_selection, DenseAssignment};
@@ -79,7 +79,7 @@ use crate::EvalOptions;
 use paxml_boolex::{BitVector, CompactVector};
 use paxml_distsim::{ClusterStats, SiteId};
 use paxml_fragment::FragmentId;
-use paxml_xpath::eval::{root_context_vector, QualVectors};
+use paxml_xpath::eval::{initial_vector, QualVectors};
 use paxml_xpath::{compile_text, CompiledQuery, XPathResult};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
@@ -248,11 +248,13 @@ pub(crate) fn run(
     let mut site_entries: BTreeMap<SiteId, Vec<BatchCombinedEntry>> = BTreeMap::new();
     for (query_index, query) in compiled.iter().enumerate() {
         let analysis = if options.use_annotations {
-            analyze(query, &ft, &deployment.root_label)
+            // One shared trie for the whole batch: the per-query analysis
+            // walks distinct label paths, not per-fragment chains.
+            analyze_with_trie(query, &topology.path_trie(&deployment.root_label))
         } else {
             AnnotationAnalysis::keep_all(&ft)
         };
-        let root_init: Vec<bool> = root_context_vector(query);
+        let root_init: Vec<bool> = initial_vector(query, &deployment.root_label);
         let mut finals_pending: Vec<FragmentId> = Vec::new();
         for (&site, fragments) in &topology.group_by_site(analysis.relevant.iter().copied()) {
             let mut inputs = BTreeMap::new();
@@ -320,7 +322,7 @@ pub(crate) fn run(
         if plan.finals_pending.is_empty() {
             continue;
         }
-        coordinator_ops_per_query[query_index] += (ft.len() * query.svect_len()) as u64;
+        coordinator_ops_per_query[query_index] += (ft.len() * query.init_len()) as u64;
         unify_selection(&ft, &virtuals[query_index], &plan.root_init, &mut assignment);
         for (&site, fragments) in &topology.group_by_site(plan.finals_pending.iter().copied()) {
             let mut per_fragment = BTreeMap::new();

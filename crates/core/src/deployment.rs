@@ -11,11 +11,12 @@
 //! processes) can stand in — the drivers only ever see the trait.
 
 use crate::error::PaxResult;
+use crate::prune::PathTrie;
 use crate::transport::{EpochRequest, ProtocolRequest, ProtocolResponse, Transport};
 use paxml_distsim::{Cluster, ClusterStats, Placement, SiteId, LATEST_EPOCH};
 use paxml_fragment::{FragmentId, FragmentTree, FragmentedTree};
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 use std::time::Duration;
 
 /// One immutable version of the deployment's *topology*: the fragment tree
@@ -29,7 +30,7 @@ use std::time::Duration;
 /// even while a re-fragmentation publishes epoch `N+1` with fragments moved
 /// elsewhere — the topology is versioned by exactly the same MVCC scheme as
 /// the fragment data itself.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Topology {
     /// The fragment tree `FT` with its annotations.
     pub fragment_tree: FragmentTree,
@@ -39,9 +40,43 @@ pub struct Topology {
     /// published re-fragmentation. Carried on `ExecReport` so callers can
     /// assert which topology served a read.
     pub version: u64,
+    /// The label-path trie over the fragment annotations, built lazily on
+    /// first use and then shared by every query evaluated under this
+    /// topology version (the annotation analysis is `O(|distinct paths|)`
+    /// through it instead of `O(Σ chain lengths)` per query).
+    path_trie: OnceLock<Arc<PathTrie>>,
+}
+
+impl PartialEq for Topology {
+    fn eq(&self, other: &Self) -> bool {
+        // The trie cache is derived state: whether it has been built yet
+        // must not affect topology identity.
+        self.fragment_tree == other.fragment_tree
+            && self.placement == other.placement
+            && self.version == other.version
+    }
 }
 
 impl Topology {
+    /// Assemble a topology version. The path trie starts unbuilt.
+    pub fn new(
+        fragment_tree: FragmentTree,
+        placement: BTreeMap<FragmentId, SiteId>,
+        version: u64,
+    ) -> Topology {
+        Topology { fragment_tree, placement, version, path_trie: OnceLock::new() }
+    }
+
+    /// The label-path trie for this topology version, built on first call
+    /// and cached: concurrent queries share one `Arc`. `root_label` is the
+    /// document root element's label (constant per deployment, so passing
+    /// it per call cannot change the cached value).
+    pub fn path_trie(&self, root_label: &str) -> Arc<PathTrie> {
+        Arc::clone(
+            self.path_trie
+                .get_or_init(|| Arc::new(PathTrie::build(&self.fragment_tree, root_label))),
+        )
+    }
     /// The site storing a fragment.
     ///
     /// # Panics
@@ -126,11 +161,7 @@ impl Deployment {
             .iter()
             .map(|&f| (f, transport.get().site_of(f)))
             .collect();
-        let initial = Arc::new(Topology {
-            fragment_tree: fragmented.fragment_tree.clone(),
-            placement,
-            version: 0,
-        });
+        let initial = Arc::new(Topology::new(fragmented.fragment_tree.clone(), placement, 0));
         Deployment {
             transport,
             fragment_tree: fragmented.fragment_tree.clone(),

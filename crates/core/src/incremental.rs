@@ -85,7 +85,7 @@ use crate::protocol::{
     CandidateAnswer, FragmentUpdate, InitVector, MsgDeltaAnswer, MsgDeltaVect, MsgUpdate,
     RecomputeInput,
 };
-use crate::prune::{analyze, AnnotationAnalysis};
+use crate::prune::{analyze_with_trie, AnnotationAnalysis, PathTrie};
 use crate::report::AnswerItem;
 use crate::transport::ProtocolRequest;
 use crate::unify::{resolve_summary, DenseAssignment};
@@ -94,7 +94,7 @@ use crate::EvalOptions;
 use paxml_boolex::{BitVector, CompactVector};
 use paxml_distsim::{ClusterStats, SiteId};
 use paxml_fragment::{FragmentId, FragmentResult, FragmentTree, UpdateOp};
-use paxml_xpath::eval::{root_context_vector, QualVectors};
+use paxml_xpath::eval::{initial_vector, QualVectors};
 use paxml_xpath::{compile_text, CompiledQuery, XPathResult};
 use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet};
@@ -237,13 +237,14 @@ impl QuerySession {
         options: &EvalOptions,
         ft: FragmentTree,
         root_label: &str,
+        trie: &PathTrie,
     ) -> QuerySession {
         let analysis = if options.use_annotations {
-            analyze(&query, &ft, root_label)
+            analyze_with_trie(&query, trie)
         } else {
             AnnotationAnalysis::keep_all(&ft)
         };
-        let root_init: Vec<bool> = root_context_vector(&query);
+        let root_init: Vec<bool> = initial_vector(&query, root_label);
         let fragments = ft.len();
         QuerySession {
             query,
@@ -500,12 +501,12 @@ impl QuerySession {
     pub(crate) fn retopologize(
         &mut self,
         ft: FragmentTree,
-        root_label: &str,
+        trie: &PathTrie,
         touched: &BTreeSet<FragmentId>,
     ) {
         self.ft = ft;
         self.analysis = if self.options.use_annotations {
-            analyze(&self.query, &self.ft, root_label)
+            analyze_with_trie(&self.query, trie)
         } else {
             AnnotationAnalysis::keep_all(&self.ft)
         };
@@ -575,7 +576,7 @@ impl QuerySession {
         initial: bool,
         unify_ops: &mut u64,
     ) -> (BTreeSet<FragmentId>, usize) {
-        let slen = self.query.svect_len();
+        let slen = self.query.init_len();
         let mut changed: BTreeSet<FragmentId> = BTreeSet::new();
         let mut reunified = 0usize;
         if initial {
@@ -633,9 +634,10 @@ impl IncrementalEngine {
         let query = compile_text(query_text)?;
         let ft = deployment.fragment_tree.clone();
         let root_label = deployment.root_label.clone();
+        let trie = deployment.current_topology().path_trie(&root_label);
         let mut engine = IncrementalEngine {
             deployment,
-            session: QuerySession::new(query, query_text, options, ft, &root_label),
+            session: QuerySession::new(query, query_text, options, ft, &root_label, &trie),
         };
         // The initial evaluation is "everything is dirty, nothing to apply":
         // one update round with empty op lists snapshots every relevant

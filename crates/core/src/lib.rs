@@ -68,13 +68,14 @@ pub use error::{PaxError, PaxResult};
 pub use incremental::IncrementalEngine;
 pub use incremental::IncrementalReport;
 pub use paxml_distsim::LATEST_EPOCH;
+pub use prune::{analyze_with_trie, AnnotationAnalysis, PathTrie};
 pub use report::{
     answer_item, Algorithm, AnswerItem, EvaluationReport, ExecMode, ExecReport, QueryOutcome,
     UpdateOutcome,
 };
 pub use server::{
-    PaxServer, PaxServerBuilder, PreparedQuery, RefragBase, RefragReport, ServerStats, SiteLoad,
-    TopologyChange,
+    PaxServer, PaxServerBuilder, PrepareSetStats, PreparedQuery, RefragBase, RefragReport,
+    ServerStats, SiteLoad, TopologyChange,
 };
 pub use transport::{
     dispatch, EpochRequest, ProtocolRequest, ProtocolResponse, Transport, VacuumOutcome,

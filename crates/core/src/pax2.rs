@@ -16,7 +16,7 @@
 use crate::deployment::{Deployment, ExecCtx};
 use crate::error::PaxResult;
 use crate::protocol::{CollectRequest, CombinedFragmentInput, CombinedRequest, InitVector};
-use crate::prune::{analyze, AnnotationAnalysis};
+use crate::prune::{analyze_with_trie, AnnotationAnalysis};
 use crate::report::{Algorithm, AnswerItem, EvaluationReport, ExecMode, ExecReport, QueryOutcome};
 use crate::transport::ProtocolRequest;
 use crate::unify::{unify_qualifiers, unify_selection, DenseAssignment};
@@ -24,7 +24,7 @@ use crate::vars::PaxVar;
 use crate::EvalOptions;
 use paxml_boolex::{BitVector, CompactVector};
 use paxml_fragment::FragmentId;
-use paxml_xpath::eval::{root_context_vector, QualVectors};
+use paxml_xpath::eval::{initial_vector, QualVectors};
 use paxml_xpath::{compile_text, CompiledQuery, XPathResult};
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -72,7 +72,7 @@ pub(crate) fn run(
     let slot = deployment.allocate_slots(1);
     let ft = topology.fragment_tree.clone();
     let analysis = if options.use_annotations {
-        analyze(query, &ft, &deployment.root_label)
+        analyze_with_trie(query, &topology.path_trie(&deployment.root_label))
     } else {
         AnnotationAnalysis::keep_all(&ft)
     };
@@ -80,7 +80,7 @@ pub(crate) fn run(
     let mut answers: Vec<AnswerItem> = Vec::new();
 
     // ------------------------------------------------------- Stage 1 (combined)
-    let root_init: Vec<bool> = root_context_vector(query);
+    let root_init: Vec<bool> = initial_vector(query, &deployment.root_label);
     let mut requests: BTreeMap<paxml_distsim::SiteId, ProtocolRequest> = BTreeMap::new();
     let mut finals_pending: Vec<FragmentId> = Vec::new();
     for (&site, fragments) in &topology.group_by_site(analysis.relevant.iter().copied()) {
@@ -137,7 +137,7 @@ pub(crate) fn run(
 
     // ----------------------------------------------------- Stage 2 (collection)
     if !finals_pending.is_empty() {
-        coordinator_ops += (ft.len() * query.svect_len()) as u64;
+        coordinator_ops += (ft.len() * query.init_len()) as u64;
         unify_selection(&ft, &virtuals, &root_init, &mut assignment);
         let mut requests: BTreeMap<paxml_distsim::SiteId, ProtocolRequest> = BTreeMap::new();
         for (&site, fragments) in &topology.group_by_site(finals_pending.iter().copied()) {

@@ -35,7 +35,7 @@
 //! let query = compile_text("client/broker/name").unwrap();
 //! let mut fragments = BTreeMap::new();
 //! for (id, init) in [
-//!     (FragmentId(0), InitVector::Exact(BitVector::all_false(query.svect_len()))),
+//!     (FragmentId(0), InitVector::Exact(BitVector::all_false(query.init_len()))),
 //!     (FragmentId(1), InitVector::Unknown),
 //! ] {
 //!     fragments.insert(id, CombinedFragmentInput {
@@ -238,7 +238,7 @@ pub fn selection_task(site: &mut SiteLocal, epoch: u64, request: SelRequest) -> 
     let mut answers = Vec::new();
     for (fragment_id, input) in &request.fragments {
         let Some(fragment) = site.fragment_at(*fragment_id, epoch) else { continue };
-        let init = build_init(*fragment_id, &input.init, query.svect_len());
+        let init = build_init(*fragment_id, &input.init, query.init_len());
         let context = if input.root_is_context { Some(fragment.tree.root()) } else { None };
         let qual_assignment = assignment_from_pairs(&input.qual_values);
         let stored_qv = site.take_scratch::<Vec<Option<CompactVector<PaxVar>>>>(&qv_key(
@@ -360,7 +360,7 @@ fn fused_pass_on_fragment(
 ) -> CombinedPassOutput<PaxVar> {
     let fid = fragment.id;
     let qlen = query.qvect_len();
-    let init = build_init(fid, init, query.svect_len());
+    let init = build_init(fid, init, query.init_len());
     let context = if root_is_context { Some(fragment.tree.root()) } else { None };
     let mut out = combined_pass::<PaxVar>(
         &fragment.tree,
@@ -1230,7 +1230,7 @@ mod tests {
         fragments.insert(
             FragmentId(0),
             CombinedFragmentInput {
-                init: InitVector::Exact(BitVector::all_false(query.svect_len())),
+                init: InitVector::Exact(BitVector::all_false(query.init_len())),
                 root_is_context: true,
                 collect_answers_now: false,
             },

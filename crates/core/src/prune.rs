@@ -20,6 +20,123 @@ use paxml_fragment::{FragmentId, FragmentTree};
 use paxml_xpath::{CompiledQuery, SelItem};
 use std::collections::{BTreeMap, BTreeSet};
 
+/// A trie over the label paths from the document root to every fragment
+/// root.
+///
+/// [`analyze`] recomputes the whole root-to-fragment label chain for every
+/// fragment, so fragmentations in which many fragments hang off the same
+/// ancestor path (the common case: cut every `client`, every `broker`, …)
+/// pay for each shared prefix once *per fragment*. The trie merges those
+/// chains: each distinct prefix is one node, each fragment is registered on
+/// the node its root path ends at, and [`analyze_with_trie`] walks the trie
+/// once, computing every prefix's `SV` vector exactly once — `O(|distinct
+/// paths| · |Q|)` instead of `O(Σ path lengths · |Q|)`.
+///
+/// The trie depends only on the fragment tree and the document root label,
+/// not on any query, so a deployment builds it once per topology version
+/// (see `Topology::path_trie`) and shares it across all prepared queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathTrie {
+    /// Nodes in creation order; node 0 is the document root element.
+    nodes: Vec<TrieNode>,
+}
+
+/// One distinct label path in a [`PathTrie`].
+#[derive(Debug, Clone, PartialEq)]
+struct TrieNode {
+    /// The element label this node adds to its parent's path.
+    label: String,
+    /// Child nodes, keyed by their label (deterministic iteration order).
+    children: BTreeMap<String, usize>,
+    /// Fragments whose root sits exactly at this label path.
+    fragments: Vec<FragmentId>,
+}
+
+impl PathTrie {
+    /// Build the trie for a fragment tree. `root_label` is the label of the
+    /// original tree's root element (the path of every fragment starts
+    /// there). The root fragment itself is not registered — it is always
+    /// relevant and handled specially by the analysis.
+    pub fn build(ft: &FragmentTree, root_label: &str) -> PathTrie {
+        let mut nodes = vec![TrieNode {
+            label: root_label.to_string(),
+            children: BTreeMap::new(),
+            fragments: Vec::new(),
+        }];
+        for &fragment in ft.ids() {
+            if fragment == FragmentId::ROOT {
+                continue;
+            }
+            let mut at = 0usize;
+            for step in ft.annotation_from_root(fragment).steps() {
+                at = match nodes[at].children.get(step) {
+                    Some(&next) => next,
+                    None => {
+                        let next = nodes.len();
+                        nodes.push(TrieNode {
+                            label: step.clone(),
+                            children: BTreeMap::new(),
+                            fragments: Vec::new(),
+                        });
+                        nodes[at].children.insert(step.clone(), next);
+                        next
+                    }
+                };
+            }
+            nodes[at].fragments.push(fragment);
+        }
+        PathTrie { nodes }
+    }
+
+    /// Number of distinct label paths (trie nodes), including the root.
+    /// `analyze_with_trie` computes exactly this many `SV` vectors, against
+    /// the sum of all chain lengths for [`analyze`].
+    pub fn distinct_paths(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// [`analyze`], but over a prebuilt [`PathTrie`]: produces the **identical**
+/// [`AnnotationAnalysis`] while computing each distinct root-to-fragment
+/// label prefix's `SV` vector only once.
+pub fn analyze_with_trie(query: &CompiledQuery, trie: &PathTrie) -> AnnotationAnalysis {
+    let mut relevant: BTreeSet<FragmentId> = BTreeSet::new();
+    let mut exact_init: BTreeMap<FragmentId, Vec<bool>> = BTreeMap::new();
+    let no_qualifiers = !query.has_qualifiers() && !query.has_positions();
+    let qualifier_positions = qualifier_positions(query);
+
+    relevant.insert(FragmentId::ROOT);
+    if no_qualifiers {
+        exact_init.insert(FragmentId::ROOT, document_vector(query));
+    }
+
+    // DFS carrying (trie node, depth, parent SV, cumulative qualifier-feed).
+    // `feeds` is true when *some* prefix on the path so far optimistically
+    // matches a qualifier-bearing selection prefix — fragments below such a
+    // node can influence that qualifier and must stay.
+    let mut stack: Vec<(usize, usize, Vec<bool>, bool)> =
+        vec![(0, 0, document_vector(query), false)];
+    while let Some((at, depth, parent_sv, parent_feeds)) = stack.pop() {
+        let node = &trie.nodes[at];
+        let sv = step_vector(query, &parent_sv, &node.label, depth);
+        let feeds = parent_feeds || qualifier_positions.iter().any(|&pos| sv[pos]);
+        let may_contain_answers = sv.iter().any(|&b| b);
+        if may_contain_answers || feeds {
+            for &fragment in &node.fragments {
+                relevant.insert(fragment);
+                if no_qualifiers {
+                    exact_init.insert(fragment, parent_sv.clone());
+                }
+            }
+        }
+        for &child in node.children.values() {
+            stack.push((child, depth + 1, sv.clone(), feeds));
+        }
+    }
+
+    AnnotationAnalysis { relevant, exact_init, can_skip_final_stage: no_qualifiers }
+}
+
 /// Outcome of analysing the annotated fragment tree for one query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AnnotationAnalysis {
@@ -52,19 +169,14 @@ impl AnnotationAnalysis {
 pub fn analyze(query: &CompiledQuery, ft: &FragmentTree, root_label: &str) -> AnnotationAnalysis {
     let mut relevant: BTreeSet<FragmentId> = BTreeSet::new();
     let mut exact_init: BTreeMap<FragmentId, Vec<bool>> = BTreeMap::new();
-    let no_qualifiers = !query.has_qualifiers();
+    // Exact init vectors can only be derived from the annotations when the
+    // query has neither qualifiers nor positional predicates: positional
+    // facts depend on actual sibling order, which labels alone cannot give.
+    // (Relevance pruning stays available for positional queries — ignoring
+    // the positional constraints is optimistic, hence sound.)
+    let no_qualifiers = !query.has_qualifiers() && !query.has_positions();
 
-    // Selection items that carry qualifiers: position j means the qualifier
-    // applies to nodes matched by prefix j (SVect entry j).
-    let qualifier_positions: Vec<usize> = query
-        .sel_items
-        .iter()
-        .enumerate()
-        .filter_map(|(idx, item)| match item {
-            SelItem::SelfQualifier(_) => Some(idx), // applies to prefix `idx` (entry idx)
-            _ => None,
-        })
-        .collect();
+    let qualifier_positions = qualifier_positions(query);
 
     relevant.insert(FragmentId::ROOT);
     if no_qualifiers {
@@ -128,28 +240,48 @@ fn document_vector(query: &CompiledQuery) -> Vec<bool> {
     sv
 }
 
+/// Selection items that carry qualifiers: position j means the qualifier
+/// applies to nodes matched by prefix j (SVect entry j).
+fn qualifier_positions(query: &CompiledQuery) -> Vec<usize> {
+    query
+        .sel_items
+        .iter()
+        .enumerate()
+        .filter_map(|(idx, item)| match item {
+            SelItem::SelfQualifier(_) => Some(idx), // applies to prefix `idx` (entry idx)
+            _ => None,
+        })
+        .collect()
+}
+
+/// The optimistic `SV` vector of an element with `label` at `depth` below
+/// the document node, given its parent's vector. Qualifier items are assumed
+/// true (we cannot evaluate them from labels alone), which is exactly what
+/// keeps the pruning sound; when the query has no qualifiers the vector is
+/// exact.
+fn step_vector(query: &CompiledQuery, parent: &[bool], label: &str, depth: usize) -> Vec<bool> {
+    let mut sv = vec![false; query.svect_len()];
+    // Entry 0: the context marker — true at the root element for relative
+    // queries.
+    sv[0] = !query.absolute && depth == 0;
+    for (idx, item) in query.sel_items.iter().enumerate() {
+        let i = idx + 1;
+        sv[i] = match item {
+            SelItem::Label(l) => parent[i - 1] && l == label,
+            SelItem::Wildcard => parent[i - 1],
+            SelItem::DescendantOrSelf => parent[i] || sv[i - 1],
+            SelItem::SelfQualifier(_) => sv[i - 1], // optimistic
+        };
+    }
+    sv
+}
+
 /// Optimistic `SV` vectors along a label chain starting at the root element.
-/// Qualifier items are assumed true (we cannot evaluate them from labels
-/// alone), which is exactly what keeps the pruning sound; when the query has
-/// no qualifiers the vectors are exact.
 fn chain_vectors(query: &CompiledQuery, chain: &[String]) -> Vec<Vec<bool>> {
-    let slen = query.svect_len();
     let mut vectors: Vec<Vec<bool>> = Vec::with_capacity(chain.len());
     let mut parent = document_vector(query);
     for (depth, label) in chain.iter().enumerate() {
-        let mut sv = vec![false; slen];
-        // Entry 0: the context marker — true at the root element for
-        // relative queries.
-        sv[0] = !query.absolute && depth == 0;
-        for (idx, item) in query.sel_items.iter().enumerate() {
-            let i = idx + 1;
-            sv[i] = match item {
-                SelItem::Label(l) => parent[i - 1] && l == label,
-                SelItem::Wildcard => parent[i - 1],
-                SelItem::DescendantOrSelf => parent[i] || sv[i - 1],
-                SelItem::SelfQualifier(_) => sv[i - 1], // optimistic
-            };
-        }
+        let sv = step_vector(query, &parent, label, depth);
         vectors.push(sv.clone());
         parent = sv;
     }
@@ -358,6 +490,70 @@ mod tests {
                 .collect();
             assert_eq!(visited, vec![d.site_of(FragmentId::ROOT)]);
         }
+    }
+
+    #[test]
+    fn trie_analysis_is_identical_to_the_chain_analysis() {
+        // The trie is a pure strength reduction: for *every* query and every
+        // fragment tree the two analyses must agree exactly. Random fragment
+        // trees (deterministic LCG) × a battery that covers qualifiers,
+        // `//`, wildcards, absolute paths, attributes and positions.
+        let labels = ["client", "broker", "market", "name", "stock"];
+        let queries = [
+            "client/name",
+            "client/broker/name",
+            "//name",
+            "*/*/name",
+            "/clientele/client/broker",
+            "client[broker/market]/name",
+            "client[name/text()='Anna']/broker",
+            "//broker[not(market)]/name",
+            "client[@vip]/name",
+            "client/broker[2]/market",
+            "client[1]/name[last()]",
+            "//market[@cap > 100]/stock",
+        ];
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as usize
+        };
+        for _ in 0..25 {
+            let mut ft = FragmentTree::new();
+            let fragment_count = 2 + next() % 12;
+            for f in 1..fragment_count {
+                let parent = FragmentId(next() % f);
+                let depth = 1 + next() % 3;
+                let path: Vec<&str> = (0..depth).map(|_| labels[next() % labels.len()]).collect();
+                ft.add_child(parent, FragmentId(f), LabelPath::parse(&path.join("/")));
+            }
+            let trie = PathTrie::build(&ft, "clientele");
+            for query_text in queries {
+                let q = compile_text(query_text).unwrap();
+                let plain = analyze(&q, &ft, "clientele");
+                let via_trie = analyze_with_trie(&q, &trie);
+                assert_eq!(plain, via_trie, "disagreement on {query_text} over {ft:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn trie_merges_shared_prefixes() {
+        // Ten sibling fragments all reachable via client/broker: the chain
+        // analysis walks 3 labels per fragment (30 vector computations), the
+        // trie holds root + client + broker + one leaf each.
+        let mut ft = FragmentTree::new();
+        for f in 1..=10 {
+            ft.add_child(
+                FragmentId(0),
+                FragmentId(f),
+                LabelPath::parse(&format!("client/broker/market{f}")),
+            );
+        }
+        let trie = PathTrie::build(&ft, "clientele");
+        assert_eq!(trie.distinct_paths(), 1 + 2 + 10);
+        let q = compile_text("client/broker/name").unwrap();
+        assert_eq!(analyze_with_trie(&q, &trie), analyze(&q, &ft, "clientele"));
     }
 
     #[test]

@@ -159,7 +159,7 @@ use crate::EvalOptions;
 use crate::{batch, naive, pax2, pax3};
 use paxml_distsim::{ClusterStats, Placement, SiteId};
 use paxml_fragment::{Fragment, FragmentId, FragmentTree, FragmentedTree, UpdateOp};
-use paxml_xpath::{compile_text, CompiledQuery};
+use paxml_xpath::{compile_text, CompileCache, CompiledQuery};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock, Weak};
@@ -187,6 +187,30 @@ impl PreparedQuery {
     pub fn compiled(&self) -> &CompiledQuery {
         &self.compiled
     }
+}
+
+/// How much work [`PaxServer::prepare_set`] shared across its queries,
+/// measured against compiling every text independently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrepareSetStats {
+    /// Number of texts in the set (including duplicates).
+    pub queries: usize,
+    /// Number of distinct normal forms among them — only these were
+    /// actually compiled (or found already compiled).
+    pub distinct_queries: usize,
+    /// Qualifier sub-trees served from the shared pool during this set.
+    pub subtree_hits: u64,
+    /// Qualifier sub-trees compiled fresh into the pool during this set.
+    pub subtree_misses: u64,
+    /// Total `QVect` entries in the server's shared compilation pool after
+    /// the set was prepared.
+    pub arena_entries: usize,
+    /// Total `QVect` entries the set's texts would occupy if each were
+    /// compiled independently (the sum of their `QVect` lengths — cached
+    /// compilation produces identical queries, so this is exact).
+    pub arena_entries_independent: usize,
+    /// Wall-clock time for the whole set, parse to table insertion.
+    pub elapsed: Duration,
 }
 
 /// Builder for a [`PaxServer`]. Obtain with [`PaxServer::builder`],
@@ -363,11 +387,21 @@ impl PaxServerBuilder {
     }
 }
 
-/// The prepared-query table: compilations cached by query text.
+/// The prepared-query table: compilations cached by query text, plus the
+/// two sharing layers that make overlapping prepared queries cheap:
+///
+/// * `by_norm` — whole-query sharing: two texts with the same normal form
+///   (e.g. `a[b][2]` and `a[2][b]`) share one compiled `Arc`;
+/// * `compile_cache` — sub-query sharing: distinct queries whose qualifier
+///   sub-trees overlap (e.g. a hundred variants of
+///   `person[address/country/text()='US']/…`) compile each shared sub-tree
+///   once into a common pool and splice it thereafter.
 #[derive(Default)]
 struct PreparedTable {
     queries: Vec<PreparedQuery>,
     by_text: BTreeMap<String, usize>,
+    by_norm: BTreeMap<String, usize>,
+    compile_cache: CompileCache,
 }
 
 /// One immutable deployment epoch: the unit executions pin on entry.
@@ -695,9 +729,10 @@ impl PaxServer {
     }
 
     /// Compile and normalize `text` once, caching by query text: preparing
-    /// the same text again returns the cached compilation. Exclusive only
-    /// against other `prepare` calls — in-flight executions are not
-    /// blocked.
+    /// the same text again returns the cached compilation, and a text whose
+    /// *normal form* matches an earlier prepared query shares that query's
+    /// compiled `Arc`. Exclusive only against other `prepare` calls —
+    /// in-flight executions are not blocked.
     pub fn prepare(&self, text: &str) -> PaxResult<PreparedQuery> {
         {
             let table = self.prepared.read().expect("the prepared-query lock is never poisoned");
@@ -705,19 +740,81 @@ impl PaxServer {
                 return Ok(table.queries[id].clone());
             }
         }
-        // Compile outside any lock — a slow compilation must not stall
-        // resolve() calls of concurrent executions.
-        let compiled = compile_text(text)?;
+        // Parse and normalize outside any lock — a slow parse must not
+        // stall resolve() calls of concurrent executions. Only the (cheap,
+        // cache-assisted) compilation step runs under the write lock, so it
+        // can consult the server's shared sub-tree pool.
+        let norm = paxml_xpath::normalize(&paxml_xpath::parse(text)?);
         let mut table = self.prepared.write().expect("the prepared-query lock is never poisoned");
+        Self::prepare_normalized(&mut table, text, &norm)
+    }
+
+    /// Table-level prepare of one text whose normal form is already in
+    /// hand. Shares whole compilations via `by_norm` and qualifier
+    /// sub-trees via the table's `compile_cache`.
+    fn prepare_normalized(
+        table: &mut PreparedTable,
+        text: &str,
+        norm: &paxml_xpath::NormQuery,
+    ) -> PaxResult<PreparedQuery> {
         if let Some(&id) = table.by_text.get(text) {
             // A racing prepare of the same text won; use its entry.
             return Ok(table.queries[id].clone());
         }
+        let norm_key = format!("{norm:?}");
+        let compiled = match table.by_norm.get(&norm_key) {
+            Some(&id) => Arc::clone(&table.queries[id].compiled),
+            None => Arc::new(paxml_xpath::compile_with_cache(norm, &mut table.compile_cache)?),
+        };
         let id = table.queries.len();
-        let query = PreparedQuery { id, text: Arc::from(text), compiled: Arc::new(compiled) };
+        let query = PreparedQuery { id, text: Arc::from(text), compiled };
         table.queries.push(query.clone());
         table.by_text.insert(text.to_string(), id);
+        table.by_norm.entry(norm_key).or_insert(id);
         Ok(query)
+    }
+
+    /// Prepare a whole set of queries in one call, maximising sharing
+    /// across them: texts with equal normal forms share one compiled query,
+    /// and distinct queries with overlapping qualifier sub-trees share
+    /// those sub-trees through the server's compilation pool. Returns the
+    /// prepared queries in input order plus a [`PrepareSetStats`] report
+    /// quantifying the sharing against independent compilation.
+    ///
+    /// The whole set is admitted atomically under one table lock; any parse
+    /// or compile error rejects the entire set without side effects on the
+    /// table (beyond sub-trees already pooled, which are harmless).
+    pub fn prepare_set(&self, texts: &[&str]) -> PaxResult<(Vec<PreparedQuery>, PrepareSetStats)> {
+        let start = Instant::now();
+        // Parse and normalize everything outside the lock; fail fast before
+        // touching the table.
+        let mut norms = Vec::with_capacity(texts.len());
+        for text in texts {
+            norms.push(paxml_xpath::normalize(&paxml_xpath::parse(text)?));
+        }
+        let mut table = self.prepared.write().expect("the prepared-query lock is never poisoned");
+        let (hits_before, misses_before) = (table.compile_cache.hits, table.compile_cache.misses);
+        let mut queries = Vec::with_capacity(texts.len());
+        let mut distinct: BTreeSet<String> = BTreeSet::new();
+        let mut arena_entries_independent = 0usize;
+        for (text, norm) in texts.iter().zip(&norms) {
+            let query = Self::prepare_normalized(&mut table, text, norm)?;
+            // What compiling this text on its own would have cost: its full
+            // QVect (the cached output is identical to an uncached compile).
+            arena_entries_independent += query.compiled.qvect_len();
+            distinct.insert(format!("{norm:?}"));
+            queries.push(query);
+        }
+        let stats = PrepareSetStats {
+            queries: texts.len(),
+            distinct_queries: distinct.len(),
+            subtree_hits: table.compile_cache.hits - hits_before,
+            subtree_misses: table.compile_cache.misses - misses_before,
+            arena_entries: table.compile_cache.pool_entries(),
+            arena_entries_independent,
+            elapsed: start.elapsed(),
+        };
+        Ok((queries, stats))
     }
 
     /// Check a prepared query belongs to this server and return its id.
@@ -1140,11 +1237,11 @@ impl PaxServer {
         }
 
         // ---------------- carry the sessions into the new epoch (no visits)
-        let next_topology = Arc::new(Topology {
-            fragment_tree: change.fragment_tree,
-            placement: change.placement,
-            version: base_topology.version + 1,
-        });
+        let next_topology = Arc::new(Topology::new(
+            change.fragment_tree,
+            change.placement,
+            base_topology.version + 1,
+        ));
         let base_sessions: Vec<(usize, Arc<Mutex<QuerySession>>)> = {
             let map = base.sessions.lock().expect("the session-table lock is never poisoned");
             map.iter().map(|(id, arc)| (*id, Arc::clone(arc))).collect()
@@ -1159,7 +1256,7 @@ impl PaxServer {
                 let mut session = session;
                 session.retopologize(
                     next_topology.fragment_tree.clone(),
-                    &self.deployment.root_label,
+                    &next_topology.path_trie(&self.deployment.root_label),
                     &change.touched,
                 );
                 retopologized_sessions += 1;
@@ -1177,6 +1274,7 @@ impl PaxServer {
                         session.options(),
                         next_topology.fragment_tree.clone(),
                         &self.deployment.root_label,
+                        &next_topology.path_trie(&self.deployment.root_label),
                     ),
                 );
             }
@@ -1333,6 +1431,7 @@ impl PaxServer {
                     &self.options,
                     topology.fragment_tree.clone(),
                     &self.deployment.root_label,
+                    &topology.path_trie(&self.deployment.root_label),
                 )))
             }))
         };
@@ -1763,6 +1862,48 @@ mod tests {
             server.execute(&q).unwrap().answer_texts(),
             vec!["E*trade".to_string(), "RBC".to_string()]
         );
+    }
+
+    #[test]
+    fn prepare_set_shares_whole_queries_and_subtrees() {
+        let tree = clientele();
+        let fragmented = strategy::cut_at_labels(&tree, &["broker"]).unwrap();
+        let server = server_for(Algorithm::PaX2, &fragmented);
+
+        // Three texts, two normal forms ([a][b] commutes with [b][a] only
+        // in compiled form, but a[b][c] and a[c][b] normalize differently;
+        // use literal duplicates plus a shared qualifier subtree instead).
+        let texts = [
+            "client[country/text()='US']/broker/name",
+            "client[country/text()='US']/broker/name",
+            "client[country/text()='US']/name",
+            "client[country/text()='Canada']/broker/name",
+        ];
+        let (queries, stats) = server.prepare_set(&texts).unwrap();
+        assert_eq!(queries.len(), 4);
+        assert_eq!(stats.queries, 4);
+        assert_eq!(stats.distinct_queries, 3);
+        // Duplicate texts share the identical compiled allocation.
+        assert!(Arc::ptr_eq(&queries[0].compiled, &queries[1].compiled));
+        // The country/text()='US' subtree is compiled once and spliced into
+        // the second distinct query from the pool.
+        assert!(stats.subtree_hits >= 1, "expected pool hits, got {stats:?}");
+        assert!(
+            stats.arena_entries < stats.arena_entries_independent,
+            "sharing must shrink the pool: {stats:?}"
+        );
+
+        // Set-prepared queries execute exactly like singly-prepared ones.
+        let expected = centralized::evaluate(&tree, texts[0]).unwrap();
+        let report = server.execute(&queries[0]).unwrap();
+        assert_eq!(report.answer_origins(), expected.answers);
+
+        // A later single prepare of an equivalent text reuses the compiled
+        // Arc through the normal-form index.
+        let again = server
+            .prepare("client[country/text()='US']/broker/name ")
+            .unwrap_or_else(|_| server.prepare("client[country/text()='US']/broker/name").unwrap());
+        assert!(Arc::ptr_eq(&again.compiled, &queries[0].compiled));
     }
 
     #[test]

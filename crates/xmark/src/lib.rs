@@ -21,10 +21,12 @@
 
 mod clientele;
 mod generator;
+mod querygen;
 mod topology;
 mod updates;
 
 pub use clientele::{clientele_document, clientele_fragmentation, CLIENTELE_QUERY_EXAMPLES};
 pub use generator::{generate, XmarkConfig, XmarkGenerator, NODES_PER_VMB};
+pub use querygen::{QueryGen, QueryGenConfig};
 pub use topology::{ft1, ft2, Ft2Layout, PAPER_QUERIES};
 pub use updates::{StreamEvent, UpdateWorkload};

@@ -98,6 +98,26 @@ impl XmlTree {
         self.node(id).kind.is_virtual()
     }
 
+    /// The label a node presents to a path step: its element label, or — for
+    /// a virtual placeholder — the recorded label of the missing fragment's
+    /// root. Text nodes (and virtual nodes with no recorded label) have none.
+    #[inline]
+    pub fn step_label(&self, id: NodeId) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Element { label, .. } => Some(label),
+            NodeKind::Virtual { root_label, .. } => root_label.as_deref(),
+            NodeKind::Text { .. } => None,
+        }
+    }
+
+    /// Does the node occupy an element slot among its siblings — a real
+    /// element or a virtual placeholder standing in for one? Positional
+    /// predicates count exactly these nodes.
+    #[inline]
+    pub fn is_element_like(&self, id: NodeId) -> bool {
+        matches!(&self.node(id).kind, NodeKind::Element { .. } | NodeKind::Virtual { .. })
+    }
+
     /// Is the node an element?
     #[inline]
     pub fn is_element(&self, id: NodeId) -> bool {

@@ -77,6 +77,29 @@ pub enum PathExpr {
     Qualified(Box<PathExpr>, Box<Qualifier>),
 }
 
+/// A positional predicate `[n]` / `[last()]` — a widening beyond the
+/// paper's fragment X. `t[k]` holds at a node `v` iff `v` is the `k`-th
+/// (1-based) child among its parent's children matching the step's node test
+/// `t`; `[last()]` selects the last such child. Counting is by node test
+/// only — independent of the step's other predicates and of predicate order
+/// (a documented deviation from full XPath).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PosPred {
+    /// `[n]` — the n-th matching sibling (1-based).
+    Index(u32),
+    /// `[last()]` — the last matching sibling.
+    Last,
+}
+
+impl fmt::Display for PosPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PosPred::Index(n) => write!(f, "{n}"),
+            PosPred::Last => write!(f, "last()"),
+        }
+    }
+}
+
 /// A qualifier `q` of the grammar.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Qualifier {
@@ -87,6 +110,17 @@ pub enum Qualifier {
     TextEquals(PathExpr, String),
     /// `[Q/val() op num]`.
     ValCompare(PathExpr, CmpOp, f64),
+    /// `[Q/@attr]` — some node reachable via `Q` carries the attribute
+    /// (`[@attr]` when `Q` is `ε`). A widening beyond the paper's X.
+    HasAttr(PathExpr, String),
+    /// `[Q/@attr = "str"]` — some node reachable via `Q` carries the
+    /// attribute with exactly this string value.
+    AttrEquals(PathExpr, String, String),
+    /// `[Q/@attr op num]` — some node reachable via `Q` carries the
+    /// attribute with a numeric value satisfying the comparison.
+    AttrCompare(PathExpr, String, CmpOp, f64),
+    /// A positional predicate on the step it qualifies (see [`PosPred`]).
+    Position(PosPred),
     /// `¬ q` (written `not(q)` or `!q` in the concrete syntax).
     Not(Box<Qualifier>),
     /// `q ∧ q` (written `and` or `&&`).
@@ -186,6 +220,10 @@ impl Qualifier {
             Qualifier::Path(p) => 1 + p.size(),
             Qualifier::TextEquals(p, _) => 2 + p.size(),
             Qualifier::ValCompare(p, _, _) => 2 + p.size(),
+            Qualifier::HasAttr(p, _) => 2 + p.size(),
+            Qualifier::AttrEquals(p, _, _) => 2 + p.size(),
+            Qualifier::AttrCompare(p, _, _, _) => 2 + p.size(),
+            Qualifier::Position(_) => 1,
             Qualifier::Not(q) => 1 + q.size(),
             Qualifier::And(a, b) | Qualifier::Or(a, b) => 1 + a.size() + b.size(),
         }
@@ -195,6 +233,10 @@ impl Qualifier {
         match self {
             Qualifier::Path(p) => p.has_descendant_axis(),
             Qualifier::TextEquals(p, _) | Qualifier::ValCompare(p, _, _) => p.has_descendant_axis(),
+            Qualifier::HasAttr(p, _)
+            | Qualifier::AttrEquals(p, _, _)
+            | Qualifier::AttrCompare(p, _, _, _) => p.has_descendant_axis(),
+            Qualifier::Position(_) => false,
             Qualifier::Not(q) => q.has_descendant_axis(),
             Qualifier::And(a, b) | Qualifier::Or(a, b) => {
                 a.has_descendant_axis() || b.has_descendant_axis()
@@ -253,6 +295,19 @@ impl fmt::Display for Qualifier {
                 PathExpr::Empty => write!(f, "val() {op} {n}"),
                 _ => write!(f, "{p}/val() {op} {n}"),
             },
+            Qualifier::HasAttr(p, a) => match p {
+                PathExpr::Empty => write!(f, "@{a}"),
+                _ => write!(f, "{p}/@{a}"),
+            },
+            Qualifier::AttrEquals(p, a, s) => match p {
+                PathExpr::Empty => write!(f, "@{a} = \"{s}\""),
+                _ => write!(f, "{p}/@{a} = \"{s}\""),
+            },
+            Qualifier::AttrCompare(p, a, op, n) => match p {
+                PathExpr::Empty => write!(f, "@{a} {op} {n}"),
+                _ => write!(f, "{p}/@{a} {op} {n}"),
+            },
+            Qualifier::Position(p) => write!(f, "{p}"),
             Qualifier::Not(q) => write!(f, "not({q})"),
             Qualifier::And(a, b) => write!(f, "({a} and {b})"),
             Qualifier::Or(a, b) => write!(f, "({a} or {b})"),

@@ -14,7 +14,7 @@
 
 use crate::compile::{compile, CompiledQuery, QEntryId};
 use crate::error::XPathResult;
-use crate::eval::{evaluation_context, qualifier_pass, root_context_vector, selection_pass};
+use crate::eval::{evaluation_context, initial_vector, qualifier_pass, selection_pass};
 use crate::normalize::normalize;
 use crate::parse;
 use crate::Query;
@@ -53,8 +53,11 @@ pub fn evaluate_compiled(tree: &XmlTree, query: &CompiledQuery) -> CentralizedRe
         None
     };
 
-    // Pass 2 — selection path.
-    let init: CompactVector<NoVar> = CompactVector::from_bools(&root_context_vector(query));
+    // Pass 2 — selection path. The init vector carries the root's own
+    // positional facts after the SVect entries (empty tail for queries
+    // without positional predicates).
+    let root_label = tree.label(tree.root()).unwrap_or_default().to_string();
+    let init: CompactVector<NoVar> = CompactVector::from_bools(&initial_vector(query, &root_label));
     let context = evaluation_context(query, tree.root());
     let mut qual_value = |v: NodeId, e: QEntryId| -> BoolExpr<NoVar> {
         match &qual {

@@ -44,6 +44,41 @@ pub enum XPathError {
         /// Byte offset of the offending `text()`/`val()`.
         offset: usize,
     },
+    /// An `@` not followed by an attribute name (an unterminated attribute
+    /// step such as `a[@]` or `person/@`).
+    ExpectedAttributeName {
+        /// Byte offset of the `@`.
+        offset: usize,
+    },
+    /// An attribute step `@attr` followed by further steps — attribute steps
+    /// are only allowed in the final position of a path.
+    AttributeStepNotLast {
+        /// Byte offset of the axis after the attribute step.
+        offset: usize,
+    },
+    /// A positional predicate whose operand is not a positive integer
+    /// (`[0]`, `[2.5]`, `[-1]`).
+    InvalidPosition {
+        /// Byte offset of the offending number.
+        offset: usize,
+        /// The number as written.
+        text: String,
+    },
+    /// An explicit `axis::` prefix naming an axis the fragment does not
+    /// support (only `child`, `descendant-or-self` and `attribute` are).
+    UnknownAxis {
+        /// Byte offset of the axis name.
+        offset: usize,
+        /// The axis as written.
+        axis: String,
+    },
+    /// A positional predicate with no step to count against (e.g. `.[2]` or
+    /// `a//.[2]` — there is no preceding label or wildcard step).
+    PositionWithoutStep,
+    /// A positional predicate on a descendant-axis step inside a qualifier
+    /// path (`[.//b[2]]`) — counting among `//`-reachable nodes is not
+    /// supported.
+    PositionOnDescendantStep,
 }
 
 impl fmt::Display for XPathError {
@@ -66,6 +101,27 @@ impl fmt::Display for XPathError {
                 f,
                 "text()/val() at offset {offset} is only allowed inside a qualifier in the class X"
             ),
+            XPathError::ExpectedAttributeName { offset } => {
+                write!(
+                    f,
+                    "unterminated attribute step at offset {offset}: expected a name after '@'"
+                )
+            }
+            XPathError::AttributeStepNotLast { offset } => {
+                write!(f, "attribute step at offset {offset} must be the last step of its path")
+            }
+            XPathError::InvalidPosition { offset, text } => {
+                write!(f, "non-numeric position {text:?} at offset {offset}: expected a positive integer or last()")
+            }
+            XPathError::UnknownAxis { offset, axis } => {
+                write!(f, "bad axis {axis:?} at offset {offset}: expected child, descendant-or-self or attribute")
+            }
+            XPathError::PositionWithoutStep => {
+                write!(f, "positional predicate without a preceding label or wildcard step")
+            }
+            XPathError::PositionOnDescendantStep => {
+                write!(f, "positional predicate on a descendant-axis step inside a qualifier is not supported")
+            }
         }
     }
 }

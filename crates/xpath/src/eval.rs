@@ -33,7 +33,7 @@
 //! self-contained [`BoolExpr`] trees otherwise), which is also the wire
 //! format: a variable-free leaf fragment ships `⌈len/64⌉` words per vector.
 
-use crate::compile::{CompiledQuery, QAxis, QEntry, QEntryId, SelItem};
+use crate::compile::{CompiledQuery, PosFilter, QAxis, QEntry, QEntryId, SelItem};
 use paxml_boolex::{BitVector, BoolExpr, CompactVector, ExprId, FormulaArena};
 use paxml_xml::{NodeId, XmlTree};
 use serde::{Deserialize, Serialize};
@@ -122,6 +122,68 @@ impl AVec {
             }
         }
     }
+
+    /// A copy of the vector with constant entries (positional facts)
+    /// appended at the end.
+    fn extended_with(&self, facts: &[bool]) -> AVec {
+        if facts.is_empty() {
+            return self.clone();
+        }
+        match self {
+            AVec::Bits(b) => {
+                let bools: Vec<bool> = b.iter().chain(facts.iter().copied()).collect();
+                AVec::Bits(BitVector::from_bools(&bools))
+            }
+            AVec::Ids(v) => {
+                let mut ids = v.clone();
+                ids.extend(facts.iter().map(|&f| ExprId::of_const(f)));
+                AVec::Ids(ids)
+            }
+        }
+    }
+}
+
+/// For each child, whether it sits at an accepted position among the
+/// test-matching children of this parent. Children that do not match the
+/// filter's node test (text nodes in particular) are always `false`; virtual
+/// placeholders count through their recorded root label.
+pub(crate) fn position_accept_mask(
+    tree: &XmlTree,
+    children: &[NodeId],
+    filter: &PosFilter,
+) -> Vec<bool> {
+    let total = if filter.needs_total() {
+        children.iter().filter(|c| filter.test.matches(tree.step_label(**c))).count() as u32
+    } else {
+        0
+    };
+    let mut index = 0u32;
+    children
+        .iter()
+        .map(|c| {
+            if filter.test.matches(tree.step_label(*c)) {
+                index += 1;
+                filter.accepts(index, total)
+            } else {
+                false
+            }
+        })
+        .collect()
+}
+
+/// Positional-fact rows for every child of a node: `rows[k][j]` is fact `j`
+/// of `query.sel_positions` at the `k`-th child. Empty when the query has no
+/// positional predicates.
+fn child_fact_rows(tree: &XmlTree, children: &[NodeId], query: &CompiledQuery) -> Vec<Vec<bool>> {
+    if query.sel_positions.is_empty() {
+        return Vec::new();
+    }
+    let masks: Vec<Vec<bool>> = query
+        .sel_positions
+        .iter()
+        .map(|sp| position_accept_mask(tree, children, &sp.filter))
+        .collect();
+    (0..children.len()).map(|k| masks.iter().map(|m| m[k]).collect()).collect()
 }
 
 /// The pair of vectors a fragment publishes for its root and that a parent
@@ -219,7 +281,16 @@ pub fn qualifier_pass<V: VarLike>(
 
         let mut qv = AVec::all_false(qlen);
         for (i, entry) in query.qvect.iter().enumerate() {
-            let value = eval_qentry(&mut arena, tree, v, entry, &qv, &child_any_qv, &child_any_qdv);
+            let value = eval_qentry(
+                &mut arena,
+                tree,
+                v,
+                entry,
+                &qv,
+                &child_any_qv,
+                &child_any_qdv,
+                &node_qv,
+            );
             qv.set(i, value);
             ops += 1;
         }
@@ -244,6 +315,12 @@ pub fn qualifier_pass<V: VarLike>(
 /// Evaluate one `QVect` entry at a node, given the already-computed earlier
 /// entries at the same node (`qv_so_far`) and the folded child vectors. On
 /// the constant path this is pure integer work — no allocation at all.
+///
+/// `node_qv` gives access to the individual children's `QV` vectors; it is
+/// only consulted for positionally-filtered child steps, where the plain
+/// disjunctive fold is not enough (only the children at accepted sibling
+/// positions may witness the step).
+#[allow(clippy::too_many_arguments)]
 fn eval_qentry<V: VarLike>(
     arena: &mut FormulaArena<V>,
     tree: &XmlTree,
@@ -252,7 +329,17 @@ fn eval_qentry<V: VarLike>(
     qv_so_far: &AVec,
     child_any_qv: &AVec,
     child_any_qdv: &AVec,
+    node_qv: &[Option<AVec>],
 ) -> ExprId {
+    // Counted child-fold: OR of `entry` over the children sitting at
+    // positions accepted by `filter`.
+    let counted_fold = |arena: &mut FormulaArena<V>, e: QEntryId, filter: &PosFilter| {
+        let children: Vec<NodeId> = tree.children(v).collect();
+        let mask = position_accept_mask(tree, &children, filter);
+        arena.or_all(children.iter().zip(mask).filter(|(_, ok)| *ok).map(|(c, _)| {
+            node_qv[c.index()].as_ref().expect("children processed before parent").id(e)
+        }))
+    };
     match entry {
         QEntry::LabelTest(label) => ExprId::of_const(tree.label(v) == Some(label.as_str())),
         QEntry::ElementTest => ExprId::of_const(tree.is_element(v)),
@@ -269,11 +356,26 @@ fn eval_qentry<V: VarLike>(
                 .unwrap_or(false);
             ExprId::of_const(holds)
         }
-        QEntry::Step { test, quals, next } => {
-            let next_id = match next {
-                None => None,
-                Some((QAxis::Child, e)) => Some(child_any_qv.id(*e)),
-                Some((QAxis::Descendant, e)) => Some(child_any_qdv.id(*e)),
+        QEntry::AttrTest(a) => ExprId::of_const(tree.attribute(v, a).is_some()),
+        QEntry::AttrValueTest(a, s) => ExprId::of_const(tree.attribute(v, a) == Some(s.as_str())),
+        QEntry::AttrCmpTest(a, op, n) => {
+            let holds = tree
+                .attribute(v, a)
+                .and_then(|t| {
+                    let t = t.trim();
+                    let t = t.strip_prefix('$').unwrap_or(t);
+                    t.parse::<f64>().ok()
+                })
+                .map(|value| op.apply(value, *n))
+                .unwrap_or(false);
+            ExprId::of_const(holds)
+        }
+        QEntry::Step { test, quals, next, next_pos } => {
+            let next_id = match (next, next_pos) {
+                (None, _) => None,
+                (Some((QAxis::Child, e)), Some(filter)) => Some(counted_fold(arena, *e, filter)),
+                (Some((QAxis::Child, e)), None) => Some(child_any_qv.id(*e)),
+                (Some((QAxis::Descendant, e)), _) => Some(child_any_qdv.id(*e)),
             };
             // One n-ary conjunction: no intermediate `And` node is interned
             // for the prefix of a longer conjunct list (and on the constant
@@ -284,9 +386,10 @@ fn eval_qentry<V: VarLike>(
                     .chain(next_id),
             )
         }
-        QEntry::Exists { axis, entry } => match axis {
-            QAxis::Child => child_any_qv.id(*entry),
-            QAxis::Descendant => child_any_qdv.id(*entry),
+        QEntry::Exists { axis, entry, pos } => match (axis, pos) {
+            (QAxis::Child, Some(filter)) => counted_fold(arena, *entry, filter),
+            (QAxis::Child, None) => child_any_qv.id(*entry),
+            (QAxis::Descendant, _) => child_any_qdv.id(*entry),
         },
         QEntry::Not(e) => {
             let inner = qv_so_far.id(*e);
@@ -323,6 +426,24 @@ pub fn root_context_vector(query: &CompiledQuery) -> Vec<bool> {
         }
     }
     sv
+}
+
+/// The full initial *carried* vector for evaluating at the global root of a
+/// tree whose root element carries `root_label`: the [`root_context_vector`]
+/// followed by the root element's positional facts. The root element is the
+/// only child of the implicit document node, so each fact is "index 1 of 1
+/// accepted, provided the root's label matches the counted test".
+///
+/// Equal to [`root_context_vector`] when the query has no positional
+/// predicates; this is what every driver must feed to [`selection_pass`] /
+/// [`combined_pass`] for the root fragment.
+pub fn initial_vector(query: &CompiledQuery, root_label: &str) -> Vec<bool> {
+    let mut v = root_context_vector(query);
+    for sp in &query.sel_positions {
+        let matches = sp.filter.test.matches(Some(root_label));
+        v.push(matches && sp.filter.accepts(1, 1));
+    }
+    v
 }
 
 /// The node whose empty-prefix entry is true when evaluating at the global
@@ -369,7 +490,11 @@ pub fn selection_pass<V: VarLike>(
     qual_value: &mut impl FnMut(NodeId, QEntryId) -> BoolExpr<V>,
 ) -> SelectionPassOutput<V> {
     let slen = query.svect_len();
-    debug_assert_eq!(init.len(), slen, "init vector must have |SVect| entries");
+    debug_assert_eq!(
+        init.len(),
+        query.init_len(),
+        "init vector must have |SVect| + |positions| entries"
+    );
     let mut arena: FormulaArena<V> = FormulaArena::new();
     let mut out = SelectionPassOutput {
         answers: Vec::new(),
@@ -381,20 +506,23 @@ pub fn selection_pass<V: VarLike>(
         arena.from_expr(&qual_value(v, e))
     };
 
-    // Explicit DFS stack carrying the parent's (summarised) SV vector.
+    // Explicit DFS stack carrying the parent's (summarised) SV vector plus,
+    // when the query has positional predicates, the node's own positional
+    // facts (entries slen..slen+P, computed by the parent while pushing).
     let init = AVec::from_compact(&init, &mut arena);
     let mut stack: Vec<(NodeId, AVec)> = vec![(root, init)];
-    while let Some((v, parent_sv)) = stack.pop() {
+    while let Some((v, carried)) = stack.pop() {
         if tree.is_virtual(v) {
             // The stack-top summarises everything known about the ancestors
-            // of the missing fragment's root — exactly what that fragment
-            // needs as its initial vector (§3.2, Example 3.4).
-            out.virtual_vectors.push((v, parent_sv.into_compact(&arena)));
+            // of the missing fragment's root (and the root's own positional
+            // facts) — exactly what that fragment needs as its initial
+            // vector (§3.2, Example 3.4).
+            out.virtual_vectors.push((v, carried.into_compact(&arena)));
             out.ops += slen as u64;
             continue;
         }
 
-        let sv = compute_sv(&mut arena, tree, v, query, &parent_sv, context, &mut qual_id);
+        let sv = compute_sv(&mut arena, tree, v, query, &carried, context, &mut qual_id);
         out.ops += slen as u64;
 
         if tree.is_element(v) || query.sel_items.is_empty() {
@@ -406,22 +534,36 @@ pub fn selection_pass<V: VarLike>(
             }
         }
 
-        // Children inherit v's vector as their ancestor summary.
+        // Children inherit v's vector as their ancestor summary, extended
+        // with their own positional facts (all children of v are locally
+        // present, so v can count them — including virtual placeholders,
+        // whose recorded root label stands in for the missing root).
         let children: Vec<NodeId> = tree.children(v).collect();
-        for c in children.into_iter().rev() {
-            stack.push((c, sv.clone()));
+        if query.sel_positions.is_empty() {
+            for c in children.into_iter().rev() {
+                stack.push((c, sv.clone()));
+            }
+        } else {
+            let rows = child_fact_rows(tree, &children, query);
+            out.ops += (children.len() * query.sel_positions.len()) as u64;
+            for (k, c) in children.iter().enumerate().rev() {
+                stack.push((*c, sv.extended_with(&rows[k])));
+            }
         }
     }
     out
 }
 
-/// Compute the `SV` vector of a node from its parent's vector.
+/// Compute the `SV` vector of a node from its carried vector (the parent's
+/// `SV` entries followed by this node's positional facts). The result has
+/// `svect_len` entries — the caller appends the children's facts when
+/// pushing them.
 fn compute_sv<V: VarLike>(
     arena: &mut FormulaArena<V>,
     tree: &XmlTree,
     v: NodeId,
     query: &CompiledQuery,
-    parent_sv: &AVec,
+    carried: &AVec,
     context: Option<NodeId>,
     qual_id: &mut impl FnMut(&mut FormulaArena<V>, NodeId, QEntryId) -> ExprId,
 ) -> AVec {
@@ -431,22 +573,22 @@ fn compute_sv<V: VarLike>(
     sv.set(0, ExprId::of_const(Some(v) == context));
     for (idx, item) in query.sel_items.iter().enumerate() {
         let i = idx + 1;
-        let value = match item {
+        let mut value = match item {
             SelItem::Label(l) => {
                 if tree.label(v) == Some(l.as_str()) {
-                    parent_sv.id(i - 1)
+                    carried.id(i - 1)
                 } else {
                     ExprId::FALSE
                 }
             }
             SelItem::Wildcard => {
                 if tree.is_element(v) {
-                    parent_sv.id(i - 1)
+                    carried.id(i - 1)
                 } else {
                     ExprId::FALSE
                 }
             }
-            SelItem::DescendantOrSelf => arena.or(parent_sv.id(i), sv.id(i - 1)),
+            SelItem::DescendantOrSelf => arena.or(carried.id(i), sv.id(i - 1)),
             SelItem::SelfQualifier(quals) => {
                 let mut acc = sv.id(i - 1);
                 for q in quals {
@@ -459,6 +601,17 @@ fn compute_sv<V: VarLike>(
                 acc
             }
         };
+        // AND in this node's positional facts for the step, straight from
+        // the carried tail (entries slen..slen+P).
+        if !query.sel_positions.is_empty() && matches!(item, SelItem::Label(_) | SelItem::Wildcard)
+        {
+            for (j, sp) in query.sel_positions.iter().enumerate() {
+                if sp.item == idx && value != ExprId::FALSE {
+                    let fact = carried.id(slen + j);
+                    value = arena.and(value, fact);
+                }
+            }
+        }
         sv.set(i, value);
     }
     sv
@@ -499,6 +652,11 @@ pub fn combined_pass<V: VarLike>(
 ) -> CombinedPassOutput<V> {
     let qlen = query.qvect_len();
     let slen = query.svect_len();
+    debug_assert_eq!(
+        init.len(),
+        query.init_len(),
+        "init vector must have |SVect| + |positions| entries"
+    );
     let mut arena: FormulaArena<V> = FormulaArena::new();
     let mut ops: u64 = 0;
 
@@ -563,8 +721,16 @@ pub fn combined_pass<V: VarLike>(
 
                 stack.push(Frame::Exit(v));
                 let children: Vec<NodeId> = tree.children(v).collect();
-                for c in children.into_iter().rev() {
-                    stack.push(Frame::Enter(c, sv.clone()));
+                if query.sel_positions.is_empty() {
+                    for c in children.into_iter().rev() {
+                        stack.push(Frame::Enter(c, sv.clone()));
+                    }
+                } else {
+                    let rows = child_fact_rows(tree, &children, query);
+                    ops += (children.len() * query.sel_positions.len()) as u64;
+                    for (k, c) in children.iter().enumerate().rev() {
+                        stack.push(Frame::Enter(*c, sv.extended_with(&rows[k])));
+                    }
                 }
             }
             Frame::Exit(v) => {
@@ -582,8 +748,16 @@ pub fn combined_pass<V: VarLike>(
                 }
                 let mut qv = AVec::all_false(qlen);
                 for (i, entry) in query.qvect.iter().enumerate() {
-                    let value =
-                        eval_qentry(&mut arena, tree, v, entry, &qv, &child_any_qv, &child_any_qdv);
+                    let value = eval_qentry(
+                        &mut arena,
+                        tree,
+                        v,
+                        entry,
+                        &qv,
+                        &child_any_qv,
+                        &child_any_qdv,
+                        &node_qv,
+                    );
                     qv.set(i, value);
                     ops += 1;
                 }

@@ -40,6 +40,10 @@ pub enum TokenKind {
     Star,
     /// `.`
     Dot,
+    /// `@` (attribute step)
+    At,
+    /// `::` (axis separator)
+    DoubleColon,
     /// A name (element label, or the keywords `and`, `or`, `not`, `text`, `val`).
     Name(String),
     /// A quoted string literal (quotes removed).
@@ -111,6 +115,14 @@ pub fn tokenize(input: &str) -> XPathResult<Vec<Token>> {
             '.' if !chars.get(i + 1).map(|c| c.is_ascii_digit()).unwrap_or(false) => {
                 advance(1, &mut i, &mut byte, &chars);
                 tokens.push(Token { offset: start_byte, kind: TokenKind::Dot });
+            }
+            '@' => {
+                advance(1, &mut i, &mut byte, &chars);
+                tokens.push(Token { offset: start_byte, kind: TokenKind::At });
+            }
+            ':' if chars.get(i + 1) == Some(&':') => {
+                advance(2, &mut i, &mut byte, &chars);
+                tokens.push(Token { offset: start_byte, kind: TokenKind::DoubleColon });
             }
             '∧' => {
                 advance(1, &mut i, &mut byte, &chars);
@@ -230,6 +242,11 @@ pub fn tokenize(input: &str) -> XPathResult<Vec<Token>> {
             c if c.is_alphanumeric() || c == '_' => {
                 let mut name = String::new();
                 while let Some(&ch) = chars.get(i) {
+                    // A single `:` stays part of a name (namespace-style
+                    // labels); `::` is the axis separator and ends the name.
+                    if ch == ':' && chars.get(i + 1) == Some(&':') {
+                        break;
+                    }
                     if ch.is_alphanumeric() || ch == '_' || ch == '-' || ch == ':' {
                         name.push(ch);
                         advance(1, &mut i, &mut byte, &chars);

@@ -48,8 +48,11 @@ mod normalize;
 mod parser;
 pub mod semantics;
 
-pub use ast::{CmpOp, PathExpr, Qualifier, Query};
-pub use compile::{compile, CompiledQuery, QAxis, QEntry, QEntryId, SelItem};
+pub use ast::{CmpOp, PathExpr, PosPred, Qualifier, Query};
+pub use compile::{
+    compile, compile_with_cache, CompileCache, CompiledQuery, PosFilter, PosTest, QAxis, QEntry,
+    QEntryId, SelItem, SelPos,
+};
 pub use error::{XPathError, XPathResult};
 pub use normalize::{normalize, normalize_qualifier, NormItem, NormPath, NormQual, NormQuery};
 pub use parser::parse;

@@ -10,7 +10,7 @@
 //! `normalize(Q)/ε[val() op n]`, exactly as in the paper's `normalize(·)`
 //! rules.
 
-use crate::ast::{CmpOp, PathExpr, Qualifier, Query};
+use crate::ast::{CmpOp, PathExpr, PosPred, Qualifier, Query};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -25,6 +25,12 @@ pub enum NormItem {
     DescendantOrSelf,
     /// A qualifier item `ε[q]`.
     Qualifier(NormQual),
+    /// A positional predicate on the step item preceding it. Normalization
+    /// canonicalizes predicate order: position items always come directly
+    /// after their step (before any qualifier items of the same step), which
+    /// is sound because positional counting is independent of the step's
+    /// other predicates.
+    Position(PosPred),
 }
 
 /// A normalized path: the sequence of items.
@@ -47,6 +53,14 @@ pub enum NormQual {
     /// `val() op num` at the context node: some text child of the context
     /// node parses as a number satisfying the comparison.
     ValIs(CmpOp, f64),
+    /// `@attr` at the context node: the context node carries the attribute.
+    HasAttr(String),
+    /// `@attr = "str"` at the context node: the attribute exists and has
+    /// exactly this string value.
+    AttrIs(String, String),
+    /// `@attr op num` at the context node: the attribute exists and parses
+    /// as a number satisfying the comparison.
+    AttrCmp(String, CmpOp, f64),
     /// Negation.
     Not(Box<NormQual>),
     /// Conjunction (flattened).
@@ -95,7 +109,20 @@ fn normalize_path(path: &PathExpr, out: &mut Vec<NormItem>) {
         }
         PathExpr::Qualified(p, q) => {
             normalize_path(p, out);
-            out.push(NormItem::Qualifier(norm_qual(q)));
+            match &**q {
+                Qualifier::Position(pred) => {
+                    // Canonical order: the position item goes directly after
+                    // its step, in front of any qualifier items already
+                    // attached to it (`a[q][2]` and `a[2][q]` normalize
+                    // identically; qualifier runs can then still merge).
+                    let mut at = out.len();
+                    while at > 0 && matches!(out[at - 1], NormItem::Qualifier(_)) {
+                        at -= 1;
+                    }
+                    out.insert(at, NormItem::Position(*pred));
+                }
+                other => out.push(NormItem::Qualifier(norm_qual(other))),
+            }
         }
     }
 }
@@ -132,6 +159,43 @@ fn norm_qual(q: &Qualifier) -> NormQual {
                 items.push(NormItem::Qualifier(NormQual::ValIs(*op, *n)));
                 NormQual::Path(NormPath { items: merge_qualifier_runs(items) })
             }
+        }
+        Qualifier::HasAttr(p, a) => {
+            let mut items = Vec::new();
+            normalize_path(p, &mut items);
+            if items.is_empty() {
+                NormQual::HasAttr(a.clone())
+            } else {
+                items.push(NormItem::Qualifier(NormQual::HasAttr(a.clone())));
+                NormQual::Path(NormPath { items: merge_qualifier_runs(items) })
+            }
+        }
+        Qualifier::AttrEquals(p, a, s) => {
+            let mut items = Vec::new();
+            normalize_path(p, &mut items);
+            if items.is_empty() {
+                NormQual::AttrIs(a.clone(), s.clone())
+            } else {
+                items.push(NormItem::Qualifier(NormQual::AttrIs(a.clone(), s.clone())));
+                NormQual::Path(NormPath { items: merge_qualifier_runs(items) })
+            }
+        }
+        Qualifier::AttrCompare(p, a, op, n) => {
+            let mut items = Vec::new();
+            normalize_path(p, &mut items);
+            if items.is_empty() {
+                NormQual::AttrCmp(a.clone(), *op, *n)
+            } else {
+                items.push(NormItem::Qualifier(NormQual::AttrCmp(a.clone(), *op, *n)));
+                NormQual::Path(NormPath { items: merge_qualifier_runs(items) })
+            }
+        }
+        Qualifier::Position(_) => {
+            // A bare position used as a Boolean qualifier has no context to
+            // count in; the parser never produces this shape (positions are
+            // attached to steps), so treat it as trivially true.
+            debug_assert!(false, "Qualifier::Position outside a step");
+            NormQual::And(Vec::new())
         }
         Qualifier::Not(inner) => NormQual::Not(Box::new(norm_qual(inner))),
         Qualifier::And(a, b) => {
@@ -203,14 +267,23 @@ fn merge_qualifier_runs(items: Vec<NormItem>) -> Vec<NormItem> {
 
 impl NormPath {
     /// The *selection path* of the paper: the items with every qualifier
-    /// struck out (only labels, wildcards and `//` remain).
+    /// (and positional predicate) struck out — only labels, wildcards and
+    /// `//` remain.
     pub fn selection_items(&self) -> Vec<&NormItem> {
-        self.items.iter().filter(|i| !matches!(i, NormItem::Qualifier(_))).collect()
+        self.items
+            .iter()
+            .filter(|i| !matches!(i, NormItem::Qualifier(_) | NormItem::Position(_)))
+            .collect()
     }
 
     /// Does the path contain any qualifier item (at the top level)?
     pub fn has_qualifier(&self) -> bool {
         self.items.iter().any(|i| matches!(i, NormItem::Qualifier(_)))
+    }
+
+    /// Does the path contain a positional predicate (at the top level)?
+    pub fn has_position(&self) -> bool {
+        self.items.iter().any(|i| matches!(i, NormItem::Position(_)))
     }
 
     /// Does the path contain a `//` item (at the top level, not inside
@@ -227,6 +300,7 @@ impl fmt::Display for NormItem {
             NormItem::Wildcard => write!(f, "*"),
             NormItem::DescendantOrSelf => write!(f, "//"),
             NormItem::Qualifier(q) => write!(f, "e[{q}]"),
+            NormItem::Position(p) => write!(f, "pos({p})"),
         }
     }
 }
@@ -257,6 +331,9 @@ impl fmt::Display for NormQual {
             NormQual::Path(p) => write!(f, "{p}"),
             NormQual::TextIs(s) => write!(f, "text() = \"{s}\""),
             NormQual::ValIs(op, n) => write!(f, "val() {op} {n}"),
+            NormQual::HasAttr(a) => write!(f, "@{a}"),
+            NormQual::AttrIs(a, s) => write!(f, "@{a} = \"{s}\""),
+            NormQual::AttrCmp(a, op, n) => write!(f, "@{a} {op} {n}"),
             NormQual::Not(q) => write!(f, "not({q})"),
             NormQual::And(qs) => {
                 if qs.is_empty() {

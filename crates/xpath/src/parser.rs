@@ -19,7 +19,7 @@
 //! experiment queries (Fig. 7) are accepted as sugar for
 //! `path/text() = "str"` and `path/val() > 20`.
 
-use crate::ast::{CmpOp, PathExpr, Qualifier, Query};
+use crate::ast::{CmpOp, PathExpr, PosPred, Qualifier, Query};
 use crate::error::{XPathError, XPathResult};
 use crate::lexer::{tokenize, Token, TokenKind};
 
@@ -96,37 +96,137 @@ impl ParserState {
         Ok(Query { absolute, path })
     }
 
+    /// Consume an explicit `axis::` prefix if the next tokens are a name
+    /// followed by `::`. Only `child`, `descendant-or-self` and `attribute`
+    /// are supported; anything else is a hard error.
+    fn parse_axis_prefix(&mut self) -> XPathResult<Option<AxisKind>> {
+        let TokenKind::Name(name) = self.peek().clone() else { return Ok(None) };
+        if !matches!(self.tokens.get(self.pos + 1).map(|t| &t.kind), Some(TokenKind::DoubleColon)) {
+            return Ok(None);
+        }
+        let offset = self.peek_offset();
+        self.bump(); // the axis name
+        self.bump(); // `::`
+        match name.as_str() {
+            "child" => Ok(Some(AxisKind::Child)),
+            "descendant-or-self" => Ok(Some(AxisKind::Descendant)),
+            "attribute" => Ok(Some(AxisKind::Attribute)),
+            _ => Err(XPathError::UnknownAxis { offset, axis: name }),
+        }
+    }
+
+    /// The name after an `@` / `attribute::`.
+    fn parse_attribute_name(&mut self, at_offset: usize) -> XPathResult<String> {
+        match self.peek().clone() {
+            TokenKind::Name(n) => {
+                self.bump();
+                Ok(n)
+            }
+            _ => Err(XPathError::ExpectedAttributeName { offset: at_offset }),
+        }
+    }
+
     /// Parse a `/`-separated sequence of steps. `leading_descendant` is true
     /// when the caller already consumed a leading `//`.
+    ///
+    /// A final attribute step `…/@attr` (or `…/attribute::attr`) desugars to
+    /// an attribute-existence qualifier on the preceding path — `person/@id`
+    /// parses as `person[@id]` — so the selection semantics stay node-valued.
+    /// An attribute step anywhere but last, or after `//`, is an error.
     fn parse_path(
         &mut self,
         leading_descendant: bool,
         in_qualifier: bool,
     ) -> XPathResult<PathExpr> {
-        let first = self.parse_step(in_qualifier)?;
-        let mut acc = if leading_descendant {
-            PathExpr::Descendant(Box::new(PathExpr::Empty), Box::new(first))
-        } else {
-            first
-        };
+        let mut acc: Option<PathExpr> = None;
+        let mut pending = if leading_descendant { Axis::Descendant } else { Axis::Child };
         loop {
+            // An explicit `axis::` prefix on this step?
+            let mut attr_axis = false;
+            if let Some(kind) = self.parse_axis_prefix()? {
+                match kind {
+                    AxisKind::Child => {}
+                    AxisKind::Descendant => pending = Axis::Descendant,
+                    AxisKind::Attribute => attr_axis = true,
+                }
+            }
+            if attr_axis || matches!(self.peek(), TokenKind::At) {
+                let at_offset = self.peek_offset();
+                if !attr_axis {
+                    self.bump(); // `@`
+                }
+                if pending == Axis::Descendant {
+                    return Err(XPathError::UnexpectedToken {
+                        offset: at_offset,
+                        found: "an attribute step after '//'".to_string(),
+                        expected: "a child-axis attribute step ('/@attr')".to_string(),
+                    });
+                }
+                let name = self.parse_attribute_name(at_offset)?;
+                let prefix = acc.unwrap_or(PathExpr::Empty);
+                let step = prefix.qualified(Qualifier::HasAttr(PathExpr::Empty, name));
+                if matches!(
+                    self.peek(),
+                    TokenKind::Slash | TokenKind::DoubleSlash | TokenKind::LBracket
+                ) {
+                    return Err(XPathError::AttributeStepNotLast { offset: self.peek_offset() });
+                }
+                return Ok(step);
+            }
+            let step = self.parse_step(in_qualifier)?;
+            acc = Some(match acc {
+                None => match pending {
+                    Axis::Child => step,
+                    Axis::Descendant => {
+                        PathExpr::Descendant(Box::new(PathExpr::Empty), Box::new(step))
+                    }
+                },
+                Some(prev) => match pending {
+                    Axis::Child => PathExpr::Child(Box::new(prev), Box::new(step)),
+                    Axis::Descendant => PathExpr::Descendant(Box::new(prev), Box::new(step)),
+                },
+            });
             match self.peek() {
                 TokenKind::Slash => {
                     self.bump();
-                    let step = self.parse_step(in_qualifier)?;
-                    acc = PathExpr::Child(Box::new(acc), Box::new(step));
+                    pending = Axis::Child;
                 }
                 TokenKind::DoubleSlash => {
                     self.bump();
-                    let step = self.parse_step(in_qualifier)?;
-                    acc = PathExpr::Descendant(Box::new(acc), Box::new(step));
+                    pending = Axis::Descendant;
                 }
-                _ => return Ok(acc),
+                _ => return Ok(acc.expect("at least one step was parsed")),
             }
         }
     }
 
-    /// A single step: `.`, a name, or `*`, optionally followed by predicates.
+    /// A positional predicate right after `[`: a number or `last()`.
+    /// Returns `None` (consuming nothing) when the bracket holds an ordinary
+    /// qualifier.
+    fn try_parse_position(&mut self) -> XPathResult<Option<PosPred>> {
+        match self.peek().clone() {
+            TokenKind::Number(n) => {
+                let offset = self.peek_offset();
+                self.bump();
+                if n.fract() != 0.0 || n < 1.0 || n > u32::MAX as f64 {
+                    return Err(XPathError::InvalidPosition { offset, text: format!("{n}") });
+                }
+                Ok(Some(PosPred::Index(n as u32)))
+            }
+            TokenKind::Name(name) if name == "last" && self.lookahead_is_call() => {
+                self.bump(); // last
+                self.bump(); // (
+                if !self.eat(&TokenKind::RParen) {
+                    return Err(self.unexpected("')' after last("));
+                }
+                Ok(Some(PosPred::Last))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// A single step: `.`, a name, or `*`, optionally followed by predicates
+    /// (qualifiers or positional predicates).
     fn parse_step(&mut self, in_qualifier: bool) -> XPathResult<PathExpr> {
         let offset = self.peek_offset();
         let base = match self.bump() {
@@ -150,9 +250,20 @@ impl ParserState {
                 });
             }
         };
+        let base_is_step = matches!(base, PathExpr::Label(_) | PathExpr::Wildcard);
         let mut acc = base;
         while matches!(self.peek(), TokenKind::LBracket) {
             self.bump();
+            if let Some(pred) = self.try_parse_position()? {
+                if !base_is_step {
+                    return Err(XPathError::PositionWithoutStep);
+                }
+                if !self.eat(&TokenKind::RBracket) {
+                    return Err(self.unexpected("']' closing the position"));
+                }
+                acc = PathExpr::Qualified(Box::new(acc), Box::new(Qualifier::Position(pred)));
+                continue;
+            }
             let q = self.parse_qualifier()?;
             if !self.eat(&TokenKind::RBracket) {
                 return Err(self.unexpected("']' closing the qualifier"));
@@ -216,41 +327,53 @@ impl ParserState {
     }
 
     /// A qualifier path, optionally compared against a string or a number.
+    ///
+    /// `text() op num` (a numeric comparison against a text node) desugars
+    /// onto the `val()` machinery: `[price/text() > 20]` parses as
+    /// `[price/val() > 20]`. String comparisons stay exact-match.
     fn parse_comparison(&mut self) -> XPathResult<Qualifier> {
         let (path, test) = self.parse_qualifier_path()?;
         match self.peek().clone() {
             TokenKind::Cmp(op) => {
                 self.bump();
                 match self.bump() {
-                    TokenKind::Str(s) => {
-                        if test == Some(TrailingTest::Val) {
-                            return Err(XPathError::UnexpectedToken {
-                                offset: self.peek_offset(),
-                                found: "a string literal after val()".to_string(),
-                                expected: "a number".to_string(),
-                            });
+                    TokenKind::Str(s) => match &test {
+                        Some(TrailingTest::Val) => Err(XPathError::UnexpectedToken {
+                            offset: self.peek_offset(),
+                            found: "a string literal after val()".to_string(),
+                            expected: "a number".to_string(),
+                        }),
+                        Some(TrailingTest::Attr(name)) => {
+                            let base = Qualifier::AttrEquals(path, name.clone(), s);
+                            match op {
+                                CmpOp::Eq => Ok(base),
+                                CmpOp::Ne => Ok(Qualifier::Not(Box::new(base))),
+                                _ => Err(XPathError::UnexpectedToken {
+                                    offset: self.peek_offset(),
+                                    found: "an ordering comparison against a string".to_string(),
+                                    expected: "'=' or '!=' for attribute comparisons".to_string(),
+                                }),
+                            }
                         }
-                        let base = Qualifier::TextEquals(path, s);
-                        match op {
-                            CmpOp::Eq => Ok(base),
-                            CmpOp::Ne => Ok(Qualifier::Not(Box::new(base))),
-                            _ => Err(XPathError::UnexpectedToken {
-                                offset: self.peek_offset(),
-                                found: "an ordering comparison against a string".to_string(),
-                                expected: "'=' or '!=' for text() comparisons".to_string(),
-                            }),
+                        _ => {
+                            let base = Qualifier::TextEquals(path, s);
+                            match op {
+                                CmpOp::Eq => Ok(base),
+                                CmpOp::Ne => Ok(Qualifier::Not(Box::new(base))),
+                                _ => Err(XPathError::UnexpectedToken {
+                                    offset: self.peek_offset(),
+                                    found: "an ordering comparison against a string".to_string(),
+                                    expected: "'=' or '!=' for text() comparisons".to_string(),
+                                }),
+                            }
                         }
-                    }
-                    TokenKind::Number(n) => {
-                        if test == Some(TrailingTest::Text) {
-                            return Err(XPathError::UnexpectedToken {
-                                offset: self.peek_offset(),
-                                found: "a number after text()".to_string(),
-                                expected: "a string literal".to_string(),
-                            });
+                    },
+                    TokenKind::Number(n) => match &test {
+                        Some(TrailingTest::Attr(name)) => {
+                            Ok(Qualifier::AttrCompare(path, name.clone(), op, n))
                         }
-                        Ok(Qualifier::ValCompare(path, op, n))
-                    }
+                        _ => Ok(Qualifier::ValCompare(path, op, n)),
+                    },
                     other => Err(XPathError::UnexpectedToken {
                         offset: self.peek_offset(),
                         found: format!("{other:?}"),
@@ -260,6 +383,7 @@ impl ParserState {
             }
             _ => match test {
                 None => Ok(Qualifier::Path(path)),
+                Some(TrailingTest::Attr(name)) => Ok(Qualifier::HasAttr(path, name)),
                 Some(_) => Err(self.unexpected("a comparison after text()/val()")),
             },
         }
@@ -282,6 +406,39 @@ impl ParserState {
         let mut acc: Option<PathExpr> = None;
         let mut pending_axis = if leading_descendant { Axis::Descendant } else { Axis::Child };
         loop {
+            // An explicit `axis::` prefix on this step?
+            let mut attr_axis = false;
+            if let Some(kind) = self.parse_axis_prefix()? {
+                match kind {
+                    AxisKind::Child => {}
+                    AxisKind::Descendant => pending_axis = Axis::Descendant,
+                    AxisKind::Attribute => attr_axis = true,
+                }
+            }
+
+            // A trailing attribute test? `[a/@id …]`, `[@id …]`, `[a//@id …]`
+            // (the latter descends like `//text()` does: any strict element
+            // descendant of the prefix carrying the attribute).
+            if attr_axis || matches!(self.peek(), TokenKind::At) {
+                let at_offset = self.peek_offset();
+                if !attr_axis {
+                    self.bump(); // `@`
+                }
+                let name = self.parse_attribute_name(at_offset)?;
+                let path = match (acc, pending_axis) {
+                    (None, Axis::Child) => PathExpr::Empty,
+                    (None, Axis::Descendant) => PathExpr::Descendant(
+                        Box::new(PathExpr::Empty),
+                        Box::new(PathExpr::Wildcard),
+                    ),
+                    (Some(p), Axis::Child) => p,
+                    (Some(p), Axis::Descendant) => {
+                        PathExpr::Descendant(Box::new(p), Box::new(PathExpr::Wildcard))
+                    }
+                };
+                return Ok((path, Some(TrailingTest::Attr(name))));
+            }
+
             // A trailing test?
             if let TokenKind::Name(name) = self.peek().clone() {
                 if (name == "text" || name == "val") && self.lookahead_is_call() {
@@ -345,11 +502,20 @@ enum Axis {
     Descendant,
 }
 
-/// Trailing `text()` / `val()` marker inside a qualifier path.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// An explicit `axis::` prefix.
+#[derive(PartialEq, Clone, Copy)]
+enum AxisKind {
+    Child,
+    Descendant,
+    Attribute,
+}
+
+/// Trailing `text()` / `val()` / `@attr` marker inside a qualifier path.
+#[derive(Debug, Clone, PartialEq)]
 enum TrailingTest {
     Text,
     Val,
+    Attr(String),
 }
 
 fn acc_is_none_marker(path: &PathExpr) -> bool {

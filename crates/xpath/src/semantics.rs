@@ -7,7 +7,8 @@
 //! PaX2) can be checked against an independent implementation in unit,
 //! integration and property-based tests.
 
-use crate::ast::CmpOp;
+use crate::ast::{CmpOp, PosPred};
+use crate::compile::{PosFilter, PosTest};
 use crate::error::XPathResult;
 use crate::normalize::{normalize, NormItem, NormPath, NormQual, NormQuery};
 use crate::parse;
@@ -53,10 +54,40 @@ fn ctx_descendants_or_self(tree: &XmlTree, ctx: Ctx) -> Vec<Ctx> {
     }
 }
 
+/// The node test a positional item at `items[at]` counts against: the
+/// nearest preceding step item (positions and qualifiers of the same step
+/// are transparent, `//` has no single step to count).
+fn preceding_pos_test(items: &[NormItem], at: usize) -> Option<PosTest> {
+    for item in items[..at].iter().rev() {
+        match item {
+            NormItem::Label(l) => return Some(PosTest::Label(l.clone())),
+            NormItem::Wildcard => return Some(PosTest::AnyElement),
+            NormItem::Qualifier(_) | NormItem::Position(_) => continue,
+            NormItem::DescendantOrSelf => return None,
+        }
+    }
+    None
+}
+
+/// Is `v` at an accepted position among the test-matching children of its
+/// parent? A root element counts as the only child of the document node.
+fn position_accepted(tree: &XmlTree, v: NodeId, test: &PosTest, pred: PosPred) -> bool {
+    let filter = PosFilter { test: test.clone(), preds: vec![pred] };
+    match tree.parent(v) {
+        Some(p) => {
+            let children: Vec<NodeId> = tree.children(p).collect();
+            let mask = crate::eval::position_accept_mask(tree, &children, &filter);
+            let k = children.iter().position(|c| *c == v).expect("node among its siblings");
+            mask[k]
+        }
+        None => filter.test.matches(tree.step_label(v)) && filter.accepts(1, 1),
+    }
+}
+
 /// Evaluate a sequence of normalized items over a set of context nodes.
 fn eval_items(tree: &XmlTree, items: &[NormItem], context: &BTreeSet<Ctx>) -> BTreeSet<Ctx> {
     let mut current: BTreeSet<Ctx> = context.clone();
-    for item in items {
+    for (at, item) in items.iter().enumerate() {
         match item {
             NormItem::Label(l) => {
                 let mut next = BTreeSet::new();
@@ -90,6 +121,13 @@ fn eval_items(tree: &XmlTree, items: &[NormItem], context: &BTreeSet<Ctx>) -> BT
             NormItem::Qualifier(q) => {
                 current.retain(|&ctx| eval_qual(tree, q, ctx));
             }
+            NormItem::Position(pred) => {
+                let test = preceding_pos_test(items, at);
+                current.retain(|&ctx| match (&test, ctx) {
+                    (Some(t), Some(v)) => position_accepted(tree, v, t, *pred),
+                    _ => false,
+                });
+            }
         }
     }
     current
@@ -110,6 +148,14 @@ fn eval_qual(tree: &XmlTree, q: &NormQual, ctx: Ctx) -> bool {
             Some(v) => tree
                 .children(v)
                 .any(|c| tree.text_value(c).map(|t| numeric_matches(t, *op, *n)).unwrap_or(false)),
+        },
+        NormQual::HasAttr(a) => matches!(ctx, Some(v) if tree.attribute(v, a).is_some()),
+        NormQual::AttrIs(a, s) => {
+            matches!(ctx, Some(v) if tree.attribute(v, a) == Some(s.as_str()))
+        }
+        NormQual::AttrCmp(a, op, n) => match ctx {
+            None => false,
+            Some(v) => tree.attribute(v, a).map(|t| numeric_matches(t, *op, *n)).unwrap_or(false),
         },
         NormQual::Not(inner) => !eval_qual(tree, inner, ctx),
         NormQual::And(parts) => parts.iter().all(|p| eval_qual(tree, p, ctx)),
@@ -228,6 +274,81 @@ mod tests {
             let fast = centralized::evaluate(&t, q).unwrap();
             assert_eq!(oracle, fast.answers, "disagreement on query {q}");
         }
+    }
+
+    fn attributed() -> XmlTree {
+        TreeBuilder::new("site")
+            .open("people")
+            .open("person")
+            .attr("id", "p1")
+            .attr("age", "31")
+            .leaf("name", "Anna")
+            .leaf("name", "Annie")
+            .close()
+            .open("person")
+            .attr("id", "p2")
+            .leaf("name", "Lisa")
+            .close()
+            .open("person")
+            .leaf("name", "Kim")
+            .close()
+            .close()
+            .open("items")
+            .open("item")
+            .attr("price", "$12.50")
+            .leaf("name", "pen")
+            .close()
+            .open("item")
+            .attr("price", "7")
+            .leaf("name", "ink")
+            .close()
+            .close()
+            .build()
+    }
+
+    #[test]
+    fn oracle_agrees_with_centralized_on_widened_constructs() {
+        let t = attributed();
+        for q in [
+            // Attribute steps and qualifiers.
+            "people/person[@id]/name",
+            "people/person/@id",
+            "//person[@id = \"p2\"]/name",
+            "//item[@price > 10]/name",
+            "//person[@age >= 31 and @id]/name",
+            "//person[not(@id)]/name",
+            ".[//person/@id]",
+            "people[person/@id = \"p1\"]//name",
+            // Positional predicates.
+            "people/person[1]/name",
+            "people/person[2]/name",
+            "people/person[last()]/name",
+            "people/person[1]/name[last()]",
+            "people/person[4]/name",
+            "//person[2]",
+            "/site[1]/people/person[1][@id]/name",
+            "people/*[2]/name",
+            "people/person[name[2]]/name[1]",
+            ".[people/person[3]]",
+            "people/person[1][last()]",
+            // Numeric text() comparisons and explicit axes.
+            "//person[@age]/name[text() = \"Anna\"]",
+            "descendant-or-self::person/name[1]",
+            "people/child::person[2]/attribute::id",
+            "site/people",
+        ] {
+            let oracle = oracle_eval(&t, q).unwrap();
+            let fast = centralized::evaluate(&t, q).unwrap();
+            assert_eq!(oracle, fast.answers, "disagreement on query {q}");
+        }
+        // Spot-check a few answers to anchor the semantics, not just the
+        // agreement between the two implementations.
+        let first = oracle_eval(&t, "people/person[1]/name[last()]").unwrap();
+        assert_eq!(first.len(), 1);
+        assert_eq!(t.text_of(first[0]), Some("Annie".into()));
+        assert_eq!(oracle_eval(&t, "people/person[last()]/name").unwrap().len(), 1);
+        assert_eq!(oracle_eval(&t, "//item[@price > 10]/name").unwrap().len(), 1);
+        assert_eq!(oracle_eval(&t, "people/person[@id]/name").unwrap().len(), 3);
     }
 
     #[test]

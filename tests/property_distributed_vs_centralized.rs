@@ -1,22 +1,33 @@
 //! Property-based end-to-end test: for *random* documents, *random*
-//! fragmentations and *random* queries from the class X, the distributed
-//! algorithms (PaX3 and PaX2, with and without the annotation optimization)
-//! return exactly the same answer set as the centralized evaluator and as
-//! the naive set-based oracle.
+//! fragmentations and *random* queries from the widened class X, the
+//! distributed algorithms (PaX3 and PaX2, with and without the annotation
+//! optimization) return exactly the same answer set as the centralized
+//! evaluator and as the naive set-based oracle.
+//!
+//! Queries come from the shared grammar-based generator
+//! ([`paxml::xmark::QueryGen`]) — the same stream the differential harness
+//! uses — so every widened feature (attributes, positions, numeric text()
+//! comparisons, verbose axes) is exercised here too. Documents carry
+//! random attributes so the attribute predicates have something to match.
 //!
 //! This is the strongest correctness statement in the test suite: it
 //! exercises arbitrary nestings of fragments (including fragments inside
 //! fragments), arbitrary placements and every query feature at once.
 
 use paxml::prelude::*;
+use paxml::xmark::{QueryGen, QueryGenConfig};
 use paxml::xpath::semantics::oracle_eval;
 use paxml_xml::{NodeId, NodeKind, XmlTree};
 use proptest::prelude::*;
 
 const LABELS: &[&str] = &["a", "b", "c", "d", "e"];
 const TEXTS: &[&str] = &["x", "y", "10", "42", "US"];
+const ATTRS: &[&str] = &["id", "age", "price", "vip"];
 
 /// Build a random tree from a list of (parent index, node choice) pairs.
+/// Elements pick up a random attribute when the choice says so, with
+/// values from both the string vocabulary and the numeric range the
+/// generator compares against.
 fn build_tree(spec: &[(usize, usize)]) -> XmlTree {
     let mut tree = XmlTree::with_root_element(LABELS[0]);
     let mut elements: Vec<NodeId> = vec![tree.root()];
@@ -28,6 +39,15 @@ fn build_tree(spec: &[(usize, usize)]) -> XmlTree {
         } else {
             let label = LABELS[kind % LABELS.len()];
             let id = tree.append_element(parent, label);
+            if kind % 3 == 0 {
+                let name = ATTRS[parent_choice % ATTRS.len()];
+                let value = if parent_choice % 2 == 0 {
+                    TEXTS[kind % TEXTS.len()].to_string()
+                } else {
+                    format!("{}", (parent_choice * 7 + kind) % 50)
+                };
+                tree.set_attribute(id, name, value).expect("elements accept attributes");
+            }
             elements.push(id);
         }
     }
@@ -39,43 +59,12 @@ fn tree_strategy() -> impl Strategy<Value = XmlTree> {
     prop::collection::vec((0usize..1000, 0usize..20), 5..60).prop_map(|spec| build_tree(&spec))
 }
 
-/// Random query strategy: 1–3 steps, optional leading `//`, optional
-/// wildcard steps, optional qualifier with a text or value comparison or a
-/// nested path, optionally negated.
+/// Random query strategy: one draw from the shared grammar-based
+/// generator, over the same vocabulary the trees are built from.
 fn query_strategy() -> impl Strategy<Value = String> {
-    let step = prop_oneof![
-        prop::sample::select(LABELS.to_vec()).prop_map(|l| l.to_string()),
-        Just("*".to_string()),
-    ];
-    let qualifier = prop_oneof![
-        prop::sample::select(LABELS.to_vec()).prop_map(|l| format!("[{l}]")),
-        (prop::sample::select(LABELS.to_vec()), prop::sample::select(TEXTS.to_vec()))
-            .prop_map(|(l, t)| format!("[{l}/text()='{t}']")),
-        (prop::sample::select(LABELS.to_vec()), 0u32..50).prop_map(|(l, n)| format!("[{l} > {n}]")),
-        (prop::sample::select(LABELS.to_vec()), prop::sample::select(TEXTS.to_vec()))
-            .prop_map(|(l, t)| format!("[not({l}/text()='{t}')]")),
-        (prop::sample::select(LABELS.to_vec()), prop::sample::select(LABELS.to_vec()))
-            .prop_map(|(l, m)| format!("[{l} or {m}]")),
-        Just(String::new()),
-    ];
-    (
-        prop::bool::ANY,                                // leading //
-        prop::collection::vec((step, qualifier), 1..4), // steps
-    )
-        .prop_map(|(descendant, steps)| {
-            let mut out = String::new();
-            if descendant {
-                out.push_str("//");
-            }
-            for (i, (step, qual)) in steps.iter().enumerate() {
-                if i > 0 {
-                    out.push('/');
-                }
-                out.push_str(step);
-                out.push_str(qual);
-            }
-            out
-        })
+    any::<u64>().prop_map(|seed| {
+        QueryGen::new(QueryGenConfig::with_vocabulary(LABELS, TEXTS, ATTRS), seed).query_text()
+    })
 }
 
 /// Pick random cut points (by index among non-root elements).
