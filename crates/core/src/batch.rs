@@ -256,7 +256,7 @@ pub(crate) fn run(
         };
         let root_init: Vec<bool> = initial_vector(query, &deployment.root_label);
         let mut finals_pending: Vec<FragmentId> = Vec::new();
-        for (&site, fragments) in &topology.group_by_site(analysis.relevant.iter().copied()) {
+        for (&site, fragments) in &ctx.group_by_site(analysis.relevant.iter().copied())? {
             let mut inputs = BTreeMap::new();
             for &fragment in fragments {
                 let init = if fragment == FragmentId::ROOT {
@@ -324,7 +324,7 @@ pub(crate) fn run(
         }
         coordinator_ops_per_query[query_index] += (ft.len() * query.init_len()) as u64;
         unify_selection(&ft, &virtuals[query_index], &plan.root_init, &mut assignment);
-        for (&site, fragments) in &topology.group_by_site(plan.finals_pending.iter().copied()) {
+        for (&site, fragments) in &ctx.group_by_site(plan.finals_pending.iter().copied())? {
             let mut per_fragment = BTreeMap::new();
             for &fragment in fragments {
                 per_fragment.insert(

@@ -10,14 +10,14 @@
 //! [`Transport`] (such as `paxml-wire`'s TCP cluster of real site
 //! processes) can stand in — the drivers only ever see the trait.
 
-use crate::error::PaxResult;
+use crate::error::{PaxError, PaxResult};
 use crate::prune::PathTrie;
 use crate::transport::{EpochRequest, ProtocolRequest, ProtocolResponse, Transport};
-use paxml_distsim::{Cluster, ClusterStats, Placement, SiteId, LATEST_EPOCH};
+use paxml_distsim::{Cluster, ClusterStats, Placement, ReplicaSet, SiteId, LATEST_EPOCH};
 use paxml_fragment::{FragmentId, FragmentTree, FragmentedTree};
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::{Arc, OnceLock, RwLock};
-use std::time::Duration;
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::{Duration, Instant};
 
 /// One immutable version of the deployment's *topology*: the fragment tree
 /// (with its §5 annotations) plus the fragment→site placement map, tagged
@@ -34,8 +34,9 @@ use std::time::Duration;
 pub struct Topology {
     /// The fragment tree `FT` with its annotations.
     pub fragment_tree: FragmentTree,
-    /// Which site stores each fragment.
-    pub placement: BTreeMap<FragmentId, SiteId>,
+    /// Which sites store each fragment — an ordered [`ReplicaSet`] per
+    /// fragment, primary first. Unreplicated deployments hold solo sets.
+    pub placement: BTreeMap<FragmentId, ReplicaSet>,
     /// Version counter: 0 for the deploy-time topology, bumped by every
     /// published re-fragmentation. Carried on `ExecReport` so callers can
     /// assert which topology served a read.
@@ -61,7 +62,7 @@ impl Topology {
     /// Assemble a topology version. The path trie starts unbuilt.
     pub fn new(
         fragment_tree: FragmentTree,
-        placement: BTreeMap<FragmentId, SiteId>,
+        placement: BTreeMap<FragmentId, ReplicaSet>,
         version: u64,
     ) -> Topology {
         Topology { fragment_tree, placement, version, path_trie: OnceLock::new() }
@@ -77,16 +78,21 @@ impl Topology {
                 .get_or_init(|| Arc::new(PathTrie::build(&self.fragment_tree, root_label))),
         )
     }
-    /// The site storing a fragment.
+    /// The *primary* site storing a fragment (the first replica).
     ///
     /// # Panics
     /// Panics if the fragment is not part of this topology — routing a
     /// fragment through the wrong epoch's topology is a coordinator bug.
     pub fn site_of(&self, fragment: FragmentId) -> SiteId {
-        *self
-            .placement
-            .get(&fragment)
-            .expect("every fragment of a topology version has a placement")
+        self.replicas_of(fragment).primary()
+    }
+
+    /// All sites storing a fragment, primary first.
+    ///
+    /// # Panics
+    /// Panics if the fragment is not part of this topology.
+    pub fn replicas_of(&self, fragment: FragmentId) -> &ReplicaSet {
+        self.placement.get(&fragment).expect("every fragment of a topology version has a placement")
     }
 
     /// Number of fragments in this topology.
@@ -94,7 +100,9 @@ impl Topology {
         self.fragment_tree.len()
     }
 
-    /// Group a set of fragments by the site that stores them.
+    /// Group a set of fragments by their *primary* site. Health-aware
+    /// executions route through `ExecCtx::group_by_site` instead, which
+    /// falls over to secondary replicas when the primary is out.
     pub fn group_by_site(
         &self,
         fragments: impl IntoIterator<Item = FragmentId>,
@@ -106,9 +114,165 @@ impl Topology {
         out
     }
 
-    /// The sites that hold at least one fragment under this topology.
+    /// The sites that hold at least one fragment copy under this topology.
     pub fn occupied_sites(&self) -> BTreeSet<SiteId> {
-        self.placement.values().copied().collect()
+        self.placement.values().flat_map(|set| set.sites().iter().copied()).collect()
+    }
+}
+
+/// The epoch range over which one fragment copy is known to be outdated.
+///
+/// A copy goes stale when an update (or re-fragmentation install) could not
+/// reach its site: every epoch from `stale_from` on reads wrong data there.
+/// A later repair re-installs the copy as of epoch `repaired_at`, closing
+/// the range — readers pinned inside `[stale_from, repaired_at)` must still
+/// avoid the copy (the repair installed only the *current* snapshot, not
+/// the missed intermediate versions), readers at or after `repaired_at` may
+/// use it again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaleRange {
+    /// First epoch (inclusive) at which the copy is outdated.
+    pub stale_from: u64,
+    /// Epoch at which the copy was re-installed from a live replica, if it
+    /// has been.
+    pub repaired_at: Option<u64>,
+}
+
+impl StaleRange {
+    /// Is the copy unusable for a reader pinned at `epoch`?
+    pub fn covers(&self, epoch: u64) -> bool {
+        self.stale_from <= epoch && self.repaired_at.is_none_or(|r| epoch < r)
+    }
+}
+
+/// Coordinator-side health bookkeeping for the sites: fault strikes,
+/// quarantine, and per-copy staleness.
+///
+/// The state machine per site is `live → (strike…) → quarantined →
+/// (probe ok) → live`: a transient fault records a strike, enough strikes
+/// quarantine the site (the router stops choosing its copies), and after a
+/// cooldown the server probes it — readmission clears the strikes.
+/// Staleness is tracked per *(fragment, site)* copy, not per site: a
+/// readmitted site serves again immediately for copies that never missed a
+/// write, while copies that did stay off the routing path until repaired.
+///
+/// All methods take `&self`: the tracker is shared by every concurrent
+/// execution of a server and synchronizes internally.
+#[derive(Debug, Default)]
+pub struct SiteHealth {
+    inner: Mutex<HealthState>,
+}
+
+#[derive(Debug, Default)]
+struct HealthState {
+    /// Consecutive transient faults per site since the last readmission.
+    strikes: BTreeMap<SiteId, u32>,
+    /// Quarantined sites with the time of quarantine entry (or of the last
+    /// failed probe — the probe cooldown restarts on every failure).
+    quarantined: BTreeMap<SiteId, Instant>,
+    /// Copies that missed a write, with the epoch range they are unusable
+    /// for.
+    stale: BTreeMap<(FragmentId, SiteId), StaleRange>,
+}
+
+impl SiteHealth {
+    fn lock(&self) -> std::sync::MutexGuard<'_, HealthState> {
+        self.inner.lock().expect("the health lock is never poisoned")
+    }
+
+    /// Record a transient fault at `site`; once `quarantine_after` strikes
+    /// accumulate, the site is quarantined.
+    pub fn record_fault(&self, site: SiteId, quarantine_after: u32) {
+        let mut state = self.lock();
+        let strikes = state.strikes.entry(site).or_insert(0);
+        *strikes += 1;
+        if *strikes >= quarantine_after.max(1) {
+            state.quarantined.entry(site).or_insert_with(Instant::now);
+        }
+    }
+
+    /// Is the site currently quarantined?
+    pub fn is_quarantined(&self, site: SiteId) -> bool {
+        self.lock().quarantined.contains_key(&site)
+    }
+
+    /// All currently quarantined sites.
+    pub fn quarantined_sites(&self) -> BTreeSet<SiteId> {
+        self.lock().quarantined.keys().copied().collect()
+    }
+
+    /// Quarantined sites whose cooldown has elapsed — due for a liveness
+    /// probe.
+    pub fn due_for_probe(&self, cooldown: Duration) -> Vec<SiteId> {
+        let state = self.lock();
+        state
+            .quarantined
+            .iter()
+            .filter(|(_, since)| since.elapsed() >= cooldown)
+            .map(|(&site, _)| site)
+            .collect()
+    }
+
+    /// A probe failed: keep the site quarantined and restart its cooldown.
+    pub fn probe_failed(&self, site: SiteId) {
+        if let Some(since) = self.lock().quarantined.get_mut(&site) {
+            *since = Instant::now();
+        }
+    }
+
+    /// A probe succeeded: readmit the site and clear its strikes. Stale
+    /// copies it holds stay off the routing path until repaired.
+    pub fn readmit(&self, site: SiteId) {
+        let mut state = self.lock();
+        state.quarantined.remove(&site);
+        state.strikes.remove(&site);
+    }
+
+    /// Record that the copy of `fragment` at `site` missed the write that
+    /// produced `epoch`. If the copy is already stale and unrepaired the
+    /// earlier range stands; a repaired copy going stale again opens a new
+    /// range.
+    pub fn mark_stale(&self, fragment: FragmentId, site: SiteId, epoch: u64) {
+        let mut state = self.lock();
+        match state.stale.get_mut(&(fragment, site)) {
+            Some(range) if range.repaired_at.is_none() => {
+                range.stale_from = range.stale_from.min(epoch);
+            }
+            _ => {
+                state
+                    .stale
+                    .insert((fragment, site), StaleRange { stale_from: epoch, repaired_at: None });
+            }
+        }
+    }
+
+    /// Is the copy of `fragment` at `site` unusable at `epoch`?
+    pub fn is_stale_at(&self, fragment: FragmentId, site: SiteId, epoch: u64) -> bool {
+        self.lock().stale.get(&(fragment, site)).is_some_and(|range| range.covers(epoch))
+    }
+
+    /// Every copy currently stale with no repair recorded.
+    pub fn unrepaired_stale(&self) -> Vec<(FragmentId, SiteId)> {
+        self.lock()
+            .stale
+            .iter()
+            .filter(|(_, range)| range.repaired_at.is_none())
+            .map(|(&key, _)| key)
+            .collect()
+    }
+
+    /// Record that the copy of `fragment` at `site` was re-installed from a
+    /// live replica as of `epoch`.
+    pub fn mark_repaired(&self, fragment: FragmentId, site: SiteId, epoch: u64) {
+        if let Some(range) = self.lock().stale.get_mut(&(fragment, site)) {
+            range.repaired_at = Some(epoch);
+        }
+    }
+
+    /// Drop staleness bookkeeping for copies of `fragment` (the fragment
+    /// left the placement entirely, e.g. merged away).
+    pub fn forget_fragment(&self, fragment: FragmentId) {
+        self.lock().stale.retain(|(f, _), _| *f != fragment);
     }
 }
 
@@ -147,6 +311,9 @@ pub struct Deployment {
     /// next version before the epoch pointer swaps, so a reader that pins
     /// epoch `N+1` always finds `N+1`'s topology here.
     topologies: RwLock<Vec<(u64, Arc<Topology>)>>,
+    /// Site health bookkeeping shared by every execution: strikes,
+    /// quarantine, stale copies.
+    health: SiteHealth,
 }
 
 impl Deployment {
@@ -155,11 +322,11 @@ impl Deployment {
         // here on, routing is resolved through topology versions and the
         // transport's own static assignment is never consulted again (it
         // cannot know about fragments created by later splits).
-        let placement: BTreeMap<FragmentId, SiteId> = fragmented
+        let placement: BTreeMap<FragmentId, ReplicaSet> = fragmented
             .fragment_tree
             .ids()
             .iter()
-            .map(|&f| (f, transport.get().site_of(f)))
+            .map(|&f| (f, transport.get().replicas_of(f)))
             .collect();
         let initial = Arc::new(Topology::new(fragmented.fragment_tree.clone(), placement, 0));
         Deployment {
@@ -168,6 +335,7 @@ impl Deployment {
             root_label: fragmented.root_fragment().root_label.clone(),
             total_nodes: fragmented.total_real_nodes(),
             topologies: RwLock::new(vec![(0, initial)]),
+            health: SiteHealth::default(),
         }
     }
 
@@ -175,6 +343,26 @@ impl Deployment {
     pub fn new(fragmented: &FragmentedTree, site_count: usize, placement: Placement) -> Self {
         Self::assemble(
             TransportHold::Sim(Arc::new(Cluster::new(fragmented, site_count, placement))),
+            fragmented,
+        )
+    }
+
+    /// Deploy over simulated sites with every fragment stored on
+    /// `replication` sites (primary chosen by `placement`, secondaries on
+    /// the next sites round-robin).
+    pub fn replicated(
+        fragmented: &FragmentedTree,
+        site_count: usize,
+        placement: Placement,
+        replication: usize,
+    ) -> Self {
+        Self::assemble(
+            TransportHold::Sim(Arc::new(Cluster::replicated(
+                fragmented,
+                site_count,
+                placement,
+                replication,
+            ))),
             fragmented,
         )
     }
@@ -274,10 +462,47 @@ impl Deployment {
         topologies.push((first_epoch, topology));
     }
 
-    /// The site storing a fragment **under the newest topology**. Pinned
-    /// executions should route through [`Deployment::topology_at`] instead.
+    /// The *primary* site storing a fragment **under the newest topology**.
+    /// Pinned executions should route through [`Deployment::topology_at`]
+    /// instead.
     pub fn site_of(&self, fragment: FragmentId) -> SiteId {
         self.current_topology().site_of(fragment)
+    }
+
+    /// The health tracker shared by every execution over this deployment.
+    pub fn health(&self) -> &SiteHealth {
+        &self.health
+    }
+
+    /// Pick the replica of `fragment` a reader pinned at `epoch` should
+    /// visit: the first copy (primary-first order) whose site is not
+    /// quarantined and whose data is not stale at `epoch`. With no faults
+    /// recorded this is always the primary, so fault-free meters are
+    /// bit-identical to unreplicated routing.
+    pub fn choose_replica(
+        &self,
+        topology: &Topology,
+        fragment: FragmentId,
+        epoch: u64,
+    ) -> PaxResult<SiteId> {
+        let replicas = topology.replicas_of(fragment);
+        for &site in replicas.sites() {
+            if !self.health.is_quarantined(site) && !self.health.is_stale_at(fragment, site, epoch)
+            {
+                return Ok(site);
+            }
+        }
+        // Every copy is out. Blame the primary — with replication factor 1
+        // this is exactly the site whose death the caller observed, which
+        // keeps single-copy failure reporting unchanged.
+        Err(PaxError::SiteUnreachable {
+            site: replicas.primary(),
+            detail: format!(
+                "no live replica of fragment {} at epoch {epoch}: all of {replicas} are \
+                 quarantined or stale",
+                fragment.index()
+            ),
+        })
     }
 
     /// Hand out `n` scratch slots unique across concurrent executions.
@@ -338,6 +563,12 @@ pub struct ExecCtx<'a> {
     /// The retirement watermark shipped with every round (0 retires
     /// nothing; update rounds carry the coordinator's min-live epoch).
     retire_below: u64,
+    /// Memoized per-fragment replica choice. PaX parks per-site scratch
+    /// between its two visits, so *both* rounds of one execution must hit
+    /// the same copy of each fragment even if health state changes
+    /// mid-execution — the first resolution wins for the execution's whole
+    /// lifetime.
+    route: BTreeMap<FragmentId, SiteId>,
     /// The cluster meters of this execution only.
     pub stats: ClusterStats,
 }
@@ -352,7 +583,42 @@ impl<'a> ExecCtx<'a> {
     /// Start an execution pinned to `epoch`, shipping `retire_below` as the
     /// retirement watermark on every round.
     pub fn pinned(deployment: &'a Deployment, epoch: u64, retire_below: u64) -> Self {
-        ExecCtx { deployment, epoch, retire_below, stats: ClusterStats::default() }
+        ExecCtx {
+            deployment,
+            epoch,
+            retire_below,
+            route: BTreeMap::new(),
+            stats: ClusterStats::default(),
+        }
+    }
+
+    /// The replica site this execution visits for `fragment`: the first
+    /// live copy under the execution's epoch, memoized so every later round
+    /// of this execution routes identically (PaX's parked scratch lives at
+    /// that site). Fails when no copy of the fragment is live.
+    pub fn site_for(&mut self, fragment: FragmentId) -> PaxResult<SiteId> {
+        if let Some(&site) = self.route.get(&fragment) {
+            return Ok(site);
+        }
+        let topology = self.deployment.topology_at(self.epoch);
+        let site = self.deployment.choose_replica(&topology, fragment, self.epoch)?;
+        self.route.insert(fragment, site);
+        Ok(site)
+    }
+
+    /// Group fragments by the replica site this execution visits for each
+    /// — the health-aware, memoized counterpart of
+    /// [`Topology::group_by_site`]. Every driver routes its rounds through
+    /// this.
+    pub fn group_by_site(
+        &mut self,
+        fragments: impl IntoIterator<Item = FragmentId>,
+    ) -> PaxResult<BTreeMap<SiteId, Vec<FragmentId>>> {
+        let mut out: BTreeMap<SiteId, Vec<FragmentId>> = BTreeMap::new();
+        for f in fragments {
+            out.entry(self.site_for(f)?).or_default().push(f);
+        }
+        Ok(out)
     }
 
     /// The shared deployment this execution runs over.

@@ -51,6 +51,21 @@ pub enum PaxError {
     },
 }
 
+impl PaxError {
+    /// Is this failure worth retrying?
+    ///
+    /// Transient faults are those where a later attempt can see a different
+    /// world: a site that refused the connection may come back, a read that
+    /// timed out may answer next time — these drive the failover loop in
+    /// [`PaxServer`](crate::server::PaxServer). Everything else is
+    /// *permanent*: a codec mismatch, an invariant violation or a
+    /// misconfiguration reproduces identically on retry, so retrying only
+    /// hides the bug and burns the deadline budget.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, PaxError::SiteUnreachable { .. })
+    }
+}
+
 impl fmt::Display for PaxError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -128,5 +143,24 @@ mod tests {
 
         let e = PaxError::ForeignQuery { query: "a/b".into() };
         assert!(e.to_string().contains("a/b"));
+    }
+
+    #[test]
+    fn only_unreachable_sites_are_transient() {
+        let transient = PaxError::SiteUnreachable {
+            site: paxml_distsim::SiteId(1),
+            detail: "read timed out".into(),
+        };
+        assert!(transient.is_transient());
+        for permanent in [
+            PaxError::Protocol { message: "bad frame".into() },
+            PaxError::InvalidConfig { message: "zero sites".into() },
+            PaxError::ForeignQuery { query: "a/b".into() },
+            PaxError::Query(XPathError::EmptyQuery),
+            PaxError::Fragment(FragmentError::CannotCutRoot),
+            PaxError::Xml(XmlError::EmptyDocument),
+        ] {
+            assert!(!permanent.is_transient(), "{permanent} must not be retried");
+        }
     }
 }

@@ -409,19 +409,17 @@ impl QuerySession {
     ) -> PaxResult<IncrementalReport> {
         let start = Instant::now();
         let mut ctx = ExecCtx::pinned(deployment, epoch, 0);
-        let topology = ctx.topology();
         let dirty_fragments: BTreeSet<FragmentId> = if initial {
             self.analysis.relevant.iter().copied().collect()
         } else {
             ops_by_fragment.keys().copied().collect()
         };
-        let dirty_sites: BTreeSet<SiteId> =
-            dirty_fragments.iter().map(|&f| topology.site_of(f)).collect();
-
         // ----------------------------------------------- the one dirty round
+        let grouped = ctx.group_by_site(dirty_fragments.iter().copied())?;
+        let dirty_sites: BTreeSet<SiteId> = grouped.keys().copied().collect();
         let mut requests: BTreeMap<SiteId, ProtocolRequest> = BTreeMap::new();
         let mut recomputed = 0usize;
-        for (&site, fragments) in &topology.group_by_site(dirty_fragments.iter().copied()) {
+        for (&site, fragments) in &grouped {
             let mut per_fragment = BTreeMap::new();
             for &fragment in fragments {
                 let recompute = self.analysis.relevant.contains(&fragment);

@@ -75,10 +75,11 @@ pub use report::{
 };
 pub use server::{
     PaxServer, PaxServerBuilder, PrepareSetStats, PreparedQuery, RefragBase, RefragReport,
-    ServerStats, SiteLoad, TopologyChange,
+    RetryPolicy, ServerStats, SiteLoad, TopologyChange,
 };
 pub use transport::{
-    dispatch, EpochRequest, ProtocolRequest, ProtocolResponse, Transport, VacuumOutcome,
+    dispatch, injected_fault_error, EpochRequest, ProtocolRequest, ProtocolResponse, TcpOptions,
+    Transport, VacuumOutcome,
 };
 pub use vars::{PaxVar, QualVecKind};
 

@@ -56,7 +56,7 @@ pub(crate) fn run(
     // ships exactly the fragments the topology places there, so stale
     // copies left behind by a migration are never read.
     let mut requests: BTreeMap<SiteId, ProtocolRequest> = BTreeMap::new();
-    for (site, fragments) in topology.group_by_site(topology.fragment_tree.ids().iter().copied()) {
+    for (site, fragments) in ctx.group_by_site(topology.fragment_tree.ids().iter().copied())? {
         requests.insert(site, ProtocolRequest::FetchFragments(fragments));
     }
     let responses = ctx.round(requests)?;

@@ -83,7 +83,7 @@ pub(crate) fn run(
     let root_init: Vec<bool> = initial_vector(query, &deployment.root_label);
     let mut requests: BTreeMap<paxml_distsim::SiteId, ProtocolRequest> = BTreeMap::new();
     let mut finals_pending: Vec<FragmentId> = Vec::new();
-    for (&site, fragments) in &topology.group_by_site(analysis.relevant.iter().copied()) {
+    for (&site, fragments) in &ctx.group_by_site(analysis.relevant.iter().copied())? {
         let mut inputs = BTreeMap::new();
         for &fragment in fragments {
             let init = if fragment == FragmentId::ROOT {
@@ -140,7 +140,7 @@ pub(crate) fn run(
         coordinator_ops += (ft.len() * query.init_len()) as u64;
         unify_selection(&ft, &virtuals, &root_init, &mut assignment);
         let mut requests: BTreeMap<paxml_distsim::SiteId, ProtocolRequest> = BTreeMap::new();
-        for (&site, fragments) in &topology.group_by_site(finals_pending.iter().copied()) {
+        for (&site, fragments) in &ctx.group_by_site(finals_pending.iter().copied())? {
             let mut per_fragment = BTreeMap::new();
             for &fragment in fragments {
                 per_fragment.insert(

@@ -86,7 +86,7 @@ pub(crate) fn run(
     // ----------------------------------------------------------------- Stage 1
     let mut assignment = DenseAssignment::new(ft.len());
     if query.has_qualifiers() {
-        let requests = stage1_requests(&topology, query, slot, &analysis.relevant);
+        let requests = stage1_requests(&mut ctx, &topology, query, slot, &analysis.relevant)?;
         let responses = ctx.round(requests)?;
         let mut roots: BTreeMap<FragmentId, QualVectors<PaxVar>> = BTreeMap::new();
         for response in responses.into_values() {
@@ -100,7 +100,7 @@ pub(crate) fn run(
     let root_init: Vec<bool> = initial_vector(query, &deployment.root_label);
     let mut requests: BTreeMap<paxml_distsim::SiteId, ProtocolRequest> = BTreeMap::new();
     let mut finals_pending: Vec<FragmentId> = Vec::new();
-    for (&site, fragments) in &topology.group_by_site(analysis.relevant.iter().copied()) {
+    for (&site, fragments) in &ctx.group_by_site(analysis.relevant.iter().copied())? {
         let mut inputs = BTreeMap::new();
         for &fragment in fragments {
             let init = if fragment == FragmentId::ROOT {
@@ -147,7 +147,7 @@ pub(crate) fn run(
         coordinator_ops += (ft.len() * query.init_len()) as u64;
         unify_selection(&ft, &virtuals, &root_init, &mut assignment);
         let mut requests: BTreeMap<paxml_distsim::SiteId, ProtocolRequest> = BTreeMap::new();
-        for (&site, fragments) in &topology.group_by_site(finals_pending.iter().copied()) {
+        for (&site, fragments) in &ctx.group_by_site(finals_pending.iter().copied())? {
             let mut per_fragment = BTreeMap::new();
             for &fragment in fragments {
                 per_fragment.insert(fragment, assignment.restrict_for_fragment(fragment, &[]));
@@ -192,14 +192,15 @@ pub(crate) fn run(
 /// `relevant` fragments park their per-node vectors site-side — Stage 2
 /// visits exactly those, so anything else parked would never be taken back.
 fn stage1_requests(
+    ctx: &mut crate::deployment::ExecCtx<'_>,
     topology: &crate::deployment::Topology,
     query: &CompiledQuery,
     slot: usize,
     relevant: &std::collections::BTreeSet<FragmentId>,
-) -> BTreeMap<paxml_distsim::SiteId, ProtocolRequest> {
+) -> crate::error::PaxResult<BTreeMap<paxml_distsim::SiteId, ProtocolRequest>> {
     let all: Vec<FragmentId> = topology.fragment_tree.ids().to_vec();
-    topology
-        .group_by_site(all)
+    Ok(ctx
+        .group_by_site(all)?
         .into_iter()
         .map(|(site, fragments)| {
             let park: Vec<FragmentId> =
@@ -209,5 +210,5 @@ fn stage1_requests(
                 ProtocolRequest::Qual(QualRequest { slot, query: query.clone(), fragments, park }),
             )
         })
-        .collect()
+        .collect())
 }

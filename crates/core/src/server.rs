@@ -154,10 +154,10 @@ use crate::error::{PaxError, PaxResult};
 use crate::incremental::QuerySession;
 use crate::protocol::{MsgRefrag, MsgSessionUpdate, MsgVacuum, SessionRecompute};
 use crate::report::{Algorithm, ExecMode, ExecReport, QueryOutcome, UpdateOutcome};
-use crate::transport::{ProtocolRequest, VacuumOutcome};
+use crate::transport::{ProtocolRequest, TcpOptions, VacuumOutcome};
 use crate::EvalOptions;
 use crate::{batch, naive, pax2, pax3};
-use paxml_distsim::{ClusterStats, Placement, SiteId};
+use paxml_distsim::{ClusterStats, Placement, ReplicaSet, SiteId};
 use paxml_fragment::{Fragment, FragmentId, FragmentTree, FragmentedTree, UpdateOp};
 use paxml_xpath::{compile_text, CompileCache, CompiledQuery};
 use std::collections::{BTreeMap, BTreeSet};
@@ -222,10 +222,13 @@ pub struct PaxServerBuilder {
     placement: Placement,
     sites: Option<usize>,
     assignment: Option<BTreeMap<FragmentId, SiteId>>,
+    replication: usize,
     sequential: bool,
     round_latency: Duration,
     site_delays: BTreeMap<SiteId, Duration>,
     auto_vacuum_threshold: Option<u64>,
+    retry_policy: RetryPolicy,
+    tcp_options: TcpOptions,
 }
 
 impl Default for PaxServerBuilder {
@@ -236,10 +239,54 @@ impl Default for PaxServerBuilder {
             placement: Placement::RoundRobin,
             sites: None,
             assignment: None,
+            replication: 1,
             sequential: false,
             round_latency: Duration::ZERO,
             site_delays: BTreeMap::new(),
             auto_vacuum_threshold: None,
+            retry_policy: RetryPolicy::default(),
+            tcp_options: TcpOptions::default(),
+        }
+    }
+}
+
+/// How a [`PaxServer`] turns transient site faults into retries and
+/// failovers. Every client-facing operation — executions, updates,
+/// re-fragmentations — runs under this policy: a transient failure
+/// ([`PaxError::is_transient`]) records a strike against the faulty site,
+/// backs off, and retries the whole operation, which re-routes around
+/// quarantined sites onto their next live replica. Permanent errors
+/// surface immediately.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per operation, first try included (default 3).
+    pub max_attempts: u32,
+    /// Backoff before retry `n` is `backoff_step × n` (default 10 ms).
+    pub backoff_step: Duration,
+    /// Backoff never exceeds this (default 200 ms).
+    pub backoff_cap: Duration,
+    /// Per-operation deadline budget: once elapsed time plus the pending
+    /// backoff would cross it, the operation fails with the last transient
+    /// error instead of retrying (default `None` — only `max_attempts`
+    /// bounds the loop).
+    pub deadline: Option<Duration>,
+    /// Transient faults a site may accumulate before it is quarantined
+    /// (default 1: the first fault quarantines).
+    pub quarantine_after: u32,
+    /// How long a quarantined site rests before the server probes it for
+    /// readmission; a failed probe restarts the cooldown (default 100 ms).
+    pub probe_cooldown: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_step: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(200),
+            deadline: None,
+            quarantine_after: 1,
+            probe_cooldown: Duration::from_millis(100),
         }
     }
 }
@@ -276,6 +323,32 @@ impl PaxServerBuilder {
     /// site 0). Overrides [`PaxServerBuilder::placement`].
     pub fn assignment(mut self, assignment: BTreeMap<FragmentId, SiteId>) -> Self {
         self.assignment = Some(assignment);
+        self
+    }
+
+    /// Store every fragment on that many sites (default 1: unreplicated).
+    /// The primary copy is placed by [`PaxServerBuilder::placement`] as
+    /// before; each extra copy goes to the next site round-robin, so no two
+    /// copies of one fragment share a site. Clamped to the site count.
+    /// Incompatible with an explicit [`PaxServerBuilder::assignment`].
+    pub fn replication(mut self, copies: usize) -> Self {
+        self.replication = copies.max(1);
+        self
+    }
+
+    /// The fault-handling policy of every operation of the server (default
+    /// [`RetryPolicy::default`]).
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry_policy = policy;
+        self
+    }
+
+    /// Socket tuning for TCP transports: read timeout, connect-retry
+    /// schedule, probe budget (default [`TcpOptions::default`]). Applied by
+    /// [`PaxServerBuilder::deploy_over`]; the in-process simulator ignores
+    /// it.
+    pub fn tcp_options(mut self, options: TcpOptions) -> Self {
+        self.tcp_options = options;
         self
     }
 
@@ -325,8 +398,18 @@ impl PaxServerBuilder {
                 });
             }
         }
+        if self.assignment.is_some() && self.replication > 1 {
+            return Err(PaxError::InvalidConfig {
+                message: "an explicit assignment fixes one site per fragment; use placement() \
+                          with replication() instead"
+                    .into(),
+            });
+        }
         let mut deployment = match self.assignment {
             Some(assignment) => Deployment::with_assignment(fragmented, sites, assignment),
+            None if self.replication > 1 => {
+                Deployment::replicated(fragmented, sites, self.placement, self.replication)
+            }
             None => Deployment::new(fragmented, sites, self.placement),
         };
         let sequential = self.sequential;
@@ -342,6 +425,7 @@ impl PaxServerBuilder {
             deployment,
             algorithm: self.algorithm,
             options: EvalOptions { use_annotations: self.use_annotations },
+            retry: self.retry_policy,
             writer: Mutex::new(()),
             current,
             epochs,
@@ -363,18 +447,22 @@ impl PaxServerBuilder {
     /// [`sequential`](PaxServerBuilder::sequential),
     /// [`round_latency`](PaxServerBuilder::round_latency) and
     /// [`site_delay`](PaxServerBuilder::site_delay) — do not apply here and
-    /// are ignored; only [`algorithm`](PaxServerBuilder::algorithm) and
-    /// [`annotations`](PaxServerBuilder::annotations) take effect.
+    /// are ignored; [`algorithm`](PaxServerBuilder::algorithm),
+    /// [`annotations`](PaxServerBuilder::annotations),
+    /// [`retry_policy`](PaxServerBuilder::retry_policy) and
+    /// [`tcp_options`](PaxServerBuilder::tcp_options) take effect.
     pub fn deploy_over(
         self,
         fragmented: &FragmentedTree,
         transport: Arc<dyn crate::transport::Transport>,
     ) -> PaxResult<PaxServer> {
+        transport.configure_tcp(&self.tcp_options);
         let (current, epochs) = initial_epoch();
         Ok(PaxServer {
             deployment: Deployment::over_transport(fragmented, transport),
             algorithm: self.algorithm,
             options: EvalOptions { use_annotations: self.use_annotations },
+            retry: self.retry_policy,
             writer: Mutex::new(()),
             current,
             epochs,
@@ -482,6 +570,8 @@ pub struct PaxServer {
     deployment: Deployment,
     algorithm: Algorithm,
     options: EvalOptions,
+    /// Fault handling: retry budget, backoff, quarantine thresholds.
+    retry: RetryPolicy,
     /// Serializes updaters against each other — never taken by the read
     /// path. Held across the whole build-and-publish of one update (and
     /// by [`PaxServer::vacuum`]), so epoch numbers advance one at a time.
@@ -573,6 +663,121 @@ impl PaxServer {
     /// versions unretired) until the caller drops it.
     fn pin(&self) -> Arc<EpochInner> {
         Arc::clone(&self.current.lock().expect("the current-epoch lock is never poisoned"))
+    }
+
+    /// The retry/failover policy of this server.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// Probe every quarantined site whose cooldown has elapsed; a site that
+    /// answers is readmitted (strikes cleared — its stale copies stay off
+    /// the routing path until [`PaxServer::repair`] refreshes them).
+    fn probe_quarantined(&self) {
+        let health = self.deployment.health();
+        for site in health.due_for_probe(self.retry.probe_cooldown) {
+            if self.deployment.transport().probe(site) {
+                health.readmit(site);
+            } else {
+                health.probe_failed(site);
+            }
+        }
+    }
+
+    /// Run one operation under the server's [`RetryPolicy`]: probe due
+    /// quarantined sites, attempt, and on a *transient* failure strike the
+    /// faulty site (quarantining it once it crosses the threshold), back
+    /// off, and retry the whole operation — which re-routes around
+    /// quarantined sites onto their next live replicas. Each attempt is
+    /// whole-operation: a retried execution pins the epoch afresh and gets
+    /// fresh scratch slots, a retried update re-builds its round, so no
+    /// attempt ever reads another attempt's partial state. Permanent errors
+    /// surface immediately; the deadline budget bounds the total time spent
+    /// retrying.
+    fn with_failover<T>(&self, mut operation: impl FnMut() -> PaxResult<T>) -> PaxResult<T> {
+        let started = Instant::now();
+        let mut attempt = 0u32;
+        loop {
+            self.probe_quarantined();
+            let error = match operation() {
+                Ok(value) => return Ok(value),
+                Err(error) if error.is_transient() => error,
+                Err(error) => return Err(error),
+            };
+            if let PaxError::SiteUnreachable { site, .. } = &error {
+                self.deployment.health().record_fault(*site, self.retry.quarantine_after);
+            }
+            attempt += 1;
+            if attempt >= self.retry.max_attempts.max(1) {
+                return Err(error);
+            }
+            let backoff = (self.retry.backoff_step * attempt).min(self.retry.backoff_cap);
+            if let Some(deadline) = self.retry.deadline {
+                if started.elapsed() + backoff >= deadline {
+                    return Err(error);
+                }
+            }
+            std::thread::sleep(backoff);
+        }
+    }
+
+    /// Re-install every stale fragment copy whose site has been readmitted:
+    /// fetch the current payload from a live replica, ship it to the
+    /// recovering site pinned to the **current** epoch, and close the stale
+    /// range there — readers pinned inside the outage window keep avoiding
+    /// the copy, readers at or after the repair epoch use it again. Returns
+    /// the number of copies repaired. Updates and re-fragmentations run
+    /// this automatically before building; calling it explicitly shortens
+    /// the exposure window after a site rejoins.
+    pub fn repair(&self) -> PaxResult<usize> {
+        let _writer = self.writer.lock().expect("the writer lock is never poisoned");
+        self.repair_locked()
+    }
+
+    /// The repair pass itself, writer lock already held.
+    fn repair_locked(&self) -> PaxResult<usize> {
+        let health = self.deployment.health();
+        let pending = health.unrepaired_stale();
+        if pending.is_empty() {
+            return Ok(0);
+        }
+        let current = self.pin();
+        let topology = self.deployment.topology_at(current.number);
+        let mut repaired = 0usize;
+        for (fragment, site) in pending {
+            let still_placed =
+                topology.placement.get(&fragment).is_some_and(|set| set.contains(site));
+            if !still_placed {
+                // The copy was re-fragmented away; nothing to repair and
+                // the vacuum sweep owns the leftover versions.
+                health.mark_repaired(fragment, site, current.number);
+                continue;
+            }
+            if health.is_quarantined(site) {
+                continue; // Still down; a later pass will get it.
+            }
+            let source = self.deployment.choose_replica(&topology, fragment, current.number)?;
+            let mut ctx = ExecCtx::pinned(&self.deployment, current.number, 0);
+            let fetched = ctx
+                .round(BTreeMap::from([(source, ProtocolRequest::FetchFragments(vec![fragment]))]))?
+                .remove(&source)
+                .map(|response| response.into_fragments())
+                .transpose()?
+                .unwrap_or_default();
+            let installs: Vec<Fragment> =
+                fetched.into_iter().filter(|f| f.id == fragment).collect();
+            if installs.is_empty() {
+                continue;
+            }
+            let responses = ctx
+                .round(BTreeMap::from([(site, ProtocolRequest::Refrag(MsgRefrag { installs }))]))?;
+            for response in responses.into_values() {
+                response.into_refragged()?;
+            }
+            health.mark_repaired(fragment, site, current.number);
+            repaired += 1;
+        }
+        Ok(repaired)
     }
 
     /// The oldest epoch still pinned anywhere — the retirement watermark:
@@ -840,20 +1045,22 @@ impl PaxServer {
     /// visit. PaX3 and naive servers run their classic protocols each time.
     pub fn execute(&self, query: &PreparedQuery) -> PaxResult<ExecReport> {
         self.resolve(query)?;
-        let epoch = self.pin();
-        match self.algorithm {
-            Algorithm::NaiveCentralized => {
-                naive::run(&self.deployment, &query.compiled, query.text(), epoch.number)
+        self.with_failover(|| {
+            let epoch = self.pin();
+            match self.algorithm {
+                Algorithm::NaiveCentralized => {
+                    naive::run(&self.deployment, &query.compiled, query.text(), epoch.number)
+                }
+                Algorithm::PaX3 => pax3::run(
+                    &self.deployment,
+                    &query.compiled,
+                    query.text(),
+                    &self.options,
+                    epoch.number,
+                ),
+                Algorithm::PaX2 => self.execute_session(query, &epoch),
             }
-            Algorithm::PaX3 => pax3::run(
-                &self.deployment,
-                &query.compiled,
-                query.text(),
-                &self.options,
-                epoch.number,
-            ),
-            Algorithm::PaX2 => self.execute_session(query, &epoch),
-        }
+        })
     }
 
     /// Prepare (or fetch the cached preparation of) `text` and execute it.
@@ -870,18 +1077,20 @@ impl PaxServer {
     /// [`PaxServer::execute`] does.
     pub fn query_once(&self, text: &str) -> PaxResult<ExecReport> {
         let compiled = compile_text(text)?;
-        let epoch = self.pin();
-        match self.algorithm {
-            Algorithm::NaiveCentralized => {
-                naive::run(&self.deployment, &compiled, text, epoch.number)
+        self.with_failover(|| {
+            let epoch = self.pin();
+            match self.algorithm {
+                Algorithm::NaiveCentralized => {
+                    naive::run(&self.deployment, &compiled, text, epoch.number)
+                }
+                Algorithm::PaX3 => {
+                    pax3::run(&self.deployment, &compiled, text, &self.options, epoch.number)
+                }
+                Algorithm::PaX2 => {
+                    pax2::run(&self.deployment, &compiled, text, &self.options, epoch.number)
+                }
             }
-            Algorithm::PaX3 => {
-                pax3::run(&self.deployment, &compiled, text, &self.options, epoch.number)
-            }
-            Algorithm::PaX2 => {
-                pax2::run(&self.deployment, &compiled, text, &self.options, epoch.number)
-            }
-        }
+        })
     }
 
     /// Execute a batch of prepared queries in one shared-visit execution.
@@ -895,6 +1104,12 @@ impl PaxServer {
         for query in queries {
             self.resolve(query)?;
         }
+        self.with_failover(|| self.execute_batch_pinned(queries))
+    }
+
+    /// One attempt of [`PaxServer::execute_batch`], pinning the epoch
+    /// afresh (so a retry after a failover sees current health state).
+    fn execute_batch_pinned(&self, queries: &[PreparedQuery]) -> PaxResult<ExecReport> {
         let epoch = self.pin();
         match self.algorithm {
             Algorithm::NaiveCentralized => {
@@ -969,6 +1184,23 @@ impl PaxServer {
     pub fn apply_updates(&self, updates: &[(FragmentId, UpdateOp)]) -> PaxResult<ExecReport> {
         let start = Instant::now();
         let _writer = self.writer.lock().expect("the writer lock is never poisoned");
+        // Recovered sites first: a repaired copy takes this update's write
+        // instead of falling further behind. Best-effort — a copy a failed
+        // repair leaves stale simply stays off the routing path.
+        let _ = self.repair_locked();
+        self.with_failover(|| self.apply_updates_locked(updates, start))
+    }
+
+    /// One attempt of [`PaxServer::apply_updates`], writer lock held. Safe
+    /// to retry wholesale: a failed attempt publishes nothing, and versions
+    /// it installed under the next epoch are unreadable orphans the retry
+    /// overwrites (installs read their base strictly *below* the target
+    /// epoch, so retried builds never stack on orphaned state).
+    fn apply_updates_locked(
+        &self,
+        updates: &[(FragmentId, UpdateOp)],
+        start: Instant,
+    ) -> PaxResult<ExecReport> {
         // The writer lock makes this the only publisher: the base epoch
         // (and its topology) is stable for the whole build.
         let base = self.pin();
@@ -985,8 +1217,6 @@ impl PaxServer {
             ops_by_fragment.entry(*fragment).or_default().push(op.clone());
         }
         let dirty_fragments: BTreeSet<FragmentId> = ops_by_fragment.keys().copied().collect();
-        let dirty_sites: BTreeSet<SiteId> =
-            dirty_fragments.iter().map(|&f| topology.site_of(f)).collect();
 
         if dirty_fragments.is_empty() {
             // Nothing changes: no visit, no new epoch.
@@ -999,7 +1229,7 @@ impl PaxServer {
                 queries: Vec::new(),
                 update: Some(UpdateOutcome {
                     dirty_fragments,
-                    dirty_sites,
+                    dirty_sites: BTreeSet::new(),
                     applied_ops: 0,
                     rejected: BTreeMap::new(),
                     refreshed_sessions,
@@ -1016,6 +1246,40 @@ impl PaxServer {
             });
         }
         let next_number = base.number + 1;
+
+        // -------------------- fan the dirty fragments out to their replicas
+        // Every *live* copy of a dirty fragment takes the write; copies on
+        // quarantined sites (or already stale ones) are skipped and marked
+        // stale from this epoch on — the routing layer avoids them until a
+        // repair closes the range. A fragment with no live copy at all
+        // fails the update (transiently: the failover loop re-probes and
+        // retries).
+        let health = self.deployment.health();
+        let mut stale_marks: Vec<(FragmentId, SiteId)> = Vec::new();
+        let mut site_fragments: BTreeMap<SiteId, Vec<FragmentId>> = BTreeMap::new();
+        for &fragment in &dirty_fragments {
+            let replicas = topology.replicas_of(fragment);
+            let mut live = 0usize;
+            for &site in replicas.sites() {
+                if health.is_quarantined(site) || health.is_stale_at(fragment, site, base.number) {
+                    stale_marks.push((fragment, site));
+                } else {
+                    site_fragments.entry(site).or_default().push(fragment);
+                    live += 1;
+                }
+            }
+            if live == 0 {
+                return Err(PaxError::SiteUnreachable {
+                    site: replicas.primary(),
+                    detail: format!(
+                        "no live replica of fragment {} to update: all of {replicas} are \
+                         quarantined or stale",
+                        fragment.index()
+                    ),
+                });
+            }
+        }
+        let dirty_sites: BTreeSet<SiteId> = site_fragments.keys().copied().collect();
 
         // Clone every session copy-on-write for the next epoch: clean
         // fragments' cached vectors are shared by reference, only the
@@ -1054,7 +1318,7 @@ impl PaxServer {
             session_inputs.insert(id, inputs);
         }
         let mut requests: BTreeMap<SiteId, ProtocolRequest> = BTreeMap::new();
-        for (&site, fragments) in &topology.group_by_site(dirty_fragments.iter().copied()) {
+        for (&site, fragments) in &site_fragments {
             let ops: BTreeMap<FragmentId, Vec<UpdateOp>> = fragments
                 .iter()
                 .filter_map(|f| ops_by_fragment.get(f).map(|ops| (*f, ops.clone())))
@@ -1088,12 +1352,23 @@ impl PaxServer {
         // are unreadable orphans; a retried update overwrites them
         // (installs read their base strictly *below* the target epoch).
         let responses = ctx.round(requests)?;
+        // Only now that every live replica took the write do the skipped
+        // copies go stale — a failed round publishes nothing, so marking
+        // earlier would poison copies against an epoch that never existed.
+        for &(fragment, site) in &stale_marks {
+            health.mark_stale(fragment, site, next_number);
+        }
 
-        let mut applied_ops = 0usize;
+        // Replicated fragments report their ops once per copy; logical
+        // progress is the per-fragment maximum, not the sum across copies.
+        let mut applied_by_fragment: BTreeMap<FragmentId, usize> = BTreeMap::new();
         let mut rejected: BTreeMap<FragmentId, String> = BTreeMap::new();
         for response in responses.into_values() {
             let delta = response.into_session_delta()?;
-            applied_ops += delta.applied.values().sum::<usize>();
+            for (fragment, count) in delta.applied {
+                let slot = applied_by_fragment.entry(fragment).or_default();
+                *slot = (*slot).max(count);
+            }
             rejected.extend(delta.rejected);
             for session_delta in delta.sessions {
                 if let Some(session) = next_sessions.get_mut(&session_delta.session) {
@@ -1101,6 +1376,7 @@ impl PaxServer {
                 }
             }
         }
+        let applied_ops: usize = applied_by_fragment.values().sum();
 
         // ------------------- evalFT over each session's dirty cone
         let mut coordinator_ops = 0u64;
@@ -1196,10 +1472,23 @@ impl PaxServer {
     /// pinned epoch and its topology version to completion.
     pub fn refragment(
         &self,
-        build: impl FnOnce(&mut RefragBase<'_>) -> PaxResult<TopologyChange>,
+        mut build: impl FnMut(&mut RefragBase<'_>) -> PaxResult<TopologyChange>,
     ) -> PaxResult<RefragReport> {
         let start = Instant::now();
         let _writer = self.writer.lock().expect("the writer lock is never poisoned");
+        let _ = self.repair_locked();
+        self.with_failover(|| self.refragment_locked(&mut build, start))
+    }
+
+    /// One attempt of [`PaxServer::refragment`], writer lock held. The
+    /// builder closure is `FnMut` precisely so a failover can re-run it
+    /// against fresh health state (its fetches re-route around sites
+    /// quarantined by the failed attempt).
+    fn refragment_locked(
+        &self,
+        build: &mut impl FnMut(&mut RefragBase<'_>) -> PaxResult<TopologyChange>,
+        start: Instant,
+    ) -> PaxResult<RefragReport> {
         let base = self.pin();
         let base_topology = self.deployment.topology_at(base.number);
         let mut refrag_base = RefragBase {
@@ -1217,11 +1506,37 @@ impl PaxServer {
         // Installs only — never removals — so a partial round cannot
         // corrupt any epoch: old placements still hold their data, and
         // versions installed under `N + 1` are invisible until publish.
+        // Every *live* replica site of an installed fragment gets a copy;
+        // quarantined targets are skipped and their copies marked stale
+        // once the round lands (a fragment all of whose new homes are
+        // quarantined fails the change — nothing ships, nothing publishes).
+        let health = self.deployment.health();
         let installed_fragments = change.installs.len();
+        let mut stale_marks: Vec<(FragmentId, SiteId)> = Vec::new();
+        let mut shipped_to: Vec<(FragmentId, SiteId)> = Vec::new();
         let mut by_site: BTreeMap<SiteId, Vec<Fragment>> = BTreeMap::new();
-        for fragment in change.installs {
-            let site = change.placement[&fragment.id];
-            by_site.entry(site).or_default().push(fragment);
+        for fragment in &change.installs {
+            let replicas = &change.placement[&fragment.id];
+            let mut live = 0usize;
+            for &site in replicas.sites() {
+                if health.is_quarantined(site) {
+                    stale_marks.push((fragment.id, site));
+                } else {
+                    by_site.entry(site).or_default().push(fragment.clone());
+                    shipped_to.push((fragment.id, site));
+                    live += 1;
+                }
+            }
+            if live == 0 {
+                return Err(PaxError::SiteUnreachable {
+                    site: replicas.primary(),
+                    detail: format!(
+                        "no live site to install fragment {} on: all of {replicas} are \
+                         quarantined",
+                        fragment.id.index()
+                    ),
+                });
+            }
         }
         if !by_site.is_empty() {
             let mut ctx = ExecCtx::pinned(&self.deployment, next_number, watermark);
@@ -1234,6 +1549,14 @@ impl PaxServer {
                 response.into_refragged()?;
             }
             stats.merge(&ctx.stats);
+        }
+        // The round landed: record which copies missed it, and close any
+        // open stale range on copies this round just re-installed fresh.
+        for &(fragment, site) in &stale_marks {
+            health.mark_stale(fragment, site, next_number);
+        }
+        for &(fragment, site) in &shipped_to {
+            health.mark_repaired(fragment, site, next_number);
         }
 
         // ---------------- carry the sessions into the new epoch (no visits)
@@ -1299,16 +1622,30 @@ impl PaxServer {
             // pending wholesale purge of its old copy there — the install
             // just made that placement live again, and the version-level
             // sweep reclaims the stale copy instead.
-            retired.retain(|p| next_topology.placement.get(&p.fragment) != Some(&p.site));
-            for (&fragment, &old_site) in &base_topology.placement {
-                let keeps = next_topology.placement.get(&fragment) == Some(&old_site);
-                if !keeps {
-                    retired.push(RetiredPlacement {
-                        fragment,
-                        site: old_site,
-                        removal_epoch: next_number,
-                    });
+            retired.retain(|p| {
+                !next_topology.placement.get(&p.fragment).is_some_and(|set| set.contains(p.site))
+            });
+            for (&fragment, old_set) in &base_topology.placement {
+                for &old_site in old_set.sites() {
+                    let keeps = next_topology
+                        .placement
+                        .get(&fragment)
+                        .is_some_and(|set| set.contains(old_site));
+                    if !keeps {
+                        retired.push(RetiredPlacement {
+                            fragment,
+                            site: old_site,
+                            removal_epoch: next_number,
+                        });
+                    }
                 }
+            }
+        }
+        // Staleness bookkeeping for fragments the change dissolved entirely
+        // dies with them (their leftover versions are the vacuum's job).
+        for &fragment in base_topology.fragment_tree.ids() {
+            if !next_topology.fragment_tree.contains(fragment) {
+                health.forget_fragment(fragment);
             }
         }
 
@@ -1354,23 +1691,29 @@ impl PaxServer {
         }
         let installed: BTreeSet<FragmentId> = change.installs.iter().map(|f| f.id).collect();
         for &fragment in change.fragment_tree.ids() {
-            let Some(&site) = change.placement.get(&fragment) else {
+            let Some(replicas) = change.placement.get(&fragment) else {
                 return Err(PaxError::InvalidConfig {
                     message: format!("fragment {fragment} has no placement in the new topology"),
                 });
             };
-            if site.index() >= sites {
-                return Err(PaxError::InvalidConfig {
-                    message: format!("fragment {fragment} placed on nonexistent site {site}"),
-                });
+            for &site in replicas.sites() {
+                if site.index() >= sites {
+                    return Err(PaxError::InvalidConfig {
+                        message: format!("fragment {fragment} placed on nonexistent site {site}"),
+                    });
+                }
             }
-            // Anything that is new or moved must ship a payload — its new
-            // site has no version of it to read.
-            let needs_install = base.placement.get(&fragment) != Some(&site);
+            // Anything new, moved, or gaining a copy on a site that never
+            // held it must ship a payload — that site has no version of it
+            // to read.
+            let base_set = base.placement.get(&fragment);
+            let needs_install =
+                replicas.sites().iter().any(|&site| base_set.is_none_or(|set| !set.contains(site)));
             if needs_install && !installed.contains(&fragment) {
                 return Err(PaxError::InvalidConfig {
                     message: format!(
-                        "fragment {fragment} is new or moved to {site} but ships no payload"
+                        "fragment {fragment} is new or re-placed on {replicas} but ships no \
+                         payload"
                     ),
                 });
             }
@@ -1397,21 +1740,24 @@ impl PaxServer {
     /// split/merge/migrate sequence, a fresh deployment of the export must
     /// answer bit-identically.
     pub fn export_fragmentation(&self) -> PaxResult<FragmentedTree> {
-        let epoch = self.pin();
-        let topology = self.deployment.topology_at(epoch.number);
-        let mut ctx = ExecCtx::pinned(&self.deployment, epoch.number, 0);
-        let mut requests: BTreeMap<SiteId, ProtocolRequest> = BTreeMap::new();
-        for (site, fragments) in
-            topology.group_by_site(topology.fragment_tree.ids().iter().copied())
-        {
-            requests.insert(site, ProtocolRequest::FetchFragments(fragments));
-        }
-        let responses = ctx.round(requests)?;
-        let mut shipped: Vec<Fragment> = Vec::new();
-        for response in responses.into_values() {
-            shipped.extend(response.into_fragments()?);
-        }
-        paxml_fragment::compact_fragmentation(shipped, &topology.fragment_tree).map_err(Into::into)
+        self.with_failover(|| {
+            let epoch = self.pin();
+            let topology = self.deployment.topology_at(epoch.number);
+            let mut ctx = ExecCtx::pinned(&self.deployment, epoch.number, 0);
+            let mut requests: BTreeMap<SiteId, ProtocolRequest> = BTreeMap::new();
+            for (site, fragments) in
+                ctx.group_by_site(topology.fragment_tree.ids().iter().copied())?
+            {
+                requests.insert(site, ProtocolRequest::FetchFragments(fragments));
+            }
+            let responses = ctx.round(requests)?;
+            let mut shipped: Vec<Fragment> = Vec::new();
+            for response in responses.into_values() {
+                shipped.extend(response.into_fragments()?);
+            }
+            paxml_fragment::compact_fragmentation(shipped, &topology.fragment_tree)
+                .map_err(Into::into)
+        })
     }
 
     /// The PaX2 session path of [`PaxServer::execute`]: snapshot on first
@@ -1495,13 +1841,15 @@ pub struct TopologyChange {
     /// delta. Fragment ids the base tree had may be gone (merges),
     /// brand-new ids may appear (splits); ids need not be dense.
     pub fragment_tree: FragmentTree,
-    /// Where every fragment of `fragment_tree` lives after the change.
-    /// Must cover the whole tree.
-    pub placement: BTreeMap<FragmentId, SiteId>,
-    /// The payloads to install. Every fragment that is **new or placed on
-    /// a different site than in the base topology** must appear here —
-    /// its new site has no version of it to read. Fragments that stay put
-    /// ship nothing.
+    /// Where every fragment of `fragment_tree` lives after the change — an
+    /// ordered replica set per fragment, primary first (unreplicated
+    /// changes hold solo sets, and `ReplicaSet: From<SiteId>` keeps the
+    /// single-site construction terse). Must cover the whole tree.
+    pub placement: BTreeMap<FragmentId, ReplicaSet>,
+    /// The payloads to install. Every fragment that is **new, or that
+    /// gains a copy on a site not holding it in the base topology** must
+    /// appear here — that site has no version of it to read. Fragments
+    /// whose replica sets stay put ship nothing.
     pub installs: Vec<Fragment>,
     /// Fragments whose *content or shape* changed — split parents and
     /// their offspring, merge products, and every base fragment they
@@ -1533,7 +1881,7 @@ impl RefragBase<'_> {
             return Ok(BTreeMap::new());
         }
         let mut requests: BTreeMap<SiteId, ProtocolRequest> = BTreeMap::new();
-        for (site, fragments) in self.topology.group_by_site(fragments.iter().copied()) {
+        for (site, fragments) in self.ctx.group_by_site(fragments.iter().copied())? {
             requests.insert(site, ProtocolRequest::FetchFragments(fragments));
         }
         let responses = self.ctx.round(requests)?;

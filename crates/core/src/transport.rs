@@ -27,10 +27,14 @@ use crate::protocol::{
     MsgSessionUpdate, MsgUpdate, MsgVacuum, QualRequest, QualResponse, RefragOutcome, SelRequest,
     SelResponse,
 };
-use paxml_distsim::{Cluster, ClusterStats, SiteId, SiteLoadReport, SiteLocal, LATEST_EPOCH};
+use paxml_distsim::{
+    Cluster, ClusterStats, FaultKind, FaultPlan, ReplicaSet, SiteId, SiteLoadReport, SiteLocal,
+    LATEST_EPOCH,
+};
 use paxml_fragment::{Fragment, FragmentId};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
 
 /// The envelope every coordinator→site message travels in: a protocol body
 /// plus the deployment epoch the visit is pinned to and a retirement
@@ -97,6 +101,27 @@ pub enum ProtocolRequest {
     /// `PaxServer::vacuum`, which exists because piggybacked watermarks
     /// only reach sites the next update happens to visit.
     Vacuum(MsgVacuum),
+}
+
+impl ProtocolRequest {
+    /// The variant's name — the "in-flight operation" named in transport
+    /// error details.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ProtocolRequest::Qual(_) => "Qual",
+            ProtocolRequest::Sel(_) => "Sel",
+            ProtocolRequest::Combined(_) => "Combined",
+            ProtocolRequest::Collect(_) => "Collect",
+            ProtocolRequest::BatchCombined(_) => "BatchCombined",
+            ProtocolRequest::BatchCollect(_) => "BatchCollect",
+            ProtocolRequest::Update(_) => "Update",
+            ProtocolRequest::SessionUpdate(_) => "SessionUpdate",
+            ProtocolRequest::Fetch => "Fetch",
+            ProtocolRequest::FetchFragments(_) => "FetchFragments",
+            ProtocolRequest::Refrag(_) => "Refrag",
+            ProtocolRequest::Vacuum(_) => "Vacuum",
+        }
+    }
 }
 
 /// A site→coordinator message: the response to the same-named
@@ -261,6 +286,74 @@ impl ProtocolResponse {
     }
 }
 
+/// Socket-level tuning for remote transports, threaded from
+/// `PaxServerBuilder::tcp_options` down to `paxml-wire`'s `TcpCluster`
+/// through [`Transport::configure_tcp`]. The defaults are the values that
+/// used to be hard-coded consts in `crates/wire/src/tcp.rs`; in-process
+/// transports ignore all of them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpOptions {
+    /// Per-read deadline on every site socket: a site that accepts the
+    /// connection but never replies fails the round after this long instead
+    /// of hanging the coordinator.
+    pub read_timeout: Duration,
+    /// How many times to retry the initial connect to a site before giving
+    /// up (site processes come up asynchronously).
+    pub connect_attempts: u32,
+    /// Linear backoff increment between connect attempts.
+    pub connect_backoff_step: Duration,
+    /// Ceiling on the per-attempt connect backoff.
+    pub connect_backoff_cap: Duration,
+    /// How many connect attempts a liveness *probe* makes before declaring
+    /// the site still dead. Deliberately much smaller than
+    /// `connect_attempts`: probes run on the serving path when a
+    /// quarantined site comes up for readmission, and must answer fast.
+    pub probe_attempts: u32,
+}
+
+impl Default for TcpOptions {
+    fn default() -> Self {
+        TcpOptions {
+            read_timeout: Duration::from_secs(30),
+            connect_attempts: 40,
+            connect_backoff_step: Duration::from_millis(5),
+            connect_backoff_cap: Duration::from_millis(150),
+            probe_attempts: 2,
+        }
+    }
+}
+
+/// The error a transport raises when its [`FaultPlan`] refuses to deliver a
+/// round. Shared by both transports so an injected fault surfaces
+/// identically in-process and over TCP: `Kill`/`Drop` are transient
+/// [`PaxError::SiteUnreachable`] (failover retries them), `Garble` is a
+/// permanent [`PaxError::Protocol`] (retrying re-reads the same
+/// corruption). `Delay` never fails a round and must be handled by the
+/// caller before constructing an error.
+pub fn injected_fault_error(
+    site: SiteId,
+    kind: &FaultKind,
+    peer: &str,
+    operation: &str,
+) -> PaxError {
+    match kind {
+        FaultKind::Kill => PaxError::SiteUnreachable {
+            site,
+            detail: format!("{peer}: injected Kill fault while sending {operation}"),
+        },
+        FaultKind::Drop => PaxError::SiteUnreachable {
+            site,
+            detail: format!("{peer}: injected Drop fault: {operation} request lost in flight"),
+        },
+        FaultKind::Garble => PaxError::Protocol {
+            message: format!("{peer}: injected Garble fault: undecodable reply to {operation}"),
+        },
+        FaultKind::Delay(d) => {
+            unreachable!("a Delay({d:?}) fault stalls the round instead of failing it")
+        }
+    }
+}
+
 /// The coordinator's view of a set of sites, independent of how the sites
 /// are reached. [`Cluster`] implements it in-process; `paxml-wire`'s
 /// `TcpCluster` implements it over sockets. Everything a driver needs —
@@ -280,11 +373,34 @@ pub trait Transport: Send + Sync {
     /// Number of sites.
     fn site_count(&self) -> usize;
 
-    /// The site storing a fragment.
+    /// The *primary* site storing a fragment (the first replica).
     fn site_of(&self, fragment: FragmentId) -> SiteId;
 
-    /// All sites that hold at least one fragment.
+    /// All sites storing a fragment, primary first. Transports that predate
+    /// replication report a solo set around [`Transport::site_of`].
+    fn replicas_of(&self, fragment: FragmentId) -> ReplicaSet {
+        ReplicaSet::solo(self.site_of(fragment))
+    }
+
+    /// All sites that hold at least one fragment copy.
     fn occupied_sites(&self) -> BTreeSet<SiteId>;
+
+    /// Install (or clear) a deterministic [`FaultPlan`] consulted before
+    /// every subsequent round. Transports without fault injection ignore
+    /// it.
+    fn set_fault_plan(&self, _plan: Option<FaultPlan>) {}
+
+    /// Is the site answering *right now*? Used by the health tracker to
+    /// re-probe a quarantined site before readmitting it. Must be cheap
+    /// (bounded by a couple of connect attempts, never the full connect
+    /// backoff) and must not advance the fault clock or the meters.
+    fn probe(&self, _site: SiteId) -> bool {
+        true
+    }
+
+    /// Apply socket-level tuning. In-process transports have no sockets and
+    /// ignore it.
+    fn configure_tcp(&self, _options: &TcpOptions) {}
 
     /// Hand out `n` scratch slots no other caller will ever receive (see
     /// [`Cluster::allocate_slots`]).
@@ -324,6 +440,24 @@ impl Transport for Cluster {
         recorder: &mut ClusterStats,
         requests: BTreeMap<SiteId, EpochRequest>,
     ) -> PaxResult<BTreeMap<SiteId, ProtocolResponse>> {
+        // The fault gate: with a plan installed, every attempted round
+        // advances the fault clock and is checked against the schedule
+        // *atomically* — a faulted target site fails the whole round with
+        // nothing delivered, exactly like the TCP transport dropping the
+        // round on a dead socket.
+        if let Some(plan) = self.fault_plan() {
+            let tick = self.next_fault_tick();
+            let targets = requests.keys().copied();
+            if let Some((site, kind)) = plan.first_failure(tick, targets) {
+                let operation = requests.get(&site).map(|r| r.body.kind()).unwrap_or("round");
+                let peer = format!("sim://{site}");
+                return Err(injected_fault_error(site, &kind, &peer, operation));
+            }
+            let stall = plan.total_delay(tick, requests.keys().copied());
+            if !stall.is_zero() {
+                std::thread::sleep(stall);
+            }
+        }
         Ok(Cluster::round_recorded(self, recorder, requests, dispatch))
     }
 
@@ -335,8 +469,29 @@ impl Transport for Cluster {
         Cluster::site_of(self, fragment)
     }
 
+    fn replicas_of(&self, fragment: FragmentId) -> ReplicaSet {
+        Cluster::replicas_of(self, fragment)
+    }
+
     fn occupied_sites(&self) -> BTreeSet<SiteId> {
         Cluster::occupied_sites(self)
+    }
+
+    fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        Cluster::set_fault_plan(self, plan)
+    }
+
+    fn probe(&self, site: SiteId) -> bool {
+        // An in-process site is always alive; only the fault schedule can
+        // make it look dead. Probes read the current fault clock without
+        // advancing it — they are not rounds.
+        match self.fault_plan() {
+            Some(plan) => !matches!(
+                plan.fault_at(site, self.current_fault_tick()),
+                Some(FaultKind::Kill) | Some(FaultKind::Drop) | Some(FaultKind::Garble)
+            ),
+            None => true,
+        }
     }
 
     fn allocate_slots(&self, n: usize) -> usize {

@@ -58,13 +58,14 @@
 //! ```
 
 use crate::bytecount::encoded_size;
+use crate::fault::{FaultPlan, ReplicaSet};
 use crate::site::{SiteId, SiteLocal};
 use crate::stats::ClusterStats;
 use paxml_fragment::{FragmentId, FragmentedTree};
 use serde::Serialize;
 use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
@@ -151,7 +152,7 @@ impl WorkerPool {
 /// is shared.
 pub struct Cluster {
     sites: Vec<Arc<Mutex<SiteLocal>>>,
-    assignment: BTreeMap<FragmentId, SiteId>,
+    assignment: BTreeMap<FragmentId, ReplicaSet>,
     /// The persistent worker pool (spawned lazily on the first round that
     /// actually runs in parallel; `sequential` clusters never spawn it).
     pool: OnceLock<WorkerPool>,
@@ -168,40 +169,81 @@ pub struct Cluster {
     stats: Mutex<ClusterStats>,
     /// Source of unique scratch slots (see [`Cluster::allocate_slots`]).
     next_slot: AtomicUsize,
+    /// The installed fault schedule, if any (interior mutability so a test
+    /// can arm faults on an already-shared cluster).
+    fault: Mutex<Option<FaultPlan>>,
+    /// Round counter indexing the fault plan: advanced once per attempted
+    /// round while a plan is installed, so the same workload replays the
+    /// same fault sequence.
+    fault_tick: AtomicU64,
 }
 
 impl Cluster {
     /// Build a cluster with `site_count` sites and distribute the fragments
-    /// of `fragmented` according to `placement`.
+    /// of `fragmented` according to `placement` (one copy each).
     pub fn new(fragmented: &FragmentedTree, site_count: usize, placement: Placement) -> Self {
+        Self::replicated(fragmented, site_count, placement, 1)
+    }
+
+    /// Build a cluster where every fragment lives on `replication` sites:
+    /// the primary chosen by `placement`, plus secondaries on the next sites
+    /// round-robin (`(primary + k) mod site_count`) — which also guarantees
+    /// copies are never co-located. `replication` is clamped to
+    /// `site_count`.
+    pub fn replicated(
+        fragmented: &FragmentedTree,
+        site_count: usize,
+        placement: Placement,
+        replication: usize,
+    ) -> Self {
         let site_count = site_count.max(1);
+        let copies = replication.clamp(1, site_count);
         let mut assignment = BTreeMap::new();
         for fragment in &fragmented.fragments {
-            let site = match placement {
-                Placement::RoundRobin => SiteId(fragment.id.index() % site_count),
-                Placement::SingleSite => SiteId(0),
+            let primary = match placement {
+                Placement::RoundRobin => fragment.id.index() % site_count,
+                Placement::SingleSite => 0,
             };
-            assignment.insert(fragment.id, site);
+            let set = ReplicaSet::of((0..copies).map(|k| SiteId((primary + k) % site_count)));
+            assignment.insert(fragment.id, set);
         }
-        Self::with_assignment(fragmented, site_count, assignment)
+        Self::with_replicas(fragmented, site_count, assignment)
     }
 
     /// Build a cluster with an explicit fragment→site assignment (fragments
-    /// not mentioned default to `S0`).
+    /// not mentioned default to `S0`; each fragment gets one copy).
     pub fn with_assignment(
         fragmented: &FragmentedTree,
         site_count: usize,
         assignment: BTreeMap<FragmentId, SiteId>,
+    ) -> Self {
+        let replicas =
+            assignment.into_iter().map(|(f, site)| (f, ReplicaSet::solo(site))).collect();
+        Self::with_replicas(fragmented, site_count, replicas)
+    }
+
+    /// Build a cluster with an explicit fragment→replica-set assignment
+    /// (fragments not mentioned default to a solo copy on `S0`; site indices
+    /// beyond the last site are clamped to it). Every replica site stores a
+    /// full copy of the fragment.
+    pub fn with_replicas(
+        fragmented: &FragmentedTree,
+        site_count: usize,
+        assignment: BTreeMap<FragmentId, ReplicaSet>,
     ) -> Self {
         let site_count = site_count.max(1);
         let mut sites: Vec<SiteLocal> =
             (0..site_count).map(|i| SiteLocal::new(SiteId(i))).collect();
         let mut final_assignment = BTreeMap::new();
         for fragment in &fragmented.fragments {
-            let site = assignment.get(&fragment.id).copied().unwrap_or(SiteId(0));
-            let site = SiteId(site.index().min(site_count - 1));
-            final_assignment.insert(fragment.id, site);
-            sites[site.index()].add_fragment(fragment.clone());
+            let set = assignment.get(&fragment.id).cloned().unwrap_or(ReplicaSet::solo(SiteId(0)));
+            // Clamp out-of-range members; `of` re-dedupes whatever collides.
+            let set =
+                ReplicaSet::of(set.sites().iter().map(|s| SiteId(s.index().min(site_count - 1))));
+            for &site in set.sites() {
+                sites[site.index()].add_fragment(fragment.clone());
+            }
+            final_assignment.insert(fragment.id, set);
         }
         Cluster {
             sites: sites.into_iter().map(|s| Arc::new(Mutex::new(s))).collect(),
@@ -212,6 +254,8 @@ impl Cluster {
             sequential: false,
             stats: Mutex::new(ClusterStats::default()),
             next_slot: AtomicUsize::new(0),
+            fault: Mutex::new(None),
+            fault_tick: AtomicU64::new(0),
         }
     }
 
@@ -220,16 +264,21 @@ impl Cluster {
         self.sites.len()
     }
 
-    /// The site storing a fragment.
+    /// The primary site storing a fragment (the first replica).
     pub fn site_of(&self, fragment: FragmentId) -> SiteId {
-        self.assignment
-            .get(&fragment)
-            .copied()
-            .expect("every fragment was assigned to a site at construction")
+        self.replicas_of(fragment).primary()
     }
 
-    /// The full fragment→site assignment.
-    pub fn assignment(&self) -> &BTreeMap<FragmentId, SiteId> {
+    /// All sites storing a fragment, primary first.
+    pub fn replicas_of(&self, fragment: FragmentId) -> ReplicaSet {
+        self.assignment
+            .get(&fragment)
+            .cloned()
+            .expect("every fragment was assigned to a replica set at construction")
+    }
+
+    /// The full fragment→replica-set assignment.
+    pub fn assignment(&self) -> &BTreeMap<FragmentId, ReplicaSet> {
         &self.assignment
     }
 
@@ -238,14 +287,39 @@ impl Cluster {
         self.lock_site(site).fragment_ids()
     }
 
-    /// The set of sites holding at least one of the given fragments.
+    /// The set of *primary* sites of the given fragments.
     pub fn sites_holding(&self, fragments: &[FragmentId]) -> BTreeSet<SiteId> {
         fragments.iter().map(|f| self.site_of(*f)).collect()
     }
 
-    /// All sites that hold at least one fragment.
+    /// All sites that hold at least one fragment copy.
     pub fn occupied_sites(&self) -> BTreeSet<SiteId> {
-        self.assignment.values().copied().collect()
+        self.assignment.values().flat_map(|set| set.sites().iter().copied()).collect()
+    }
+
+    /// Install (or clear) the deterministic fault schedule consulted before
+    /// every subsequent round. Interior mutability: faults can be armed on a
+    /// cluster already shared behind an `Arc`.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        *self.fault.lock().expect("the fault-plan lock is never poisoned") = plan;
+    }
+
+    /// A snapshot of the installed fault schedule, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.fault.lock().expect("the fault-plan lock is never poisoned").clone()
+    }
+
+    /// Advance and return the round tick used to index the fault plan. The
+    /// transport calls this once per attempted round while a plan is
+    /// installed.
+    pub fn next_fault_tick(&self) -> u64 {
+        self.fault_tick.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The round tick the *next* round will be indexed at, without
+    /// advancing the clock (probes peek; only rounds tick).
+    pub fn current_fault_tick(&self) -> u64 {
+        self.fault_tick.load(Ordering::Relaxed)
     }
 
     /// The cumulative data size of the largest site, `max_Si |F_Si|` — the
@@ -555,6 +629,47 @@ mod tests {
         assert_eq!(cluster.site_of(FragmentId(0)), SiteId(0)); // default
         assert_eq!(cluster.site_of(FragmentId(1)), SiteId(1));
         assert_eq!(cluster.site_of(FragmentId(2)), SiteId(1));
+    }
+
+    #[test]
+    fn replicated_placement_stores_every_copy_and_never_colocates() {
+        let f = fragmented();
+        let cluster = Cluster::replicated(&f, 3, Placement::RoundRobin, 2);
+        for fragment in [FragmentId(0), FragmentId(1), FragmentId(2), FragmentId(3)] {
+            let set = cluster.replicas_of(fragment);
+            assert_eq!(set.len(), 2, "every fragment has two distinct copies");
+            // The primary matches the unreplicated round-robin placement…
+            assert_eq!(set.primary(), SiteId(fragment.index() % 3));
+            assert_eq!(cluster.site_of(fragment), set.primary());
+            // …and each replica site actually stores the fragment.
+            for &site in set.sites() {
+                assert!(cluster.fragments_at(site).contains(&fragment));
+            }
+        }
+        assert_eq!(cluster.occupied_sites().len(), 3);
+        // Replication clamps to the site count instead of wrapping into
+        // duplicates.
+        let full = Cluster::replicated(&f, 2, Placement::RoundRobin, 5);
+        assert_eq!(full.replicas_of(FragmentId(0)).len(), 2);
+    }
+
+    #[test]
+    fn fault_plan_is_armed_and_ticked_through_interior_mutability() {
+        let f = fragmented();
+        let cluster = Arc::new(Cluster::new(&f, 2, Placement::RoundRobin));
+        assert!(cluster.fault_plan().is_none());
+        let plan = FaultPlan::scripted(vec![crate::fault::FaultEvent {
+            site: SiteId(1),
+            from_round: 0,
+            to_round: 1,
+            kind: crate::fault::FaultKind::Kill,
+        }]);
+        cluster.set_fault_plan(Some(plan.clone()));
+        assert_eq!(cluster.fault_plan(), Some(plan));
+        assert_eq!(cluster.next_fault_tick(), 0);
+        assert_eq!(cluster.next_fault_tick(), 1);
+        cluster.set_fault_plan(None);
+        assert!(cluster.fault_plan().is_none());
     }
 
     #[test]

@@ -29,10 +29,12 @@
 
 mod bytecount;
 mod cluster;
+mod fault;
 mod site;
 mod stats;
 
 pub use bytecount::encoded_size;
 pub use cluster::{Cluster, Placement};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, ReplicaSet};
 pub use site::{SiteId, SiteLocal, LATEST_EPOCH};
 pub use stats::{ClusterStats, SiteLoadReport, SiteStats};

@@ -44,9 +44,12 @@
 //! let q = server.prepare("client/broker/name").unwrap();
 //! let before = server.execute(&q).unwrap();
 //!
-//! // Move the broker fragment to the other site, online.
-//! let to = SiteId(1 - server.deployment().site_of(FragmentId(1)).index());
-//! let report = apply_ops(&server, &[RefragOp::Migrate { fragment: FragmentId(1), to }]).unwrap();
+//! // Move the broker fragment to the other site, online. With replicated
+//! // placements a migrate moves one copy, so it names its source site.
+//! let from = server.deployment().site_of(FragmentId(1));
+//! let to = SiteId(1 - from.index());
+//! let report =
+//!     apply_ops(&server, &[RefragOp::Migrate { fragment: FragmentId(1), from, to }]).unwrap();
 //! assert_eq!(report.installed_fragments, 1);
 //!
 //! let after = server.execute(&q).unwrap();

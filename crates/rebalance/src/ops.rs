@@ -8,7 +8,7 @@
 
 use paxml_core::server::{PaxServer, RefragBase, RefragReport, TopologyChange};
 use paxml_core::{PaxError, PaxResult};
-use paxml_distsim::SiteId;
+use paxml_distsim::{ReplicaSet, SiteId};
 use paxml_fragment::{merge_fragment, split_fragment, Fragment, FragmentId};
 use paxml_xml::NodeId;
 use std::collections::{BTreeMap, BTreeSet};
@@ -28,8 +28,9 @@ pub enum RefragOp {
         fragment: FragmentId,
         /// The element node (in the fragment's own tree) to cut at.
         cut: NodeId,
-        /// Where the new fragment will live.
-        place_on: SiteId,
+        /// Where the new fragment will live — every site of the set gets a
+        /// copy (`ReplicaSet::from(site)` for the unreplicated case).
+        place_on: ReplicaSet,
     },
     /// Splice `child` back into its FT parent: the child's data replaces
     /// the parent's virtual node, the child's sub-fragments are lifted to
@@ -38,10 +39,13 @@ pub enum RefragOp {
         /// The fragment to dissolve into its parent.
         child: FragmentId,
     },
-    /// Move `fragment` — data unchanged — to another site.
+    /// Move one copy of `fragment` — data unchanged — to another site. The
+    /// rest of its replica set stays put.
     Migrate {
         /// The fragment to move.
         fragment: FragmentId,
+        /// The site giving its copy up (must hold one).
+        from: SiteId,
         /// The destination site.
         to: SiteId,
     },
@@ -79,7 +83,7 @@ fn build_change(base: &mut RefragBase<'_>, ops: &[RefragOp]) -> PaxResult<Topolo
                 next_id += 1;
                 let outcome = split_fragment(&source, &ft, *cut, new_id)?;
                 ft = outcome.fragment_tree;
-                placement.insert(new_id, *place_on);
+                placement.insert(new_id, place_on.clone());
                 working.insert(*fragment, outcome.parent);
                 working.insert(new_id, outcome.child);
                 touched.insert(*fragment);
@@ -99,13 +103,22 @@ fn build_change(base: &mut RefragBase<'_>, ops: &[RefragOp]) -> PaxResult<Topolo
                 touched.insert(parent_id);
                 touched.insert(*child);
             }
-            RefragOp::Migrate { fragment, to } => {
-                if !ft.contains(*fragment) {
+            RefragOp::Migrate { fragment, from, to } => {
+                let Some(replicas) = placement.get_mut(fragment).filter(|_| ft.contains(*fragment))
+                else {
                     return Err(PaxError::InvalidConfig {
                         message: format!("cannot migrate {fragment}: no such fragment"),
                     });
+                };
+                if !replicas.contains(*from) {
+                    return Err(PaxError::InvalidConfig {
+                        message: format!(
+                            "cannot migrate {fragment} from {from}: no copy lives there \
+                             (replicas: {replicas})"
+                        ),
+                    });
                 }
-                placement.insert(*fragment, *to);
+                replicas.migrate(*from, *to);
             }
         }
     }

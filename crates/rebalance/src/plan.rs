@@ -170,11 +170,15 @@ pub fn plan(model: &CostModel, options: &PlannerOptions) -> Vec<RefragOp> {
             break;
         }
         // The largest fragment that still *reduces* the pairwise max:
-        // moving weight w helps iff w < gap.
+        // moving weight w helps iff w < gap. A fragment the light site
+        // already holds a copy of is never a candidate — co-locating two
+        // replicas would silently halve the fragment's fault tolerance.
         let candidate = per_site[heavy]
             .iter()
             .enumerate()
-            .filter(|(_, (_, w))| *w < gap)
+            .filter(|(_, (fragment, w))| {
+                *w < gap && !per_site[light].iter().any(|(there, _)| there == fragment)
+            })
             .max_by_key(|(_, (_, w))| *w)
             .map(|(position, &(fragment, weight))| (position, fragment, weight));
         let Some((position, fragment, weight)) = candidate else {
@@ -189,7 +193,7 @@ pub fn plan(model: &CostModel, options: &PlannerOptions) -> Vec<RefragOp> {
         bytes_moved += fragment_bytes;
         per_site[heavy].remove(position);
         per_site[light].push((fragment, weight));
-        moves.push(RefragOp::Migrate { fragment, to: SiteId(light) });
+        moves.push(RefragOp::Migrate { fragment, from: SiteId(heavy), to: SiteId(light) });
     }
     moves
 }
@@ -258,9 +262,30 @@ mod tests {
         // Every move comes off site 0 and the result is better balanced.
         for m in &moves {
             match m {
-                RefragOp::Migrate { fragment, to } => {
+                RefragOp::Migrate { fragment, from, to } => {
                     assert!([FragmentId(0), FragmentId(1), FragmentId(2)].contains(fragment));
+                    assert_eq!(*from, SiteId(0));
                     assert_ne!(*to, SiteId(0));
+                }
+                other => panic!("planner emitted a non-migration: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn the_planner_never_colocates_two_copies_of_one_fragment() {
+        // Fragment 0 is replicated on sites 0 and 1. Site 0 is heavy, site
+        // 1 is lightest — but moving fragment 0 there would co-locate its
+        // copies, so the planner must ship fragment 1 instead.
+        let m = model(vec![vec![(0, 100), (1, 80)], vec![(0, 100)], vec![(2, 120)]]);
+        let moves = plan(&m, &PlannerOptions::default());
+        for op in &moves {
+            match op {
+                RefragOp::Migrate { fragment, to, .. } => {
+                    assert!(
+                        !(*fragment == FragmentId(0) && *to == SiteId(1)),
+                        "moved a replica onto its sibling's site"
+                    );
                 }
                 other => panic!("planner emitted a non-migration: {other:?}"),
             }

@@ -89,6 +89,21 @@ impl ProcessCluster {
         site_count: usize,
         placement: Placement,
     ) -> PaxResult<ProcessCluster> {
+        Self::spawn_replicated(program, fragmented, site_count, placement, 1)
+    }
+
+    /// Like [`ProcessCluster::spawn`], but every fragment is stored on
+    /// `replication` site processes (primary by `placement`, secondaries
+    /// round-robin on the next sites — see
+    /// [`TcpCluster::connect_replicated`]), so a single killed process
+    /// leaves every fragment with a live copy.
+    pub fn spawn_replicated(
+        program: impl AsRef<OsStr> + Copy,
+        fragmented: &FragmentedTree,
+        site_count: usize,
+        placement: Placement,
+        replication: usize,
+    ) -> PaxResult<ProcessCluster> {
         let mut sites = Vec::with_capacity(site_count.max(1));
         for index in 0..site_count.max(1) {
             let site = SiteId(index);
@@ -97,7 +112,8 @@ impl ProcessCluster {
             })?);
         }
         let addrs: Vec<SocketAddr> = sites.iter().map(|s| s.addr).collect();
-        let transport = Arc::new(TcpCluster::connect(fragmented, &addrs, placement)?);
+        let transport =
+            Arc::new(TcpCluster::connect_replicated(fragmented, &addrs, placement, replication)?);
         Ok(ProcessCluster { transport, sites })
     }
 

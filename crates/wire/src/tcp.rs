@@ -13,12 +13,24 @@
 //!
 //! # Failure behaviour
 //!
-//! A connection that errors is marked **dead** and never retried: the first
-//! failed round reports [`PaxError::SiteUnreachable`], and every later
-//! round addressed to that site fails the same way immediately — no hangs
-//! (reads carry a timeout as a backstop) and no desynchronized streams
-//! (a failing round still drains the replies of the sites it did reach, so
-//! surviving connections stay clean for the next round).
+//! A connection that errors is marked **dead**: the first failed round
+//! reports [`PaxError::SiteUnreachable`] (naming the peer address and the
+//! in-flight operation), and every later round addressed to that site fails
+//! the same way — no hangs (reads carry a timeout as a backstop) and no
+//! desynchronized streams (a failing round still drains the replies of the
+//! sites it did reach, so surviving connections stay clean for the next
+//! round). A dead connection is only revived through [`Transport::probe`]:
+//! the server's health tracker quarantines the site, re-probes it after a
+//! cooldown, and the probe redials with a deliberately small attempt budget
+//! ([`TcpOptions::probe_attempts`]) so readmission checks never stall the
+//! serving path.
+//!
+//! Socket knobs (read timeout, connect/probe backoff) live in
+//! [`TcpOptions`], threaded from `PaxServerBuilder::tcp_options` through
+//! [`Transport::configure_tcp`]; a deterministic [`FaultPlan`] can be
+//! installed with [`Transport::set_fault_plan`] to refuse scheduled rounds
+//! exactly like the simulator does, which makes chaos schedules replayable
+//! on both transports.
 //!
 //! # Accounting
 //!
@@ -34,27 +46,20 @@
 
 use crate::codec;
 use crate::msg::{self, WireReply, WireRequest};
-use paxml_core::{EpochRequest, PaxError, PaxResult, ProtocolResponse, Transport};
-use paxml_distsim::{ClusterStats, Placement, SiteId, SiteLoadReport};
+use paxml_core::{
+    injected_fault_error, EpochRequest, PaxError, PaxResult, ProtocolResponse, TcpOptions,
+    Transport,
+};
+use paxml_distsim::{
+    ClusterStats, FaultKind, FaultPlan, Placement, ReplicaSet, SiteId, SiteLoadReport,
+};
 use paxml_fragment::{Fragment, FragmentId, FragmentedTree};
 use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
-
-/// How often and how long to retry the initial connection to a site that
-/// is still starting up: linear backoff, bounded at about three seconds
-/// in total.
-const CONNECT_ATTEMPTS: u32 = 40;
-const CONNECT_BACKOFF_STEP: Duration = Duration::from_millis(5);
-const CONNECT_BACKOFF_CAP: Duration = Duration::from_millis(150);
-
-/// Backstop read timeout: a site that neither replies nor closes its socket
-/// within this window is treated as unreachable instead of hanging the
-/// coordinator forever.
-const READ_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// One site's connection: alive, or dead with the error that killed it.
 struct Connection {
@@ -62,9 +67,16 @@ struct Connection {
 }
 
 impl Connection {
-    /// Mark the connection dead and return the unreachable error.
-    fn kill(&mut self, site: SiteId, err: &io::Error) -> PaxError {
-        let detail = err.to_string();
+    /// Mark the connection dead and return the unreachable error, naming
+    /// the peer and the operation that was in flight.
+    fn kill(
+        &mut self,
+        site: SiteId,
+        peer: SocketAddr,
+        operation: &str,
+        err: &io::Error,
+    ) -> PaxError {
+        let detail = format!("{peer}: {operation}: {err}");
         self.stream = Err(detail.clone());
         PaxError::SiteUnreachable { site, detail }
     }
@@ -77,43 +89,87 @@ impl Connection {
 /// [`WireRequest::Shutdown`].
 pub struct TcpCluster {
     conns: Vec<Mutex<Connection>>,
-    assignment: BTreeMap<FragmentId, SiteId>,
+    addrs: Vec<SocketAddr>,
+    assignment: BTreeMap<FragmentId, ReplicaSet>,
     /// Serializes rounds and control operations: per-connection streams
     /// must not interleave messages of concurrent rounds.
     round_lock: Mutex<()>,
     stats: Mutex<ClusterStats>,
     next_slot: AtomicUsize,
+    /// Socket tuning, replaceable after construction via
+    /// [`Transport::configure_tcp`] (the builder applies it at deploy time).
+    options: Mutex<TcpOptions>,
+    /// The installed fault schedule, if any (interior mutability: chaos
+    /// tests arm faults on a cluster already shared behind an `Arc`).
+    fault: Mutex<Option<FaultPlan>>,
+    /// Round counter indexing the fault plan: advanced once per attempted
+    /// round while a plan is installed, so the same workload replays the
+    /// same fault sequence — the exact scheme the simulator uses.
+    fault_tick: AtomicU64,
 }
 
 impl TcpCluster {
     /// Connect to one site per address, distribute the fragments of
-    /// `fragmented` according to `placement`, and load each site with its
-    /// share — the socket equivalent of
+    /// `fragmented` according to `placement` (one copy each), and load each
+    /// site with its share — the socket equivalent of
     /// [`paxml_distsim::Cluster::new`].
     pub fn connect(
         fragmented: &FragmentedTree,
         addrs: &[SocketAddr],
         placement: Placement,
     ) -> PaxResult<TcpCluster> {
+        Self::connect_replicated(fragmented, addrs, placement, 1)
+    }
+
+    /// Connect with every fragment stored on `replication` sites: the
+    /// primary chosen by `placement`, plus secondaries on the next sites
+    /// round-robin (`(primary + k) mod site_count`, never co-located) — the
+    /// socket equivalent of [`paxml_distsim::Cluster::replicated`].
+    /// `replication` is clamped to the number of addresses.
+    pub fn connect_replicated(
+        fragmented: &FragmentedTree,
+        addrs: &[SocketAddr],
+        placement: Placement,
+        replication: usize,
+    ) -> PaxResult<TcpCluster> {
         let site_count = addrs.len().max(1);
+        let copies = replication.clamp(1, site_count);
         let mut assignment = BTreeMap::new();
         for fragment in &fragmented.fragments {
-            let site = match placement {
-                Placement::RoundRobin => SiteId(fragment.id.index() % site_count),
-                Placement::SingleSite => SiteId(0),
+            let primary = match placement {
+                Placement::RoundRobin => fragment.id.index() % site_count,
+                Placement::SingleSite => 0,
             };
-            assignment.insert(fragment.id, site);
+            let set = ReplicaSet::of((0..copies).map(|k| SiteId((primary + k) % site_count)));
+            assignment.insert(fragment.id, set);
         }
-        Self::connect_with_assignment(fragmented, addrs, assignment)
+        Self::connect_with_replicas(fragmented, addrs, assignment, TcpOptions::default())
     }
 
     /// Connect with an explicit fragment→site assignment (fragments not
     /// mentioned go to site 0; site indices are clamped to the address
-    /// list, mirroring [`paxml_distsim::Cluster::with_assignment`]).
+    /// list, mirroring [`paxml_distsim::Cluster::with_assignment`]). Each
+    /// fragment gets one copy.
     pub fn connect_with_assignment(
         fragmented: &FragmentedTree,
         addrs: &[SocketAddr],
         assignment: BTreeMap<FragmentId, SiteId>,
+    ) -> PaxResult<TcpCluster> {
+        let replicas =
+            assignment.into_iter().map(|(f, site)| (f, ReplicaSet::solo(site))).collect();
+        Self::connect_with_replicas(fragmented, addrs, replicas, TcpOptions::default())
+    }
+
+    /// The most general constructor: an explicit fragment→replica-set
+    /// assignment (fragments not mentioned get a solo copy on site 0; site
+    /// indices are clamped to the address list) and explicit socket tuning
+    /// for the initial dial. Every replica site is loaded with a full copy
+    /// of its fragments.
+    pub fn connect_with_replicas(
+        fragmented: &FragmentedTree,
+        addrs: &[SocketAddr],
+        assignment: BTreeMap<FragmentId, ReplicaSet>,
+        options: TcpOptions,
     ) -> PaxResult<TcpCluster> {
         if addrs.is_empty() {
             return Err(PaxError::InvalidConfig {
@@ -123,29 +179,36 @@ impl TcpCluster {
         let mut final_assignment = BTreeMap::new();
         let mut per_site: Vec<Vec<Fragment>> = vec![Vec::new(); addrs.len()];
         for fragment in &fragmented.fragments {
-            let site = assignment.get(&fragment.id).copied().unwrap_or(SiteId(0));
-            let site = SiteId(site.index().min(addrs.len() - 1));
-            final_assignment.insert(fragment.id, site);
-            per_site[site.index()].push(fragment.clone());
+            let set = assignment.get(&fragment.id).cloned().unwrap_or(ReplicaSet::solo(SiteId(0)));
+            let set =
+                ReplicaSet::of(set.sites().iter().map(|s| SiteId(s.index().min(addrs.len() - 1))));
+            for &site in set.sites() {
+                per_site[site.index()].push(fragment.clone());
+            }
+            final_assignment.insert(fragment.id, set);
         }
 
         let mut conns = Vec::with_capacity(addrs.len());
         for (index, addr) in addrs.iter().enumerate() {
             let site = SiteId(index);
-            let mut stream = connect_with_retry(site, *addr)?;
+            let mut stream = connect_with_retry(site, *addr, &options, options.connect_attempts)?;
             let fragments = std::mem::take(&mut per_site[index]);
             handshake(&mut stream, site, fragments).map_err(|err| PaxError::SiteUnreachable {
                 site,
-                detail: format!("handshake with {addr} failed: {err}"),
+                detail: format!("{addr}: handshake failed: {err}"),
             })?;
             conns.push(Mutex::new(Connection { stream: Ok(stream) }));
         }
         Ok(TcpCluster {
             conns,
+            addrs: addrs.to_vec(),
             assignment: final_assignment,
             round_lock: Mutex::new(()),
             stats: Mutex::new(ClusterStats::default()),
             next_slot: AtomicUsize::new(0),
+            options: Mutex::new(options),
+            fault: Mutex::new(None),
+            fault_tick: AtomicU64::new(0),
         })
     }
 
@@ -153,9 +216,36 @@ impl TcpCluster {
         self.conns[site.index()].lock().expect("connection locks are never poisoned")
     }
 
+    fn lock_options(&self) -> MutexGuard<'_, TcpOptions> {
+        self.options.lock().expect("the options lock is never poisoned")
+    }
+
+    fn peer(&self, site: SiteId) -> SocketAddr {
+        self.addrs[site.index()]
+    }
+
+    /// A snapshot of the installed fault schedule, if any.
+    fn current_fault_plan(&self) -> Option<FaultPlan> {
+        self.fault.lock().expect("the fault-plan lock is never poisoned").clone()
+    }
+
+    /// The round tick the *next* round will be indexed at under the
+    /// installed [`FaultPlan`], without advancing the clock — the TCP
+    /// counterpart of [`paxml_distsim::Cluster::current_fault_tick`], used
+    /// by chaos schedules to aim fault windows at workload phases.
+    pub fn current_fault_tick(&self) -> u64 {
+        self.fault_tick.load(Ordering::Relaxed)
+    }
+
     /// Send one control request to a site and read its reply, marking the
     /// connection dead on any io failure.
-    fn control(&self, site: SiteId, request: &WireRequest) -> PaxResult<WireReply> {
+    fn control(
+        &self,
+        site: SiteId,
+        request: &WireRequest,
+        operation: &str,
+    ) -> PaxResult<WireReply> {
+        let peer = self.peer(site);
         let mut conn = self.lock_conn(site);
         let stream = match &mut conn.stream {
             Ok(stream) => stream,
@@ -163,34 +253,43 @@ impl TcpCluster {
         };
         match msg::send(stream, request).and_then(|()| msg::recv::<WireReply>(stream)) {
             Ok(reply) => Ok(reply),
-            Err(err) => Err(conn.kill(site, &err)),
+            Err(err) => Err(conn.kill(site, peer, operation, &err)),
         }
     }
 }
 
 /// Dial `addr` with bounded linear backoff (the site process may still be
-/// binding its listener when the coordinator starts).
-fn connect_with_retry(site: SiteId, addr: SocketAddr) -> PaxResult<TcpStream> {
+/// binding its listener when the coordinator starts). `attempts` is passed
+/// separately from `options` because liveness probes dial with the much
+/// smaller [`TcpOptions::probe_attempts`] budget.
+fn connect_with_retry(
+    site: SiteId,
+    addr: SocketAddr,
+    options: &TcpOptions,
+    attempts: u32,
+) -> PaxResult<TcpStream> {
     let mut last_error = String::new();
-    for attempt in 0..CONNECT_ATTEMPTS {
+    for attempt in 0..attempts.max(1) {
         match TcpStream::connect(addr) {
             Ok(stream) => {
                 stream
-                    .set_read_timeout(Some(READ_TIMEOUT))
+                    .set_read_timeout(Some(options.read_timeout))
                     .and_then(|()| stream.set_nodelay(true))
                     .map_err(|err| PaxError::SiteUnreachable {
                         site,
-                        detail: format!("configuring the socket to {addr}: {err}"),
+                        detail: format!("{addr}: configuring the socket: {err}"),
                     })?;
                 return Ok(stream);
             }
             Err(err) => last_error = err.to_string(),
         }
-        std::thread::sleep((CONNECT_BACKOFF_STEP * (attempt + 1)).min(CONNECT_BACKOFF_CAP));
+        std::thread::sleep(
+            (options.connect_backoff_step * (attempt + 1)).min(options.connect_backoff_cap),
+        );
     }
     Err(PaxError::SiteUnreachable {
         site,
-        detail: format!("no connection to {addr} after {CONNECT_ATTEMPTS} attempts: {last_error}"),
+        detail: format!("{addr}: no connection after {attempts} attempts: {last_error}"),
     })
 }
 
@@ -236,13 +335,34 @@ impl Transport for TcpCluster {
         }
         let _round = self.round_lock.lock().expect("the round lock is never poisoned");
 
+        // The fault gate, identical to the simulator's: with a plan
+        // installed every attempted round advances the fault clock and is
+        // checked against the schedule before any socket is touched — a
+        // faulted target fails the whole round with nothing delivered, and
+        // the connection itself stays healthy so the site serves again once
+        // its fault window closes.
+        if let Some(plan) = self.current_fault_plan() {
+            let tick = self.fault_tick.fetch_add(1, Ordering::Relaxed);
+            if let Some((site, kind)) = plan.first_failure(tick, requests.keys().copied()) {
+                let operation = requests.get(&site).map(|r| r.body.kind()).unwrap_or("round");
+                let peer = self.peer(site).to_string();
+                return Err(injected_fault_error(site, &kind, &peer, operation));
+            }
+            let stall = plan.total_delay(tick, requests.keys().copied());
+            if !stall.is_zero() {
+                std::thread::sleep(stall);
+            }
+        }
+
         // Phase 1 — write every request frame. On the first failure stop
         // sending (sites later in the order receive nothing this round).
-        let mut sent: Vec<(SiteId, u64)> = Vec::with_capacity(requests.len());
+        let mut sent: Vec<(SiteId, u64, &'static str)> = Vec::with_capacity(requests.len());
         let mut failure: Option<PaxError> = None;
         for (site, request) in &requests {
+            let operation = request.body.kind();
             let body = codec::encode(request);
             let request_bytes = body.len() as u64;
+            let peer = self.peer(*site);
             let mut conn = self.lock_conn(*site);
             let result = match &mut conn.stream {
                 Ok(stream) => msg::send(stream, &WireRequest::Round { body }),
@@ -253,9 +373,10 @@ impl Transport for TcpCluster {
                 }
             };
             match result {
-                Ok(()) => sent.push((*site, request_bytes)),
+                Ok(()) => sent.push((*site, request_bytes, operation)),
                 Err(err) => {
-                    failure = Some(conn.kill(*site, &err));
+                    let label = format!("sending {operation}");
+                    failure = Some(conn.kill(*site, peer, &label, &err));
                     break;
                 }
             }
@@ -265,7 +386,8 @@ impl Transport for TcpCluster {
         // round is already doomed: leaving a reply unread would desync that
         // connection for every later round.
         let mut outcomes: Vec<RoundOutcome> = Vec::with_capacity(sent.len());
-        for (site, request_bytes) in sent {
+        for (site, request_bytes, operation) in sent {
+            let peer = self.peer(site);
             let mut conn = self.lock_conn(site);
             let reply = match &mut conn.stream {
                 Ok(stream) => msg::recv::<WireReply>(stream),
@@ -284,23 +406,29 @@ impl Transport for TcpCluster {
                         }),
                         Err(err) => {
                             failure = failure.or(Some(PaxError::Protocol {
-                                message: format!("undecodable response from site {site}: {err}"),
+                                message: format!(
+                                    "{peer}: undecodable {operation} response from site {site}: \
+                                     {err}"
+                                ),
                             }))
                         }
                     }
                 }
                 Ok(WireReply::Error { message }) => {
                     failure = failure.or(Some(PaxError::Protocol {
-                        message: format!("site {site} failed its task: {message}"),
+                        message: format!("{peer}: site {site} failed its {operation}: {message}"),
                     }))
                 }
                 Ok(other) => {
                     failure = failure.or(Some(PaxError::Protocol {
-                        message: format!("unexpected reply from site {site}: {other:?}"),
+                        message: format!(
+                            "{peer}: unexpected reply from site {site} to {operation}: {other:?}"
+                        ),
                     }))
                 }
                 Err(err) => {
-                    let unreachable = conn.kill(site, &err);
+                    let label = format!("awaiting the {operation} reply");
+                    let unreachable = conn.kill(site, peer, &label, &err);
                     failure = failure.or(Some(unreachable));
                 }
             }
@@ -340,14 +468,90 @@ impl Transport for TcpCluster {
     }
 
     fn site_of(&self, fragment: FragmentId) -> SiteId {
+        self.replicas_of(fragment).primary()
+    }
+
+    fn replicas_of(&self, fragment: FragmentId) -> ReplicaSet {
         self.assignment
             .get(&fragment)
-            .copied()
-            .expect("every fragment was assigned to a site at construction")
+            .cloned()
+            .expect("every fragment was assigned to a replica set at construction")
     }
 
     fn occupied_sites(&self) -> BTreeSet<SiteId> {
-        self.assignment.values().copied().collect()
+        self.assignment.values().flat_map(|set| set.sites().iter().copied()).collect()
+    }
+
+    fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        *self.fault.lock().expect("the fault-plan lock is never poisoned") = plan;
+    }
+
+    fn probe(&self, site: SiteId) -> bool {
+        // A scheduled fault makes a live socket look dead too; probes peek
+        // at the fault clock without advancing it (they are not rounds).
+        if let Some(plan) = self.current_fault_plan() {
+            let tick = self.fault_tick.load(Ordering::Relaxed);
+            if matches!(
+                plan.fault_at(site, tick),
+                Some(FaultKind::Kill) | Some(FaultKind::Drop) | Some(FaultKind::Garble)
+            ) {
+                return false;
+            }
+        }
+        if site.index() >= self.conns.len() {
+            return false;
+        }
+        let peer = self.peer(site);
+        let _round = self.round_lock.lock().expect("the round lock is never poisoned");
+        let mut conn = self.lock_conn(site);
+        match &mut conn.stream {
+            // Live connection: one Hello round-trip settles it.
+            Ok(stream) => {
+                match msg::send(stream, &WireRequest::Hello { site })
+                    .and_then(|()| msg::recv::<WireReply>(stream))
+                {
+                    Ok(WireReply::Hello { site: echoed }) if echoed == site => true,
+                    Ok(other) => {
+                        let err = unexpected_reply("Hello", &other);
+                        let _ = conn.kill(site, peer, "probing", &err);
+                        false
+                    }
+                    Err(err) => {
+                        let _ = conn.kill(site, peer, "probing", &err);
+                        false
+                    }
+                }
+            }
+            // Dead connection: redial with the small probe budget and
+            // re-introduce ourselves. The revived site starts empty — the
+            // server's repair pass re-ships its fragments before readmitting
+            // it to the serving path.
+            Err(_) => {
+                let options = self.lock_options().clone();
+                match connect_with_retry(site, peer, &options, options.probe_attempts) {
+                    Ok(mut stream) => match handshake(&mut stream, site, Vec::new()) {
+                        Ok(()) => {
+                            conn.stream = Ok(stream);
+                            true
+                        }
+                        Err(_) => false,
+                    },
+                    Err(_) => false,
+                }
+            }
+        }
+    }
+
+    fn configure_tcp(&self, options: &TcpOptions) {
+        *self.lock_options() = options.clone();
+        // The read timeout guards already-established streams too: apply it
+        // retroactively so a deploy-time option reaches every connection.
+        for conn in &self.conns {
+            let mut conn = conn.lock().expect("connection locks are never poisoned");
+            if let Ok(stream) = &mut conn.stream {
+                let _ = stream.set_read_timeout(Some(options.read_timeout));
+            }
+        }
     }
 
     fn allocate_slots(&self, n: usize) -> usize {
@@ -362,14 +566,14 @@ impl Transport for TcpCluster {
         let _round = self.round_lock.lock().expect("the round lock is never poisoned");
         for index in 0..self.conns.len() {
             // Best effort: a dead site has no scratch worth clearing.
-            let _ = self.control(SiteId(index), &WireRequest::Reset);
+            let _ = self.control(SiteId(index), &WireRequest::Reset, "resetting scratch");
         }
         *self.stats.lock().expect("the stats lock is never poisoned") = ClusterStats::default();
     }
 
     fn scratch_len(&self, site: SiteId) -> usize {
         let _round = self.round_lock.lock().expect("the round lock is never poisoned");
-        match self.control(site, &WireRequest::ScratchLen) {
+        match self.control(site, &WireRequest::ScratchLen, "probing scratch length") {
             Ok(WireReply::ScratchLen { len }) => len,
             Ok(other) => panic!("unexpected reply to a scratch-len probe: {other:?}"),
             Err(err) => panic!("scratch-len probe failed: {err}"),
@@ -378,7 +582,7 @@ impl Transport for TcpCluster {
 
     fn site_load(&self, site: SiteId) -> SiteLoadReport {
         let _round = self.round_lock.lock().expect("the round lock is never poisoned");
-        match self.control(site, &WireRequest::SiteLoad) {
+        match self.control(site, &WireRequest::SiteLoad, "probing site load") {
             Ok(WireReply::SiteLoad { report }) => report,
             // A dead or confused site stores nothing we can observe; load
             // probes are best-effort observability, never a failure.

@@ -398,8 +398,8 @@ fn run_stats(
                 outcome.max_site_bytes_after
             );
             for op in &outcome.ops {
-                if let paxml::rebalance::RefragOp::Migrate { fragment, to } = op {
-                    println!("  move {fragment} to {to}");
+                if let paxml::rebalance::RefragOp::Migrate { fragment, from, to } = op {
+                    println!("  move {fragment} from {from} to {to}");
                 }
             }
             println!();

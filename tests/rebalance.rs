@@ -136,16 +136,16 @@ fn mixed_op_sequences_conform_to_a_fresh_deploy() {
                 vec![RefragOp::Split {
                     fragment: FragmentId(1),
                     cut: people_cut(&fragmented),
-                    place_on: SiteId(2),
+                    place_on: SiteId(2).into(),
                 }],
             ),
             (
                 "migrate the split child",
-                vec![RefragOp::Migrate { fragment: new_id, to: SiteId(0) }],
+                vec![RefragOp::Migrate { fragment: new_id, from: SiteId(2), to: SiteId(0) }],
             ),
             (
                 "migrate an original",
-                vec![RefragOp::Migrate { fragment: FragmentId(3), to: SiteId(1) }],
+                vec![RefragOp::Migrate { fragment: FragmentId(3), from: SiteId(0), to: SiteId(1) }],
             ),
             ("merge an original into the root", vec![RefragOp::Merge { child: FragmentId(4) }]),
         ];
@@ -194,9 +194,9 @@ fn refragmentation_over_tcp_matches_the_simulator() {
             RefragOp::Split {
                 fragment: FragmentId(1),
                 cut: people_cut(&fragmented),
-                place_on: SiteId(2),
+                place_on: SiteId(2).into(),
             },
-            RefragOp::Migrate { fragment: FragmentId(2), to: SiteId(0) },
+            RefragOp::Migrate { fragment: FragmentId(2), from: SiteId(2), to: SiteId(0) },
         ];
         let s = apply_ops(&sim, &ops).expect("simulator refragmentation");
         let t = apply_ops(&tcp, &ops).expect("TCP refragmentation");
@@ -255,7 +255,11 @@ fn migration_to_a_dead_site_publishes_nothing() {
 
         // Twice, to show the failed attempt poisons nothing.
         for attempt in 0..2 {
-            match apply_ops(&server, &[RefragOp::Migrate { fragment: moved, to: victim }]) {
+            let moved_home = server.deployment().site_of(moved);
+            match apply_ops(
+                &server,
+                &[RefragOp::Migrate { fragment: moved, from: moved_home, to: victim }],
+            ) {
                 Err(PaxError::SiteUnreachable { site, .. }) => {
                     assert_eq!(site, victim, "attempt {attempt}: wrong site blamed");
                 }
@@ -359,7 +363,8 @@ fn auto_vacuum_bounds_refragmentation_garbage() {
 
     for round in 0..6u64 {
         let to = SiteId((round as usize) % 2);
-        apply_ops(&server, &[RefragOp::Migrate { fragment: FragmentId(1), to }])
+        let from = SiteId(((round as usize) + 1) % 2);
+        apply_ops(&server, &[RefragOp::Migrate { fragment: FragmentId(1), from, to }])
             .expect("ping-pong migration");
     }
     let stats = server.server_stats();
@@ -416,7 +421,7 @@ proptest! {
                 .deploy(&fragmented)
                 .expect("deploy");
             apply_ops(&server, &[
-                RefragOp::Split { fragment: victim, cut, place_on: SiteId(0) },
+                RefragOp::Split { fragment: victim, cut, place_on: SiteId(0).into() },
                 RefragOp::Merge { child: new_id },
             ]).expect("split then merge");
             prop_assert_eq!(server.server_stats().placement_version, 1);
@@ -449,10 +454,16 @@ proptest! {
                 .expect("deploy");
             let home = server.deployment().site_of(FragmentId(1));
             let away = SiteId((home.index() + 1) % sites);
-            apply_ops(&server, &[RefragOp::Migrate { fragment: FragmentId(1), to: away }])
-                .expect("migrate away");
-            apply_ops(&server, &[RefragOp::Migrate { fragment: FragmentId(1), to: home }])
-                .expect("migrate home");
+            apply_ops(
+                &server,
+                &[RefragOp::Migrate { fragment: FragmentId(1), from: home, to: away }],
+            )
+            .expect("migrate away");
+            apply_ops(
+                &server,
+                &[RefragOp::Migrate { fragment: FragmentId(1), from: away, to: home }],
+            )
+            .expect("migrate home");
             prop_assert_eq!(server.server_stats().placement_version, 2);
             for query in queries() {
                 let a = server.query_once(query).expect("round-tripped server");

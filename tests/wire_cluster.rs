@@ -13,12 +13,15 @@
 //! Every test body runs under a watchdog so a transport hang fails the
 //! test instead of wedging the suite.
 
+use paxml::core::{RetryPolicy, TcpOptions};
 use paxml::prelude::*;
-use paxml::wire::ProcessCluster;
+use paxml::wire::msg::{self, WireReply, WireRequest};
+use paxml::wire::{ProcessCluster, SiteServer, TcpCluster};
 use paxml_distsim::{ClusterStats, Placement, SiteId};
 use paxml_xmark::{clientele_fragmentation, ft1, UpdateWorkload, PAPER_QUERIES};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const BIN: &str = env!("CARGO_BIN_EXE_paxml");
 const WATCHDOG: Duration = Duration::from_secs(120);
@@ -198,6 +201,124 @@ fn update_fails_mid_build_while_old_epoch_readers_finish_cleanly() {
         assert_eq!(after.epoch, 0);
         assert_eq!(after.answer_texts(), before.answer_texts());
         assert_eq!(after.max_visits_per_site(), 0, "cached reads never touch the dead site");
+    });
+}
+
+/// A site that *accepts* connections and answers the handshake but never
+/// replies to a round — the nastiest failure shape, because the socket
+/// looks healthy until a read blocks on it forever.
+fn spawn_hung_site() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind the hung site");
+    let addr = listener.local_addr().expect("local addr");
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { return };
+            std::thread::spawn(move || loop {
+                let Ok(request) = msg::recv::<WireRequest>(&mut stream) else { return };
+                let reply = match request {
+                    WireRequest::Hello { site } => WireReply::Hello { site },
+                    WireRequest::Load { fragments } => {
+                        WireReply::Loaded { fragments: fragments.len() }
+                    }
+                    // Swallow everything else — rounds, probes, shutdowns —
+                    // without ever writing a byte back.
+                    _ => continue,
+                };
+                if msg::send(&mut stream, &reply).is_err() {
+                    return;
+                }
+            });
+        }
+    });
+    addr
+}
+
+/// A hung site must trip the configured read deadline (not the 30 s
+/// default, and never a hang), surface as a *transient* unreachable error
+/// naming the peer and the in-flight operation — and with a second replica
+/// per fragment, failover must then answer bit-identically to a fault-free
+/// deployment.
+#[test]
+fn a_hung_site_trips_the_deadline_and_fails_over() {
+    with_watchdog(|| {
+        let (_tree, fragmented) = clientele_fragmentation();
+        let query = "client[country/text()='US']/broker[market/name/text()='NASDAQ']/name";
+
+        // The fault-free reference: same fragments, same replication, on
+        // the in-process simulator.
+        let reference = PaxServer::builder()
+            .algorithm(Algorithm::PaX2)
+            .sites(3)
+            .placement(Placement::RoundRobin)
+            .replication(2)
+            .deploy(&fragmented)
+            .expect("deploy the reference");
+        let expected =
+            reference.query_once(query).expect("reference answers").queries[0].answers.clone();
+        assert!(!expected.is_empty(), "workload sanity: answers exist");
+
+        // Site 0 hangs; sites 1 and 2 are real in-process site servers.
+        // Under round-robin ×2 replication every fragment with its primary
+        // on the hung site keeps a live copy on S1.
+        let hung_addr = spawn_hung_site();
+        let mut addrs = vec![hung_addr];
+        for _ in 0..2 {
+            let site = SiteServer::bind("127.0.0.1:0").expect("bind a site");
+            addrs.push(site.local_addr().expect("site addr"));
+            std::thread::spawn(move || {
+                let _ = site.run();
+            });
+        }
+        let transport = Arc::new(
+            TcpCluster::connect_replicated(&fragmented, &addrs, Placement::RoundRobin, 2)
+                .expect("connect (the hung site still answers the handshake)"),
+        );
+        let options =
+            TcpOptions { read_timeout: Duration::from_millis(300), ..TcpOptions::default() };
+
+        // One attempt, no failover: the deadline itself is under test.
+        let strict = PaxServer::builder()
+            .algorithm(Algorithm::PaX2)
+            .tcp_options(options.clone())
+            .retry_policy(RetryPolicy { max_attempts: 1, ..RetryPolicy::default() })
+            .deploy_over(&fragmented, transport.clone())
+            .expect("deploy the single-attempt server");
+        let started = Instant::now();
+        let err = strict.query_once(query).expect_err("a hung site must fail the round");
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(10),
+            "the 300 ms deadline should have fired, not hung for {elapsed:?}"
+        );
+        assert!(err.is_transient(), "a tripped read deadline is transient weather: {err}");
+        match &err {
+            PaxError::SiteUnreachable { site, detail } => {
+                assert_eq!(*site, SiteId(0), "the hung site takes the blame");
+                assert!(
+                    detail.contains(&hung_addr.to_string()),
+                    "the error names the peer: {detail}"
+                );
+                assert!(
+                    detail.contains("reply") || detail.contains("sending"),
+                    "the error names the in-flight operation: {detail}"
+                );
+            }
+            other => panic!("expected SiteUnreachable, got {other}"),
+        }
+
+        // Same transport, failover enabled: the retry quarantines the hung
+        // site, re-routes every fragment to its surviving replica, and the
+        // answers match the fault-free reference bit for bit.
+        let server = PaxServer::builder()
+            .algorithm(Algorithm::PaX2)
+            .tcp_options(options)
+            .deploy_over(&fragmented, transport)
+            .expect("deploy the failover server");
+        let report = server.query_once(query).expect("failover must answer");
+        assert_eq!(
+            report.queries[0].answers, expected,
+            "failover answers must be bit-identical to the fault-free run"
+        );
     });
 }
 

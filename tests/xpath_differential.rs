@@ -308,8 +308,8 @@ fn updates_then_refragmentation_preserve_the_agreement() {
         };
         let new_id = FragmentId(workload.mirror().fragment_tree.max_id().index() + 1);
         let ops = vec![
-            RefragOp::Split { fragment: victim, cut, place_on: SiteId(sites - 1) },
-            RefragOp::Migrate { fragment: new_id, to: SiteId(0) },
+            RefragOp::Split { fragment: victim, cut, place_on: SiteId(sites - 1).into() },
+            RefragOp::Migrate { fragment: new_id, from: SiteId(sites - 1), to: SiteId(0) },
         ];
         for (algorithm, s) in &servers {
             apply_ops(s, &ops).unwrap_or_else(|e| panic!("seed {seed} {algorithm} refrag: {e}"));
